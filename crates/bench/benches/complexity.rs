@@ -1,0 +1,121 @@
+//! Criterion timings for the complexity experiments E1–E4 and E11:
+//! transitive closure via powerset vs while vs classical algorithms, the
+//! approximations, and the lazy strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nra_core::{queries, Value};
+use nra_eval::{evaluate, evaluate_lazy, EvalConfig};
+use nra_graph::DiGraph;
+use std::hint::black_box;
+
+fn e1_tc_powerset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_tc_powerset_paths");
+    group.sample_size(10);
+    let q = queries::tc_paths();
+    let cfg = EvalConfig::default();
+    for n in [6u64, 8, 10] {
+        let input = Value::chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| {
+                let ev = evaluate(black_box(&q), black_box(input), &cfg);
+                black_box(ev.stats.max_object_size)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn e2_tc_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_tc_naive");
+    group.sample_size(10);
+    let q = queries::tc_naive();
+    let cfg = EvalConfig::default();
+    for n in [1u64, 2] {
+        let input = Value::chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| {
+                let ev = evaluate(black_box(&q), black_box(input), &cfg);
+                black_box(ev.result.unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn e3_tc_while(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_tc_while");
+    group.sample_size(10);
+    let q = queries::tc_while();
+    let cfg = EvalConfig::default();
+    for n in [8u64, 16, 32] {
+        let input = Value::chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| {
+                let ev = evaluate(black_box(&q), black_box(input), &cfg);
+                black_box(ev.result.unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn e3_classical_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_classical");
+    for n in [64u64, 256] {
+        let g = DiGraph::chain(n);
+        group.bench_with_input(BenchmarkId::new("warshall", n), &g, |b, g| {
+            b.iter(|| black_box(nra_graph::warshall(black_box(g))))
+        });
+        group.bench_with_input(BenchmarkId::new("semi_naive", n), &g, |b, g| {
+            b.iter(|| black_box(nra_graph::semi_naive(black_box(g))))
+        });
+        group.bench_with_input(BenchmarkId::new("bfs", n), &g, |b, g| {
+            b.iter(|| black_box(nra_graph::bfs_per_source(black_box(g))))
+        });
+    }
+    group.finish();
+}
+
+fn e4_approximation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_powerset_m");
+    group.sample_size(10);
+    let cfg = EvalConfig::default();
+    let n = 8u64;
+    let input = Value::chain(n);
+    for m in [2u64, 4, 8] {
+        let q = queries::tc_paths_approx(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &q, |b, q| {
+            b.iter(|| {
+                let ev = evaluate(black_box(q), black_box(&input), &cfg);
+                black_box(ev.result.unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn e11_lazy_vs_eager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_strategies");
+    group.sample_size(10);
+    let q = queries::tc_paths();
+    let cfg = EvalConfig::default();
+    let input = Value::chain(10);
+    group.bench_function("eager_n10", |b| {
+        b.iter(|| black_box(evaluate(&q, black_box(&input), &cfg).stats.max_object_size))
+    });
+    group.bench_function("lazy_n10", |b| {
+        b.iter(|| black_box(evaluate_lazy(&q, black_box(&input), &cfg).stats.peak_resident))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e1_tc_powerset,
+    e2_tc_naive,
+    e3_tc_while,
+    e3_classical_baselines,
+    e4_approximation,
+    e11_lazy_vs_eager
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion timings for the symbolic machinery (E5–E7), the circuit
+//! compiler (E8) and the Ramsey search (E9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nra_circuits::relalg;
+use nra_core::{queries, Value};
+use nra_symbolic::{
+    analyze_cardinality, apply, chain_aexpr, chain_tc_impossibility, ramsey, Env, SymCtx, VarGen,
+};
+use std::hint::black_box;
+
+fn e5_symbolic_vs_concrete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_evaluation_lemma");
+    let mut gen = VarGen::new();
+    let chain = chain_aexpr(&mut gen);
+    let step = queries::tc_step();
+    group.bench_function("symbolic_apply_tc_step", |b| {
+        b.iter(|| {
+            let mut ctx = SymCtx::for_expr(&chain);
+            black_box(apply(black_box(&step), black_box(&chain), &mut ctx).unwrap())
+        })
+    });
+    for n in [16u64, 64, 256] {
+        let input = Value::chain(n);
+        group.bench_with_input(
+            BenchmarkId::new("concrete_tc_step", n),
+            &input,
+            |b, input| b.iter(|| black_box(nra_eval::eval(&step, black_box(input)).unwrap())),
+        );
+    }
+    // evaluating the symbolic result at a given n
+    let mut ctx = SymCtx::for_expr(&chain);
+    let symbolic = apply(&step, &chain, &mut ctx).unwrap();
+    group.bench_function("denote_symbolic_result_n64", |b| {
+        b.iter(|| black_box(symbolic.eval(64, &Env::new()).unwrap()))
+    });
+    group.finish();
+}
+
+fn e6_affine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_affine");
+    let mut gen = VarGen::new();
+    let chain = chain_aexpr(&mut gen);
+    group.bench_function("corollary_5_3_analysis", |b| {
+        b.iter(|| black_box(chain_tc_impossibility(black_box(&chain)).unwrap()))
+    });
+    group.finish();
+}
+
+fn e7_dichotomy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_dichotomy");
+    let mut gen = VarGen::new();
+    let chain = chain_aexpr(&mut gen);
+    group.bench_function("analyze_chain", |b| {
+        b.iter(|| black_box(analyze_cardinality(black_box(&chain)).unwrap()))
+    });
+    group.finish();
+}
+
+fn e8_circuits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_circuits");
+    let q = relalg::tc_step_query();
+    for d in [4u64, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("compile", d), &d, |b, &d| {
+            b.iter(|| black_box(relalg::compile(black_box(&q), &[2], d)))
+        });
+        let compiled = relalg::compile(&q, &[2], d);
+        let rel: std::collections::BTreeSet<Vec<u64>> =
+            (0..d - 1).map(|i| vec![i, i + 1]).collect();
+        group.bench_with_input(BenchmarkId::new("run", d), &rel, |b, rel| {
+            b.iter(|| black_box(compiled.run(std::slice::from_ref(black_box(rel)))))
+        });
+    }
+    group.finish();
+}
+
+fn e9_ramsey(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_ramsey");
+    for m in [3usize, 4, 5] {
+        let vertices = ramsey::ramsey_bound(m as u64) as usize;
+        let color = |u: usize, v: usize| {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            (a.wrapping_mul(2654435761) ^ b.wrapping_mul(40503)) % 2 == 0
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| black_box(ramsey::monochromatic_clique(vertices, m, &color).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e5_symbolic_vs_concrete,
+    e6_affine,
+    e7_dichotomy,
+    e8_circuits,
+    e9_ramsey
+);
+criterion_main!(benches);

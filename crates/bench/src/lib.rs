@@ -1,0 +1,151 @@
+//! # nra-bench
+//!
+//! Shared measurement helpers for the experiment suite (E1–E11 of
+//! DESIGN.md): complexity series over the chain inputs, slope fits for
+//! exponential/polynomial growth classification, and wall-clock timing.
+
+#![warn(missing_docs)]
+
+use nra_core::expr::Expr;
+use nra_core::value::Value;
+use nra_eval::{evaluate, EvalConfig, EvalError};
+use std::time::{Duration, Instant};
+
+/// Outcome of measuring one evaluation at one input size.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Chain length n.
+    pub n: u64,
+    /// The §3 complexity: measured when the run fits the budget, or the
+    /// *predicted requirement* when the budget was exceeded.
+    pub complexity: u64,
+    /// Whether the run completed (false = budget cut it off; complexity
+    /// is then the reported requirement, still exact for powerset cuts).
+    pub completed: bool,
+    /// Wall-clock time of the evaluation (meaningless when not completed).
+    pub wall: Duration,
+    /// Derivation-tree nodes.
+    pub nodes: u64,
+    /// Sum of object sizes across the derivation tree.
+    pub total_size: u64,
+}
+
+/// Evaluate `query` on the chain `rₙ` for each n, under a space budget,
+/// recording complexity (measured or required).
+pub fn chain_series(query: &Expr, ns: &[u64], budget: u64) -> Vec<Measurement> {
+    let cfg = EvalConfig::with_space_budget(budget);
+    ns.iter()
+        .map(|&n| {
+            let input = Value::chain(n);
+            let start = Instant::now();
+            let ev = evaluate(query, &input, &cfg);
+            let wall = start.elapsed();
+            match ev.result {
+                Ok(out) => {
+                    debug_assert_eq!(out, Value::chain_tc(n), "closure check n={n}");
+                    Measurement {
+                        n,
+                        complexity: ev.stats.max_object_size,
+                        completed: true,
+                        wall,
+                        nodes: ev.stats.nodes,
+                        total_size: ev.stats.total_size,
+                    }
+                }
+                Err(EvalError::SpaceBudgetExceeded { required, .. }) => Measurement {
+                    n,
+                    complexity: required,
+                    completed: false,
+                    wall,
+                    nodes: ev.stats.nodes,
+                    total_size: ev.stats.total_size,
+                },
+                Err(e) => panic!("n={n}: {e}"),
+            }
+        })
+        .collect()
+}
+
+/// Least-squares slope of `y` against `x`.
+pub fn slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Slope of `log₂(complexity)` vs `n`: ≈ c > 0 for `Ω(2^{cn})` growth,
+/// ≈ 0 for polynomial growth.
+pub fn log2_slope(series: &[Measurement]) -> f64 {
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .map(|m| (m.n as f64, (m.complexity as f64).log2()))
+        .collect();
+    slope(&pts)
+}
+
+/// Slope of `log(complexity)` vs `log(n)` — the polynomial degree.
+pub fn loglog_slope(series: &[Measurement]) -> f64 {
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .filter(|m| m.n > 0)
+        .map(|m| ((m.n as f64).ln(), (m.complexity as f64).ln()))
+        .collect();
+    slope(&pts)
+}
+
+/// Format a duration compactly.
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.0}µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_core::queries;
+
+    #[test]
+    fn slope_of_a_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        assert!((slope(&pts) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_series_measures_powerset_growth() {
+        let series = chain_series(&queries::tc_paths(), &[3, 4, 5, 6], u64::MAX);
+        assert!(series.iter().all(|m| m.completed));
+        let c = log2_slope(&series);
+        assert!(c > 0.8 && c < 1.5, "exponential slope ≈ 1, got {c}");
+    }
+
+    #[test]
+    fn chain_series_reports_requirements_over_budget() {
+        let series = chain_series(&queries::tc_paths(), &[18], 10_000);
+        assert!(!series[0].completed);
+        assert!(series[0].complexity > 1 << 18);
+    }
+
+    #[test]
+    fn while_series_is_polynomial() {
+        let series = chain_series(&queries::tc_while(), &[4, 8, 16], u64::MAX);
+        let d = loglog_slope(&series);
+        assert!(d < 5.0, "polynomial degree ≈ 4, got {d}");
+        let c = log2_slope(&series);
+        assert!(c < 1.0, "not exponential, got {c}");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -1,0 +1,338 @@
+//! Unbounded fan-in boolean circuits with threshold gates — the `AC⁰`/`TC⁰`
+//! machinery of Proposition 4.3.
+//!
+//! > "the class TC⁰ … is defined similarly to AC⁰, but by allowing the
+//! > circuits to contain an additional type of gates, the **threshold
+//! > gates**: a threshold gate is labeled by some number k, and its output
+//! > is 1 iff at least k of its inputs are 1."
+//!
+//! Circuits are DAGs in an arena ([`Circuit::gates`]); the
+//! [`CircuitBuilder`] hash-conses structurally equal gates and constant-
+//! folds, so the size/depth metrics reported by the experiments measure
+//! real structure rather than construction noise.
+
+use std::collections::HashMap;
+
+/// Index of a gate in the circuit arena.
+pub type GateId = usize;
+
+/// A gate. `And`/`Or`/`Threshold` have unbounded fan-in (that is the
+/// defining feature of `AC⁰`/`TC⁰` circuits).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// The i-th circuit input.
+    Input(usize),
+    /// A constant.
+    Const(bool),
+    /// Negation.
+    Not(GateId),
+    /// Unbounded fan-in conjunction.
+    And(Vec<GateId>),
+    /// Unbounded fan-in disjunction.
+    Or(Vec<GateId>),
+    /// `Threshold(k, xs)`: true iff at least `k` of `xs` are true — the
+    /// `TC⁰` extra beyond `AC⁰`.
+    Threshold(u32, Vec<GateId>),
+}
+
+/// An immutable circuit: gates in topological order plus output gates.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    /// Arena; every gate references only earlier gates.
+    pub gates: Vec<Gate>,
+    /// Output gate ids, in order.
+    pub outputs: Vec<GateId>,
+    /// Number of inputs.
+    pub num_inputs: usize,
+}
+
+impl Circuit {
+    /// Evaluate on an input assignment.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "input arity mismatch");
+        let mut values: Vec<bool> = Vec::with_capacity(self.gates.len());
+        for gate in &self.gates {
+            let v = match gate {
+                Gate::Input(i) => inputs[*i],
+                Gate::Const(b) => *b,
+                Gate::Not(x) => !values[*x],
+                Gate::And(xs) => xs.iter().all(|&x| values[x]),
+                Gate::Or(xs) => xs.iter().any(|&x| values[x]),
+                Gate::Threshold(k, xs) => {
+                    (xs.iter().filter(|&&x| values[x]).count() as u32) >= *k
+                }
+            };
+            values.push(v);
+        }
+        self.outputs.iter().map(|&o| values[o]).collect()
+    }
+
+    /// Number of non-input, non-constant gates (the size measure of the
+    /// `AC⁰`/`TC⁰` definitions).
+    pub fn size(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g, Gate::Input(_) | Gate::Const(_)))
+            .count()
+    }
+
+    /// Depth: inputs/constants at level 0, every other gate one above its
+    /// deepest child. Constant depth as the input grows is the `AC⁰`/`TC⁰`
+    /// membership criterion.
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            depth[i] = match gate {
+                Gate::Input(_) | Gate::Const(_) => 0,
+                Gate::Not(x) => depth[*x] + 1,
+                Gate::And(xs) | Gate::Or(xs) | Gate::Threshold(_, xs) => {
+                    xs.iter().map(|&x| depth[x]).max().unwrap_or(0) + 1
+                }
+            };
+        }
+        self.outputs.iter().map(|&o| depth[o]).max().unwrap_or(0)
+    }
+
+    /// True iff the circuit uses a threshold gate (i.e. needs `TC⁰`
+    /// rather than `AC⁰`).
+    pub fn uses_threshold(&self) -> bool {
+        self.gates
+            .iter()
+            .any(|g| matches!(g, Gate::Threshold(_, _)))
+    }
+}
+
+/// A hash-consing, constant-folding circuit builder.
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    gates: Vec<Gate>,
+    dedup: HashMap<Gate, GateId>,
+    num_inputs: usize,
+}
+
+impl CircuitBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        CircuitBuilder::default()
+    }
+
+    fn intern(&mut self, gate: Gate) -> GateId {
+        if let Some(&id) = self.dedup.get(&gate) {
+            return id;
+        }
+        let id = self.gates.len();
+        self.gates.push(gate.clone());
+        self.dedup.insert(gate, id);
+        id
+    }
+
+    /// Declare the next input wire.
+    pub fn input(&mut self) -> GateId {
+        let i = self.num_inputs;
+        self.num_inputs += 1;
+        self.intern(Gate::Input(i))
+    }
+
+    /// Declare `k` input wires.
+    pub fn inputs(&mut self, k: usize) -> Vec<GateId> {
+        (0..k).map(|_| self.input()).collect()
+    }
+
+    /// A constant gate.
+    pub fn constant(&mut self, b: bool) -> GateId {
+        self.intern(Gate::Const(b))
+    }
+
+    fn const_value(&self, id: GateId) -> Option<bool> {
+        match self.gates[id] {
+            Gate::Const(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Negation (folds constants and double negation).
+    pub fn not(&mut self, x: GateId) -> GateId {
+        if let Some(b) = self.const_value(x) {
+            return self.constant(!b);
+        }
+        if let Gate::Not(inner) = self.gates[x] {
+            return inner;
+        }
+        self.intern(Gate::Not(x))
+    }
+
+    /// Unbounded fan-in AND (drops true children, folds to false on a
+    /// false child, deduplicates and sorts children).
+    pub fn and(&mut self, children: impl IntoIterator<Item = GateId>) -> GateId {
+        let mut xs: Vec<GateId> = Vec::new();
+        for c in children {
+            match self.const_value(c) {
+                Some(true) => continue,
+                Some(false) => return self.constant(false),
+                None => xs.push(c),
+            }
+        }
+        xs.sort_unstable();
+        xs.dedup();
+        match xs.len() {
+            0 => self.constant(true),
+            1 => xs[0],
+            _ => self.intern(Gate::And(xs)),
+        }
+    }
+
+    /// Unbounded fan-in OR.
+    pub fn or(&mut self, children: impl IntoIterator<Item = GateId>) -> GateId {
+        let mut xs: Vec<GateId> = Vec::new();
+        for c in children {
+            match self.const_value(c) {
+                Some(false) => continue,
+                Some(true) => return self.constant(true),
+                None => xs.push(c),
+            }
+        }
+        xs.sort_unstable();
+        xs.dedup();
+        match xs.len() {
+            0 => self.constant(false),
+            1 => xs[0],
+            _ => self.intern(Gate::Or(xs)),
+        }
+    }
+
+    /// Threshold-k gate (constant inputs are folded into k; k = 0 is
+    /// true; k > fan-in is false; k = 1 becomes OR; k = fan-in becomes
+    /// AND).
+    pub fn threshold(&mut self, k: u32, children: impl IntoIterator<Item = GateId>) -> GateId {
+        let mut k = k as i64;
+        let mut xs: Vec<GateId> = Vec::new();
+        for c in children {
+            match self.const_value(c) {
+                Some(true) => k -= 1,
+                Some(false) => continue,
+                None => xs.push(c),
+            }
+        }
+        xs.sort_unstable();
+        if k <= 0 {
+            return self.constant(true);
+        }
+        if k > xs.len() as i64 {
+            return self.constant(false);
+        }
+        if k == 1 {
+            let mut dd = xs.clone();
+            dd.dedup();
+            return self.or(dd);
+        }
+        if k == xs.len() as i64 && xs.windows(2).all(|w| w[0] != w[1]) {
+            return self.and(xs);
+        }
+        self.intern(Gate::Threshold(k as u32, xs))
+    }
+
+    /// Finish, fixing the outputs.
+    pub fn build(self, outputs: Vec<GateId>) -> Circuit {
+        Circuit {
+            gates: self.gates,
+            outputs,
+            num_inputs: self.num_inputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(n: usize, mask: u32) -> Vec<bool> {
+        (0..n).map(|i| mask & (1 << i) != 0).collect()
+    }
+
+    #[test]
+    fn gates_compute_their_truth_tables() {
+        let mut b = CircuitBuilder::new();
+        let xs = b.inputs(3);
+        let and = b.and(xs.clone());
+        let or = b.or(xs.clone());
+        let maj = b.threshold(2, xs.clone());
+        let not0 = b.not(xs[0]);
+        let c = b.build(vec![and, or, maj, not0]);
+        for mask in 0..8u32 {
+            let input = bits(3, mask);
+            let out = c.eval(&input);
+            let ones = input.iter().filter(|&&x| x).count();
+            assert_eq!(out[0], ones == 3, "and, mask {mask}");
+            assert_eq!(out[1], ones >= 1, "or, mask {mask}");
+            assert_eq!(out[2], ones >= 2, "majority, mask {mask}");
+            assert_eq!(out[3], !input[0], "not, mask {mask}");
+        }
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let t = b.constant(true);
+        let f = b.constant(false);
+        assert_eq!(b.and([x, t]), x, "AND with true is identity");
+        assert_eq!(b.and([x, f]), f, "AND with false is false");
+        assert_eq!(b.or([x, f]), x);
+        assert_eq!(b.or([x, t]), t);
+        let n = b.not(x);
+        assert_eq!(b.not(n), x, "double negation");
+        let nt = b.not(t);
+        assert_eq!(b.const_value(nt), Some(false));
+        // thresholds
+        assert_eq!(b.threshold(0, [x]), t);
+        assert_eq!(b.threshold(2, [x]), f);
+        assert_eq!(b.threshold(1, [x, x]), x, "k=1 collapses to OR");
+    }
+
+    #[test]
+    fn hash_consing_dedupes() {
+        let mut b = CircuitBuilder::new();
+        let xs = b.inputs(2);
+        let a1 = b.and(xs.clone());
+        let a2 = b.and([xs[1], xs[0]]);
+        assert_eq!(a1, a2, "children are sorted, structure shared");
+        let c = b.build(vec![a1, a2]);
+        assert_eq!(c.size(), 1);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let mut b = CircuitBuilder::new();
+        let xs = b.inputs(4);
+        let a = b.and([xs[0], xs[1]]);
+        let o = b.or([a, xs[2]]);
+        let n = b.not(o);
+        let out = b.and([n, xs[3]]);
+        let c = b.build(vec![out]);
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.depth(), 4);
+        assert!(!c.uses_threshold());
+        let mut b = CircuitBuilder::new();
+        let xs = b.inputs(5);
+        let t = b.threshold(3, xs);
+        let c = b.build(vec![t]);
+        assert!(c.uses_threshold());
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn threshold_matches_counting_semantics() {
+        let mut b = CircuitBuilder::new();
+        let xs = b.inputs(6);
+        let outs: Vec<GateId> = (0..=7).map(|k| b.threshold(k, xs.clone())).collect();
+        let c = b.build(outs);
+        for mask in 0..64u32 {
+            let input = bits(6, mask);
+            let ones = input.iter().filter(|&&x| x).count() as u32;
+            let out = c.eval(&input);
+            for (k, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, ones >= k as u32, "k={k} mask={mask}");
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # nra-circuits
+//!
+//! The circuit-complexity substrate of Proposition 4.3 of Suciu &
+//! Paredaens (1994): unbounded fan-in boolean circuits with threshold
+//! gates (`AC⁰`/`TC⁰`), a flat relational algebra compiled to
+//! constant-depth polynomial-size circuits, and a bridge that
+//! cross-validates compiled circuits against the `NRA` evaluator on the
+//! same relations.
+
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod circuit;
+pub mod relalg;
+pub mod to_nra;
+
+pub use circuit::{Circuit, CircuitBuilder, Gate, GateId};
+pub use relalg::{compile, compile_bool, BoolQuery, CompiledQuery, FlatQuery};
+pub use to_nra::{flat_to_nra, run_via_nra};

@@ -1,0 +1,534 @@
+//! Flat relational algebra compiled to constant-depth circuits — the
+//! executable content of Proposition 4.3 ("all functions in
+//! `NRA(powerset)` having polynomially bounded complexity are in `TC⁰`";
+//! its `NRA ⊆ AC⁰` companion generalises Immerman's `FO ⊆ AC⁰`).
+//!
+//! A relation of arity `a` over the domain `[d] = {0,…,d−1}` is encoded as
+//! `dᵃ` wires, one per tuple (row-major). Every algebra operator becomes a
+//! *constant* number of gate levels:
+//!
+//! | operator | gates |
+//! |---|---|
+//! | `∪, ∩, ∖` | pointwise OR / AND / AND-NOT |
+//! | `×` | AND of the two tuple wires |
+//! | `π` (projection) | OR over the dropped coordinates (∃) |
+//! | `σ` (selection) | rewiring, no gates |
+//! | `empty` | NOT-OR over all wires |
+//! | `|R| ≥ k` | one threshold gate — the `TC⁰` extra |
+//!
+//! so the compiled circuit of a fixed query has depth independent of `d`
+//! and size polynomial in `d` (experiment E8 tabulates both).
+
+use crate::circuit::{Circuit, CircuitBuilder, GateId};
+use std::collections::BTreeSet;
+
+/// A flat relational-algebra query over named input relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlatQuery {
+    /// The i-th input relation, with its arity.
+    Input(usize, usize),
+    /// Set union (same arity).
+    Union(Box<FlatQuery>, Box<FlatQuery>),
+    /// Set intersection.
+    Intersect(Box<FlatQuery>, Box<FlatQuery>),
+    /// Set difference.
+    Difference(Box<FlatQuery>, Box<FlatQuery>),
+    /// Cartesian product (arities add).
+    Product(Box<FlatQuery>, Box<FlatQuery>),
+    /// Keep the listed columns, in order (∃ over the dropped ones).
+    Project(Box<FlatQuery>, Vec<usize>),
+    /// Keep tuples whose two columns are equal.
+    SelectEq(Box<FlatQuery>, usize, usize),
+    /// Keep tuples whose column equals a constant.
+    SelectConst(Box<FlatQuery>, usize, u64),
+}
+
+impl FlatQuery {
+    /// The arity of the query result.
+    pub fn arity(&self) -> usize {
+        match self {
+            FlatQuery::Input(_, a) => *a,
+            FlatQuery::Union(a, _)
+            | FlatQuery::Intersect(a, _)
+            | FlatQuery::Difference(a, _) => a.arity(),
+            FlatQuery::Product(a, b) => a.arity() + b.arity(),
+            FlatQuery::Project(_, cols) => cols.len(),
+            FlatQuery::SelectEq(a, _, _) | FlatQuery::SelectConst(a, _, _) => a.arity(),
+        }
+    }
+
+    /// Number of operators (query size).
+    pub fn size(&self) -> usize {
+        match self {
+            FlatQuery::Input(_, _) => 1,
+            FlatQuery::Union(a, b)
+            | FlatQuery::Intersect(a, b)
+            | FlatQuery::Difference(a, b)
+            | FlatQuery::Product(a, b) => 1 + a.size() + b.size(),
+            FlatQuery::Project(a, _)
+            | FlatQuery::SelectEq(a, _, _)
+            | FlatQuery::SelectConst(a, _, _) => 1 + a.size(),
+        }
+    }
+
+    /// Reference evaluation over explicit tuple sets.
+    pub fn eval(&self, inputs: &[BTreeSet<Vec<u64>>], d: u64) -> BTreeSet<Vec<u64>> {
+        match self {
+            FlatQuery::Input(i, a) => inputs[*i]
+                .iter()
+                .filter(|t| t.len() == *a && t.iter().all(|&v| v < d))
+                .cloned()
+                .collect(),
+            FlatQuery::Union(a, b) => a.eval(inputs, d).union(&b.eval(inputs, d)).cloned().collect(),
+            FlatQuery::Intersect(a, b) => a
+                .eval(inputs, d)
+                .intersection(&b.eval(inputs, d))
+                .cloned()
+                .collect(),
+            FlatQuery::Difference(a, b) => a
+                .eval(inputs, d)
+                .difference(&b.eval(inputs, d))
+                .cloned()
+                .collect(),
+            FlatQuery::Product(a, b) => {
+                let xa = a.eval(inputs, d);
+                let xb = b.eval(inputs, d);
+                let mut out = BTreeSet::new();
+                for t1 in &xa {
+                    for t2 in &xb {
+                        let mut t = t1.clone();
+                        t.extend_from_slice(t2);
+                        out.insert(t);
+                    }
+                }
+                out
+            }
+            FlatQuery::Project(a, cols) => a
+                .eval(inputs, d)
+                .into_iter()
+                .map(|t| cols.iter().map(|&c| t[c]).collect())
+                .collect(),
+            FlatQuery::SelectEq(a, i, j) => a
+                .eval(inputs, d)
+                .into_iter()
+                .filter(|t| t[*i] == t[*j])
+                .collect(),
+            FlatQuery::SelectConst(a, i, c) => a
+                .eval(inputs, d)
+                .into_iter()
+                .filter(|t| t[*i] == *c)
+                .collect(),
+        }
+    }
+}
+
+/// Tuple → wire index (row-major over domain `d`).
+pub fn tuple_to_index(tuple: &[u64], d: u64) -> usize {
+    tuple
+        .iter()
+        .fold(0usize, |acc, &v| acc * d as usize + v as usize)
+}
+
+/// Wire index → tuple.
+pub fn index_to_tuple(mut index: usize, arity: usize, d: u64) -> Vec<u64> {
+    let mut t = vec![0u64; arity];
+    for i in (0..arity).rev() {
+        t[i] = (index % d as usize) as u64;
+        index /= d as usize;
+    }
+    t
+}
+
+/// Enumerate all tuples of an arity over `[d]`, in wire order.
+pub fn all_tuples(arity: usize, d: u64) -> Vec<Vec<u64>> {
+    let count = (d as usize).pow(arity as u32);
+    (0..count).map(|i| index_to_tuple(i, arity, d)).collect()
+}
+
+/// Encode a relation as its characteristic bit vector.
+pub fn encode_relation(rel: &BTreeSet<Vec<u64>>, arity: usize, d: u64) -> Vec<bool> {
+    let mut bits = vec![false; (d as usize).pow(arity as u32)];
+    for t in rel {
+        assert_eq!(t.len(), arity);
+        bits[tuple_to_index(t, d)] = true;
+    }
+    bits
+}
+
+/// Decode a bit vector back into a relation.
+pub fn decode_relation(bits: &[bool], arity: usize, d: u64) -> BTreeSet<Vec<u64>> {
+    bits.iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| index_to_tuple(i, arity, d))
+        .collect()
+}
+
+/// The compiled form of a query: the circuit plus the wire layout.
+pub struct CompiledQuery {
+    /// The circuit; inputs are the concatenated input-relation wires.
+    pub circuit: Circuit,
+    /// Arities of the input relations, in input order.
+    pub input_arities: Vec<usize>,
+    /// Arity of the output relation.
+    pub output_arity: usize,
+    /// Domain size.
+    pub domain: u64,
+}
+
+impl CompiledQuery {
+    /// Run the circuit on explicit relations.
+    pub fn run(&self, inputs: &[BTreeSet<Vec<u64>>]) -> BTreeSet<Vec<u64>> {
+        assert_eq!(inputs.len(), self.input_arities.len());
+        let mut bits = Vec::new();
+        for (rel, &a) in inputs.iter().zip(&self.input_arities) {
+            bits.extend(encode_relation(rel, a, self.domain));
+        }
+        let out = self.circuit.eval(&bits);
+        decode_relation(&out, self.output_arity, self.domain)
+    }
+}
+
+/// Compile a relational query to a constant-depth circuit over domain
+/// `[d]`. `input_arities[i]` is the arity of `Input(i, ·)`.
+pub fn compile(query: &FlatQuery, input_arities: &[usize], d: u64) -> CompiledQuery {
+    let mut b = CircuitBuilder::new();
+    let mut input_wires: Vec<Vec<GateId>> = Vec::new();
+    for &a in input_arities {
+        input_wires.push(b.inputs((d as usize).pow(a as u32)));
+    }
+    let outputs = compile_rec(query, &input_wires, d, &mut b);
+    let output_arity = query.arity();
+    CompiledQuery {
+        circuit: b.build(outputs),
+        input_arities: input_arities.to_vec(),
+        output_arity,
+        domain: d,
+    }
+}
+
+fn compile_rec(
+    q: &FlatQuery,
+    inputs: &[Vec<GateId>],
+    d: u64,
+    b: &mut CircuitBuilder,
+) -> Vec<GateId> {
+    match q {
+        FlatQuery::Input(i, a) => {
+            assert_eq!(
+                inputs[*i].len(),
+                (d as usize).pow(*a as u32),
+                "arity annotation mismatch"
+            );
+            inputs[*i].clone()
+        }
+        FlatQuery::Union(x, y) => {
+            let wx = compile_rec(x, inputs, d, b);
+            let wy = compile_rec(y, inputs, d, b);
+            wx.into_iter()
+                .zip(wy)
+                .map(|(p, q)| b.or([p, q]))
+                .collect()
+        }
+        FlatQuery::Intersect(x, y) => {
+            let wx = compile_rec(x, inputs, d, b);
+            let wy = compile_rec(y, inputs, d, b);
+            wx.into_iter()
+                .zip(wy)
+                .map(|(p, q)| b.and([p, q]))
+                .collect()
+        }
+        FlatQuery::Difference(x, y) => {
+            let wx = compile_rec(x, inputs, d, b);
+            let wy = compile_rec(y, inputs, d, b);
+            wx.into_iter()
+                .zip(wy)
+                .map(|(p, q)| {
+                    let nq = b.not(q);
+                    b.and([p, nq])
+                })
+                .collect()
+        }
+        FlatQuery::Product(x, y) => {
+            let wx = compile_rec(x, inputs, d, b);
+            let wy = compile_rec(y, inputs, d, b);
+            let mut out = Vec::with_capacity(wx.len() * wy.len());
+            for &p in &wx {
+                for &q in &wy {
+                    out.push(b.and([p, q]));
+                }
+            }
+            out
+        }
+        FlatQuery::Project(x, cols) => {
+            let inner_arity = x.arity();
+            let wx = compile_rec(x, inputs, d, b);
+            let out_arity = cols.len();
+            let mut buckets: Vec<Vec<GateId>> =
+                vec![Vec::new(); (d as usize).pow(out_arity as u32)];
+            for (idx, &wire) in wx.iter().enumerate() {
+                let t = index_to_tuple(idx, inner_arity, d);
+                let projected: Vec<u64> = cols.iter().map(|&c| t[c]).collect();
+                buckets[tuple_to_index(&projected, d)].push(wire);
+            }
+            buckets.into_iter().map(|ws| b.or(ws)).collect()
+        }
+        FlatQuery::SelectEq(x, i, j) => {
+            let arity = x.arity();
+            let wx = compile_rec(x, inputs, d, b);
+            wx.iter()
+                .enumerate()
+                .map(|(idx, &wire)| {
+                    let t = index_to_tuple(idx, arity, d);
+                    if t[*i] == t[*j] {
+                        wire
+                    } else {
+                        b.constant(false)
+                    }
+                })
+                .collect()
+        }
+        FlatQuery::SelectConst(x, i, c) => {
+            let arity = x.arity();
+            let wx = compile_rec(x, inputs, d, b);
+            wx.iter()
+                .enumerate()
+                .map(|(idx, &wire)| {
+                    let t = index_to_tuple(idx, arity, d);
+                    if t[*i] == *c {
+                        wire
+                    } else {
+                        b.constant(false)
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Boolean queries over a relation query — single-output circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolQuery {
+    /// `empty(q)`.
+    IsEmpty(FlatQuery),
+    /// `q₁ ⊆ q₂` (same arity).
+    Subset(FlatQuery, FlatQuery),
+    /// `|q| ≥ k` — needs a threshold gate (`TC⁰`).
+    CardAtLeast(FlatQuery, u32),
+}
+
+impl BoolQuery {
+    /// Reference semantics.
+    pub fn eval(&self, inputs: &[BTreeSet<Vec<u64>>], d: u64) -> bool {
+        match self {
+            BoolQuery::IsEmpty(q) => q.eval(inputs, d).is_empty(),
+            BoolQuery::Subset(a, b) => a.eval(inputs, d).is_subset(&b.eval(inputs, d)),
+            BoolQuery::CardAtLeast(q, k) => q.eval(inputs, d).len() as u32 >= *k,
+        }
+    }
+}
+
+/// Compile a boolean query to a single-output circuit.
+pub fn compile_bool(query: &BoolQuery, input_arities: &[usize], d: u64) -> CompiledQuery {
+    let mut b = CircuitBuilder::new();
+    let mut input_wires: Vec<Vec<GateId>> = Vec::new();
+    for &a in input_arities {
+        input_wires.push(b.inputs((d as usize).pow(a as u32)));
+    }
+    let out = match query {
+        BoolQuery::IsEmpty(q) => {
+            let ws = compile_rec(q, &input_wires, d, &mut b);
+            let any = b.or(ws);
+            b.not(any)
+        }
+        BoolQuery::Subset(x, y) => {
+            let wx = compile_rec(x, &input_wires, d, &mut b);
+            let wy = compile_rec(y, &input_wires, d, &mut b);
+            let implications: Vec<GateId> = wx
+                .into_iter()
+                .zip(wy)
+                .map(|(p, q)| {
+                    let np = b.not(p);
+                    b.or([np, q])
+                })
+                .collect();
+            b.and(implications)
+        }
+        BoolQuery::CardAtLeast(q, k) => {
+            let ws = compile_rec(q, &input_wires, d, &mut b);
+            b.threshold(*k, ws)
+        }
+    };
+    CompiledQuery {
+        circuit: b.build(vec![out]),
+        input_arities: input_arities.to_vec(),
+        output_arity: 0,
+        domain: d,
+    }
+}
+
+/// The relational join `r ∘ r = π₀,₃(σ₁₌₂(r × r))` — one TC round, used
+/// to cross-check the circuit pipeline against the `NRA` evaluator.
+pub fn join_query() -> FlatQuery {
+    FlatQuery::Project(
+        Box::new(FlatQuery::SelectEq(
+            Box::new(FlatQuery::Product(
+                Box::new(FlatQuery::Input(0, 2)),
+                Box::new(FlatQuery::Input(0, 2)),
+            )),
+            1,
+            2,
+        )),
+        vec![0, 3],
+    )
+}
+
+/// `r ∪ r∘r` — the inflationary TC step as a flat query.
+pub fn tc_step_query() -> FlatQuery {
+    FlatQuery::Union(Box::new(FlatQuery::Input(0, 2)), Box::new(join_query()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(edges: &[(u64, u64)]) -> BTreeSet<Vec<u64>> {
+        edges.iter().map(|&(a, b)| vec![a, b]).collect()
+    }
+
+    fn rnd_rel(d: u64, seed: u64) -> BTreeSet<Vec<u64>> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut out = BTreeSet::new();
+        for a in 0..d {
+            for b in 0..d {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state.is_multiple_of(3) {
+                    out.insert(vec![a, b]);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tuple_indexing_round_trips() {
+        let d = 4;
+        for arity in 1..4 {
+            for (i, t) in all_tuples(arity, d).iter().enumerate() {
+                assert_eq!(tuple_to_index(t, d), i);
+                assert_eq!(&index_to_tuple(i, arity, d), t);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let r = rel(&[(0, 1), (2, 3), (3, 0)]);
+        let bits = encode_relation(&r, 2, 4);
+        assert_eq!(decode_relation(&bits, 2, 4), r);
+    }
+
+    #[test]
+    fn circuit_agrees_with_reference_semantics() {
+        let d = 4;
+        let queries: Vec<FlatQuery> = vec![
+            FlatQuery::Input(0, 2),
+            FlatQuery::Union(
+                Box::new(FlatQuery::Input(0, 2)),
+                Box::new(FlatQuery::Input(1, 2)),
+            ),
+            FlatQuery::Intersect(
+                Box::new(FlatQuery::Input(0, 2)),
+                Box::new(FlatQuery::Input(1, 2)),
+            ),
+            FlatQuery::Difference(
+                Box::new(FlatQuery::Input(0, 2)),
+                Box::new(FlatQuery::Input(1, 2)),
+            ),
+            FlatQuery::Project(Box::new(FlatQuery::Input(0, 2)), vec![0]),
+            FlatQuery::Project(Box::new(FlatQuery::Input(0, 2)), vec![1, 0]),
+            FlatQuery::SelectEq(Box::new(FlatQuery::Input(0, 2)), 0, 1),
+            FlatQuery::SelectConst(Box::new(FlatQuery::Input(0, 2)), 0, 2),
+            join_query(),
+            tc_step_query(),
+        ];
+        for (qi, q) in queries.iter().enumerate() {
+            let arities = vec![2usize, 2usize];
+            let compiled = compile(q, &arities, d);
+            for seed in 0..5 {
+                let inputs = vec![rnd_rel(d, seed), rnd_rel(d, seed + 100)];
+                let expect = q.eval(&inputs, d);
+                let got = compiled.run(&inputs);
+                assert_eq!(got, expect, "query {qi}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_matches_relational_composition() {
+        let d = 5;
+        let r = rel(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let compiled = compile(&join_query(), &[2], d);
+        let got = compiled.run(std::slice::from_ref(&r));
+        assert_eq!(got, rel(&[(0, 2), (1, 3), (2, 4)]));
+    }
+
+    #[test]
+    fn depth_is_constant_while_size_grows_polynomially() {
+        let q = tc_step_query();
+        let mut last_depth = None;
+        let mut sizes = Vec::new();
+        for d in [2u64, 3, 4, 6, 8] {
+            let compiled = compile(&q, &[2], d);
+            let depth = compiled.circuit.depth();
+            if let Some(prev) = last_depth {
+                assert_eq!(depth, prev, "depth must not grow with the domain");
+            }
+            last_depth = Some(depth);
+            sizes.push((d, compiled.circuit.size()));
+        }
+        // size grows ≈ d⁴ (the product dominates): check the growth rate
+        // is polynomial, i.e. size(8)/size(4) ≲ (8/4)⁴⁺ᵋ
+        let s4 = sizes.iter().find(|(d, _)| *d == 4).unwrap().1 as f64;
+        let s8 = sizes.iter().find(|(d, _)| *d == 8).unwrap().1 as f64;
+        assert!(s8 / s4 < 2f64.powi(5), "polynomial growth, got {s4} → {s8}");
+    }
+
+    #[test]
+    fn bool_queries() {
+        let d = 4;
+        let q_empty = BoolQuery::IsEmpty(FlatQuery::SelectEq(
+            Box::new(FlatQuery::Input(0, 2)),
+            0,
+            1,
+        ));
+        let q_sub = BoolQuery::Subset(FlatQuery::Input(0, 2), FlatQuery::Input(1, 2));
+        let q_card = BoolQuery::CardAtLeast(FlatQuery::Input(0, 2), 3);
+        for seed in 0..8 {
+            let inputs = vec![rnd_rel(d, seed), rnd_rel(d, seed * 7 + 1)];
+            for (qi, q) in [&q_empty, &q_sub, &q_card].into_iter().enumerate() {
+                let arities = vec![2usize, 2usize];
+                let compiled = compile_bool(q, &arities, d);
+                let got = compiled.circuit.eval(&{
+                    let mut bits = Vec::new();
+                    for (r, &a) in inputs.iter().zip(&arities) {
+                        bits.extend(encode_relation(r, a, d));
+                    }
+                    bits
+                })[0];
+                assert_eq!(got, q.eval(&inputs, d), "query {qi}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn cardinality_needs_threshold_but_emptiness_does_not() {
+        let d = 3;
+        let empty = compile_bool(&BoolQuery::IsEmpty(FlatQuery::Input(0, 2)), &[2], d);
+        assert!(!empty.circuit.uses_threshold(), "emptiness is AC⁰");
+        let card = compile_bool(&BoolQuery::CardAtLeast(FlatQuery::Input(0, 2), 4), &[2], d);
+        assert!(card.circuit.uses_threshold(), "counting is the TC⁰ extra");
+    }
+}

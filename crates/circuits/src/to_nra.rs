@@ -1,0 +1,343 @@
+//! Translation of flat relational queries into `NRA` terms — the
+//! constructive half of Prop 4.3's `NRA ⊆ AC⁰` inclusion, made total.
+//!
+//! Arity-k tuples over `[d]` are encoded as right-nested pairs
+//! (`T(1) = N`, `T(k) = N × T(k−1)`), so a k-ary relation is a complex
+//! object of type `{T(k)}` and every [`FlatQuery`] operator maps to a
+//! Prop 2.1 derived operation. With this translation every compiled
+//! circuit can be differentially tested against the `NRA` evaluator on
+//! *arbitrary* flat queries, not just hand-bridged ones.
+
+use crate::relalg::FlatQuery;
+use nra_core::builder::*;
+use nra_core::derived;
+use nra_core::expr::Expr;
+use nra_core::types::Type;
+use nra_core::value::Value;
+use std::collections::BTreeSet;
+
+/// The nested-pair tuple type `T(arity)`.
+pub fn tuple_type(arity: usize) -> Type {
+    assert!(arity >= 1, "relations have arity ≥ 1");
+    if arity == 1 {
+        Type::Nat
+    } else {
+        Type::prod(Type::Nat, tuple_type(arity - 1))
+    }
+}
+
+/// The type of the translated query's input: the `num_inputs` relations as
+/// a right-nested pair of sets `({T(a₀)} × ({T(a₁)} × …))`.
+pub fn inputs_type(arities: &[usize]) -> Type {
+    assert!(!arities.is_empty());
+    let mut it = arities.iter().rev();
+    let mut ty = Type::set(tuple_type(*it.next().unwrap()));
+    for &a in it {
+        ty = Type::prod(Type::set(tuple_type(a)), ty);
+    }
+    ty
+}
+
+/// Encode a tuple as a nested pair.
+pub fn encode_tuple(t: &[u64]) -> Value {
+    assert!(!t.is_empty());
+    if t.len() == 1 {
+        Value::nat(t[0])
+    } else {
+        Value::pair(Value::nat(t[0]), encode_tuple(&t[1..]))
+    }
+}
+
+/// Encode a relation as a complex object `{T(arity)}`.
+pub fn encode_rel(rel: &BTreeSet<Vec<u64>>) -> Value {
+    Value::set(rel.iter().map(|t| encode_tuple(t)))
+}
+
+/// Encode several input relations as the nested input pair.
+pub fn encode_inputs(rels: &[BTreeSet<Vec<u64>>]) -> Value {
+    assert!(!rels.is_empty());
+    let mut it = rels.iter().rev();
+    let mut v = encode_rel(it.next().unwrap());
+    for r in it {
+        v = Value::pair(encode_rel(r), v);
+    }
+    v
+}
+
+/// Decode a nested-pair tuple.
+pub fn decode_tuple(v: &Value, arity: usize) -> Option<Vec<u64>> {
+    let mut out = Vec::with_capacity(arity);
+    let mut cur = v;
+    for i in 0..arity {
+        if i + 1 == arity {
+            out.push(cur.as_nat()?);
+        } else {
+            let (head, rest) = cur.as_pair()?;
+            out.push(head.as_nat()?);
+            cur = rest;
+        }
+    }
+    Some(out)
+}
+
+/// Decode a relation value back into tuple sets.
+pub fn decode_rel(v: &Value, arity: usize) -> Option<BTreeSet<Vec<u64>>> {
+    v.as_set()?
+        .iter()
+        .map(|t| decode_tuple(t, arity))
+        .collect()
+}
+
+/// Accessor for column `i` of a `T(arity)` tuple.
+fn coord(i: usize, arity: usize) -> Expr {
+    assert!(i < arity);
+    let mut e = id();
+    for _ in 0..i {
+        e = compose(snd(), e);
+    }
+    if i + 1 < arity {
+        e = compose(fst(), e);
+    }
+    e
+}
+
+/// Reassociate a pair of tuples `(T(a), T(b))` into `T(a+b)`.
+fn reassoc(a: usize, b: usize) -> Expr {
+    assert!(a >= 1 && b >= 1);
+    if a == 1 {
+        // (N, T(b)) is already T(1 + b)
+        id()
+    } else {
+        // ((x, rest), t2) ↦ (x, reassoc(a−1, b)(rest, t2))
+        tuple(
+            compose(fst(), fst()),
+            compose(reassoc(a - 1, b), tuple(compose(snd(), fst()), snd())),
+        )
+    }
+}
+
+/// Projection of a `T(arity)` tuple onto the listed columns, as a nested
+/// pair `T(cols.len())`.
+fn project_tuple(cols: &[usize], arity: usize) -> Expr {
+    assert!(!cols.is_empty());
+    if cols.len() == 1 {
+        coord(cols[0], arity)
+    } else {
+        tuple(coord(cols[0], arity), project_tuple(&cols[1..], arity))
+    }
+}
+
+/// Accessor for the i-th input relation inside the nested input pair.
+fn input_accessor(i: usize, num_inputs: usize) -> Expr {
+    let mut e = id();
+    for _ in 0..i {
+        e = compose(snd(), e);
+    }
+    if i + 1 < num_inputs {
+        e = compose(fst(), e);
+    }
+    e
+}
+
+/// Translate a flat query into an `NRA` expression over the nested input
+/// encoding. The result is plain `NRA` except for `SelectConst`, which
+/// uses the `const` extension (the paper's language has no numeric
+/// literals; constants arrive through inputs there).
+pub fn flat_to_nra(query: &FlatQuery, input_arities: &[usize]) -> Expr {
+    let n = input_arities.len();
+    match query {
+        FlatQuery::Input(i, a) => {
+            assert_eq!(input_arities[*i], *a, "arity annotation mismatch");
+            input_accessor(*i, n)
+        }
+        FlatQuery::Union(x, y) => compose(
+            union(),
+            tuple(flat_to_nra(x, input_arities), flat_to_nra(y, input_arities)),
+        ),
+        FlatQuery::Intersect(x, y) => compose(
+            derived::intersect(&tuple_type(x.arity())),
+            tuple(flat_to_nra(x, input_arities), flat_to_nra(y, input_arities)),
+        ),
+        FlatQuery::Difference(x, y) => compose(
+            derived::difference(&tuple_type(x.arity())),
+            tuple(flat_to_nra(x, input_arities), flat_to_nra(y, input_arities)),
+        ),
+        FlatQuery::Product(x, y) => {
+            let (a, b) = (x.arity(), y.arity());
+            pipeline([
+                tuple(flat_to_nra(x, input_arities), flat_to_nra(y, input_arities)),
+                derived::cartprod(),
+                map(reassoc(a, b)),
+            ])
+        }
+        FlatQuery::Project(x, cols) => {
+            let a = x.arity();
+            compose(map(project_tuple(cols, a)), flat_to_nra(x, input_arities))
+        }
+        FlatQuery::SelectEq(x, i, j) => {
+            let a = x.arity();
+            let pred = compose(eq_nat(), tuple(coord(*i, a), coord(*j, a)));
+            compose(
+                derived::select(pred, tuple_type(a)),
+                flat_to_nra(x, input_arities),
+            )
+        }
+        FlatQuery::SelectConst(x, i, c) => {
+            let a = x.arity();
+            let constant = compose(konst(Value::nat(*c), Type::Nat), bang());
+            let pred = compose(eq_nat(), tuple(coord(*i, a), constant));
+            compose(
+                derived::select(pred, tuple_type(a)),
+                flat_to_nra(x, input_arities),
+            )
+        }
+    }
+}
+
+/// Run a flat query through the `NRA` evaluator on explicit relations.
+pub fn run_via_nra(
+    query: &FlatQuery,
+    input_arities: &[usize],
+    inputs: &[BTreeSet<Vec<u64>>],
+) -> BTreeSet<Vec<u64>> {
+    let expr = flat_to_nra(query, input_arities);
+    let value = encode_inputs(inputs);
+    let out = nra_eval::eval(&expr, &value).expect("translated query evaluates");
+    decode_rel(&out, query.arity()).expect("relation-shaped output")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_core::typecheck::output_type;
+
+    fn rel(ts: &[&[u64]]) -> BTreeSet<Vec<u64>> {
+        ts.iter().map(|t| t.to_vec()).collect()
+    }
+
+    #[test]
+    fn tuple_encoding_round_trips() {
+        for t in [vec![3u64], vec![1, 2], vec![4, 5, 6, 7]] {
+            let v = encode_tuple(&t);
+            assert!(v.has_type(&tuple_type(t.len())));
+            assert_eq!(decode_tuple(&v, t.len()), Some(t));
+        }
+    }
+
+    #[test]
+    fn translations_typecheck() {
+        let arities = [2usize, 3usize];
+        let in_ty = inputs_type(&arities);
+        for (q, out_arity) in [
+            (FlatQuery::Input(0, 2), 2usize),
+            (FlatQuery::Input(1, 3), 3),
+            (
+                FlatQuery::Product(
+                    Box::new(FlatQuery::Input(0, 2)),
+                    Box::new(FlatQuery::Input(1, 3)),
+                ),
+                5,
+            ),
+            (
+                FlatQuery::Project(Box::new(FlatQuery::Input(1, 3)), vec![2, 0]),
+                2,
+            ),
+            (
+                FlatQuery::SelectEq(Box::new(FlatQuery::Input(1, 3)), 0, 2),
+                3,
+            ),
+        ] {
+            let e = flat_to_nra(&q, &arities);
+            let ty = output_type(&e, &in_ty).unwrap_or_else(|err| panic!("{q:?}: {err}"));
+            assert_eq!(ty, Type::set(tuple_type(out_arity)), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn nra_matches_reference_semantics_on_fixed_queries() {
+        let arities = [2usize, 2usize];
+        let r0 = rel(&[&[0, 1], &[1, 2], &[2, 0]]);
+        let r1 = rel(&[&[1, 2], &[3, 3]]);
+        let inputs = vec![r0, r1];
+        let d = 4;
+        for q in [
+            FlatQuery::Input(0, 2),
+            FlatQuery::Union(
+                Box::new(FlatQuery::Input(0, 2)),
+                Box::new(FlatQuery::Input(1, 2)),
+            ),
+            FlatQuery::Intersect(
+                Box::new(FlatQuery::Input(0, 2)),
+                Box::new(FlatQuery::Input(1, 2)),
+            ),
+            FlatQuery::Difference(
+                Box::new(FlatQuery::Input(0, 2)),
+                Box::new(FlatQuery::Input(1, 2)),
+            ),
+            FlatQuery::Product(
+                Box::new(FlatQuery::Input(0, 2)),
+                Box::new(FlatQuery::Input(1, 2)),
+            ),
+            FlatQuery::Project(Box::new(FlatQuery::Input(0, 2)), vec![1]),
+            FlatQuery::Project(Box::new(FlatQuery::Input(0, 2)), vec![1, 0]),
+            FlatQuery::SelectEq(Box::new(FlatQuery::Input(1, 2)), 0, 1),
+            FlatQuery::SelectConst(Box::new(FlatQuery::Input(0, 2)), 1, 2),
+            crate::relalg::join_query(),
+            crate::relalg::tc_step_query(),
+        ] {
+            let expect = q.eval(&inputs, d);
+            let got = run_via_nra(&q, &arities, &inputs);
+            assert_eq!(got, expect, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn three_way_agreement_on_deep_queries() {
+        // flat reference vs compiled circuit vs NRA evaluator
+        let d = 3u64;
+        let arities = [2usize];
+        let q = FlatQuery::Project(
+            Box::new(FlatQuery::SelectEq(
+                Box::new(FlatQuery::Product(
+                    Box::new(crate::relalg::join_query()),
+                    Box::new(FlatQuery::Input(0, 2)),
+                )),
+                1,
+                2,
+            )),
+            vec![0, 3],
+        );
+        let mut state = 7u64;
+        for case in 0..6 {
+            let mut r = BTreeSet::new();
+            for a in 0..d {
+                for b in 0..d {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    if state.is_multiple_of(3) {
+                        r.insert(vec![a, b]);
+                    }
+                }
+            }
+            let inputs = vec![r];
+            let reference = q.eval(&inputs, d);
+            let circuit = crate::relalg::compile(&q, &arities, d).run(&inputs);
+            let nra = run_via_nra(&q, &arities, &inputs);
+            assert_eq!(circuit, reference, "case {case}");
+            assert_eq!(nra, reference, "case {case}");
+        }
+    }
+
+    #[test]
+    fn only_select_const_needs_the_const_extension() {
+        let plain = flat_to_nra(&crate::relalg::tc_step_query(), &[2]);
+        assert!(plain.level().is_nra());
+        assert!(!plain.level().consts);
+        let with_const = flat_to_nra(
+            &FlatQuery::SelectConst(Box::new(FlatQuery::Input(0, 2)), 0, 1),
+            &[2],
+        );
+        assert!(with_const.level().consts);
+    }
+}

@@ -1,0 +1,199 @@
+//! Ergonomic combinators for assembling `NRA` expressions.
+//!
+//! The raw [`Expr`] constructors require explicit `Arc` wrapping; this
+//! module provides free functions mirroring the paper's notation so that
+//! queries read close to their mathematical definitions:
+//!
+//! ```
+//! use nra_core::builder::*;
+//! // μ ∘ map(η) = id on sets
+//! let f = compose(flatten(), map(sng()));
+//! ```
+
+use crate::expr::{Expr, ExprRef};
+use crate::types::Type;
+use crate::value::Value;
+
+/// `id`.
+pub fn id() -> Expr {
+    Expr::Id
+}
+
+/// `!` (constant `()`).
+pub fn bang() -> Expr {
+    Expr::Bang
+}
+
+/// `⟨f, g⟩`.
+pub fn tuple(f: Expr, g: Expr) -> Expr {
+    Expr::Tuple(f.rc(), g.rc())
+}
+
+/// `π₁`.
+pub fn fst() -> Expr {
+    Expr::Fst
+}
+
+/// `π₂`.
+pub fn snd() -> Expr {
+    Expr::Snd
+}
+
+/// `map(f)`.
+pub fn map(f: Expr) -> Expr {
+    Expr::Map(f.rc())
+}
+
+/// `η` (singleton).
+pub fn sng() -> Expr {
+    Expr::Sng
+}
+
+/// `μ` (flatten / set-collapse).
+pub fn flatten() -> Expr {
+    Expr::Flatten
+}
+
+/// `ρ₂` (pair-with).
+pub fn pairwith() -> Expr {
+    Expr::PairWith
+}
+
+/// `∅ˢ : unit → {s}`.
+pub fn empty_set(elem: Type) -> Expr {
+    Expr::EmptySet(elem)
+}
+
+/// `∪`.
+pub fn union() -> Expr {
+    Expr::Union
+}
+
+/// `= : N × N → B`.
+pub fn eq_nat() -> Expr {
+    Expr::EqNat
+}
+
+/// `empty : {s} → B`.
+pub fn is_empty() -> Expr {
+    Expr::IsEmpty
+}
+
+/// `true : unit → B`.
+pub fn tru() -> Expr {
+    Expr::ConstTrue
+}
+
+/// `false : unit → B`.
+pub fn fls() -> Expr {
+    Expr::ConstFalse
+}
+
+/// `if c then t else e`.
+pub fn cond(c: Expr, t: Expr, e: Expr) -> Expr {
+    Expr::Cond(c.rc(), t.rc(), e.rc())
+}
+
+/// `g ∘ f` (apply `f` first).
+pub fn compose(g: Expr, f: Expr) -> Expr {
+    Expr::Compose(g.rc(), f.rc())
+}
+
+/// `hₖ ∘ … ∘ h₁` from the *application-order* list `[h₁, …, hₖ]`.
+///
+/// `pipeline([f, g, h])` applies `f`, then `g`, then `h` — the reverse of
+/// composition order, which reads naturally for long chains.
+pub fn pipeline<I: IntoIterator<Item = Expr>>(stages: I) -> Expr {
+    let mut stages = stages.into_iter();
+    let first = stages.next().unwrap_or(Expr::Id);
+    stages.fold(first, |acc, next| compose(next, acc))
+}
+
+/// `powerset`.
+pub fn powerset() -> Expr {
+    Expr::Powerset
+}
+
+/// Primitive `powersetₘ`.
+pub fn powerset_m_prim(m: u64) -> Expr {
+    Expr::PowersetM(m)
+}
+
+/// `while(f)` — iterate `f` to a fixpoint.
+pub fn while_fix(f: Expr) -> Expr {
+    Expr::While(f.rc())
+}
+
+/// `const(v) : s → t`.
+pub fn konst(v: Value, t: Type) -> Expr {
+    Expr::Const(v, t)
+}
+
+/// Shared-handle variants for building with explicit sharing.
+pub fn share(e: Expr) -> ExprRef {
+    e.rc()
+}
+
+/// `⟨id, id⟩` — duplicate the input.
+pub fn dup() -> Expr {
+    tuple(id(), id())
+}
+
+/// `⟨π₂, π₁⟩` — swap a pair.
+pub fn swap() -> Expr {
+    tuple(snd(), fst())
+}
+
+/// `true ∘ !` — the constant `true` at any domain.
+pub fn always_true() -> Expr {
+    compose(tru(), bang())
+}
+
+/// `false ∘ !` — the constant `false` at any domain.
+pub fn always_false() -> Expr {
+    compose(fls(), bang())
+}
+
+/// `∅ˢ ∘ !` — the empty set at any domain.
+pub fn empty_at(elem: Type) -> Expr {
+    compose(empty_set(elem), bang())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typecheck::output_type;
+
+    #[test]
+    fn pipeline_order_is_application_order() {
+        // apply map(fst) first, then flatten? types force the order:
+        // {{N×N}} --flatten--> {N×N} --map(fst)--> {N}
+        let f = pipeline([flatten(), map(fst())]);
+        let dom = Type::set(Type::nat_rel());
+        assert_eq!(output_type(&f, &dom).unwrap(), Type::set(Type::Nat));
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let f = pipeline([]);
+        assert_eq!(f, Expr::Id);
+    }
+
+    #[test]
+    fn helpers_typecheck() {
+        let st = Type::prod(Type::Nat, Type::Bool);
+        assert_eq!(
+            output_type(&swap(), &st).unwrap(),
+            Type::prod(Type::Bool, Type::Nat)
+        );
+        assert_eq!(
+            output_type(&dup(), &Type::Nat).unwrap(),
+            Type::prod(Type::Nat, Type::Nat)
+        );
+        assert_eq!(output_type(&always_true(), &st).unwrap(), Type::Bool);
+        assert_eq!(
+            output_type(&empty_at(Type::Nat), &st).unwrap(),
+            Type::set(Type::Nat)
+        );
+    }
+}

@@ -1,0 +1,406 @@
+//! Derived operations of `NRA` (Proposition 2.1 of the paper).
+//!
+//! > "The following operations are definable in `NRA`: the database
+//! > projections, cartesian product, equality at all types, set difference,
+//! > set intersection, set membership, set inclusion, selection over any
+//! > predicate definable in `NRA`, nest, unnest."
+//!
+//! Every function in this module returns a *plain `NRA` term* — no
+//! `powerset`, no `while`, no constants — so the derived library witnesses
+//! Prop 2.1 constructively. The only parameters are the type annotations
+//! forced by the `∅ˢ` primitive and by the type-directed recursion of
+//! equality.
+//!
+//! Also here: the paper's m-th powerset approximation `powersetₘ`
+//! (Prop 4.2) as a derived `NRA` term of size `Θ(m)`.
+
+use crate::builder::*;
+use crate::expr::Expr;
+use crate::types::Type;
+
+// ---------------------------------------------------------------------------
+// Boolean connectives
+// ---------------------------------------------------------------------------
+
+/// `¬ : B → B`.
+pub fn not() -> Expr {
+    cond(id(), always_false(), always_true())
+}
+
+/// `∧ : B × B → B` (non-strict in the second argument, like the paper's
+/// `if`-based encoding).
+pub fn and2() -> Expr {
+    cond(fst(), snd(), always_false())
+}
+
+/// `∨ : B × B → B`.
+pub fn or2() -> Expr {
+    cond(fst(), always_true(), snd())
+}
+
+/// Predicate conjunction: `p ∧ q : s → B` from `p, q : s → B`.
+pub fn pand(p: Expr, q: Expr) -> Expr {
+    compose(and2(), tuple(p, q))
+}
+
+/// Predicate disjunction.
+pub fn por(p: Expr, q: Expr) -> Expr {
+    compose(or2(), tuple(p, q))
+}
+
+/// Predicate negation.
+pub fn pnot(p: Expr) -> Expr {
+    compose(not(), p)
+}
+
+/// `≠ : N × N → B`.
+pub fn neq_nat() -> Expr {
+    pnot(eq_nat())
+}
+
+/// `nonempty : {s} → B`.
+pub fn nonempty() -> Expr {
+    pnot(is_empty())
+}
+
+// ---------------------------------------------------------------------------
+// Selection and spreading
+// ---------------------------------------------------------------------------
+
+/// `σ_p : {s} → {s}` — selection by a definable predicate `p : s → B`.
+/// `elem` is the element type `s` (needed for the `∅ˢ` branch):
+/// `σ_p = μ ∘ map(if p then η else ∅ˢ ∘ !)`.
+pub fn select(p: Expr, elem: Type) -> Expr {
+    compose(
+        flatten(),
+        map(cond(p, sng(), empty_at(elem))),
+    )
+}
+
+/// `ρ₁ : {s} × t → {s × t}` — pair every element of the *left* set with the
+/// right component (the mirror image of the primitive `ρ₂`):
+/// `ρ₁ = map(swap) ∘ ρ₂ ∘ swap`.
+pub fn rho1() -> Expr {
+    pipeline([swap(), pairwith(), map(swap())])
+}
+
+/// Cartesian product `× : {s} × {t} → {s × t}`:
+/// `μ ∘ map(ρ₂) ∘ ρ₁`.
+pub fn cartprod() -> Expr {
+    pipeline([rho1(), map(pairwith()), flatten()])
+}
+
+/// Self product `{s} → {s × s}`: `cartprod ∘ ⟨id, id⟩`.
+pub fn self_product() -> Expr {
+    compose(cartprod(), dup())
+}
+
+// ---------------------------------------------------------------------------
+// Equality at all types (type-directed, mutually recursive with ⊆ and ∈)
+// ---------------------------------------------------------------------------
+
+/// Equality `=ₜ : t × t → B` at an arbitrary type `t` (Prop 2.1).
+///
+/// The recursion follows the type structure:
+/// * `=_N` is the primitive;
+/// * `=_unit` is constantly true;
+/// * `=_B` is biconditional;
+/// * `=_{s×t}` is componentwise;
+/// * `=_{ {t} }` is antisymmetric inclusion `⊆ ∧ ⊇`.
+///
+/// ```
+/// use nra_core::{derived, output_type, Type};
+/// let eq = derived::eq_at(&Type::nat_rel());
+/// let dom = Type::prod(Type::nat_rel(), Type::nat_rel());
+/// assert_eq!(output_type(&eq, &dom).unwrap(), Type::Bool);
+/// assert!(eq.level().is_nra(), "equality is plain NRA at every type");
+/// ```
+pub fn eq_at(t: &Type) -> Expr {
+    match t {
+        Type::Nat => eq_nat(),
+        Type::Unit => always_true(),
+        Type::Bool => cond(fst(), snd(), pnot(snd())),
+        Type::Prod(a, b) => {
+            let eq_a = compose(eq_at(a), tuple(compose(fst(), fst()), compose(fst(), snd())));
+            let eq_b = compose(eq_at(b), tuple(compose(snd(), fst()), compose(snd(), snd())));
+            pand(eq_a, eq_b)
+        }
+        Type::Set(elem) => pand(subset(elem), compose(subset(elem), swap())),
+    }
+}
+
+/// Inequality at an arbitrary type.
+pub fn neq_at(t: &Type) -> Expr {
+    pnot(eq_at(t))
+}
+
+/// Membership `∈ : t × {t} → B`:
+/// `x ∈ S ⟺ ¬ empty(σ_{=ₜ}(ρ₂(x, S)))`.
+pub fn member(t: &Type) -> Expr {
+    pipeline([
+        pairwith(),
+        select(eq_at(t), Type::prod(t.clone(), t.clone())),
+        nonempty(),
+    ])
+}
+
+/// Inclusion `⊆ : {t} × {t} → B`:
+/// `A ⊆ B ⟺ empty({x ∈ A | x ∉ B})`.
+pub fn subset(t: &Type) -> Expr {
+    pipeline([
+        rho1(),
+        select(pnot(member(t)), Type::prod(t.clone(), Type::set(t.clone()))),
+        is_empty(),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Set algebra
+// ---------------------------------------------------------------------------
+
+/// Difference `∖ : {t} × {t} → {t}`:
+/// `A ∖ B = π₁-image of {(x, B) | x ∈ A, x ∉ B}`.
+pub fn difference(t: &Type) -> Expr {
+    pipeline([
+        rho1(),
+        select(pnot(member(t)), Type::prod(t.clone(), Type::set(t.clone()))),
+        map(fst()),
+    ])
+}
+
+/// Intersection `∩ : {t} × {t} → {t}`.
+pub fn intersect(t: &Type) -> Expr {
+    pipeline([
+        rho1(),
+        select(member(t), Type::prod(t.clone(), Type::set(t.clone()))),
+        map(fst()),
+    ])
+}
+
+/// Generalised intersection `⋂ : {{t}} → {t}`, with the convention
+/// `⋂ ∅ = ∅` (every experiment that uses it guarantees a nonempty
+/// argument, as the paper's naive TC construction does via `V × V`).
+pub fn big_intersect(t: &Type) -> Expr {
+    let setset = Type::set(t.clone());
+    // (elements, G) where elements = μ(G)
+    let spread = compose(rho1(), tuple(flatten(), id()));
+    // p ∈ every S ∈ G ⟺ empty({S ∈ G | p ∉ S})
+    let in_all = pipeline([
+        pairwith(),
+        select(
+            pnot(member(t)),
+            Type::prod(t.clone(), setset.clone()),
+        ),
+        is_empty(),
+    ]);
+    pipeline([
+        spread,
+        select(in_all, Type::prod(t.clone(), Type::set(setset))),
+        map(fst()),
+    ])
+}
+
+/// Generalised union `⋃ : {{t}} → {t}` — just `μ`, exported for symmetry.
+pub fn big_union() -> Expr {
+    flatten()
+}
+
+/// `card=1 : {t} → B` — the singleton test
+/// `¬empty(A) ∧ empty({(a, a') ∈ A × A | a ≠ a'})`.
+pub fn is_singleton(t: &Type) -> Expr {
+    let tt = Type::prod(t.clone(), t.clone());
+    let distinct_pair = pipeline([self_product(), select(neq_at(t), tt), is_empty()]);
+    pand(nonempty(), distinct_pair)
+}
+
+// ---------------------------------------------------------------------------
+// Nesting and database projections
+// ---------------------------------------------------------------------------
+
+/// `unnest : {s × {t}} → {s × t}`: `μ ∘ map(ρ₂)`.
+pub fn unnest() -> Expr {
+    compose(flatten(), map(pairwith()))
+}
+
+/// `nest : {s × t} → {s × {t}}`: group the second components by the first,
+/// `nest(R) = {(x, {y | (x, y) ∈ R}) | x ∈ π₁(R)}`.
+pub fn nest(s: &Type, t: &Type) -> Expr {
+    let st = Type::prod(s.clone(), t.clone());
+    // image : s × {s × t} → {t}, the ys grouped under x
+    let same_key = compose(
+        eq_at(s),
+        tuple(fst(), compose(fst(), snd())),
+    );
+    let image = pipeline([
+        pairwith(),
+        select(same_key, Type::prod(s.clone(), st)),
+        map(compose(snd(), snd())),
+    ]);
+    pipeline([
+        tuple(map(fst()), id()),
+        rho1(),
+        map(tuple(fst(), image)),
+    ])
+}
+
+/// Database projection on the first column: `π₁-image : {s × t} → {s}`.
+pub fn proj1() -> Expr {
+    map(fst())
+}
+
+/// Database projection on the second column.
+pub fn proj2() -> Expr {
+    map(snd())
+}
+
+/// The node set of a binary relation: `map(π₁)(R) ∪ map(π₂)(R)`.
+pub fn rel_nodes() -> Expr {
+    compose(union(), tuple(proj1(), proj2()))
+}
+
+// ---------------------------------------------------------------------------
+// powersetₘ — the paper's approximation (Prop 4.2), as a derived NRA term
+// ---------------------------------------------------------------------------
+
+/// The m-th approximation of `powerset`, as a *derived* `NRA` term of size
+/// `Θ(m)` (Prop 4.2):
+///
+/// ```text
+/// powerset₀(x)     = {∅}
+/// powersetₘ₊₁(x)   = powersetₘ(x) ∪ { {u} ∪ s | u ∈ x, s ∈ powersetₘ(x) }
+/// ```
+///
+/// returning all subsets of `x` of cardinality ≤ m. (The paper's displayed
+/// recurrence omits the `powersetₘ(x) ∪ …` term, but its prose — "which
+/// returns all subsets of cardinality ≤ m" — requires it: without it,
+/// `powersetₘ₊₁(∅)` would lose `{∅}`. We implement the prose.)
+///
+/// To keep both the term size and the evaluation cost linear in `m`, the
+/// iteration threads the pair `(x, acc)` through a step function instead of
+/// duplicating `powersetₘ` sub-terms.
+pub fn powerset_m(m: u64, t: &Type) -> Expr {
+    // insert : t × {t} → {t},  (u, s) ↦ {u} ∪ s
+    let insert = compose(union(), tuple(compose(sng(), fst()), snd()));
+    // step : {t} × {{t}} → {t} × {{t}}
+    //        (x, acc) ↦ (x, acc ∪ { {u} ∪ s | u ∈ x, s ∈ acc })
+    let grow = pipeline([cartprod(), map(insert)]);
+    let step = tuple(fst(), compose(union(), tuple(snd(), grow)));
+    // m-fold iteration, then project the accumulator
+    let init = tuple(id(), compose(sng(), empty_at(t.clone())));
+    let mut body = init;
+    for _ in 0..m {
+        body = compose(step.clone(), body);
+    }
+    compose(snd(), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typecheck::output_type;
+    use crate::types::Type;
+
+    fn nats() -> Type {
+        Type::set(Type::Nat)
+    }
+
+    #[test]
+    fn connectives_typecheck() {
+        let bb = Type::prod(Type::Bool, Type::Bool);
+        assert_eq!(output_type(&not(), &Type::Bool).unwrap(), Type::Bool);
+        assert_eq!(output_type(&and2(), &bb).unwrap(), Type::Bool);
+        assert_eq!(output_type(&or2(), &bb).unwrap(), Type::Bool);
+    }
+
+    #[test]
+    fn select_typechecks() {
+        let f = select(always_true(), Type::Nat);
+        assert_eq!(output_type(&f, &nats()).unwrap(), nats());
+    }
+
+    #[test]
+    fn cartprod_typechecks() {
+        let dom = Type::prod(nats(), Type::set(Type::Bool));
+        assert_eq!(
+            output_type(&cartprod(), &dom).unwrap(),
+            Type::set(Type::prod(Type::Nat, Type::Bool))
+        );
+    }
+
+    #[test]
+    fn eq_member_subset_typecheck_at_nested_types() {
+        for t in [
+            Type::Nat,
+            Type::Bool,
+            Type::Unit,
+            Type::prod(Type::Nat, Type::Bool),
+            Type::nat_rel(),
+            Type::set(Type::nat_rel()),
+        ] {
+            let tt = Type::prod(t.clone(), t.clone());
+            assert_eq!(output_type(&eq_at(&t), &tt).unwrap(), Type::Bool, "eq at {t}");
+            let ms = Type::prod(t.clone(), Type::set(t.clone()));
+            assert_eq!(output_type(&member(&t), &ms).unwrap(), Type::Bool);
+            let ss = Type::prod(Type::set(t.clone()), Type::set(t.clone()));
+            assert_eq!(output_type(&subset(&t), &ss).unwrap(), Type::Bool);
+            assert_eq!(output_type(&difference(&t), &ss).unwrap(), Type::set(t.clone()));
+            assert_eq!(output_type(&intersect(&t), &ss).unwrap(), Type::set(t.clone()));
+        }
+    }
+
+    #[test]
+    fn nest_unnest_typecheck() {
+        let st = Type::prod(Type::Nat, Type::Bool);
+        let nested = Type::set(Type::prod(Type::Nat, Type::set(Type::Bool)));
+        assert_eq!(
+            output_type(&unnest(), &nested).unwrap(),
+            Type::set(st.clone())
+        );
+        assert_eq!(
+            output_type(&nest(&Type::Nat, &Type::Bool), &Type::set(st)).unwrap(),
+            nested
+        );
+    }
+
+    #[test]
+    fn big_intersect_typechecks() {
+        let dom = Type::set(Type::set(Type::Nat));
+        assert_eq!(
+            output_type(&big_intersect(&Type::Nat), &dom).unwrap(),
+            Type::set(Type::Nat)
+        );
+    }
+
+    #[test]
+    fn powerset_m_is_plain_nra_of_linear_size() {
+        let p3 = powerset_m(3, &Type::Nat);
+        assert!(p3.level().is_nra());
+        assert!(!p3.level().powerset_m, "derived term avoids the primitive");
+        assert_eq!(
+            output_type(&p3, &nats()).unwrap(),
+            Type::set(nats())
+        );
+        // size grows linearly, not exponentially, in m
+        let s5 = powerset_m(5, &Type::Nat).size();
+        let s10 = powerset_m(10, &Type::Nat).size();
+        let per_step = (s10 - s5) / 5;
+        assert!(per_step > 0);
+        assert_eq!(s10 + 5 * per_step, powerset_m(15, &Type::Nat).size());
+    }
+
+    #[test]
+    fn is_singleton_typechecks() {
+        assert_eq!(
+            output_type(&is_singleton(&Type::Nat), &nats()).unwrap(),
+            Type::Bool
+        );
+    }
+
+    #[test]
+    fn rel_nodes_typechecks() {
+        assert_eq!(
+            output_type(&rel_nodes(), &Type::nat_rel()).unwrap(),
+            Type::set(Type::Nat)
+        );
+    }
+}

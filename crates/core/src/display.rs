@@ -1,0 +1,66 @@
+//! Pretty-printing of expressions in a concrete syntax that
+//! [`crate::parser`] can read back (round-tripping is property-tested).
+//!
+//! The syntax is function-combinator style:
+//!
+//! ```text
+//! compose(map(fst), powerset)
+//! if(isempty, true, false)       -- if _ then _ else _
+//! emptyset[nat * nat]            -- ∅ with its element-type annotation
+//! const({(0, 1)} : {nat * nat})
+//! ```
+
+use crate::expr::Expr;
+use std::fmt;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Id
+            | Expr::Bang
+            | Expr::Fst
+            | Expr::Snd
+            | Expr::Sng
+            | Expr::Flatten
+            | Expr::PairWith
+            | Expr::Union
+            | Expr::EqNat
+            | Expr::IsEmpty
+            | Expr::ConstTrue
+            | Expr::ConstFalse
+            | Expr::Powerset => write!(f, "{}", self.head_name()),
+            Expr::Tuple(a, b) => write!(f, "tuple({}, {})", a, b),
+            Expr::Map(g) => write!(f, "map({})", g),
+            Expr::EmptySet(t) => write!(f, "emptyset[{}]", t),
+            Expr::Cond(c, t, e) => write!(f, "if({}, {}, {})", c, t, e),
+            Expr::Compose(g, h) => write!(f, "compose({}, {})", g, h),
+            Expr::PowersetM(m) => write!(f, "powerset_m({})", m),
+            Expr::While(g) => write!(f, "while({})", g),
+            Expr::Const(v, t) => write!(f, "const({} : {})", v, t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::*;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    #[test]
+    fn renders_compactly() {
+        let e = compose(map(fst()), powerset());
+        assert_eq!(e.to_string(), "compose(map(fst), powerset)");
+        let e = cond(is_empty(), always_true(), always_false());
+        assert_eq!(
+            e.to_string(),
+            "if(isempty, compose(true, bang), compose(false, bang))"
+        );
+        let e = empty_set(Type::nat_rel());
+        assert_eq!(e.to_string(), "emptyset[{nat * nat}]");
+        let e = konst(Value::chain(1), Type::nat_rel());
+        assert_eq!(e.to_string(), "const({(0, 1)} : {nat * nat})");
+        assert_eq!(powerset_m_prim(7).to_string(), "powerset_m(7)");
+        assert_eq!(while_fix(id()).to_string(), "while(id)");
+    }
+}

@@ -1,0 +1,314 @@
+//! Expressions of `NRA`, `NRA(powerset)` and the `while` extension (§2).
+//!
+//! `NRA` is a variable-free combinator language whose expressions denote
+//! functions `f : s → t`. The primitives are exactly those of the paper's
+//! §2 table; three *extensions* are provided and tracked by
+//! [`LangLevel`]:
+//!
+//! * [`Expr::Powerset`] — the paper's `powerset : {s} → {{s}}`;
+//! * [`Expr::PowersetM`] — the m-th approximation `powersetₘ` as a
+//!   primitive (the paper defines it as a *derived* `NRA` term, which we
+//!   also build in [`crate::derived::powerset_m`]; the primitive form exists
+//!   so that benches can use large `m` without a term of size `Θ(m)`);
+//! * [`Expr::While`] — inflationary fixpoint iteration, the paper's §1
+//!   remark that "adding while to the algebra, instead of powerset, gives us
+//!   the same computational power but it evidently only uses polynomial time
+//!   (and space) for computing transitive closure";
+//! * [`Expr::Const`] — constant functions (convenience; not used by any of
+//!   the theorem-reproducing queries).
+
+use crate::types::Type;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared subexpression handle. Derived combinators (Prop 2.1) reuse large
+/// subterms; `Arc` keeps those trees cheap to clone.
+pub type ExprRef = Arc<Expr>;
+
+/// An `NRA(powerset, while)` expression denoting a function `f : s → t`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// `id : s → s`, the identity.
+    Id,
+    /// `! : s → unit`, the constant function `!(x) = ()`.
+    Bang,
+    /// `⟨f, g⟩ : r → s × t`, pair formation `⟨f,g⟩(x) = (f(x), g(x))`.
+    Tuple(ExprRef, ExprRef),
+    /// `π₁ : s × t → s`, first projection.
+    Fst,
+    /// `π₂ : s × t → t`, second projection.
+    Snd,
+    /// `map(f) : {s} → {t}` for `f : s → t`; called *replace* in
+    /// Abiteboul–Beeri.
+    Map(ExprRef),
+    /// `η : s → {s}`, singleton formation.
+    Sng,
+    /// `μ : {{s}} → {s}`, flattening; called *set-collapse* in
+    /// Abiteboul–Beeri.
+    Flatten,
+    /// `ρ₂ : s × {t} → {s × t}`, `ρ₂(x, {y₁,…,yₖ}) = {(x,y₁),…,(x,yₖ)}`.
+    PairWith,
+    /// `∅ˢ : unit → {s}`, the empty set constant (element type annotated).
+    EmptySet(Type),
+    /// `∪ : {s} × {s} → {s}`, set union.
+    Union,
+    /// `= : N × N → B`, equality on the naturals (the only primitive
+    /// equality; equality at all types is derived, Prop 2.1).
+    EqNat,
+    /// `empty : {s} → B`, the emptiness test.
+    IsEmpty,
+    /// `true : unit → B`.
+    ConstTrue,
+    /// `false : unit → B`.
+    ConstFalse,
+    /// `if f then f₁ else f₂ : s → t` for `f : s → B`, `f₁, f₂ : s → t`.
+    Cond(ExprRef, ExprRef, ExprRef),
+    /// `g ∘ f : r → t` for `f : r → s`, `g : s → t`. Note the order:
+    /// `Compose(g, f)` applies `f` first.
+    Compose(ExprRef, ExprRef),
+    /// `powerset : {s} → {{s}}` — the intractable operator under study.
+    Powerset,
+    /// `powersetₘ : {s} → {{s}}` returning all subsets of cardinality ≤ m
+    /// (Prop 4.2), as a primitive.
+    PowersetM(u64),
+    /// `while(f) : {s} → {s}` for `f : {s} → {s}`: iterate `x ← f(x)` until
+    /// a fixpoint `f(x) = x` is reached (the evaluator enforces a step
+    /// budget, since arbitrary `f` need not converge).
+    While(ExprRef),
+    /// `const(v) : s → t` for a closed value `v : t`, ignoring its input.
+    Const(Value, Type),
+}
+
+impl Expr {
+    /// Wrap into a shared handle.
+    pub fn rc(self) -> ExprRef {
+        Arc::new(self)
+    }
+
+    /// Number of AST nodes. The paper observes that the *height* of a
+    /// derivation tree depends only on the expression, not the input; the
+    /// node count is the natural size measure for expressions.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Id
+            | Expr::Bang
+            | Expr::Fst
+            | Expr::Snd
+            | Expr::Sng
+            | Expr::Flatten
+            | Expr::PairWith
+            | Expr::EmptySet(_)
+            | Expr::Union
+            | Expr::EqNat
+            | Expr::IsEmpty
+            | Expr::ConstTrue
+            | Expr::ConstFalse
+            | Expr::Powerset
+            | Expr::PowersetM(_)
+            | Expr::Const(_, _) => 1,
+            Expr::Map(f) | Expr::While(f) => 1 + f.size(),
+            Expr::Tuple(f, g) | Expr::Compose(f, g) => 1 + f.size() + g.size(),
+            Expr::Cond(c, t, e) => 1 + c.size() + t.size() + e.size(),
+        }
+    }
+
+    /// Language-level flags used by this expression.
+    pub fn level(&self) -> LangLevel {
+        let mut level = LangLevel::default();
+        self.collect_level(&mut level);
+        level
+    }
+
+    fn collect_level(&self, level: &mut LangLevel) {
+        match self {
+            Expr::Powerset => level.powerset = true,
+            Expr::PowersetM(_) => level.powerset_m = true,
+            Expr::While(f) => {
+                level.while_loop = true;
+                f.collect_level(level);
+            }
+            Expr::Const(_, _) => level.consts = true,
+            Expr::Map(f) => f.collect_level(level),
+            Expr::Tuple(f, g) | Expr::Compose(f, g) => {
+                f.collect_level(level);
+                g.collect_level(level);
+            }
+            Expr::Cond(c, t, e) => {
+                c.collect_level(level);
+                t.collect_level(level);
+                e.collect_level(level);
+            }
+            _ => {}
+        }
+    }
+
+    /// Count occurrences of the `powerset` primitive (used when replacing
+    /// them with approximations, Prop 4.2).
+    pub fn powerset_occurrences(&self) -> usize {
+        match self {
+            Expr::Powerset => 1,
+            Expr::Map(f) | Expr::While(f) => f.powerset_occurrences(),
+            Expr::Tuple(f, g) | Expr::Compose(f, g) => {
+                f.powerset_occurrences() + g.powerset_occurrences()
+            }
+            Expr::Cond(c, t, e) => {
+                c.powerset_occurrences() + t.powerset_occurrences() + e.powerset_occurrences()
+            }
+            _ => 0,
+        }
+    }
+
+    /// The m-th approximation `fₘ` of `f`: replace every occurrence of
+    /// `powerset` with `powersetₘ` (Prop 4.2). Uses the primitive
+    /// `powersetₘ`; see [`crate::derived::powerset_m`] for the paper's
+    /// derived `NRA` term.
+    pub fn approximate(&self, m: u64) -> Expr {
+        match self {
+            Expr::Powerset => Expr::PowersetM(m),
+            Expr::Map(f) => Expr::Map(f.approximate(m).rc()),
+            Expr::While(f) => Expr::While(f.approximate(m).rc()),
+            Expr::Tuple(f, g) => Expr::Tuple(f.approximate(m).rc(), g.approximate(m).rc()),
+            Expr::Compose(g, f) => Expr::Compose(g.approximate(m).rc(), f.approximate(m).rc()),
+            Expr::Cond(c, t, e) => Expr::Cond(
+                c.approximate(m).rc(),
+                t.approximate(m).rc(),
+                e.approximate(m).rc(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    /// Short primitive name used by the pretty-printer and rule statistics.
+    pub fn head_name(&self) -> &'static str {
+        match self {
+            Expr::Id => "id",
+            Expr::Bang => "bang",
+            Expr::Tuple(_, _) => "tuple",
+            Expr::Fst => "fst",
+            Expr::Snd => "snd",
+            Expr::Map(_) => "map",
+            Expr::Sng => "sng",
+            Expr::Flatten => "flatten",
+            Expr::PairWith => "pairwith",
+            Expr::EmptySet(_) => "emptyset",
+            Expr::Union => "union",
+            Expr::EqNat => "eq",
+            Expr::IsEmpty => "isempty",
+            Expr::ConstTrue => "true",
+            Expr::ConstFalse => "false",
+            Expr::Cond(_, _, _) => "if",
+            Expr::Compose(_, _) => "compose",
+            Expr::Powerset => "powerset",
+            Expr::PowersetM(_) => "powerset_m",
+            Expr::While(_) => "while",
+            Expr::Const(_, _) => "const",
+        }
+    }
+}
+
+/// Which language extensions an expression uses.
+///
+/// * plain `NRA` — all flags false (PTIME, §2);
+/// * `NRA(powerset)` — `powerset` true (the paper's object of study);
+/// * `NRA(while)` — `while_loop` true (polynomial fixpoints, §1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LangLevel {
+    /// Uses the `powerset` primitive.
+    pub powerset: bool,
+    /// Uses the primitive `powersetₘ` approximation.
+    pub powerset_m: bool,
+    /// Uses the `while` fixpoint extension.
+    pub while_loop: bool,
+    /// Uses constant-function extension.
+    pub consts: bool,
+}
+
+impl LangLevel {
+    /// True iff the expression is a plain `NRA` term (possibly with
+    /// `powersetₘ`, which is `NRA`-definable per Prop 4.2).
+    pub fn is_nra(&self) -> bool {
+        !self.powerset && !self.while_loop
+    }
+
+    /// True iff within `NRA(powerset)` (no `while`).
+    pub fn is_nra_powerset(&self) -> bool {
+        !self.while_loop
+    }
+}
+
+impl fmt::Display for LangLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut exts: Vec<&str> = Vec::new();
+        if self.powerset {
+            exts.push("powerset");
+        }
+        if self.powerset_m {
+            exts.push("powerset_m");
+        }
+        if self.while_loop {
+            exts.push("while");
+        }
+        if self.consts {
+            exts.push("const");
+        }
+        if exts.is_empty() {
+            write!(f, "NRA")
+        } else {
+            write!(f, "NRA({})", exts.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compose(g: Expr, f: Expr) -> Expr {
+        Expr::Compose(g.rc(), f.rc())
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Expr::Id.size(), 1);
+        let e = Expr::Tuple(Expr::Fst.rc(), Expr::Snd.rc());
+        assert_eq!(e.size(), 3);
+        let m = Expr::Map(e.rc());
+        assert_eq!(m.size(), 4);
+        let c = Expr::Cond(Expr::EqNat.rc(), Expr::Fst.rc(), Expr::Snd.rc());
+        assert_eq!(c.size(), 4);
+    }
+
+    #[test]
+    fn levels() {
+        assert!(Expr::Id.level().is_nra());
+        let p = compose(Expr::Powerset, Expr::Id);
+        assert!(!p.level().is_nra());
+        assert!(p.level().is_nra_powerset());
+        assert_eq!(p.level().to_string(), "NRA(powerset)");
+        let w = Expr::While(Expr::Id.rc());
+        assert!(w.level().while_loop);
+        assert!(!w.level().is_nra_powerset());
+        assert_eq!(Expr::Map(Expr::Powerset.rc()).level().to_string(), "NRA(powerset)");
+        assert_eq!(Expr::Id.level().to_string(), "NRA");
+    }
+
+    #[test]
+    fn approximation_replaces_all_occurrences() {
+        let f = compose(
+            Expr::Map(Expr::Powerset.rc()),
+            compose(Expr::Powerset, Expr::Id),
+        );
+        assert_eq!(f.powerset_occurrences(), 2);
+        let f3 = f.approximate(3);
+        assert_eq!(f3.powerset_occurrences(), 0);
+        assert!(f3.level().powerset_m);
+        assert!(f3.level().is_nra(), "approximations are NRA-definable");
+    }
+
+    #[test]
+    fn head_names() {
+        assert_eq!(Expr::Powerset.head_name(), "powerset");
+        assert_eq!(Expr::While(Expr::Id.rc()).head_name(), "while");
+    }
+}

@@ -1,0 +1,378 @@
+//! A recursive-descent parser for the concrete expression syntax printed by
+//! [`crate::display`], plus parsers for types and complex-object literals.
+//!
+//! The grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr  := NAME                                   -- nullary primitive
+//!        | "tuple" "(" expr "," expr ")"
+//!        | "map" "(" expr ")" | "while" "(" expr ")"
+//!        | "if" "(" expr "," expr "," expr ")"
+//!        | "compose" "(" expr "," expr ")"
+//!        | "emptyset" "[" type "]"
+//!        | "powerset_m" "(" NUM ")"
+//!        | "const" "(" value ":" type ")"
+//! type  := prim ("*" prim)*                       -- right-associative
+//! prim  := "unit" | "bool" | "nat" | "{" type "}" | "(" type ")"
+//! value := "(" ")" | "true" | "false" | NUM
+//!        | "(" value "," value ")" | "{" [value ("," value)*] "}"
+//! ```
+
+use crate::expr::Expr;
+use crate::types::Type;
+use crate::value::Value;
+use std::fmt;
+
+/// A parse error with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input at which the error was detected.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            position: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.input.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.error(format!("expected `{}`", c as char))
+        }
+    }
+
+    fn try_eat(&mut self, c: u8) -> bool {
+        self.skip_ws();
+        if self.input.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len()
+            && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.error("expected an identifier");
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos]).expect("ascii"))
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.error("expected a number");
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii")
+            .parse()
+            .or_else(|_| self.error("number out of range"))
+    }
+
+    // -- types ------------------------------------------------------------
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        let first = self.ty_prim()?;
+        if self.try_eat(b'*') {
+            let rest = self.ty()?;
+            Ok(Type::prod(first, rest))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn ty_prim(&mut self) -> Result<Type, ParseError> {
+        match self.peek() {
+            Some(b'{') => {
+                self.eat(b'{')?;
+                let inner = self.ty()?;
+                self.eat(b'}')?;
+                Ok(Type::set(inner))
+            }
+            Some(b'(') => {
+                self.eat(b'(')?;
+                let inner = self.ty()?;
+                self.eat(b')')?;
+                Ok(inner)
+            }
+            _ => match self.ident()? {
+                "unit" => Ok(Type::Unit),
+                "bool" => Ok(Type::Bool),
+                "nat" => Ok(Type::Nat),
+                other => self.error(format!("unknown type `{}`", other)),
+            },
+        }
+    }
+
+    // -- values -----------------------------------------------------------
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.eat(b'(')?;
+                if self.try_eat(b')') {
+                    return Ok(Value::Unit);
+                }
+                let a = self.value()?;
+                self.eat(b',')?;
+                let b = self.value()?;
+                self.eat(b')')?;
+                Ok(Value::pair(a, b))
+            }
+            Some(b'{') => {
+                self.eat(b'{')?;
+                let mut items = Vec::new();
+                if !self.try_eat(b'}') {
+                    loop {
+                        items.push(self.value()?);
+                        if self.try_eat(b'}') {
+                            break;
+                        }
+                        self.eat(b',')?;
+                    }
+                }
+                Ok(Value::set(items))
+            }
+            Some(c) if c.is_ascii_digit() => Ok(Value::Nat(self.number()?)),
+            _ => match self.ident()? {
+                "true" => Ok(Value::Bool(true)),
+                "false" => Ok(Value::Bool(false)),
+                other => self.error(format!("unknown value `{}`", other)),
+            },
+        }
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let name = self.ident()?;
+        match name {
+            "id" => Ok(Expr::Id),
+            "bang" => Ok(Expr::Bang),
+            "fst" => Ok(Expr::Fst),
+            "snd" => Ok(Expr::Snd),
+            "sng" => Ok(Expr::Sng),
+            "flatten" => Ok(Expr::Flatten),
+            "pairwith" => Ok(Expr::PairWith),
+            "union" => Ok(Expr::Union),
+            "eq" => Ok(Expr::EqNat),
+            "isempty" => Ok(Expr::IsEmpty),
+            "true" => Ok(Expr::ConstTrue),
+            "false" => Ok(Expr::ConstFalse),
+            "powerset" => Ok(Expr::Powerset),
+            "tuple" => {
+                self.eat(b'(')?;
+                let a = self.expr()?;
+                self.eat(b',')?;
+                let b = self.expr()?;
+                self.eat(b')')?;
+                Ok(Expr::Tuple(a.rc(), b.rc()))
+            }
+            "map" => {
+                self.eat(b'(')?;
+                let f = self.expr()?;
+                self.eat(b')')?;
+                Ok(Expr::Map(f.rc()))
+            }
+            "while" => {
+                self.eat(b'(')?;
+                let f = self.expr()?;
+                self.eat(b')')?;
+                Ok(Expr::While(f.rc()))
+            }
+            "if" => {
+                self.eat(b'(')?;
+                let c = self.expr()?;
+                self.eat(b',')?;
+                let t = self.expr()?;
+                self.eat(b',')?;
+                let e = self.expr()?;
+                self.eat(b')')?;
+                Ok(Expr::Cond(c.rc(), t.rc(), e.rc()))
+            }
+            "compose" => {
+                self.eat(b'(')?;
+                let g = self.expr()?;
+                self.eat(b',')?;
+                let f = self.expr()?;
+                self.eat(b')')?;
+                Ok(Expr::Compose(g.rc(), f.rc()))
+            }
+            "emptyset" => {
+                self.eat(b'[')?;
+                let t = self.ty()?;
+                self.eat(b']')?;
+                Ok(Expr::EmptySet(t))
+            }
+            "powerset_m" => {
+                self.eat(b'(')?;
+                let m = self.number()?;
+                self.eat(b')')?;
+                Ok(Expr::PowersetM(m))
+            }
+            "const" => {
+                self.eat(b'(')?;
+                let v = self.value()?;
+                self.eat(b':')?;
+                let t = self.ty()?;
+                self.eat(b')')?;
+                Ok(Expr::Const(v, t))
+            }
+            other => self.error(format!("unknown expression head `{}`", other)),
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.pos == self.input.len() {
+            Ok(())
+        } else {
+            self.error("trailing input")
+        }
+    }
+}
+
+/// Parse an expression from its concrete syntax.
+pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(input);
+    let e = p.expr()?;
+    p.finish()?;
+    Ok(e)
+}
+
+/// Parse a type.
+pub fn parse_type(input: &str) -> Result<Type, ParseError> {
+    let mut p = Parser::new(input);
+    let t = p.ty()?;
+    p.finish()?;
+    Ok(t)
+}
+
+/// Parse a complex-object literal.
+pub fn parse_value(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser::new(input);
+    let v = p.value()?;
+    p.finish()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn parses_primitives() {
+        assert_eq!(parse_expr("id").unwrap(), Expr::Id);
+        assert_eq!(parse_expr(" powerset ").unwrap(), Expr::Powerset);
+        assert_eq!(parse_expr("powerset_m(4)").unwrap(), Expr::PowersetM(4));
+    }
+
+    #[test]
+    fn parses_nested() {
+        let e = parse_expr("compose(map(fst), powerset)").unwrap();
+        assert_eq!(e, compose(map(fst()), powerset()));
+        let e = parse_expr("if(isempty, compose(true, bang), compose(false, bang))").unwrap();
+        assert_eq!(e, cond(is_empty(), always_true(), always_false()));
+    }
+
+    #[test]
+    fn parses_types() {
+        assert_eq!(parse_type("{nat * nat}").unwrap(), Type::nat_rel());
+        assert_eq!(
+            parse_type("(nat * bool) * unit").unwrap(),
+            Type::prod(Type::prod(Type::Nat, Type::Bool), Type::Unit)
+        );
+        // right-associativity
+        assert_eq!(
+            parse_type("nat * bool * unit").unwrap(),
+            Type::prod(Type::Nat, Type::prod(Type::Bool, Type::Unit))
+        );
+    }
+
+    #[test]
+    fn parses_values() {
+        assert_eq!(parse_value("()").unwrap(), Value::Unit);
+        assert_eq!(parse_value("{(0, 1), (1, 2)}").unwrap(), Value::chain(2));
+        assert_eq!(parse_value("{}").unwrap(), Value::empty_set());
+        assert_eq!(
+            parse_value("(true, 3)").unwrap(),
+            Value::pair(Value::TRUE, Value::nat(3))
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse_expr("compose(map(fst)").unwrap_err();
+        assert!(err.position > 0);
+        assert!(parse_expr("frobnicate").is_err());
+        assert!(parse_expr("id id").is_err(), "trailing input rejected");
+    }
+
+    #[test]
+    fn round_trips_displayed_expressions() {
+        for e in [
+            compose(map(fst()), powerset()),
+            cond(is_empty(), always_true(), always_false()),
+            empty_set(Type::nat_rel()),
+            while_fix(compose(union(), tuple(id(), id()))),
+            konst(Value::chain(2), Type::nat_rel()),
+            crate::queries::tc_while(),
+        ] {
+            let text = e.to_string();
+            let back = parse_expr(&text).unwrap_or_else(|err| panic!("{text}: {err}"));
+            assert_eq!(back, e, "{text}");
+        }
+    }
+}

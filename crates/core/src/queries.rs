@@ -1,0 +1,370 @@
+//! The transitive-closure queries of the paper, as honest
+//! `NRA(powerset)` / `NRA(while)` terms.
+//!
+//! * [`tc_paths`] — TC via `powerset(r)`: a pair `(x, y)` is in `tc(r)` iff
+//!   some subset `S ⊆ r` is a "witness": all in/out-degrees in `S` are ≤ 1
+//!   and `S` has unique source `x` and unique sink `y` (a simple path plus
+//!   possibly disjoint cycles), or — for the reflexive pairs — `S` is a
+//!   nonempty union of cycles through the node. Complexity on the chain
+//!   `rₙ` is `2^{Θ(n)}`: exactly the regime of Theorem 4.1.
+//! * [`tc_naive`] — the textbook Abiteboul–Beeri construction:
+//!   `tc(r) = ⋂ {S ∈ powerset(V × V) | r ⊆ S, S transitive}`. Complexity
+//!   `2^{Θ(n²)}` on the chain; included to show why the naive algorithm is
+//!   hopeless even for tiny inputs.
+//! * [`tc_while`] — the paper's §1 remark: with `while` instead of
+//!   `powerset`, TC costs polynomial time and space.
+//! * [`siblings_powerset`] / [`siblings_direct`] — a query whose powerset
+//!   use is *bounded* (Prop 4.2 dichotomy: its m-th approximation is exact
+//!   for every input once `m ≥ 2`), together with its powerset-free
+//!   equivalent (the paper's closing conjecture, verified on this query).
+//!
+//! All queries have type `{N × N} → {N × N}` and are built exclusively from
+//! the §2 primitives and the Prop 2.1 derived operations — no `Const`, no
+//! primitive shortcuts.
+
+use crate::builder::*;
+use crate::derived::*;
+use crate::expr::Expr;
+use crate::types::Type;
+
+/// The edge type `N × N`.
+fn edge_ty() -> Type {
+    Type::prod(Type::Nat, Type::Nat)
+}
+
+/// The type `(N × N) × (N × N)` of edge pairs.
+fn edge_pair_ty() -> Type {
+    Type::prod(edge_ty(), edge_ty())
+}
+
+// Coordinate accessors over an edge pair ((a,b),(c,d)).
+fn coord_a() -> Expr {
+    compose(fst(), fst())
+}
+fn coord_b() -> Expr {
+    compose(snd(), fst())
+}
+fn coord_c() -> Expr {
+    compose(fst(), snd())
+}
+fn coord_d() -> Expr {
+    compose(snd(), snd())
+}
+
+fn eq_coords(x: Expr, y: Expr) -> Expr {
+    compose(eq_nat(), tuple(x, y))
+}
+
+fn neq_coords(x: Expr, y: Expr) -> Expr {
+    pnot(eq_coords(x, y))
+}
+
+/// Relational composition `r ↦ {(a, d) | (a, b) ∈ r, (c, d) ∈ r, b = c}`
+/// — a single TC round, in plain `NRA`.
+pub fn compose_rel() -> Expr {
+    pipeline([
+        self_product(),
+        select(eq_coords(coord_b(), coord_c()), edge_pair_ty()),
+        map(tuple(coord_a(), coord_d())),
+    ])
+}
+
+/// One inflationary TC step `r ↦ r ∪ (r ∘ r)`, in plain `NRA`.
+pub fn tc_step() -> Expr {
+    compose(union(), tuple(id(), compose_rel()))
+}
+
+/// Transitive closure via the `while` extension:
+/// `while(λr. r ∪ r∘r)` — polynomial time and space (§1 remark).
+pub fn tc_while() -> Expr {
+    while_fix(tc_step())
+}
+
+// ---------------------------------------------------------------------------
+// tc_paths: TC through powerset(r), the 2^Θ(n) witness construction
+// ---------------------------------------------------------------------------
+
+/// `{((x,y), S)} selector`: does node `x` (first coordinate of the edge
+/// under scrutiny) have an incoming edge in `S`?  Predicate over
+/// `(N×N) × {N×N}` elements paired as `((x,y), (u,v))` after `ρ₂`.
+fn has_no_in_edge() -> Expr {
+    // ρ₂((x,y), S) = {((x,y),(u,v)) | (u,v) ∈ S}; keep those with v = x.
+    pipeline([
+        pairwith(),
+        select(eq_coords(coord_d(), coord_a()), edge_pair_ty()),
+        is_empty(),
+    ])
+}
+
+fn has_no_out_edge() -> Expr {
+    // keep (u,v) with u = y
+    pipeline([
+        pairwith(),
+        select(eq_coords(coord_c(), coord_b()), edge_pair_ty()),
+        is_empty(),
+    ])
+}
+
+/// `sources : {N×N} → {N}` — nodes with outgoing but no incoming edge.
+pub fn sources() -> Expr {
+    pipeline([
+        dup(),
+        rho1(),
+        select(
+            has_no_in_edge(),
+            Type::prod(edge_ty(), Type::set(edge_ty())),
+        ),
+        map(compose(fst(), fst())),
+    ])
+}
+
+/// `sinks : {N×N} → {N}` — nodes with incoming but no outgoing edge.
+pub fn sinks() -> Expr {
+    pipeline([
+        dup(),
+        rho1(),
+        select(
+            has_no_out_edge(),
+            Type::prod(edge_ty(), Type::set(edge_ty())),
+        ),
+        map(compose(snd(), fst())),
+    ])
+}
+
+/// "All in-degrees in S are ≤ 1": no two distinct edges share a target.
+fn indeg_ok() -> Expr {
+    pipeline([
+        self_product(),
+        select(
+            pand(
+                eq_coords(coord_b(), coord_d()),
+                neq_coords(coord_a(), coord_c()),
+            ),
+            edge_pair_ty(),
+        ),
+        is_empty(),
+    ])
+}
+
+/// "All out-degrees in S are ≤ 1".
+fn outdeg_ok() -> Expr {
+    pipeline([
+        self_product(),
+        select(
+            pand(
+                eq_coords(coord_a(), coord_c()),
+                neq_coords(coord_b(), coord_d()),
+            ),
+            edge_pair_ty(),
+        ),
+        is_empty(),
+    ])
+}
+
+/// The per-subset contribution of the witness construction:
+/// `{N×N} → {N×N}` mapping each `S ⊆ r` to the TC pairs it witnesses.
+pub fn path_contribution() -> Expr {
+    let deg_ok = pand(indeg_ok(), outdeg_ok());
+    let path_ok = pand(
+        deg_ok.clone(),
+        pand(
+            compose(is_singleton(&Type::Nat), sources()),
+            compose(is_singleton(&Type::Nat), sinks()),
+        ),
+    );
+    let path_pairs = compose(cartprod(), tuple(sources(), sinks()));
+    let cycle_ok = pand(
+        deg_ok,
+        pand(
+            nonempty(),
+            pand(
+                compose(is_empty(), sources()),
+                compose(is_empty(), sinks()),
+            ),
+        ),
+    );
+    let cycle_pairs = pipeline([rel_nodes(), map(dup())]);
+    cond(
+        path_ok,
+        path_pairs,
+        cond(cycle_ok, cycle_pairs, empty_at(edge_ty())),
+    )
+}
+
+/// Transitive closure through `powerset(r)` — the `2^{Θ(|r|)}` witness
+/// construction. On the chain `rₙ` its eager complexity is `2^{Θ(n)}`,
+/// matching the scale of Theorem 4.1's lower bound `Ω(2^{cn})`.
+///
+/// ```
+/// use nra_core::{queries, output_type, Type};
+/// let tc = queries::tc_paths();
+/// assert_eq!(output_type(&tc, &Type::nat_rel()).unwrap(), Type::nat_rel());
+/// assert!(tc.level().powerset);
+/// ```
+pub fn tc_paths() -> Expr {
+    pipeline([powerset(), map(path_contribution()), flatten()])
+}
+
+/// The m-th approximation of [`tc_paths`] (Prop 4.2): every `powerset`
+/// replaced by the primitive `powersetₘ`.
+pub fn tc_paths_approx(m: u64) -> Expr {
+    tc_paths().approximate(m)
+}
+
+// ---------------------------------------------------------------------------
+// tc_naive: the textbook Abiteboul–Beeri construction, 2^Θ(n²)
+// ---------------------------------------------------------------------------
+
+/// "S is transitive": `∀(a,b),(c,d) ∈ S×S. b = c ⇒ (a,d) ∈ S`.
+fn is_transitive() -> Expr {
+    let e = edge_ty();
+    // spread: S ↦ {(((a,b),(c,d)), S)}
+    let spread = pipeline([tuple(self_product(), id()), rho1()]);
+    // violation: b = c ∧ (a,d) ∉ S, over (((a,b),(c,d)), S)
+    let b = compose(coord_b(), fst());
+    let c = compose(coord_c(), fst());
+    let a = compose(coord_a(), fst());
+    let d = compose(coord_d(), fst());
+    let joins = eq_coords(b, c);
+    let missing = pnot(compose(member(&e), tuple(tuple(a, d), snd())));
+    pipeline([
+        spread,
+        select(
+            pand(joins, missing),
+            Type::prod(edge_pair_ty(), Type::set(e)),
+        ),
+        is_empty(),
+    ])
+}
+
+/// Transitive closure via the naive Abiteboul–Beeri query:
+/// `tc(r) = ⋂ { S ⊆ V×V | r ⊆ S, S transitive }`, where `V = nodes(r)`.
+///
+/// The candidate space is `powerset(V × V)` — `2^{(n+1)²}` relations on the
+/// chain `rₙ`, so this is only runnable for the tiniest inputs; that is the
+/// point (§1: "the obvious way of doing that is by a query whose naturally
+/// associated algorithm requires exponential space").
+pub fn tc_naive() -> Expr {
+    let e = edge_ty();
+    let candidates = pipeline([rel_nodes(), self_product(), powerset()]);
+    // (candidates, r) spread to {(S, r)}
+    let spread = pipeline([tuple(candidates, id()), rho1()]);
+    let contains_r = compose(subset(&e), swap());
+    let keep = pand(contains_r, compose(is_transitive(), fst()));
+    pipeline([
+        spread,
+        select(keep, Type::prod(Type::set(e.clone()), Type::set(e.clone()))),
+        map(fst()),
+        big_intersect(&e),
+    ])
+}
+
+/// The m-th approximation of [`tc_naive`].
+pub fn tc_naive_approx(m: u64) -> Expr {
+    tc_naive().approximate(m)
+}
+
+// ---------------------------------------------------------------------------
+// A query with *bounded* powerset use (the other side of the dichotomy)
+// ---------------------------------------------------------------------------
+
+/// Per-subset sibling extraction: pairs of distinct sources sharing a
+/// target inside `S`.
+fn sibling_pairs_in() -> Expr {
+    pipeline([
+        self_product(),
+        select(
+            pand(
+                eq_coords(coord_b(), coord_d()),
+                neq_coords(coord_a(), coord_c()),
+            ),
+            edge_pair_ty(),
+        ),
+        map(tuple(coord_a(), coord_c())),
+    ])
+}
+
+/// `siblings(r) = {(a, c) | (a,b) ∈ r, (c,b) ∈ r, a ≠ c}`, computed through
+/// `powerset`: every 2-element subset `{(a,b),(c,b)}` already witnesses its
+/// sibling pair, so the m-th approximation is exact for all inputs as soon
+/// as `m ≥ 2` — the *bounded* case of the Lemma 5.8 dichotomy.
+pub fn siblings_powerset() -> Expr {
+    pipeline([powerset(), map(sibling_pairs_in()), flatten()])
+}
+
+/// The m-th approximation of [`siblings_powerset`].
+pub fn siblings_approx(m: u64) -> Expr {
+    siblings_powerset().approximate(m)
+}
+
+/// The same `siblings` query without `powerset` — plain `NRA` — witnessing
+/// the paper's closing conjecture ("any query expressible efficiently with
+/// powerset is expressible also without powerset") on this instance.
+pub fn siblings_direct() -> Expr {
+    sibling_pairs_in()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typecheck::output_type;
+
+    fn rel() -> Type {
+        Type::nat_rel()
+    }
+
+    #[test]
+    fn all_queries_have_relation_to_relation_type() {
+        for (name, q) in [
+            ("tc_paths", tc_paths()),
+            ("tc_naive", tc_naive()),
+            ("tc_while", tc_while()),
+            ("compose_rel", compose_rel()),
+            ("tc_step", tc_step()),
+            ("siblings_powerset", siblings_powerset()),
+            ("siblings_direct", siblings_direct()),
+            ("tc_paths_approx(3)", tc_paths_approx(3)),
+            ("tc_naive_approx(2)", tc_naive_approx(2)),
+            ("siblings_approx(2)", siblings_approx(2)),
+        ] {
+            assert_eq!(
+                output_type(&q, &rel()).unwrap_or_else(|e| panic!("{name}: {e}")),
+                rel(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn sources_sinks_have_node_set_type() {
+        assert_eq!(
+            output_type(&sources(), &rel()).unwrap(),
+            Type::set(Type::Nat)
+        );
+        assert_eq!(output_type(&sinks(), &rel()).unwrap(), Type::set(Type::Nat));
+    }
+
+    #[test]
+    fn language_levels_are_as_documented() {
+        assert!(tc_paths().level().powerset);
+        assert!(!tc_paths().level().while_loop);
+        assert!(tc_naive().level().powerset);
+        assert!(tc_while().level().while_loop);
+        assert!(!tc_while().level().powerset);
+        assert!(siblings_direct().level().is_nra());
+        assert!(tc_paths_approx(2).level().is_nra(), "approximations are NRA");
+        assert!(!tc_paths_approx(2).level().powerset);
+    }
+
+    #[test]
+    fn contribution_typechecks() {
+        assert_eq!(output_type(&path_contribution(), &rel()).unwrap(), rel());
+    }
+
+    #[test]
+    fn approximation_does_not_change_type() {
+        for m in [0, 1, 2, 5] {
+            assert_eq!(output_type(&tc_paths_approx(m), &rel()).unwrap(), rel());
+        }
+    }
+}

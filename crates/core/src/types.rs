@@ -1,0 +1,186 @@
+//! Types of the nested relational algebra (§2 of the paper).
+//!
+//! The type grammar is
+//!
+//! ```text
+//! t ::= unit | B | N | t × t | {t}
+//! ```
+//!
+//! where `unit` has the single value `()`, `B` the booleans, `N` the natural
+//! numbers, `s × t` pairs, and `{t}` finite duplicate-free sets.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A type of the nested relational algebra.
+///
+/// Product and set types own their components through [`Arc`] so that large
+/// type trees (which arise when type-checking deeply composed expressions)
+/// can be shared cheaply.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// The single-valued type `unit = {()}`.
+    Unit,
+    /// The booleans `B`.
+    Bool,
+    /// The natural numbers `N`.
+    Nat,
+    /// The product type `s × t`.
+    Prod(Arc<Type>, Arc<Type>),
+    /// The finite-set type `{t}`.
+    Set(Arc<Type>),
+}
+
+impl Type {
+    /// Convenience constructor for `s × t`.
+    pub fn prod(s: Type, t: Type) -> Type {
+        Type::Prod(Arc::new(s), Arc::new(t))
+    }
+
+    /// Convenience constructor for `{t}`.
+    pub fn set(t: Type) -> Type {
+        Type::Set(Arc::new(t))
+    }
+
+    /// The type `{N × N}` of binary relations over the naturals — the
+    /// input/output type of the paper's transitive-closure queries.
+    pub fn nat_rel() -> Type {
+        Type::set(Type::prod(Type::Nat, Type::Nat))
+    }
+
+    /// Returns the element type if `self` is a set type.
+    pub fn elem(&self) -> Option<&Type> {
+        match self {
+            Type::Set(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns the component types if `self` is a product type.
+    pub fn components(&self) -> Option<(&Type, &Type)> {
+        match self {
+            Type::Prod(s, t) => Some((s, t)),
+            _ => None,
+        }
+    }
+
+    /// True iff the type is a set type.
+    pub fn is_set(&self) -> bool {
+        matches!(self, Type::Set(_))
+    }
+
+    /// True iff the type mentions no set constructor (so its values have a
+    /// size bounded by the type alone).
+    pub fn is_flat(&self) -> bool {
+        match self {
+            Type::Unit | Type::Bool | Type::Nat => true,
+            Type::Prod(s, t) => s.is_flat() && t.is_flat(),
+            Type::Set(_) => false,
+        }
+    }
+
+    /// Nesting depth of set constructors: `depth({ { N × N } }) = 2`.
+    pub fn set_depth(&self) -> usize {
+        match self {
+            Type::Unit | Type::Bool | Type::Nat => 0,
+            Type::Prod(s, t) => s.set_depth().max(t.set_depth()),
+            Type::Set(t) => 1 + t.set_depth(),
+        }
+    }
+
+    /// Number of nodes in the type tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Type::Unit | Type::Bool | Type::Nat => 1,
+            Type::Prod(s, t) => 1 + s.size() + t.size(),
+            Type::Set(t) => 1 + t.size(),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Unit => write!(f, "unit"),
+            Type::Bool => write!(f, "bool"),
+            Type::Nat => write!(f, "nat"),
+            Type::Prod(s, t) => {
+                // Products associate to the right and bind tighter than
+                // nothing; parenthesise nested products on the left.
+                match **s {
+                    Type::Prod(_, _) => write!(f, "({}) * {}", s, t),
+                    _ => write!(f, "{} * {}", s, t),
+                }
+            }
+            Type::Set(t) => write!(f, "{{{}}}", t),
+        }
+    }
+}
+
+/// The type `f : s → t` of an NRA expression, which is always a function
+/// type (§2: "its expressions are functions f : s → t").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FnType {
+    /// Domain.
+    pub dom: Type,
+    /// Codomain.
+    pub cod: Type,
+}
+
+impl FnType {
+    /// Construct a function type.
+    pub fn new(dom: Type, cod: Type) -> Self {
+        FnType { dom, cod }
+    }
+}
+
+impl fmt::Display for FnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.dom, self.cod)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let t = Type::nat_rel();
+        assert_eq!(t.to_string(), "{nat * nat}");
+        let u = Type::set(Type::set(Type::prod(
+            Type::prod(Type::Nat, Type::Bool),
+            Type::Unit,
+        )));
+        assert_eq!(u.to_string(), "{{(nat * bool) * unit}}");
+    }
+
+    #[test]
+    fn set_depth_counts_nesting() {
+        assert_eq!(Type::Nat.set_depth(), 0);
+        assert_eq!(Type::nat_rel().set_depth(), 1);
+        assert_eq!(Type::set(Type::nat_rel()).set_depth(), 2);
+        let p = Type::prod(Type::nat_rel(), Type::Nat);
+        assert_eq!(p.set_depth(), 1);
+    }
+
+    #[test]
+    fn flatness() {
+        assert!(Type::Nat.is_flat());
+        assert!(Type::prod(Type::Nat, Type::Bool).is_flat());
+        assert!(!Type::nat_rel().is_flat());
+        assert!(!Type::prod(Type::Nat, Type::set(Type::Nat)).is_flat());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Type::nat_rel();
+        let elem = t.elem().unwrap();
+        let (a, b) = elem.components().unwrap();
+        assert_eq!(*a, Type::Nat);
+        assert_eq!(*b, Type::Nat);
+        assert!(t.is_set());
+        assert!(!elem.is_set());
+        assert_eq!(t.size(), 4);
+    }
+}

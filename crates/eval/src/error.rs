@@ -1,0 +1,134 @@
+//! Evaluation errors and resource budgets.
+//!
+//! The theorems predict that certain evaluations *need* exponential space.
+//! Rather than letting those runs exhaust memory, the evaluator takes an
+//! [`EvalConfig`] whose budgets turn "would need ≥ S space" into a clean
+//! [`EvalError::SpaceBudgetExceeded`] carrying the offending size — for
+//! `powerset` the size is *predicted combinatorially before materialising
+//! anything*, so benches can measure complexities far beyond physical
+//! memory.
+
+use std::fmt;
+
+/// Resource limits for one evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalConfig {
+    /// Abort as soon as any object in the derivation tree would exceed
+    /// this size (the paper's complexity measure). `None` = unlimited.
+    pub max_object_size: Option<u64>,
+    /// Abort after this many derivation-tree nodes. `None` = unlimited.
+    pub max_nodes: Option<u64>,
+    /// Iteration cap for the `while` extension (it is a genuine fixpoint
+    /// loop, so divergence must be cut off).
+    pub max_while_iters: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            max_object_size: None,
+            max_nodes: None,
+            max_while_iters: 100_000,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// A config with the given space budget (in size units of §3).
+    pub fn with_space_budget(budget: u64) -> Self {
+        EvalConfig {
+            max_object_size: Some(budget),
+            ..EvalConfig::default()
+        }
+    }
+}
+
+/// Why an evaluation did not produce a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An object of size `required` would occur in the derivation tree,
+    /// exceeding the configured `budget`. For `powerset` outputs the
+    /// required size is computed combinatorially without materialisation.
+    SpaceBudgetExceeded {
+        /// Size the evaluation would need.
+        required: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The derivation tree grew beyond the configured node budget.
+    NodeBudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// A `while` loop failed to reach a fixpoint within the iteration cap.
+    WhileDiverged {
+        /// Iterations performed before giving up.
+        iterations: u64,
+    },
+    /// The input value did not match the shape a primitive requires
+    /// (cannot happen for type-checked expressions; kept for defence).
+    Stuck {
+        /// The primitive that got stuck.
+        rule: &'static str,
+        /// Description of the shape mismatch.
+        detail: String,
+    },
+    /// A `powerset` application whose result would not be addressable
+    /// (more than 2⁶² subsets) was requested without a space budget.
+    PowersetOverflow {
+        /// Cardinality of the input set.
+        input_cardinality: u64,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::SpaceBudgetExceeded { required, budget } => write!(
+                f,
+                "space budget exceeded: an object of size {} would occur (budget {})",
+                required, budget
+            ),
+            EvalError::NodeBudgetExceeded { budget } => {
+                write!(f, "node budget exceeded ({} rule applications)", budget)
+            }
+            EvalError::WhileDiverged { iterations } => {
+                write!(f, "while loop did not converge after {} iterations", iterations)
+            }
+            EvalError::Stuck { rule, detail } => {
+                write!(f, "evaluation stuck at `{}`: {}", rule, detail)
+            }
+            EvalError::PowersetOverflow { input_cardinality } => write!(
+                f,
+                "powerset of a {}-element set cannot be materialised",
+                input_cardinality
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_unbounded_except_while() {
+        let c = EvalConfig::default();
+        assert_eq!(c.max_object_size, None);
+        assert_eq!(c.max_nodes, None);
+        assert!(c.max_while_iters > 0);
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = EvalError::SpaceBudgetExceeded {
+            required: 100,
+            budget: 10,
+        };
+        assert!(e.to_string().contains("size 100"));
+        let e = EvalError::WhileDiverged { iterations: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,344 @@
+//! A streaming ("lazy") evaluation strategy for `powerset`.
+//!
+//! §3 scopes the lower bound precisely: "our main result will depend (1) on
+//! the particular evaluation strategy and (2) on the complexity measure. …
+//! it is not obvious whether it still holds for a lazy evaluation
+//! strategy." This module makes that caveat concrete: `powerset` results
+//! are represented *symbolically* (as "the subsets of this base set") and
+//! only streamed — one subset at a time — when a consumer such as `map`
+//! actually traverses them.
+//!
+//! Under this strategy the paper's eager measure no longer reflects the
+//! memory actually held: for `tc_paths` on the chain `rₙ`, the eager
+//! complexity is `2^{Θ(n)}` while the streaming *peak resident size* stays
+//! polynomial (the number of subset evaluations — i.e. *time* — remains
+//! `2^{Θ(n)}`). Experiment E11 tabulates both.
+
+use crate::eager::{self, Ctx};
+use crate::error::{EvalConfig, EvalError};
+use crate::stats::EvalStats;
+use nra_core::expr::Expr;
+use nra_core::value::Value;
+use std::collections::BTreeSet;
+
+/// Statistics of a streaming evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LazyStats {
+    /// Peak size (in the §3 measure) of the objects *simultaneously live*:
+    /// for a streamed `map`-over-`powerset`, the base set, the current
+    /// subset, the accumulator, and the per-subset evaluation's own peak.
+    pub peak_resident: u64,
+    /// Number of subsets streamed out of symbolic powersets — a proxy for
+    /// time, which stays exponential even though space does not.
+    pub streamed_subsets: u64,
+    /// Derivation-node count (rule applications), including per-subset
+    /// work.
+    pub nodes: u64,
+    /// `while` iterations.
+    pub while_iterations: u64,
+}
+
+/// Result and statistics of a streaming evaluation.
+#[derive(Debug, Clone)]
+pub struct LazyEvaluation {
+    /// The value, or the error that interrupted evaluation.
+    pub result: Result<Value, EvalError>,
+    /// Streaming statistics.
+    pub stats: LazyStats,
+}
+
+/// A possibly-symbolic intermediate value.
+enum Lv {
+    /// A fully materialised object.
+    Concrete(Value),
+    /// `powerset(base)`, not yet materialised.
+    Subsets(Value),
+}
+
+struct LazyCtx<'a> {
+    config: &'a EvalConfig,
+    stats: LazyStats,
+}
+
+impl<'a> LazyCtx<'a> {
+    fn resident(&mut self, size: u64) -> Result<(), EvalError> {
+        self.stats.peak_resident = self.stats.peak_resident.max(size);
+        match self.config.max_object_size {
+            Some(budget) if size > budget => Err(EvalError::SpaceBudgetExceeded {
+                required: size,
+                budget,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    fn node(&mut self) -> Result<(), EvalError> {
+        self.stats.nodes += 1;
+        match self.config.max_nodes {
+            Some(budget) if self.stats.nodes > budget => {
+                Err(EvalError::NodeBudgetExceeded { budget })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Run a sub-evaluation eagerly (used for the bodies applied to each
+    /// streamed subset), folding its statistics into ours. Its own peak is
+    /// *transient* per-subset memory and contributes to `peak_resident`
+    /// together with whatever `extra_live` is currently held.
+    fn eager_sub(
+        &mut self,
+        expr: &Expr,
+        input: &Value,
+        extra_live: u64,
+    ) -> Result<Value, EvalError> {
+        let mut sub = Ctx::new(self.config);
+        let out = eager::eval_in(expr, input, &mut sub);
+        self.merge_sub(&sub.stats, extra_live)?;
+        out
+    }
+
+    fn merge_sub(&mut self, sub: &EvalStats, extra_live: u64) -> Result<(), EvalError> {
+        self.stats.nodes += sub.nodes;
+        self.stats.while_iterations += sub.while_iterations;
+        self.resident(sub.max_object_size.saturating_add(extra_live))
+    }
+}
+
+/// Evaluate under the streaming strategy.
+pub fn evaluate_lazy(expr: &Expr, input: &Value, config: &EvalConfig) -> LazyEvaluation {
+    let mut ctx = LazyCtx {
+        config,
+        stats: LazyStats::default(),
+    };
+    let result = match lazy_in(expr, Lv::Concrete(input.clone()), &mut ctx) {
+        Ok(lv) => force(lv, &mut ctx),
+        Err(e) => Err(e),
+    };
+    LazyEvaluation {
+        result,
+        stats: ctx.stats,
+    }
+}
+
+/// Materialise a symbolic value (falls back to the eager powerset rule).
+fn force(lv: Lv, ctx: &mut LazyCtx) -> Result<Value, EvalError> {
+    match lv {
+        Lv::Concrete(v) => {
+            ctx.resident(v.size())?;
+            Ok(v)
+        }
+        Lv::Subsets(base) => {
+            let mut sub = Ctx::new(ctx.config);
+            let out = eager::eval_in(&Expr::Powerset, &base, &mut sub);
+            ctx.merge_sub(&sub.stats, 0)?;
+            out
+        }
+    }
+}
+
+fn stuck(rule: &'static str, detail: &str) -> EvalError {
+    EvalError::Stuck {
+        rule,
+        detail: detail.to_string(),
+    }
+}
+
+fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
+    ctx.node()?;
+    match expr {
+        Expr::Compose(g, f) => {
+            let mid = lazy_in(f, input, ctx)?;
+            lazy_in(g, mid, ctx)
+        }
+        Expr::Powerset => {
+            let base = force(input, ctx)?;
+            if base.as_set().is_none() {
+                return Err(stuck("powerset", "input is not a set"));
+            }
+            Ok(Lv::Subsets(base))
+        }
+        Expr::Flatten => match input {
+            // μ(powerset(x)) = x : the subsets' union is the base itself.
+            Lv::Subsets(base) => Ok(Lv::Concrete(base)),
+            Lv::Concrete(v) => {
+                Ok(Lv::Concrete(ctx.eager_sub(&Expr::Flatten, &v, 0)?))
+            }
+        },
+        Expr::IsEmpty => match input {
+            // powerset(x) always contains ∅, hence is never empty.
+            Lv::Subsets(_) => Ok(Lv::Concrete(Value::Bool(false))),
+            Lv::Concrete(v) => Ok(Lv::Concrete(ctx.eager_sub(&Expr::IsEmpty, &v, 0)?)),
+        },
+        Expr::Map(f) => match input {
+            Lv::Subsets(base) => {
+                // Stream the subsets: only base + current subset +
+                // accumulator + per-subset transient memory are live.
+                let items: Vec<Value> = base
+                    .as_set()
+                    .ok_or_else(|| stuck("map", "powerset base is not a set"))?
+                    .iter()
+                    .cloned()
+                    .collect();
+                if items.len() > 62 {
+                    return Err(EvalError::PowersetOverflow {
+                        input_cardinality: items.len() as u64,
+                    });
+                }
+                let base_size = base.size();
+                let mut acc: BTreeSet<Value> = BTreeSet::new();
+                let mut acc_size: u64 = 1;
+                for mask in 0u64..(1u64 << items.len()) {
+                    let subset = Value::set(
+                        items
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| mask & (1 << i) != 0)
+                            .map(|(_, e)| e.clone()),
+                    );
+                    ctx.stats.streamed_subsets += 1;
+                    let live = base_size + subset.size() + acc_size;
+                    let image = ctx.eager_sub(f, &subset, live)?;
+                    if acc.insert(image.clone()) {
+                        acc_size += image.size();
+                    }
+                    ctx.resident(live)?;
+                }
+                Ok(Lv::Concrete(Value::Set(acc)))
+            }
+            Lv::Concrete(v) => {
+                let items = v
+                    .as_set()
+                    .ok_or_else(|| stuck("map", "input is not a set"))?;
+                let mut out = BTreeSet::new();
+                for item in items {
+                    let image = lazy_in(f, Lv::Concrete(item.clone()), ctx)?;
+                    out.insert(force(image, ctx)?);
+                }
+                let out = Value::Set(out);
+                ctx.resident(out.size())?;
+                Ok(Lv::Concrete(out))
+            }
+        },
+        Expr::Tuple(f, g) => {
+            let v = force(input, ctx)?;
+            let a = force(lazy_in(f, Lv::Concrete(v.clone()), ctx)?, ctx)?;
+            let b = force(lazy_in(g, Lv::Concrete(v), ctx)?, ctx)?;
+            Ok(Lv::Concrete(Value::pair(a, b)))
+        }
+        Expr::Cond(c, then, els) => {
+            let v = force(input, ctx)?;
+            match force(lazy_in(c, Lv::Concrete(v.clone()), ctx)?, ctx)? {
+                Value::Bool(true) => lazy_in(then, Lv::Concrete(v), ctx),
+                Value::Bool(false) => lazy_in(els, Lv::Concrete(v), ctx),
+                _ => Err(stuck("if", "condition is not boolean")),
+            }
+        }
+        Expr::While(f) => {
+            let mut current = force(input, ctx)?;
+            let mut iterations: u64 = 0;
+            loop {
+                let next = force(lazy_in(f, Lv::Concrete(current.clone()), ctx)?, ctx)?;
+                iterations += 1;
+                ctx.stats.while_iterations += 1;
+                if next == current {
+                    break Ok(Lv::Concrete(current));
+                }
+                if iterations >= ctx.config.max_while_iters {
+                    break Err(EvalError::WhileDiverged { iterations });
+                }
+                current = next;
+            }
+        }
+        leaf => {
+            let v = force(input, ctx)?;
+            Ok(Lv::Concrete(ctx.eager_sub(leaf, &v, 0)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eager::evaluate;
+    use nra_core::builder::*;
+    use nra_core::queries;
+
+    #[test]
+    fn lazy_agrees_with_eager_on_queries() {
+        let cfg = EvalConfig::default();
+        for n in 0..6u64 {
+            let input = Value::chain(n);
+            for q in [
+                queries::tc_paths(),
+                queries::tc_while(),
+                queries::siblings_powerset(),
+                compose(flatten(), map(sng())),
+            ] {
+                let eager_out = evaluate(&q, &input, &cfg).result.unwrap();
+                let lazy_out = evaluate_lazy(&q, &input, &cfg).result.unwrap();
+                assert_eq!(eager_out, lazy_out, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_keeps_peak_resident_small() {
+        let cfg = EvalConfig::default();
+        let q = queries::tc_paths();
+        let n = 9;
+        let eager_ev = evaluate(&q, &Value::chain(n), &cfg);
+        let lazy_ev = evaluate_lazy(&q, &Value::chain(n), &cfg);
+        assert_eq!(
+            eager_ev.result.unwrap(),
+            lazy_ev.result.clone().unwrap()
+        );
+        let eager_peak = eager_ev.stats.max_object_size;
+        let lazy_peak = lazy_ev.stats.peak_resident;
+        // eager materialises powerset(r₉): > 2⁹ · something; lazy holds a
+        // few polynomial objects.
+        assert!(
+            eager_peak > 8 * lazy_peak,
+            "eager {eager_peak} vs lazy {lazy_peak}"
+        );
+        // but the *time* (streamed subsets) is still 2⁹
+        assert_eq!(lazy_ev.stats.streamed_subsets, 512);
+    }
+
+    #[test]
+    fn flatten_of_powerset_is_identity() {
+        let q = compose(flatten(), powerset());
+        let v = Value::chain(5);
+        let ev = evaluate_lazy(&q, &v, &EvalConfig::default());
+        assert_eq!(ev.result.unwrap(), v);
+        // no subsets were ever streamed
+        assert_eq!(ev.stats.streamed_subsets, 0);
+    }
+
+    #[test]
+    fn isempty_of_powerset_short_circuits() {
+        let q = compose(is_empty(), powerset());
+        let ev = evaluate_lazy(&q, &Value::empty_set(), &EvalConfig::default());
+        assert_eq!(ev.result.unwrap(), Value::FALSE);
+        assert_eq!(ev.stats.streamed_subsets, 0);
+    }
+
+    #[test]
+    fn budget_applies_to_resident_not_streamed_total() {
+        // A budget far below the eager powerset size still admits the
+        // streamed evaluation.
+        let q = queries::tc_paths();
+        let n = 8;
+        let eager_needed = evaluate(&q, &Value::chain(n), &EvalConfig::default())
+            .stats
+            .max_object_size;
+        let cfg = EvalConfig::with_space_budget(eager_needed / 4);
+        let lazy_ev = evaluate_lazy(&q, &Value::chain(n), &cfg);
+        assert!(lazy_ev.result.is_ok(), "{:?}", lazy_ev.result);
+        let eager_ev = evaluate(&q, &Value::chain(n), &cfg);
+        assert!(matches!(
+            eager_ev.result,
+            Err(EvalError::SpaceBudgetExceeded { .. })
+        ));
+    }
+}

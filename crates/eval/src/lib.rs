@@ -1,0 +1,33 @@
+//! # nra-eval
+//!
+//! The eager natural-semantics evaluator of §3 of Suciu & Paredaens (1994),
+//! instrumented with the paper's complexity measure, plus two companions:
+//!
+//! * [`eager`] — the rule-per-rule evaluator; [`eager::evaluate`] returns
+//!   the result together with [`stats::EvalStats`], whose
+//!   `max_object_size` is *the* §3 complexity ("the size of the largest
+//!   complex object occurring in the derivation tree");
+//! * [`trace`] — the same semantics, materialising the derivation tree for
+//!   inspection (height/width/branching, rendering);
+//! * [`lazy`] — a streaming strategy for `powerset`, making the paper's §3
+//!   caveat ("it is not obvious whether it still holds for a lazy
+//!   evaluation strategy") measurable.
+//!
+//! Budgets ([`error::EvalConfig`]) turn the theorems' "needs ≥ S space"
+//! into clean errors carrying the exact requirement — for `powerset` the
+//! requirement is computed combinatorially *before* materialisation, so
+//! complexities far beyond physical memory can be measured.
+
+#![warn(missing_docs)]
+
+pub mod eager;
+pub mod error;
+pub mod lazy;
+pub mod stats;
+pub mod trace;
+
+pub use eager::{eval, evaluate, Evaluation};
+pub use error::{EvalConfig, EvalError};
+pub use lazy::{evaluate_lazy, LazyEvaluation, LazyStats};
+pub use stats::EvalStats;
+pub use trace::{evaluate_traced, DerivNode, TracedEvaluation};

@@ -1,0 +1,91 @@
+//! The paper's complexity measure (§3) and its companions.
+//!
+//! > "The complexity of some evaluation `f(C) ⇓` is defined to be the size
+//! > of the largest complex object occurring in the derivation tree of
+//! > `f(C) ⇓`. This complexity measure is robust: e.g. the total number of
+//! > nodes of the evaluation tree is polynomially bounded by this
+//! > complexity, while the sum of the sizes of all complex objects in a
+//! > tree is polynomially related to it."
+//!
+//! [`EvalStats`] records all three quantities — `max_object_size` (the
+//! complexity), `nodes`, and `total_size` — plus per-rule counters, so
+//! experiment E10 can verify the claimed polynomial relations empirically.
+
+use std::collections::BTreeMap;
+
+/// Statistics of one eager evaluation, in the sense of §3.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// The paper's complexity: the size of the largest complex object
+    /// occurring anywhere in the derivation tree.
+    pub max_object_size: u64,
+    /// Number of rule applications (nodes of the derivation tree).
+    pub nodes: u64,
+    /// Sum of the sizes of all complex objects observed at derivation
+    /// nodes (inputs and outputs both count, as both "occur" in a node).
+    pub total_size: u64,
+    /// Largest set cardinality observed.
+    pub max_set_cardinality: u64,
+    /// Rule applications per primitive (keys are `Expr::head_name`s).
+    pub rule_counts: BTreeMap<&'static str, u64>,
+    /// Iterations performed by `while` sub-evaluations.
+    pub while_iterations: u64,
+}
+
+impl EvalStats {
+    /// Record an object of the given size and cardinality occurring at a
+    /// derivation node.
+    pub(crate) fn observe_object(&mut self, size: u64, cardinality: Option<usize>) {
+        self.max_object_size = self.max_object_size.max(size);
+        self.total_size = self.total_size.saturating_add(size);
+        if let Some(card) = cardinality {
+            self.max_set_cardinality = self.max_set_cardinality.max(card as u64);
+        }
+    }
+
+    /// Record a rule application.
+    pub(crate) fn observe_node(&mut self, rule: &'static str) {
+        self.nodes += 1;
+        *self.rule_counts.entry(rule).or_insert(0) += 1;
+    }
+
+    /// `log₂` of the complexity, the quantity whose growth-in-`n` slope the
+    /// experiments fit (Theorem 4.1 predicts slope ≥ c > 0 for TC queries).
+    pub fn log2_complexity(&self) -> f64 {
+        (self.max_object_size as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observes_max_and_total() {
+        let mut s = EvalStats::default();
+        s.observe_object(5, None);
+        s.observe_object(3, Some(2));
+        s.observe_object(4, Some(7));
+        assert_eq!(s.max_object_size, 5);
+        assert_eq!(s.total_size, 12);
+        assert_eq!(s.max_set_cardinality, 7);
+    }
+
+    #[test]
+    fn counts_rules() {
+        let mut s = EvalStats::default();
+        s.observe_node("map");
+        s.observe_node("map");
+        s.observe_node("id");
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.rule_counts["map"], 2);
+        assert_eq!(s.rule_counts["id"], 1);
+    }
+
+    #[test]
+    fn log2() {
+        let mut s = EvalStats::default();
+        s.observe_object(1024, None);
+        assert!((s.log2_complexity() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,272 @@
+//! Materialised derivation trees.
+//!
+//! §3 defines evaluation `f(C) ⇓ C'` as "a tree, whose nodes are labeled by
+//! the rules above, and whose root contains `f(C) ⇓ C'`. The height of the
+//! tree depends only on `f`, not on `C`. But the width of this tree may
+//! depend on `C`." This module builds that tree explicitly (for inputs
+//! small enough to inspect) so that tests and examples can check the
+//! height/width claims and render derivations.
+
+use crate::eager::{apply_leaf, Ctx};
+use crate::error::{EvalConfig, EvalError};
+use crate::stats::EvalStats;
+use nra_core::expr::Expr;
+use nra_core::value::Value;
+use std::fmt::Write as _;
+
+/// One node of a derivation tree: the rule applied, the judgment
+/// `input ⇓ output`, and the sub-derivations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivNode {
+    /// The rule label (an `Expr::head_name`).
+    pub rule: &'static str,
+    /// The argument object `C`.
+    pub input: Value,
+    /// The result object `C'`.
+    pub output: Value,
+    /// Sub-derivations, in evaluation order.
+    pub children: Vec<DerivNode>,
+}
+
+impl DerivNode {
+    /// Total number of nodes of the tree.
+    pub fn node_count(&self) -> u64 {
+        1 + self.children.iter().map(DerivNode::node_count).sum::<u64>()
+    }
+
+    /// Height of the tree (a single node has height 1). §3: "the height of
+    /// the tree depends only on f, not on C".
+    pub fn height(&self) -> u64 {
+        1 + self
+            .children
+            .iter()
+            .map(DerivNode::height)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum branching factor (§3: "the width of this tree may depend on
+    /// C").
+    pub fn max_branching(&self) -> usize {
+        self.children
+            .len()
+            .max(self.children.iter().map(DerivNode::max_branching).max().unwrap_or(0))
+    }
+
+    /// The largest object size occurring in the tree — the §3 complexity,
+    /// recomputed from the materialised tree (tests check it against the
+    /// streaming statistics).
+    pub fn max_object_size(&self) -> u64 {
+        let here = self.input.size().max(self.output.size());
+        self.children
+            .iter()
+            .map(DerivNode::max_object_size)
+            .fold(here, u64::max)
+    }
+
+    /// Render the tree with one judgment per line, truncating objects to
+    /// `width` characters.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0, width);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize, width: usize) {
+        let clip = |v: &Value| {
+            let s = v.to_string();
+            if s.len() > width {
+                let mut end = width;
+                while end > 0 && !s.is_char_boundary(end) {
+                    end -= 1;
+                }
+                format!("{}…", &s[..end])
+            } else {
+                s
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}[{}] {} ⇓ {}",
+            "  ".repeat(depth),
+            self.rule,
+            clip(&self.input),
+            clip(&self.output),
+        );
+        for child in &self.children {
+            child.render_into(out, depth + 1, width);
+        }
+    }
+}
+
+/// A traced evaluation: the derivation tree (or error) plus §3 statistics
+/// identical to what the plain evaluator would report.
+#[derive(Debug, Clone)]
+pub struct TracedEvaluation {
+    /// The derivation tree, or the error that interrupted it.
+    pub result: Result<DerivNode, EvalError>,
+    /// §3 statistics.
+    pub stats: EvalStats,
+}
+
+/// Evaluate while materialising the full derivation tree. Use only on
+/// small inputs — the tree holds every intermediate object. Budgets from
+/// `config` apply exactly as in [`crate::eager::evaluate`].
+pub fn evaluate_traced(expr: &Expr, input: &Value, config: &EvalConfig) -> TracedEvaluation {
+    let mut ctx = Ctx::new(config);
+    let result = trace_in(expr, input, &mut ctx);
+    TracedEvaluation {
+        result,
+        stats: ctx.stats,
+    }
+}
+
+fn trace_in(expr: &Expr, input: &Value, ctx: &mut Ctx) -> Result<DerivNode, EvalError> {
+    ctx.node(expr.head_name())?;
+    ctx.observe(input)?;
+    let (output, children) = match expr {
+        Expr::Tuple(f, g) => {
+            let a = trace_in(f, input, ctx)?;
+            let b = trace_in(g, input, ctx)?;
+            let out = Value::pair(a.output.clone(), b.output.clone());
+            (out, vec![a, b])
+        }
+        Expr::Map(f) => {
+            let items = input.as_set().ok_or(EvalError::Stuck {
+                rule: "map",
+                detail: "input is not a set".into(),
+            })?;
+            let mut children = Vec::with_capacity(items.len());
+            let mut out = std::collections::BTreeSet::new();
+            for item in items {
+                let child = trace_in(f, item, ctx)?;
+                out.insert(child.output.clone());
+                children.push(child);
+            }
+            (Value::Set(out), children)
+        }
+        Expr::Cond(c, then, els) => {
+            let cnode = trace_in(c, input, ctx)?;
+            let branch = match cnode.output {
+                Value::Bool(true) => trace_in(then, input, ctx)?,
+                Value::Bool(false) => trace_in(els, input, ctx)?,
+                _ => {
+                    return Err(EvalError::Stuck {
+                        rule: "if",
+                        detail: "condition is not boolean".into(),
+                    })
+                }
+            };
+            (branch.output.clone(), vec![cnode, branch])
+        }
+        Expr::Compose(g, f) => {
+            let fnode = trace_in(f, input, ctx)?;
+            let gnode = trace_in(g, &fnode.output, ctx)?;
+            (gnode.output.clone(), vec![fnode, gnode])
+        }
+        Expr::While(f) => {
+            let mut children = Vec::new();
+            let mut current = input.clone();
+            let mut iterations: u64 = 0;
+            loop {
+                let child = trace_in(f, &current, ctx)?;
+                let next = child.output.clone();
+                children.push(child);
+                iterations += 1;
+                ctx.stats.while_iterations += 1;
+                if next == current {
+                    break;
+                }
+                if iterations >= ctx.config.max_while_iters {
+                    return Err(EvalError::WhileDiverged { iterations });
+                }
+                current = next;
+            }
+            (current, children)
+        }
+        leaf => (apply_leaf(leaf, input, ctx)?, Vec::new()),
+    };
+    ctx.observe(&output)?;
+    Ok(DerivNode {
+        rule: expr.head_name(),
+        input: input.clone(),
+        output,
+        children,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eager::evaluate;
+    use nra_core::builder::*;
+
+    #[test]
+    fn trace_agrees_with_plain_evaluation() {
+        let cfg = EvalConfig::default();
+        let queries = [
+            compose(flatten(), map(sng())),
+            nra_core::queries::tc_step(),
+            nra_core::queries::tc_while(),
+            compose(map(nra_core::derived::is_singleton(&nra_core::Type::prod(
+                nra_core::Type::Nat,
+                nra_core::Type::Nat,
+            ))), powerset()),
+        ];
+        for q in &queries {
+            for n in 0..4u64 {
+                let input = Value::chain(n);
+                let plain = evaluate(q, &input, &cfg);
+                let traced = evaluate_traced(q, &input, &cfg);
+                let tree = traced.result.unwrap();
+                assert_eq!(tree.output, plain.result.unwrap());
+                assert_eq!(traced.stats, plain.stats, "stats must coincide");
+                assert_eq!(tree.node_count(), traced.stats.nodes);
+                assert_eq!(tree.max_object_size(), traced.stats.max_object_size);
+            }
+        }
+    }
+
+    #[test]
+    fn height_depends_only_on_the_expression() {
+        // §3: height is input-independent (for expressions without
+        // while/compose-on-data effects — map children all have equal
+        // height because the body is fixed).
+        let q = compose(flatten(), map(sng()));
+        let h: Vec<u64> = (1..5)
+            .map(|n| {
+                evaluate_traced(&q, &Value::chain(n), &EvalConfig::default())
+                    .result
+                    .unwrap()
+                    .height()
+            })
+            .collect();
+        assert!(h.windows(2).all(|w| w[0] == w[1]), "{h:?}");
+    }
+
+    #[test]
+    fn width_depends_on_the_input() {
+        let q = map(sng());
+        let widths: Vec<usize> = (1..5)
+            .map(|n| {
+                evaluate_traced(&q, &Value::chain(n), &EvalConfig::default())
+                    .result
+                    .unwrap()
+                    .max_branching()
+            })
+            .collect();
+        assert_eq!(widths, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn renders_readably() {
+        let q = compose(is_empty(), map(sng()));
+        let tree = evaluate_traced(&q, &Value::chain(1), &EvalConfig::default())
+            .result
+            .unwrap();
+        let text = tree.render(40);
+        assert!(text.contains("[compose]"));
+        assert!(text.contains("[isempty]"));
+        assert!(text.lines().count() as u64 == tree.node_count());
+    }
+}

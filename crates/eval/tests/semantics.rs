@@ -1,0 +1,442 @@
+//! Semantic integration tests: the Proposition 2.1 derived operations and
+//! the paper's queries, evaluated by the §3 engine against independent
+//! ground truth (`std` set operations and the `nra-graph` baselines).
+
+use nra_core::builder::*;
+use nra_core::derived;
+use nra_core::queries;
+use nra_core::types::Type;
+use nra_core::value::Value;
+use nra_eval::{eval, evaluate, EvalConfig};
+use nra_graph::{graph_to_value, tc, value_to_graph, DiGraph};
+
+fn run(e: &nra_core::Expr, v: &Value) -> Value {
+    eval(e, v).unwrap_or_else(|err| panic!("{e}: {err}"))
+}
+
+fn edge_ty() -> Type {
+    Type::prod(Type::Nat, Type::Nat)
+}
+
+// ---------------------------------------------------------------------------
+// Prop 2.1 derived operations
+// ---------------------------------------------------------------------------
+
+#[test]
+fn boolean_connectives() {
+    for a in [false, true] {
+        assert_eq!(run(&derived::not(), &Value::Bool(a)), Value::Bool(!a));
+        for b in [false, true] {
+            let input = Value::pair(Value::Bool(a), Value::Bool(b));
+            assert_eq!(run(&derived::and2(), &input), Value::Bool(a && b));
+            assert_eq!(run(&derived::or2(), &input), Value::Bool(a || b));
+        }
+    }
+}
+
+#[test]
+fn selection_filters_by_predicate() {
+    // σ_{fst = snd} over pairs
+    let input = Value::relation([(1, 1), (1, 2), (3, 3), (4, 5)]);
+    let out = run(&derived::select(eq_nat(), edge_ty()), &input);
+    assert_eq!(out, Value::relation([(1, 1), (3, 3)]));
+    // selection by a constant-true keeps everything
+    let out = run(&derived::select(always_true(), edge_ty()), &input);
+    assert_eq!(out, input);
+    // selection by constant-false empties
+    let out = run(&derived::select(always_false(), edge_ty()), &input);
+    assert_eq!(out, Value::empty_set());
+}
+
+#[test]
+fn cartesian_product() {
+    let a = Value::set([Value::nat(1), Value::nat(2)]);
+    let b = Value::set([Value::nat(8), Value::nat(9)]);
+    let out = run(&derived::cartprod(), &Value::pair(a, b));
+    assert_eq!(out, Value::relation([(1, 8), (1, 9), (2, 8), (2, 9)]));
+    // with an empty factor
+    let out = run(
+        &derived::cartprod(),
+        &Value::pair(Value::empty_set(), Value::set([Value::nat(1)])),
+    );
+    assert_eq!(out, Value::empty_set());
+}
+
+#[test]
+fn rho1_pairs_left_elements() {
+    let input = Value::pair(Value::set([Value::nat(1), Value::nat(2)]), Value::nat(7));
+    assert_eq!(run(&derived::rho1(), &input), Value::relation([(1, 7), (2, 7)]));
+}
+
+#[test]
+fn equality_at_nested_types() {
+    // naturals
+    let eqn = derived::eq_at(&Type::Nat);
+    assert_eq!(run(&eqn, &Value::edge(3, 3)), Value::TRUE);
+    assert_eq!(run(&eqn, &Value::edge(3, 4)), Value::FALSE);
+    // pairs
+    let eqp = derived::eq_at(&edge_ty());
+    let p = |a: u64, b: u64| Value::edge(a, b);
+    assert_eq!(run(&eqp, &Value::pair(p(1, 2), p(1, 2))), Value::TRUE);
+    assert_eq!(run(&eqp, &Value::pair(p(1, 2), p(1, 3))), Value::FALSE);
+    // sets (order-insensitive, duplicate-insensitive by construction)
+    let eqs = derived::eq_at(&Type::set(Type::Nat));
+    let s1 = Value::set([Value::nat(1), Value::nat(2)]);
+    let s2 = Value::set([Value::nat(2), Value::nat(1)]);
+    let s3 = Value::set([Value::nat(1)]);
+    assert_eq!(run(&eqs, &Value::pair(s1.clone(), s2.clone())), Value::TRUE);
+    assert_eq!(run(&eqs, &Value::pair(s1.clone(), s3.clone())), Value::FALSE);
+    assert_eq!(run(&eqs, &Value::pair(s3.clone(), s1.clone())), Value::FALSE);
+    // sets of sets
+    let eqss = derived::eq_at(&Type::set(Type::set(Type::Nat)));
+    let nested1 = Value::set([s1.clone(), Value::empty_set()]);
+    let nested2 = Value::set([Value::empty_set(), s2.clone()]);
+    assert_eq!(run(&eqss, &Value::pair(nested1.clone(), nested2)), Value::TRUE);
+    assert!(
+        !run(&eqss, &Value::pair(nested1, Value::set([s3])))
+            .as_bool()
+            .unwrap()
+    );
+    // booleans and unit
+    let eqb = derived::eq_at(&Type::Bool);
+    assert_eq!(run(&eqb, &Value::pair(Value::TRUE, Value::TRUE)), Value::TRUE);
+    assert_eq!(run(&eqb, &Value::pair(Value::TRUE, Value::FALSE)), Value::FALSE);
+    assert_eq!(run(&eqb, &Value::pair(Value::FALSE, Value::FALSE)), Value::TRUE);
+    let equ = derived::eq_at(&Type::Unit);
+    assert_eq!(run(&equ, &Value::pair(Value::Unit, Value::Unit)), Value::TRUE);
+}
+
+#[test]
+fn membership_and_inclusion() {
+    let s = Value::set([Value::nat(1), Value::nat(2), Value::nat(3)]);
+    let member = derived::member(&Type::Nat);
+    assert_eq!(run(&member, &Value::pair(Value::nat(2), s.clone())), Value::TRUE);
+    assert_eq!(run(&member, &Value::pair(Value::nat(9), s.clone())), Value::FALSE);
+    let subset = derived::subset(&Type::Nat);
+    let small = Value::set([Value::nat(1), Value::nat(3)]);
+    assert_eq!(run(&subset, &Value::pair(small.clone(), s.clone())), Value::TRUE);
+    assert_eq!(run(&subset, &Value::pair(s.clone(), small.clone())), Value::FALSE);
+    assert_eq!(run(&subset, &Value::pair(Value::empty_set(), s.clone())), Value::TRUE);
+    assert_eq!(run(&subset, &Value::pair(s.clone(), s)), Value::TRUE);
+}
+
+#[test]
+fn difference_and_intersection() {
+    let a = Value::set([Value::nat(1), Value::nat(2), Value::nat(3)]);
+    let b = Value::set([Value::nat(2), Value::nat(4)]);
+    let input = Value::pair(a, b);
+    assert_eq!(
+        run(&derived::difference(&Type::Nat), &input),
+        Value::set([Value::nat(1), Value::nat(3)])
+    );
+    assert_eq!(
+        run(&derived::intersect(&Type::Nat), &input),
+        Value::set([Value::nat(2)])
+    );
+}
+
+#[test]
+fn big_intersection() {
+    let s1 = Value::set([Value::nat(1), Value::nat(2), Value::nat(3)]);
+    let s2 = Value::set([Value::nat(2), Value::nat(3), Value::nat(4)]);
+    let s3 = Value::set([Value::nat(3), Value::nat(2)]);
+    let input = Value::set([s1, s2, s3]);
+    assert_eq!(
+        run(&derived::big_intersect(&Type::Nat), &input),
+        Value::set([Value::nat(2), Value::nat(3)])
+    );
+    // ⋂∅ = ∅ by convention
+    assert_eq!(
+        run(&derived::big_intersect(&Type::Nat), &Value::empty_set()),
+        Value::empty_set()
+    );
+}
+
+#[test]
+fn nest_unnest() {
+    // unnest({(1,{8,9}), (2,{})}) = {(1,8),(1,9)}
+    let nested = Value::set([
+        Value::pair(Value::nat(1), Value::set([Value::nat(8), Value::nat(9)])),
+        Value::pair(Value::nat(2), Value::empty_set()),
+    ]);
+    let out = run(&derived::unnest(), &nested);
+    assert_eq!(out, Value::relation([(1, 8), (1, 9)]));
+    // nest groups by the first column
+    let flat = Value::relation([(1, 8), (1, 9), (2, 5)]);
+    let out = run(&derived::nest(&Type::Nat, &Type::Nat), &flat);
+    let expect = Value::set([
+        Value::pair(Value::nat(1), Value::set([Value::nat(8), Value::nat(9)])),
+        Value::pair(Value::nat(2), Value::set([Value::nat(5)])),
+    ]);
+    assert_eq!(out, expect);
+    // unnest ∘ nest = id on relations
+    let back = run(&derived::unnest(), &out);
+    assert_eq!(back, flat);
+}
+
+#[test]
+fn singleton_test() {
+    let is1 = derived::is_singleton(&Type::Nat);
+    assert_eq!(run(&is1, &Value::set([Value::nat(5)])), Value::TRUE);
+    assert_eq!(run(&is1, &Value::empty_set()), Value::FALSE);
+    assert_eq!(run(&is1, &Value::set([Value::nat(1), Value::nat(2)])), Value::FALSE);
+}
+
+#[test]
+fn derived_powerset_m_equals_primitive() {
+    for m in 0..=4u64 {
+        let term = derived::powerset_m(m, &Type::Nat);
+        let prim = powerset_m_prim(m);
+        for k in 0..=4u64 {
+            let input = Value::set((0..k).map(Value::nat));
+            assert_eq!(
+                run(&term, &input),
+                run(&prim, &input),
+                "m={m}, k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn derived_powerset_m_on_edges() {
+    let input = Value::chain(3);
+    let term = derived::powerset_m(2, &edge_ty());
+    let out = run(&term, &input);
+    // C(3,0)+C(3,1)+C(3,2) = 1+3+3 = 7
+    assert_eq!(out.cardinality(), Some(7));
+}
+
+#[test]
+fn rel_nodes_computes_the_node_set() {
+    let out = run(&derived::rel_nodes(), &Value::chain(3));
+    assert_eq!(out, Value::set((0..=3).map(Value::nat)));
+}
+
+// ---------------------------------------------------------------------------
+// The paper's queries
+// ---------------------------------------------------------------------------
+
+fn tc_ground_truth(g: &DiGraph) -> Value {
+    graph_to_value(&tc(g))
+}
+
+#[test]
+fn sources_and_sinks() {
+    let out = run(&queries::sources(), &Value::chain(4));
+    assert_eq!(out, Value::set([Value::nat(0)]));
+    let out = run(&queries::sinks(), &Value::chain(4));
+    assert_eq!(out, Value::set([Value::nat(4)]));
+    // a cycle has neither
+    let cyc = graph_to_value(&DiGraph::cycle(3));
+    assert_eq!(run(&queries::sources(), &cyc), Value::empty_set());
+    assert_eq!(run(&queries::sinks(), &cyc), Value::empty_set());
+}
+
+#[test]
+fn tc_while_equals_ground_truth_on_chains() {
+    for n in 0..10u64 {
+        let g = DiGraph::chain(n);
+        let out = run(&queries::tc_while(), &graph_to_value(&g));
+        assert_eq!(out, tc_ground_truth(&g), "n={n}");
+        assert_eq!(out, Value::chain_tc(n), "n={n} (paper's qₙ)");
+    }
+}
+
+#[test]
+fn tc_while_equals_ground_truth_on_random_graphs() {
+    for seed in 0..10u64 {
+        let g = DiGraph::random(8, 0.2, seed);
+        let out = run(&queries::tc_while(), &graph_to_value(&g));
+        assert_eq!(out, tc_ground_truth(&g), "seed={seed}");
+    }
+}
+
+#[test]
+fn tc_paths_equals_ground_truth_on_chains() {
+    for n in 0..7u64 {
+        let g = DiGraph::chain(n);
+        let out = run(&queries::tc_paths(), &graph_to_value(&g));
+        assert_eq!(out, Value::chain_tc(n), "n={n}");
+    }
+}
+
+#[test]
+fn tc_paths_handles_cycles_and_self_loops() {
+    // cycle: complete closure including reflexive pairs
+    for n in 1..5u64 {
+        let g = DiGraph::cycle(n);
+        let out = run(&queries::tc_paths(), &graph_to_value(&g));
+        assert_eq!(out, tc_ground_truth(&g), "cycle {n}");
+    }
+    // self loop
+    let g = DiGraph::from_edges([(2, 2)]);
+    let out = run(&queries::tc_paths(), &graph_to_value(&g));
+    assert_eq!(out, tc_ground_truth(&g));
+    // chain into a cycle
+    let g = DiGraph::from_edges([(0, 1), (1, 2), (2, 1)]);
+    let out = run(&queries::tc_paths(), &graph_to_value(&g));
+    assert_eq!(out, tc_ground_truth(&g));
+}
+
+#[test]
+fn tc_paths_on_small_functional_and_random_graphs() {
+    for seed in 0..8u64 {
+        // keep the edge count small: tc_paths is 2^{|edges|}
+        let g = DiGraph::random(5, 0.15, seed);
+        if g.edge_count() > 8 {
+            continue;
+        }
+        let out = run(&queries::tc_paths(), &graph_to_value(&g));
+        assert_eq!(out, tc_ground_truth(&g), "seed={seed}");
+    }
+    // deterministic graphs (outdegree ≤ 1) — the Immerman regime
+    let g = DiGraph::functional(&[1, 2, 3, 3]);
+    assert!(g.is_deterministic());
+    let out = run(&queries::tc_paths(), &graph_to_value(&g));
+    assert_eq!(out, tc_ground_truth(&g));
+}
+
+#[test]
+fn tc_naive_equals_ground_truth_on_tiny_chains() {
+    for n in 1..3u64 {
+        let g = DiGraph::chain(n);
+        let out = run(&queries::tc_naive(), &graph_to_value(&g));
+        assert_eq!(out, Value::chain_tc(n), "n={n}");
+    }
+}
+
+#[test]
+fn tc_approximations_need_m_at_least_n() {
+    // Prop 4.2 on tc_paths: fₘ(rₙ) = f(rₙ) iff m ≥ n — witnesses that no
+    // single m works for every n.
+    for n in 1..6u64 {
+        let input = Value::chain(n);
+        let full = run(&queries::tc_paths(), &input);
+        for m in 0..(n + 2) {
+            let approx = run(&queries::tc_paths_approx(m), &input);
+            if m >= n {
+                assert_eq!(approx, full, "n={n} m={m} should be exact");
+            } else {
+                assert_ne!(approx, full, "n={n} m={m} must be incomplete");
+                // the approximation is sound (a subset), just incomplete
+                let sub = derived::subset(&edge_ty());
+                assert_eq!(
+                    run(&sub, &Value::pair(approx, full.clone())),
+                    Value::TRUE
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn siblings_queries_agree_and_stabilise_at_m_2() {
+    for seed in 0..6u64 {
+        let g = DiGraph::random(5, 0.25, seed);
+        if g.edge_count() > 9 {
+            continue;
+        }
+        let input = graph_to_value(&g);
+        let direct = run(&queries::siblings_direct(), &input);
+        let via_powerset = run(&queries::siblings_powerset(), &input);
+        assert_eq!(direct, via_powerset, "seed={seed}");
+        // the bounded side of the dichotomy: m = 2 is exact for every input
+        let approx2 = run(&queries::siblings_approx(2), &input);
+        assert_eq!(approx2, direct, "seed={seed}");
+        // m = 1 yields no 2-element witnesses, hence ∅
+        let approx1 = run(&queries::siblings_approx(1), &input);
+        assert_eq!(approx1, Value::empty_set(), "seed={seed}");
+    }
+}
+
+#[test]
+fn compose_rel_is_one_join_round() {
+    let input = Value::chain(4);
+    let out = run(&queries::compose_rel(), &input);
+    assert_eq!(out, Value::relation([(0, 2), (1, 3), (2, 4)]));
+}
+
+// ---------------------------------------------------------------------------
+// Complexity behaviour (the theorems, quantitatively)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn powerset_tc_complexity_grows_exponentially() {
+    // Theorem 4.1's shape: log₂(complexity) grows linearly in n with
+    // slope ≈ 1 for tc_paths.
+    let cfg = EvalConfig::default();
+    let mut logs = Vec::new();
+    for n in 4..9u64 {
+        let ev = evaluate(&queries::tc_paths(), &Value::chain(n), &cfg);
+        assert!(ev.result.is_ok());
+        logs.push(ev.stats.log2_complexity());
+    }
+    for w in logs.windows(2) {
+        let slope = w[1] - w[0];
+        assert!(
+            slope > 0.8 && slope < 1.5,
+            "per-step log₂ growth ≈ 1, got {slope} ({logs:?})"
+        );
+    }
+}
+
+#[test]
+fn while_tc_complexity_grows_polynomially() {
+    let cfg = EvalConfig::default();
+    let mut sizes = Vec::new();
+    for n in [4u64, 8, 16] {
+        let ev = evaluate(&queries::tc_while(), &Value::chain(n), &cfg);
+        assert!(ev.result.is_ok());
+        sizes.push(ev.stats.max_object_size as f64);
+    }
+    // the largest object is the closure's self-product, Θ(n⁴): doubling n
+    // multiplies complexity by ≈16 — polynomial, nowhere near the ×2ⁿ⁺
+    // jumps of the powerset route
+    for w in sizes.windows(2) {
+        let ratio = w[1] / w[0];
+        assert!(ratio < 20.0, "polynomial growth, ratio {ratio}");
+    }
+}
+
+#[test]
+fn budgeted_tc_reports_exact_requirement() {
+    // With a tiny budget the evaluation fails but reports the exact
+    // powerset size it would have needed.
+    let n = 20u64;
+    let cfg = EvalConfig::with_space_budget(10_000);
+    let ev = evaluate(&queries::tc_paths(), &Value::chain(n), &cfg);
+    match ev.result {
+        Err(nra_eval::EvalError::SpaceBudgetExceeded { required, .. }) => {
+            // powerset(r₂₀) has 2²⁰ subsets of total size 1 + 2²⁰ + 2¹⁹·Σsize
+            let expected = 1u64 + (1 << 20) + (1 << 19) * (3 * 20);
+            assert_eq!(required, expected);
+        }
+        other => panic!("expected budget error, got {other:?}"),
+    }
+}
+
+#[test]
+fn node_count_polynomially_related_to_complexity() {
+    // §3: "the total number of nodes of the evaluation tree is
+    // polynomially bounded by this complexity" — with an f-dependent
+    // constant (the derivation height depends only on f).
+    let cfg = EvalConfig::default();
+    let k = 16.0;
+    for n in 2..7u64 {
+        let ev = evaluate(&queries::tc_paths(), &Value::chain(n), &cfg);
+        let c = ev.stats.max_object_size as f64;
+        let nodes = ev.stats.nodes as f64;
+        assert!(nodes < k * c * c, "nodes {nodes} ≤ {k}·complexity² ({c}²)");
+    }
+}
+
+#[test]
+fn roundtrip_graph_value_queries() {
+    // decoding query outputs back to graphs matches graph-level TC
+    for n in 1..6u64 {
+        let g = DiGraph::chain(n);
+        let out = run(&queries::tc_while(), &graph_to_value(&g));
+        assert_eq!(value_to_graph(&out).unwrap(), tc(&g));
+    }
+}

@@ -1,0 +1,132 @@
+//! A dense fixed-capacity bitset, the substrate for the Warshall baseline.
+
+/// A fixed-capacity set of small integers backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// An empty bitset able to hold values `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Insert `i`; returns true if it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {} out of capacity {}", i, self.capacity);
+        let (w, b) = (i / 64, i % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Remove `i`; returns true if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity);
+        let (w, b) = (i / 64, i % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// In-place union; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True iff no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate the set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn union() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        b.insert(70);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 70]);
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn empty() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Directed graphs over `u64` node ids, with the generators the
+//! experiments need: the paper's chain `rₙ`, cycles, functional graphs
+//! (outdegree ≤ 1 — the *deterministic* transitive-closure inputs of
+//! Immerman [8] that Theorem 4.1 also covers), layered DAGs and random
+//! graphs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A directed graph as a duplicate-free edge set (matching the `{N × N}`
+/// complex-object representation).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DiGraph {
+    edges: BTreeSet<(u64, u64)>,
+}
+
+impl DiGraph {
+    /// The empty graph.
+    pub fn new() -> Self {
+        DiGraph::default()
+    }
+
+    /// Build from an edge iterator (deduplicating).
+    pub fn from_edges<I: IntoIterator<Item = (u64, u64)>>(edges: I) -> Self {
+        DiGraph {
+            edges: edges.into_iter().collect(),
+        }
+    }
+
+    /// The paper's chain `rₙ = {(0,1), …, (n−1,n)}`.
+    pub fn chain(n: u64) -> Self {
+        DiGraph::from_edges((0..n).map(|i| (i, i + 1)))
+    }
+
+    /// A directed cycle on `n ≥ 1` nodes: `0 → 1 → … → n−1 → 0`.
+    pub fn cycle(n: u64) -> Self {
+        assert!(n >= 1);
+        DiGraph::from_edges((0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    /// A functional graph (outdegree exactly 1) given by `succ[i]` —
+    /// deterministic TC inputs in the sense of Immerman [8].
+    pub fn functional(succ: &[u64]) -> Self {
+        DiGraph::from_edges(succ.iter().enumerate().map(|(i, &j)| (i as u64, j)))
+    }
+
+    /// A layered DAG: `layers` layers of `width` nodes, every node edged to
+    /// every node of the next layer.
+    pub fn layered(layers: u64, width: u64) -> Self {
+        let mut edges = BTreeSet::new();
+        for l in 0..layers.saturating_sub(1) {
+            for a in 0..width {
+                for b in 0..width {
+                    edges.insert((l * width + a, (l + 1) * width + b));
+                }
+            }
+        }
+        DiGraph { edges }
+    }
+
+    /// A pseudo-random graph on `n` nodes where each of the `n²` ordered
+    /// pairs is an edge with probability `p`, deterministic in `seed`
+    /// (xorshift; no external dependency so the substrate stays
+    /// self-contained).
+    pub fn random(n: u64, p: f64, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let threshold = (p.clamp(0.0, 1.0) * (u64::MAX as f64)) as u64;
+        let mut edges = BTreeSet::new();
+        for a in 0..n {
+            for b in 0..n {
+                if next() <= threshold {
+                    edges.insert((a, b));
+                }
+            }
+        }
+        DiGraph { edges }
+    }
+
+    /// Add an edge; returns true if newly added.
+    pub fn add_edge(&mut self, a: u64, b: u64) -> bool {
+        self.edges.insert((a, b))
+    }
+
+    /// Edge membership.
+    pub fn has_edge(&self, a: u64, b: u64) -> bool {
+        self.edges.contains(&(a, b))
+    }
+
+    /// The edge set.
+    pub fn edges(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The nodes occurring in at least one edge (the complex-object world
+    /// has no isolated nodes: a graph *is* its edge relation).
+    pub fn nodes(&self) -> BTreeSet<u64> {
+        self.edges
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect()
+    }
+
+    /// Out-neighbour adjacency map.
+    pub fn successors(&self) -> BTreeMap<u64, Vec<u64>> {
+        let mut map: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for &(a, b) in &self.edges {
+            map.entry(a).or_default().push(b);
+        }
+        map
+    }
+
+    /// Maximum outdegree (≤ 1 ⟺ the deterministic-TC regime).
+    pub fn max_outdegree(&self) -> usize {
+        self.successors()
+            .values()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True iff every node has outdegree ≤ 1.
+    pub fn is_deterministic(&self) -> bool {
+        self.max_outdegree() <= 1
+    }
+}
+
+impl FromIterator<(u64, u64)> for DiGraph {
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
+        DiGraph::from_edges(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let g = DiGraph::chain(3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.nodes().len(), 4);
+        assert!(g.is_deterministic());
+    }
+
+    #[test]
+    fn cycle_wraps() {
+        let g = DiGraph::cycle(4);
+        assert!(g.has_edge(3, 0));
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.is_deterministic());
+        let g1 = DiGraph::cycle(1);
+        assert!(g1.has_edge(0, 0));
+    }
+
+    #[test]
+    fn functional_graphs_are_deterministic() {
+        let g = DiGraph::functional(&[1, 2, 0, 0]);
+        assert!(g.is_deterministic());
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn layered_counts() {
+        let g = DiGraph::layered(3, 2);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.nodes().len(), 6);
+        assert_eq!(g.max_outdegree(), 2);
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed() {
+        let a = DiGraph::random(10, 0.3, 42);
+        let b = DiGraph::random(10, 0.3, 42);
+        let c = DiGraph::random(10, 0.3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let dense = DiGraph::random(10, 1.0, 7);
+        assert_eq!(dense.edge_count(), 100);
+        let empty = DiGraph::random(10, 0.0, 7);
+        assert_eq!(empty.edge_count(), 0);
+    }
+}

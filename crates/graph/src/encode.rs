@@ -1,0 +1,46 @@
+//! Conversions between [`DiGraph`] and complex objects of type `{N × N}`.
+
+use crate::digraph::DiGraph;
+use nra_core::value::Value;
+
+/// Encode a graph as the complex object `{(a, b), …}` of type `{N × N}`.
+pub fn graph_to_value(g: &DiGraph) -> Value {
+    Value::relation(g.edges())
+}
+
+/// Decode a complex object of type `{N × N}` back into a graph. Returns
+/// `None` if the value is not a binary relation over naturals.
+pub fn value_to_graph(v: &Value) -> Option<DiGraph> {
+    Some(DiGraph::from_edges(v.to_edges()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_core::types::Type;
+
+    #[test]
+    fn round_trip() {
+        for g in [
+            DiGraph::new(),
+            DiGraph::chain(5),
+            DiGraph::cycle(3),
+            DiGraph::random(8, 0.3, 1),
+        ] {
+            let v = graph_to_value(&g);
+            assert!(v.has_type(&Type::nat_rel()));
+            assert_eq!(value_to_graph(&v).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn chain_matches_value_chain() {
+        assert_eq!(graph_to_value(&DiGraph::chain(4)), Value::chain(4));
+    }
+
+    #[test]
+    fn non_relations_decode_to_none() {
+        assert_eq!(value_to_graph(&Value::nat(3)), None);
+        assert_eq!(value_to_graph(&Value::set([Value::nat(1)])), None);
+    }
+}

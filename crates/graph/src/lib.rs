@@ -1,0 +1,20 @@
+//! # nra-graph
+//!
+//! Graph substrate for the reproduction of Suciu & Paredaens (1994):
+//! generators for the paper's input families (the chain `rₙ`, cycles,
+//! deterministic/functional graphs, layered DAGs, seeded random graphs),
+//! classical polynomial transitive-closure algorithms (the ground truth
+//! and E3 baselines), a dense bitset, and conversions to/from complex
+//! objects of type `{N × N}`.
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod digraph;
+pub mod encode;
+pub mod tc;
+
+pub use bitset::BitSet;
+pub use digraph::DiGraph;
+pub use encode::{graph_to_value, value_to_graph};
+pub use tc::{bfs_per_source, semi_naive, tc, warshall};

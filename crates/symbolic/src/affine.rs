@@ -1,0 +1,573 @@
+//! Affine spaces and variable affine spaces (§5.3).
+//!
+//! > "We define an **affine space** to be a subset U of `[n]ᵏ`, of the form
+//! > `{ē(ᾱ) | ᾱ ∈ [n]ᵖ, Γ(ᾱ)}`, where `ē(ᾱ)` is a vector of simple
+//! > expressions whose free variables are exactly `ᾱ`, and `Γ(ᾱ)` is a
+//! > conjunction of negative simple conditions. `p` is called the
+//! > **dimension** of U."
+//!
+//! Properties implemented and tested (Prop 5.2):
+//! 1. every satisfiable conjunctive condition describes an affine space,
+//!    and conversely ([`AffineSpace::from_conjunct`]);
+//! 2. a p-dimensional space has `nᵖ − O(nᵖ⁻¹)` elements — in particular a
+//!    0-dimensional space has exactly one and no space is empty
+//!    ([`AffineSpace::count`], checked in tests and experiment E6);
+//! 3. the intersection of two affine spaces is empty or affine
+//!    ([`AffineSpace::intersect`]).
+//!
+//! A **variable** affine space `V(y⃗)` (Prop 5.5) additionally mentions
+//! rigid parameter variables in its coordinates; the decomposition
+//! `C(x⃗, y⃗) ⟺ y⃗ ∈ U ∧ x⃗ ∈ V(y⃗)` is [`decompose`].
+
+use crate::condition::{solve_conjunct, Atom, Conjunct, FixedTerm, Resolved, Solution};
+use crate::simple::SimpleExpr;
+use crate::vars::{Env, VarId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One coordinate expression `eᵢ(ᾱ)` of an affine space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Coord {
+    /// A constant.
+    Const(i64),
+    /// `n − c`.
+    NMinus(i64),
+    /// `αₚ + c` for parameter index `p` — the coordinate is *free* (§5.3).
+    Param(usize, i64),
+    /// `y + c` for a rigid variable `y` — occurs only in *variable* affine
+    /// spaces (Prop 5.5).
+    Rigid(VarId, i64),
+}
+
+impl Coord {
+    fn from_resolved(r: Resolved) -> Coord {
+        match r {
+            Resolved::Fixed(FixedTerm::Const(c)) => Coord::Const(c),
+            Resolved::Fixed(FixedTerm::NMinus(c)) => Coord::NMinus(c),
+            Resolved::Fixed(FixedTerm::Rigid(v, c)) => Coord::Rigid(v, c),
+            Resolved::Free(p, c) => Coord::Param(p, c),
+        }
+    }
+
+    /// Integer value under a parameter assignment and rigid environment.
+    pub fn eval(&self, n: u64, params: &[u64], rigid: &Env) -> Option<i128> {
+        Some(match *self {
+            Coord::Const(c) => c as i128,
+            Coord::NMinus(c) => n as i128 - c as i128,
+            Coord::Param(p, c) => *params.get(p)? as i128 + c as i128,
+            Coord::Rigid(v, c) => *rigid.get(&v)? as i128 + c as i128,
+        })
+    }
+
+    /// True iff the coordinate mentions a parameter (§5.3: the space is
+    /// *free along* this dimension).
+    pub fn is_free(&self) -> bool {
+        matches!(self, Coord::Param(_, _))
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Coord::Const(c) => write!(f, "{}", c),
+            Coord::NMinus(0) => write!(f, "n"),
+            Coord::NMinus(c) if c > 0 => write!(f, "n-{}", c),
+            Coord::NMinus(c) => write!(f, "n+{}", -c),
+            Coord::Param(p, 0) => write!(f, "a{}", p),
+            Coord::Param(p, c) if c > 0 => write!(f, "a{}+{}", p, c),
+            Coord::Param(p, c) => write!(f, "a{}-{}", p, -c),
+            Coord::Rigid(v, 0) => write!(f, "{}", v),
+            Coord::Rigid(v, c) if c > 0 => write!(f, "{}+{}", v, c),
+            Coord::Rigid(v, c) => write!(f, "{}-{}", v, -c),
+        }
+    }
+}
+
+/// An affine space `{ē(ᾱ) | ᾱ ∈ [n]ᵖ, Γ(ᾱ)}` (§5.3), possibly *variable*
+/// (mentioning rigid variables `y⃗`, Prop 5.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineSpace {
+    /// The dimension `p` — number of parameters.
+    pub dimension: usize,
+    /// The coordinate vector `ē(ᾱ)`.
+    pub coords: Vec<Coord>,
+    /// Γ: pairs required to *differ* (negative simple conditions).
+    pub exclusions: Vec<(Coord, Coord)>,
+}
+
+impl AffineSpace {
+    /// Build the affine solution space of a conjunct over the variable
+    /// vector `vars` (which fixes the coordinate order). Returns `None`
+    /// when the conjunct is unsatisfiable for large `n` (Prop 5.2.1:
+    /// satisfiable conjunctive conditions ⟺ affine spaces).
+    ///
+    /// Variables of the conjunct outside `vars` become rigid
+    /// ([`Coord::Rigid`]) — the variable-affine-space case.
+    pub fn from_conjunct(conjunct: &Conjunct, vars: &[VarId]) -> Option<AffineSpace> {
+        let sol = solve_conjunct(conjunct, vars)?;
+        Some(AffineSpace::from_solution(&sol, vars))
+    }
+
+    /// Build from an already-computed solver [`Solution`].
+    pub fn from_solution(sol: &Solution, vars: &[VarId]) -> AffineSpace {
+        let coords = vars
+            .iter()
+            .map(|v| Coord::from_resolved(sol.assignments[v]))
+            .collect();
+        let exclusions = sol
+            .exclusions
+            .iter()
+            .map(|&(a, b)| (Coord::from_resolved(a), Coord::from_resolved(b)))
+            .collect();
+        AffineSpace {
+            dimension: sol.dimension,
+            coords,
+            exclusions,
+        }
+    }
+
+    /// True iff the space mentions rigid variables (Prop 5.5).
+    pub fn is_variable(&self) -> bool {
+        let mentions = |c: &Coord| matches!(c, Coord::Rigid(_, _));
+        self.coords.iter().any(mentions)
+            || self
+                .exclusions
+                .iter()
+                .any(|(a, b)| mentions(a) || mentions(b))
+    }
+
+    /// Dimensions along which the space is free/bound (§5.3).
+    pub fn free_dimensions(&self) -> Vec<usize> {
+        self.coords
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_free())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Enumerate the points at a concrete `n` (and rigid environment, for
+    /// variable spaces). Points with a negative coordinate are outside
+    /// `[n]ᵏ`'s ambient ℕᵏ and are skipped.
+    pub fn enumerate(&self, n: u64, rigid: &Env) -> BTreeSet<Vec<i128>> {
+        let mut out = BTreeSet::new();
+        let mut params = vec![0u64; self.dimension];
+        self.enumerate_rec(n, rigid, 0, &mut params, &mut out);
+        out
+    }
+
+    fn enumerate_rec(
+        &self,
+        n: u64,
+        rigid: &Env,
+        depth: usize,
+        params: &mut Vec<u64>,
+        out: &mut BTreeSet<Vec<i128>>,
+    ) {
+        if depth == self.dimension {
+            for (a, b) in &self.exclusions {
+                let (Some(av), Some(bv)) = (a.eval(n, params, rigid), b.eval(n, params, rigid))
+                else {
+                    return;
+                };
+                if av == bv {
+                    return;
+                }
+            }
+            let mut point = Vec::with_capacity(self.coords.len());
+            for c in &self.coords {
+                // §5.3: an affine space is a subset of [n]ᵏ.
+                match c.eval(n, params, rigid) {
+                    Some(v) if v >= 0 && v <= n as i128 => point.push(v),
+                    _ => return,
+                }
+            }
+            out.insert(point);
+            return;
+        }
+        for v in 0..=n {
+            params[depth] = v;
+            self.enumerate_rec(n, rigid, depth + 1, params, out);
+        }
+    }
+
+    /// Number of points at a concrete `n` (Prop 5.2.2 predicts
+    /// `nᵖ − O(nᵖ⁻¹)`).
+    pub fn count(&self, n: u64, rigid: &Env) -> usize {
+        self.enumerate(n, rigid).len()
+    }
+
+    /// Intersection of two **closed** affine spaces of equal arity
+    /// (Prop 5.2.3: empty or affine). `None` = empty for large n.
+    pub fn intersect(&self, other: &AffineSpace) -> Option<AffineSpace> {
+        assert_eq!(
+            self.coords.len(),
+            other.coords.len(),
+            "intersection requires equal arity"
+        );
+        assert!(
+            !self.is_variable() && !other.is_variable(),
+            "intersection is defined for closed spaces"
+        );
+        // Encode: variables v0..v_{k-1} for the joint point, u_i for
+        // self's parameters, w_j for other's parameters.
+        let k = self.coords.len() as u32;
+        let p1 = self.dimension as u32;
+        let point = |i: u32| VarId(i);
+        let par1 = |i: usize| VarId(k + i as u32);
+        let par2 = |i: usize| VarId(k + p1 + i as u32);
+
+        let coord_expr = |c: &Coord, par: &dyn Fn(usize) -> VarId| -> SimpleExpr {
+            match *c {
+                Coord::Const(cc) => SimpleExpr::Const(cc),
+                Coord::NMinus(cc) => SimpleExpr::NMinus(cc),
+                Coord::Param(p, cc) => SimpleExpr::Var(par(p), cc),
+                Coord::Rigid(v, cc) => SimpleExpr::Var(v, cc),
+            }
+        };
+
+        let mut atoms = Vec::new();
+        for (i, (a, b)) in self.coords.iter().zip(&other.coords).enumerate() {
+            atoms.push(Atom::eq(
+                SimpleExpr::var(point(i as u32)),
+                coord_expr(a, &par1),
+            ));
+            atoms.push(Atom::eq(
+                SimpleExpr::var(point(i as u32)),
+                coord_expr(b, &par2),
+            ));
+        }
+        for (a, b) in &self.exclusions {
+            atoms.push(Atom::neq(coord_expr(a, &par1), coord_expr(b, &par1)));
+        }
+        for (a, b) in &other.exclusions {
+            atoms.push(Atom::neq(coord_expr(a, &par2), coord_expr(b, &par2)));
+        }
+        let conjunct = Conjunct { atoms };
+        let all_vars: Vec<VarId> = (0..k + p1 + other.dimension as u32).map(VarId).collect();
+        let sol = solve_conjunct(&conjunct, &all_vars)?;
+        // Project onto the point variables.
+        let coords = (0..k)
+            .map(|i| Coord::from_resolved(sol.assignments[&point(i)]))
+            .collect::<Vec<_>>();
+        // Keep only exclusions among parameters that the point coords
+        // mention (others constrain dead parameters; dropping them can
+        // only grow the space, but every dead parameter is free so the
+        // exclusion removes nothing for large n).
+        let mentioned: BTreeSet<usize> = coords
+            .iter()
+            .filter_map(|c| match c {
+                Coord::Param(p, _) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        let exclusions = sol
+            .exclusions
+            .iter()
+            .map(|&(a, b)| (Coord::from_resolved(a), Coord::from_resolved(b)))
+            .filter(|(a, b)| {
+                let param_of = |c: &Coord| match c {
+                    Coord::Param(p, _) => Some(*p),
+                    _ => None,
+                };
+                [param_of(a), param_of(b)]
+                    .into_iter()
+                    .flatten()
+                    .all(|p| mentioned.contains(&p))
+            })
+            .collect();
+        // Renumber parameters densely.
+        let renumbering: std::collections::BTreeMap<usize, usize> = mentioned
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        let renum = |c: Coord| match c {
+            Coord::Param(p, off) => Coord::Param(renumbering[&p], off),
+            other => other,
+        };
+        Some(AffineSpace {
+            dimension: renumbering.len(),
+            coords: coords.into_iter().map(renum).collect(),
+            exclusions: {
+                let ex: Vec<(Coord, Coord)> = exclusions;
+                ex.into_iter().map(|(a, b)| (renum(a), renum(b))).collect()
+            },
+        })
+    }
+}
+
+impl fmt::Display for AffineSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", c)?;
+        }
+        write!(f, ") | ā ∈ [n]^{}", self.dimension)?;
+        for (a, b) in &self.exclusions {
+            write!(f, ", {} ≠ {}", a, b)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Prop 5.5: decompose a satisfiable conjunctive condition `C(x⃗, y⃗)` into
+/// an affine space `U` (over `y⃗`) and a variable affine space `V(y⃗)`
+/// (over `x⃗`) with `C(x⃗, y⃗) ⟺ y⃗ ∈ U ∧ x⃗ ∈ V(y⃗)` and `V(y⃗) ≠ ∅` for
+/// every `y⃗ ∈ U` (n large). Returns `None` when `C` is unsatisfiable.
+pub fn decompose(
+    conjunct: &Conjunct,
+    xs: &[VarId],
+    ys: &[VarId],
+) -> Option<(AffineSpace, AffineSpace)> {
+    let sol_x = solve_conjunct(conjunct, xs)?;
+    let v_space = AffineSpace::from_solution(&sol_x, xs);
+    let u_space = AffineSpace::from_conjunct(&sol_x.residual, ys)?;
+    Some((u_space, v_space))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+    fn x(i: u32) -> SimpleExpr {
+        SimpleExpr::var(v(i))
+    }
+    fn c(k: i64) -> SimpleExpr {
+        SimpleExpr::Const(k)
+    }
+    fn nm(k: i64) -> SimpleExpr {
+        SimpleExpr::NMinus(k)
+    }
+
+    /// The paper's Example 5.4, U₁: condition x₁ = 3 ∧ x₂ = x₄ − 5 over
+    /// (x₁, x₂, x₃, x₄): an affine space of dimension 2.
+    #[test]
+    fn example_5_4_u1() {
+        let conj = Conjunct {
+            atoms: vec![Atom::eq(x(1), c(3)), Atom::eq(x(2), x(4).shift(-5))],
+        };
+        let space = AffineSpace::from_conjunct(&conj, &[v(1), v(2), v(3), v(4)]).unwrap();
+        assert_eq!(space.dimension, 2);
+        assert!(!space.is_variable());
+        // bound along dimension 0 (the coordinate x₁ = 3), free elsewhere
+        assert_eq!(space.free_dimensions(), vec![1, 2, 3]);
+        // count: x₄ ∈ [5, n] (since x₂ = x₄ − 5 ≥ 0 at point level), x₃ free
+        // wait: Example 5.4's U₁ = {(3, α₁ − 5, α₂, α₁)}: for points to be
+        // in ℕ⁴ we need α₁ ≥ 5, so count = (n−4)(n+1) = n² − O(n).
+        let n = 20;
+        assert_eq!(space.count(n, &Env::new()), ((n - 4) * (n + 1)) as usize);
+    }
+
+    /// The paper's Example 5.4, U₂: dimension 3 with exclusions.
+    #[test]
+    fn example_5_4_u2() {
+        // U₂ = {(n−3, α₁, α₂, α₃) | α₁ ≠ α₂ ∧ α₁ ≠ α₃ + 5}
+        let conj = Conjunct {
+            atoms: vec![
+                Atom::eq(x(0), nm(3)),
+                Atom::neq(x(1), x(2)),
+                Atom::neq(x(1), x(3).shift(5)),
+            ],
+        };
+        let space = AffineSpace::from_conjunct(&conj, &[v(0), v(1), v(2), v(3)]).unwrap();
+        assert_eq!(space.dimension, 3);
+        assert_eq!(space.exclusions.len(), 2);
+        // |U₂| = (n+1)³ − 2(n+1)² + |α₁≠α₂ ∧ α₁≠α₃+5 double-count|
+        // just check the n³ − O(n²) shape numerically:
+        let n1 = 12u64;
+        let n2 = 24u64;
+        let c1 = space.count(n1, &Env::new()) as f64;
+        let c2 = space.count(n2, &Env::new()) as f64;
+        let r1 = c1 / ((n1 as f64 + 1.0).powi(3));
+        let r2 = c2 / ((n2 as f64 + 1.0).powi(3));
+        assert!(r2 > r1, "density increases towards 1: {r1} vs {r2}");
+        assert!(r2 > 0.85);
+    }
+
+    /// The paper's Example 5.4, U₃: a *variable* affine space.
+    #[test]
+    fn example_5_4_u3() {
+        // U₃(y) = {(α + 2, y − 1) | α ≠ n ∧ α ≠ y − 3} — dimension 1,
+        // empty when y = 1 (coordinate y − 1 … the paper says "empty when
+        // y = 1"; with our ℕ-point semantics y − 1 < 0 at y = 0 as well —
+        // the paper's wording refers to its guard form; we check y = 0).
+        let conj = Conjunct {
+            atoms: vec![
+                Atom::eq(x(0), x(2).shift(2)), // x₀ = α + 2 with α := x₂
+                Atom::eq(x(1), x(3).shift(-1)), // x₁ = y − 1 with y := x₃ rigid
+                Atom::neq(x(2), nm(0)),
+                Atom::neq(x(2), x(3).shift(-3)),
+            ],
+        };
+        let space = AffineSpace::from_conjunct(&conj, &[v(0), v(1), v(2)]).unwrap();
+        assert!(space.is_variable());
+        assert_eq!(space.dimension, 1);
+        let n = 10;
+        let rigid: Env = [(v(3), 5u64)].into_iter().collect();
+        let pts = space.enumerate(n, &rigid);
+        assert!(pts.iter().all(|p| p[1] == 4), "second coord = y − 1 = 4");
+        assert!(!pts.is_empty());
+        // α ranges over [0,n] minus {n, y−3=2}, and the coordinate α+2
+        // must stay inside [n] (affine spaces live in [n]ᵏ): α ≤ n−2.
+        // So α ∈ {0..8} \ {2} → 8 points, all with distinct first coords.
+        assert_eq!(pts.len(), 8);
+        // y = 0 ⟹ second coordinate −1 ∉ ℕ ⟹ empty
+        let rigid0: Env = [(v(3), 0u64)].into_iter().collect();
+        assert!(space.enumerate(n, &rigid0).is_empty());
+    }
+
+    #[test]
+    fn zero_dimensional_spaces_have_one_point() {
+        let conj = Conjunct {
+            atoms: vec![Atom::eq(x(0), c(3)), Atom::eq(x(1), nm(2))],
+        };
+        let space = AffineSpace::from_conjunct(&conj, &[v(0), v(1)]).unwrap();
+        assert_eq!(space.dimension, 0);
+        for n in [5u64, 9, 17] {
+            assert_eq!(space.count(n, &Env::new()), 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn growth_matches_dimension() {
+        // {(α, β, α+1) | α ≠ β}: dimension 2. The coordinate α+1 keeps
+        // points in [n]ᵏ only for α ≤ n−1, so the count is
+        // n·(n+1) − n = n² — the predicted n^p − O(n^{p−1}).
+        let conj = Conjunct {
+            atoms: vec![
+                Atom::eq(x(2), x(0).shift(1)),
+                Atom::neq(x(0), x(1)),
+            ],
+        };
+        let space = AffineSpace::from_conjunct(&conj, &[v(0), v(1), v(2)]).unwrap();
+        assert_eq!(space.dimension, 2);
+        for n in [6u64, 11] {
+            assert_eq!(space.count(n, &Env::new()), (n * n) as usize, "n={n}");
+        }
+    }
+
+    #[test]
+    fn intersection_of_affine_spaces() {
+        // A = {(α, α+1)} and B = {(β, 4)}: intersection = {(3, 4)}
+        let a = AffineSpace {
+            dimension: 1,
+            coords: vec![Coord::Param(0, 0), Coord::Param(0, 1)],
+            exclusions: vec![],
+        };
+        let b = AffineSpace {
+            dimension: 1,
+            coords: vec![Coord::Param(0, 0), Coord::Const(4)],
+            exclusions: vec![],
+        };
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.dimension, 0);
+        let pts = i.enumerate(10, &Env::new());
+        assert_eq!(pts.into_iter().collect::<Vec<_>>(), vec![vec![3, 4]]);
+        // A ∩ A = A
+        let aa = a.intersect(&a).unwrap();
+        assert_eq!(aa.dimension, 1);
+        assert_eq!(aa.count(9, &Env::new()), a.count(9, &Env::new()));
+    }
+
+    #[test]
+    fn empty_intersection() {
+        // {(α, 0)} ∩ {(β, 1)} = ∅
+        let a = AffineSpace {
+            dimension: 1,
+            coords: vec![Coord::Param(0, 0), Coord::Const(0)],
+            exclusions: vec![],
+        };
+        let b = AffineSpace {
+            dimension: 1,
+            coords: vec![Coord::Param(0, 0), Coord::Const(1)],
+            exclusions: vec![],
+        };
+        assert!(a.intersect(&b).is_none());
+        // {(α, α)} ∩ {(β, β+1)} = ∅
+        let d0 = AffineSpace {
+            dimension: 1,
+            coords: vec![Coord::Param(0, 0), Coord::Param(0, 0)],
+            exclusions: vec![],
+        };
+        let d1 = AffineSpace {
+            dimension: 1,
+            coords: vec![Coord::Param(0, 0), Coord::Param(0, 1)],
+            exclusions: vec![],
+        };
+        assert!(d0.intersect(&d1).is_none());
+    }
+
+    #[test]
+    fn intersection_agrees_with_enumeration() {
+        let a = AffineSpace {
+            dimension: 2,
+            coords: vec![Coord::Param(0, 0), Coord::Param(1, 0)],
+            exclusions: vec![(Coord::Param(0, 0), Coord::Param(1, 0))],
+        };
+        let b = AffineSpace {
+            dimension: 1,
+            coords: vec![Coord::Param(0, 0), Coord::Param(0, 2)],
+            exclusions: vec![(Coord::Param(0, 0), Coord::Const(0))],
+        };
+        let i = a.intersect(&b).unwrap();
+        let n = 9;
+        let expect: BTreeSet<Vec<i128>> = a
+            .enumerate(n, &Env::new())
+            .intersection(&b.enumerate(n, &Env::new()))
+            .cloned()
+            .collect();
+        assert_eq!(i.enumerate(n, &Env::new()), expect);
+    }
+
+    #[test]
+    fn decomposition_prop_5_5() {
+        // C(x, y) = (x₀ = y + 1 ∧ x₁ ≠ x₀ ∧ y ≠ 2)
+        let conj = Conjunct {
+            atoms: vec![
+                Atom::eq(x(0), x(9).shift(1)),
+                Atom::neq(x(1), x(0)),
+                Atom::neq(x(9), c(2)),
+            ],
+        };
+        let (u, vspace) = decompose(&conj, &[v(0), v(1)], &[v(9)]).unwrap();
+        assert!(!u.is_variable());
+        assert!(vspace.is_variable());
+        // check the equivalence C(x⃗,y) ⟺ y ∈ U ∧ x⃗ ∈ V(y) pointwise
+        let n = 7;
+        for yv in 0..=n {
+            let rigid: Env = [(v(9), yv)].into_iter().collect();
+            let in_u = u
+                .enumerate(n, &Env::new())
+                .contains(&vec![yv as i128]);
+            for x0 in 0..=n {
+                for x1 in 0..=n {
+                    let env: Env = [(v(0), x0), (v(1), x1), (v(9), yv)]
+                        .into_iter()
+                        .collect();
+                    let holds = Conjunct::eval(&conj, n, &env).unwrap();
+                    let in_v = vspace
+                        .enumerate(n, &rigid)
+                        .contains(&vec![x0 as i128, x1 as i128]);
+                    assert_eq!(holds, in_u && in_v, "y={yv} x=({x0},{x1})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        let s = AffineSpace {
+            dimension: 2,
+            coords: vec![Coord::Const(3), Coord::Param(0, -5), Coord::Param(1, 0)],
+            exclusions: vec![(Coord::Param(0, 0), Coord::Param(1, 0))],
+        };
+        assert_eq!(s.to_string(), "{(3, a0-5, a1) | ā ∈ [n]^2, a0 ≠ a1}");
+    }
+}

@@ -1,0 +1,1112 @@
+//! Conditions over simple expressions (§5.1) and their decision procedure
+//! "for n large enough" (§5.3).
+//!
+//! > "We define a **simple condition** to be a condition of the form
+//! > `e = e'` or `e ≠ e'`, where `e, e'` are simple expressions. A
+//! > **condition** is obtained by combining simple conditions with ∨, ∧,
+//! > true and false."
+//!
+//! > "we say that some condition `C(x⃗)` is **satisfiable** if it is
+//! > satisfiable in the classical sense for n large enough, i.e. iff
+//! > `∃n₀ > 0, ∀n ≥ n₀, ∃x⃗ ∈ [n]ᵏ` such that `C(x⃗)` is true."
+//!
+//! Conditions are kept in disjunctive normal form. The central algorithm
+//! is [`solve_conjunct`]: an offset-union-find over the *solved* variables
+//! that either refutes a conjunct (for large n) or returns its solution
+//! set in affine form — pinned classes, free classes (the dimension of
+//! §5.3), negative constraints Γ, and *residual* atoms over the variables
+//! treated as rigid parameters. Quantifier elimination
+//! ([`Condition::exists_elim`] — asserted by the paper in the proof of
+//! Lemma 5.1, case `empty`) falls out of the residuals.
+
+use crate::simple::SimpleExpr;
+use crate::vars::{Env, VarId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Comparison operator of a simple condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cmp {
+    /// `e = e'`.
+    Eq,
+    /// `e ≠ e'`.
+    Neq,
+}
+
+/// A simple condition `e = e'` or `e ≠ e'`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom {
+    /// Left-hand side.
+    pub lhs: SimpleExpr,
+    /// Right-hand side.
+    pub rhs: SimpleExpr,
+    /// `=` or `≠`.
+    pub cmp: Cmp,
+}
+
+impl Atom {
+    /// `e = e'`.
+    pub fn eq(lhs: SimpleExpr, rhs: SimpleExpr) -> Self {
+        Atom { lhs, rhs, cmp: Cmp::Eq }
+    }
+
+    /// `e ≠ e'`.
+    pub fn neq(lhs: SimpleExpr, rhs: SimpleExpr) -> Self {
+        Atom { lhs, rhs, cmp: Cmp::Neq }
+    }
+
+    /// Truth value at a concrete `n` and environment (total: sides are
+    /// compared as integers). `None` only if a variable is unbound.
+    pub fn eval(&self, n: u64, env: &Env) -> Option<bool> {
+        let l = self.lhs.eval_int(n, env)?;
+        let r = self.rhs.eval_int(n, env)?;
+        Some(match self.cmp {
+            Cmp::Eq => l == r,
+            Cmp::Neq => l != r,
+        })
+    }
+
+    /// The negated atom.
+    pub fn negated(&self) -> Atom {
+        Atom {
+            lhs: self.lhs,
+            rhs: self.rhs,
+            cmp: match self.cmp {
+                Cmp::Eq => Cmp::Neq,
+                Cmp::Neq => Cmp::Eq,
+            },
+        }
+    }
+
+    /// Substitute a variable by a simple expression on both sides.
+    pub fn subst(&self, x: VarId, e: &SimpleExpr) -> Atom {
+        Atom {
+            lhs: self.lhs.subst(x, e),
+            rhs: self.rhs.subst(x, e),
+            cmp: self.cmp,
+        }
+    }
+
+    /// Rename a variable on both sides.
+    pub fn rename(&self, x: VarId, y: VarId) -> Atom {
+        Atom {
+            lhs: self.lhs.rename(x, y),
+            rhs: self.rhs.rename(x, y),
+            cmp: self.cmp,
+        }
+    }
+
+    /// Variables mentioned.
+    pub fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
+        if let Some(v) = self.lhs.var_of() {
+            out.insert(v);
+        }
+        if let Some(v) = self.rhs.var_of() {
+            out.insert(v);
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.cmp {
+            Cmp::Eq => "=",
+            Cmp::Neq => "≠",
+        };
+        write!(f, "{} {} {}", self.lhs, op, self.rhs)
+    }
+}
+
+/// A conjunction of simple conditions (one disjunct of a DNF condition).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Conjunct {
+    /// The conjoined atoms (empty = true).
+    pub atoms: Vec<Atom>,
+}
+
+impl Conjunct {
+    /// The empty (true) conjunct.
+    pub fn tru() -> Self {
+        Conjunct::default()
+    }
+
+    /// A single-atom conjunct.
+    pub fn of(atom: Atom) -> Self {
+        Conjunct { atoms: vec![atom] }
+    }
+
+    /// Conjoin two conjuncts.
+    pub fn and(&self, other: &Conjunct) -> Conjunct {
+        let mut atoms = self.atoms.clone();
+        atoms.extend(other.atoms.iter().copied());
+        Conjunct { atoms }
+    }
+
+    /// Truth at concrete `n`, `env`.
+    pub fn eval(&self, n: u64, env: &Env) -> Option<bool> {
+        for a in &self.atoms {
+            if !a.eval(n, env)? {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
+    /// Syntactic clean-up: drop trivially-true atoms, deduplicate, detect
+    /// immediate contradictions (`e = e` vs `e ≠ e` pairs). Returns `None`
+    /// if the conjunct is syntactically false.
+    pub fn simplified(&self) -> Option<Conjunct> {
+        let mut atoms: BTreeSet<Atom> = BTreeSet::new();
+        for a in &self.atoms {
+            // orient each atom deterministically for deduplication
+            let (l, r) = if a.lhs <= a.rhs { (a.lhs, a.rhs) } else { (a.rhs, a.lhs) };
+            let a = Atom { lhs: l, rhs: r, cmp: a.cmp };
+            if l == r {
+                match a.cmp {
+                    Cmp::Eq => continue,        // e = e is true
+                    Cmp::Neq => return None,    // e ≠ e is false
+                }
+            }
+            atoms.insert(a);
+        }
+        // x = y together with x ≠ y
+        for a in &atoms {
+            if atoms.contains(&a.negated()) {
+                return None;
+            }
+        }
+        Some(Conjunct {
+            atoms: atoms.into_iter().collect(),
+        })
+    }
+
+    /// Variables mentioned.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        for a in &self.atoms {
+            a.collect_vars(&mut out);
+        }
+        out
+    }
+
+    /// Substitute in every atom.
+    pub fn subst(&self, x: VarId, e: &SimpleExpr) -> Conjunct {
+        Conjunct {
+            atoms: self.atoms.iter().map(|a| a.subst(x, e)).collect(),
+        }
+    }
+
+    /// Rename in every atom.
+    pub fn rename(&self, x: VarId, y: VarId) -> Conjunct {
+        Conjunct {
+            atoms: self.atoms.iter().map(|a| a.rename(x, y)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Conjunct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{}", a)?;
+        }
+        Ok(())
+    }
+}
+
+/// A condition in disjunctive normal form (empty disjunction = false).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Condition {
+    /// The disjuncts.
+    pub conjuncts: Vec<Conjunct>,
+}
+
+impl Condition {
+    /// `true`.
+    pub fn tru() -> Self {
+        Condition {
+            conjuncts: vec![Conjunct::tru()],
+        }
+    }
+
+    /// `false`.
+    pub fn fls() -> Self {
+        Condition::default()
+    }
+
+    /// A single atom.
+    pub fn atom(a: Atom) -> Self {
+        Condition {
+            conjuncts: vec![Conjunct::of(a)],
+        }
+    }
+
+    /// `e = e'`.
+    pub fn eq(lhs: SimpleExpr, rhs: SimpleExpr) -> Self {
+        Condition::atom(Atom::eq(lhs, rhs))
+    }
+
+    /// `e ≠ e'`.
+    pub fn neq(lhs: SimpleExpr, rhs: SimpleExpr) -> Self {
+        Condition::atom(Atom::neq(lhs, rhs))
+    }
+
+    /// True iff syntactically `false` (no disjuncts).
+    pub fn is_false(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// True iff some disjunct is the empty conjunct.
+    pub fn is_true(&self) -> bool {
+        self.conjuncts.iter().any(|c| c.atoms.is_empty())
+    }
+
+    /// Disjunction.
+    pub fn or(&self, other: &Condition) -> Condition {
+        let mut conjuncts = self.conjuncts.clone();
+        conjuncts.extend(other.conjuncts.iter().cloned());
+        Condition { conjuncts }.simplified()
+    }
+
+    /// Conjunction (distributes over the DNF).
+    pub fn and(&self, other: &Condition) -> Condition {
+        let mut conjuncts = Vec::with_capacity(self.conjuncts.len() * other.conjuncts.len());
+        for a in &self.conjuncts {
+            for b in &other.conjuncts {
+                conjuncts.push(a.and(b));
+            }
+        }
+        Condition { conjuncts }.simplified()
+    }
+
+    /// Negation (De Morgan + distribution back to DNF).
+    pub fn not(&self) -> Condition {
+        let mut acc = Condition::tru();
+        for conj in &self.conjuncts {
+            let negated = Condition {
+                conjuncts: conj.atoms.iter().map(|a| Conjunct::of(a.negated())).collect(),
+            };
+            acc = acc.and(&negated);
+            if acc.is_false() {
+                return acc;
+            }
+        }
+        acc
+    }
+
+    /// Truth at concrete `n`, `env`.
+    pub fn eval(&self, n: u64, env: &Env) -> Option<bool> {
+        for c in &self.conjuncts {
+            if c.eval(n, env)? {
+                return Some(true);
+            }
+        }
+        Some(false)
+    }
+
+    /// Syntactic clean-up of every disjunct; drops false disjuncts and
+    /// duplicates; collapses to `true` when a true disjunct appears.
+    pub fn simplified(&self) -> Condition {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for c in &self.conjuncts {
+            if let Some(s) = c.simplified() {
+                if s.atoms.is_empty() {
+                    return Condition::tru();
+                }
+                if seen.insert(s.clone()) {
+                    out.push(s);
+                }
+            }
+        }
+        Condition { conjuncts: out }
+    }
+
+    /// Variables mentioned.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        for c in &self.conjuncts {
+            for a in &c.atoms {
+                a.collect_vars(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Substitute in every disjunct.
+    pub fn subst(&self, x: VarId, e: &SimpleExpr) -> Condition {
+        Condition {
+            conjuncts: self.conjuncts.iter().map(|c| c.subst(x, e)).collect(),
+        }
+    }
+
+    /// Rename in every disjunct.
+    pub fn rename(&self, x: VarId, y: VarId) -> Condition {
+        Condition {
+            conjuncts: self.conjuncts.iter().map(|c| c.rename(x, y)).collect(),
+        }
+    }
+
+    /// §5.3 satisfiability: true iff, for all large enough `n`, some
+    /// assignment of *all* mentioned variables into `[n]` satisfies the
+    /// condition.
+    pub fn satisfiable_large_n(&self) -> bool {
+        let all: Vec<VarId> = self.vars().into_iter().collect();
+        self.conjuncts
+            .iter()
+            .any(|c| solve_conjunct(c, &all).is_some())
+    }
+
+    /// Quantifier elimination: `∃ vars. self`, as a condition over the
+    /// remaining variables, under the for-large-n semantics (the property
+    /// the paper invokes in Lemma 5.1, case `empty`).
+    pub fn exists_elim(&self, vars: &[VarId]) -> Condition {
+        let mut out = Vec::new();
+        for c in &self.conjuncts {
+            if let Some(sol) = solve_conjunct(c, vars) {
+                out.push(sol.residual);
+            }
+        }
+        Condition { conjuncts: out }.simplified()
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conjuncts.is_empty() {
+            return write!(f, "false");
+        }
+        for (i, c) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            if self.conjuncts.len() > 1 && c.atoms.len() > 1 {
+                write!(f, "({})", c)?;
+            } else {
+                write!(f, "{}", c)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The conjunct solver (§5.3)
+// ---------------------------------------------------------------------------
+
+/// A value a solved variable is pinned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FixedTerm {
+    /// A constant.
+    Const(i64),
+    /// `n − c`.
+    NMinus(i64),
+    /// A rigid (parameter) variable plus offset.
+    Rigid(VarId, i64),
+}
+
+impl FixedTerm {
+    /// The simple expression this term denotes.
+    pub fn as_simple(self) -> SimpleExpr {
+        self.to_simple()
+    }
+
+    fn shift(self, d: i64) -> FixedTerm {
+        match self {
+            FixedTerm::Const(c) => FixedTerm::Const(c + d),
+            FixedTerm::NMinus(c) => FixedTerm::NMinus(c - d),
+            FixedTerm::Rigid(v, c) => FixedTerm::Rigid(v, c + d),
+        }
+    }
+
+    fn to_simple(self) -> SimpleExpr {
+        match self {
+            FixedTerm::Const(c) => SimpleExpr::Const(c),
+            FixedTerm::NMinus(c) => SimpleExpr::NMinus(c),
+            FixedTerm::Rigid(v, c) => SimpleExpr::Var(v, c),
+        }
+    }
+}
+
+/// A solved variable's value: fixed, or free along a parameter class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Resolved {
+    /// Pinned to a fixed term.
+    Fixed(FixedTerm),
+    /// `param(class) + offset`: the class index is the §5.3 parameter `αᵢ`.
+    Free(usize, i64),
+}
+
+impl Resolved {
+    /// The simple expression for a pinned value; `None` if free.
+    pub fn pinned_simple(&self) -> Option<SimpleExpr> {
+        match *self {
+            Resolved::Fixed(t) => Some(t.as_simple()),
+            Resolved::Free(_, _) => None,
+        }
+    }
+
+    /// Shift by a constant offset.
+    pub fn shift(self, d: i64) -> Resolved {
+        match self {
+            Resolved::Fixed(t) => Resolved::Fixed(t.shift(d)),
+            Resolved::Free(p, c) => Resolved::Free(p, c + d),
+        }
+    }
+}
+
+/// The solution set of a satisfiable conjunct, in the affine form of §5.3:
+/// every solved variable is either pinned ([`Resolved::Fixed`]) or an
+/// offset of one of `dimension`-many free parameters, subject to the
+/// negative constraints Γ ([`Solution::exclusions`]); atoms over rigid
+/// variables remain as [`Solution::residual`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// Value of each solved variable.
+    pub assignments: BTreeMap<VarId, Resolved>,
+    /// Number of free parameter classes — the dimension `p` of §5.3.
+    pub dimension: usize,
+    /// Γ: pairs that must differ (at least one side is `Free`).
+    pub exclusions: Vec<(Resolved, Resolved)>,
+    /// Atoms mentioning only rigid variables (plus induced domain
+    /// conditions), i.e. `∃x⃗.C` after eliminating the solved variables.
+    pub residual: Conjunct,
+}
+
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+    offset: Vec<i64>, // val(i) = val(parent[i]) + offset[i]
+}
+
+impl UnionFind {
+    fn new(k: usize) -> Self {
+        UnionFind {
+            parent: (0..k).collect(),
+            offset: vec![0; k],
+        }
+    }
+
+    /// Returns `(root, off)` with `val(i) = val(root) + off`.
+    fn find(&mut self, i: usize) -> (usize, i64) {
+        if self.parent[i] == i {
+            return (i, 0);
+        }
+        let (root, poff) = self.find(self.parent[i]);
+        self.parent[i] = root;
+        self.offset[i] += poff;
+        (root, self.offset[i])
+    }
+
+}
+
+enum Side {
+    Solve(usize, i64),
+    Fixed(FixedTerm),
+}
+
+/// Solve a conjunct for `solve_vars` (variables not listed are *rigid*
+/// parameters, as in the variable affine spaces of Prop 5.5). Returns
+/// `None` if the conjunct is unsatisfiable for all large `n`.
+pub fn solve_conjunct(conjunct: &Conjunct, solve_vars: &[VarId]) -> Option<Solution> {
+    let mut index: BTreeMap<VarId, usize> = BTreeMap::new();
+    for &v in solve_vars {
+        let next = index.len();
+        index.entry(v).or_insert(next);
+    }
+    let vars: Vec<VarId> = {
+        let mut v: Vec<(usize, VarId)> = index.iter().map(|(&v, &i)| (i, v)).collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, v)| v).collect()
+    };
+    let k = vars.len();
+    let mut uf = UnionFind::new(k);
+    let mut pins: Vec<Option<FixedTerm>> = vec![None; k];
+    let mut residual: Vec<Atom> = Vec::new();
+
+    let classify = |e: &SimpleExpr| -> Side {
+        match *e {
+            SimpleExpr::Const(c) => Side::Fixed(FixedTerm::Const(c)),
+            SimpleExpr::NMinus(c) => Side::Fixed(FixedTerm::NMinus(c)),
+            SimpleExpr::Var(x, c) => match index.get(&x) {
+                Some(&i) => Side::Solve(i, c),
+                None => Side::Fixed(FixedTerm::Rigid(x, c)),
+            },
+        }
+    };
+
+    // Merge a pin onto a root; may emit residual atoms; None = unsat.
+    fn merge_pin(
+        current: &mut Option<FixedTerm>,
+        new: FixedTerm,
+        residual: &mut Vec<Atom>,
+    ) -> bool {
+        match *current {
+            None => {
+                *current = Some(new);
+                true
+            }
+            Some(old) => match (old, new) {
+                (FixedTerm::Const(a), FixedTerm::Const(b)) => a == b,
+                (FixedTerm::NMinus(a), FixedTerm::NMinus(b)) => a == b,
+                (FixedTerm::Const(_), FixedTerm::NMinus(_))
+                | (FixedTerm::NMinus(_), FixedTerm::Const(_)) => false, // equal at one n only
+                (FixedTerm::Rigid(y, a), FixedTerm::Rigid(z, b)) => {
+                    if y == z {
+                        a == b
+                    } else {
+                        residual.push(Atom::eq(SimpleExpr::Var(y, a), SimpleExpr::Var(z, b)));
+                        true
+                    }
+                }
+                (FixedTerm::Rigid(y, a), ground) => {
+                    residual.push(Atom::eq(SimpleExpr::Var(y, a), ground.to_simple()));
+                    // prefer the ground pin as canonical
+                    *current = Some(ground);
+                    true
+                }
+                (ground, FixedTerm::Rigid(y, a)) => {
+                    residual.push(Atom::eq(SimpleExpr::Var(y, a), ground.to_simple()));
+                    true
+                }
+            },
+        }
+    }
+
+    // Ground decision for atoms without solve variables. Returns
+    // Some(true) = atom holds for large n, Some(false) = fails for large
+    // n, None = depends on rigid variables (goes to the residual).
+    fn ground_decide(l: FixedTerm, r: FixedTerm, cmp: Cmp) -> Option<bool> {
+        let eq = match (l, r) {
+            (FixedTerm::Const(a), FixedTerm::Const(b)) => Some(a == b),
+            (FixedTerm::NMinus(a), FixedTerm::NMinus(b)) => Some(a == b),
+            (FixedTerm::Const(_), FixedTerm::NMinus(_))
+            | (FixedTerm::NMinus(_), FixedTerm::Const(_)) => Some(false),
+            (FixedTerm::Rigid(y, a), FixedTerm::Rigid(z, b)) if y == z => Some(a == b),
+            _ => None,
+        }?;
+        Some(match cmp {
+            Cmp::Eq => eq,
+            Cmp::Neq => !eq,
+        })
+    }
+
+    // Phase 1: equalities.
+    for atom in conjunct.atoms.iter().filter(|a| a.cmp == Cmp::Eq) {
+        match (classify(&atom.lhs), classify(&atom.rhs)) {
+            (Side::Solve(i, a), Side::Solve(j, b)) => {
+                // val(i) + a = val(j) + b
+                let (ri, oi) = uf.find(i);
+                let (rj, oj) = uf.find(j);
+                if ri == rj {
+                    if oi + a != oj + b {
+                        return None;
+                    }
+                } else {
+                    // link ri under rj: val(ri) = val(rj) + delta
+                    let delta = oj + b - a - oi;
+                    uf.parent[ri] = rj;
+                    uf.offset[ri] = delta;
+                    // carry ri's pin over: val(rj) = val(ri) − delta
+                    if let Some(p) = pins[ri].take() {
+                        if !merge_pin(&mut pins[rj], p.shift(-delta), &mut residual) {
+                            return None;
+                        }
+                    }
+                }
+            }
+            (Side::Solve(i, a), Side::Fixed(t)) | (Side::Fixed(t), Side::Solve(i, a)) => {
+                let (root, off) = uf.find(i);
+                if !merge_pin(&mut pins[root], t.shift(-(off + a)), &mut residual) {
+                    return None;
+                }
+            }
+            (Side::Fixed(l), Side::Fixed(r)) => match ground_decide(l, r, Cmp::Eq) {
+                Some(true) => {}
+                Some(false) => return None,
+                None => residual.push(Atom::eq(l.to_simple(), r.to_simple())),
+            },
+        }
+    }
+
+    // Resolve a side to its canonical form after all unions.
+    let resolve = |side: Side, uf: &mut UnionFind, pins: &[Option<FixedTerm>]| -> Resolved {
+        match side {
+            Side::Fixed(t) => Resolved::Fixed(t),
+            Side::Solve(i, a) => {
+                let (root, off) = uf.find(i);
+                match pins[root] {
+                    Some(p) => Resolved::Fixed(p.shift(off + a)),
+                    None => Resolved::Free(root, off + a),
+                }
+            }
+        }
+    };
+
+    // Phase 2: inequalities.
+    let mut exclusions_raw: Vec<(Resolved, Resolved)> = Vec::new();
+    for atom in conjunct.atoms.iter().filter(|a| a.cmp == Cmp::Neq) {
+        let l = resolve(classify(&atom.lhs), &mut uf, &pins);
+        let r = resolve(classify(&atom.rhs), &mut uf, &pins);
+        match (l, r) {
+            (Resolved::Fixed(a), Resolved::Fixed(b)) => match ground_decide(a, b, Cmp::Neq) {
+                Some(true) => {}
+                Some(false) => return None,
+                None => residual.push(Atom::neq(a.to_simple(), b.to_simple())),
+            },
+            (Resolved::Free(i, a), Resolved::Free(j, b)) if i == j => {
+                if a == b {
+                    return None; // v ≠ v
+                }
+                // different offsets of the same parameter always differ
+            }
+            pair => exclusions_raw.push(pair),
+        }
+    }
+
+    // Domain checks and induced residuals for pinned variables: every
+    // solve variable's value must lie in [0, n] for large n.
+    for (i, &v) in vars.iter().enumerate() {
+        let (root, off) = uf.find(i);
+        if let Some(pin) = pins[root] {
+            match pin.shift(off) {
+                FixedTerm::Const(c) => {
+                    if c < 0 {
+                        return None;
+                    }
+                }
+                FixedTerm::NMinus(c) => {
+                    if c < 0 {
+                        return None; // value n + |c| > n
+                    }
+                }
+                FixedTerm::Rigid(y, a) => {
+                    // need y + a ∈ [0, n]: finitely many exclusions on y
+                    if a < 0 {
+                        for kk in 0..(-a) {
+                            residual.push(Atom::neq(
+                                SimpleExpr::var(y),
+                                SimpleExpr::Const(kk),
+                            ));
+                        }
+                    } else {
+                        for kk in 0..a {
+                            residual.push(Atom::neq(
+                                SimpleExpr::var(y),
+                                SimpleExpr::NMinus(kk),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        let _ = v;
+    }
+
+    // Canonical parameter numbering: free roots in index order.
+    let mut param_of_root: BTreeMap<usize, usize> = BTreeMap::new();
+    for i in 0..k {
+        let (root, _) = uf.find(i);
+        if pins[root].is_none() {
+            let next = param_of_root.len();
+            param_of_root.entry(root).or_insert(next);
+        }
+    }
+    let renumber = |r: Resolved| -> Resolved {
+        match r {
+            Resolved::Free(root, off) => Resolved::Free(param_of_root[&root], off),
+            fixed => fixed,
+        }
+    };
+
+    let mut assignments = BTreeMap::new();
+    for (i, &v) in vars.iter().enumerate() {
+        let res = resolve(Side::Solve(i, 0), &mut uf, &pins);
+        assignments.insert(v, renumber(res));
+    }
+    let exclusions: Vec<(Resolved, Resolved)> = exclusions_raw
+        .into_iter()
+        .map(|(a, b)| (renumber(a), renumber(b)))
+        .collect();
+
+    let residual = Conjunct { atoms: residual }.simplified()?;
+    Some(Solution {
+        assignments,
+        dimension: param_of_root.len(),
+        exclusions,
+        residual,
+    })
+}
+
+impl Solution {
+    /// Resolve an arbitrary simple expression through the solution:
+    /// constants stay, solved variables follow their assignment (shifted),
+    /// rigid variables become [`FixedTerm::Rigid`].
+    pub fn resolve_expr(&self, e: &SimpleExpr) -> Resolved {
+        match *e {
+            SimpleExpr::Const(c) => Resolved::Fixed(FixedTerm::Const(c)),
+            SimpleExpr::NMinus(c) => Resolved::Fixed(FixedTerm::NMinus(c)),
+            SimpleExpr::Var(x, c) => match self.assignments.get(&x) {
+                Some(&r) => r.shift(c),
+                None => Resolved::Fixed(FixedTerm::Rigid(x, c)),
+            },
+        }
+    }
+
+    /// Construct a concrete witness environment for the solved variables
+    /// at a given `n`, extending `rigid_env` (values for rigid variables).
+    /// Free parameters are chosen greedily to avoid all exclusions.
+    /// Returns `None` if `n` is too small.
+    pub fn witness(&self, n: u64, rigid_env: &Env) -> Option<Env> {
+        // choose values for parameters 0..dimension
+        let mut params: Vec<i128> = Vec::with_capacity(self.dimension);
+        let eval_fixed = |t: FixedTerm| -> Option<i128> {
+            match t {
+                FixedTerm::Const(c) => Some(c as i128),
+                FixedTerm::NMinus(c) => Some(n as i128 - c as i128),
+                FixedTerm::Rigid(y, c) => Some(*rigid_env.get(&y)? as i128 + c as i128),
+            }
+        };
+        for p in 0..self.dimension {
+            let mut chosen = None;
+            'candidate: for cand in 0..=(n as i128) {
+                for (l, r) in &self.exclusions {
+                    // only check exclusions fully determined so far
+                    let lv = match *l {
+                        Resolved::Fixed(t) => eval_fixed(t)?,
+                        Resolved::Free(i, off) if i < p => params[i] + off as i128,
+                        Resolved::Free(i, off) if i == p => cand + off as i128,
+                        _ => continue,
+                    };
+                    let rv = match *r {
+                        Resolved::Fixed(t) => eval_fixed(t)?,
+                        Resolved::Free(i, off) if i < p => params[i] + off as i128,
+                        Resolved::Free(i, off) if i == p => cand + off as i128,
+                        _ => continue,
+                    };
+                    if lv == rv {
+                        continue 'candidate;
+                    }
+                }
+                chosen = Some(cand);
+                break;
+            }
+            params.push(chosen?);
+        }
+        let mut env = rigid_env.clone();
+        for (&v, &res) in &self.assignments {
+            let value = match res {
+                Resolved::Fixed(t) => eval_fixed(t)?,
+                Resolved::Free(i, off) => params[i] + off as i128,
+            };
+            let value = u64::try_from(value).ok()?;
+            if value > n {
+                return None;
+            }
+            env.insert(v, value);
+        }
+        Some(env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+    fn x(i: u32) -> SimpleExpr {
+        SimpleExpr::var(v(i))
+    }
+    fn c(k: i64) -> SimpleExpr {
+        SimpleExpr::Const(k)
+    }
+    fn nm(k: i64) -> SimpleExpr {
+        SimpleExpr::NMinus(k)
+    }
+
+    /// Brute-force satisfiability at a specific n.
+    fn brute_sat(cond: &Condition, n: u64) -> bool {
+        let vars: Vec<VarId> = cond.vars().into_iter().collect();
+        let k = vars.len();
+        let mut env = Env::new();
+        fn rec(cond: &Condition, vars: &[VarId], i: usize, n: u64, env: &mut Env) -> bool {
+            if i == vars.len() {
+                return cond.eval(n, env).unwrap();
+            }
+            for val in 0..=n {
+                env.insert(vars[i], val);
+                if rec(cond, vars, i + 1, n, env) {
+                    return true;
+                }
+            }
+            false
+        }
+        let _ = k;
+        rec(cond, &vars, 0, n, &mut env)
+    }
+
+    #[test]
+    fn paper_example_condition() {
+        // x = y + 5 ∧ y ≠ z − 1  ∨  x ≠ y + 1 ∧ y = z + 5 (from §5.1)
+        let cond = Condition::eq(x(0), x(1).shift(5))
+            .and(&Condition::neq(x(1), x(2).shift(-1)))
+            .or(&Condition::neq(x(0), x(1).shift(1)).and(&Condition::eq(x(1), x(2).shift(5))));
+        assert!(cond.satisfiable_large_n());
+        assert!(brute_sat(&cond, 12));
+    }
+
+    #[test]
+    fn connectives_match_truth_tables() {
+        let t = Condition::tru();
+        let f = Condition::fls();
+        assert!(t.is_true() && !t.is_false());
+        assert!(f.is_false() && !f.is_true());
+        assert!(t.and(&f).is_false());
+        assert!(t.or(&f).is_true());
+        assert!(f.not().is_true());
+        assert!(t.not().is_false());
+    }
+
+    #[test]
+    fn negation_agrees_with_concrete_semantics() {
+        let cond = Condition::eq(x(0), c(3)).and(&Condition::neq(x(1), nm(1)));
+        let neg = cond.not();
+        let n = 9;
+        for a in 0..=n {
+            for b in 0..=n {
+                let env: Env = [(v(0), a), (v(1), b)].into_iter().collect();
+                assert_eq!(
+                    cond.eval(n, &env).unwrap(),
+                    !neg.eval(n, &env).unwrap(),
+                    "a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsat_chains_detected() {
+        // x = y + 1 ∧ y = x + 1 is unsat
+        let cond = Condition::eq(x(0), x(1).shift(1)).and(&Condition::eq(x(1), x(0).shift(1)));
+        assert!(!cond.satisfiable_large_n());
+        assert!(!brute_sat(&cond, 10));
+        // x = y + 1 ∧ y = z + 1 ∧ x = z + 2 is sat
+        let cond = Condition::eq(x(0), x(1).shift(1))
+            .and(&Condition::eq(x(1), x(2).shift(1)))
+            .and(&Condition::eq(x(0), x(2).shift(2)));
+        assert!(cond.satisfiable_large_n());
+        // … but x = z + 3 makes it unsat
+        let cond = cond.and(&Condition::eq(x(0), x(2).shift(3)));
+        assert!(!cond.satisfiable_large_n());
+    }
+
+    #[test]
+    fn const_vs_nminus_pins_conflict_for_large_n() {
+        // x = 3 ∧ x = n − 5 only holds at n = 8
+        let cond = Condition::eq(x(0), c(3)).and(&Condition::eq(x(0), nm(5)));
+        assert!(!cond.satisfiable_large_n());
+        assert!(brute_sat(&cond, 8), "it does hold at exactly n = 8");
+        assert!(!brute_sat(&cond, 20));
+    }
+
+    #[test]
+    fn negative_pins_are_unsat() {
+        // x = y − 5 ∧ y = 2  ⟹  x = −3 ∉ [n]
+        let cond = Condition::eq(x(0), x(1).shift(-5)).and(&Condition::eq(x(1), c(2)));
+        assert!(!cond.satisfiable_large_n());
+        assert!(!brute_sat(&cond, 30));
+        // x = n + 2 (NMinus(−2)) is out of domain too
+        let cond = Condition::eq(x(0), nm(-2));
+        assert!(!cond.satisfiable_large_n());
+    }
+
+    #[test]
+    fn inequalities_leave_room_for_large_n() {
+        // x ≠ 0 ∧ x ≠ n ∧ x ≠ y ∧ y ≠ 3 is satisfiable for large n
+        let cond = Condition::neq(x(0), c(0))
+            .and(&Condition::neq(x(0), nm(0)))
+            .and(&Condition::neq(x(0), x(1)))
+            .and(&Condition::neq(x(1), c(3)));
+        assert!(cond.satisfiable_large_n());
+        assert!(brute_sat(&cond, 6));
+    }
+
+    #[test]
+    fn same_class_inequality_with_zero_offset_is_unsat() {
+        // x = y ∧ x ≠ y
+        let cond = Condition::eq(x(0), x(1)).and(&Condition::neq(x(0), x(1)));
+        assert!(!cond.satisfiable_large_n());
+        // x = y + 1 ∧ x ≠ y + 1
+        let cond = Condition::eq(x(0), x(1).shift(1)).and(&Condition::neq(x(0), x(1).shift(1)));
+        assert!(!cond.satisfiable_large_n());
+        // x = y + 1 ∧ x ≠ y  — fine (offsets differ)
+        let cond = Condition::eq(x(0), x(1).shift(1)).and(&Condition::neq(x(0), x(1)));
+        assert!(cond.satisfiable_large_n());
+    }
+
+    #[test]
+    fn dimension_counts_free_classes() {
+        // x free, y = x + 2, z pinned to 3, w free: dimension 2
+        let conj = Conjunct {
+            atoms: vec![
+                Atom::eq(x(1), x(0).shift(2)),
+                Atom::eq(x(2), c(3)),
+            ],
+        };
+        let sol = solve_conjunct(&conj, &[v(0), v(1), v(2), v(3)]).unwrap();
+        assert_eq!(sol.dimension, 2);
+        assert_eq!(
+            sol.assignments[&v(2)],
+            Resolved::Fixed(FixedTerm::Const(3))
+        );
+        match (sol.assignments[&v(0)], sol.assignments[&v(1)]) {
+            (Resolved::Free(p0, 0), Resolved::Free(p1, 2)) => assert_eq!(p0, p1),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn witness_satisfies_the_conjunct() {
+        let conj = Conjunct {
+            atoms: vec![
+                Atom::eq(x(1), x(0).shift(2)),
+                Atom::neq(x(0), c(0)),
+                Atom::neq(x(0), x(3)),
+                Atom::eq(x(2), nm(1)),
+            ],
+        };
+        let vars = [v(0), v(1), v(2), v(3)];
+        let sol = solve_conjunct(&conj, &vars).unwrap();
+        let n = 10;
+        let env = sol.witness(n, &Env::new()).unwrap();
+        assert_eq!(Conjunct::eval(&conj, n, &env), Some(true), "{env:?}");
+    }
+
+    #[test]
+    fn quantifier_elimination_projects_correctly() {
+        // ∃x. (x = y ∧ x = z)  ⟺  y = z
+        let cond = Condition::eq(x(0), x(1)).and(&Condition::eq(x(0), x(2)));
+        let elim = cond.exists_elim(&[v(0)]);
+        let expect = Condition::eq(x(1), x(2));
+        let n = 8;
+        for a in 0..=n {
+            for b in 0..=n {
+                let env: Env = [(v(1), a), (v(2), b)].into_iter().collect();
+                assert_eq!(
+                    elim.eval(n, &env).unwrap(),
+                    expect.eval(n, &env).unwrap(),
+                    "y={a} z={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantifier_elimination_domain_conditions() {
+        // ∃x. x = y − 5  ⟺  y ≥ 5  ⟺  y ∉ {0..4}
+        let cond = Condition::eq(x(0), x(1).shift(-5));
+        let elim = cond.exists_elim(&[v(0)]);
+        let n = 12;
+        for b in 0..=n {
+            let env: Env = [(v(1), b)].into_iter().collect();
+            assert_eq!(elim.eval(n, &env).unwrap(), b >= 5, "y={b}: {elim}");
+        }
+        // ∃x. x = y + 3  ⟺  y ≤ n − 3
+        let cond = Condition::eq(x(0), x(1).shift(3));
+        let elim = cond.exists_elim(&[v(0)]);
+        for b in 0..=n {
+            let env: Env = [(v(1), b)].into_iter().collect();
+            assert_eq!(elim.eval(n, &env).unwrap(), b <= n - 3, "y={b}: {elim}");
+        }
+    }
+
+    #[test]
+    fn quantifier_elimination_drops_free_inequalities() {
+        // ∃x. (x ≠ y ∧ x ≠ 0 ∧ x ≠ n)  ⟺  true (for large n)
+        let cond = Condition::neq(x(0), x(1))
+            .and(&Condition::neq(x(0), c(0)))
+            .and(&Condition::neq(x(0), nm(0)));
+        let elim = cond.exists_elim(&[v(0)]);
+        assert!(elim.is_true(), "{elim}");
+    }
+
+    #[test]
+    fn quantifier_elimination_matches_brute_force_on_mixed_conditions() {
+        // ∃x. (x = y + 1 ∧ x ≠ z) — residual should be satisfied unless it
+        // forces y + 1 = z … actually always satisfiable when y ≤ n−1;
+        // check against brute force.
+        let cond = Condition::eq(x(0), x(1).shift(1)).and(&Condition::neq(x(0), x(2)));
+        let elim = cond.exists_elim(&[v(0)]);
+        let n = 9;
+        for yv in 0..=n {
+            for zv in 0..=n {
+                let mut env: Env = [(v(1), yv), (v(2), zv)].into_iter().collect();
+                // brute: exists x in [0,n]
+                let mut brute = false;
+                for xv in 0..=n {
+                    env.insert(v(0), xv);
+                    if cond.eval(n, &env).unwrap() {
+                        brute = true;
+                        break;
+                    }
+                }
+                env.remove(&v(0));
+                assert_eq!(elim.eval(n, &env).unwrap(), brute, "y={yv} z={zv}: {elim}");
+            }
+        }
+    }
+
+    #[test]
+    fn solver_agrees_with_brute_force_on_random_conjuncts() {
+        // pseudo-random atom soup over 3 variables with small offsets;
+        // compare for-large-n verdict with brute force at a big n.
+        let mut state = 0xDEADBEEFu64;
+        let mut rnd = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        let n_big = 24;
+        for _case in 0..300 {
+            let len = 1 + rnd(4);
+            let mut atoms = Vec::new();
+            for _ in 0..len {
+                let side = |rnd: &mut dyn FnMut(u64) -> u64| -> SimpleExpr {
+                    match rnd(3) {
+                        0 => SimpleExpr::Const(rnd(4) as i64),
+                        1 => SimpleExpr::NMinus(rnd(3) as i64),
+                        _ => SimpleExpr::Var(v(rnd(3) as u32), rnd(5) as i64 - 2),
+                    }
+                };
+                let lhs = side(&mut rnd);
+                let rhs = side(&mut rnd);
+                let cmp = if rnd(2) == 0 { Cmp::Eq } else { Cmp::Neq };
+                atoms.push(Atom { lhs, rhs, cmp });
+            }
+            let cond = Condition {
+                conjuncts: vec![Conjunct { atoms }],
+            };
+            let verdict = cond.satisfiable_large_n();
+            // brute force at two sizes to dodge boundary accidents
+            let brute = brute_sat(&cond, n_big) && brute_sat(&cond, n_big + 1);
+            assert_eq!(verdict, brute, "condition {cond}");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        // `simplified` orients atoms canonically (Const < NMinus < Var)
+        let cond = Condition::eq(x(0), c(3)).or(&Condition::neq(x(1), nm(1)));
+        assert_eq!(cond.to_string(), "3 = x0 ∨ n-1 ≠ x1");
+        assert_eq!(Condition::fls().to_string(), "false");
+        assert_eq!(Condition::tru().to_string(), "true");
+    }
+}

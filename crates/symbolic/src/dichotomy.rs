@@ -1,0 +1,332 @@
+//! The powerset dichotomy (Lemma 5.8).
+//!
+//! > "it suffices to prove that one of the following cases must occur:
+//! > 1. There is some number m, independent of n …, such that for any n
+//! >    and any y⃗ satisfying C(y⃗), the set {A | x⃗ = 0,n} has at most m
+//! >    elements. More, in this case we can actually find abstract
+//! >    expressions A₁, …, Aₘ naming these at most m elements. In this
+//! >    case powerset({A | x⃗ = 0,n}) ⇓ A', where A' is just the set of
+//! >    all 2^m subsets of {A₁, …, Aₘ}. Obviously, in this case f is
+//! >    equivalent to the m-th approximation of powerset …
+//! > 2. For every n, there is some environment ρ …, such that the set
+//! >    [{A | x⃗ = 0,n}]ρ contains at least Ω(n) distinct elements. Then
+//! >    [the complexity is Ω(2^{cn})]."
+//!
+//! [`analyze_cardinality`] decides between the two cases: a comprehension
+//! block is *bounded* when every binder is pinned (dimension 0, or
+//! dimension > 0 with the body not depending on the free binders), and
+//! *linear* when a free binder feeds the element expression — the
+//! certificate names that binder. The full Ramsey generality of the
+//! paper's Lemma 5.6 (conditions under which *distinctness* must be
+//! argued) lives in [`crate::ramsey`]; on abstract expressions produced by
+//! the Lemma 5.1 evaluator from the query corpus, the syntactic dependence
+//! test coincides with the semantic one, and every certificate is
+//! cross-checked numerically by the experiment suite (E7).
+
+use crate::aexpr::{AExpr, Block};
+use crate::condition::{solve_conjunct, Condition, Resolved};
+use crate::evalem::{to_blocks, SymbolicError};
+use crate::vars::{VarGen, VarId};
+use std::fmt;
+
+/// Evidence that an abstract set has `Ω(n)` distinct elements (Lemma 5.8
+/// case 2): in block `block_index`, conjunct `conjunct_index` of the
+/// guard, binder `variable` remains a free parameter and occurs in the
+/// element expression `body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearCertificate {
+    /// Index of the offending comprehension block.
+    pub block_index: usize,
+    /// Index of the satisfiable guard conjunct with a free binder.
+    pub conjunct_index: usize,
+    /// The free binder that generates Ω(n) distinct elements.
+    pub variable: VarId,
+    /// Rendering of the element expression that depends on it.
+    pub body: String,
+}
+
+impl fmt::Display for LinearCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block {}, conjunct {}: binder {} is free and occurs in element {}",
+            self.block_index, self.conjunct_index, self.variable, self.body
+        )
+    }
+}
+
+/// The verdict of the cardinality analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetCardinality {
+    /// Case 1: at most `witnesses.len()` elements for every n and ρ; each
+    /// witness is an element expression with the condition under which it
+    /// is present.
+    Bounded {
+        /// The named elements `A₁, …, Aₘ` with their presence conditions.
+        witnesses: Vec<(AExpr, Condition)>,
+    },
+    /// Case 2: `Ω(n)` distinct elements.
+    LinearlyMany(LinearCertificate),
+}
+
+impl SetCardinality {
+    /// The bound `m` in the bounded case.
+    pub fn bound(&self) -> Option<usize> {
+        match self {
+            SetCardinality::Bounded { witnesses } => Some(witnesses.len()),
+            SetCardinality::LinearlyMany(_) => None,
+        }
+    }
+}
+
+/// Decide the Lemma 5.8 dichotomy for a set-typed abstract expression.
+pub fn analyze_cardinality(a: &AExpr) -> Result<SetCardinality, SymbolicError> {
+    let blocks = to_blocks(a)?;
+    let mut witnesses: Vec<(AExpr, Condition)> = Vec::new();
+    for (bi, block) in blocks.iter().enumerate() {
+        // Conditioning on definedness keeps vacuous dependencies (an
+        // always-undefined body) from producing spurious certificates.
+        let guard = block.guard.and(&block.body.definedness()).simplified();
+        for (ci, conjunct) in guard.conjuncts.iter().enumerate() {
+            let Some(sol) = solve_conjunct(conjunct, &block.vars) else {
+                continue; // unsatisfiable conjunct contributes nothing
+            };
+            // substitute pinned binders into the body
+            let mut body = (*block.body).clone();
+            let mut free_binders = Vec::new();
+            for &v in &block.vars {
+                match sol.assignments[&v] {
+                    Resolved::Fixed(_) => {
+                        let se = sol.assignments[&v]
+                            .pinned_simple()
+                            .expect("fixed assignment has a simple form");
+                        body = body.subst(v, &se);
+                    }
+                    Resolved::Free(_, _) => free_binders.push(v),
+                }
+            }
+            let body_frees = body.free_vars();
+            if let Some(&witness_var) = free_binders.iter().find(|v| body_frees.contains(v)) {
+                return Ok(SetCardinality::LinearlyMany(LinearCertificate {
+                    block_index: bi,
+                    conjunct_index: ci,
+                    variable: witness_var,
+                    body: body.to_string(),
+                }));
+            }
+            // bounded contribution: one element, present when the
+            // residual (conditions on the free variables of `a`) holds
+            let presence = Condition {
+                conjuncts: vec![sol.residual.clone()],
+            };
+            let witness = (body, presence);
+            if !witnesses.contains(&witness) {
+                witnesses.push(witness);
+            }
+        }
+    }
+    Ok(SetCardinality::Bounded { witnesses })
+}
+
+/// Lemma 5.8 case 1, the construction: the abstract powerset of a set
+/// named by `witnesses` — "A' is just the set of all 2^m subsets of
+/// {A₁, …, Aₘ}". `approximation = Some(k)` restricts to subsets of
+/// cardinality ≤ k (the `powersetₘ` primitive).
+pub fn powerset_of_witnesses(
+    witnesses: &[(AExpr, Condition)],
+    approximation: Option<u64>,
+    max_witnesses: usize,
+) -> Result<AExpr, SymbolicError> {
+    let m = witnesses.len();
+    if m > max_witnesses {
+        return Err(SymbolicError::TooManyWitnesses {
+            found: m,
+            cap: max_witnesses,
+        });
+    }
+    let keep = |mask: usize| match approximation {
+        Some(k) => (mask.count_ones() as u64) <= k,
+        None => true,
+    };
+    let mut outer = Vec::new();
+    for mask in 0usize..(1 << m) {
+        if !keep(mask) {
+            continue;
+        }
+        let subset_blocks: Vec<Block> = witnesses
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, (w, c))| Block::new(vec![], c.clone(), w.clone()))
+            .collect();
+        outer.push(Block::new(
+            vec![],
+            Condition::tru(),
+            AExpr::Set(subset_blocks),
+        ));
+    }
+    Ok(AExpr::Set(outer))
+}
+
+/// Lemma 5.8, the `powerset` case: either return the abstract expression
+/// for `powerset(a)` (bounded case), or report the exponential
+/// certificate. `approximation` restricts to subsets of cardinality ≤ m
+/// (the `powersetₘ` primitive; on an Ω(n) set `powersetₘ` is polynomial
+/// but its result is outside the abstract language, so it is evaluated
+/// concretely instead — matching the paper's treatment).
+pub fn apply_powerset(
+    a: &AExpr,
+    approximation: Option<u64>,
+    max_witnesses: usize,
+    _gen: &mut VarGen,
+) -> Result<AExpr, SymbolicError> {
+    match analyze_cardinality(a)? {
+        SetCardinality::LinearlyMany(cert) => Err(SymbolicError::ExponentialPowerset(cert)),
+        SetCardinality::Bounded { witnesses } => {
+            powerset_of_witnesses(&witnesses, approximation, max_witnesses)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aexpr::chain_aexpr;
+    use crate::condition::Condition;
+    use crate::simple::SimpleExpr;
+    use crate::vars::{Env, VarGen};
+    use nra_core::value::Value;
+
+    #[test]
+    fn chain_is_linear() {
+        // {(x, x+1) when x ≠ n | x} has Ω(n) elements — the key step in
+        // the Theorem 4.1 proof: powerset(rₙ) must blow up.
+        let mut gen = VarGen::new();
+        let a = chain_aexpr(&mut gen);
+        match analyze_cardinality(&a).unwrap() {
+            SetCardinality::LinearlyMany(cert) => {
+                assert!(cert.body.contains("x0"));
+            }
+            other => panic!("expected linear, got {other:?}"),
+        }
+        // and powerset of it reports the exponential verdict
+        let err = apply_powerset(&a, None, 16, &mut gen).unwrap_err();
+        assert!(matches!(err, SymbolicError::ExponentialPowerset(_)));
+    }
+
+    #[test]
+    fn pinned_sets_are_bounded() {
+        // {(x, n−1) when x = 3 | x} ∪ {5} — two witnesses
+        let mut gen = VarGen::new();
+        let x = gen.fresh();
+        let a = AExpr::union(
+            AExpr::guarded_comprehension(
+                vec![x],
+                Condition::eq(SimpleExpr::var(x), SimpleExpr::Const(3)),
+                AExpr::pair(AExpr::var(x), AExpr::Num(SimpleExpr::NMinus(1))),
+            ),
+            AExpr::singleton(AExpr::pair(AExpr::num(5), AExpr::num(5))),
+        );
+        match analyze_cardinality(&a).unwrap() {
+            SetCardinality::Bounded { witnesses } => {
+                assert_eq!(witnesses.len(), 2);
+            }
+            other => panic!("expected bounded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_body_with_free_binder_is_bounded() {
+        // {7 | x = 0,n}: one element despite the free binder
+        let mut gen = VarGen::new();
+        let x = gen.fresh();
+        let a = AExpr::comprehension(vec![x], AExpr::num(7));
+        let card = analyze_cardinality(&a).unwrap();
+        assert_eq!(card.bound(), Some(1));
+    }
+
+    #[test]
+    fn bounded_powerset_matches_concrete_powerset() {
+        // a = {3} ∪ {n}: powerset(a) has 4 subsets
+        let a = AExpr::union(
+            AExpr::singleton(AExpr::num(3)),
+            AExpr::singleton(AExpr::Num(SimpleExpr::n())),
+        );
+        let mut gen = VarGen::new();
+        let p = apply_powerset(&a, None, 16, &mut gen).unwrap();
+        for n in 4..9u64 {
+            let base = a.eval(n, &Env::new()).unwrap();
+            let concrete = nra_eval::eval(&nra_core::builder::powerset(), &base).unwrap();
+            assert_eq!(p.eval(n, &Env::new()), Some(concrete), "n={n}");
+        }
+        // at n = 3 the two witnesses coincide (3 = n) — the abstract
+        // powerset still matches because equal subsets collapse
+        let base3 = a.eval(3, &Env::new()).unwrap();
+        assert_eq!(base3.cardinality(), Some(1));
+        let concrete3 = nra_eval::eval(&nra_core::builder::powerset(), &base3).unwrap();
+        assert_eq!(p.eval(3, &Env::new()), Some(concrete3));
+    }
+
+    #[test]
+    fn approximated_powerset_keeps_small_subsets() {
+        let a = AExpr::union(
+            AExpr::union(
+                AExpr::singleton(AExpr::num(1)),
+                AExpr::singleton(AExpr::num(2)),
+            ),
+            AExpr::singleton(AExpr::num(3)),
+        );
+        let mut gen = VarGen::new();
+        let p1 = apply_powerset(&a, Some(1), 16, &mut gen).unwrap();
+        let v = p1.eval(9, &Env::new()).unwrap();
+        // ∅ plus three singletons
+        assert_eq!(v.cardinality(), Some(4));
+        let p2 = apply_powerset(&a, Some(2), 16, &mut gen).unwrap();
+        assert_eq!(p2.eval(9, &Env::new()).unwrap().cardinality(), Some(7));
+    }
+
+    #[test]
+    fn witness_cap_is_enforced() {
+        let mut a = AExpr::singleton(AExpr::num(0));
+        for i in 1..6 {
+            a = AExpr::union(a, AExpr::singleton(AExpr::num(i)));
+        }
+        let mut gen = VarGen::new();
+        let err = apply_powerset(&a, None, 4, &mut gen).unwrap_err();
+        assert_eq!(
+            err,
+            SymbolicError::TooManyWitnesses { found: 6, cap: 4 }
+        );
+    }
+
+    #[test]
+    fn conditional_witnesses_collapse_in_subsets() {
+        // {(y, 0)} for a free variable y: bounded with witness condition
+        // true; powerset has 2 subsets {∅, {(y,0)}} at every y
+        let mut gen = VarGen::new();
+        let y = gen.fresh();
+        let a = AExpr::singleton(AExpr::pair(AExpr::var(y), AExpr::num(0)));
+        let p = apply_powerset(&a, None, 4, &mut gen).unwrap();
+        let n = 6;
+        for yv in 0..=n {
+            let env: Env = [(y, yv)].into_iter().collect();
+            let v = p.eval(n, &env).unwrap();
+            assert_eq!(v.cardinality(), Some(2), "y={yv}");
+            assert!(v.as_set().unwrap().contains(&Value::empty_set()));
+        }
+    }
+
+    #[test]
+    fn unsat_conjuncts_are_skipped() {
+        // {x when (x = 1 ∧ x = 2) | x} ∪ {9} — first block contributes 0
+        let mut gen = VarGen::new();
+        let x = gen.fresh();
+        let dead = Condition::eq(SimpleExpr::var(x), SimpleExpr::Const(1))
+            .and(&Condition::eq(SimpleExpr::var(x), SimpleExpr::Const(2)));
+        let a = AExpr::union(
+            AExpr::guarded_comprehension(vec![x], dead, AExpr::var(x)),
+            AExpr::singleton(AExpr::num(9)),
+        );
+        assert_eq!(analyze_cardinality(&a).unwrap().bound(), Some(1));
+    }
+}

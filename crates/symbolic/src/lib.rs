@@ -1,0 +1,40 @@
+//! # nra-symbolic
+//!
+//! The §5 proof machinery of Suciu & Paredaens (1994), executable:
+//!
+//! * [`vars`], [`simple`] — variables over `[n]` and simple expressions
+//!   `c | n−c | x+c` (§5.1);
+//! * [`condition`] — `=`/`≠` conditions in DNF, the "satisfiable for large
+//!   n" decision procedure (an offset union-find), and quantifier
+//!   elimination (§5.3 and Lemma 5.1's `empty` case);
+//! * [`affine`] — affine and variable affine spaces: dimension, counting
+//!   (`nᵖ − O(nᵖ⁻¹)`), intersection, the Prop 5.5 decomposition;
+//! * [`aexpr`] — abstract expressions and their denotations `[A]ρ` (§5.1);
+//! * [`evalem`] — the Evaluation Lemma (Lemma 5.1): `f(A) ⇓ A'` for all of
+//!   `NRA`, by structural recursion;
+//! * [`dichotomy`] — Lemma 5.8: bounded sets (abstract powerset, with the
+//!   `powersetₘ` equivalence) vs `Ω(n)` sets (exponential certificates);
+//! * [`ramsey`] — Lemma 5.7's monochromatic-clique bound `C(2m−2, m−1)`
+//!   (constructive) and Lemma 5.6's condition-splitting helpers;
+//! * [`lower_bound`] — Corollary 5.3: closed `{N×N}` abstract expressions
+//!   denote unions of affine spaces and can never be `tc(rₙ)`.
+
+#![warn(missing_docs)]
+
+pub mod aexpr;
+pub mod affine;
+pub mod condition;
+pub mod dichotomy;
+pub mod evalem;
+pub mod lower_bound;
+pub mod ramsey;
+pub mod simple;
+pub mod vars;
+
+pub use aexpr::{chain_aexpr, AExpr, Block};
+pub use condition::{Atom, Cmp, Condition, Conjunct};
+pub use dichotomy::{analyze_cardinality, LinearCertificate, SetCardinality};
+pub use evalem::{apply, approximation_order, eliminate_powerset, PowersetMode, SymCtx, SymbolicError};
+pub use lower_bound::{chain_tc_impossibility, ChainTcImpossibility};
+pub use simple::SimpleExpr;
+pub use vars::{Env, VarGen, VarId};

@@ -1,0 +1,291 @@
+//! Corollary 5.3: no abstract expression denotes `tc(rₙ)` for all n.
+//!
+//! > "Indeed, tc(rₙ) must have [Ω(n²)] elements. But one can prove that
+//! > any closed abstract expression of type {N × N} denotes a union of
+//! > affine spaces: none of them can have dimension 2 (else we get
+//! > n² − O(n) elements), so their union has at most O(n) elements, and it
+//! > cannot denote tc(rₙ)."
+//!
+//! [`affine_decomposition`] computes that union of affine spaces for a
+//! closed `{N × N}`-typed abstract expression; [`chain_tc_impossibility`]
+//! renders the corollary's dichotomy (`dimension ≥ 2 ⇒ too many points`,
+//! `all ≤ 1 ⇒ too few`), which experiment E6 checks numerically.
+
+use crate::aexpr::AExpr;
+use crate::affine::{AffineSpace, Coord};
+use crate::condition::{solve_conjunct, Resolved};
+use crate::evalem::{to_blocks, SymbolicError};
+use std::fmt;
+
+/// Decompose a **closed** abstract expression of type `{N × N}` into a
+/// union of affine spaces (the first step of Corollary 5.3).
+pub fn affine_decomposition(a: &AExpr) -> Result<Vec<AffineSpace>, SymbolicError> {
+    let blocks = to_blocks(a)?;
+    let mut spaces = Vec::new();
+    for block in blocks {
+        // Explode guarded bodies into plain (Num, Num) shapes, folding the
+        // arm conditions and definedness into the guard.
+        let shapes = explode_pairs(&block.body)?;
+        for (e1, e2, cond) in shapes {
+            let guard = block.guard.and(&cond).simplified();
+            for conjunct in &guard.conjuncts {
+                let Some(sol) = solve_conjunct(conjunct, &block.vars) else {
+                    continue;
+                };
+                if !sol.residual.atoms.is_empty() {
+                    // residual atoms mean free variables — not closed
+                    return Err(SymbolicError::Inconclusive);
+                }
+                let c1 = resolved_coord(sol.resolve_expr(&e1))?;
+                let c2 = resolved_coord(sol.resolve_expr(&e2))?;
+                let exclusions = sol
+                    .exclusions
+                    .iter()
+                    .map(|&(l, r)| Ok((resolved_coord(l)?, resolved_coord(r)?)))
+                    .collect::<Result<Vec<_>, SymbolicError>>()?;
+                spaces.push(AffineSpace {
+                    dimension: sol.dimension,
+                    coords: vec![c1, c2],
+                    exclusions,
+                });
+            }
+        }
+    }
+    Ok(spaces)
+}
+
+fn resolved_coord(r: Resolved) -> Result<Coord, SymbolicError> {
+    Ok(match r {
+        Resolved::Fixed(t) => match t.as_simple() {
+            crate::simple::SimpleExpr::Const(c) => Coord::Const(c),
+            crate::simple::SimpleExpr::NMinus(c) => Coord::NMinus(c),
+            crate::simple::SimpleExpr::Var(_, _) => return Err(SymbolicError::Inconclusive),
+        },
+        Resolved::Free(p, c) => Coord::Param(p, c),
+    })
+}
+
+/// Explode a pair-typed abstract expression into `(e₁, e₂, condition)`
+/// triples of numeric coordinates.
+fn explode_pairs(
+    a: &AExpr,
+) -> Result<Vec<(crate::simple::SimpleExpr, crate::simple::SimpleExpr, crate::condition::Condition)>, SymbolicError>
+{
+    match a {
+        AExpr::Pair(x, y) => match (&**x, &**y) {
+            (AExpr::Num(e1), AExpr::Num(e2)) => {
+                let def = a.definedness();
+                Ok(vec![(*e1, *e2, def)])
+            }
+            _ => Err(SymbolicError::NotANum),
+        },
+        AExpr::Guarded(arms) => {
+            let mut out = Vec::new();
+            for (arm, cond) in arms {
+                for (e1, e2, c) in explode_pairs(arm)? {
+                    let joint = c.and(cond);
+                    if !joint.is_false() {
+                        out.push((e1, e2, joint));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        _ => Err(SymbolicError::NotAPair),
+    }
+}
+
+/// Why a union of affine spaces cannot equal `tc(rₙ) = {(x,y) | x < y}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every space has dimension ≤ 1, so the union has O(n) points —
+    /// asymptotically fewer than `|tc(rₙ)| = n(n+1)/2`.
+    TooFewPoints,
+    /// Some space has dimension ≥ 2, hence `n² − O(n)` points — more than
+    /// `n(n+1)/2`, so it cannot be a *subset* of `tc(rₙ)`.
+    TooManyPoints,
+}
+
+/// The Corollary 5.3 analysis of a closed `{N × N}` abstract expression.
+#[derive(Debug, Clone)]
+pub struct ChainTcImpossibility {
+    /// The affine decomposition.
+    pub spaces: Vec<AffineSpace>,
+    /// Largest dimension among the spaces.
+    pub max_dimension: usize,
+    /// Which side of the counting argument applies.
+    pub verdict: Verdict,
+}
+
+impl ChainTcImpossibility {
+    /// Upper bound on the union's cardinality at a given n implied by the
+    /// dimensions (counting `(n+1)^p` per space).
+    pub fn cardinality_upper_bound(&self, n: u64) -> u128 {
+        self.spaces
+            .iter()
+            .map(|s| (n as u128 + 1).pow(s.dimension as u32))
+            .sum()
+    }
+}
+
+impl fmt::Display for ChainTcImpossibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "union of {} affine space(s), max dimension {}:",
+            self.spaces.len(),
+            self.max_dimension
+        )?;
+        for s in &self.spaces {
+            writeln!(f, "  {}", s)?;
+        }
+        match self.verdict {
+            Verdict::TooFewPoints => write!(
+                f,
+                "all dimensions ≤ 1 ⇒ O(n) points < n(n+1)/2 = |tc(rₙ)| — cannot denote tc(rₙ)"
+            ),
+            Verdict::TooManyPoints => write!(
+                f,
+                "a dimension-2 space has n²−O(n) points > n(n+1)/2 = |tc(rₙ)| — cannot denote tc(rₙ)"
+            ),
+        }
+    }
+}
+
+/// Corollary 5.3 for a concrete closed expression: produce the
+/// impossibility analysis (the expression can never denote `tc(rₙ)` for
+/// all n, whichever side of the dichotomy it falls on).
+pub fn chain_tc_impossibility(a: &AExpr) -> Result<ChainTcImpossibility, SymbolicError> {
+    let spaces = affine_decomposition(a)?;
+    let max_dimension = spaces.iter().map(|s| s.dimension).max().unwrap_or(0);
+    let verdict = if max_dimension >= 2 {
+        Verdict::TooManyPoints
+    } else {
+        Verdict::TooFewPoints
+    };
+    Ok(ChainTcImpossibility {
+        spaces,
+        max_dimension,
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aexpr::chain_aexpr;
+    use crate::vars::{Env, VarGen};
+    use nra_core::value::Value;
+
+    #[test]
+    fn chain_decomposes_into_one_line() {
+        let mut gen = VarGen::new();
+        let a = chain_aexpr(&mut gen);
+        let spaces = affine_decomposition(&a).unwrap();
+        assert_eq!(spaces.len(), 1);
+        assert_eq!(spaces[0].dimension, 1);
+        // the affine points are exactly the denoted pairs
+        for n in 2..7u64 {
+            let pts = spaces[0].enumerate(n, &Env::new());
+            let denoted = a.eval(n, &Env::new()).unwrap();
+            let edges: std::collections::BTreeSet<Vec<i128>> = denoted
+                .to_edges()
+                .unwrap()
+                .into_iter()
+                .map(|(x, y)| vec![x as i128, y as i128])
+                .collect();
+            assert_eq!(pts, edges, "n={n}");
+        }
+    }
+
+    #[test]
+    fn chain_cannot_be_tc() {
+        let mut gen = VarGen::new();
+        let a = chain_aexpr(&mut gen);
+        let analysis = chain_tc_impossibility(&a).unwrap();
+        assert_eq!(analysis.verdict, Verdict::TooFewPoints);
+        // O(n) bound loses to n(n+1)/2 already at small n
+        for n in 5..12u64 {
+            let tc_size = (n * (n + 1) / 2) as u128;
+            assert!(
+                analysis.cardinality_upper_bound(n) < tc_size || n < 5,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_is_two_dimensional_hence_too_many() {
+        // {(x, y) | x = 0,n; y = 0,n} has dimension 2 → TooManyPoints side
+        let mut gen = VarGen::new();
+        let x = gen.fresh();
+        let y = gen.fresh();
+        let a = AExpr::comprehension(
+            vec![x, y],
+            AExpr::pair(AExpr::var(x), AExpr::var(y)),
+        );
+        let analysis = chain_tc_impossibility(&a).unwrap();
+        assert_eq!(analysis.max_dimension, 2);
+        assert_eq!(analysis.verdict, Verdict::TooManyPoints);
+        // and numerically: the denotation has (n+1)² > n(n+1)/2 points
+        for n in 2..6u64 {
+            let count = a.eval(n, &Env::new()).unwrap().cardinality().unwrap() as u64;
+            assert!(count > n * (n + 1) / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn no_small_expression_matches_tc_numerically() {
+        // sanity: the chain expression's denotation differs from tc(rₙ)
+        // for every n ≥ 2 (it IS rₙ)
+        let mut gen = VarGen::new();
+        let a = chain_aexpr(&mut gen);
+        for n in 2..8u64 {
+            assert_ne!(a.eval(n, &Env::new()).unwrap(), Value::chain_tc(n));
+        }
+    }
+
+    #[test]
+    fn guarded_bodies_decompose() {
+        use crate::condition::Condition;
+        use crate::simple::SimpleExpr;
+        // {(x, 0) when x ≠ n; (x, n) when … | x}: a guarded body with two
+        // arms — two affine spaces of dimension 1
+        let mut gen = VarGen::new();
+        let x = gen.fresh();
+        let c = Condition::neq(SimpleExpr::var(x), SimpleExpr::n());
+        let body = AExpr::Guarded(vec![
+            (AExpr::pair(AExpr::var(x), AExpr::num(0)), c.clone()),
+            (AExpr::pair(AExpr::var(x), AExpr::Num(SimpleExpr::n())), c.not()),
+        ]);
+        let a = AExpr::comprehension(vec![x], body);
+        let spaces = affine_decomposition(&a).unwrap();
+        assert_eq!(spaces.len(), 2);
+        assert!(spaces.iter().all(|s| s.dimension <= 1));
+        // union of points = denotation
+        let n = 5;
+        let mut pts = std::collections::BTreeSet::new();
+        for s in &spaces {
+            pts.extend(s.enumerate(n, &Env::new()));
+        }
+        let denoted: std::collections::BTreeSet<Vec<i128>> = a
+            .eval(n, &Env::new())
+            .unwrap()
+            .to_edges()
+            .unwrap()
+            .into_iter()
+            .map(|(p, q)| vec![p as i128, q as i128])
+            .collect();
+        assert_eq!(pts, denoted);
+    }
+
+    #[test]
+    fn open_expressions_are_rejected() {
+        let mut gen = VarGen::new();
+        let y = gen.fresh();
+        let x = gen.fresh();
+        let a = AExpr::comprehension(vec![x], AExpr::pair(AExpr::var(x), AExpr::var(y)));
+        // y is free: the "closed" decomposition must refuse
+        assert!(affine_decomposition(&a).is_err());
+    }
+}

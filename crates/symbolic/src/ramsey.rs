@@ -1,0 +1,400 @@
+//! The Ramsey argument of the proof (Lemmas 5.6 and 5.7).
+//!
+//! > **Lemma 5.7** ([Bollobás 79], p. 104, theorem 1): "Let G be a
+//! > complete, undirected graph with `C(2m−2, m−1)` vertices, whose edges
+//! > have been colored with red or blue. Then there is a complete subgraph
+//! > with m vertices having all edges colored with the same color."
+//!
+//! [`monochromatic_clique`] is the constructive (Erdős–Szekeres) proof of
+//! that bound; [`ramsey_bound`] computes it. Around it, the Lemma 5.6
+//! helpers: [`split_condition`] separates a conjunct `D(x⃗, x⃗', y⃗)` into
+//! the parts `E` (mentioning both primed and unprimed solved variables),
+//! `F` (unprimed only) and `F'` (primed only), and [`included_sequence`]
+//! searches for sequences *included in D* — the paper's notion
+//! "`D(x⃗ᵢ, x⃗ⱼ, y⃗)` for all `1 ≤ i < j ≤ m`" — by brute force on small
+//! instances (used to validate the symbolic machinery numerically).
+
+use crate::condition::Conjunct;
+use crate::vars::{Env, VarId};
+use std::collections::BTreeSet;
+
+/// `C(2m−2, m−1)` — the number of vertices guaranteeing a monochromatic
+/// `K_m` (Lemma 5.7).
+pub fn ramsey_bound(m: u64) -> u128 {
+    if m == 0 {
+        return 0;
+    }
+    binomial(2 * m - 2, m - 1)
+}
+
+/// Saturating binomial coefficient.
+fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128);
+        acc /= (i + 1) as u128;
+    }
+    acc
+}
+
+/// Find a clique of `red_target` vertices all of whose edges are red
+/// (`color` returns `true`), or `blue_target` all blue, in the complete
+/// graph on `vertices`. Returns `(clique, is_red)`. Succeeds whenever
+/// `vertices.len() ≥ C(red_target + blue_target − 2, red_target − 1)` —
+/// the classical recursive proof, made algorithmic.
+pub fn two_color_clique(
+    vertices: &[usize],
+    red_target: usize,
+    blue_target: usize,
+    color: &dyn Fn(usize, usize) -> bool,
+) -> Option<(Vec<usize>, bool)> {
+    if red_target == 1 || blue_target == 1 {
+        // a single vertex is a monochromatic K₁ of either colour
+        let v = *vertices.first()?;
+        return Some((vec![v], red_target == 1));
+    }
+    let needed = binomial((red_target + blue_target - 2) as u64, (red_target - 1) as u64);
+    if (vertices.len() as u128) < needed {
+        // below the guarantee we still try, but may fail
+    }
+    let (&pivot, rest) = vertices.split_first()?;
+    let red_nbrs: Vec<usize> = rest.iter().copied().filter(|&u| color(pivot, u)).collect();
+    let blue_nbrs: Vec<usize> = rest.iter().copied().filter(|&u| !color(pivot, u)).collect();
+    // recurse on the side that is large enough first
+    let red_need = binomial((red_target - 1 + blue_target - 2) as u64, (red_target - 2) as u64);
+    if (red_nbrs.len() as u128) >= red_need {
+        if let Some((mut clique, is_red)) =
+            two_color_clique(&red_nbrs, red_target - 1, blue_target, color)
+        {
+            if is_red {
+                clique.insert(0, pivot);
+                if clique.len() >= red_target {
+                    return Some((clique, true));
+                }
+            } else if clique.len() >= blue_target {
+                return Some((clique, false));
+            }
+        }
+    }
+    if let Some((mut clique, is_red)) =
+        two_color_clique(&blue_nbrs, red_target, blue_target - 1, color)
+    {
+        if !is_red {
+            clique.insert(0, pivot);
+            if clique.len() >= blue_target {
+                return Some((clique, false));
+            }
+        } else if clique.len() >= red_target {
+            return Some((clique, true));
+        }
+    }
+    // fall back: try without the pivot (can help below the guarantee)
+    two_color_clique(rest, red_target, blue_target, color)
+}
+
+/// Lemma 5.7: a monochromatic `K_m` in any 2-colouring of a complete
+/// graph on at least `C(2m−2, m−1)` vertices. `color(u, v)` gives the
+/// colour of edge `{u, v}` (must be symmetric).
+pub fn monochromatic_clique(
+    num_vertices: usize,
+    m: usize,
+    color: &dyn Fn(usize, usize) -> bool,
+) -> Option<(Vec<usize>, bool)> {
+    let vertices: Vec<usize> = (0..num_vertices).collect();
+    two_color_clique(&vertices, m, m, color)
+}
+
+/// Lemma 5.6's first step: split a conjunct `D(x⃗, x⃗', y⃗)` into
+/// `E ∧ F ∧ F'` where `E` contains exactly the atoms mentioning both an
+/// `x⃗`-variable and an `x⃗'`-variable, `F` the remaining atoms free of
+/// `x⃗'`, and `F'` the remaining atoms free of `x⃗` (atoms mentioning only
+/// `y⃗` go to `F`, matching the paper's "can be included arbitrarily").
+pub fn split_condition(
+    d: &Conjunct,
+    xs: &BTreeSet<VarId>,
+    xs_primed: &BTreeSet<VarId>,
+) -> (Conjunct, Conjunct, Conjunct) {
+    let mut e = Vec::new();
+    let mut f = Vec::new();
+    let mut f_primed = Vec::new();
+    for atom in &d.atoms {
+        let mut vars = BTreeSet::new();
+        atom.collect_vars(&mut vars);
+        let touches_x = vars.iter().any(|v| xs.contains(v));
+        let touches_xp = vars.iter().any(|v| xs_primed.contains(v));
+        match (touches_x, touches_xp) {
+            (true, true) => e.push(*atom),
+            (false, true) => f_primed.push(*atom),
+            _ => f.push(*atom),
+        }
+    }
+    (
+        Conjunct { atoms: e },
+        Conjunct { atoms: f },
+        Conjunct { atoms: f_primed },
+    )
+}
+
+/// The substitution `G(x⃗, y⃗) = F(x⃗, y⃗) ∧ F'(x⃗, y⃗)` used in the
+/// Lemma 5.6 proof: substitute each primed variable by its unprimed twin.
+pub fn unprime(c: &Conjunct, pairs: &[(VarId, VarId)]) -> Conjunct {
+    let mut out = c.clone();
+    for &(x, xp) in pairs {
+        out = out.rename(xp, x);
+    }
+    out
+}
+
+/// A sequence `x⃗₁, …, x⃗ₘ` is **included in D for y⃗** iff
+/// `D(x⃗ᵢ, x⃗ⱼ, y⃗)` for all `i < j` (§5.4). Checks a candidate sequence.
+pub fn is_included_sequence(
+    d: &Conjunct,
+    xs: &[VarId],
+    xs_primed: &[VarId],
+    sequence: &[Vec<u64>],
+    n: u64,
+    y_env: &Env,
+) -> bool {
+    for i in 0..sequence.len() {
+        for j in (i + 1)..sequence.len() {
+            let mut env = y_env.clone();
+            for (k, &v) in xs.iter().enumerate() {
+                env.insert(v, sequence[i][k]);
+            }
+            for (k, &v) in xs_primed.iter().enumerate() {
+                env.insert(v, sequence[j][k]);
+            }
+            if d.eval(n, &env) != Some(true) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Brute-force search for a length-`m` sequence included in `D` for the
+/// given `y⃗` environment at a concrete `n` (validation of Lemma 5.6 on
+/// small instances). Vectors range over `[n]^{|xs|}`.
+pub fn included_sequence(
+    d: &Conjunct,
+    xs: &[VarId],
+    xs_primed: &[VarId],
+    m: usize,
+    n: u64,
+    y_env: &Env,
+) -> Option<Vec<Vec<u64>>> {
+    let arity = xs.len();
+    let mut all_points = Vec::new();
+    let mut point = vec![0u64; arity];
+    gen_points(n, arity, 0, &mut point, &mut all_points);
+    let mut seq: Vec<Vec<u64>> = Vec::new();
+    if extend_sequence(d, xs, xs_primed, m, n, y_env, &all_points, &mut seq) {
+        Some(seq)
+    } else {
+        None
+    }
+}
+
+fn gen_points(n: u64, arity: usize, depth: usize, point: &mut Vec<u64>, out: &mut Vec<Vec<u64>>) {
+    if depth == arity {
+        out.push(point.clone());
+        return;
+    }
+    for v in 0..=n {
+        point[depth] = v;
+        gen_points(n, arity, depth + 1, point, out);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend_sequence(
+    d: &Conjunct,
+    xs: &[VarId],
+    xs_primed: &[VarId],
+    m: usize,
+    n: u64,
+    y_env: &Env,
+    points: &[Vec<u64>],
+    seq: &mut Vec<Vec<u64>>,
+) -> bool {
+    if seq.len() == m {
+        return true;
+    }
+    'next: for p in points {
+        if seq.contains(p) {
+            continue;
+        }
+        // check D(previous, p) for all previous
+        for prev in seq.iter() {
+            let mut env = y_env.clone();
+            for (k, &v) in xs.iter().enumerate() {
+                env.insert(v, prev[k]);
+            }
+            for (k, &v) in xs_primed.iter().enumerate() {
+                env.insert(v, p[k]);
+            }
+            if d.eval(n, &env) != Some(true) {
+                continue 'next;
+            }
+        }
+        seq.push(p.clone());
+        if extend_sequence(d, xs, xs_primed, m, n, y_env, points, seq) {
+            return true;
+        }
+        seq.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Atom;
+    use crate::simple::SimpleExpr;
+
+    #[test]
+    fn bound_values() {
+        // C(0,0)=1, C(2,1)=2, C(4,2)=6, C(6,3)=20, C(8,4)=70
+        assert_eq!(ramsey_bound(1), 1);
+        assert_eq!(ramsey_bound(2), 2);
+        assert_eq!(ramsey_bound(3), 6);
+        assert_eq!(ramsey_bound(4), 20);
+        assert_eq!(ramsey_bound(5), 70);
+    }
+
+    fn check_clique(clique: &[usize], is_red: bool, color: &dyn Fn(usize, usize) -> bool) {
+        for (i, &u) in clique.iter().enumerate() {
+            for &v in &clique[i + 1..] {
+                assert_eq!(color(u, v), is_red, "edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn monochromatic_clique_on_uniform_colorings() {
+        let all_red = |_: usize, _: usize| true;
+        let (clique, is_red) = monochromatic_clique(6, 3, &all_red).unwrap();
+        assert!(is_red);
+        assert_eq!(clique.len(), 3);
+        let all_blue = |_: usize, _: usize| false;
+        let (clique, is_red) = monochromatic_clique(6, 3, &all_blue).unwrap();
+        assert!(!is_red);
+        assert_eq!(clique.len(), 3);
+    }
+
+    #[test]
+    fn monochromatic_clique_on_random_colorings() {
+        // pseudo-random symmetric colourings at exactly the Ramsey bound
+        for m in 2..=4usize {
+            let vertices = ramsey_bound(m as u64) as usize;
+            for seed in 0..25u64 {
+                let color = move |u: usize, v: usize| {
+                    let (a, b) = if u < v { (u, v) } else { (v, u) };
+                    let mut h = seed
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add((a * 1000 + b) as u64);
+                    h ^= h >> 33;
+                    h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+                    h ^= h >> 33;
+                    h % 2 == 0
+                };
+                let (clique, is_red) = monochromatic_clique(vertices, m, &color)
+                    .unwrap_or_else(|| panic!("m={m} seed={seed}: no clique found"));
+                assert!(clique.len() >= m, "m={m} seed={seed}");
+                check_clique(&clique[..m], is_red, &color);
+            }
+        }
+    }
+
+    #[test]
+    fn split_separates_atom_classes() {
+        let x0 = VarId(0);
+        let xp0 = VarId(10);
+        let y = VarId(20);
+        let d = Conjunct {
+            atoms: vec![
+                Atom::eq(SimpleExpr::var(x0), SimpleExpr::var(xp0)), // E
+                Atom::neq(SimpleExpr::var(x0), SimpleExpr::var(y)),  // F
+                Atom::eq(SimpleExpr::var(xp0), SimpleExpr::Const(3)), // F'
+                Atom::neq(SimpleExpr::var(y), SimpleExpr::Const(0)), // F (y-only)
+            ],
+        };
+        let xs: BTreeSet<VarId> = [x0].into_iter().collect();
+        let xps: BTreeSet<VarId> = [xp0].into_iter().collect();
+        let (e, f, fp) = split_condition(&d, &xs, &xps);
+        assert_eq!(e.atoms.len(), 1);
+        assert_eq!(f.atoms.len(), 2);
+        assert_eq!(fp.atoms.len(), 1);
+    }
+
+    #[test]
+    fn unprime_substitutes() {
+        let x0 = VarId(0);
+        let xp0 = VarId(10);
+        let c = Conjunct {
+            atoms: vec![Atom::eq(SimpleExpr::var(xp0), SimpleExpr::Const(3))],
+        };
+        let g = unprime(&c, &[(x0, xp0)]);
+        assert_eq!(
+            g.atoms[0],
+            Atom::eq(SimpleExpr::var(x0), SimpleExpr::Const(3))
+        );
+    }
+
+    #[test]
+    fn included_sequences_in_the_distinctness_condition() {
+        // D(x, x') = (x ≠ x'): any sequence of distinct values is included;
+        // maximal length is n+1
+        let x = VarId(0);
+        let xp = VarId(1);
+        let d = Conjunct {
+            atoms: vec![Atom::neq(SimpleExpr::var(x), SimpleExpr::var(xp))],
+        };
+        let n = 4;
+        let seq = included_sequence(&d, &[x], &[xp], 5, n, &Env::new()).unwrap();
+        assert_eq!(seq.len(), 5);
+        assert!(is_included_sequence(&d, &[x], &[xp], &seq, n, &Env::new()));
+        assert!(
+            included_sequence(&d, &[x], &[xp], 6, n, &Env::new()).is_none(),
+            "only n+1 distinct values exist"
+        );
+    }
+
+    #[test]
+    fn included_sequence_with_ordering_flavour() {
+        // D(x, x') = (x' = x + 1) forces consecutive runs: pairs (i, j)
+        // with j = i + 1 for ALL i < j in the sequence — only length ≤ 2.
+        let x = VarId(0);
+        let xp = VarId(1);
+        let d = Conjunct {
+            atoms: vec![Atom::eq(SimpleExpr::var(xp), SimpleExpr::Var(x, 1))],
+        };
+        let n = 6;
+        assert!(included_sequence(&d, &[x], &[xp], 2, n, &Env::new()).is_some());
+        assert!(included_sequence(&d, &[x], &[xp], 3, n, &Env::new()).is_none());
+    }
+
+    #[test]
+    fn included_sequence_respects_y_environment() {
+        // D(x, x', y) = (x ≠ x' ∧ x ≠ y ∧ x' ≠ y): distinct and avoiding y
+        let x = VarId(0);
+        let xp = VarId(1);
+        let y = VarId(2);
+        let d = Conjunct {
+            atoms: vec![
+                Atom::neq(SimpleExpr::var(x), SimpleExpr::var(xp)),
+                Atom::neq(SimpleExpr::var(x), SimpleExpr::var(y)),
+                Atom::neq(SimpleExpr::var(xp), SimpleExpr::var(y)),
+            ],
+        };
+        let n = 4;
+        let yenv: Env = [(y, 2u64)].into_iter().collect();
+        let seq = included_sequence(&d, &[x], &[xp], 4, n, &yenv).unwrap();
+        assert!(!seq.contains(&vec![2]));
+        assert!(included_sequence(&d, &[x], &[xp], 5, n, &yenv).is_none());
+    }
+}

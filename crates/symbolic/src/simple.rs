@@ -1,0 +1,188 @@
+//! Simple expressions (§5.1):
+//!
+//! > "define **simple expressions** e to be (1) a positive number c or
+//! > (2) n − c where c is a positive number or (3) x + c where x is a
+//! > variable and c is a number. E.g. 7, n − 9, n, x, x + 3, y − 8 are
+//! > simple expressions. But x + y, n − x, 2·x are not."
+//!
+//! Variables range over `[n] = {0, …, n}`. Internally we carry `i64`
+//! constants so that substitution and shifting are total — the paper's
+//! grammar is the fragment recognised by [`SimpleExpr::is_paper_simple`],
+//! and a *negative value* makes the expression **undefined as an object**
+//! ([`SimpleExpr::eval`] returns `None`) while conditions compare total
+//! integer values ([`SimpleExpr::eval_int`]).
+
+use crate::vars::{Env, VarId};
+use std::fmt;
+
+/// A simple expression: `c`, `n − c`, or `x + c`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimpleExpr {
+    /// A constant `c`.
+    Const(i64),
+    /// `n − c` (so `n` itself is `NMinus(0)`, and `n + 2` is `NMinus(−2)`).
+    NMinus(i64),
+    /// `x + c` (covers `x`, `x + 3`, `y − 8`).
+    Var(VarId, i64),
+}
+
+impl SimpleExpr {
+    /// The variable `x` (offset 0).
+    pub fn var(x: VarId) -> Self {
+        SimpleExpr::Var(x, 0)
+    }
+
+    /// The symbol `n`.
+    pub fn n() -> Self {
+        SimpleExpr::NMinus(0)
+    }
+
+    /// True iff the expression is in the paper's literal grammar
+    /// (non-negative constants in the `c` and `n − c` forms).
+    pub fn is_paper_simple(&self) -> bool {
+        match *self {
+            SimpleExpr::Const(c) | SimpleExpr::NMinus(c) => c >= 0,
+            SimpleExpr::Var(_, _) => true,
+        }
+    }
+
+    /// Total integer value at a given `n` and environment (`None` only for
+    /// an unbound variable). Used by condition semantics.
+    pub fn eval_int(&self, n: u64, env: &Env) -> Option<i128> {
+        match *self {
+            SimpleExpr::Const(c) => Some(c as i128),
+            SimpleExpr::NMinus(c) => Some(n as i128 - c as i128),
+            SimpleExpr::Var(x, c) => Some(*env.get(&x)? as i128 + c as i128),
+        }
+    }
+
+    /// Value as a natural number — the *object* denotation. `None` when
+    /// the integer value is negative (the expression is undefined there,
+    /// §5.1) or a variable is unbound.
+    pub fn eval(&self, n: u64, env: &Env) -> Option<u64> {
+        u64::try_from(self.eval_int(n, env)?).ok()
+    }
+
+    /// The variable mentioned, if any.
+    pub fn var_of(&self) -> Option<VarId> {
+        match *self {
+            SimpleExpr::Var(x, _) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Shift by a constant: `e + d`.
+    pub fn shift(&self, d: i64) -> SimpleExpr {
+        match *self {
+            SimpleExpr::Const(c) => SimpleExpr::Const(c + d),
+            SimpleExpr::NMinus(c) => SimpleExpr::NMinus(c - d),
+            SimpleExpr::Var(x, c) => SimpleExpr::Var(x, c + d),
+        }
+    }
+
+    /// Substitute variable `x` by expression `e` (shifted by this
+    /// expression's offset).
+    pub fn subst(&self, x: VarId, e: &SimpleExpr) -> SimpleExpr {
+        match *self {
+            SimpleExpr::Var(y, c) if y == x => e.shift(c),
+            other => other,
+        }
+    }
+
+    /// Rename variable `x` to `y`.
+    pub fn rename(&self, x: VarId, y: VarId) -> SimpleExpr {
+        match *self {
+            SimpleExpr::Var(z, c) if z == x => SimpleExpr::Var(y, c),
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for SimpleExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SimpleExpr::Const(c) => write!(f, "{}", c),
+            SimpleExpr::NMinus(0) => write!(f, "n"),
+            SimpleExpr::NMinus(c) if c > 0 => write!(f, "n-{}", c),
+            SimpleExpr::NMinus(c) => write!(f, "n+{}", -c),
+            SimpleExpr::Var(x, 0) => write!(f, "{}", x),
+            SimpleExpr::Var(x, c) if c > 0 => write!(f, "{}+{}", x, c),
+            SimpleExpr::Var(x, c) => write!(f, "{}-{}", x, -c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(u32, u64)]) -> Env {
+        pairs.iter().map(|&(v, x)| (VarId(v), x)).collect()
+    }
+
+    #[test]
+    fn evaluation() {
+        let e = SimpleExpr::Const(7);
+        assert_eq!(e.eval(3, &env(&[])), Some(7));
+        let e = SimpleExpr::NMinus(2);
+        assert_eq!(e.eval(10, &env(&[])), Some(8));
+        assert_eq!(e.eval(1, &env(&[])), None, "n−2 undefined at n=1 as object");
+        assert_eq!(e.eval_int(1, &env(&[])), Some(-1), "…but has integer value −1");
+        let e = SimpleExpr::Var(VarId(0), -3);
+        assert_eq!(e.eval(10, &env(&[(0, 5)])), Some(2));
+        assert_eq!(e.eval(10, &env(&[(0, 1)])), None, "1−3 undefined");
+        assert_eq!(e.eval(10, &env(&[])), None, "unbound variable");
+    }
+
+    #[test]
+    fn the_symbol_n() {
+        assert_eq!(SimpleExpr::n().eval(9, &env(&[])), Some(9));
+    }
+
+    #[test]
+    fn shift_is_total() {
+        assert_eq!(SimpleExpr::Const(3).shift(2), SimpleExpr::Const(5));
+        assert_eq!(SimpleExpr::Const(3).shift(-5), SimpleExpr::Const(-2));
+        assert!(!SimpleExpr::Const(3).shift(-5).is_paper_simple());
+        assert_eq!(SimpleExpr::NMinus(3).shift(2), SimpleExpr::NMinus(1));
+        assert_eq!(SimpleExpr::NMinus(1).shift(-2), SimpleExpr::NMinus(3));
+        assert_eq!(
+            SimpleExpr::Var(VarId(0), 1).shift(-4),
+            SimpleExpr::Var(VarId(0), -3)
+        );
+    }
+
+    #[test]
+    fn substitution() {
+        // (x+2)[x := n−5] = n−3
+        let e = SimpleExpr::Var(VarId(0), 2);
+        assert_eq!(
+            e.subst(VarId(0), &SimpleExpr::NMinus(5)),
+            SimpleExpr::NMinus(3)
+        );
+        // (x−2)[x := 1] = −1, definable as integer, undefined as object
+        let e = SimpleExpr::Var(VarId(0), -2);
+        let s = e.subst(VarId(0), &SimpleExpr::Const(1));
+        assert_eq!(s, SimpleExpr::Const(-1));
+        assert_eq!(s.eval(10, &env(&[])), None);
+        // untouched variable
+        assert_eq!(e.subst(VarId(1), &SimpleExpr::Const(1)), e);
+    }
+
+    #[test]
+    fn rename() {
+        let e = SimpleExpr::Var(VarId(0), 2);
+        assert_eq!(e.rename(VarId(0), VarId(9)), SimpleExpr::Var(VarId(9), 2));
+        assert_eq!(e.rename(VarId(1), VarId(9)), e);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(SimpleExpr::Const(7).to_string(), "7");
+        assert_eq!(SimpleExpr::NMinus(9).to_string(), "n-9");
+        assert_eq!(SimpleExpr::n().to_string(), "n");
+        assert_eq!(SimpleExpr::NMinus(-2).to_string(), "n+2");
+        assert_eq!(SimpleExpr::Var(VarId(1), 3).to_string(), "x1+3");
+        assert_eq!(SimpleExpr::Var(VarId(1), -8).to_string(), "x1-8");
+    }
+}

@@ -1,0 +1,68 @@
+//! Proposition 4.2: the `powersetₘ` approximations.
+//!
+//! For every `f ∈ NRA(powerset)`, either some approximation `fₘ` (every
+//! `powerset` replaced by the `NRA`-definable `powersetₘ`) computes the
+//! same results on all chains, or `f` costs `Ω(2^{cn})`. This example
+//! shows both sides:
+//!
+//! * for the TC query, `fₘ(rₙ) = f(rₙ)` exactly when `m ≥ n` — no finite
+//!   `m` works for every `n` (TC is on the exponential side);
+//! * for the `siblings` query, `m = 2` is exact for **all** inputs (the
+//!   bounded side), and the query is even expressible without `powerset`
+//!   at all — an instance of the paper's closing conjecture.
+//!
+//! ```sh
+//! cargo run --release --example approximation
+//! ```
+
+use powerset_tc::core::{derived, queries, Type, Value};
+use powerset_tc::eval::eval;
+use powerset_tc::graph::{graph_to_value, DiGraph};
+
+fn main() {
+    println!("tc_paths vs its m-th approximations on the chain rₙ:");
+    println!("(✓ = fₘ(rₙ) = f(rₙ), ✗ = strict under-approximation)\n");
+    print!("{:>4}", "n\\m");
+    let max_m = 8u64;
+    for m in 0..=max_m {
+        print!("{m:>3}");
+    }
+    println!();
+    for n in 1..=7u64 {
+        let input = Value::chain(n);
+        let full = eval(&queries::tc_paths(), &input).unwrap();
+        print!("{n:>4}");
+        for m in 0..=max_m {
+            let approx = eval(&queries::tc_paths_approx(m), &input).unwrap();
+            print!("{:>3}", if approx == full { "✓" } else { "✗" });
+        }
+        println!();
+    }
+    println!("\nthe diagonal m = n: no finite m is exact for every n (Prop 4.2 ⇒ tc");
+    println!("is on the Ω(2^cn) side of the dichotomy).\n");
+
+    println!("siblings(r) = {{(a,c) | (a,b), (c,b) ∈ r, a ≠ c}} through powerset:");
+    for seed in 0..4u64 {
+        let g = DiGraph::random(5, 0.25, seed);
+        let input = graph_to_value(&g);
+        let full = eval(&queries::siblings_powerset(), &input).unwrap();
+        let at2 = eval(&queries::siblings_approx(2), &input).unwrap();
+        let direct = eval(&queries::siblings_direct(), &input).unwrap();
+        println!(
+            "  random graph #{seed} ({} edges): m=2 exact: {}, powerset-free query agrees: {}",
+            g.edge_count(),
+            at2 == full,
+            direct == full,
+        );
+    }
+
+    // powersetₘ itself is a plain NRA term (the paper defines it
+    // inductively); show the term for m = 2.
+    let term = derived::powerset_m(2, &Type::Nat);
+    println!(
+        "\npowerset₂ as a derived NRA term ({} AST nodes, level {}):",
+        term.size(),
+        term.level()
+    );
+    println!("  {term}");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build an `NRA(powerset)` query, type-check it, evaluate it
+//! under the paper's §3 eager semantics, and inspect the complexity
+//! statistics and the derivation tree.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use powerset_tc::core::builder::*;
+use powerset_tc::core::{output_type, Type, Value};
+use powerset_tc::eval::{evaluate, evaluate_traced, EvalConfig};
+
+fn main() {
+    // The paper's chain r₃ = {(0,1), (1,2), (2,3)} as a complex object.
+    let r3 = Value::chain(3);
+    println!("input  r₃ = {r3}   (size {})", r3.size());
+
+    // A tiny query: the node set of a relation, nodes(r) = π₁(r) ∪ π₂(r).
+    let nodes = compose(union(), tuple(map(fst()), map(snd())));
+    println!("\nquery  nodes = {nodes}");
+
+    // Static typing: every expression denotes a function s → t.
+    let ty = output_type(&nodes, &Type::nat_rel()).expect("well-typed");
+    println!("type   {} -> {}", Type::nat_rel(), ty);
+
+    // Eager evaluation with the §3 complexity instrumentation.
+    let ev = evaluate(&nodes, &r3, &EvalConfig::default());
+    println!("result {}", ev.result.as_ref().unwrap());
+    println!(
+        "stats  complexity (max object size) = {}, derivation nodes = {}, size sum = {}",
+        ev.stats.max_object_size, ev.stats.nodes, ev.stats.total_size
+    );
+
+    // Now something exponential: powerset(r₃) has 2³ = 8 subsets.
+    let ev = evaluate(&powerset(), &r3, &EvalConfig::default());
+    let out = ev.result.unwrap();
+    println!(
+        "\npowerset(r₃): {} subsets, object size {} (predicted before materialisation)",
+        out.cardinality().unwrap(),
+        ev.stats.max_object_size
+    );
+
+    // The derivation tree of a small evaluation, rendered.
+    let q = compose(is_empty(), map(sng()));
+    let traced = evaluate_traced(&q, &Value::chain(1), &EvalConfig::default());
+    println!("\nderivation tree of (empty ∘ map η)(r₁):");
+    print!("{}", traced.result.unwrap().render(48));
+}

@@ -1,0 +1,46 @@
+//! # powerset-tc
+//!
+//! A full reproduction of
+//!
+//! > Dan Suciu and Jan Paredaens, *"Any Algorithm in the Complex Object
+//! > Algebra with Powerset Needs Exponential Space to Compute Transitive
+//! > Closure"*, University of Pennsylvania MS-CIS-94-04, February 1994.
+//!
+//! The paper proves that although `NRA(powerset)` — the nested relational
+//! algebra with a powerset operator — *can* express transitive closure,
+//! **every** such expression needs space `Ω(2^{cn})` on the chains
+//! `rₙ = {(0,1), …, (n−1,n)}` under the eager evaluation strategy of its
+//! §3. This workspace makes the whole development executable:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`] (`nra-core`) | the language: types, complex objects, the §2 primitives, the Prop 2.1 derived algebra, the TC queries, `powersetₘ` |
+//! | [`eval`] (`nra-eval`) | the §3 eager evaluator with the paper's complexity measure, budgets, derivation trees, and a streaming (lazy) strategy |
+//! | [`graph`] (`nra-graph`) | input generators (chains, cycles, deterministic graphs) and classical polynomial TC baselines |
+//! | [`symbolic`] (`nra-symbolic`) | the §5 proof machinery: abstract expressions, the Lemma 5.1 evaluator, affine spaces, quantifier elimination, the Lemma 5.8 dichotomy, the Lemma 5.7 Ramsey bound, Corollary 5.3 |
+//! | [`circuits`] (`nra-circuits`) | Prop 4.3's `AC⁰`/`TC⁰` substrate: threshold circuits and a flat-algebra compiler |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use powerset_tc::core::{queries, Value};
+//! use powerset_tc::eval::{evaluate, EvalConfig};
+//!
+//! // Transitive closure of the chain r₅ through powerset…
+//! let ev = evaluate(&queries::tc_paths(), &Value::chain(5), &EvalConfig::default());
+//! assert_eq!(ev.result.unwrap(), Value::chain_tc(5));
+//! // …costs exponential space (the §3 complexity measure):
+//! assert!(ev.stats.max_object_size > 1 << 5);
+//!
+//! // The while-loop route gets the same answer polynomially:
+//! let ev = evaluate(&queries::tc_while(), &Value::chain(5), &EvalConfig::default());
+//! assert_eq!(ev.result.unwrap(), Value::chain_tc(5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use nra_circuits as circuits;
+pub use nra_core as core;
+pub use nra_eval as eval;
+pub use nra_graph as graph;
+pub use nra_symbolic as symbolic;

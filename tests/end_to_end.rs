@@ -1,0 +1,189 @@
+//! Cross-crate integration tests: the same mathematical objects traced
+//! through the language, the eager evaluator, the symbolic machinery, the
+//! circuits and the graph baselines — every pair of pipelines must agree.
+
+use powerset_tc::circuits::relalg;
+use powerset_tc::core::{builder, derived, output_type, queries, Type, Value};
+use powerset_tc::eval::{evaluate, EvalConfig, EvalError};
+use powerset_tc::graph::{graph_to_value, tc, DiGraph};
+use powerset_tc::symbolic::{
+    apply, chain_aexpr, chain_tc_impossibility, AExpr, Env, SetCardinality, SymCtx,
+    SymbolicError, VarGen,
+};
+
+/// The theorem's pipeline, end to end: the symbolic dichotomy predicts the
+/// exponential blow-up that the concrete evaluator then measures.
+#[test]
+fn theorem_4_1_prediction_matches_measurement() {
+    // 1. symbolically: powerset over the chain's abstract expression is
+    //    refused with an Ω(n) certificate (Lemma 5.8, case 2)
+    let mut gen = VarGen::new();
+    let chain = chain_aexpr(&mut gen);
+    let mut ctx = SymCtx::with_dichotomy(&chain, 32);
+    let verdict = apply(&builder::powerset(), &chain, &mut ctx);
+    assert!(matches!(
+        verdict,
+        Err(SymbolicError::ExponentialPowerset(_))
+    ));
+
+    // 2. concretely: the measured complexity of the TC query doubles with
+    //    every n (2^{cn} with c ≈ 1)
+    let cfg = EvalConfig::default();
+    let mut last = None;
+    for n in 5..10u64 {
+        let ev = evaluate(&queries::tc_paths(), &Value::chain(n), &cfg);
+        let c = ev.stats.max_object_size as f64;
+        if let Some(prev) = last {
+            let ratio: f64 = c / prev;
+            assert!(ratio > 1.7 && ratio < 2.4, "n={n}: ratio {ratio}");
+        }
+        last = Some(c);
+    }
+}
+
+/// Proposition 4.2 across crates: the dichotomy's bounded verdict names
+/// the same m at which the concrete approximations become exact.
+#[test]
+fn prop_4_2_bounded_case_agrees_concretely() {
+    // the bounded abstract set {3} ∪ {n} has m = 2 witnesses
+    let bounded = AExpr::union(
+        AExpr::singleton(AExpr::num(3)),
+        AExpr::singleton(AExpr::Num(powerset_tc::symbolic::SimpleExpr::n())),
+    );
+    let SetCardinality::Bounded { witnesses } =
+        powerset_tc::symbolic::analyze_cardinality(&bounded).unwrap()
+    else {
+        panic!("expected bounded");
+    };
+    assert_eq!(witnesses.len(), 2);
+    // concretely: powerset == powerset_m at m = 2 on the denoted sets
+    for n in 4..9u64 {
+        let base = bounded.eval(n, &Env::new()).unwrap();
+        let full = powerset_tc::eval::eval(&builder::powerset(), &base).unwrap();
+        let approx = powerset_tc::eval::eval(&builder::powerset_m_prim(2), &base).unwrap();
+        assert_eq!(full, approx, "n={n}");
+    }
+}
+
+/// Lemma 5.1 and the eager evaluator agree on open expressions through
+/// derived operations.
+#[test]
+fn evaluation_lemma_through_derived_operations() {
+    let mut gen = VarGen::new();
+    let chain = chain_aexpr(&mut gen);
+    let e = Type::prod(Type::Nat, Type::Nat);
+    let fs = [
+        derived::select(derived::neq_nat(), e.clone()),
+        derived::rel_nodes(),
+        builder::compose(derived::proj1(), queries::compose_rel()),
+    ];
+    for f in &fs {
+        let mut ctx = SymCtx::for_expr(&chain);
+        let a2 = apply(f, &chain, &mut ctx).unwrap();
+        for n in 1..7u64 {
+            let concrete = powerset_tc::eval::eval(f, &Value::chain(n)).unwrap();
+            assert_eq!(a2.eval(n, &Env::new()), Some(concrete), "{f} at n={n}");
+        }
+    }
+}
+
+/// The circuit compiler, the flat reference semantics, the NRA evaluator
+/// and the graph baselines all agree on one TC round.
+#[test]
+fn four_way_agreement_on_one_tc_round() {
+    for seed in 0..5u64 {
+        let g = DiGraph::random(5, 0.3, seed);
+        let d = 5;
+        // graph-level: one round of semi-naive = edges ∪ (edges ∘ edges)
+        let mut expect = std::collections::BTreeSet::new();
+        for (a, b) in g.edges() {
+            expect.insert((a, b));
+            for (c, dd) in g.edges() {
+                if b == c {
+                    expect.insert((a, dd));
+                }
+            }
+        }
+        // NRA evaluator
+        let nra_out = powerset_tc::eval::eval(&queries::tc_step(), &graph_to_value(&g)).unwrap();
+        let nra_edges: std::collections::BTreeSet<(u64, u64)> =
+            nra_out.to_edges().unwrap().into_iter().collect();
+        assert_eq!(nra_edges, expect, "NRA, seed {seed}");
+        // flat reference semantics
+        let rel: std::collections::BTreeSet<Vec<u64>> =
+            g.edges().map(|(a, b)| vec![a, b]).collect();
+        let flat = relalg::tc_step_query().eval(std::slice::from_ref(&rel), d);
+        let flat_edges: std::collections::BTreeSet<(u64, u64)> =
+            flat.iter().map(|t| (t[0], t[1])).collect();
+        assert_eq!(flat_edges, expect, "flat, seed {seed}");
+        // compiled circuit
+        let compiled = relalg::compile(&relalg::tc_step_query(), &[2], d);
+        let circ = compiled.run(std::slice::from_ref(&rel));
+        assert_eq!(circ, flat, "circuit, seed {seed}");
+    }
+}
+
+/// Iterating the circuit-checked step reaches the classical closure.
+#[test]
+fn iterated_steps_reach_the_closure() {
+    let g = DiGraph::chain(6);
+    let mut current = graph_to_value(&g);
+    for _ in 0..6 {
+        current = powerset_tc::eval::eval(&queries::tc_step(), &current).unwrap();
+    }
+    assert_eq!(current, graph_to_value(&tc(&g)));
+    assert_eq!(current, Value::chain_tc(6));
+}
+
+/// Corollary 5.3's analysis agrees with brute-force cardinalities.
+#[test]
+fn corollary_5_3_numeric_cross_check() {
+    let mut gen = VarGen::new();
+    let chain = chain_aexpr(&mut gen);
+    let analysis = chain_tc_impossibility(&chain).unwrap();
+    for n in 4..10u64 {
+        let denoted = chain.eval(n, &Env::new()).unwrap().cardinality().unwrap() as u128;
+        assert!(denoted <= analysis.cardinality_upper_bound(n), "n={n}");
+        // and the denotation never equals tc(rₙ)
+        assert_ne!(chain.eval(n, &Env::new()).unwrap(), Value::chain_tc(n));
+    }
+}
+
+/// Budgets make the lower bound *operational*: under any budget B, the
+/// powerset TC query fails on all chains with 2^n ≳ B while the while
+/// query still succeeds.
+#[test]
+fn budget_separation() {
+    // while-TC's largest object is Θ(n⁴) (measured 1.51M units at n=30);
+    // the powerset route needs ≈ 2ⁿ·3n/2 (7.3M at n=18, ≈5·10¹⁰ at n=30).
+    // A 2·10⁶ budget separates them on the whole range.
+    let budget = 2_000_000u64;
+    let cfg = EvalConfig::with_space_budget(budget);
+    for n in [18u64, 24, 30] {
+        let p = evaluate(&queries::tc_paths(), &Value::chain(n), &cfg);
+        assert!(
+            matches!(p.result, Err(EvalError::SpaceBudgetExceeded { .. })),
+            "powerset at n={n} must exceed {budget}"
+        );
+        let w = evaluate(&queries::tc_while(), &Value::chain(n), &cfg);
+        assert!(w.result.is_ok(), "while at n={n} fits in {budget}");
+        assert_eq!(w.result.unwrap(), Value::chain_tc(n));
+    }
+}
+
+/// All public queries type-check at the advertised type.
+#[test]
+fn public_queries_typecheck() {
+    for q in [
+        queries::tc_paths(),
+        queries::tc_naive(),
+        queries::tc_while(),
+        queries::siblings_powerset(),
+        queries::siblings_direct(),
+    ] {
+        assert_eq!(
+            output_type(&q, &Type::nat_rel()).unwrap(),
+            Type::nat_rel()
+        );
+    }
+}
