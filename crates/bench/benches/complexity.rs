@@ -2,7 +2,7 @@
 //! transitive closure via powerset vs while vs classical algorithms, the
 //! approximations, and the lazy strategy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nra_bench::tinybench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nra_core::{queries, Value};
 use nra_eval::{evaluate, evaluate_lazy, EvalConfig};
 use nra_graph::DiGraph;
@@ -104,7 +104,13 @@ fn e11_lazy_vs_eager(c: &mut Criterion) {
         b.iter(|| black_box(evaluate(&q, black_box(&input), &cfg).stats.max_object_size))
     });
     group.bench_function("lazy_n10", |b| {
-        b.iter(|| black_box(evaluate_lazy(&q, black_box(&input), &cfg).stats.peak_resident))
+        b.iter(|| {
+            black_box(
+                evaluate_lazy(&q, black_box(&input), &cfg)
+                    .stats
+                    .peak_resident,
+            )
+        })
     });
     group.finish();
 }

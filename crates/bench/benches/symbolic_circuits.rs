@@ -1,7 +1,7 @@
 //! Criterion timings for the symbolic machinery (E5–E7), the circuit
 //! compiler (E8) and the Ramsey search (E9).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nra_bench::tinybench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nra_circuits::relalg;
 use nra_core::{queries, Value};
 use nra_symbolic::{

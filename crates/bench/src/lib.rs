@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod tinybench;
+
 use nra_core::expr::Expr;
 use nra_core::value::Value;
 use nra_eval::{evaluate, EvalConfig, EvalError};

@@ -1,0 +1,243 @@
+//! A minimal, dependency-free benchmark harness with a Criterion-shaped
+//! API surface.
+//!
+//! The workspace must build offline, so the real `criterion` crate is not
+//! available; this module provides the subset its bench files use —
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, `b.iter(..)`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by plain
+//! [`std::time::Instant`] sampling. Swapping back to upstream criterion is
+//! a one-line import change in each bench target.
+//!
+//! Sample counts honour the `NRA_BENCH_SAMPLES` environment variable
+//! (default 10), so CI can smoke-run every benchmark cheaply with
+//! `NRA_BENCH_SAMPLES=2 cargo bench`.
+//!
+//! [`criterion_group!`]: crate::criterion_group
+//! [`criterion_main!`]: crate::criterion_main
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark, overridable via the
+/// `NRA_BENCH_SAMPLES` environment variable.
+fn default_samples() -> usize {
+    std::env::var("NRA_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: default_samples(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        b.report("", name);
+        self
+    }
+}
+
+/// A named benchmark group (stand-in for `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // honour an explicit NRA_BENCH_SAMPLES override even over the
+        // per-group request, so CI can force cheap smoke runs
+        if std::env::var_os("NRA_BENCH_SAMPLES").is_none() {
+            self.samples = n.max(1);
+        }
+        self
+    }
+
+    /// Benchmark a closure that receives a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b, input);
+        b.report(&self.name, &id.into().0);
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        b.report(&self.name, &id.into().0);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id rendered from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Collects timing samples for one benchmark (stand-in for
+/// `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            durations: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Time `routine`, one call per sample, after a single warm-up call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, group: &str, id: &str) {
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        if self.durations.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        self.durations.sort_unstable();
+        let min = self.durations[0];
+        let median = self.durations[self.durations.len() / 2];
+        let max = self.durations[self.durations.len() - 1];
+        println!(
+            "{label:<50} [{} {} {}] ({} samples)",
+            crate::fmt_duration(min),
+            crate::fmt_duration(median),
+            crate::fmt_duration(max),
+            self.durations.len(),
+        );
+    }
+}
+
+/// Define a function `$name` that runs each listed benchmark function with
+/// a default [`Criterion`] (stand-in for `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::tinybench::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups (stand-in for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+// Make the macros importable alongside the types:
+// `use nra_bench::tinybench::{criterion_group, criterion_main, Criterion};`
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut calls = 0u32;
+        group.bench_function(BenchmarkId::from_parameter(1), |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        // warm-up + samples
+        assert!(calls >= 2);
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).0, "8");
+    }
+}

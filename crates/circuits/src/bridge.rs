@@ -41,15 +41,15 @@ pub fn tc_step_bridge() -> BridgedQuery {
 
 /// Evaluate both sides on the same relation (nodes must be `< d`) and
 /// return `(nra_result, circuit_result)`.
-pub fn run_both(
-    bridged: &BridgedQuery,
-    edges: &EdgeSet,
-    d: u64,
-) -> (EdgeSet, EdgeSet) {
+pub fn run_both(bridged: &BridgedQuery, edges: &EdgeSet, d: u64) -> (EdgeSet, EdgeSet) {
     // NRA side
     let input = Value::relation(edges.iter().copied());
     let nra_out = nra_eval::eval(&bridged.nra, &input).expect("NRA evaluation");
-    let nra_edges: EdgeSet = nra_out.to_edges().expect("relation out").into_iter().collect();
+    let nra_edges: EdgeSet = nra_out
+        .to_edges()
+        .expect("relation out")
+        .into_iter()
+        .collect();
     // circuit side
     let compiled: CompiledQuery = compile(&bridged.flat, &[2], d);
     let rel: BTreeSet<Vec<u64>> = edges.iter().map(|&(a, b)| vec![a, b]).collect();

@@ -58,9 +58,7 @@ impl Circuit {
                 Gate::Not(x) => !values[*x],
                 Gate::And(xs) => xs.iter().all(|&x| values[x]),
                 Gate::Or(xs) => xs.iter().any(|&x| values[x]),
-                Gate::Threshold(k, xs) => {
-                    (xs.iter().filter(|&&x| values[x]).count() as u32) >= *k
-                }
+                Gate::Threshold(k, xs) => (xs.iter().filter(|&&x| values[x]).count() as u32) >= *k,
             };
             values.push(v);
         }

@@ -48,9 +48,9 @@ impl FlatQuery {
     pub fn arity(&self) -> usize {
         match self {
             FlatQuery::Input(_, a) => *a,
-            FlatQuery::Union(a, _)
-            | FlatQuery::Intersect(a, _)
-            | FlatQuery::Difference(a, _) => a.arity(),
+            FlatQuery::Union(a, _) | FlatQuery::Intersect(a, _) | FlatQuery::Difference(a, _) => {
+                a.arity()
+            }
             FlatQuery::Product(a, b) => a.arity() + b.arity(),
             FlatQuery::Project(_, cols) => cols.len(),
             FlatQuery::SelectEq(a, _, _) | FlatQuery::SelectConst(a, _, _) => a.arity(),
@@ -79,7 +79,11 @@ impl FlatQuery {
                 .filter(|t| t.len() == *a && t.iter().all(|&v| v < d))
                 .cloned()
                 .collect(),
-            FlatQuery::Union(a, b) => a.eval(inputs, d).union(&b.eval(inputs, d)).cloned().collect(),
+            FlatQuery::Union(a, b) => a
+                .eval(inputs, d)
+                .union(&b.eval(inputs, d))
+                .cloned()
+                .collect(),
             FlatQuery::Intersect(a, b) => a
                 .eval(inputs, d)
                 .intersection(&b.eval(inputs, d))
@@ -225,18 +229,12 @@ fn compile_rec(
         FlatQuery::Union(x, y) => {
             let wx = compile_rec(x, inputs, d, b);
             let wy = compile_rec(y, inputs, d, b);
-            wx.into_iter()
-                .zip(wy)
-                .map(|(p, q)| b.or([p, q]))
-                .collect()
+            wx.into_iter().zip(wy).map(|(p, q)| b.or([p, q])).collect()
         }
         FlatQuery::Intersect(x, y) => {
             let wx = compile_rec(x, inputs, d, b);
             let wy = compile_rec(y, inputs, d, b);
-            wx.into_iter()
-                .zip(wy)
-                .map(|(p, q)| b.and([p, q]))
-                .collect()
+            wx.into_iter().zip(wy).map(|(p, q)| b.and([p, q])).collect()
         }
         FlatQuery::Difference(x, y) => {
             let wx = compile_rec(x, inputs, d, b);
@@ -499,11 +497,8 @@ mod tests {
     #[test]
     fn bool_queries() {
         let d = 4;
-        let q_empty = BoolQuery::IsEmpty(FlatQuery::SelectEq(
-            Box::new(FlatQuery::Input(0, 2)),
-            0,
-            1,
-        ));
+        let q_empty =
+            BoolQuery::IsEmpty(FlatQuery::SelectEq(Box::new(FlatQuery::Input(0, 2)), 0, 1));
         let q_sub = BoolQuery::Subset(FlatQuery::Input(0, 2), FlatQuery::Input(1, 2));
         let q_card = BoolQuery::CardAtLeast(FlatQuery::Input(0, 2), 3);
         for seed in 0..8 {

@@ -82,10 +82,7 @@ pub fn decode_tuple(v: &Value, arity: usize) -> Option<Vec<u64>> {
 
 /// Decode a relation value back into tuple sets.
 pub fn decode_rel(v: &Value, arity: usize) -> Option<BTreeSet<Vec<u64>>> {
-    v.as_set()?
-        .iter()
-        .map(|t| decode_tuple(t, arity))
-        .collect()
+    v.as_set()?.iter().map(|t| decode_tuple(t, arity)).collect()
 }
 
 /// Accessor for column `i` of a `T(arity)` tuple.

@@ -5,130 +5,140 @@
 
 use nra_circuits::relalg::{compile, FlatQuery};
 use nra_circuits::to_nra::run_via_nra;
-use proptest::prelude::*;
-use proptest::strategy::Union;
+use nra_testkit::{check, Rng};
 use std::collections::BTreeSet;
 
 const D: u64 = 3;
 
+/// The depth-0 fallback: a projection of the binary input relation.
+fn gen_base(arity: usize, rng: &mut Rng) -> FlatQuery {
+    let cols = (0..arity).map(|_| rng.usize_below(2)).collect();
+    FlatQuery::Project(Box::new(FlatQuery::Input(0, 2)), cols)
+}
+
 /// Random query of the given output arity, depth-bounded. Inner arities
-/// are kept ≤ 4 so circuits stay below ~100 wires per node.
-fn gen_query(arity: usize, depth: u32) -> BoxedStrategy<FlatQuery> {
-    let base = proptest::collection::vec(0usize..2, arity)
-        .prop_map(|cols| FlatQuery::Project(Box::new(FlatQuery::Input(0, 2)), cols))
-        .boxed();
+/// are kept ≤ 4 so circuits stay below ~100 wires per node. Mirrors the
+/// constructor mix of the original proptest strategy: base projections,
+/// the raw input (at arity 2), the binary set operations, products of a
+/// split, projections from a wider query, and both selections.
+fn gen_query(arity: usize, depth: u32, rng: &mut Rng) -> FlatQuery {
     if depth == 0 {
-        return base;
+        return gen_base(arity, rng);
     }
-    let mut options: Vec<BoxedStrategy<FlatQuery>> = vec![base];
+    #[derive(Clone, Copy)]
+    enum Opt {
+        Base,
+        Input,
+        SetOp(usize),
+        Product(usize),
+        ProjectFrom(usize),
+        SelectEq,
+        SelectConst,
+    }
+    let mut options = vec![Opt::Base];
     if arity == 2 {
-        options.push(Just(FlatQuery::Input(0, 2)).boxed());
+        options.push(Opt::Input);
     }
-    // binary set operations preserve arity
     for op in 0..3usize {
-        let lhs = gen_query(arity, depth - 1);
-        let rhs = gen_query(arity, depth - 1);
-        options.push(
-            (lhs, rhs)
-                .prop_map(move |(a, b)| match op {
-                    0 => FlatQuery::Union(Box::new(a), Box::new(b)),
-                    1 => FlatQuery::Intersect(Box::new(a), Box::new(b)),
-                    _ => FlatQuery::Difference(Box::new(a), Box::new(b)),
-                })
-                .boxed(),
-        );
+        options.push(Opt::SetOp(op));
     }
-    // product of a split
     if arity >= 2 {
         for split in 1..arity {
-            let lhs = gen_query(split, depth - 1);
-            let rhs = gen_query(arity - split, depth - 1);
-            options.push(
-                (lhs, rhs)
-                    .prop_map(|(a, b)| FlatQuery::Product(Box::new(a), Box::new(b)))
-                    .boxed(),
-            );
+            options.push(Opt::Product(split));
         }
     }
-    // projection from a wider query
     for inner in (arity.max(2))..=4usize.min(arity + 2) {
-        let source = gen_query(inner, depth - 1);
-        let cols = proptest::collection::vec(0usize..inner, arity);
-        options.push(
-            (source, cols)
-                .prop_map(|(q, cols)| FlatQuery::Project(Box::new(q), cols))
-                .boxed(),
-        );
+        options.push(Opt::ProjectFrom(inner));
     }
-    // selections
-    {
-        let source = gen_query(arity, depth - 1);
-        let idx = (0usize..arity, 0usize..arity);
-        options.push(
-            (source, idx)
-                .prop_map(|(q, (i, j))| FlatQuery::SelectEq(Box::new(q), i, j))
-                .boxed(),
-        );
-        let source = gen_query(arity, depth - 1);
-        options.push(
-            (source, 0usize..arity, 0u64..D)
-                .prop_map(|(q, i, c)| FlatQuery::SelectConst(Box::new(q), i, c))
-                .boxed(),
-        );
+    options.push(Opt::SelectEq);
+    options.push(Opt::SelectConst);
+
+    match *rng.choose(&options) {
+        Opt::Base => gen_base(arity, rng),
+        Opt::Input => FlatQuery::Input(0, 2),
+        Opt::SetOp(op) => {
+            let a = Box::new(gen_query(arity, depth - 1, rng));
+            let b = Box::new(gen_query(arity, depth - 1, rng));
+            match op {
+                0 => FlatQuery::Union(a, b),
+                1 => FlatQuery::Intersect(a, b),
+                _ => FlatQuery::Difference(a, b),
+            }
+        }
+        Opt::Product(split) => FlatQuery::Product(
+            Box::new(gen_query(split, depth - 1, rng)),
+            Box::new(gen_query(arity - split, depth - 1, rng)),
+        ),
+        Opt::ProjectFrom(inner) => {
+            let source = gen_query(inner, depth - 1, rng);
+            let cols = (0..arity).map(|_| rng.usize_below(inner)).collect();
+            FlatQuery::Project(Box::new(source), cols)
+        }
+        Opt::SelectEq => FlatQuery::SelectEq(
+            Box::new(gen_query(arity, depth - 1, rng)),
+            rng.usize_below(arity),
+            rng.usize_below(arity),
+        ),
+        Opt::SelectConst => FlatQuery::SelectConst(
+            Box::new(gen_query(arity, depth - 1, rng)),
+            rng.usize_below(arity),
+            rng.below(D),
+        ),
     }
-    Union::new(options).boxed()
 }
 
-fn gen_relation() -> impl Strategy<Value = BTreeSet<Vec<u64>>> {
-    proptest::collection::btree_set(
-        proptest::collection::vec(0u64..D, 2),
-        0..6,
-    )
+fn gen_relation(rng: &mut Rng) -> BTreeSet<Vec<u64>> {
+    let len = rng.usize_below(6);
+    (0..len).map(|_| vec![rng.below(D), rng.below(D)]).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn reference_circuit_and_nra_agree(
-        q in gen_query(2, 3),
-        r in gen_relation(),
-    ) {
+#[test]
+fn reference_circuit_and_nra_agree() {
+    check("reference_circuit_and_nra_agree", 48, |_, rng| {
+        let q = gen_query(2, 3, rng);
+        let r = gen_relation(rng);
         let inputs = vec![r];
         let reference = q.eval(&inputs, D);
         let circuit = compile(&q, &[2], D).run(&inputs);
-        prop_assert_eq!(&circuit, &reference, "circuit mismatch on {:?}", q);
+        assert_eq!(&circuit, &reference, "circuit mismatch on {:?}", q);
         let nra = run_via_nra(&q, &[2], &inputs);
-        prop_assert_eq!(&nra, &reference, "NRA mismatch on {:?}", q);
-    }
+        assert_eq!(&nra, &reference, "NRA mismatch on {:?}", q);
+    });
+}
 
-    #[test]
-    fn unary_and_ternary_arities_agree_too(
-        q1 in gen_query(1, 2),
-        q3 in gen_query(3, 2),
-        r in gen_relation(),
-    ) {
+#[test]
+fn unary_and_ternary_arities_agree_too() {
+    check("unary_and_ternary_arities_agree_too", 48, |_, rng| {
+        let q1 = gen_query(1, 2, rng);
+        let q3 = gen_query(3, 2, rng);
+        let r = gen_relation(rng);
         let inputs = vec![r];
         for q in [q1, q3] {
             let reference = q.eval(&inputs, D);
             let circuit = compile(&q, &[2], D).run(&inputs);
-            prop_assert_eq!(&circuit, &reference, "circuit mismatch on {:?}", q);
+            assert_eq!(&circuit, &reference, "circuit mismatch on {:?}", q);
             let nra = run_via_nra(&q, &[2], &inputs);
-            prop_assert_eq!(&nra, &reference, "NRA mismatch on {:?}", q);
+            assert_eq!(&nra, &reference, "NRA mismatch on {:?}", q);
         }
-    }
+    });
+}
 
-    #[test]
-    fn compiled_circuits_have_constant_depth(q in gen_query(2, 3)) {
+#[test]
+fn compiled_circuits_have_constant_depth() {
+    check("compiled_circuits_have_constant_depth", 48, |_, rng| {
+        let q = gen_query(2, 3, rng);
         // depth must not depend on the domain size — once the domain
         // exceeds every constant in the query (below that, constant
         // folding can collapse the circuit entirely, e.g. σ_{col=2} over
         // [2] is identically false)
         let d_small = compile(&q, &[2], 5).circuit.depth();
         let d_large = compile(&q, &[2], 9).circuit.depth();
-        prop_assert!(
+        assert!(
             d_large <= d_small.max(1),
-            "depth grew: {:?} vs {:?} on {:?}", d_small, d_large, q
+            "depth grew: {:?} vs {:?} on {:?}",
+            d_small,
+            d_large,
+            q
         );
-    }
+    });
 }

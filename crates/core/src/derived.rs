@@ -71,10 +71,7 @@ pub fn nonempty() -> Expr {
 /// `elem` is the element type `s` (needed for the `∅ˢ` branch):
 /// `σ_p = μ ∘ map(if p then η else ∅ˢ ∘ !)`.
 pub fn select(p: Expr, elem: Type) -> Expr {
-    compose(
-        flatten(),
-        map(cond(p, sng(), empty_at(elem))),
-    )
+    compose(flatten(), map(cond(p, sng(), empty_at(elem))))
 }
 
 /// `ρ₁ : {s} × t → {s × t}` — pair every element of the *left* set with the
@@ -121,8 +118,14 @@ pub fn eq_at(t: &Type) -> Expr {
         Type::Unit => always_true(),
         Type::Bool => cond(fst(), snd(), pnot(snd())),
         Type::Prod(a, b) => {
-            let eq_a = compose(eq_at(a), tuple(compose(fst(), fst()), compose(fst(), snd())));
-            let eq_b = compose(eq_at(b), tuple(compose(snd(), fst()), compose(snd(), snd())));
+            let eq_a = compose(
+                eq_at(a),
+                tuple(compose(fst(), fst()), compose(fst(), snd())),
+            );
+            let eq_b = compose(
+                eq_at(b),
+                tuple(compose(snd(), fst()), compose(snd(), snd())),
+            );
             pand(eq_a, eq_b)
         }
         Type::Set(elem) => pand(subset(elem), compose(subset(elem), swap())),
@@ -187,10 +190,7 @@ pub fn big_intersect(t: &Type) -> Expr {
     // p ∈ every S ∈ G ⟺ empty({S ∈ G | p ∉ S})
     let in_all = pipeline([
         pairwith(),
-        select(
-            pnot(member(t)),
-            Type::prod(t.clone(), setset.clone()),
-        ),
+        select(pnot(member(t)), Type::prod(t.clone(), setset.clone())),
         is_empty(),
     ]);
     pipeline([
@@ -227,20 +227,13 @@ pub fn unnest() -> Expr {
 pub fn nest(s: &Type, t: &Type) -> Expr {
     let st = Type::prod(s.clone(), t.clone());
     // image : s × {s × t} → {t}, the ys grouped under x
-    let same_key = compose(
-        eq_at(s),
-        tuple(fst(), compose(fst(), snd())),
-    );
+    let same_key = compose(eq_at(s), tuple(fst(), compose(fst(), snd())));
     let image = pipeline([
         pairwith(),
         select(same_key, Type::prod(s.clone(), st)),
         map(compose(snd(), snd())),
     ]);
-    pipeline([
-        tuple(map(fst()), id()),
-        rho1(),
-        map(tuple(fst(), image)),
-    ])
+    pipeline([tuple(map(fst()), id()), rho1(), map(tuple(fst(), image))])
 }
 
 /// Database projection on the first column: `π₁-image : {s × t} → {s}`.
@@ -338,13 +331,23 @@ mod tests {
             Type::set(Type::nat_rel()),
         ] {
             let tt = Type::prod(t.clone(), t.clone());
-            assert_eq!(output_type(&eq_at(&t), &tt).unwrap(), Type::Bool, "eq at {t}");
+            assert_eq!(
+                output_type(&eq_at(&t), &tt).unwrap(),
+                Type::Bool,
+                "eq at {t}"
+            );
             let ms = Type::prod(t.clone(), Type::set(t.clone()));
             assert_eq!(output_type(&member(&t), &ms).unwrap(), Type::Bool);
             let ss = Type::prod(Type::set(t.clone()), Type::set(t.clone()));
             assert_eq!(output_type(&subset(&t), &ss).unwrap(), Type::Bool);
-            assert_eq!(output_type(&difference(&t), &ss).unwrap(), Type::set(t.clone()));
-            assert_eq!(output_type(&intersect(&t), &ss).unwrap(), Type::set(t.clone()));
+            assert_eq!(
+                output_type(&difference(&t), &ss).unwrap(),
+                Type::set(t.clone())
+            );
+            assert_eq!(
+                output_type(&intersect(&t), &ss).unwrap(),
+                Type::set(t.clone())
+            );
         }
     }
 
@@ -376,10 +379,7 @@ mod tests {
         let p3 = powerset_m(3, &Type::Nat);
         assert!(p3.level().is_nra());
         assert!(!p3.level().powerset_m, "derived term avoids the primitive");
-        assert_eq!(
-            output_type(&p3, &nats()).unwrap(),
-            Type::set(nats())
-        );
+        assert_eq!(output_type(&p3, &nats()).unwrap(), Type::set(nats()));
         // size grows linearly, not exponentially, in m
         let s5 = powerset_m(5, &Type::Nat).size();
         let s10 = powerset_m(10, &Type::Nat).size();

@@ -289,7 +289,10 @@ mod tests {
         let w = Expr::While(Expr::Id.rc());
         assert!(w.level().while_loop);
         assert!(!w.level().is_nra_powerset());
-        assert_eq!(Expr::Map(Expr::Powerset.rc()).level().to_string(), "NRA(powerset)");
+        assert_eq!(
+            Expr::Map(Expr::Powerset.rc()).level().to_string(),
+            "NRA(powerset)"
+        );
         assert_eq!(Expr::Id.level().to_string(), "NRA");
     }
 

@@ -83,10 +83,7 @@ fn gen(dom: &Type, depth: u32, cfg: &GenConfig, rng: &mut Rng) -> Expr {
     }
     match candidates[rng.below(candidates.len() as u64) as usize] {
         0 => gen_leaf(dom, rng),
-        1 => tuple(
-            gen(dom, depth - 1, cfg, rng),
-            gen(dom, depth - 1, cfg, rng),
-        ),
+        1 => tuple(gen(dom, depth - 1, cfg, rng), gen(dom, depth - 1, cfg, rng)),
         2 => compose(sng(), gen(dom, depth - 1, cfg, rng)),
         3 => {
             let f = gen(dom, depth - 1, cfg, rng);
@@ -219,8 +216,7 @@ mod tests {
             let mut rng = Rng::new(seed);
             let dom = Type::nat_rel();
             let e = random_expr(&dom, &cfg, &mut rng);
-            output_type(&e, &dom)
-                .unwrap_or_else(|err| panic!("seed {seed}: {e} — {err}"));
+            output_type(&e, &dom).unwrap_or_else(|err| panic!("seed {seed}: {e} — {err}"));
         }
     }
 

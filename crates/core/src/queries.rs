@@ -177,10 +177,7 @@ pub fn path_contribution() -> Expr {
         deg_ok,
         pand(
             nonempty(),
-            pand(
-                compose(is_empty(), sources()),
-                compose(is_empty(), sinks()),
-            ),
+            pand(compose(is_empty(), sources()), compose(is_empty(), sinks())),
         ),
     );
     let cycle_pairs = pipeline([rel_nodes(), map(dup())]);
@@ -352,7 +349,10 @@ mod tests {
         assert!(tc_while().level().while_loop);
         assert!(!tc_while().level().powerset);
         assert!(siblings_direct().level().is_nra());
-        assert!(tc_paths_approx(2).level().is_nra(), "approximations are NRA");
+        assert!(
+            tc_paths_approx(2).level().is_nra(),
+            "approximations are NRA"
+        );
         assert!(!tc_paths_approx(2).level().powerset);
     }
 

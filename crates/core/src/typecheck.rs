@@ -156,7 +156,11 @@ pub fn output_type(expr: &Expr, dom: &Type) -> Result<Type, TypeError> {
             if v.has_type(t) {
                 Ok(t.clone())
             } else {
-                Err(TypeError::new("const", format!("a value of type `{}`", t), dom))
+                Err(TypeError::new(
+                    "const",
+                    format!("a value of type `{}`", t),
+                    dom,
+                ))
             }
         }
     }
@@ -213,10 +217,7 @@ mod tests {
             Type::set(Type::prod(Type::Nat, Type::Bool))
         );
         // powerset : {s} → {{s}}
-        assert_eq!(
-            output_type(&Powerset, &rel()).unwrap(),
-            Type::set(rel())
-        );
+        assert_eq!(output_type(&Powerset, &rel()).unwrap(), Type::set(rel()));
         // = : N × N → B
         assert_eq!(
             output_type(&EqNat, &Type::prod(Type::Nat, Type::Nat)).unwrap(),
@@ -245,11 +246,7 @@ mod tests {
         assert_eq!(err.at, "flatten");
         assert!(err.to_string().contains("doubly-nested"));
         // mismatched branches
-        let c = Cond(
-            Expr::rc(IsEmpty),
-            Expr::rc(IsEmpty),
-            Expr::rc(Id),
-        );
+        let c = Cond(Expr::rc(IsEmpty), Expr::rc(IsEmpty), Expr::rc(Id));
         let err = output_type(&c, &rel()).unwrap_err();
         assert_eq!(err.at, "if");
     }

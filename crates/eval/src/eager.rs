@@ -59,9 +59,10 @@ impl<'a> Ctx<'a> {
     pub(crate) fn check_size(&mut self, size: u64) -> Result<(), EvalError> {
         self.stats.max_object_size = self.stats.max_object_size.max(size);
         match self.config.max_object_size {
-            Some(budget) if size > budget => {
-                Err(EvalError::SpaceBudgetExceeded { required: size, budget })
-            }
+            Some(budget) if size > budget => Err(EvalError::SpaceBudgetExceeded {
+                required: size,
+                budget,
+            }),
             _ => Ok(()),
         }
     }
@@ -191,11 +192,9 @@ pub(crate) fn apply_leaf(expr: &Expr, input: &Value, ctx: &mut Ctx) -> Result<Va
         },
         Expr::PairWith => match input {
             Value::Pair(x, s) => match &**s {
-                Value::Set(items) => Value::set(
-                    items
-                        .iter()
-                        .map(|y| Value::pair((**x).clone(), y.clone())),
-                ),
+                Value::Set(items) => {
+                    Value::set(items.iter().map(|y| Value::pair((**x).clone(), y.clone())))
+                }
                 _ => return Err(stuck("pairwith", "second component is not a set")),
             },
             _ => return Err(stuck("pairwith", "input is not a pair")),
@@ -228,11 +227,7 @@ pub(crate) fn apply_leaf(expr: &Expr, input: &Value, ctx: &mut Ctx) -> Result<Va
         Expr::Powerset => eval_powerset(input, ctx)?,
         Expr::PowersetM(m) => eval_powerset_m(*m, input, ctx)?,
         Expr::Const(v, _) => v.clone(),
-        Expr::Tuple(..)
-        | Expr::Map(_)
-        | Expr::Cond(..)
-        | Expr::Compose(..)
-        | Expr::While(_) => {
+        Expr::Tuple(..) | Expr::Map(_) | Expr::Cond(..) | Expr::Compose(..) | Expr::While(_) => {
             unreachable!("apply_leaf called on a recursive construct")
         }
     };
@@ -381,7 +376,10 @@ mod tests {
         assert_eq!(run(&snd(), &p), Value::nat(2));
         assert_eq!(run(&sng(), &Value::nat(5)), Value::set([Value::nat(5)]));
         assert_eq!(
-            run(&flatten(), &Value::set([Value::set([Value::nat(1)]), Value::set([Value::nat(2)])])),
+            run(
+                &flatten(),
+                &Value::set([Value::set([Value::nat(1)]), Value::set([Value::nat(2)])])
+            ),
             Value::set([Value::nat(1), Value::nat(2)])
         );
         assert_eq!(run(&empty_set(Type::Nat), &Value::Unit), Value::empty_set());
@@ -396,10 +394,7 @@ mod tests {
     #[test]
     fn pairwith_spreads_the_left_component() {
         let input = Value::pair(Value::nat(9), Value::set([Value::nat(1), Value::nat(2)]));
-        assert_eq!(
-            run(&pairwith(), &input),
-            Value::relation([(9, 1), (9, 2)])
-        );
+        assert_eq!(run(&pairwith(), &input), Value::relation([(9, 1), (9, 2)]));
     }
 
     #[test]
@@ -416,7 +411,10 @@ mod tests {
     #[test]
     fn map_may_merge_equal_images() {
         // map(!) collapses everything to {()}
-        assert_eq!(run(&map(bang()), &Value::chain(5)), Value::set([Value::Unit]));
+        assert_eq!(
+            run(&map(bang()), &Value::chain(5)),
+            Value::set([Value::Unit])
+        );
     }
 
     #[test]
@@ -551,7 +549,10 @@ mod tests {
         };
         let f = compose(map(sng()), compose(map(sng()), map(sng())));
         let ev = evaluate(&f, &Value::chain(5), &cfg);
-        assert!(matches!(ev.result, Err(EvalError::NodeBudgetExceeded { .. })));
+        assert!(matches!(
+            ev.result,
+            Err(EvalError::NodeBudgetExceeded { .. })
+        ));
     }
 
     #[test]
@@ -562,7 +563,10 @@ mod tests {
         ));
         assert!(matches!(
             eval(&flatten(), &Value::chain(1)),
-            Err(EvalError::Stuck { rule: "flatten", .. })
+            Err(EvalError::Stuck {
+                rule: "flatten",
+                ..
+            })
         ));
     }
 

@@ -93,7 +93,11 @@ impl fmt::Display for EvalError {
                 write!(f, "node budget exceeded ({} rule applications)", budget)
             }
             EvalError::WhileDiverged { iterations } => {
-                write!(f, "while loop did not converge after {} iterations", iterations)
+                write!(
+                    f,
+                    "while loop did not converge after {} iterations",
+                    iterations
+                )
             }
             EvalError::Stuck { rule, detail } => {
                 write!(f, "evaluation stuck at `{}`: {}", rule, detail)

@@ -161,9 +161,7 @@ fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
         Expr::Flatten => match input {
             // μ(powerset(x)) = x : the subsets' union is the base itself.
             Lv::Subsets(base) => Ok(Lv::Concrete(base)),
-            Lv::Concrete(v) => {
-                Ok(Lv::Concrete(ctx.eager_sub(&Expr::Flatten, &v, 0)?))
-            }
+            Lv::Concrete(v) => Ok(Lv::Concrete(ctx.eager_sub(&Expr::Flatten, &v, 0)?)),
         },
         Expr::IsEmpty => match input {
             // powerset(x) always contains ∅, hence is never empty.
@@ -289,10 +287,7 @@ mod tests {
         let n = 9;
         let eager_ev = evaluate(&q, &Value::chain(n), &cfg);
         let lazy_ev = evaluate_lazy(&q, &Value::chain(n), &cfg);
-        assert_eq!(
-            eager_ev.result.unwrap(),
-            lazy_ev.result.clone().unwrap()
-        );
+        assert_eq!(eager_ev.result.unwrap(), lazy_ev.result.clone().unwrap());
         let eager_peak = eager_ev.stats.max_object_size;
         let lazy_peak = lazy_ev.stats.peak_resident;
         // eager materialises powerset(r₉): > 2⁹ · something; lazy holds a

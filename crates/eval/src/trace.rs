@@ -48,9 +48,13 @@ impl DerivNode {
     /// Maximum branching factor (§3: "the width of this tree may depend on
     /// C").
     pub fn max_branching(&self) -> usize {
-        self.children
-            .len()
-            .max(self.children.iter().map(DerivNode::max_branching).max().unwrap_or(0))
+        self.children.len().max(
+            self.children
+                .iter()
+                .map(DerivNode::max_branching)
+                .max()
+                .unwrap_or(0),
+        )
     }
 
     /// The largest object size occurring in the tree — the §3 complexity,
@@ -208,10 +212,13 @@ mod tests {
             compose(flatten(), map(sng())),
             nra_core::queries::tc_step(),
             nra_core::queries::tc_while(),
-            compose(map(nra_core::derived::is_singleton(&nra_core::Type::prod(
-                nra_core::Type::Nat,
-                nra_core::Type::Nat,
-            ))), powerset()),
+            compose(
+                map(nra_core::derived::is_singleton(&nra_core::Type::prod(
+                    nra_core::Type::Nat,
+                    nra_core::Type::Nat,
+                ))),
+                powerset(),
+            ),
         ];
         for q in &queries {
             for n in 0..4u64 {

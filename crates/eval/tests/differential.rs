@@ -1,0 +1,135 @@
+//! Evaluator-strategy differential tests: the plain eager evaluator, the
+//! derivation-tree-materialising traced evaluator, and the streaming
+//! (lazy) evaluator must agree — on results *and* on the statistics they
+//! share — across randomized graphs from four families (chains, cycles,
+//! DAGs, disconnected graphs), with the `nra-graph` closure as the
+//! external referee.
+//!
+//! The workspace-level `tests/differential.rs` checks agreement between
+//! *routes* (powerset vs while vs classical algorithms); this file checks
+//! agreement between *strategies* evaluating the same route.
+
+use nra_core::{queries, Value};
+use nra_eval::{evaluate, evaluate_lazy, evaluate_traced, EvalConfig};
+use nra_graph::{graph_to_value, tc, DiGraph};
+use nra_testkit::{check, Rng};
+
+const CASES: u64 = 24;
+
+/// One random graph from each family per seed, tagged for diagnostics.
+fn family_graphs(rng: &mut Rng) -> Vec<(&'static str, DiGraph)> {
+    let chain = DiGraph::chain(rng.below(8));
+    let cycle = DiGraph::cycle(rng.range_u64(1, 8));
+    let dag = DiGraph::random_dag(rng.below(8), 1.0 / 3.0, rng.next_u64());
+    // edge-count-bounded components (≤ 5 each): powerset cost is 2^|edges|
+    let disconnected = DiGraph::from_edges(rng.relation(4, 5))
+        .union(&DiGraph::from_edges(rng.relation(4, 5)).shifted(100));
+    vec![
+        ("chain", chain),
+        ("cycle", cycle),
+        ("dag", dag),
+        ("disconnected", disconnected),
+    ]
+}
+
+/// Eager and traced are the same semantics with different bookkeeping:
+/// identical results, node counts, and §3 complexities.
+#[test]
+fn traced_agrees_with_eager_on_all_families() {
+    check(
+        "traced_agrees_with_eager_on_all_families",
+        CASES,
+        |_, rng| {
+            let cfg = EvalConfig::default();
+            for (family, g) in family_graphs(rng) {
+                let input = graph_to_value(&g);
+                for q in [queries::tc_step(), queries::tc_while()] {
+                    let plain = evaluate(&q, &input, &cfg);
+                    let traced = evaluate_traced(&q, &input, &cfg);
+                    let tree = traced.result.unwrap();
+                    assert_eq!(tree.output, plain.result.unwrap(), "{family}: {q}");
+                    assert_eq!(tree.node_count(), plain.stats.nodes, "{family}: {q}");
+                    assert_eq!(
+                        tree.max_object_size(),
+                        plain.stats.max_object_size,
+                        "{family}: {q}"
+                    );
+                }
+            }
+        },
+    );
+}
+
+/// The streaming strategy must change the cost *model*, never the answer.
+#[test]
+fn lazy_agrees_with_eager_on_all_families() {
+    check("lazy_agrees_with_eager_on_all_families", CASES, |_, rng| {
+        let cfg = EvalConfig::default();
+        for (family, g) in family_graphs(rng) {
+            let input = graph_to_value(&g);
+            for q in [
+                queries::tc_paths(),
+                queries::tc_while(),
+                queries::siblings_powerset(),
+            ] {
+                let eager_out = evaluate(&q, &input, &cfg).result.unwrap();
+                let lazy_out = evaluate_lazy(&q, &input, &cfg).result.unwrap();
+                assert_eq!(eager_out, lazy_out, "{family}: {q}");
+            }
+        }
+    });
+}
+
+/// Both strategies must agree with the classical closure as an external
+/// referee (not just with each other).
+#[test]
+fn strategies_agree_with_the_graph_referee() {
+    check(
+        "strategies_agree_with_the_graph_referee",
+        CASES,
+        |_, rng| {
+            let cfg = EvalConfig::default();
+            for (family, g) in family_graphs(rng) {
+                let input = graph_to_value(&g);
+                let expect = graph_to_value(&tc(&g));
+                assert_eq!(
+                    evaluate(&queries::tc_while(), &input, &cfg).result.unwrap(),
+                    expect,
+                    "{family}: eager tc_while vs graph closure"
+                );
+                assert_eq!(
+                    evaluate_lazy(&queries::tc_paths(), &input, &cfg)
+                        .result
+                        .unwrap(),
+                    expect,
+                    "{family}: lazy tc_paths vs graph closure"
+                );
+            }
+        },
+    );
+}
+
+/// The §3 caveat, quantified: on chains the lazy strategy's peak resident
+/// size must undercut the eager complexity once `2ⁿ` dominates — while
+/// the *streamed subset count* stays exponential (time is not saved).
+#[test]
+fn lazy_space_undercuts_eager_on_chains() {
+    let cfg = EvalConfig::default();
+    for n in 5..=8u64 {
+        let input = Value::chain(n);
+        let eager = evaluate(&queries::tc_paths(), &input, &cfg);
+        let lazy = evaluate_lazy(&queries::tc_paths(), &input, &cfg);
+        assert_eq!(eager.result.unwrap(), lazy.result.clone().unwrap());
+        assert!(
+            lazy.stats.peak_resident < eager.stats.max_object_size,
+            "n={n}: lazy peak {} should undercut eager complexity {}",
+            lazy.stats.peak_resident,
+            eager.stats.max_object_size
+        );
+        assert!(
+            lazy.stats.streamed_subsets >= 1 << n,
+            "n={n}: streamed {} subsets, expected ≥ 2^{n}",
+            lazy.stats.streamed_subsets
+        );
+    }
+}

@@ -110,7 +110,11 @@ fn fuzz_relations_with_while() {
 
 #[test]
 fn fuzz_nested_sets() {
-    fuzz_domain(&Type::set(Type::set(Type::Nat)), 0..200, &GenConfig::default());
+    fuzz_domain(
+        &Type::set(Type::set(Type::Nat)),
+        0..200,
+        &GenConfig::default(),
+    );
 }
 
 #[test]

@@ -1,6 +1,6 @@
-//! Property-based tests (proptest): algebraic laws of the evaluator, the
-//! Prop 2.1 derived operations against `std` set semantics, and the TC
-//! queries against the graph baselines.
+//! Property-based tests (nra-testkit): algebraic laws of the evaluator,
+//! the Prop 2.1 derived operations against `std` set semantics, and the
+//! TC queries against the graph baselines.
 
 use nra_core::builder::*;
 use nra_core::derived;
@@ -9,190 +9,236 @@ use nra_core::types::Type;
 use nra_core::value::Value;
 use nra_eval::{eval, evaluate, evaluate_lazy, EvalConfig};
 use nra_graph::{graph_to_value, tc, DiGraph};
-use proptest::prelude::*;
+use nra_testkit::{check, Rng};
 use std::collections::BTreeSet;
 
-fn nat_set() -> impl Strategy<Value = BTreeSet<u64>> {
-    proptest::collection::btree_set(0u64..12, 0..8)
+const CASES: u64 = 64;
+
+fn nat_set(rng: &mut Rng) -> BTreeSet<u64> {
+    rng.nat_set(12, 7)
 }
 
-fn small_relation() -> impl Strategy<Value = BTreeSet<(u64, u64)>> {
-    proptest::collection::btree_set((0u64..6, 0u64..6), 0..9)
+fn small_relation(rng: &mut Rng) -> BTreeSet<(u64, u64)> {
+    rng.relation(6, 8)
 }
 
 fn to_value(s: &BTreeSet<u64>) -> Value {
     Value::set(s.iter().copied().map(Value::nat))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn flatten_after_map_sng_is_identity(s in nat_set()) {
-        let v = to_value(&s);
+#[test]
+fn flatten_after_map_sng_is_identity() {
+    check("flatten_after_map_sng_is_identity", CASES, |_, rng| {
+        let v = to_value(&nat_set(rng));
         let f = compose(flatten(), map(sng()));
-        prop_assert_eq!(eval(&f, &v).unwrap(), v);
-    }
+        assert_eq!(eval(&f, &v).unwrap(), v);
+    });
+}
 
-    #[test]
-    fn union_is_set_union(a in nat_set(), b in nat_set()) {
+#[test]
+fn union_is_set_union() {
+    check("union_is_set_union", CASES, |_, rng| {
+        let (a, b) = (nat_set(rng), nat_set(rng));
         let out = eval(&union(), &Value::pair(to_value(&a), to_value(&b))).unwrap();
         let expect: BTreeSet<u64> = a.union(&b).copied().collect();
-        prop_assert_eq!(out, to_value(&expect));
-    }
+        assert_eq!(out, to_value(&expect));
+    });
+}
 
-    #[test]
-    fn difference_and_intersection_match_std(a in nat_set(), b in nat_set()) {
+#[test]
+fn difference_and_intersection_match_std() {
+    check("difference_and_intersection_match_std", CASES, |_, rng| {
+        let (a, b) = (nat_set(rng), nat_set(rng));
         let input = Value::pair(to_value(&a), to_value(&b));
         let diff = eval(&derived::difference(&Type::Nat), &input).unwrap();
         let expect: BTreeSet<u64> = a.difference(&b).copied().collect();
-        prop_assert_eq!(diff, to_value(&expect));
+        assert_eq!(diff, to_value(&expect));
         let inter = eval(&derived::intersect(&Type::Nat), &input).unwrap();
         let expect: BTreeSet<u64> = a.intersection(&b).copied().collect();
-        prop_assert_eq!(inter, to_value(&expect));
-    }
+        assert_eq!(inter, to_value(&expect));
+    });
+}
 
-    #[test]
-    fn subset_matches_std(a in nat_set(), b in nat_set()) {
+#[test]
+fn subset_matches_std() {
+    check("subset_matches_std", CASES, |_, rng| {
+        let (a, b) = (nat_set(rng), nat_set(rng));
         let input = Value::pair(to_value(&a), to_value(&b));
         let out = eval(&derived::subset(&Type::Nat), &input).unwrap();
-        prop_assert_eq!(out, Value::Bool(a.is_subset(&b)));
-    }
+        assert_eq!(out, Value::Bool(a.is_subset(&b)));
+    });
+}
 
-    #[test]
-    fn member_matches_std(x in 0u64..12, s in nat_set()) {
+#[test]
+fn member_matches_std() {
+    check("member_matches_std", CASES, |_, rng| {
+        let x = rng.below(12);
+        let s = nat_set(rng);
         let input = Value::pair(Value::nat(x), to_value(&s));
         let out = eval(&derived::member(&Type::Nat), &input).unwrap();
-        prop_assert_eq!(out, Value::Bool(s.contains(&x)));
-    }
+        assert_eq!(out, Value::Bool(s.contains(&x)));
+    });
+}
 
-    #[test]
-    fn structural_equality_matches_derived_equality(
-        a in small_relation(),
-        b in small_relation(),
-    ) {
-        let va = Value::relation(a.iter().copied());
-        let vb = Value::relation(b.iter().copied());
-        let eq = derived::eq_at(&Type::nat_rel());
-        let out = eval(&eq, &Value::pair(va.clone(), vb.clone())).unwrap();
-        prop_assert_eq!(out, Value::Bool(va == vb));
-    }
+#[test]
+fn structural_equality_matches_derived_equality() {
+    check(
+        "structural_equality_matches_derived_equality",
+        CASES,
+        |_, rng| {
+            let a = small_relation(rng);
+            // make collisions likely enough to exercise the `true` branch
+            let b = if rng.bool() {
+                a.clone()
+            } else {
+                small_relation(rng)
+            };
+            let va = Value::relation(a.iter().copied());
+            let vb = Value::relation(b.iter().copied());
+            let eq = derived::eq_at(&Type::nat_rel());
+            let out = eval(&eq, &Value::pair(va.clone(), vb.clone())).unwrap();
+            assert_eq!(out, Value::Bool(va == vb));
+        },
+    );
+}
 
-    #[test]
-    fn select_partitions_the_input(s in small_relation()) {
-        let v = Value::relation(s.iter().copied());
+#[test]
+fn select_partitions_the_input() {
+    check("select_partitions_the_input", CASES, |_, rng| {
+        let v = Value::relation(small_relation(rng).iter().copied());
         let e = Type::prod(Type::Nat, Type::Nat);
         let keep = eval(&derived::select(eq_nat(), e.clone()), &v).unwrap();
         let drop = eval(&derived::select(derived::pnot(eq_nat()), e.clone()), &v).unwrap();
         let merged = eval(&union(), &Value::pair(keep.clone(), drop.clone())).unwrap();
-        prop_assert_eq!(merged, v);
+        assert_eq!(merged, v);
         // and the parts are disjoint
         let inter = eval(&derived::intersect(&e), &Value::pair(keep, drop)).unwrap();
-        prop_assert_eq!(inter, Value::empty_set());
-    }
+        assert_eq!(inter, Value::empty_set());
+    });
+}
 
-    #[test]
-    fn cartprod_cardinality(a in nat_set(), b in nat_set()) {
-        let out = eval(&derived::cartprod(), &Value::pair(to_value(&a), to_value(&b))).unwrap();
-        prop_assert_eq!(out.cardinality(), Some(a.len() * b.len()));
-    }
+#[test]
+fn cartprod_cardinality() {
+    check("cartprod_cardinality", CASES, |_, rng| {
+        let (a, b) = (nat_set(rng), nat_set(rng));
+        let out = eval(
+            &derived::cartprod(),
+            &Value::pair(to_value(&a), to_value(&b)),
+        )
+        .unwrap();
+        assert_eq!(out.cardinality(), Some(a.len() * b.len()));
+    });
+}
 
-    #[test]
-    fn powerset_has_2_to_k_subsets(s in proptest::collection::btree_set(0u64..20, 0..7)) {
+#[test]
+fn powerset_has_2_to_k_subsets() {
+    check("powerset_has_2_to_k_subsets", CASES, |_, rng| {
+        let s = rng.nat_set(20, 6);
         let v = to_value(&s);
         let out = eval(&powerset(), &v).unwrap();
-        prop_assert_eq!(out.cardinality(), Some(1usize << s.len()));
+        assert_eq!(out.cardinality(), Some(1usize << s.len()));
         // every subset is indeed a subset
         for sub in out.as_set().unwrap() {
             let subset = sub.as_set().unwrap();
-            prop_assert!(subset.iter().all(|x| v.as_set().unwrap().contains(x)));
+            assert!(subset.iter().all(|x| v.as_set().unwrap().contains(x)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn derived_powerset_m_matches_primitive(
-        s in proptest::collection::btree_set(0u64..9, 0..5),
-        m in 0u64..4,
-    ) {
+#[test]
+fn derived_powerset_m_matches_primitive() {
+    check("derived_powerset_m_matches_primitive", CASES, |_, rng| {
+        let s = rng.nat_set(9, 4);
+        let m = rng.below(4);
         let v = to_value(&s);
         let term = derived::powerset_m(m, &Type::Nat);
-        prop_assert_eq!(
+        assert_eq!(
             eval(&term, &v).unwrap(),
             eval(&powerset_m_prim(m), &v).unwrap()
         );
-    }
+    });
+}
 
-    #[test]
-    fn nest_unnest_roundtrip(s in small_relation()) {
-        let v = Value::relation(s.iter().copied());
+#[test]
+fn nest_unnest_roundtrip() {
+    check("nest_unnest_roundtrip", CASES, |_, rng| {
+        let v = Value::relation(small_relation(rng).iter().copied());
         let nested = eval(&derived::nest(&Type::Nat, &Type::Nat), &v).unwrap();
         let back = eval(&derived::unnest(), &nested).unwrap();
-        prop_assert_eq!(back, v);
-    }
+        assert_eq!(back, v);
+    });
+}
 
-    #[test]
-    fn tc_while_matches_graph_baselines(s in small_relation()) {
-        let g = DiGraph::from_edges(s.iter().copied());
+#[test]
+fn tc_while_matches_graph_baselines() {
+    check("tc_while_matches_graph_baselines", CASES, |_, rng| {
+        let g = DiGraph::from_edges(small_relation(rng));
         let out = eval(&queries::tc_while(), &graph_to_value(&g)).unwrap();
-        prop_assert_eq!(out, graph_to_value(&tc(&g)));
-    }
+        assert_eq!(out, graph_to_value(&tc(&g)));
+    });
+}
 
-    #[test]
-    fn tc_paths_matches_graph_baselines(
-        s in proptest::collection::btree_set((0u64..5, 0u64..5), 0..8),
-    ) {
-        let g = DiGraph::from_edges(s.iter().copied());
+#[test]
+fn tc_paths_matches_graph_baselines() {
+    check("tc_paths_matches_graph_baselines", CASES, |_, rng| {
+        let g = DiGraph::from_edges(rng.relation(5, 7));
         let out = eval(&queries::tc_paths(), &graph_to_value(&g)).unwrap();
-        prop_assert_eq!(out, graph_to_value(&tc(&g)));
-    }
+        assert_eq!(out, graph_to_value(&tc(&g)));
+    });
+}
 
-    #[test]
-    fn lazy_strategy_agrees_with_eager(
-        s in proptest::collection::btree_set((0u64..5, 0u64..5), 0..7),
-    ) {
-        let g = DiGraph::from_edges(s.iter().copied());
+#[test]
+fn lazy_strategy_agrees_with_eager() {
+    check("lazy_strategy_agrees_with_eager", CASES, |_, rng| {
+        let g = DiGraph::from_edges(rng.relation(5, 6));
         let v = graph_to_value(&g);
         let cfg = EvalConfig::default();
         for q in [queries::tc_paths(), queries::siblings_powerset()] {
             let eager_out = evaluate(&q, &v, &cfg).result.unwrap();
             let lazy_out = evaluate_lazy(&q, &v, &cfg).result.unwrap();
-            prop_assert_eq!(eager_out, lazy_out);
+            assert_eq!(eager_out, lazy_out);
         }
-    }
+    });
+}
 
-    #[test]
-    fn traced_evaluation_is_consistent(s in small_relation()) {
-        let v = Value::relation(s.iter().copied());
+#[test]
+fn traced_evaluation_is_consistent() {
+    check("traced_evaluation_is_consistent", CASES, |_, rng| {
+        let v = Value::relation(small_relation(rng).iter().copied());
         let q = queries::tc_step();
         let cfg = EvalConfig::default();
         let plain = evaluate(&q, &v, &cfg);
         let traced = nra_eval::evaluate_traced(&q, &v, &cfg);
         let tree = traced.result.unwrap();
-        prop_assert_eq!(tree.output.clone(), plain.result.unwrap());
-        prop_assert_eq!(tree.node_count(), plain.stats.nodes);
-        prop_assert_eq!(tree.max_object_size(), plain.stats.max_object_size);
-    }
+        assert_eq!(tree.output.clone(), plain.result.unwrap());
+        assert_eq!(tree.node_count(), plain.stats.nodes);
+        assert_eq!(tree.max_object_size(), plain.stats.max_object_size);
+    });
+}
 
-    #[test]
-    fn complexity_monotone_under_budget(s in small_relation()) {
+#[test]
+fn complexity_monotone_under_budget() {
+    check("complexity_monotone_under_budget", CASES, |_, rng| {
         // a run that succeeds under a budget reports the same stats as an
         // unbudgeted run
-        let v = Value::relation(s.iter().copied());
+        let v = Value::relation(small_relation(rng).iter().copied());
         let q = queries::tc_step();
         let free = evaluate(&q, &v, &EvalConfig::default());
         let budget = free.stats.max_object_size;
         let bounded = evaluate(&q, &v, &EvalConfig::with_space_budget(budget));
-        prop_assert!(bounded.result.is_ok());
-        prop_assert_eq!(bounded.stats, free.stats);
+        assert!(bounded.result.is_ok());
+        assert_eq!(bounded.stats, free.stats);
         // one less and it must fail (whenever the budget is binding)
         if budget > 1 {
             let tight = evaluate(&q, &v, &EvalConfig::with_space_budget(budget - 1));
-            prop_assert!(tight.result.is_err());
+            assert!(tight.result.is_err());
         }
-    }
+    });
+}
 
-    #[test]
-    fn parser_roundtrips_programmatic_queries(m in 0u64..4) {
+#[test]
+fn parser_roundtrips_programmatic_queries() {
+    for m in 0u64..4 {
         for q in [
             queries::tc_paths_approx(m),
             queries::tc_while(),
@@ -201,7 +247,7 @@ proptest! {
         ] {
             let text = q.to_string();
             let parsed = nra_core::parser::parse_expr(&text).unwrap();
-            prop_assert_eq!(parsed, q);
+            assert_eq!(parsed, q);
         }
     }
 }

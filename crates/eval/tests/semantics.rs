@@ -65,7 +65,10 @@ fn cartesian_product() {
 #[test]
 fn rho1_pairs_left_elements() {
     let input = Value::pair(Value::set([Value::nat(1), Value::nat(2)]), Value::nat(7));
-    assert_eq!(run(&derived::rho1(), &input), Value::relation([(1, 7), (2, 7)]));
+    assert_eq!(
+        run(&derived::rho1(), &input),
+        Value::relation([(1, 7), (2, 7)])
+    );
 }
 
 #[test]
@@ -85,38 +88,72 @@ fn equality_at_nested_types() {
     let s2 = Value::set([Value::nat(2), Value::nat(1)]);
     let s3 = Value::set([Value::nat(1)]);
     assert_eq!(run(&eqs, &Value::pair(s1.clone(), s2.clone())), Value::TRUE);
-    assert_eq!(run(&eqs, &Value::pair(s1.clone(), s3.clone())), Value::FALSE);
-    assert_eq!(run(&eqs, &Value::pair(s3.clone(), s1.clone())), Value::FALSE);
+    assert_eq!(
+        run(&eqs, &Value::pair(s1.clone(), s3.clone())),
+        Value::FALSE
+    );
+    assert_eq!(
+        run(&eqs, &Value::pair(s3.clone(), s1.clone())),
+        Value::FALSE
+    );
     // sets of sets
     let eqss = derived::eq_at(&Type::set(Type::set(Type::Nat)));
     let nested1 = Value::set([s1.clone(), Value::empty_set()]);
     let nested2 = Value::set([Value::empty_set(), s2.clone()]);
-    assert_eq!(run(&eqss, &Value::pair(nested1.clone(), nested2)), Value::TRUE);
-    assert!(
-        !run(&eqss, &Value::pair(nested1, Value::set([s3])))
-            .as_bool()
-            .unwrap()
+    assert_eq!(
+        run(&eqss, &Value::pair(nested1.clone(), nested2)),
+        Value::TRUE
     );
+    assert!(!run(&eqss, &Value::pair(nested1, Value::set([s3])))
+        .as_bool()
+        .unwrap());
     // booleans and unit
     let eqb = derived::eq_at(&Type::Bool);
-    assert_eq!(run(&eqb, &Value::pair(Value::TRUE, Value::TRUE)), Value::TRUE);
-    assert_eq!(run(&eqb, &Value::pair(Value::TRUE, Value::FALSE)), Value::FALSE);
-    assert_eq!(run(&eqb, &Value::pair(Value::FALSE, Value::FALSE)), Value::TRUE);
+    assert_eq!(
+        run(&eqb, &Value::pair(Value::TRUE, Value::TRUE)),
+        Value::TRUE
+    );
+    assert_eq!(
+        run(&eqb, &Value::pair(Value::TRUE, Value::FALSE)),
+        Value::FALSE
+    );
+    assert_eq!(
+        run(&eqb, &Value::pair(Value::FALSE, Value::FALSE)),
+        Value::TRUE
+    );
     let equ = derived::eq_at(&Type::Unit);
-    assert_eq!(run(&equ, &Value::pair(Value::Unit, Value::Unit)), Value::TRUE);
+    assert_eq!(
+        run(&equ, &Value::pair(Value::Unit, Value::Unit)),
+        Value::TRUE
+    );
 }
 
 #[test]
 fn membership_and_inclusion() {
     let s = Value::set([Value::nat(1), Value::nat(2), Value::nat(3)]);
     let member = derived::member(&Type::Nat);
-    assert_eq!(run(&member, &Value::pair(Value::nat(2), s.clone())), Value::TRUE);
-    assert_eq!(run(&member, &Value::pair(Value::nat(9), s.clone())), Value::FALSE);
+    assert_eq!(
+        run(&member, &Value::pair(Value::nat(2), s.clone())),
+        Value::TRUE
+    );
+    assert_eq!(
+        run(&member, &Value::pair(Value::nat(9), s.clone())),
+        Value::FALSE
+    );
     let subset = derived::subset(&Type::Nat);
     let small = Value::set([Value::nat(1), Value::nat(3)]);
-    assert_eq!(run(&subset, &Value::pair(small.clone(), s.clone())), Value::TRUE);
-    assert_eq!(run(&subset, &Value::pair(s.clone(), small.clone())), Value::FALSE);
-    assert_eq!(run(&subset, &Value::pair(Value::empty_set(), s.clone())), Value::TRUE);
+    assert_eq!(
+        run(&subset, &Value::pair(small.clone(), s.clone())),
+        Value::TRUE
+    );
+    assert_eq!(
+        run(&subset, &Value::pair(s.clone(), small.clone())),
+        Value::FALSE
+    );
+    assert_eq!(
+        run(&subset, &Value::pair(Value::empty_set(), s.clone())),
+        Value::TRUE
+    );
     assert_eq!(run(&subset, &Value::pair(s.clone(), s)), Value::TRUE);
 }
 
@@ -179,7 +216,10 @@ fn singleton_test() {
     let is1 = derived::is_singleton(&Type::Nat);
     assert_eq!(run(&is1, &Value::set([Value::nat(5)])), Value::TRUE);
     assert_eq!(run(&is1, &Value::empty_set()), Value::FALSE);
-    assert_eq!(run(&is1, &Value::set([Value::nat(1), Value::nat(2)])), Value::FALSE);
+    assert_eq!(
+        run(&is1, &Value::set([Value::nat(1), Value::nat(2)])),
+        Value::FALSE
+    );
 }
 
 #[test]
@@ -189,11 +229,7 @@ fn derived_powerset_m_equals_primitive() {
         let prim = powerset_m_prim(m);
         for k in 0..=4u64 {
             let input = Value::set((0..k).map(Value::nat));
-            assert_eq!(
-                run(&term, &input),
-                run(&prim, &input),
-                "m={m}, k={k}"
-            );
+            assert_eq!(run(&term, &input), run(&prim, &input), "m={m}, k={k}");
         }
     }
 }
@@ -321,10 +357,7 @@ fn tc_approximations_need_m_at_least_n() {
                 assert_ne!(approx, full, "n={n} m={m} must be incomplete");
                 // the approximation is sound (a subset), just incomplete
                 let sub = derived::subset(&edge_ty());
-                assert_eq!(
-                    run(&sub, &Value::pair(approx, full.clone())),
-                    Value::TRUE
-                );
+                assert_eq!(run(&sub, &Value::pair(approx, full.clone())), Value::TRUE);
             }
         }
     }

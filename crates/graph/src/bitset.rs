@@ -23,7 +23,12 @@ impl BitSet {
 
     /// Insert `i`; returns true if it was newly inserted.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "bit {} out of capacity {}", i, self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {} out of capacity {}",
+            i,
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let fresh = self.words[w] & (1 << b) == 0;
         self.words[w] |= 1 << b;

@@ -81,6 +81,42 @@ impl DiGraph {
         DiGraph { edges }
     }
 
+    /// A pseudo-random DAG on `n` nodes: each forward pair `(a, b)` with
+    /// `a < b` is an edge with probability `p`, deterministic in `seed`
+    /// (same xorshift substrate as [`DiGraph::random`]). Acyclic by
+    /// construction.
+    pub fn random_dag(n: u64, p: f64, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let threshold = (p.clamp(0.0, 1.0) * (u64::MAX as f64)) as u64;
+        let mut edges = BTreeSet::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if next() <= threshold {
+                    edges.insert((a, b));
+                }
+            }
+        }
+        DiGraph { edges }
+    }
+
+    /// The same graph with every node id shifted up by `offset`.
+    pub fn shifted(&self, offset: u64) -> Self {
+        DiGraph::from_edges(self.edges().map(|(a, b)| (a + offset, b + offset)))
+    }
+
+    /// The union of two edge sets — a disjoint union when the node ranges
+    /// are disjoint (e.g. after [`DiGraph::shifted`]), giving disconnected
+    /// multi-component inputs.
+    pub fn union(&self, other: &Self) -> Self {
+        DiGraph::from_edges(self.edges().chain(other.edges()))
+    }
+
     /// Add an edge; returns true if newly added.
     pub fn add_edge(&mut self, a: u64, b: u64) -> bool {
         self.edges.insert((a, b))
@@ -104,10 +140,7 @@ impl DiGraph {
     /// The nodes occurring in at least one edge (the complex-object world
     /// has no isolated nodes: a graph *is* its edge relation).
     pub fn nodes(&self) -> BTreeSet<u64> {
-        self.edges
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
-            .collect()
+        self.edges.iter().flat_map(|&(a, b)| [a, b]).collect()
     }
 
     /// Out-neighbour adjacency map.
@@ -121,11 +154,7 @@ impl DiGraph {
 
     /// Maximum outdegree (≤ 1 ⟺ the deterministic-TC regime).
     pub fn max_outdegree(&self) -> usize {
-        self.successors()
-            .values()
-            .map(Vec::len)
-            .max()
-            .unwrap_or(0)
+        self.successors().values().map(Vec::len).max().unwrap_or(0)
     }
 
     /// True iff every node has outdegree ≤ 1.
@@ -177,6 +206,30 @@ mod tests {
         assert_eq!(g.edge_count(), 8);
         assert_eq!(g.nodes().len(), 6);
         assert_eq!(g.max_outdegree(), 2);
+    }
+
+    #[test]
+    fn random_dag_is_acyclic_and_deterministic() {
+        for seed in 0..10 {
+            let g = DiGraph::random_dag(8, 0.4, seed);
+            assert!(g.edges().all(|(a, b)| a < b), "forward edges only");
+            assert_eq!(g, DiGraph::random_dag(8, 0.4, seed));
+        }
+        assert_eq!(DiGraph::random_dag(8, 1.0, 3).edge_count(), 28);
+        assert_eq!(DiGraph::random_dag(8, 0.0, 3).edge_count(), 0);
+        assert_eq!(DiGraph::random_dag(0, 1.0, 3).edge_count(), 0);
+    }
+
+    #[test]
+    fn shifted_union_builds_disconnected_graphs() {
+        let a = DiGraph::chain(2);
+        let b = DiGraph::cycle(3).shifted(100);
+        assert!(b.has_edge(102, 100));
+        let g = a.union(&b);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.nodes().len(), 6);
+        // union with self is idempotent
+        assert_eq!(g.union(&g), g);
     }
 
     #[test]

@@ -131,9 +131,8 @@ mod tests {
     fn chain_closure_is_the_paper_q_n() {
         for n in 0..8u64 {
             let g = DiGraph::chain(n);
-            let expect = DiGraph::from_edges(
-                (0..=n).flat_map(|x| (x + 1..=n).map(move |y| (x, y))),
-            );
+            let expect =
+                DiGraph::from_edges((0..=n).flat_map(|x| (x + 1..=n).map(move |y| (x, y))));
             for (i, got) in all_algorithms(&g).into_iter().enumerate() {
                 assert_eq!(got, expect, "algorithm {i}, n = {n}");
             }

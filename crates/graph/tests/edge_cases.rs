@@ -1,0 +1,149 @@
+//! Edge-case unit tests for `graph::bitset` and `graph::tc`: empty
+//! structures, n = 0/1, self-loops, word-size boundaries, and inputs that
+//! are already transitively closed.
+
+use nra_graph::{bfs_per_source, semi_naive, tc, warshall, BitSet, DiGraph};
+
+fn all_algorithms(g: &DiGraph) -> [DiGraph; 3] {
+    [warshall(g), semi_naive(g), bfs_per_source(g)]
+}
+
+// -- bitset ---------------------------------------------------------------
+
+#[test]
+fn bitset_zero_capacity() {
+    let s = BitSet::new(0);
+    assert_eq!(s.capacity(), 0);
+    assert!(s.is_empty());
+    assert_eq!(s.len(), 0);
+    assert_eq!(s.iter().count(), 0);
+    assert!(!s.contains(0));
+}
+
+#[test]
+fn bitset_word_boundaries() {
+    // bits 63/64/65 straddle the u64 word boundary; 127/128 the second
+    let mut s = BitSet::new(129);
+    for i in [0usize, 63, 64, 65, 127, 128] {
+        assert!(s.insert(i), "bit {i} should be fresh");
+        assert!(s.contains(i), "bit {i} should be set");
+    }
+    assert_eq!(s.len(), 6);
+    assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 127, 128]);
+    for i in [63usize, 128] {
+        assert!(s.remove(i));
+        assert!(!s.contains(i));
+    }
+    assert_eq!(s.len(), 4);
+}
+
+#[test]
+fn bitset_insert_is_idempotent() {
+    let mut s = BitSet::new(10);
+    assert!(s.insert(3));
+    assert!(!s.insert(3), "second insert reports not-fresh");
+    assert_eq!(s.len(), 1);
+    assert!(s.remove(3));
+    assert!(!s.remove(3), "second remove reports absent");
+    assert!(s.is_empty());
+}
+
+#[test]
+fn bitset_union_with_empty_is_noop() {
+    let mut a = BitSet::new(70);
+    a.insert(5);
+    a.insert(69);
+    let empty = BitSet::new(70);
+    assert!(!a.union_with(&empty), "∪ ∅ must not change the set");
+    assert_eq!(a.len(), 2);
+    let mut b = BitSet::new(70);
+    assert!(b.union_with(&a), "∅ ∪ a must change the empty set");
+    assert_eq!(b.iter().collect::<Vec<_>>(), vec![5, 69]);
+}
+
+#[test]
+fn bitset_contains_beyond_capacity_is_false() {
+    let s = BitSet::new(10);
+    assert!(!s.contains(10));
+    assert!(!s.contains(usize::MAX));
+}
+
+// -- transitive closure ---------------------------------------------------
+
+#[test]
+fn tc_of_empty_graph_is_empty() {
+    let g = DiGraph::new();
+    for (i, got) in all_algorithms(&g).into_iter().enumerate() {
+        assert_eq!(got, g, "algorithm {i}");
+    }
+    assert_eq!(tc(&g).edge_count(), 0);
+}
+
+#[test]
+fn tc_of_chain_0_and_1() {
+    // chain(0) has no edges at all (the empty relation)
+    let g0 = DiGraph::chain(0);
+    assert_eq!(g0.edge_count(), 0);
+    for got in all_algorithms(&g0) {
+        assert_eq!(got, g0);
+    }
+    // chain(1) = {(0,1)} is its own closure
+    let g1 = DiGraph::chain(1);
+    for got in all_algorithms(&g1) {
+        assert_eq!(got, g1);
+    }
+}
+
+#[test]
+fn tc_of_single_self_loop() {
+    let g = DiGraph::from_edges([(7, 7)]);
+    for got in all_algorithms(&g) {
+        assert_eq!(got, g, "a self-loop is its own closure");
+    }
+}
+
+#[test]
+fn tc_with_self_loops_everywhere() {
+    // self-loops on a chain must not add spurious reachability…
+    let g = DiGraph::from_edges([(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)]);
+    let expect = DiGraph::from_edges([(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)]);
+    for got in all_algorithms(&g) {
+        assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn tc_is_idempotent_on_closed_inputs() {
+    // already-transitively-closed inputs are fixed points of tc
+    let closed = [
+        DiGraph::from_edges((0..=4u64).flat_map(|x| (x + 1..=4).map(move |y| (x, y)))), // chain_tc(4)
+        DiGraph::from_edges((0..4u64).flat_map(|a| (0..4u64).map(move |b| (a, b)))), // complete w/ loops
+        DiGraph::from_edges([(3, 3)]),
+        DiGraph::new(),
+    ];
+    for g in &closed {
+        for (i, got) in all_algorithms(g).into_iter().enumerate() {
+            assert_eq!(&got, g, "algorithm {i} must fix a closed input");
+        }
+    }
+    // and tc∘tc = tc on arbitrary inputs
+    for seed in 0..10u64 {
+        let g = DiGraph::random(8, 0.2, seed);
+        let once = tc(&g);
+        assert_eq!(tc(&once), once, "seed {seed}");
+    }
+}
+
+#[test]
+fn tc_ignores_node_labels() {
+    // sparse, large labels — Warshall's compaction must handle them
+    let g = DiGraph::from_edges([(1_000_000, 2_000_000), (2_000_000, 3_000_000)]);
+    let expect = DiGraph::from_edges([
+        (1_000_000, 2_000_000),
+        (1_000_000, 3_000_000),
+        (2_000_000, 3_000_000),
+    ]);
+    for got in all_algorithms(&g) {
+        assert_eq!(got, expect);
+    }
+}

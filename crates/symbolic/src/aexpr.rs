@@ -152,9 +152,7 @@ impl AExpr {
             (AExpr::Bool(_), Type::Bool) => true,
             (AExpr::Num(_), Type::Nat) => true,
             (AExpr::Pair(a, b), Type::Prod(s, t)) => a.check_type(s) && b.check_type(t),
-            (AExpr::Set(blocks), Type::Set(elem)) => {
-                blocks.iter().all(|b| b.body.check_type(elem))
-            }
+            (AExpr::Set(blocks), Type::Set(elem)) => blocks.iter().all(|b| b.body.check_type(elem)),
             (AExpr::Guarded(arms), _) => arms.iter().all(|(a, _)| a.check_type(ty)),
             _ => false,
         }
@@ -309,10 +307,8 @@ impl AExpr {
                         // x + c ≥ 0 ⟺ x ∉ {0, …, −c−1}
                         let mut cond = Condition::tru();
                         for k in 0..(-c) {
-                            cond = cond.and(&Condition::neq(
-                                SimpleExpr::var(x),
-                                SimpleExpr::Const(k),
-                            ));
+                            cond =
+                                cond.and(&Condition::neq(SimpleExpr::var(x), SimpleExpr::Const(k)));
                         }
                         cond
                     }
@@ -397,10 +393,7 @@ pub fn grid_aexpr(gen: &mut VarGen) -> AExpr {
     let y = gen.fresh();
     AExpr::comprehension(
         vec![x, y],
-        AExpr::pair(
-            AExpr::num(2),
-            AExpr::pair(AExpr::var(x), AExpr::var(y)),
-        ),
+        AExpr::pair(AExpr::num(2), AExpr::pair(AExpr::var(x), AExpr::var(y))),
     )
 }
 

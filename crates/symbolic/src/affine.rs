@@ -400,7 +400,7 @@ mod tests {
         // the paper's wording refers to its guard form; we check y = 0).
         let conj = Conjunct {
             atoms: vec![
-                Atom::eq(x(0), x(2).shift(2)), // x₀ = α + 2 with α := x₂
+                Atom::eq(x(0), x(2).shift(2)),  // x₀ = α + 2 with α := x₂
                 Atom::eq(x(1), x(3).shift(-1)), // x₁ = y − 1 with y := x₃ rigid
                 Atom::neq(x(2), nm(0)),
                 Atom::neq(x(2), x(3).shift(-3)),
@@ -441,10 +441,7 @@ mod tests {
         // points in [n]ᵏ only for α ≤ n−1, so the count is
         // n·(n+1) − n = n² — the predicted n^p − O(n^{p−1}).
         let conj = Conjunct {
-            atoms: vec![
-                Atom::eq(x(2), x(0).shift(1)),
-                Atom::neq(x(0), x(1)),
-            ],
+            atoms: vec![Atom::eq(x(2), x(0).shift(1)), Atom::neq(x(0), x(1))],
         };
         let space = AffineSpace::from_conjunct(&conj, &[v(0), v(1), v(2)]).unwrap();
         assert_eq!(space.dimension, 2);
@@ -543,14 +540,10 @@ mod tests {
         let n = 7;
         for yv in 0..=n {
             let rigid: Env = [(v(9), yv)].into_iter().collect();
-            let in_u = u
-                .enumerate(n, &Env::new())
-                .contains(&vec![yv as i128]);
+            let in_u = u.enumerate(n, &Env::new()).contains(&vec![yv as i128]);
             for x0 in 0..=n {
                 for x1 in 0..=n {
-                    let env: Env = [(v(0), x0), (v(1), x1), (v(9), yv)]
-                        .into_iter()
-                        .collect();
+                    let env: Env = [(v(0), x0), (v(1), x1), (v(9), yv)].into_iter().collect();
                     let holds = Conjunct::eval(&conj, n, &env).unwrap();
                     let in_v = vspace
                         .enumerate(n, &rigid)

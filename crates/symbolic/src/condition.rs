@@ -47,12 +47,20 @@ pub struct Atom {
 impl Atom {
     /// `e = e'`.
     pub fn eq(lhs: SimpleExpr, rhs: SimpleExpr) -> Self {
-        Atom { lhs, rhs, cmp: Cmp::Eq }
+        Atom {
+            lhs,
+            rhs,
+            cmp: Cmp::Eq,
+        }
     }
 
     /// `e ≠ e'`.
     pub fn neq(lhs: SimpleExpr, rhs: SimpleExpr) -> Self {
-        Atom { lhs, rhs, cmp: Cmp::Neq }
+        Atom {
+            lhs,
+            rhs,
+            cmp: Cmp::Neq,
+        }
     }
 
     /// Truth value at a concrete `n` and environment (total: sides are
@@ -159,12 +167,20 @@ impl Conjunct {
         let mut atoms: BTreeSet<Atom> = BTreeSet::new();
         for a in &self.atoms {
             // orient each atom deterministically for deduplication
-            let (l, r) = if a.lhs <= a.rhs { (a.lhs, a.rhs) } else { (a.rhs, a.lhs) };
-            let a = Atom { lhs: l, rhs: r, cmp: a.cmp };
+            let (l, r) = if a.lhs <= a.rhs {
+                (a.lhs, a.rhs)
+            } else {
+                (a.rhs, a.lhs)
+            };
+            let a = Atom {
+                lhs: l,
+                rhs: r,
+                cmp: a.cmp,
+            };
             if l == r {
                 match a.cmp {
-                    Cmp::Eq => continue,        // e = e is true
-                    Cmp::Neq => return None,    // e ≠ e is false
+                    Cmp::Eq => continue,     // e = e is true
+                    Cmp::Neq => return None, // e ≠ e is false
                 }
             }
             atoms.insert(a);
@@ -289,7 +305,11 @@ impl Condition {
         let mut acc = Condition::tru();
         for conj in &self.conjuncts {
             let negated = Condition {
-                conjuncts: conj.atoms.iter().map(|a| Conjunct::of(a.negated())).collect(),
+                conjuncts: conj
+                    .atoms
+                    .iter()
+                    .map(|a| Conjunct::of(a.negated()))
+                    .collect(),
             };
             acc = acc.and(&negated);
             if acc.is_false() {
@@ -502,7 +522,6 @@ impl UnionFind {
         self.offset[i] += poff;
         (root, self.offset[i])
     }
-
 }
 
 enum Side {
@@ -689,17 +708,11 @@ pub fn solve_conjunct(conjunct: &Conjunct, solve_vars: &[VarId]) -> Option<Solut
                     // need y + a ∈ [0, n]: finitely many exclusions on y
                     if a < 0 {
                         for kk in 0..(-a) {
-                            residual.push(Atom::neq(
-                                SimpleExpr::var(y),
-                                SimpleExpr::Const(kk),
-                            ));
+                            residual.push(Atom::neq(SimpleExpr::var(y), SimpleExpr::Const(kk)));
                         }
                     } else {
                         for kk in 0..a {
-                            residual.push(Atom::neq(
-                                SimpleExpr::var(y),
-                                SimpleExpr::NMinus(kk),
-                            ));
+                            residual.push(Atom::neq(SimpleExpr::var(y), SimpleExpr::NMinus(kk)));
                         }
                     }
                 }
@@ -955,17 +968,11 @@ mod tests {
     fn dimension_counts_free_classes() {
         // x free, y = x + 2, z pinned to 3, w free: dimension 2
         let conj = Conjunct {
-            atoms: vec![
-                Atom::eq(x(1), x(0).shift(2)),
-                Atom::eq(x(2), c(3)),
-            ],
+            atoms: vec![Atom::eq(x(1), x(0).shift(2)), Atom::eq(x(2), c(3))],
         };
         let sol = solve_conjunct(&conj, &[v(0), v(1), v(2), v(3)]).unwrap();
         assert_eq!(sol.dimension, 2);
-        assert_eq!(
-            sol.assignments[&v(2)],
-            Resolved::Fixed(FixedTerm::Const(3))
-        );
+        assert_eq!(sol.assignments[&v(2)], Resolved::Fixed(FixedTerm::Const(3)));
         match (sol.assignments[&v(0)], sol.assignments[&v(1)]) {
             (Resolved::Free(p0, 0), Resolved::Free(p1, 2)) => assert_eq!(p0, p1),
             other => panic!("unexpected {:?}", other),

@@ -293,10 +293,7 @@ mod tests {
         }
         let mut gen = VarGen::new();
         let err = apply_powerset(&a, None, 4, &mut gen).unwrap_err();
-        assert_eq!(
-            err,
-            SymbolicError::TooManyWitnesses { found: 6, cap: 4 }
-        );
+        assert_eq!(err, SymbolicError::TooManyWitnesses { found: 6, cap: 4 });
     }
 
     #[test]

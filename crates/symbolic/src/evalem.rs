@@ -221,8 +221,7 @@ fn explode(a: &AExpr) -> Vec<(AExpr, Condition)> {
 /// Reassemble exploded arms into a single expression, pushing conditions
 /// into set blocks where possible.
 fn merge_arms(arms: Vec<(AExpr, Condition)>) -> AExpr {
-    let arms: Vec<(AExpr, Condition)> =
-        arms.into_iter().filter(|(_, c)| !c.is_false()).collect();
+    let arms: Vec<(AExpr, Condition)> = arms.into_iter().filter(|(_, c)| !c.is_false()).collect();
     if arms.len() == 1 && arms[0].1.is_true() {
         return arms.into_iter().next().unwrap().0;
     }
@@ -499,8 +498,8 @@ mod tests {
     /// and every ρ (here: closed expressions), `f([A]ρ) ⇓ [A']ρ`.
     fn check_lemma(f: &nra_core::Expr, a: &AExpr, ns: std::ops::Range<u64>) {
         let mut ctx = SymCtx::for_expr(a);
-        let a2 = apply(f, a, &mut ctx)
-            .unwrap_or_else(|e| panic!("symbolic evaluation failed: {e}"));
+        let a2 =
+            apply(f, a, &mut ctx).unwrap_or_else(|e| panic!("symbolic evaluation failed: {e}"));
         for n in ns {
             let input = a.eval(n, &Env::new()).expect("input defined");
             let concrete = eval_concrete(f, &input).expect("concrete evaluation");
@@ -553,11 +552,7 @@ mod tests {
         let a = chain_aexpr(&mut gen);
         let e = nra_core::Type::prod(nra_core::Type::Nat, nra_core::Type::Nat);
         // select(π₁ = π₂)(chain) = ∅; select(π₁ ≠ π₂) = chain
-        check_lemma(
-            &nra_core::derived::select(b::eq_nat(), e.clone()),
-            &a,
-            1..5,
-        );
+        check_lemma(&nra_core::derived::select(b::eq_nat(), e.clone()), &a, 1..5);
         // cartesian product chain × chain via ⟨id,id⟩
         check_lemma(&nra_core::derived::self_product(), &a, 1..4);
         // node set
@@ -622,11 +617,7 @@ mod tests {
         // f = μ ∘ powerset ∘ sources: the powerset argument is
         // sources(rₙ) = {0} — bounded, so Prop 4.2's constructive side
         // applies and f ≡ f₁ with powerset eliminated.
-        let f = b::pipeline([
-            nra_core::queries::sources(),
-            b::powerset(),
-            b::flatten(),
-        ]);
+        let f = b::pipeline([nra_core::queries::sources(), b::powerset(), b::flatten()]);
         let mut gen = VarGen::new();
         let a = chain_aexpr(&mut gen);
         let order = approximation_order(&f, &a, 8).unwrap();
@@ -648,7 +639,10 @@ mod tests {
         let mut gen = VarGen::new();
         let a = chain_aexpr(&mut gen);
         let err = approximation_order(&nra_core::queries::tc_paths(), &a, 8).unwrap_err();
-        assert!(matches!(err, SymbolicError::ExponentialPowerset(_)), "{err}");
+        assert!(
+            matches!(err, SymbolicError::ExponentialPowerset(_)),
+            "{err}"
+        );
     }
 
     #[test]
@@ -660,7 +654,10 @@ mod tests {
         let x = gen.fresh();
         let a = AExpr::guarded_comprehension(
             vec![x],
-            Condition::neq(crate::simple::SimpleExpr::var(x), crate::simple::SimpleExpr::var(y)),
+            Condition::neq(
+                crate::simple::SimpleExpr::var(x),
+                crate::simple::SimpleExpr::var(y),
+            ),
             AExpr::pair(AExpr::var(y), AExpr::var(x)),
         );
         let mut ctx = SymCtx::for_expr(&a);

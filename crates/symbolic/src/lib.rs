@@ -34,7 +34,9 @@ pub mod vars;
 pub use aexpr::{chain_aexpr, AExpr, Block};
 pub use condition::{Atom, Cmp, Condition, Conjunct};
 pub use dichotomy::{analyze_cardinality, LinearCertificate, SetCardinality};
-pub use evalem::{apply, approximation_order, eliminate_powerset, PowersetMode, SymCtx, SymbolicError};
+pub use evalem::{
+    apply, approximation_order, eliminate_powerset, PowersetMode, SymCtx, SymbolicError,
+};
 pub use lower_bound::{chain_tc_impossibility, ChainTcImpossibility};
 pub use simple::SimpleExpr;
 pub use vars::{Env, VarGen, VarId};

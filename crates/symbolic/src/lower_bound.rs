@@ -69,8 +69,14 @@ fn resolved_coord(r: Resolved) -> Result<Coord, SymbolicError> {
 /// triples of numeric coordinates.
 fn explode_pairs(
     a: &AExpr,
-) -> Result<Vec<(crate::simple::SimpleExpr, crate::simple::SimpleExpr, crate::condition::Condition)>, SymbolicError>
-{
+) -> Result<
+    Vec<(
+        crate::simple::SimpleExpr,
+        crate::simple::SimpleExpr,
+        crate::condition::Condition,
+    )>,
+    SymbolicError,
+> {
     match a {
         AExpr::Pair(x, y) => match (&**x, &**y) {
             (AExpr::Num(e1), AExpr::Num(e2)) => {
@@ -220,10 +226,7 @@ mod tests {
         let mut gen = VarGen::new();
         let x = gen.fresh();
         let y = gen.fresh();
-        let a = AExpr::comprehension(
-            vec![x, y],
-            AExpr::pair(AExpr::var(x), AExpr::var(y)),
-        );
+        let a = AExpr::comprehension(vec![x, y], AExpr::pair(AExpr::var(x), AExpr::var(y)));
         let analysis = chain_tc_impossibility(&a).unwrap();
         assert_eq!(analysis.max_dimension, 2);
         assert_eq!(analysis.verdict, Verdict::TooManyPoints);
@@ -256,7 +259,10 @@ mod tests {
         let c = Condition::neq(SimpleExpr::var(x), SimpleExpr::n());
         let body = AExpr::Guarded(vec![
             (AExpr::pair(AExpr::var(x), AExpr::num(0)), c.clone()),
-            (AExpr::pair(AExpr::var(x), AExpr::Num(SimpleExpr::n())), c.not()),
+            (
+                AExpr::pair(AExpr::var(x), AExpr::Num(SimpleExpr::n())),
+                c.not(),
+            ),
         ]);
         let a = AExpr::comprehension(vec![x], body);
         let spaces = affine_decomposition(&a).unwrap();

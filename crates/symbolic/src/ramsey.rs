@@ -57,7 +57,10 @@ pub fn two_color_clique(
         let v = *vertices.first()?;
         return Some((vec![v], red_target == 1));
     }
-    let needed = binomial((red_target + blue_target - 2) as u64, (red_target - 1) as u64);
+    let needed = binomial(
+        (red_target + blue_target - 2) as u64,
+        (red_target - 1) as u64,
+    );
     if (vertices.len() as u128) < needed {
         // below the guarantee we still try, but may fail
     }
@@ -65,7 +68,10 @@ pub fn two_color_clique(
     let red_nbrs: Vec<usize> = rest.iter().copied().filter(|&u| color(pivot, u)).collect();
     let blue_nbrs: Vec<usize> = rest.iter().copied().filter(|&u| !color(pivot, u)).collect();
     // recurse on the side that is large enough first
-    let red_need = binomial((red_target - 1 + blue_target - 2) as u64, (red_target - 2) as u64);
+    let red_need = binomial(
+        (red_target - 1 + blue_target - 2) as u64,
+        (red_target - 2) as u64,
+    );
     if (red_nbrs.len() as u128) >= red_need {
         if let Some((mut clique, is_red)) =
             two_color_clique(&red_nbrs, red_target - 1, blue_target, color)

@@ -127,7 +127,11 @@ mod tests {
         let e = SimpleExpr::NMinus(2);
         assert_eq!(e.eval(10, &env(&[])), Some(8));
         assert_eq!(e.eval(1, &env(&[])), None, "n−2 undefined at n=1 as object");
-        assert_eq!(e.eval_int(1, &env(&[])), Some(-1), "…but has integer value −1");
+        assert_eq!(
+            e.eval_int(1, &env(&[])),
+            Some(-1),
+            "…but has integer value −1"
+        );
         let e = SimpleExpr::Var(VarId(0), -3);
         assert_eq!(e.eval(10, &env(&[(0, 5)])), Some(2));
         assert_eq!(e.eval(10, &env(&[(0, 1)])), None, "1−3 undefined");

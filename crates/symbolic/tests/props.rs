@@ -1,42 +1,46 @@
 //! Property-based tests for the §5 machinery: the for-large-n decision
 //! procedure, quantifier elimination and affine decompositions are checked
 //! against brute-force enumeration on randomly generated conditions, and
-//! the Lemma 5.1 evaluator against the concrete engine on random
-//! environments.
+//! solution witnesses against the conditions they claim to satisfy.
 
 use nra_symbolic::affine::AffineSpace;
 use nra_symbolic::condition::{solve_conjunct, Atom, Cmp, Condition, Conjunct};
 use nra_symbolic::{Env, SimpleExpr, VarId};
-use proptest::prelude::*;
+use nra_testkit::{check, Rng};
 use std::collections::BTreeSet;
 
 fn var(i: u32) -> VarId {
     VarId(i)
 }
 
-fn simple_expr() -> impl Strategy<Value = SimpleExpr> {
-    prop_oneof![
-        (0i64..5).prop_map(SimpleExpr::Const),
-        (0i64..3).prop_map(SimpleExpr::NMinus),
-        ((0u32..3), (-2i64..3)).prop_map(|(v, c)| SimpleExpr::Var(var(v), c)),
-    ]
+fn gen_simple_expr(rng: &mut Rng) -> SimpleExpr {
+    match rng.below(3) {
+        0 => SimpleExpr::Const(rng.range_i64(0, 5)),
+        1 => SimpleExpr::NMinus(rng.range_i64(0, 3)),
+        _ => SimpleExpr::Var(var(rng.below(3) as u32), rng.range_i64(-2, 3)),
+    }
 }
 
-fn atom() -> impl Strategy<Value = Atom> {
-    (simple_expr(), simple_expr(), proptest::bool::ANY).prop_map(|(lhs, rhs, eq)| Atom {
-        lhs,
-        rhs,
-        cmp: if eq { Cmp::Eq } else { Cmp::Neq },
-    })
+fn gen_atom(rng: &mut Rng) -> Atom {
+    Atom {
+        lhs: gen_simple_expr(rng),
+        rhs: gen_simple_expr(rng),
+        cmp: if rng.bool() { Cmp::Eq } else { Cmp::Neq },
+    }
 }
 
-fn conjunct(max_atoms: usize) -> impl Strategy<Value = Conjunct> {
-    proptest::collection::vec(atom(), 1..=max_atoms).prop_map(|atoms| Conjunct { atoms })
+fn gen_conjunct(rng: &mut Rng, max_atoms: usize) -> Conjunct {
+    let len = 1 + rng.usize_below(max_atoms);
+    Conjunct {
+        atoms: (0..len).map(|_| gen_atom(rng)).collect(),
+    }
 }
 
-fn condition() -> impl Strategy<Value = Condition> {
-    proptest::collection::vec(conjunct(3), 1..=2)
-        .prop_map(|conjuncts| Condition { conjuncts })
+fn gen_condition(rng: &mut Rng) -> Condition {
+    let len = 1 + rng.usize_below(2);
+    Condition {
+        conjuncts: (0..len).map(|_| gen_conjunct(rng, 3)).collect(),
+    }
 }
 
 /// Brute-force: does an assignment of `vars` into `[0,n]` satisfy `c`?
@@ -56,21 +60,28 @@ fn brute_sat(c: &Condition, vars: &[VarId], n: u64) -> bool {
     rec(c, vars, 0, n, &mut Env::new())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn satisfiability_for_large_n_matches_brute_force() {
+    check(
+        "satisfiability_for_large_n_matches_brute_force",
+        128,
+        |_, rng| {
+            let c = gen_condition(rng);
+            let vars: Vec<VarId> = c.vars().into_iter().collect();
+            let verdict = c.satisfiable_large_n();
+            // "for large n": check at two consecutive sizes well past the
+            // constants involved, to dodge single-n coincidences
+            let brute = brute_sat(&c, &vars, 25) && brute_sat(&c, &vars, 26);
+            assert_eq!(verdict, brute, "{}", c);
+        },
+    );
+}
 
-    #[test]
-    fn satisfiability_for_large_n_matches_brute_force(c in condition()) {
-        let vars: Vec<VarId> = c.vars().into_iter().collect();
-        let verdict = c.satisfiable_large_n();
-        // "for large n": check at two consecutive sizes well past the
-        // constants involved, to dodge single-n coincidences
-        let brute = brute_sat(&c, &vars, 25) && brute_sat(&c, &vars, 26);
-        prop_assert_eq!(verdict, brute, "{}", c);
-    }
-
-    #[test]
-    fn negation_complements_pointwise(c in condition(), n in 8u64..14) {
+#[test]
+fn negation_complements_pointwise() {
+    check("negation_complements_pointwise", 128, |_, rng| {
+        let c = gen_condition(rng);
+        let n = rng.range_u64(8, 14);
         let neg = c.not();
         let vars: Vec<VarId> = c.vars().union(&neg.vars()).copied().collect();
         // sample a handful of environments
@@ -78,22 +89,38 @@ proptest! {
             let env: Env = vars
                 .iter()
                 .enumerate()
-                .map(|(i, &v)| (v, (salt.wrapping_mul(7).wrapping_add(i as u64 * 3)) % (n + 1)))
+                .map(|(i, &v)| {
+                    (
+                        v,
+                        (salt.wrapping_mul(7).wrapping_add(i as u64 * 3)) % (n + 1),
+                    )
+                })
                 .collect();
-            prop_assert_eq!(
+            assert_eq!(
                 c.eval(n, &env).unwrap(),
                 !neg.eval(n, &env).unwrap(),
-                "env {:?}", env
+                "env {:?}",
+                env
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn and_or_are_pointwise(a in condition(), b in condition(), n in 8u64..12) {
+#[test]
+fn and_or_are_pointwise() {
+    check("and_or_are_pointwise", 128, |_, rng| {
+        let a = gen_condition(rng);
+        let b = gen_condition(rng);
+        let n = rng.range_u64(8, 12);
         let both = a.and(&b);
         let either = a.or(&b);
-        let vars: Vec<VarId> = both.vars().union(&either.vars()).copied()
-            .chain(a.vars()).chain(b.vars()).collect();
+        let vars: Vec<VarId> = both
+            .vars()
+            .union(&either.vars())
+            .copied()
+            .chain(a.vars())
+            .chain(b.vars())
+            .collect();
         for salt in 0..6u64 {
             let env: Env = vars
                 .iter()
@@ -102,113 +129,144 @@ proptest! {
                 .collect();
             let av = a.eval(n, &env).unwrap();
             let bv = b.eval(n, &env).unwrap();
-            prop_assert_eq!(both.eval(n, &env).unwrap(), av && bv);
-            prop_assert_eq!(either.eval(n, &env).unwrap(), av || bv);
+            assert_eq!(both.eval(n, &env).unwrap(), av && bv);
+            assert_eq!(either.eval(n, &env).unwrap(), av || bv);
         }
-    }
+    });
+}
 
-    #[test]
-    fn quantifier_elimination_matches_brute_exists(c in condition()) {
-        // eliminate x0; the residual is over the remaining variables
-        let elim = c.exists_elim(&[var(0)]);
-        let rest: Vec<VarId> = c
-            .vars()
-            .union(&elim.vars())
-            .copied()
-            .filter(|v| *v != var(0))
-            .collect();
-        let n = 24u64;
-        // sample environments for the remaining variables
-        for salt in 0..10u64 {
-            let env: Env = rest
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, (salt.wrapping_mul(11).wrapping_add(i as u64 * 7)) % (n + 1)))
+#[test]
+fn quantifier_elimination_matches_brute_exists() {
+    check(
+        "quantifier_elimination_matches_brute_exists",
+        128,
+        |_, rng| {
+            let c = gen_condition(rng);
+            // eliminate x0; the residual is over the remaining variables
+            let elim = c.exists_elim(&[var(0)]);
+            let rest: Vec<VarId> = c
+                .vars()
+                .union(&elim.vars())
+                .copied()
+                .filter(|v| *v != var(0))
                 .collect();
-            let mut brute = false;
-            let mut probe = env.clone();
-            for x in 0..=n {
-                probe.insert(var(0), x);
-                if c.eval(n, &probe).unwrap() {
-                    brute = true;
-                    break;
-                }
-            }
-            prop_assert_eq!(
-                elim.eval(n, &env).unwrap(),
-                brute,
-                "c = {}, elim = {}, env {:?}", c, elim, env
-            );
-        }
-    }
-
-    #[test]
-    fn affine_space_points_equal_conjunct_solutions(conj in conjunct(3)) {
-        let vars: Vec<VarId> = conj.vars().into_iter().collect();
-        if vars.is_empty() {
-            return Ok(());
-        }
-        let n = 11u64;
-        let space = AffineSpace::from_conjunct(&conj, &vars);
-        // brute-force the solutions
-        let mut expect: BTreeSet<Vec<i128>> = BTreeSet::new();
-        let k = vars.len();
-        let total = (n as usize + 1).pow(k as u32);
-        for idx in 0..total {
-            let mut env = Env::new();
-            let mut rem = idx;
-            for &v in &vars {
-                env.insert(v, (rem % (n as usize + 1)) as u64);
-                rem /= n as usize + 1;
-            }
-            if conj.eval(n, &env) == Some(true) {
-                expect.insert(vars.iter().map(|v| env[v] as i128).collect());
-            }
-        }
-        match space {
-            None => {
-                // unsat for large n: allow a small-n mismatch only if the
-                // solutions also vanish at n+1 … they might not (boundary
-                // effects) — so only require: solutions are not "growing".
-                let later = {
-                    let mut any = false;
-                    let n2 = n + 13;
-                    let total = (n2 as usize + 1).pow(k as u32).min(200_000);
-                    for idx in 0..total {
-                        let mut env = Env::new();
-                        let mut rem = idx;
-                        for &v in &vars {
-                            env.insert(v, (rem % (n2 as usize + 1)) as u64);
-                            rem /= n2 as usize + 1;
-                        }
-                        if conj.eval(n2, &env) == Some(true) {
-                            any = true;
-                            break;
-                        }
+            let n = 24u64;
+            // sample environments for the remaining variables
+            for salt in 0..10u64 {
+                let env: Env = rest
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        (
+                            v,
+                            (salt.wrapping_mul(11).wrapping_add(i as u64 * 7)) % (n + 1),
+                        )
+                    })
+                    .collect();
+                let mut brute = false;
+                let mut probe = env.clone();
+                for x in 0..=n {
+                    probe.insert(var(0), x);
+                    if c.eval(n, &probe).unwrap() {
+                        brute = true;
+                        break;
                     }
-                    any
-                };
-                prop_assert!(!later, "solver says unsat-for-large-n but {} has solutions at n=24", conj);
-            }
-            Some(space) => {
-                prop_assert_eq!(
-                    space.enumerate(n, &Env::new()),
-                    expect,
-                    "conjunct {}, space {}", conj, space
+                }
+                assert_eq!(
+                    elim.eval(n, &env).unwrap(),
+                    brute,
+                    "c = {}, elim = {}, env {:?}",
+                    c,
+                    elim,
+                    env
                 );
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn solution_witnesses_satisfy(conj in conjunct(4)) {
+#[test]
+fn affine_space_points_equal_conjunct_solutions() {
+    check(
+        "affine_space_points_equal_conjunct_solutions",
+        128,
+        |_, rng| {
+            let conj = gen_conjunct(rng, 3);
+            let vars: Vec<VarId> = conj.vars().into_iter().collect();
+            if vars.is_empty() {
+                return;
+            }
+            let n = 11u64;
+            let space = AffineSpace::from_conjunct(&conj, &vars);
+            // brute-force the solutions
+            let mut expect: BTreeSet<Vec<i128>> = BTreeSet::new();
+            let k = vars.len();
+            let total = (n as usize + 1).pow(k as u32);
+            for idx in 0..total {
+                let mut env = Env::new();
+                let mut rem = idx;
+                for &v in &vars {
+                    env.insert(v, (rem % (n as usize + 1)) as u64);
+                    rem /= n as usize + 1;
+                }
+                if conj.eval(n, &env) == Some(true) {
+                    expect.insert(vars.iter().map(|v| env[v] as i128).collect());
+                }
+            }
+            match space {
+                None => {
+                    // unsat for large n: allow a small-n mismatch only if the
+                    // solutions also vanish at n+13 … they might not (boundary
+                    // effects) — so only require: solutions are not "growing".
+                    let later = {
+                        let mut any = false;
+                        let n2 = n + 13;
+                        let total = (n2 as usize + 1).pow(k as u32).min(200_000);
+                        for idx in 0..total {
+                            let mut env = Env::new();
+                            let mut rem = idx;
+                            for &v in &vars {
+                                env.insert(v, (rem % (n2 as usize + 1)) as u64);
+                                rem /= n2 as usize + 1;
+                            }
+                            if conj.eval(n2, &env) == Some(true) {
+                                any = true;
+                                break;
+                            }
+                        }
+                        any
+                    };
+                    assert!(
+                        !later,
+                        "solver says unsat-for-large-n but {} has solutions at n=24",
+                        conj
+                    );
+                }
+                Some(space) => {
+                    assert_eq!(
+                        space.enumerate(n, &Env::new()),
+                        expect,
+                        "conjunct {}, space {}",
+                        conj,
+                        space
+                    );
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn solution_witnesses_satisfy() {
+    check("solution_witnesses_satisfy", 128, |_, rng| {
+        let conj = gen_conjunct(rng, 4);
         let vars: Vec<VarId> = conj.vars().into_iter().collect();
         if let Some(sol) = solve_conjunct(&conj, &vars) {
             // the witness must satisfy the conjunct at a large n
             let n = 30u64;
             if let Some(env) = sol.witness(n, &Env::new()) {
-                prop_assert_eq!(conj.eval(n, &env), Some(true), "{} with {:?}", conj, env);
+                assert_eq!(conj.eval(n, &env), Some(true), "{} with {:?}", conj, env);
             }
         }
-    }
+    });
 }

@@ -1,0 +1,161 @@
+//! # nra-testkit
+//!
+//! A self-contained property-testing kit used across the workspace's
+//! randomized test suites: a seeded deterministic RNG (SplitMix64), small
+//! collection generators, and a case runner that reports the failing seed
+//! so every failure is reproducible from its panic message alone.
+//!
+//! This is a deliberate offline stand-in for `proptest`: the build must
+//! not require any network-fetched dependency, and the properties under
+//! test here (agreement between evaluators, algebraic laws, brute-force
+//! cross-checks) need plain randomized case generation rather than
+//! shrinking.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+
+/// A tiny deterministic RNG (SplitMix64). The same algorithm as
+/// `nra_core::generate::Rng`, re-exposed here with a public sampling API
+/// so test crates that do not depend on `nra-core` can use it too.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded construction. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound` (`bound = 0` yields 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Uniform in the half-open range `lo..hi` (requires `lo < hi`).
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform in the half-open range `lo..hi` over signed integers.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    /// Uniform in `0..bound` as a `usize` (`bound = 0` yields 0).
+    pub fn usize_below(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A random set of naturals drawn from `0..elem_bound`, with up to
+    /// `max_len` insertion attempts (the result may be smaller after
+    /// deduplication — matching set semantics).
+    pub fn nat_set(&mut self, elem_bound: u64, max_len: usize) -> BTreeSet<u64> {
+        let len = self.usize_below(max_len + 1);
+        (0..len).map(|_| self.below(elem_bound)).collect()
+    }
+
+    /// A random binary relation over `0..node_bound` with up to
+    /// `max_edges` insertion attempts.
+    pub fn relation(&mut self, node_bound: u64, max_edges: usize) -> BTreeSet<(u64, u64)> {
+        let len = self.usize_below(max_edges + 1);
+        (0..len)
+            .map(|_| (self.below(node_bound), self.below(node_bound)))
+            .collect()
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.usize_below(items.len())]
+    }
+}
+
+/// Run `cases` independent property checks, each with a fresh seeded RNG.
+/// On panic, re-panics with the property name and seed prepended, so the
+/// failure reproduces with `Rng::new(seed)`.
+pub fn check<F: FnMut(u64, &mut Rng)>(name: &str, cases: u64, mut property: F) {
+    for seed in 0..cases {
+        let mut rng = Rng::new(seed);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(seed, &mut rng)));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property `{name}` failed at seed {seed}: {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut rng = Rng::new(1);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+            let x = rng.range_u64(5, 8);
+            assert!((5..8).contains(&x));
+            let y = rng.range_i64(-3, 4);
+            assert!((-3..4).contains(&y));
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn collections_fit_their_bounds() {
+        let mut rng = Rng::new(2);
+        for _ in 0..100 {
+            let s = rng.nat_set(12, 8);
+            assert!(s.len() <= 8);
+            assert!(s.iter().all(|&x| x < 12));
+            let r = rng.relation(6, 9);
+            assert!(r.len() <= 9);
+            assert!(r.iter().all(|&(a, b)| a < 6 && b < 6));
+        }
+    }
+
+    #[test]
+    fn check_reports_seed() {
+        let result = std::panic::catch_unwind(|| {
+            check("always_fails", 3, |seed, _rng| {
+                if seed == 2 {
+                    panic!("boom");
+                }
+            })
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("seed 2"), "{msg}");
+        assert!(msg.contains("always_fails"), "{msg}");
+    }
+}

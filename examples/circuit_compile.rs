@@ -35,7 +35,10 @@ fn main() {
             &edges,
             d,
         );
-        assert_eq!(circ_out2, circuit_out.iter().map(|t| (t[0], t[1])).collect());
+        assert_eq!(
+            circ_out2,
+            circuit_out.iter().map(|t| (t[0], t[1])).collect()
+        );
         println!(
             "{d:>3} | {:>8} | {:>6} | {:>10} | {:>9}",
             compiled.circuit.num_inputs,
@@ -51,11 +54,7 @@ fn main() {
     for (name, q) in [
         (
             "empty(σ₀₌₁ r)        ",
-            BoolQuery::IsEmpty(FlatQuery::SelectEq(
-                Box::new(FlatQuery::Input(0, 2)),
-                0,
-                1,
-            )),
+            BoolQuery::IsEmpty(FlatQuery::SelectEq(Box::new(FlatQuery::Input(0, 2)), 0, 1)),
         ),
         (
             "|r| ≥ 5              ",

@@ -31,14 +31,16 @@ fn main() {
     let mut ctx = SymCtx::for_expr(&chain);
     let step = queries::tc_step();
     let out = apply(&step, &chain, &mut ctx).expect("NRA evaluates symbolically");
-    println!("\n2. Lemma 5.1: (r ∪ r∘r)(A) ⇓ A' with {} block(s);", match &out {
-        AExpr::Set(blocks) => blocks.len(),
-        _ => 0,
-    });
+    println!(
+        "\n2. Lemma 5.1: (r ∪ r∘r)(A) ⇓ A' with {} block(s);",
+        match &out {
+            AExpr::Set(blocks) => blocks.len(),
+            _ => 0,
+        }
+    );
     for n in [4u64, 8] {
         let symbolic = out.eval(n, &Env::new()).unwrap();
-        let concrete =
-            powerset_tc::eval::eval(&step, &Value::chain(n)).unwrap();
+        let concrete = powerset_tc::eval::eval(&step, &Value::chain(n)).unwrap();
         println!(
             "   n={n}: [A']ρ = concrete evaluation? {}  ({} pairs)",
             symbolic == concrete,

@@ -57,8 +57,6 @@ fn main() {
         println!("{n:>3} | {paths:>16} | {naive:>22} | {whl:>12}");
     }
 
-    println!(
-        "\nTheorem 4.1: every NRA(powerset) query computing tc(rₙ) costs Ω(2^cn);"
-    );
+    println!("\nTheorem 4.1: every NRA(powerset) query computing tc(rₙ) costs Ω(2^cn);");
     println!("the while route (same expressive power) is polynomial — §1 of the paper.");
 }

@@ -19,6 +19,27 @@
 //! | [`graph`] (`nra-graph`) | input generators (chains, cycles, deterministic graphs) and classical polynomial TC baselines |
 //! | [`symbolic`] (`nra-symbolic`) | the §5 proof machinery: abstract expressions, the Lemma 5.1 evaluator, affine spaces, quantifier elimination, the Lemma 5.8 dichotomy, the Lemma 5.7 Ramsey bound, Corollary 5.3 |
 //! | [`circuits`] (`nra-circuits`) | Prop 4.3's `AC⁰`/`TC⁰` substrate: threshold circuits and a flat-algebra compiler |
+//! | `nra-bench` | measurement helpers (complexity series, slope fits) and the E1–E11 benchmark suite, on a self-contained harness |
+//! | `nra-testkit` | seeded RNG + property-check runner used by every randomized test suite |
+//!
+//! ## Building & testing
+//!
+//! The workspace has **no external dependencies** — a stock Rust
+//! toolchain builds it offline:
+//!
+//! ```text
+//! cargo build --release   # all seven crates + examples
+//! cargo test -q           # unit, property, differential and doc tests
+//! cargo bench             # E1–E11 timings (NRA_BENCH_SAMPLES=2 for a smoke run)
+//! cargo run --release --example quickstart   # and five more walkthroughs
+//! ```
+//!
+//! The differential harness (`tests/differential.rs`) is the heart of the
+//! suite: on randomized chains, cycles, DAGs and disconnected graphs it
+//! requires the powerset route, the while route, the streaming evaluator
+//! and the classical graph baselines to agree bit for bit, and certifies
+//! the paper's separation — `max_object_size ≥ 2ⁿ` for eager powerset TC
+//! on the chain `rₙ`, polynomial for the while route.
 //!
 //! ## Quick start
 //!

@@ -7,8 +7,8 @@ use powerset_tc::core::{builder, derived, output_type, queries, Type, Value};
 use powerset_tc::eval::{evaluate, EvalConfig, EvalError};
 use powerset_tc::graph::{graph_to_value, tc, DiGraph};
 use powerset_tc::symbolic::{
-    apply, chain_aexpr, chain_tc_impossibility, AExpr, Env, SetCardinality, SymCtx,
-    SymbolicError, VarGen,
+    apply, chain_aexpr, chain_tc_impossibility, AExpr, Env, SetCardinality, SymCtx, SymbolicError,
+    VarGen,
 };
 
 /// The theorem's pipeline, end to end: the symbolic dichotomy predicts the
@@ -181,9 +181,6 @@ fn public_queries_typecheck() {
         queries::siblings_powerset(),
         queries::siblings_direct(),
     ] {
-        assert_eq!(
-            output_type(&q, &Type::nat_rel()).unwrap(),
-            Type::nat_rel()
-        );
+        assert_eq!(output_type(&q, &Type::nat_rel()).unwrap(), Type::nat_rel());
     }
 }
