@@ -1,0 +1,50 @@
+//! Interned vs tree evaluation on the differential-suite graph families.
+//!
+//! The §3 measure observes `size(C)` at every rule application; the
+//! hash-consed arena (`nra_core::value::intern`) turns those observations,
+//! `clone`s and fixpoint equality tests into `O(1)` handle operations.
+//! This bench quantifies the win on the same workloads the differential
+//! harness (`tests/differential.rs`) verifies — transitive closure on
+//! chains and random DAGs via the `while` route, and the powerset route on
+//! small chains — and appends the results to `BENCH_eval.json` at the
+//! repository root so the perf trajectory accumulates across PRs.
+//!
+//! ```sh
+//! NRA_BENCH_SAMPLES=2 cargo bench -p nra-bench --bench interning
+//! ```
+
+use nra_bench::{
+    bench_samples, fmt_duration, standard_eval_comparisons, write_bench_eval_json, EvalComparison,
+};
+
+fn main() {
+    let samples = bench_samples();
+    // chain r_n and random-DAG families through the while route (object
+    // sizes Θ(n⁴) at the self-product), plus the powerset route on a
+    // small chain — see nra_bench::standard_eval_comparisons
+    let comparisons = standard_eval_comparisons(samples);
+
+    println!("interned vs tree eager evaluation ({samples} samples, median):");
+    println!(
+        "{:<20} {:>4} {:>12} {:>12} {:>9}",
+        "workload", "n", "tree", "interned", "speedup"
+    );
+    for c in &comparisons {
+        println!(
+            "{:<20} {:>4} {:>12} {:>12} {:>8.2}x",
+            c.workload,
+            c.n,
+            fmt_duration(c.tree),
+            fmt_duration(c.interned),
+            c.speedup()
+        );
+    }
+    let min = comparisons
+        .iter()
+        .map(EvalComparison::speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("minimum speedup across workloads: {min:.2}x");
+
+    let path = write_bench_eval_json(&comparisons, samples).expect("write BENCH_eval.json");
+    println!("wrote {}", path.display());
+}

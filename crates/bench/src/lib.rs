@@ -2,7 +2,10 @@
 //!
 //! Shared measurement helpers for the experiment suite (E1–E11 of
 //! DESIGN.md): complexity series over the chain inputs, slope fits for
-//! exponential/polynomial growth classification, and wall-clock timing.
+//! exponential/polynomial growth classification, wall-clock timing, and
+//! the interned-vs-tree evaluator comparison ([`compare_eval`]) whose
+//! results accumulate in `BENCH_eval.json` at the repository root
+//! ([`write_bench_eval_json`]).
 
 #![warn(missing_docs)]
 
@@ -10,7 +13,9 @@ pub mod tinybench;
 
 use nra_core::expr::Expr;
 use nra_core::value::Value;
-use nra_eval::{evaluate, EvalConfig, EvalError};
+use nra_eval::{evaluate, evaluate_tree, EvalConfig, EvalError};
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Outcome of measuring one evaluation at one input size.
@@ -98,6 +103,167 @@ pub fn loglog_slope(series: &[Measurement]) -> f64 {
     slope(&pts)
 }
 
+/// Number of timed samples per benchmark, honouring the
+/// `NRA_BENCH_SAMPLES` environment variable (default 10) — the same knob
+/// [`tinybench`] uses, so CI smoke runs stay cheap.
+pub fn bench_samples() -> usize {
+    tinybench::default_samples()
+}
+
+/// One timed comparison of the interned eager evaluator against the
+/// tree-walking baseline on the same query and input.
+#[derive(Debug, Clone)]
+pub struct EvalComparison {
+    /// Workload label, e.g. `"chain/tc_while"`.
+    pub workload: String,
+    /// Input scale (chain length, node count, …).
+    pub n: u64,
+    /// Median wall-clock of [`nra_eval::evaluate_tree`].
+    pub tree: Duration,
+    /// Median wall-clock of [`nra_eval::evaluate`] (the interned path).
+    pub interned: Duration,
+}
+
+impl EvalComparison {
+    /// How many times faster the interned path is (tree / interned).
+    pub fn speedup(&self) -> f64 {
+        self.tree.as_secs_f64() / self.interned.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Median of `samples` timed runs of `f`, after one warm-up run.
+pub fn median_time<R>(samples: usize, mut f: impl FnMut() -> R) -> Duration {
+    std::hint::black_box(f());
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Time the tree-walking and interned eager evaluators on one workload
+/// (asserting along the way that they produce the same result) and return
+/// the comparison.
+pub fn compare_eval(
+    workload: &str,
+    n: u64,
+    query: &Expr,
+    input: &Value,
+    samples: usize,
+) -> EvalComparison {
+    let cfg = EvalConfig::default();
+    let tree_out = evaluate_tree(query, input, &cfg).result.expect("tree eval");
+    let interned_out = evaluate(query, input, &cfg).result.expect("interned eval");
+    assert_eq!(tree_out, interned_out, "paths disagree on {workload} n={n}");
+    let tree = median_time(samples, || evaluate_tree(query, input, &cfg));
+    let interned = median_time(samples, || evaluate(query, input, &cfg));
+    EvalComparison {
+        workload: workload.to_string(),
+        n,
+        tree,
+        interned,
+    }
+}
+
+/// The canonical interned-vs-tree workload set feeding `BENCH_eval.json`
+/// — the chain and DAG families of the differential suite through the
+/// `while` route, plus the powerset route on a small chain. Shared by
+/// `benches/interning.rs` and the `report` binary so the two entry points
+/// can never drift apart.
+pub fn standard_eval_comparisons(samples: usize) -> Vec<EvalComparison> {
+    let mut comparisons = Vec::new();
+    for n in [8u64, 12] {
+        comparisons.push(compare_eval(
+            "chain/tc_while",
+            n,
+            &nra_core::queries::tc_while(),
+            &Value::chain(n),
+            samples,
+        ));
+    }
+    for (n, seed) in [(8u64, 1u64), (10, 2)] {
+        let g = nra_graph::DiGraph::random_dag(n, 1.0 / 3.0, seed);
+        comparisons.push(compare_eval(
+            "dag/tc_while",
+            n,
+            &nra_core::queries::tc_while(),
+            &nra_graph::graph_to_value(&g),
+            samples,
+        ));
+    }
+    comparisons.push(compare_eval(
+        "chain/tc_paths",
+        10,
+        &nra_core::queries::tc_paths(),
+        &Value::chain(10),
+        samples,
+    ));
+    comparisons
+}
+
+/// The repository root, resolved from this crate's manifest directory
+/// (`crates/bench` → two levels up).
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+/// Write `BENCH_eval.json` at the repository root from a set of
+/// interned-vs-tree comparisons, so the perf trajectory accumulates
+/// across PRs. `samples` must be the count the comparisons were actually
+/// timed with (it is recorded in the file). Returns the path written.
+pub fn write_bench_eval_json(
+    comparisons: &[EvalComparison],
+    samples: usize,
+) -> std::io::Result<PathBuf> {
+    write_bench_eval_json_to(repo_root().join("BENCH_eval.json"), comparisons, samples)
+}
+
+/// [`write_bench_eval_json`] with an explicit destination — so tests can
+/// exercise the format without clobbering the real repo-root artifact.
+pub fn write_bench_eval_json_to(
+    path: PathBuf,
+    comparisons: &[EvalComparison],
+    samples: usize,
+) -> std::io::Result<PathBuf> {
+    let mut out = String::from("{\n  \"bench\": \"eval\",\n");
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str("  \"unit\": \"ns\",\n  \"workloads\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"n\": {}, \"tree_ns\": {}, \"interned_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            c.workload,
+            c.n,
+            c.tree.as_nanos(),
+            c.interned.as_nanos(),
+            c.speedup(),
+            if i + 1 == comparisons.len() { "" } else { "," }
+        ));
+    }
+    let min = if comparisons.is_empty() {
+        0.0 // keep the JSON finite when there is nothing to report
+    } else {
+        comparisons
+            .iter()
+            .map(EvalComparison::speedup)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let geomean = (comparisons.iter().map(|c| c.speedup().ln()).sum::<f64>()
+        / comparisons.len().max(1) as f64)
+        .exp();
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"min_speedup\": {:.3},\n", min));
+    out.push_str(&format!("  \"geomean_speedup\": {:.3}\n}}\n", geomean));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(out.as_bytes())?;
+    Ok(path)
+}
+
 /// Format a duration compactly.
 pub fn fmt_duration(d: Duration) -> String {
     if d.as_secs() >= 1 {
@@ -149,5 +315,59 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_micros(5)), "5µs");
         assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0ms");
         assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+
+    #[test]
+    fn compare_eval_checks_agreement_and_times_both_paths() {
+        let c = compare_eval(
+            "chain/tc_while",
+            6,
+            &queries::tc_while(),
+            &Value::chain(6),
+            2,
+        );
+        assert_eq!(c.workload, "chain/tc_while");
+        assert!(c.tree > Duration::ZERO);
+        assert!(c.interned > Duration::ZERO);
+        assert!(c.speedup() > 0.0);
+    }
+
+    #[test]
+    fn bench_eval_json_is_written_and_well_formed() {
+        let comparisons = vec![
+            EvalComparison {
+                workload: "chain/tc_while".into(),
+                n: 8,
+                tree: Duration::from_micros(400),
+                interned: Duration::from_micros(100),
+            },
+            EvalComparison {
+                workload: "dag/tc_while".into(),
+                n: 8,
+                tree: Duration::from_micros(300),
+                interned: Duration::from_micros(150),
+            },
+        ];
+        // write to a scratch path — the repo-root BENCH_eval.json is a
+        // real measured artifact that `cargo test` must never clobber
+        let dest =
+            std::env::temp_dir().join(format!("BENCH_eval_test_{}.json", std::process::id()));
+        let path = write_bench_eval_json_to(dest.clone(), &comparisons, 2).expect("write json");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&dest).ok();
+        // shape checks a JSON parser would enforce
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"bench\": \"eval\""));
+        assert!(text.contains("\"workload\": \"chain/tc_while\""));
+        assert!(text.contains("\"samples\": 2"));
+        assert!(text.contains("\"speedup\": 4.000"));
+        assert!(text.contains("\"min_speedup\": 2.000"));
+        // balanced braces/brackets (no trailing-comma style breakage)
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "{text}"
+        );
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
     }
 }

@@ -20,8 +20,9 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 /// Default number of timed samples per benchmark, overridable via the
-/// `NRA_BENCH_SAMPLES` environment variable.
-fn default_samples() -> usize {
+/// `NRA_BENCH_SAMPLES` environment variable. The single source of truth
+/// for that knob — `nra_bench::bench_samples` delegates here.
+pub fn default_samples() -> usize {
     std::env::var("NRA_BENCH_SAMPLES")
         .ok()
         .and_then(|s| s.parse().ok())

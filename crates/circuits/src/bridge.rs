@@ -9,7 +9,7 @@
 
 use crate::relalg::{compile, CompiledQuery, FlatQuery};
 use nra_core::expr::Expr;
-use nra_core::value::Value;
+use nra_core::value::intern;
 use std::collections::BTreeSet;
 
 /// An edge set over `u64` node ids.
@@ -42,11 +42,14 @@ pub fn tc_step_bridge() -> BridgedQuery {
 /// Evaluate both sides on the same relation (nodes must be `< d`) and
 /// return `(nra_result, circuit_result)`.
 pub fn run_both(bridged: &BridgedQuery, edges: &EdgeSet, d: u64) -> (EdgeSet, EdgeSet) {
-    // NRA side
-    let input = Value::relation(edges.iter().copied());
-    let nra_out = nra_eval::eval(&bridged.nra, &input).expect("NRA evaluation");
-    let nra_edges: EdgeSet = nra_out
-        .to_edges()
+    // NRA side, on the interned hot path: the relation is hash-consed
+    // straight into the arena and the result decoded from its handle —
+    // no tree Value is ever materialised.
+    let input = intern::relation(edges.iter().copied());
+    let nra_out = nra_eval::evaluate_vid(&bridged.nra, input, &nra_eval::EvalConfig::default())
+        .result
+        .expect("NRA evaluation");
+    let nra_edges: EdgeSet = intern::to_edges(nra_out)
         .expect("relation out")
         .into_iter()
         .collect();

@@ -10,7 +10,9 @@
 //! This crate provides the static side of the system:
 //!
 //! * [`types`] — the type grammar `t ::= unit | B | N | t × t | {t}` (§2);
-//! * [`value`] — complex objects with the paper's §3 size measure;
+//! * [`value`] — complex objects with the paper's §3 size measure, plus
+//!   the hash-consed interning arena ([`value::intern`]) that gives the
+//!   evaluators O(1) `size`/`==`/`clone` on their hot paths;
 //! * [`expr`] — the combinator language (§2 primitives + extensions);
 //! * [`typecheck`] — codomain inference for `f : s → t`;
 //! * [`builder`] — notation-level constructors;
@@ -24,7 +26,7 @@
 //! Evaluation (and the complexity measure instrumentation) lives in the
 //! `nra-eval` crate; the §5 proof machinery in `nra-symbolic`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod builder;
 pub mod derived;
@@ -40,4 +42,5 @@ pub mod value;
 pub use expr::{Expr, ExprRef, LangLevel};
 pub use typecheck::{check, fn_type, output_type, TypeError};
 pub use types::{FnType, Type};
+pub use value::intern::{VId, ValueArena};
 pub use value::Value;

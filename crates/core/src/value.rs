@@ -14,6 +14,15 @@
 //! size((C1, C2))       = 1 + size(C1) + size(C2)
 //! size({C1, ..., Ck})  = 1 + size(C1) + ... + size(Ck)
 //! ```
+//!
+//! [`Value`] is the *tree* representation — convenient for construction,
+//! display and the parser, but `O(size)` for `clone`/`==`/`size`. The
+//! [`intern`] submodule provides the hash-consed arena representation
+//! ([`intern::VId`] handles with cached metadata) that the evaluators use
+//! on their hot paths; the two convert freely via [`intern::intern`] and
+//! [`intern::resolve`].
+
+pub mod intern;
 
 use crate::types::Type;
 use std::collections::BTreeSet;
@@ -86,13 +95,16 @@ impl Value {
         Value::relation((0..=n).flat_map(|x| (x + 1..=n).map(move |y| (x, y))))
     }
 
-    /// The paper's size measure (§3). Computed in one pass, never
-    /// overflows for objects that fit in memory.
+    /// The paper's size measure (§3). Computed in one pass, saturating at
+    /// [`u64::MAX`] (matching the cached size of [`intern::ValueArena`],
+    /// where structural sharing makes such sizes actually reachable).
     pub fn size(&self) -> u64 {
         match self {
             Value::Unit | Value::Bool(_) | Value::Nat(_) => 1,
-            Value::Pair(a, b) => 1 + a.size() + b.size(),
-            Value::Set(items) => 1 + items.iter().map(Value::size).sum::<u64>(),
+            Value::Pair(a, b) => 1u64.saturating_add(a.size()).saturating_add(b.size()),
+            Value::Set(items) => items
+                .iter()
+                .fold(1u64, |acc, item| acc.saturating_add(item.size())),
         }
     }
 

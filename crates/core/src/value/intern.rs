@@ -1,0 +1,761 @@
+//! Hash-consed interning of complex objects.
+//!
+//! The paper's whole argument is about *object size* — every §3 evaluation
+//! rule observes `size(C)` — but the tree representation ([`Value`]) pays
+//! `O(size)` for exactly the operations the theory treats as observations:
+//! `size`, `==`, `clone`, `hash`. This module fixes the cost model with a
+//! classic hash-consing arena:
+//!
+//! * every structurally distinct node is stored **once** in a
+//!   [`ValueArena`] and addressed by a small copyable handle ([`VId`]);
+//! * equal trees always receive equal handles, so `==` on interned values
+//!   is a `u32` comparison;
+//! * each node carries cached metadata — the paper's `size` (saturating at
+//!   [`u64::MAX`]), the nesting `depth`, and a structural `hash` — so all
+//!   three are `O(1)` lookups;
+//! * "cloning" an interned value is copying a handle.
+//!
+//! Set nodes are canonicalised by sorting their element handles: because
+//! equal elements share a handle, two set denotations that differ only in
+//! element order (or duplication) intern to the same node — the §3
+//! structural identities hold by construction, exactly as they do for the
+//! [`BTreeSet`]-backed [`Value`].
+//!
+//! The arena is thread-local by default: the free functions of this module
+//! ([`intern`], [`resolve`], [`pair`], [`set`], [`size`], …) all operate on
+//! the calling thread's arena, and [`VId`] is `!Send`/`!Sync` so handles
+//! cannot leave the thread that issued them. A [`ValueArena`] can also be
+//! owned directly when isolation is wanted (each arena then has its own
+//! handle space).
+//!
+//! Hash-consing trades reclamation for sharing: the arena grows
+//! monotonically and never frees individual nodes, so a long-running
+//! process interning unboundedly many *distinct* values retains them all
+//! (up to the 2³² handle-space limit). At quiescent points — when no
+//! handles are retained — [`reset_thread_arena`] (or
+//! [`ValueArena::clear`]) discards everything and starts fresh.
+//!
+//! # Examples
+//!
+//! Interning is canonical and metadata reads are `O(1)`:
+//!
+//! ```
+//! use nra_core::value::intern;
+//! use nra_core::Value;
+//!
+//! let a = intern::intern(&Value::chain(3));
+//! let b = intern::chain(3); // built handle-by-handle, never as a tree
+//! assert_eq!(a, b); // equal trees ⇒ equal handles
+//! assert_eq!(intern::size(a), Value::chain(3).size()); // cached, O(1)
+//! assert_eq!(intern::resolve(a), Value::chain(3)); // round-trips
+//! ```
+//!
+//! Structural sharing makes objects representable whose tree form could
+//! never fit in memory — their cached size saturates instead of
+//! overflowing:
+//!
+//! ```
+//! use nra_core::value::intern;
+//!
+//! // vₖ₊₁ = (vₖ, vₖ): size doubles per level, the arena stores one node per level
+//! let mut v = intern::nat(0);
+//! for _ in 0..70 {
+//!     v = intern::pair(v, v);
+//! }
+//! assert_eq!(intern::size(v), u64::MAX); // 2⁷¹ − 1 in the §3 measure, saturated
+//! assert_eq!(intern::depth(v), 70);
+//! ```
+
+use super::Value;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
+
+/// A fast non-cryptographic hasher (the FxHash recipe: rotate, xor,
+/// multiply) for the dedup map. Interning happens on the evaluator hot
+/// path, every constructed node pays one hash — DoS-resistant SipHash
+/// buys nothing here because keys are internal handles, not user input.
+#[derive(Default)]
+struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// A handle to an interned complex object in a [`ValueArena`].
+///
+/// Within one arena, two handles are equal **iff** the objects they denote
+/// are structurally equal, so `==`, `hash` and `clone` are all `O(1)`.
+/// The derived `Ord` is the arena's insertion order — a valid canonical
+/// order for deduplication, but *not* the [`Value`] ordering.
+///
+/// Handles are only meaningful in the arena that issued them — for the
+/// free functions of this module, the calling thread's arena — so `VId`
+/// is deliberately `!Send`/`!Sync` (via a phantom [`Rc`] marker): moving
+/// a handle to another thread, where it would silently denote a different
+/// object or panic, is a compile error rather than a runtime surprise.
+///
+/// ```
+/// use nra_core::value::intern;
+///
+/// let e = intern::edge(1, 2);
+/// assert_eq!(e, intern::edge(1, 2)); // O(1) equality
+/// assert_eq!(intern::size(e), 3); // O(1) size: 1 + size(1) + size(2)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VId(u32, std::marker::PhantomData<Rc<()>>);
+
+impl VId {
+    fn new(raw: u32) -> Self {
+        VId(raw, std::marker::PhantomData)
+    }
+
+    /// The raw arena index of this handle (stable for the arena's
+    /// lifetime; mainly useful for debugging and dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned node. Children are handles, so structural equality of
+/// nodes (the dedup-map key) is `O(arity)`, never `O(size)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Node {
+    Unit,
+    Bool(bool),
+    Nat(u64),
+    Pair(VId, VId),
+    /// Element handles, sorted ascending and deduplicated — the canonical
+    /// representation of a set denotation.
+    Set(Rc<[VId]>),
+}
+
+/// Cached per-node metadata, computed once at interning time.
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    /// The paper's §3 size measure, saturating at `u64::MAX`.
+    size: u64,
+    /// Structural nesting depth (atoms are 0), saturating.
+    depth: u32,
+    /// A structural hash: equal across arenas for equal objects.
+    hash: u64,
+}
+
+/// SplitMix64 finaliser — the mixing step behind the structural hashes.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A hash-consing arena for complex objects.
+///
+/// Most callers use the thread-local arena through this module's free
+/// functions; owning a `ValueArena` directly gives an isolated handle
+/// space (handles from different arenas must never be mixed).
+///
+/// ```
+/// use nra_core::value::intern::ValueArena;
+/// use nra_core::Value;
+///
+/// let mut arena = ValueArena::new();
+/// let one = arena.intern(&Value::nat(1));
+/// let two = arena.intern(&Value::nat(2));
+/// let s = arena.set([one, two, one]); // duplicates collapse
+/// assert_eq!(arena.cardinality(s), Some(2));
+/// assert_eq!(arena.size(s), 3); // 1 + size(1) + size(2), cached
+/// assert_eq!(arena.resolve(s), Value::set([Value::nat(1), Value::nat(2)]));
+/// ```
+#[derive(Debug, Default)]
+pub struct ValueArena {
+    nodes: Vec<Node>,
+    metas: Vec<Meta>,
+    dedup: HashMap<Node, VId, BuildHasherDefault<FxHasher>>,
+}
+
+/// Aggregate statistics of an arena — see [`ValueArena::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Number of distinct interned nodes.
+    pub nodes: usize,
+    /// Sum over set nodes of their element counts (total fan-out held by
+    /// the arena — a proxy for its memory footprint).
+    pub set_children: usize,
+}
+
+impl ValueArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        ValueArena::default()
+    }
+
+    /// Number of distinct nodes interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena holds no nodes yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Discard every interned node, returning the arena to its empty
+    /// state (capacity is kept).
+    ///
+    /// **All previously issued [`VId`]s become invalid**: using one
+    /// afterwards panics (index out of range) or, once new values are
+    /// interned, silently denotes a different object. Call only from
+    /// quiescent points where no handles are retained — e.g. between
+    /// batches in a long-running process, to stop the arena's otherwise
+    /// monotone growth.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.metas.clear();
+        self.dedup.clear();
+    }
+
+    /// Aggregate statistics (node count, total set fan-out).
+    pub fn stats(&self) -> ArenaStats {
+        let set_children = self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                Node::Set(items) => items.len(),
+                _ => 0,
+            })
+            .sum();
+        ArenaStats {
+            nodes: self.nodes.len(),
+            set_children,
+        }
+    }
+
+    fn meta_for(&self, node: &Node) -> Meta {
+        match node {
+            Node::Unit => Meta {
+                size: 1,
+                depth: 0,
+                hash: mix(0x75),
+            },
+            Node::Bool(b) => Meta {
+                size: 1,
+                depth: 0,
+                hash: mix(0xB0 ^ (*b as u64)),
+            },
+            Node::Nat(n) => Meta {
+                size: 1,
+                depth: 0,
+                hash: mix(0x4E ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            },
+            Node::Pair(a, b) => {
+                let (ma, mb) = (self.meta(*a), self.meta(*b));
+                Meta {
+                    size: 1u64.saturating_add(ma.size).saturating_add(mb.size),
+                    depth: 1u32.saturating_add(ma.depth.max(mb.depth)),
+                    hash: mix(0x50u64 ^ ma.hash ^ mix(mb.hash)),
+                }
+            }
+            Node::Set(items) => {
+                let mut size: u64 = 1;
+                let mut depth: u32 = 0;
+                // the canonical element order is handle order, which is
+                // arena-*dependent* — combine element hashes commutatively
+                // so the structural hash stays arena-independent
+                let mut hash: u64 = 0;
+                for &item in items.iter() {
+                    let m = self.meta(item);
+                    size = size.saturating_add(m.size);
+                    depth = depth.max(m.depth);
+                    hash = hash.wrapping_add(mix(m.hash));
+                }
+                Meta {
+                    size,
+                    depth: 1u32.saturating_add(depth),
+                    hash: mix(0x5Eu64 ^ hash ^ ((items.len() as u64) << 32)),
+                }
+            }
+        }
+    }
+
+    fn meta(&self, v: VId) -> Meta {
+        self.metas[v.index()]
+    }
+
+    fn add(&mut self, node: Node) -> VId {
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let meta = self.meta_for(&node);
+        let id =
+            VId::new(u32::try_from(self.nodes.len()).expect("ValueArena: more than 2³² nodes"));
+        self.dedup.insert(node.clone(), id);
+        self.nodes.push(node);
+        self.metas.push(meta);
+        id
+    }
+
+    /// Intern `()`.
+    pub fn unit(&mut self) -> VId {
+        self.add(Node::Unit)
+    }
+
+    /// Intern a boolean.
+    pub fn bool_(&mut self, b: bool) -> VId {
+        self.add(Node::Bool(b))
+    }
+
+    /// Intern a natural number.
+    pub fn nat(&mut self, n: u64) -> VId {
+        self.add(Node::Nat(n))
+    }
+
+    /// Intern the pair `(a, b)` of two interned values.
+    pub fn pair(&mut self, a: VId, b: VId) -> VId {
+        self.add(Node::Pair(a, b))
+    }
+
+    /// Intern the edge `(a, b)` of two naturals.
+    pub fn edge(&mut self, a: u64, b: u64) -> VId {
+        let a = self.nat(a);
+        let b = self.nat(b);
+        self.pair(a, b)
+    }
+
+    /// Intern a set from element handles, deduplicating and
+    /// canonicalising order.
+    pub fn set<I: IntoIterator<Item = VId>>(&mut self, items: I) -> VId {
+        let items: Vec<VId> = items.into_iter().collect();
+        self.set_from_vec(items)
+    }
+
+    /// Intern a set from an owned element vector (sorted and deduplicated
+    /// in place — the cheapest entry point for hot loops).
+    pub fn set_from_vec(&mut self, mut items: Vec<VId>) -> VId {
+        items.sort_unstable();
+        items.dedup();
+        self.add(Node::Set(items.into()))
+    }
+
+    /// Intern the empty set.
+    pub fn empty_set(&mut self) -> VId {
+        self.add(Node::Set(Rc::from([])))
+    }
+
+    /// Intern a binary relation `{(a, b), …}`.
+    pub fn relation<I: IntoIterator<Item = (u64, u64)>>(&mut self, edges: I) -> VId {
+        let items: Vec<VId> = edges.into_iter().map(|(a, b)| self.edge(a, b)).collect();
+        self.set_from_vec(items)
+    }
+
+    /// Intern the paper's chain `rₙ` (§4) — see [`Value::chain`].
+    pub fn chain(&mut self, n: u64) -> VId {
+        self.relation((0..n).map(|i| (i, i + 1)))
+    }
+
+    /// Intern `tc(rₙ)` — see [`Value::chain_tc`].
+    pub fn chain_tc(&mut self, n: u64) -> VId {
+        self.relation((0..=n).flat_map(|x| (x + 1..=n).map(move |y| (x, y))))
+    }
+
+    /// Intern a tree-represented [`Value`], sharing every subterm.
+    pub fn intern(&mut self, v: &Value) -> VId {
+        match v {
+            Value::Unit => self.unit(),
+            Value::Bool(b) => self.bool_(*b),
+            Value::Nat(n) => self.nat(*n),
+            Value::Pair(a, b) => {
+                let a = self.intern(a);
+                let b = self.intern(b);
+                self.pair(a, b)
+            }
+            Value::Set(items) => {
+                let items: Vec<VId> = items.iter().map(|item| self.intern(item)).collect();
+                self.set_from_vec(items)
+            }
+        }
+    }
+
+    /// Materialise the tree form of an interned value. `O(size)` — the
+    /// conversion layer back to the [`Value`] API.
+    pub fn resolve(&self, v: VId) -> Value {
+        match &self.nodes[v.index()] {
+            Node::Unit => Value::Unit,
+            Node::Bool(b) => Value::Bool(*b),
+            Node::Nat(n) => Value::Nat(*n),
+            Node::Pair(a, b) => Value::pair(self.resolve(*a), self.resolve(*b)),
+            Node::Set(items) => {
+                let set: BTreeSet<Value> = items.iter().map(|&item| self.resolve(item)).collect();
+                Value::Set(set)
+            }
+        }
+    }
+
+    /// The paper's §3 size measure, cached — `O(1)`, saturating at
+    /// `u64::MAX`.
+    pub fn size(&self, v: VId) -> u64 {
+        self.meta(v).size
+    }
+
+    /// Structural nesting depth (atoms are 0), cached — `O(1)`.
+    pub fn depth(&self, v: VId) -> u32 {
+        self.meta(v).depth
+    }
+
+    /// A precomputed structural hash — `O(1)`, equal across arenas for
+    /// structurally equal objects. (Within one arena the handle itself is
+    /// already a perfect identity.)
+    pub fn structural_hash(&self, v: VId) -> u64 {
+        self.meta(v).hash
+    }
+
+    /// Number of elements if `v` is a set — `O(1)`.
+    pub fn cardinality(&self, v: VId) -> Option<usize> {
+        match &self.nodes[v.index()] {
+            Node::Set(items) => Some(items.len()),
+            _ => None,
+        }
+    }
+
+    /// The component handles if `v` is a pair.
+    pub fn as_pair(&self, v: VId) -> Option<(VId, VId)> {
+        match &self.nodes[v.index()] {
+            Node::Pair(a, b) => Some((*a, *b)),
+            _ => None,
+        }
+    }
+
+    /// The canonically ordered element handles if `v` is a set. The `Rc`
+    /// clone is `O(1)`, so callers can iterate without borrowing the
+    /// arena.
+    pub fn as_set(&self, v: VId) -> Option<Rc<[VId]>> {
+        match &self.nodes[v.index()] {
+            Node::Set(items) => Some(Rc::clone(items)),
+            _ => None,
+        }
+    }
+
+    /// The natural number if `v` is one.
+    pub fn as_nat(&self, v: VId) -> Option<u64> {
+        match &self.nodes[v.index()] {
+            Node::Nat(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean if `v` is one.
+    pub fn as_bool(&self, v: VId) -> Option<bool> {
+        match &self.nodes[v.index()] {
+            Node::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Decode a value of type `{N × N}` into a sorted edge list.
+    pub fn to_edges(&self, v: VId) -> Option<Vec<(u64, u64)>> {
+        let items = self.as_set(v)?;
+        let mut out = Vec::with_capacity(items.len());
+        for &item in items.iter() {
+            let (a, b) = self.as_pair(item)?;
+            out.push((self.as_nat(a)?, self.as_nat(b)?));
+        }
+        out.sort_unstable();
+        Some(out)
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<ValueArena> = RefCell::new(ValueArena::new());
+}
+
+/// Run `f` with exclusive access to the calling thread's arena.
+///
+/// The free functions of this module each take this borrow for the
+/// duration of one operation; do not call them (or [`Value`] conversions
+/// that do) from inside `f`, or the `RefCell` borrow will panic.
+pub fn with_arena<R>(f: impl FnOnce(&mut ValueArena) -> R) -> R {
+    ARENA.with(|a| f(&mut a.borrow_mut()))
+}
+
+/// Intern a tree-represented [`Value`] into the thread-local arena.
+pub fn intern(v: &Value) -> VId {
+    with_arena(|a| a.intern(v))
+}
+
+/// Materialise the tree form of a thread-locally interned value.
+pub fn resolve(v: VId) -> Value {
+    with_arena(|a| a.resolve(v))
+}
+
+/// Intern `()`.
+pub fn unit() -> VId {
+    with_arena(|a| a.unit())
+}
+
+/// Intern a boolean.
+pub fn bool_(b: bool) -> VId {
+    with_arena(|a| a.bool_(b))
+}
+
+/// Intern a natural number.
+pub fn nat(n: u64) -> VId {
+    with_arena(|a| a.nat(n))
+}
+
+/// Intern the pair `(a, b)`.
+pub fn pair(a: VId, b: VId) -> VId {
+    with_arena(|ar| ar.pair(a, b))
+}
+
+/// Intern the edge `(a, b)` of two naturals.
+pub fn edge(a: u64, b: u64) -> VId {
+    with_arena(|ar| ar.edge(a, b))
+}
+
+/// Intern a set from element handles (the iterator is drained *before*
+/// the arena is borrowed, so it may itself intern values).
+pub fn set<I: IntoIterator<Item = VId>>(items: I) -> VId {
+    let items: Vec<VId> = items.into_iter().collect();
+    with_arena(|a| a.set_from_vec(items))
+}
+
+/// Intern the empty set.
+pub fn empty_set() -> VId {
+    with_arena(|a| a.empty_set())
+}
+
+/// Intern a binary relation `{(a, b), …}`.
+pub fn relation<I: IntoIterator<Item = (u64, u64)>>(edges: I) -> VId {
+    let edges: Vec<(u64, u64)> = edges.into_iter().collect();
+    with_arena(|a| a.relation(edges))
+}
+
+/// Intern the paper's chain `rₙ` (§4).
+pub fn chain(n: u64) -> VId {
+    with_arena(|a| a.chain(n))
+}
+
+/// Intern `tc(rₙ)` (§4).
+pub fn chain_tc(n: u64) -> VId {
+    with_arena(|a| a.chain_tc(n))
+}
+
+/// The §3 size measure, cached — `O(1)`, saturating.
+pub fn size(v: VId) -> u64 {
+    with_arena(|a| a.size(v))
+}
+
+/// Structural nesting depth, cached — `O(1)`.
+pub fn depth(v: VId) -> u32 {
+    with_arena(|a| a.depth(v))
+}
+
+/// Precomputed structural hash — `O(1)`.
+pub fn structural_hash(v: VId) -> u64 {
+    with_arena(|a| a.structural_hash(v))
+}
+
+/// Number of elements if `v` is a set — `O(1)`.
+pub fn cardinality(v: VId) -> Option<usize> {
+    with_arena(|a| a.cardinality(v))
+}
+
+/// The component handles if `v` is a pair.
+pub fn as_pair(v: VId) -> Option<(VId, VId)> {
+    with_arena(|a| a.as_pair(v))
+}
+
+/// The canonically ordered element handles if `v` is a set.
+pub fn as_set(v: VId) -> Option<Rc<[VId]>> {
+    with_arena(|a| a.as_set(v))
+}
+
+/// The natural number if `v` is one.
+pub fn as_nat(v: VId) -> Option<u64> {
+    with_arena(|a| a.as_nat(v))
+}
+
+/// The boolean if `v` is one.
+pub fn as_bool(v: VId) -> Option<bool> {
+    with_arena(|a| a.as_bool(v))
+}
+
+/// Decode a value of type `{N × N}` into a sorted edge list.
+pub fn to_edges(v: VId) -> Option<Vec<(u64, u64)>> {
+    with_arena(|a| a.to_edges(v))
+}
+
+/// Statistics of the thread-local arena.
+pub fn arena_stats() -> ArenaStats {
+    with_arena(|a| a.stats())
+}
+
+/// Discard every node of the calling thread's arena — see
+/// [`ValueArena::clear`] for the (sharp) invalidation contract. Intended
+/// for quiescent points in long-running processes; all `VId`s previously
+/// issued on this thread become invalid.
+pub fn reset_thread_arena() {
+    with_arena(|a| a.clear())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_canonical() {
+        let mut a = ValueArena::new();
+        let v1 = a.intern(&Value::chain(3));
+        let v2 = a.chain(3);
+        assert_eq!(v1, v2);
+        // sets dedup and canonicalise order
+        let x = a.nat(1);
+        let y = a.nat(2);
+        let s1 = a.set([x, y, x]);
+        let s2 = a.set([y, x]);
+        assert_eq!(s1, s2);
+        assert_eq!(a.cardinality(s1), Some(2));
+    }
+
+    #[test]
+    fn metadata_matches_the_tree_measures() {
+        let mut a = ValueArena::new();
+        for v in [
+            Value::Unit,
+            Value::TRUE,
+            Value::nat(7),
+            Value::edge(1, 2),
+            Value::chain(4),
+            Value::set([Value::chain(2), Value::empty_set()]),
+            Value::pair(Value::chain(1), Value::set([Value::Unit])),
+        ] {
+            let id = a.intern(&v);
+            assert_eq!(a.size(id), v.size(), "size of {v}");
+            assert_eq!(a.depth(id) as usize, v.depth(), "depth of {v}");
+            assert_eq!(a.resolve(id), v, "round-trip of {v}");
+        }
+    }
+
+    #[test]
+    fn size_saturates_instead_of_overflowing() {
+        let mut a = ValueArena::new();
+        let mut v = a.nat(0);
+        for _ in 0..70 {
+            v = a.pair(v, v);
+        }
+        // the true size is 2⁷¹ − 1 > u64::MAX
+        assert_eq!(a.size(v), u64::MAX);
+        assert_eq!(a.depth(v), 70);
+        // the arena holds only 71 nodes for it
+        assert!(a.len() <= 72);
+    }
+
+    #[test]
+    fn structural_hash_is_arena_independent() {
+        let mut a = ValueArena::new();
+        let mut b = ValueArena::new();
+        // skew b's handle space so indices differ
+        b.chain(5);
+        let v = Value::set([Value::chain(2), Value::edge(9, 9)]);
+        let ia = a.intern(&v);
+        let ib = b.intern(&v);
+        let ha = a.structural_hash(ia);
+        let hb = b.structural_hash(ib);
+        assert_eq!(ha, hb);
+        let ic = a.intern(&Value::chain(2));
+        let hc = a.structural_hash(ic);
+        assert_ne!(ha, hc, "different objects should (very likely) differ");
+    }
+
+    #[test]
+    fn accessors() {
+        let mut a = ValueArena::new();
+        let e = a.edge(3, 4);
+        let (x, y) = a.as_pair(e).unwrap();
+        assert_eq!(a.as_nat(x), Some(3));
+        assert_eq!(a.as_nat(y), Some(4));
+        assert_eq!(a.as_set(e), None);
+        let t = a.bool_(true);
+        assert_eq!(a.as_bool(t), Some(true));
+        let r = a.relation([(2, 3), (0, 1)]);
+        assert_eq!(a.to_edges(r), Some(vec![(0, 1), (2, 3)]));
+        assert_eq!(a.as_set(r).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_the_arena() {
+        let mut a = ValueArena::new();
+        a.chain(3);
+        assert!(!a.is_empty());
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.stats().nodes, 0);
+        // the arena is fully usable afterwards
+        let w = a.chain(3);
+        assert_eq!(a.resolve(w), Value::chain(3));
+    }
+
+    #[test]
+    fn thread_local_facade_round_trips() {
+        let v = Value::set([Value::edge(0, 1), Value::Unit]);
+        let id = intern(&v);
+        assert_eq!(resolve(id), v);
+        assert_eq!(size(id), v.size());
+        assert_eq!(intern(&v), id, "re-interning hits the same node");
+        let stats = arena_stats();
+        assert!(stats.nodes >= 5);
+    }
+
+    #[test]
+    fn empty_set_and_relations() {
+        let mut a = ValueArena::new();
+        let e = a.empty_set();
+        assert_eq!(a.size(e), 1);
+        assert_eq!(a.cardinality(e), Some(0));
+        assert_eq!(a.resolve(e), Value::empty_set());
+        let tc = a.chain_tc(3);
+        assert_eq!(a.resolve(tc), Value::chain_tc(3));
+        assert_eq!(a.to_edges(tc).unwrap().len(), 6);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the hash-consing arena (`nra_core::value::intern`):
+//! on randomized complex objects of every shape, interning must
+//! round-trip, equal trees must receive equal handles (and only equal
+//! trees), and the cached metadata must match the recursive paper
+//! measures.
+
+use nra_core::value::intern::{self, ValueArena};
+use nra_core::Value;
+use nra_testkit::{check, Rng};
+
+/// A random complex object with bounded depth and fan-out, covering all
+/// five constructors.
+fn random_value(rng: &mut Rng, depth: u32) -> Value {
+    let kind = if depth == 0 {
+        rng.below(3)
+    } else {
+        rng.below(5)
+    };
+    match kind {
+        0 => Value::nat(rng.below(6)),
+        1 => Value::Bool(rng.bool()),
+        2 => Value::Unit,
+        3 => Value::pair(random_value(rng, depth - 1), random_value(rng, depth - 1)),
+        _ => {
+            let len = rng.usize_below(4);
+            Value::set((0..len).map(|_| random_value(rng, depth - 1)))
+        }
+    }
+}
+
+#[test]
+fn intern_round_trips() {
+    check("intern_round_trips", 200, |_, rng| {
+        let v = random_value(rng, 4);
+        let id = intern::intern(&v);
+        assert_eq!(intern::resolve(id), v, "resolve ∘ intern = id on {v}");
+    });
+}
+
+#[test]
+fn equal_trees_get_equal_handles() {
+    check("equal_trees_get_equal_handles", 200, |_, rng| {
+        let v = random_value(rng, 4);
+        // a structurally equal clone interns to the same handle
+        assert_eq!(intern::intern(&v), intern::intern(&v.clone()), "{v}");
+        // and inserting set elements in a different order changes nothing:
+        // rebuild every set from a reversed element iteration
+        fn rebuild_reversed(v: &Value) -> Value {
+            match v {
+                Value::Pair(a, b) => Value::pair(rebuild_reversed(a), rebuild_reversed(b)),
+                Value::Set(items) => Value::set(items.iter().rev().map(rebuild_reversed)),
+                other => other.clone(),
+            }
+        }
+        assert_eq!(intern::intern(&v), intern::intern(&rebuild_reversed(&v)));
+    });
+}
+
+#[test]
+fn distinct_trees_get_distinct_handles() {
+    check("distinct_trees_get_distinct_handles", 100, |_, rng| {
+        let a = random_value(rng, 3);
+        let b = random_value(rng, 3);
+        assert_eq!(
+            a == b,
+            intern::intern(&a) == intern::intern(&b),
+            "{a} vs {b}"
+        );
+    });
+}
+
+#[test]
+fn cached_size_matches_the_recursive_paper_measure() {
+    check("cached_size_matches_recursive_measure", 200, |_, rng| {
+        let v = random_value(rng, 4);
+        let id = intern::intern(&v);
+        // the §3 measure, recomputed recursively on the tree
+        fn paper_size(v: &Value) -> u64 {
+            match v {
+                Value::Unit | Value::Bool(_) | Value::Nat(_) => 1,
+                Value::Pair(a, b) => 1 + paper_size(a) + paper_size(b),
+                Value::Set(items) => 1 + items.iter().map(paper_size).sum::<u64>(),
+            }
+        }
+        assert_eq!(intern::size(id), paper_size(&v), "size of {v}");
+        assert_eq!(intern::depth(id) as usize, v.depth(), "depth of {v}");
+        assert_eq!(
+            intern::cardinality(id),
+            v.cardinality(),
+            "cardinality of {v}"
+        );
+    });
+}
+
+#[test]
+fn structural_hash_is_stable_across_arenas() {
+    check(
+        "structural_hash_is_stable_across_arenas",
+        100,
+        |seed, rng| {
+            let v = random_value(rng, 3);
+            // a fresh arena whose handle space is skewed by unrelated noise
+            let mut other = ValueArena::new();
+            other.chain(seed % 7);
+            let id = intern::intern(&v);
+            let oid = other.intern(&v);
+            assert_eq!(
+                intern::structural_hash(id),
+                other.structural_hash(oid),
+                "{v}"
+            );
+        },
+    );
+}
+
+#[test]
+fn set_construction_from_handles_matches_tree_sets() {
+    check("set_construction_from_handles", 200, |_, rng| {
+        let len = rng.usize_below(6);
+        let elems: Vec<Value> = (0..len).map(|_| random_value(rng, 2)).collect();
+        // build the set both ways: as a tree, and handle-by-handle with
+        // duplicates appended
+        let tree = Value::set(elems.iter().cloned());
+        let mut handles: Vec<_> = elems.iter().map(intern::intern).collect();
+        let dupes = handles.to_vec();
+        handles.extend(dupes);
+        let built = intern::set(handles);
+        assert_eq!(built, intern::intern(&tree));
+        assert_eq!(intern::resolve(built), tree);
+    });
+}

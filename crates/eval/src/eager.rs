@@ -7,14 +7,28 @@
 //! measure ([`crate::stats::EvalStats`]) and the space budget
 //! ([`crate::error::EvalConfig`]).
 //!
+//! Since the §3 measure observes `size(C)` at **every** rule application,
+//! the default evaluation path runs on the hash-consed arena of
+//! [`nra_core::value::intern`]: objects are [`VId`] handles whose size is
+//! cached metadata, so each observation is `O(1)` instead of a full
+//! traversal, `clone` is a handle copy, and the `while` fixpoint test is a
+//! `u32` comparison. [`evaluate`] interns its input, runs interned, and
+//! resolves the result — the [`Value`] API is a conversion layer.
+//! [`evaluate_vid`] exposes the interned path end-to-end for callers that
+//! already hold handles; [`evaluate_tree`] keeps the original
+//! tree-walking implementation as a differential baseline (same rules,
+//! same statistics, `O(size)` bookkeeping).
+//!
 //! `powerset` is special-cased: its output size is computed
 //! **combinatorially before materialisation** (`1 + 2^k + 2^{k-1}·Σᵢ
-//! size(eᵢ)` for a k-element input), so a budgeted evaluation can report
-//! the exact space requirement of runs that would never fit in memory.
+//! size(eᵢ)` for a k-element input, saturating), so a budgeted evaluation
+//! can report the exact space requirement of runs that would never fit in
+//! memory.
 
 use crate::error::{EvalConfig, EvalError};
 use crate::stats::EvalStats;
 use nra_core::expr::Expr;
+use nra_core::value::intern::{self, VId};
 use nra_core::value::Value;
 use std::collections::BTreeSet;
 
@@ -37,6 +51,23 @@ impl Evaluation {
     }
 }
 
+/// The outcome of an evaluation on the interned path: a [`VId`] handle
+/// into the thread-local arena (or a budget error) plus §3 statistics.
+#[derive(Debug, Clone)]
+pub struct VidEvaluation {
+    /// The handle of the result `C'` with `f(C) ⇓ C'`, or the error.
+    pub result: Result<VId, EvalError>,
+    /// §3 statistics of the (possibly partial) derivation tree.
+    pub stats: EvalStats,
+}
+
+impl VidEvaluation {
+    /// The paper's complexity of this evaluation.
+    pub fn complexity(&self) -> u64 {
+        self.stats.max_object_size
+    }
+}
+
 pub(crate) struct Ctx<'a> {
     pub(crate) config: &'a EvalConfig,
     pub(crate) stats: EvalStats,
@@ -50,9 +81,28 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// Observe a tree-represented object — `O(size)` traversal.
     pub(crate) fn observe(&mut self, value: &Value) -> Result<(), EvalError> {
         let size = value.size();
         self.stats.observe_object(size, value.cardinality());
+        self.check_size(size)
+    }
+
+    /// Observe an interned object — the size and cardinality are cached
+    /// arena metadata, so the observation is `O(1)`.
+    pub(crate) fn observe_vid(&mut self, value: VId) -> Result<(), EvalError> {
+        intern::with_arena(|a| self.observe_in(a, value))
+    }
+
+    /// [`Ctx::observe_vid`] against an already-borrowed arena, so a leaf
+    /// rule can do both observations and the rule itself in one borrow.
+    pub(crate) fn observe_in(
+        &mut self,
+        a: &intern::ValueArena,
+        value: VId,
+    ) -> Result<(), EvalError> {
+        let size = a.size(value);
+        self.stats.observe_object(size, a.cardinality(value));
         self.check_size(size)
     }
 
@@ -86,7 +136,15 @@ fn stuck(rule: &'static str, detail: impl Into<String>) -> EvalError {
 }
 
 /// Evaluate `expr` on `input` under `config`, returning both the result and
-/// the §3 statistics.
+/// the §3 statistics. Runs on the interned (hash-consed) path; the input
+/// is interned once and the result resolved once at the boundary.
+///
+/// Interned intermediates are retained by the calling thread's arena
+/// *across* calls — repeated evaluations over shared data get cache hits,
+/// at the price of monotone memory growth. Long-running processes that
+/// evaluate unboundedly many distinct inputs should call
+/// [`nra_core::value::intern::reset_thread_arena`] at quiescent points
+/// (no live `VId`s); see the arena docs for the trade-off.
 ///
 /// ```
 /// use nra_core::{builder, Value};
@@ -98,9 +156,33 @@ fn stuck(rule: &'static str, detail: impl Into<String>) -> EvalError {
 /// assert_eq!(ev.stats.max_object_size, 45);
 /// ```
 pub fn evaluate(expr: &Expr, input: &Value, config: &EvalConfig) -> Evaluation {
-    let mut ctx = Ctx::new(config);
-    let result = eval_in(expr, input, &mut ctx);
+    let iv = intern::intern(input);
+    let ev = evaluate_vid(expr, iv, config);
     Evaluation {
+        result: ev.result.map(intern::resolve),
+        stats: ev.stats,
+    }
+}
+
+/// Evaluate entirely on interned handles: the input is a [`VId`] into the
+/// calling thread's arena and so is the result — no tree conversion at
+/// either end. This is the hot entry point used by the benchmarks, the
+/// graph/circuit bridges and the symbolic Lemma checks.
+///
+/// ```
+/// use nra_core::{queries, value::intern};
+/// use nra_eval::{evaluate_vid, EvalConfig};
+///
+/// let input = intern::chain(4);
+/// let ev = evaluate_vid(&queries::tc_while(), input, &EvalConfig::default());
+/// let out = ev.result.unwrap();
+/// assert_eq!(out, intern::chain_tc(4)); // O(1) equality on handles
+/// assert_eq!(intern::to_edges(out).unwrap().len(), 10);
+/// ```
+pub fn evaluate_vid(expr: &Expr, input: VId, config: &EvalConfig) -> VidEvaluation {
+    let mut ctx = Ctx::new(config);
+    let result = eval_vid(expr, input, &mut ctx);
+    VidEvaluation {
         result,
         stats: ctx.stats,
     }
@@ -111,6 +193,324 @@ pub fn eval(expr: &Expr, input: &Value) -> Result<Value, EvalError> {
     evaluate(expr, input, &EvalConfig::default()).result
 }
 
+/// Evaluate `expr` on `input` with the original tree-walking
+/// implementation: for evaluations that complete, results and statistics
+/// are identical to [`evaluate`] — but every observation traverses the
+/// object (`O(size)`) and every `clone` is deep. Kept as the differential
+/// baseline the interned path is tested and benchmarked against.
+///
+/// On *budget errors* the two paths may report different partial
+/// statistics and `required` sizes: `map` visits set elements in `Value`
+/// order here but in handle order on the interned path, so a budget can
+/// trip at a different element.
+pub fn evaluate_tree(expr: &Expr, input: &Value, config: &EvalConfig) -> Evaluation {
+    let mut ctx = Ctx::new(config);
+    let result = eval_in(expr, input, &mut ctx);
+    Evaluation {
+        result,
+        stats: ctx.stats,
+    }
+}
+
+/// The interned §3 rule set: one call = one derivation node. Shared with
+/// [`crate::trace`] (which materialises the tree) and [`crate::lazy`]
+/// (which re-uses it for per-subset sub-evaluations).
+pub(crate) fn eval_vid(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<VId, EvalError> {
+    ctx.node(expr.head_name())?;
+    // Fast path for the simple leaves (everything without sub-derivations
+    // or a powerset prediction): both §3 observations and the rule run
+    // under a single arena borrow.
+    if !matches!(
+        expr,
+        Expr::Tuple(..)
+            | Expr::Map(_)
+            | Expr::Cond(..)
+            | Expr::Compose(..)
+            | Expr::While(_)
+            | Expr::Powerset
+            | Expr::PowersetM(_)
+            | Expr::Const(..)
+    ) {
+        return intern::with_arena(|a| {
+            ctx.observe_in(a, input)?;
+            let output = apply_simple_leaf(expr, input, a)?;
+            ctx.observe_in(a, output)?;
+            Ok(output)
+        });
+    }
+    ctx.observe_vid(input)?;
+    let output = match expr {
+        Expr::Tuple(f, g) => {
+            let a = eval_vid(f, input, ctx)?;
+            let b = eval_vid(g, input, ctx)?;
+            intern::pair(a, b)
+        }
+        Expr::Map(f) => {
+            let items = intern::as_set(input).ok_or_else(|| stuck("map", "input is not a set"))?;
+            let mut out = Vec::with_capacity(items.len());
+            for &item in items.iter() {
+                out.push(eval_vid(f, item, ctx)?);
+            }
+            intern::set(out)
+        }
+        Expr::Cond(c, then, els) => match intern::as_bool(eval_vid(c, input, ctx)?) {
+            Some(true) => eval_vid(then, input, ctx)?,
+            Some(false) => eval_vid(els, input, ctx)?,
+            None => return Err(stuck("if", "condition is not boolean")),
+        },
+        Expr::Compose(g, f) => {
+            let mid = eval_vid(f, input, ctx)?;
+            eval_vid(g, mid, ctx)?
+        }
+        Expr::While(f) => {
+            let mut current = input;
+            let mut iterations: u64 = 0;
+            loop {
+                let next = eval_vid(f, current, ctx)?;
+                iterations += 1;
+                ctx.stats.while_iterations += 1;
+                // hash-consing makes the fixpoint test O(1)
+                if next == current {
+                    break current;
+                }
+                if iterations >= ctx.config.max_while_iters {
+                    return Err(EvalError::WhileDiverged { iterations });
+                }
+                current = next;
+            }
+        }
+        leaf => apply_leaf_vid(leaf, input, ctx)?,
+    };
+    ctx.observe_vid(output)?;
+    Ok(output)
+}
+
+/// Apply a non-recursive primitive on the interned path (every rule
+/// without sub-derivations). Shared with the derivation-tree builder in
+/// [`crate::trace`].
+pub(crate) fn apply_leaf_vid(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<VId, EvalError> {
+    // the only leaves that need the budget context or re-enter the
+    // thread-local facade; everything else runs under ONE arena borrow
+    match expr {
+        Expr::Powerset => return eval_powerset_vid(input, ctx),
+        Expr::PowersetM(m) => return eval_powerset_m_vid(*m, input, ctx),
+        Expr::Const(v, _) => return Ok(intern::intern(v)),
+        _ => {}
+    }
+    intern::with_arena(|a| apply_simple_leaf(expr, input, a))
+}
+
+/// The non-recursive, non-powerset rules, against an explicitly borrowed
+/// arena — a single borrow per leaf instead of one per constructed node
+/// (a `pairwith` over k elements would otherwise take k + 1 of them).
+fn apply_simple_leaf(
+    expr: &Expr,
+    input: VId,
+    a: &mut intern::ValueArena,
+) -> Result<VId, EvalError> {
+    let output = match expr {
+        Expr::Id => input,
+        Expr::Bang => a.unit(),
+        Expr::Fst => match a.as_pair(input) {
+            Some((x, _)) => x,
+            None => return Err(stuck("fst", "input is not a pair")),
+        },
+        Expr::Snd => match a.as_pair(input) {
+            Some((_, y)) => y,
+            None => return Err(stuck("snd", "input is not a pair")),
+        },
+        Expr::Sng => a.set([input]),
+        Expr::Flatten => {
+            let sets = a
+                .as_set(input)
+                .ok_or_else(|| stuck("flatten", "input is not a set"))?;
+            let mut out = Vec::new();
+            for &s in sets.iter() {
+                match a.as_set(s) {
+                    Some(inner) => out.extend(inner.iter().copied()),
+                    None => return Err(stuck("flatten", "element is not a set")),
+                }
+            }
+            a.set_from_vec(out)
+        }
+        Expr::PairWith => match a.as_pair(input) {
+            Some((x, s)) => match a.as_set(s) {
+                Some(items) => {
+                    let pairs: Vec<VId> = items.iter().map(|&y| a.pair(x, y)).collect();
+                    a.set_from_vec(pairs)
+                }
+                None => return Err(stuck("pairwith", "second component is not a set")),
+            },
+            None => return Err(stuck("pairwith", "input is not a pair")),
+        },
+        Expr::EmptySet(_) => a.empty_set(),
+        Expr::Union => match a.as_pair(input) {
+            Some((x, y)) => match (a.as_set(x), a.as_set(y)) {
+                (Some(xs), Some(ys)) => {
+                    let mut out: Vec<VId> = xs.iter().copied().collect();
+                    out.extend(ys.iter().copied());
+                    a.set_from_vec(out)
+                }
+                _ => return Err(stuck("union", "components are not sets")),
+            },
+            None => return Err(stuck("union", "input is not a pair")),
+        },
+        Expr::EqNat => match a.as_pair(input) {
+            Some((x, y)) => match (a.as_nat(x), a.as_nat(y)) {
+                (Some(m), Some(n)) => a.bool_(m == n),
+                _ => return Err(stuck("eq", "components are not naturals")),
+            },
+            None => return Err(stuck("eq", "input is not a pair")),
+        },
+        Expr::IsEmpty => match a.cardinality(input) {
+            Some(k) => a.bool_(k == 0),
+            None => return Err(stuck("isempty", "input is not a set")),
+        },
+        Expr::ConstTrue => a.bool_(true),
+        Expr::ConstFalse => a.bool_(false),
+        Expr::Powerset
+        | Expr::PowersetM(_)
+        | Expr::Const(..)
+        | Expr::Tuple(..)
+        | Expr::Map(_)
+        | Expr::Cond(..)
+        | Expr::Compose(..)
+        | Expr::While(_) => {
+            unreachable!("apply_simple_leaf called on a recursive or powerset construct")
+        }
+    };
+    Ok(output)
+}
+
+/// Predicted size of `powerset({e₁,…,eₖ})` in the §3 measure:
+/// `1 + 2ᵏ + 2ᵏ⁻¹ · Σᵢ size(eᵢ)` (the outer set node, one node per subset,
+/// and each element occurring in half of the subsets). Saturating — huge
+/// or deeply shared inputs report `u128::MAX`/`u64::MAX` rather than
+/// wrapping in release builds.
+pub fn powerset_output_size(elem_sizes: &[u64]) -> u128 {
+    let k = elem_sizes.len() as u32;
+    let sum = elem_sizes
+        .iter()
+        .fold(0u128, |acc, &s| acc.saturating_add(s as u128));
+    if k == 0 {
+        return 2; // {∅}
+    }
+    if k >= 120 {
+        return u128::MAX;
+    }
+    let subsets = 1u128 << k;
+    1u128
+        .saturating_add(subsets)
+        .saturating_add((subsets >> 1).saturating_mul(sum))
+}
+
+fn eval_powerset_vid(input: VId, ctx: &mut Ctx) -> Result<VId, EvalError> {
+    let items = intern::as_set(input).ok_or_else(|| stuck("powerset", "input is not a set"))?;
+    let sizes: Vec<u64> = intern::with_arena(|a| items.iter().map(|&v| a.size(v)).collect());
+    let predicted = powerset_output_size(&sizes);
+    let predicted64 = u64::try_from(predicted).unwrap_or(u64::MAX);
+    // Record the requirement and enforce the budget *before* materialising.
+    ctx.check_size(predicted64)?;
+    if items.len() > 62 {
+        return Err(EvalError::PowersetOverflow {
+            input_cardinality: items.len() as u64,
+        });
+    }
+    let k = items.len();
+    // one arena borrow for the whole materialisation loop
+    let out = intern::with_arena(|a| {
+        let mut subsets = Vec::with_capacity(1usize << k);
+        for mask in 0u64..(1u64 << k) {
+            // the canonical element order is preserved under subset selection
+            let subset: Vec<VId> = items
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &e)| e)
+                .collect();
+            subsets.push(a.set_from_vec(subset));
+        }
+        a.set_from_vec(subsets)
+    });
+    Ok(out)
+}
+
+/// Saturating binomial coefficient `C(n, k)` in `u128`.
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128);
+        acc /= (i + 1) as u128;
+        if acc == u128::MAX {
+            return u128::MAX;
+        }
+    }
+    acc
+}
+
+/// Predicted size of `powersetₘ({e₁,…,eₖ})`:
+/// `1 + Σ_{i≤m} C(k,i) + (Σ_{i=1..m} C(k−1, i−1)) · Σᵢ size(eᵢ)`.
+/// Saturating, like [`powerset_output_size`].
+pub fn powerset_m_output_size(m: u64, elem_sizes: &[u64]) -> u128 {
+    let k = elem_sizes.len() as u64;
+    let sum = elem_sizes
+        .iter()
+        .fold(0u128, |acc, &s| acc.saturating_add(s as u128));
+    let mut count: u128 = 0;
+    for i in 0..=m.min(k) {
+        count = count.saturating_add(binomial(k, i));
+    }
+    let mut per_elem: u128 = 0;
+    if k > 0 {
+        for i in 1..=m.min(k) {
+            per_elem = per_elem.saturating_add(binomial(k - 1, i - 1));
+        }
+    }
+    1u128
+        .saturating_add(count)
+        .saturating_add(per_elem.saturating_mul(sum))
+}
+
+fn eval_powerset_m_vid(m: u64, input: VId, ctx: &mut Ctx) -> Result<VId, EvalError> {
+    let items = intern::as_set(input).ok_or_else(|| stuck("powerset_m", "input is not a set"))?;
+    let sizes: Vec<u64> = intern::with_arena(|a| items.iter().map(|&v| a.size(v)).collect());
+    let predicted = powerset_m_output_size(m, &sizes);
+    let predicted64 = u64::try_from(predicted).unwrap_or(u64::MAX);
+    ctx.check_size(predicted64)?;
+    // Breadth-first by cardinality: level i holds the i-element subsets,
+    // each a sorted handle vector (the canonical set representation).
+    let mut all: Vec<VId> = vec![intern::empty_set()];
+    let mut level: BTreeSet<Vec<VId>> = BTreeSet::new();
+    level.insert(Vec::new());
+    for _ in 0..m.min(items.len() as u64) {
+        let mut next: BTreeSet<Vec<VId>> = BTreeSet::new();
+        for subset in &level {
+            for &e in items.iter() {
+                if let Err(pos) = subset.binary_search(&e) {
+                    let mut bigger = subset.clone();
+                    bigger.insert(pos, e);
+                    next.insert(bigger);
+                }
+            }
+        }
+        for s in &next {
+            all.push(intern::set(s.iter().copied()));
+        }
+        level = next;
+    }
+    Ok(intern::set(all))
+}
+
+// ---------------------------------------------------------------------------
+// The tree-walking baseline (the original implementation).
+
+/// The tree-path §3 rule set — used by [`evaluate_tree`] and by the
+/// streaming evaluator's per-subset sub-evaluations (which must not
+/// retain their transient inputs in the arena).
 pub(crate) fn eval_in(expr: &Expr, input: &Value, ctx: &mut Ctx) -> Result<Value, EvalError> {
     ctx.node(expr.head_name())?;
     ctx.observe(input)?;
@@ -161,10 +561,8 @@ pub(crate) fn eval_in(expr: &Expr, input: &Value, ctx: &mut Ctx) -> Result<Value
     Ok(output)
 }
 
-/// Apply a non-recursive primitive (every rule without sub-derivations).
-/// Shared between the plain evaluator and the derivation-tree builder in
-/// [`crate::trace`].
-pub(crate) fn apply_leaf(expr: &Expr, input: &Value, ctx: &mut Ctx) -> Result<Value, EvalError> {
+/// Apply a non-recursive primitive on the tree path.
+fn apply_leaf(expr: &Expr, input: &Value, ctx: &mut Ctx) -> Result<Value, EvalError> {
     let output = match expr {
         Expr::Id => input.clone(),
         Expr::Bang => Value::Unit,
@@ -234,24 +632,6 @@ pub(crate) fn apply_leaf(expr: &Expr, input: &Value, ctx: &mut Ctx) -> Result<Va
     Ok(output)
 }
 
-/// Predicted size of `powerset({e₁,…,eₖ})` in the §3 measure:
-/// `1 + 2ᵏ + 2ᵏ⁻¹ · Σᵢ size(eᵢ)` (the outer set node, one node per subset,
-/// and each element occurring in half of the subsets). Saturating.
-pub fn powerset_output_size(elem_sizes: &[u64]) -> u128 {
-    let k = elem_sizes.len() as u32;
-    let sum: u128 = elem_sizes.iter().map(|&s| s as u128).sum();
-    if k == 0 {
-        return 2; // {∅}
-    }
-    if k >= 120 {
-        return u128::MAX;
-    }
-    let subsets = 1u128 << k;
-    1u128
-        .saturating_add(subsets)
-        .saturating_add((subsets >> 1).saturating_mul(sum))
-}
-
 fn eval_powerset(input: &Value, ctx: &mut Ctx) -> Result<Value, EvalError> {
     let items = match input {
         Value::Set(items) => items,
@@ -280,43 +660,6 @@ fn eval_powerset(input: &Value, ctx: &mut Ctx) -> Result<Value, EvalError> {
         subsets.insert(Value::Set(subset));
     }
     Ok(Value::Set(subsets))
-}
-
-/// Saturating binomial coefficient `C(n, k)` in `u128`.
-pub fn binomial(n: u64, k: u64) -> u128 {
-    if k > n {
-        return 0;
-    }
-    let k = k.min(n - k);
-    let mut acc: u128 = 1;
-    for i in 0..k {
-        acc = acc.saturating_mul((n - i) as u128);
-        acc /= (i + 1) as u128;
-        if acc == u128::MAX {
-            return u128::MAX;
-        }
-    }
-    acc
-}
-
-/// Predicted size of `powersetₘ({e₁,…,eₖ})`:
-/// `1 + Σ_{i≤m} C(k,i) + (Σ_{i=1..m} C(k−1, i−1)) · Σᵢ size(eᵢ)`.
-pub fn powerset_m_output_size(m: u64, elem_sizes: &[u64]) -> u128 {
-    let k = elem_sizes.len() as u64;
-    let sum: u128 = elem_sizes.iter().map(|&s| s as u128).sum();
-    let mut count: u128 = 0;
-    for i in 0..=m.min(k) {
-        count = count.saturating_add(binomial(k, i));
-    }
-    let mut per_elem: u128 = 0;
-    if k > 0 {
-        for i in 1..=m.min(k) {
-            per_elem = per_elem.saturating_add(binomial(k - 1, i - 1));
-        }
-    }
-    1u128
-        .saturating_add(count)
-        .saturating_add(per_elem.saturating_mul(sum))
 }
 
 fn eval_powerset_m(m: u64, input: &Value, ctx: &mut Ctx) -> Result<Value, EvalError> {
@@ -501,14 +844,8 @@ mod tests {
 
     #[test]
     fn while_diverges_cleanly() {
-        // while(map(sng)): {N} → {{N}} is ill-typed, so build a genuinely
-        // divergent but well-typed loop: x ↦ powerset-free growth via
-        // map over pairs is hard to diverge with sets... use a budgeted
-        // while over an expanding union with powerset_m(1) flattened:
-        // x ↦ x ∪ {x-elements nested}. Simplest: while(f) with f growing
-        // the set forever is impossible for chains (finite domain), so
-        // just exercise the iteration cap with a tiny cap and a two-step
-        // convergence.
+        // exercise the iteration cap with a tiny cap and a two-step
+        // convergence
         let step = compose(union(), tuple(id(), compose(map(fst()), self_prod())));
         let cfg = EvalConfig {
             max_while_iters: 1,
@@ -596,5 +933,66 @@ mod tests {
     fn const_returns_its_value() {
         let f = konst(Value::chain(2), Type::nat_rel());
         assert_eq!(run(&f, &Value::Unit), Value::chain(2));
+    }
+
+    #[test]
+    fn tree_and_interned_paths_agree_on_results_and_stats() {
+        let cfg = EvalConfig::default();
+        let corpus: Vec<(Expr, Value)> = vec![
+            (nra_core::queries::tc_paths(), Value::chain(5)),
+            (nra_core::queries::tc_while(), Value::chain(6)),
+            (nra_core::queries::tc_step(), Value::chain(4)),
+            (nra_core::queries::siblings_powerset(), Value::chain(4)),
+            (compose(flatten(), map(sng())), Value::chain(3)),
+            (powerset(), Value::set((0..4).map(Value::nat))),
+            (powerset_m_prim(2), Value::chain(4)),
+        ];
+        for (q, input) in &corpus {
+            let tree = evaluate_tree(q, input, &cfg);
+            let interned = evaluate(q, input, &cfg);
+            assert_eq!(
+                tree.result.as_ref().unwrap(),
+                interned.result.as_ref().unwrap(),
+                "{q}"
+            );
+            assert_eq!(tree.stats, interned.stats, "{q}");
+        }
+    }
+
+    #[test]
+    fn evaluate_vid_stays_on_handles() {
+        use nra_core::value::intern;
+        let input = intern::chain(5);
+        let ev = evaluate_vid(
+            &nra_core::queries::tc_while(),
+            input,
+            &EvalConfig::default(),
+        );
+        assert_eq!(ev.result.unwrap(), intern::chain_tc(5));
+    }
+
+    #[test]
+    fn powerset_size_prediction_saturates() {
+        // sizes near u64::MAX must saturate, not wrap
+        let sizes = [u64::MAX, u64::MAX, 7];
+        let p = powerset_output_size(&sizes);
+        assert!(p >= u64::MAX as u128);
+        let pm = powerset_m_output_size(2, &sizes);
+        assert!(pm >= u64::MAX as u128);
+        // and through the evaluator the u64 report pins at u64::MAX: a
+        // 63-element set of atoms already predicts > 2⁶³
+        let big = Value::set((0..63).map(Value::nat));
+        let ev = evaluate(
+            &nra_core::builder::powerset(),
+            &big,
+            // above the input's own size (64), far below the prediction
+            &EvalConfig::with_space_budget(1000),
+        );
+        match ev.result {
+            Err(EvalError::SpaceBudgetExceeded { required, .. }) => {
+                assert!(required > 1u64 << 62);
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
     }
 }

@@ -13,11 +13,22 @@
 //! complexity is `2^{Θ(n)}` while the streaming *peak resident size* stays
 //! polynomial (the number of subset evaluations — i.e. *time* — remains
 //! `2^{Θ(n)}`). Experiment E11 tabulates both.
+//!
+//! Like [`crate::eager`], the recursion runs on interned handles: the
+//! resident-size accounting reads cached arena metadata instead of
+//! traversing objects, and the deduplicating accumulator of a streamed
+//! `map` is a set of `u32` handles rather than a tree of deep
+//! comparisons. The streamed subsets themselves, however, are built as
+//! transient tree values and evaluated on the tree path — interning 2ᵏ
+//! throwaway subsets would retain them all in the arena and quietly void
+//! the polynomial-resident-space property this strategy exists to
+//! demonstrate. Only the base set and the (live) images touch the arena.
 
 use crate::eager::{self, Ctx};
 use crate::error::{EvalConfig, EvalError};
 use crate::stats::EvalStats;
 use nra_core::expr::Expr;
+use nra_core::value::intern::{self, VId};
 use nra_core::value::Value;
 use std::collections::BTreeSet;
 
@@ -47,12 +58,21 @@ pub struct LazyEvaluation {
     pub stats: LazyStats,
 }
 
+/// Result and statistics of a streaming evaluation on interned handles.
+#[derive(Debug, Clone)]
+pub struct LazyVidEvaluation {
+    /// The handle of the result, or the error that interrupted evaluation.
+    pub result: Result<VId, EvalError>,
+    /// Streaming statistics.
+    pub stats: LazyStats,
+}
+
 /// A possibly-symbolic intermediate value.
 enum Lv {
-    /// A fully materialised object.
-    Concrete(Value),
+    /// A fully materialised (interned) object.
+    Concrete(VId),
     /// `powerset(base)`, not yet materialised.
-    Subsets(Value),
+    Subsets(VId),
 }
 
 struct LazyCtx<'a> {
@@ -82,11 +102,21 @@ impl<'a> LazyCtx<'a> {
         }
     }
 
-    /// Run a sub-evaluation eagerly (used for the bodies applied to each
-    /// streamed subset), folding its statistics into ours. Its own peak is
-    /// *transient* per-subset memory and contributes to `peak_resident`
-    /// together with whatever `extra_live` is currently held.
-    fn eager_sub(
+    /// Run a sub-evaluation eagerly on interned handles, folding its
+    /// statistics into ours. Its own peak is *transient* memory and
+    /// contributes to `peak_resident` together with whatever `extra_live`
+    /// is currently held.
+    fn eager_sub(&mut self, expr: &Expr, input: VId, extra_live: u64) -> Result<VId, EvalError> {
+        let mut sub = Ctx::new(self.config);
+        let out = eager::eval_vid(expr, input, &mut sub);
+        self.merge_sub(&sub.stats, extra_live)?;
+        out
+    }
+
+    /// Run a sub-evaluation eagerly on the *tree* path — used for the
+    /// bodies applied to each streamed subset, so the transient subsets
+    /// are never retained by the interning arena.
+    fn eager_sub_tree(
         &mut self,
         expr: &Expr,
         input: &Value,
@@ -107,30 +137,40 @@ impl<'a> LazyCtx<'a> {
 
 /// Evaluate under the streaming strategy.
 pub fn evaluate_lazy(expr: &Expr, input: &Value, config: &EvalConfig) -> LazyEvaluation {
+    let iv = intern::intern(input);
+    let ev = evaluate_lazy_vid(expr, iv, config);
+    LazyEvaluation {
+        result: ev.result.map(intern::resolve),
+        stats: ev.stats,
+    }
+}
+
+/// Evaluate under the streaming strategy, entirely on interned handles.
+pub fn evaluate_lazy_vid(expr: &Expr, input: VId, config: &EvalConfig) -> LazyVidEvaluation {
     let mut ctx = LazyCtx {
         config,
         stats: LazyStats::default(),
     };
-    let result = match lazy_in(expr, Lv::Concrete(input.clone()), &mut ctx) {
+    let result = match lazy_in(expr, Lv::Concrete(input), &mut ctx) {
         Ok(lv) => force(lv, &mut ctx),
         Err(e) => Err(e),
     };
-    LazyEvaluation {
+    LazyVidEvaluation {
         result,
         stats: ctx.stats,
     }
 }
 
 /// Materialise a symbolic value (falls back to the eager powerset rule).
-fn force(lv: Lv, ctx: &mut LazyCtx) -> Result<Value, EvalError> {
+fn force(lv: Lv, ctx: &mut LazyCtx) -> Result<VId, EvalError> {
     match lv {
         Lv::Concrete(v) => {
-            ctx.resident(v.size())?;
+            ctx.resident(intern::size(v))?;
             Ok(v)
         }
         Lv::Subsets(base) => {
             let mut sub = Ctx::new(ctx.config);
-            let out = eager::eval_in(&Expr::Powerset, &base, &mut sub);
+            let out = eager::eval_vid(&Expr::Powerset, base, &mut sub);
             ctx.merge_sub(&sub.stats, 0)?;
             out
         }
@@ -153,7 +193,7 @@ fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
         }
         Expr::Powerset => {
             let base = force(input, ctx)?;
-            if base.as_set().is_none() {
+            if intern::cardinality(base).is_none() {
                 return Err(stuck("powerset", "input is not a set"));
             }
             Ok(Lv::Subsets(base))
@@ -161,34 +201,40 @@ fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
         Expr::Flatten => match input {
             // μ(powerset(x)) = x : the subsets' union is the base itself.
             Lv::Subsets(base) => Ok(Lv::Concrete(base)),
-            Lv::Concrete(v) => Ok(Lv::Concrete(ctx.eager_sub(&Expr::Flatten, &v, 0)?)),
+            Lv::Concrete(v) => Ok(Lv::Concrete(ctx.eager_sub(&Expr::Flatten, v, 0)?)),
         },
         Expr::IsEmpty => match input {
             // powerset(x) always contains ∅, hence is never empty.
-            Lv::Subsets(_) => Ok(Lv::Concrete(Value::Bool(false))),
-            Lv::Concrete(v) => Ok(Lv::Concrete(ctx.eager_sub(&Expr::IsEmpty, &v, 0)?)),
+            Lv::Subsets(_) => Ok(Lv::Concrete(intern::bool_(false))),
+            Lv::Concrete(v) => Ok(Lv::Concrete(ctx.eager_sub(&Expr::IsEmpty, v, 0)?)),
         },
         Expr::Map(f) => match input {
             Lv::Subsets(base) => {
                 // Stream the subsets: only base + current subset +
                 // accumulator + per-subset transient memory are live.
-                let items: Vec<Value> = base
-                    .as_set()
-                    .ok_or_else(|| stuck("map", "powerset base is not a set"))?
-                    .iter()
-                    .cloned()
-                    .collect();
+                //
+                // The streamed subsets are deliberately built as
+                // *transient tree values* and evaluated on the tree path:
+                // interning them would retain all 2ᵏ subsets in the
+                // never-shrinking arena, silently trading the strategy's
+                // polynomial peak-resident guarantee for speed. Only the
+                // images — genuinely live in the accumulator — are
+                // interned.
+                let items = intern::as_set(base)
+                    .ok_or_else(|| stuck("map", "powerset base is not a set"))?;
                 if items.len() > 62 {
                     return Err(EvalError::PowersetOverflow {
                         input_cardinality: items.len() as u64,
                     });
                 }
-                let base_size = base.size();
-                let mut acc: BTreeSet<Value> = BTreeSet::new();
+                let base_size = intern::size(base);
+                let elems: Vec<Value> =
+                    intern::with_arena(|a| items.iter().map(|&e| a.resolve(e)).collect());
+                let mut acc: BTreeSet<VId> = BTreeSet::new();
                 let mut acc_size: u64 = 1;
-                for mask in 0u64..(1u64 << items.len()) {
+                for mask in 0u64..(1u64 << elems.len()) {
                     let subset = Value::set(
-                        items
+                        elems
                             .iter()
                             .enumerate()
                             .filter(|(i, _)| mask & (1 << i) != 0)
@@ -196,49 +242,49 @@ fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
                     );
                     ctx.stats.streamed_subsets += 1;
                     let live = base_size + subset.size() + acc_size;
-                    let image = ctx.eager_sub(f, &subset, live)?;
-                    if acc.insert(image.clone()) {
-                        acc_size += image.size();
+                    let image = ctx.eager_sub_tree(f, &subset, live)?;
+                    let image = intern::intern(&image);
+                    if acc.insert(image) {
+                        acc_size += intern::size(image);
                     }
                     ctx.resident(live)?;
                 }
-                Ok(Lv::Concrete(Value::Set(acc)))
+                Ok(Lv::Concrete(intern::set(acc)))
             }
             Lv::Concrete(v) => {
-                let items = v
-                    .as_set()
-                    .ok_or_else(|| stuck("map", "input is not a set"))?;
-                let mut out = BTreeSet::new();
-                for item in items {
-                    let image = lazy_in(f, Lv::Concrete(item.clone()), ctx)?;
-                    out.insert(force(image, ctx)?);
+                let items = intern::as_set(v).ok_or_else(|| stuck("map", "input is not a set"))?;
+                let mut out = Vec::with_capacity(items.len());
+                for &item in items.iter() {
+                    let image = lazy_in(f, Lv::Concrete(item), ctx)?;
+                    out.push(force(image, ctx)?);
                 }
-                let out = Value::Set(out);
-                ctx.resident(out.size())?;
+                let out = intern::set(out);
+                ctx.resident(intern::size(out))?;
                 Ok(Lv::Concrete(out))
             }
         },
         Expr::Tuple(f, g) => {
             let v = force(input, ctx)?;
-            let a = force(lazy_in(f, Lv::Concrete(v.clone()), ctx)?, ctx)?;
+            let a = force(lazy_in(f, Lv::Concrete(v), ctx)?, ctx)?;
             let b = force(lazy_in(g, Lv::Concrete(v), ctx)?, ctx)?;
-            Ok(Lv::Concrete(Value::pair(a, b)))
+            Ok(Lv::Concrete(intern::pair(a, b)))
         }
         Expr::Cond(c, then, els) => {
             let v = force(input, ctx)?;
-            match force(lazy_in(c, Lv::Concrete(v.clone()), ctx)?, ctx)? {
-                Value::Bool(true) => lazy_in(then, Lv::Concrete(v), ctx),
-                Value::Bool(false) => lazy_in(els, Lv::Concrete(v), ctx),
-                _ => Err(stuck("if", "condition is not boolean")),
+            match intern::as_bool(force(lazy_in(c, Lv::Concrete(v), ctx)?, ctx)?) {
+                Some(true) => lazy_in(then, Lv::Concrete(v), ctx),
+                Some(false) => lazy_in(els, Lv::Concrete(v), ctx),
+                None => Err(stuck("if", "condition is not boolean")),
             }
         }
         Expr::While(f) => {
             let mut current = force(input, ctx)?;
             let mut iterations: u64 = 0;
             loop {
-                let next = force(lazy_in(f, Lv::Concrete(current.clone()), ctx)?, ctx)?;
+                let next = force(lazy_in(f, Lv::Concrete(current), ctx)?, ctx)?;
                 iterations += 1;
                 ctx.stats.while_iterations += 1;
+                // O(1) fixpoint test on handles
                 if next == current {
                     break Ok(Lv::Concrete(current));
                 }
@@ -250,7 +296,7 @@ fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
         }
         leaf => {
             let v = force(input, ctx)?;
-            Ok(Lv::Concrete(ctx.eager_sub(leaf, &v, 0)?))
+            Ok(Lv::Concrete(ctx.eager_sub(leaf, v, 0)?))
         }
     }
 }
@@ -335,5 +381,32 @@ mod tests {
             eager_ev.result,
             Err(EvalError::SpaceBudgetExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn streaming_does_not_retain_subsets_in_the_arena() {
+        // the point of the strategy: 2ⁿ subsets are streamed, but they are
+        // transient tree values — the arena must grow by far less than 2ⁿ
+        // (only the base, the images actually live in the accumulator, and
+        // boundary conversions)
+        let n = 10u64;
+        let input = intern::chain(n);
+        let before = intern::arena_stats().nodes;
+        let ev = evaluate_lazy_vid(&queries::tc_paths(), input, &EvalConfig::default());
+        assert_eq!(ev.result.unwrap(), intern::chain_tc(n));
+        assert_eq!(ev.stats.streamed_subsets, 1 << n);
+        let delta = intern::arena_stats().nodes - before;
+        assert!(
+            delta < (1 << n) / 2,
+            "arena grew by {delta} nodes for 2^{n} streamed subsets — \
+             transient subsets are being retained"
+        );
+    }
+
+    #[test]
+    fn lazy_vid_stays_on_handles() {
+        let input = intern::chain(6);
+        let ev = evaluate_lazy_vid(&queries::tc_paths(), input, &EvalConfig::default());
+        assert_eq!(ev.result.unwrap(), intern::chain_tc(6));
     }
 }

@@ -13,12 +13,26 @@
 //!   caveat ("it is not obvious whether it still holds for a lazy
 //!   evaluation strategy") measurable.
 //!
+//! All three strategies run on the hash-consed arena of
+//! [`nra_core::value::intern`]: objects are `VId` handles, so the §3 size
+//! observation performed at every rule application is an `O(1)` metadata
+//! read, `clone` is a handle copy, and (de)duplication compares `u32`s.
+//! The arena is thread-local and retains interned nodes across calls
+//! (repeat evaluations hit the cache; memory grows monotonically —
+//! see `intern::reset_thread_arena` for reclamation at quiescent points).
+//! The [`nra_core::Value`] tree API remains the public surface —
+//! [`evaluate`] converts at the boundary — while [`evaluate_vid`] and
+//! [`evaluate_lazy_vid`] expose the interned path end-to-end. The original
+//! tree-walking implementation survives as [`evaluate_tree`], the
+//! differential baseline the interned path is tested and benchmarked
+//! against.
+//!
 //! Budgets ([`error::EvalConfig`]) turn the theorems' "needs ≥ S space"
 //! into clean errors carrying the exact requirement — for `powerset` the
 //! requirement is computed combinatorially *before* materialisation, so
 //! complexities far beyond physical memory can be measured.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod eager;
 pub mod error;
@@ -26,8 +40,8 @@ pub mod lazy;
 pub mod stats;
 pub mod trace;
 
-pub use eager::{eval, evaluate, Evaluation};
+pub use eager::{eval, evaluate, evaluate_tree, evaluate_vid, Evaluation, VidEvaluation};
 pub use error::{EvalConfig, EvalError};
-pub use lazy::{evaluate_lazy, LazyEvaluation, LazyStats};
+pub use lazy::{evaluate_lazy, evaluate_lazy_vid, LazyEvaluation, LazyStats, LazyVidEvaluation};
 pub use stats::EvalStats;
 pub use trace::{evaluate_traced, DerivNode, TracedEvaluation};

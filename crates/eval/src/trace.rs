@@ -6,11 +6,17 @@
 //! depend on `C`." This module builds that tree explicitly (for inputs
 //! small enough to inspect) so that tests and examples can check the
 //! height/width claims and render derivations.
+//!
+//! Like [`crate::eager`], the recursion runs on interned handles — the §3
+//! size observations are `O(1)` metadata reads — and each [`DerivNode`]
+//! resolves its judgment back to tree [`Value`]s for inspection (the whole
+//! point of tracing is to look at the objects).
 
-use crate::eager::{apply_leaf, Ctx};
+use crate::eager::{apply_leaf_vid, Ctx};
 use crate::error::{EvalConfig, EvalError};
 use crate::stats::EvalStats;
 use nra_core::expr::Expr;
+use nra_core::value::intern::{self, VId};
 use nra_core::value::Value;
 use std::fmt::Write as _;
 
@@ -114,67 +120,69 @@ pub struct TracedEvaluation {
 }
 
 /// Evaluate while materialising the full derivation tree. Use only on
-/// small inputs — the tree holds every intermediate object. Budgets from
-/// `config` apply exactly as in [`crate::eager::evaluate`].
+/// small inputs — the tree holds every intermediate object in resolved
+/// (tree) form. Budgets from `config` apply exactly as in
+/// [`crate::eager::evaluate`].
 pub fn evaluate_traced(expr: &Expr, input: &Value, config: &EvalConfig) -> TracedEvaluation {
     let mut ctx = Ctx::new(config);
-    let result = trace_in(expr, input, &mut ctx);
+    let iv = intern::intern(input);
+    let result = trace_in(expr, iv, &mut ctx).map(|(node, _)| node);
     TracedEvaluation {
         result,
         stats: ctx.stats,
     }
 }
 
-fn trace_in(expr: &Expr, input: &Value, ctx: &mut Ctx) -> Result<DerivNode, EvalError> {
+/// One derivation node: returns the materialised node plus the interned
+/// handle of its output (so parents can keep evaluating on handles).
+fn trace_in(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<(DerivNode, VId), EvalError> {
     ctx.node(expr.head_name())?;
-    ctx.observe(input)?;
+    ctx.observe_vid(input)?;
     let (output, children) = match expr {
         Expr::Tuple(f, g) => {
-            let a = trace_in(f, input, ctx)?;
-            let b = trace_in(g, input, ctx)?;
-            let out = Value::pair(a.output.clone(), b.output.clone());
-            (out, vec![a, b])
+            let (a, av) = trace_in(f, input, ctx)?;
+            let (b, bv) = trace_in(g, input, ctx)?;
+            (intern::pair(av, bv), vec![a, b])
         }
         Expr::Map(f) => {
-            let items = input.as_set().ok_or(EvalError::Stuck {
+            let items = intern::as_set(input).ok_or(EvalError::Stuck {
                 rule: "map",
                 detail: "input is not a set".into(),
             })?;
             let mut children = Vec::with_capacity(items.len());
-            let mut out = std::collections::BTreeSet::new();
-            for item in items {
-                let child = trace_in(f, item, ctx)?;
-                out.insert(child.output.clone());
+            let mut out = Vec::with_capacity(items.len());
+            for &item in items.iter() {
+                let (child, cv) = trace_in(f, item, ctx)?;
+                out.push(cv);
                 children.push(child);
             }
-            (Value::Set(out), children)
+            (intern::set(out), children)
         }
         Expr::Cond(c, then, els) => {
-            let cnode = trace_in(c, input, ctx)?;
-            let branch = match cnode.output {
-                Value::Bool(true) => trace_in(then, input, ctx)?,
-                Value::Bool(false) => trace_in(els, input, ctx)?,
-                _ => {
+            let (cnode, cv) = trace_in(c, input, ctx)?;
+            let (branch, bv) = match intern::as_bool(cv) {
+                Some(true) => trace_in(then, input, ctx)?,
+                Some(false) => trace_in(els, input, ctx)?,
+                None => {
                     return Err(EvalError::Stuck {
                         rule: "if",
                         detail: "condition is not boolean".into(),
                     })
                 }
             };
-            (branch.output.clone(), vec![cnode, branch])
+            (bv, vec![cnode, branch])
         }
         Expr::Compose(g, f) => {
-            let fnode = trace_in(f, input, ctx)?;
-            let gnode = trace_in(g, &fnode.output, ctx)?;
-            (gnode.output.clone(), vec![fnode, gnode])
+            let (fnode, fv) = trace_in(f, input, ctx)?;
+            let (gnode, gv) = trace_in(g, fv, ctx)?;
+            (gv, vec![fnode, gnode])
         }
         Expr::While(f) => {
             let mut children = Vec::new();
-            let mut current = input.clone();
+            let mut current = input;
             let mut iterations: u64 = 0;
             loop {
-                let child = trace_in(f, &current, ctx)?;
-                let next = child.output.clone();
+                let (child, next) = trace_in(f, current, ctx)?;
                 children.push(child);
                 iterations += 1;
                 ctx.stats.while_iterations += 1;
@@ -188,15 +196,16 @@ fn trace_in(expr: &Expr, input: &Value, ctx: &mut Ctx) -> Result<DerivNode, Eval
             }
             (current, children)
         }
-        leaf => (apply_leaf(leaf, input, ctx)?, Vec::new()),
+        leaf => (apply_leaf_vid(leaf, input, ctx)?, Vec::new()),
     };
-    ctx.observe(&output)?;
-    Ok(DerivNode {
+    ctx.observe_vid(output)?;
+    let node = DerivNode {
         rule: expr.head_name(),
-        input: input.clone(),
-        output,
+        input: intern::resolve(input),
+        output: intern::resolve(output),
         children,
-    })
+    };
+    Ok((node, output))
 }
 
 #[cfg(test)]

@@ -10,8 +10,8 @@
 //! agreement between *strategies* evaluating the same route.
 
 use nra_core::{queries, Value};
-use nra_eval::{evaluate, evaluate_lazy, evaluate_traced, EvalConfig};
-use nra_graph::{graph_to_value, tc, DiGraph};
+use nra_eval::{evaluate, evaluate_lazy, evaluate_traced, evaluate_tree, EvalConfig};
+use nra_graph::{graph_to_value, graph_to_vid, tc, DiGraph};
 use nra_testkit::{check, Rng};
 
 const CASES: u64 = 24;
@@ -55,6 +55,47 @@ fn traced_agrees_with_eager_on_all_families() {
                         "{family}: {q}"
                     );
                 }
+            }
+        },
+    );
+}
+
+/// The interned (hash-consed) evaluation path must be indistinguishable
+/// from the original tree-walking implementation: same results **and**
+/// byte-for-byte the same §3 statistics, across all four graph families
+/// and both TC routes. This is the differential gate for the arena.
+#[test]
+fn interned_path_agrees_with_tree_evaluator_on_all_families() {
+    check(
+        "interned_path_agrees_with_tree_evaluator_on_all_families",
+        CASES,
+        |_, rng| {
+            let cfg = EvalConfig::default();
+            for (family, g) in family_graphs(rng) {
+                let input = graph_to_value(&g);
+                for q in [queries::tc_paths(), queries::tc_while(), queries::tc_step()] {
+                    let tree = evaluate_tree(&q, &input, &cfg);
+                    let interned = evaluate(&q, &input, &cfg);
+                    assert_eq!(
+                        tree.result.as_ref().unwrap(),
+                        interned.result.as_ref().unwrap(),
+                        "{family}: {q}"
+                    );
+                    assert_eq!(tree.stats, interned.stats, "{family}: {q}");
+                }
+                // the handle-to-handle entry point and the graph_to_vid
+                // encoding boundary, on the cheap query only — evaluate()
+                // already delegates to evaluate_vid, so this checks the
+                // boundary, not the (identical) evaluation
+                let q = queries::tc_step();
+                let interned = evaluate(&q, &input, &cfg);
+                let vid_ev = nra_eval::evaluate_vid(&q, graph_to_vid(&g), &cfg);
+                assert_eq!(
+                    nra_core::value::intern::resolve(vid_ev.result.unwrap()),
+                    interned.result.unwrap(),
+                    "{family}: {q} (vid path)"
+                );
+                assert_eq!(vid_ev.stats, interned.stats, "{family}: {q} (vid stats)");
             }
         },
     );

@@ -1,7 +1,7 @@
 //! Directed graphs over `u64` node ids, with the generators the
 //! experiments need: the paper's chain `rₙ`, cycles, functional graphs
 //! (outdegree ≤ 1 — the *deterministic* transitive-closure inputs of
-//! Immerman [8] that Theorem 4.1 also covers), layered DAGs and random
+//! Immerman \[8\] that Theorem 4.1 also covers), layered DAGs and random
 //! graphs.
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -38,7 +38,7 @@ impl DiGraph {
     }
 
     /// A functional graph (outdegree exactly 1) given by `succ[i]` —
-    /// deterministic TC inputs in the sense of Immerman [8].
+    /// deterministic TC inputs in the sense of Immerman \[8\].
     pub fn functional(succ: &[u64]) -> Self {
         DiGraph::from_edges(succ.iter().enumerate().map(|(i, &j)| (i as u64, j)))
     }

@@ -1,6 +1,13 @@
 //! Conversions between [`DiGraph`] and complex objects of type `{N × N}`.
+//!
+//! Two parallel encodings are provided: the tree representation
+//! ([`graph_to_value`] / [`value_to_graph`]) for display and the parser
+//! surface, and the hash-consed representation ([`graph_to_vid`] /
+//! [`vid_to_graph`]) that feeds graphs straight into the interned
+//! evaluation hot path of `nra-eval` without ever building a tree.
 
 use crate::digraph::DiGraph;
+use nra_core::value::intern::{self, VId};
 use nra_core::value::Value;
 
 /// Encode a graph as the complex object `{(a, b), …}` of type `{N × N}`.
@@ -12,6 +19,19 @@ pub fn graph_to_value(g: &DiGraph) -> Value {
 /// `None` if the value is not a binary relation over naturals.
 pub fn value_to_graph(v: &Value) -> Option<DiGraph> {
     Some(DiGraph::from_edges(v.to_edges()?))
+}
+
+/// Encode a graph directly into the thread-local interning arena as a
+/// handle of type `{N × N}` — the zero-copy entry to the interned
+/// evaluators (`nra_eval::evaluate_vid`).
+pub fn graph_to_vid(g: &DiGraph) -> VId {
+    intern::relation(g.edges())
+}
+
+/// Decode an interned `{N × N}` handle back into a graph. Returns `None`
+/// if the handle is not a binary relation over naturals.
+pub fn vid_to_graph(v: VId) -> Option<DiGraph> {
+    Some(DiGraph::from_edges(intern::to_edges(v)?))
 }
 
 #[cfg(test)]
@@ -42,5 +62,28 @@ mod tests {
     fn non_relations_decode_to_none() {
         assert_eq!(value_to_graph(&Value::nat(3)), None);
         assert_eq!(value_to_graph(&Value::set([Value::nat(1)])), None);
+    }
+
+    #[test]
+    fn interned_round_trip_matches_tree_encoding() {
+        for g in [
+            DiGraph::new(),
+            DiGraph::chain(5),
+            DiGraph::cycle(3),
+            DiGraph::random(8, 0.3, 1),
+        ] {
+            let vid = graph_to_vid(&g);
+            // the two encodings intern to the same handle…
+            assert_eq!(vid, intern::intern(&graph_to_value(&g)));
+            // …and decode to the same graph
+            assert_eq!(vid_to_graph(vid).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn interned_non_relations_decode_to_none() {
+        assert_eq!(vid_to_graph(intern::nat(3)), None);
+        let s = intern::set([intern::nat(1)]);
+        assert_eq!(vid_to_graph(s), None);
     }
 }

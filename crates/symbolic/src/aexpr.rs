@@ -21,6 +21,7 @@ use crate::condition::Condition;
 use crate::simple::SimpleExpr;
 use crate::vars::{Env, VarGen, VarId};
 use nra_core::types::Type;
+use nra_core::value::intern::{self, VId};
 use nra_core::value::Value;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -130,7 +131,7 @@ impl AExpr {
                 let mut out = BTreeSet::new();
                 for block in blocks {
                     let mut env = env.clone();
-                    eval_block(block, n, &mut env, 0, &mut out);
+                    eval_block(block, n, &mut env, &mut out);
                 }
                 Some(Value::Set(out))
             }
@@ -138,6 +139,40 @@ impl AExpr {
                 for (arm, cond) in arms {
                     if cond.eval(n, env)? {
                         return arm.eval(n, env);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// The denotation `[A]ρ` as a hash-consed handle in the thread-local
+    /// arena — the hot-path twin of [`AExpr::eval`], used by the Lemma 5.1
+    /// verification loops ([`crate::evalem::lemma_holds_at`]) where the
+    /// same denotations are built and compared for many `n` and `ρ`:
+    /// repeated subterms intern to the same node, and the final equality
+    /// check against the evaluator's output is `O(1)`.
+    pub fn eval_interned(&self, n: u64, env: &Env) -> Option<VId> {
+        match self {
+            AExpr::Unit => Some(intern::unit()),
+            AExpr::Bool(b) => Some(intern::bool_(*b)),
+            AExpr::Num(e) => e.eval(n, env).map(intern::nat),
+            AExpr::Pair(a, b) => Some(intern::pair(
+                a.eval_interned(n, env)?,
+                b.eval_interned(n, env)?,
+            )),
+            AExpr::Set(blocks) => {
+                let mut out = Vec::new();
+                for block in blocks {
+                    let mut env = env.clone();
+                    eval_block_interned(block, n, &mut env, &mut out);
+                }
+                Some(intern::set(out))
+            }
+            AExpr::Guarded(arms) => {
+                for (arm, cond) in arms {
+                    if cond.eval(n, env)? {
+                        return arm.eval_interned(n, env);
                     }
                 }
                 None
@@ -328,7 +363,7 @@ impl AExpr {
 
     /// An upper bound on the degree of the polynomial `P(n)` with
     /// `size([A]ρ) ≤ P(n)` (§5.1: "for any abstract expression A,
-    /// size([A]ρ) is bounded by some polynomial P(n)").
+    /// `size([A]ρ)` is bounded by some polynomial P(n)").
     pub fn polynomial_degree(&self) -> u32 {
         match self {
             AExpr::Unit | AExpr::Bool(_) | AExpr::Num(_) => 0,
@@ -347,12 +382,21 @@ impl AExpr {
     }
 }
 
-fn eval_block(block: &Block, n: u64, env: &mut Env, depth: usize, out: &mut BTreeSet<Value>) {
+/// Enumerate the binder assignments of `block` at a given `n`: bind each
+/// variable over `0..=n` (saving and restoring shadowed bindings) and call
+/// `emit` once per assignment whose guard holds. The single source of the
+/// comprehension semantics, shared by the tree and interned denotations —
+/// only the body evaluation and the element sink differ between them.
+fn for_each_block_assignment(
+    block: &Block,
+    n: u64,
+    env: &mut Env,
+    depth: usize,
+    emit: &mut impl FnMut(&mut Env),
+) {
     if depth == block.vars.len() {
         if block.guard.eval(n, env) == Some(true) {
-            if let Some(v) = block.body.eval(n, env) {
-                out.insert(v);
-            }
+            emit(env);
         }
         return;
     }
@@ -360,7 +404,7 @@ fn eval_block(block: &Block, n: u64, env: &mut Env, depth: usize, out: &mut BTre
     let saved = env.get(&var).copied();
     for value in 0..=n {
         env.insert(var, value);
-        eval_block(block, n, env, depth + 1, out);
+        for_each_block_assignment(block, n, env, depth + 1, emit);
     }
     match saved {
         Some(v) => {
@@ -370,6 +414,22 @@ fn eval_block(block: &Block, n: u64, env: &mut Env, depth: usize, out: &mut BTre
             env.remove(&var);
         }
     }
+}
+
+fn eval_block(block: &Block, n: u64, env: &mut Env, out: &mut BTreeSet<Value>) {
+    for_each_block_assignment(block, n, env, 0, &mut |env| {
+        if let Some(v) = block.body.eval(n, env) {
+            out.insert(v);
+        }
+    });
+}
+
+fn eval_block_interned(block: &Block, n: u64, env: &mut Env, out: &mut Vec<VId>) {
+    for_each_block_assignment(block, n, env, 0, &mut |env| {
+        if let Some(v) = block.body.eval_interned(n, env) {
+            out.push(v);
+        }
+    });
 }
 
 /// The paper's running example: `{(x, x+1) when x ≠ n | x = 0,n}`,
@@ -578,6 +638,35 @@ mod tests {
         let open = AExpr::pair(AExpr::var(x), AExpr::num(0));
         let subbed = open.subst(x, &SimpleExpr::Const(7));
         assert_eq!(subbed, AExpr::pair(AExpr::num(7), AExpr::num(0)));
+    }
+
+    #[test]
+    fn interned_denotation_agrees_with_tree_denotation() {
+        let mut gen = VarGen::new();
+        let x = gen.fresh();
+        let suite = vec![
+            chain_aexpr(&mut gen),
+            grid_aexpr(&mut gen),
+            AExpr::empty_set(),
+            AExpr::pair(AExpr::num(3), AExpr::Num(SimpleExpr::NMinus(1))),
+            AExpr::comprehension(vec![x], AExpr::Num(SimpleExpr::Var(x, -2))),
+            AExpr::Guarded(vec![(AExpr::num(0), Condition::fls())]),
+        ];
+        for a in &suite {
+            for n in 0..5u64 {
+                let tree = a.eval(n, &Env::new());
+                let interned = a.eval_interned(n, &Env::new());
+                assert_eq!(
+                    tree,
+                    interned.map(nra_core::value::intern::resolve),
+                    "A={a}, n={n}"
+                );
+                // and the handles match a direct interning of the tree
+                if let (Some(t), Some(i)) = (&tree, interned) {
+                    assert_eq!(nra_core::value::intern::intern(t), i, "A={a}, n={n}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! > "Let A be some (not necessarily closed) abstract expression of type
 //! > s, and f ∈ NRA. Then there is some abstract expression A' such that
-//! > f(A) ⇓ A', meaning that ∀n, ∀ρ, f([A]ρ) ⇓ [A']ρ."
+//! > f(A) ⇓ A', meaning that ∀n, ∀ρ, `f([A]ρ) ⇓ [A']ρ`."
 //!
 //! [`apply`] computes that `A'` by structural recursion on `f`, exactly
 //! following the paper's proof: `map` pushes into comprehension blocks,
@@ -442,6 +442,45 @@ fn apply_powerset_in(
     }
 }
 
+/// One pointwise instance of the Lemma 5.1 conclusion, checked on the
+/// interned hot path: does `f([A]ρ) ⇓ [A']ρ` hold at this `n` and `ρ`?
+///
+/// Both denotations are built as hash-consed handles
+/// ([`AExpr::eval_interned`]), the concrete evaluation runs end-to-end on
+/// handles ([`nra_eval::evaluate_vid`]), and the final comparison is an
+/// `O(1)` handle equality — across a verification sweep over many `n` the
+/// shared subterms of the denotations are interned once. Returns `None`
+/// when either denotation is undefined at `(n, ρ)` or the concrete
+/// evaluation fails.
+///
+/// ```
+/// use nra_core::builder;
+/// use nra_symbolic::{apply, chain_aexpr, lemma_holds_at, Env, SymCtx, VarGen};
+///
+/// let mut gen = VarGen::new();
+/// let chain = chain_aexpr(&mut gen);
+/// let f = builder::map(builder::snd());
+/// let mut ctx = SymCtx::for_expr(&chain);
+/// let image = apply(&f, &chain, &mut ctx).unwrap();
+/// for n in 1..8 {
+///     assert_eq!(lemma_holds_at(&f, &chain, &image, n, &Env::new()), Some(true));
+/// }
+/// ```
+pub fn lemma_holds_at(
+    f: &Expr,
+    a: &AExpr,
+    a2: &AExpr,
+    n: u64,
+    env: &crate::vars::Env,
+) -> Option<bool> {
+    let input = a.eval_interned(n, env)?;
+    let concrete = nra_eval::evaluate_vid(f, input, &nra_eval::EvalConfig::default())
+        .result
+        .ok()?;
+    let symbolic = a2.eval_interned(n, env)?;
+    Some(concrete == symbolic)
+}
+
 /// Proposition 4.2, constructively: symbolically evaluate `f` on the input
 /// family `a`; if every `powerset` application along the way is *bounded*
 /// (Lemma 5.8 case 1), return the order `m*` — the largest witness count —
@@ -495,17 +534,26 @@ mod tests {
     use nra_eval::eval as eval_concrete;
 
     /// The Lemma 5.1 statement, checked pointwise: for every n (in range)
-    /// and every ρ (here: closed expressions), `f([A]ρ) ⇓ [A']ρ`.
+    /// and every ρ (here: closed expressions), `f([A]ρ) ⇓ [A']ρ` — on the
+    /// interned hot path ([`lemma_holds_at`]), cross-checked against the
+    /// tree denotations at the first n.
     fn check_lemma(f: &nra_core::Expr, a: &AExpr, ns: std::ops::Range<u64>) {
         let mut ctx = SymCtx::for_expr(a);
         let a2 =
             apply(f, a, &mut ctx).unwrap_or_else(|e| panic!("symbolic evaluation failed: {e}"));
+        let first = ns.start;
         for n in ns {
-            let input = a.eval(n, &Env::new()).expect("input defined");
-            let concrete = eval_concrete(f, &input).expect("concrete evaluation");
-            let symbolic = a2.eval(n, &Env::new()).expect("symbolic denotation");
-            assert_eq!(concrete, symbolic, "n={n}, f={f}, A'={a2}");
+            assert_eq!(
+                lemma_holds_at(f, a, &a2, n, &Env::new()),
+                Some(true),
+                "n={n}, f={f}, A'={a2}"
+            );
         }
+        // tree-path referee: the interned verdict is about the same objects
+        let input = a.eval(first, &Env::new()).expect("input defined");
+        let concrete = eval_concrete(f, &input).expect("concrete evaluation");
+        let symbolic = a2.eval(first, &Env::new()).expect("symbolic denotation");
+        assert_eq!(concrete, symbolic, "n={first}, f={f}, A'={a2}");
     }
 
     #[test]

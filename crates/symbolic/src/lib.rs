@@ -35,7 +35,8 @@ pub use aexpr::{chain_aexpr, AExpr, Block};
 pub use condition::{Atom, Cmp, Condition, Conjunct};
 pub use dichotomy::{analyze_cardinality, LinearCertificate, SetCardinality};
 pub use evalem::{
-    apply, approximation_order, eliminate_powerset, PowersetMode, SymCtx, SymbolicError,
+    apply, approximation_order, eliminate_powerset, lemma_holds_at, PowersetMode, SymCtx,
+    SymbolicError,
 };
 pub use lower_bound::{chain_tc_impossibility, ChainTcImpossibility};
 pub use simple::SimpleExpr;

@@ -14,8 +14,8 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`core`] (`nra-core`) | the language: types, complex objects, the §2 primitives, the Prop 2.1 derived algebra, the TC queries, `powersetₘ` |
-//! | [`eval`] (`nra-eval`) | the §3 eager evaluator with the paper's complexity measure, budgets, derivation trees, and a streaming (lazy) strategy |
+//! | [`core`] (`nra-core`) | the language: types, complex objects (tree + hash-consed arena, [`core::value::intern`]), the §2 primitives, the Prop 2.1 derived algebra, the TC queries, `powersetₘ` |
+//! | [`eval`] (`nra-eval`) | the §3 eager evaluator with the paper's complexity measure, budgets, derivation trees, and a streaming (lazy) strategy — all running on interned handles |
 //! | [`graph`] (`nra-graph`) | input generators (chains, cycles, deterministic graphs) and classical polynomial TC baselines |
 //! | [`symbolic`] (`nra-symbolic`) | the §5 proof machinery: abstract expressions, the Lemma 5.1 evaluator, affine spaces, quantifier elimination, the Lemma 5.8 dichotomy, the Lemma 5.7 Ramsey bound, Corollary 5.3 |
 //! | [`circuits`] (`nra-circuits`) | Prop 4.3's `AC⁰`/`TC⁰` substrate: threshold circuits and a flat-algebra compiler |
@@ -56,6 +56,25 @@
 //! // The while-loop route gets the same answer polynomially:
 //! let ev = evaluate(&queries::tc_while(), &Value::chain(5), &EvalConfig::default());
 //! assert_eq!(ev.result.unwrap(), Value::chain_tc(5));
+//! ```
+//!
+//! ## The interned hot path
+//!
+//! The evaluators run on the hash-consed arena of
+//! [`core::value::intern`]: every §3 size observation is an `O(1)`
+//! cached-metadata read, and equality — including the `while` fixpoint
+//! test — is a handle comparison. Stay on handles end-to-end with
+//! [`eval::evaluate_vid`]:
+//!
+//! ```
+//! use powerset_tc::core::{queries, value::intern};
+//! use powerset_tc::eval::{evaluate_vid, EvalConfig};
+//!
+//! let input = intern::chain(6); // r₆, interned — never built as a tree
+//! let ev = evaluate_vid(&queries::tc_while(), input, &EvalConfig::default());
+//! let out = ev.result.unwrap();
+//! assert_eq!(out, intern::chain_tc(6)); // O(1) equality on handles
+//! assert_eq!(intern::size(out), 1 + 3 * 21); // O(1) §3 size: 21 closure edges
 //! ```
 
 #![warn(missing_docs)]
