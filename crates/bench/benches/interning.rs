@@ -1,13 +1,18 @@
-//! Interned vs tree evaluation on the differential-suite graph families.
+//! Tree vs interned vs memoised evaluation on the differential-suite
+//! graph families.
 //!
 //! The §3 measure observes `size(C)` at every rule application; the
 //! hash-consed arena (`nra_core::value::intern`) turns those observations,
-//! `clone`s and fixpoint equality tests into `O(1)` handle operations.
-//! This bench quantifies the win on the same workloads the differential
-//! harness (`tests/differential.rs`) verifies — transitive closure on
-//! chains and random DAGs via the `while` route, and the powerset route on
-//! small chains — and appends the results to `BENCH_eval.json` at the
-//! repository root so the perf trajectory accumulates across PRs.
+//! `clone`s and fixpoint equality tests into `O(1)` handle operations, and
+//! the apply cache (`EvalConfig::memoised`, keyed `(EId, VId) → VId` on
+//! the expression arena of `nra_core::expr::intern`) skips re-deriving
+//! judgments already seen — the BDD-style trick that collapses the
+//! repeated body applications inside `while`. This bench quantifies both
+//! wins on the workloads the differential harnesses verify — transitive
+//! closure on chains, random DAGs, grids, cliques and sparse random
+//! graphs via the `while` route, and the powerset route on a small chain
+//! — and appends the results to `BENCH_eval.json` at the repository root
+//! so the perf trajectory accumulates across PRs.
 //!
 //! ```sh
 //! NRA_BENCH_SAMPLES=2 cargo bench -p nra-bench --bench interning
@@ -19,31 +24,38 @@ use nra_bench::{
 
 fn main() {
     let samples = bench_samples();
-    // chain r_n and random-DAG families through the while route (object
-    // sizes Θ(n⁴) at the self-product), plus the powerset route on a
-    // small chain — see nra_bench::standard_eval_comparisons
+    // chain/DAG/grid/clique/sparse families through the while route
+    // (object sizes Θ(n⁴) at the self-product), plus the powerset route
+    // on a small chain — see nra_bench::standard_eval_comparisons
     let comparisons = standard_eval_comparisons(samples);
 
-    println!("interned vs tree eager evaluation ({samples} samples, median):");
+    println!("tree vs interned vs memoised eager evaluation ({samples} samples, median):");
     println!(
-        "{:<20} {:>4} {:>12} {:>12} {:>9}",
-        "workload", "n", "tree", "interned", "speedup"
+        "{:<20} {:>4} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "workload", "n", "tree", "interned", "memoised", "intern×", "memo×"
     );
     for c in &comparisons {
         println!(
-            "{:<20} {:>4} {:>12} {:>12} {:>8.2}x",
+            "{:<20} {:>4} {:>12} {:>12} {:>12} {:>8.2}x {:>8.2}x",
             c.workload,
             c.n,
             fmt_duration(c.tree),
             fmt_duration(c.interned),
-            c.speedup()
+            fmt_duration(c.memoised),
+            c.speedup(),
+            c.memo_speedup()
         );
     }
     let min = comparisons
         .iter()
         .map(EvalComparison::speedup)
         .fold(f64::INFINITY, f64::min);
-    println!("minimum speedup across workloads: {min:.2}x");
+    let min_memo = comparisons
+        .iter()
+        .map(EvalComparison::memo_speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("minimum interned speedup across workloads: {min:.2}x");
+    println!("minimum memo speedup across workloads:     {min_memo:.2}x");
 
     let path = write_bench_eval_json(&comparisons, samples).expect("write BENCH_eval.json");
     println!("wrote {}", path.display());

@@ -1,13 +1,13 @@
 //! # nra-bench
 //!
-//! Shared measurement helpers for the experiment suite (E1–E11 of
+//! Shared measurement helpers for the experiment suite (E1–E12 of
 //! DESIGN.md): complexity series over the chain inputs, slope fits for
 //! exponential/polynomial growth classification, wall-clock timing, and
-//! the interned-vs-tree evaluator comparison ([`compare_eval`]) whose
-//! results accumulate in `BENCH_eval.json` at the repository root
-//! ([`write_bench_eval_json`]).
+//! the tree-vs-interned-vs-memoised evaluator comparison
+//! ([`compare_eval`]) whose results accumulate in `BENCH_eval.json` at
+//! the repository root ([`write_bench_eval_json`]).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod tinybench;
 
@@ -110,8 +110,10 @@ pub fn bench_samples() -> usize {
     tinybench::default_samples()
 }
 
-/// One timed comparison of the interned eager evaluator against the
-/// tree-walking baseline on the same query and input.
+/// One timed comparison of the three eager evaluation paths — the
+/// tree-walking baseline, the interned (hash-consed) path, and the
+/// memoised path (interned + the `(EId, VId) → VId` apply cache) — on
+/// the same query and input.
 #[derive(Debug, Clone)]
 pub struct EvalComparison {
     /// Workload label, e.g. `"chain/tc_while"`.
@@ -122,12 +124,23 @@ pub struct EvalComparison {
     pub tree: Duration,
     /// Median wall-clock of [`nra_eval::evaluate`] (the interned path).
     pub interned: Duration,
+    /// Median wall-clock of [`nra_eval::evaluate`] under
+    /// [`nra_eval::EvalConfig::memoised`] (interned + apply cache).
+    pub memoised: Duration,
 }
 
 impl EvalComparison {
     /// How many times faster the interned path is (tree / interned).
     pub fn speedup(&self) -> f64 {
         self.tree.as_secs_f64() / self.interned.as_secs_f64().max(1e-12)
+    }
+
+    /// How many times faster the apply cache makes the interned path
+    /// (interned / memoised). Recorded per workload (and as a geomean)
+    /// in `BENCH_eval.json`; CI prints it but gates only on the
+    /// interned-over-tree geomean.
+    pub fn memo_speedup(&self) -> f64 {
+        self.interned.as_secs_f64() / self.memoised.as_secs_f64().max(1e-12)
     }
 }
 
@@ -145,9 +158,35 @@ pub fn median_time<R>(samples: usize, mut f: impl FnMut() -> R) -> Duration {
     times[times.len() / 2]
 }
 
-/// Time the tree-walking and interned eager evaluators on one workload
-/// (asserting along the way that they produce the same result) and return
-/// the comparison.
+/// Median of each column over `samples` *interleaved* rounds: every
+/// round times each function once, back to back, so ambient machine
+/// noise (a shared or single-core box) degrades all columns equally
+/// instead of whichever happened to run in the noisy phase — the
+/// speedup *ratios* stay meaningful even when absolute times wobble.
+fn interleaved_medians<const K: usize>(
+    samples: usize,
+    fs: &mut [&mut dyn FnMut(); K],
+) -> [Duration; K] {
+    for f in fs.iter_mut() {
+        f(); // warm-up
+    }
+    let mut columns: [Vec<Duration>; K] = std::array::from_fn(|_| Vec::with_capacity(samples));
+    for _ in 0..samples.max(1) {
+        for (f, column) in fs.iter_mut().zip(columns.iter_mut()) {
+            let start = Instant::now();
+            f();
+            column.push(start.elapsed());
+        }
+    }
+    std::array::from_fn(|i| {
+        columns[i].sort_unstable();
+        columns[i][columns[i].len() / 2]
+    })
+}
+
+/// Time the tree-walking, interned, and memoised eager evaluators on one
+/// workload (asserting along the way that all three produce the same
+/// result) and return the comparison.
 pub fn compare_eval(
     workload: &str,
     n: u64,
@@ -156,31 +195,54 @@ pub fn compare_eval(
     samples: usize,
 ) -> EvalComparison {
     let cfg = EvalConfig::default();
+    let memo_cfg = EvalConfig::memoised();
     let tree_out = evaluate_tree(query, input, &cfg).result.expect("tree eval");
     let interned_out = evaluate(query, input, &cfg).result.expect("interned eval");
     assert_eq!(tree_out, interned_out, "paths disagree on {workload} n={n}");
-    let tree = median_time(samples, || evaluate_tree(query, input, &cfg));
-    let interned = median_time(samples, || evaluate(query, input, &cfg));
+    let memo_out = evaluate(query, input, &memo_cfg)
+        .result
+        .expect("memoised eval");
+    assert_eq!(
+        interned_out, memo_out,
+        "memoised path disagrees on {workload} n={n}"
+    );
+    let [tree, interned, memoised] = interleaved_medians(
+        samples,
+        &mut [
+            &mut || {
+                std::hint::black_box(evaluate_tree(query, input, &cfg));
+            },
+            &mut || {
+                std::hint::black_box(evaluate(query, input, &cfg));
+            },
+            &mut || {
+                std::hint::black_box(evaluate(query, input, &memo_cfg));
+            },
+        ],
+    );
     EvalComparison {
         workload: workload.to_string(),
         n,
         tree,
         interned,
+        memoised,
     }
 }
 
-/// The canonical interned-vs-tree workload set feeding `BENCH_eval.json`
-/// — the chain and DAG families of the differential suite through the
-/// `while` route, plus the powerset route on a small chain. Shared by
-/// `benches/interning.rs` and the `report` binary so the two entry points
-/// can never drift apart.
+/// The canonical tree-vs-interned-vs-memoised workload set feeding
+/// `BENCH_eval.json` — the chain and DAG families of the differential
+/// suite through the `while` route, the powerset route on a small chain,
+/// and the grid/clique/random-sparse families added with the apply
+/// cache. Shared by `benches/interning.rs` and the `report` binary so
+/// the two entry points can never drift apart.
 pub fn standard_eval_comparisons(samples: usize) -> Vec<EvalComparison> {
+    let tc_while = nra_core::queries::tc_while();
     let mut comparisons = Vec::new();
     for n in [8u64, 12] {
         comparisons.push(compare_eval(
             "chain/tc_while",
             n,
-            &nra_core::queries::tc_while(),
+            &tc_while,
             &Value::chain(n),
             samples,
         ));
@@ -190,7 +252,7 @@ pub fn standard_eval_comparisons(samples: usize) -> Vec<EvalComparison> {
         comparisons.push(compare_eval(
             "dag/tc_while",
             n,
-            &nra_core::queries::tc_while(),
+            &tc_while,
             &nra_graph::graph_to_value(&g),
             samples,
         ));
@@ -200,6 +262,33 @@ pub fn standard_eval_comparisons(samples: usize) -> Vec<EvalComparison> {
         10,
         &nra_core::queries::tc_paths(),
         &Value::chain(10),
+        samples,
+    ));
+    // the families added with the apply cache: a 3×4 grid (17 edges), the
+    // complete digraph on 5 nodes (20 edges), and a seeded sparse random
+    // graph — all through the polynomial while route
+    let grid = nra_graph::DiGraph::grid(3, 4);
+    comparisons.push(compare_eval(
+        "grid/tc_while",
+        12,
+        &tc_while,
+        &nra_graph::graph_to_value(&grid),
+        samples,
+    ));
+    let clique = nra_graph::DiGraph::clique(5);
+    comparisons.push(compare_eval(
+        "clique/tc_while",
+        5,
+        &tc_while,
+        &nra_graph::graph_to_value(&clique),
+        samples,
+    ));
+    let sparse = nra_graph::DiGraph::random(10, 0.15, 7);
+    comparisons.push(compare_eval(
+        "sparse/tc_while",
+        10,
+        &tc_while,
+        &nra_graph::graph_to_value(&sparse),
         samples,
     ));
     comparisons
@@ -236,12 +325,14 @@ pub fn write_bench_eval_json_to(
     out.push_str("  \"unit\": \"ns\",\n  \"workloads\": [\n");
     for (i, c) in comparisons.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"n\": {}, \"tree_ns\": {}, \"interned_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"workload\": \"{}\", \"n\": {}, \"tree_ns\": {}, \"interned_ns\": {}, \"memo_ns\": {}, \"speedup\": {:.3}, \"memo_speedup\": {:.3}}}{}\n",
             c.workload,
             c.n,
             c.tree.as_nanos(),
             c.interned.as_nanos(),
+            c.memoised.as_nanos(),
             c.speedup(),
+            c.memo_speedup(),
             if i + 1 == comparisons.len() { "" } else { "," }
         ));
     }
@@ -256,9 +347,19 @@ pub fn write_bench_eval_json_to(
     let geomean = (comparisons.iter().map(|c| c.speedup().ln()).sum::<f64>()
         / comparisons.len().max(1) as f64)
         .exp();
+    let geomean_memo = (comparisons
+        .iter()
+        .map(|c| c.memo_speedup().ln())
+        .sum::<f64>()
+        / comparisons.len().max(1) as f64)
+        .exp();
     out.push_str("  ],\n");
     out.push_str(&format!("  \"min_speedup\": {:.3},\n", min));
-    out.push_str(&format!("  \"geomean_speedup\": {:.3}\n}}\n", geomean));
+    out.push_str(&format!("  \"geomean_speedup\": {:.3},\n", geomean));
+    out.push_str(&format!(
+        "  \"geomean_memo_speedup\": {:.3}\n}}\n",
+        geomean_memo
+    ));
     let mut file = std::fs::File::create(&path)?;
     file.write_all(out.as_bytes())?;
     Ok(path)
@@ -318,7 +419,7 @@ mod tests {
     }
 
     #[test]
-    fn compare_eval_checks_agreement_and_times_both_paths() {
+    fn compare_eval_checks_agreement_and_times_all_three_paths() {
         let c = compare_eval(
             "chain/tc_while",
             6,
@@ -329,7 +430,9 @@ mod tests {
         assert_eq!(c.workload, "chain/tc_while");
         assert!(c.tree > Duration::ZERO);
         assert!(c.interned > Duration::ZERO);
+        assert!(c.memoised > Duration::ZERO);
         assert!(c.speedup() > 0.0);
+        assert!(c.memo_speedup() > 0.0);
     }
 
     #[test]
@@ -340,12 +443,14 @@ mod tests {
                 n: 8,
                 tree: Duration::from_micros(400),
                 interned: Duration::from_micros(100),
+                memoised: Duration::from_micros(50),
             },
             EvalComparison {
                 workload: "dag/tc_while".into(),
                 n: 8,
                 tree: Duration::from_micros(300),
                 interned: Duration::from_micros(150),
+                memoised: Duration::from_micros(75),
             },
         ];
         // write to a scratch path — the repo-root BENCH_eval.json is a
@@ -361,7 +466,10 @@ mod tests {
         assert!(text.contains("\"workload\": \"chain/tc_while\""));
         assert!(text.contains("\"samples\": 2"));
         assert!(text.contains("\"speedup\": 4.000"));
+        assert!(text.contains("\"memo_ns\": 50000"));
+        assert!(text.contains("\"memo_speedup\": 2.000"));
         assert!(text.contains("\"min_speedup\": 2.000"));
+        assert!(text.contains("\"geomean_memo_speedup\": 2.000"));
         // balanced braces/brackets (no trailing-comma style breakage)
         assert_eq!(
             text.matches('{').count(),

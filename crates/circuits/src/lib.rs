@@ -7,7 +7,7 @@
 //! cross-validates compiled circuits against the `NRA` evaluator on the
 //! same relations.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bridge;
 pub mod circuit;

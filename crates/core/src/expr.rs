@@ -17,6 +17,8 @@
 //! * [`Expr::Const`] — constant functions (convenience; not used by any of
 //!   the theorem-reproducing queries).
 
+pub mod intern;
+
 use crate::types::Type;
 use crate::value::Value;
 use std::fmt;

@@ -1,0 +1,466 @@
+//! Hash-consed interning of expressions.
+//!
+//! [`crate::value::intern`] gave complex objects canonical `u32` handles;
+//! this module does the same for [`Expr`]essions. Every structurally
+//! distinct expression node is stored once in an [`ExprArena`] and
+//! addressed by an [`EId`], so
+//!
+//! * equal expressions always receive equal handles — `==` on interned
+//!   expressions is a `u32` comparison;
+//! * each node carries cached metadata — the AST node count
+//!   ([`ExprArena::ops`], the measure of [`Expr::size`]) and the tree
+//!   height ([`ExprArena::height`]) — as `O(1)` lookups;
+//! * the pair `(EId, VId)` is a perfect, copyable key for *apply
+//!   caches* in the style of the BDD literature: `f(C) ⇓ C'` is a pure
+//!   judgment, so a memo table keyed on (interned expression, interned
+//!   input) can return the cached result handle instead of re-running
+//!   the derivation. `nra-eval`'s memoised eager evaluator is exactly
+//!   that table.
+//!
+//! Like the value arena, the expression arena is thread-local by
+//! default ([`intern`], [`resolve`], [`node`], … operate on the calling
+//! thread's arena; [`EId`] is `!Send`/`!Sync`), grows monotonically,
+//! and can be reset at quiescent points with [`reset_thread_arena`].
+//!
+//! # Examples
+//!
+//! ```
+//! use nra_core::expr::intern;
+//! use nra_core::queries;
+//!
+//! let a = intern::intern(&queries::tc_while());
+//! let b = intern::intern(&queries::tc_while());
+//! assert_eq!(a, b); // equal expressions ⇒ equal handles
+//! assert_eq!(intern::ops(a), queries::tc_while().size() as u64); // cached
+//! assert_eq!(intern::resolve(a), queries::tc_while()); // round-trips
+//! ```
+
+use super::{Expr, ExprRef};
+use crate::value::intern::FxBuildHasher;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A handle to an interned expression in an [`ExprArena`].
+///
+/// Within one arena, two handles are equal **iff** the expressions they
+/// denote are structurally equal. Handles are only meaningful in the
+/// arena that issued them — for this module's free functions, the
+/// calling thread's arena — so `EId` is `!Send`/`!Sync` (via a phantom
+/// [`Rc`] marker), exactly like the value arena's `VId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EId(u32, std::marker::PhantomData<Rc<()>>);
+
+impl EId {
+    fn new(raw: u32) -> Self {
+        EId(raw, std::marker::PhantomData)
+    }
+
+    /// The raw arena index of this handle (stable for the arena's
+    /// lifetime; mainly useful for debugging and dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned expression node: the recursive constructs hold child
+/// handles, everything else is a [`Leaf`](ENode::Leaf) holding the
+/// (non-recursive) expression itself. Matching on the node is how the
+/// memoised evaluator walks an interned expression without ever
+/// materialising its tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ENode {
+    /// A non-recursive head (`id`, `π₁`, `∪`, `powerset`, `const`, …),
+    /// shared behind an [`ExprRef`] so cloning the node is `O(1)`.
+    Leaf(ExprRef),
+    /// `⟨f, g⟩` — pair formation.
+    Tuple(EId, EId),
+    /// `map(f)`.
+    Map(EId),
+    /// `if c then t else e`.
+    Cond(EId, EId, EId),
+    /// `g ∘ f` (`f` applied first, as in [`Expr::Compose`]).
+    Compose(EId, EId),
+    /// `while(f)`.
+    While(EId),
+}
+
+impl ENode {
+    /// The rule label of this node — identical to [`Expr::head_name`]
+    /// of the expression it denotes.
+    pub fn head_name(&self) -> &'static str {
+        match self {
+            ENode::Leaf(e) => e.head_name(),
+            ENode::Tuple(..) => "tuple",
+            ENode::Map(_) => "map",
+            ENode::Cond(..) => "if",
+            ENode::Compose(..) => "compose",
+            ENode::While(_) => "while",
+        }
+    }
+}
+
+/// Cached per-node metadata, computed once at interning time.
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    /// AST node count — the measure of [`Expr::size`] (saturating).
+    ops: u64,
+    /// Tree height: leaves are 1 (saturating).
+    height: u32,
+}
+
+/// A hash-consing arena for expressions, mirroring
+/// [`crate::value::intern::ValueArena`]'s dedup/canonicalisation design.
+///
+/// ```
+/// use nra_core::expr::intern::ExprArena;
+/// use nra_core::builder;
+///
+/// let mut arena = ExprArena::new();
+/// let f = builder::compose(builder::flatten(), builder::map(builder::sng()));
+/// let id = arena.intern(&f);
+/// assert_eq!(arena.intern(&f), id); // dedup
+/// assert_eq!(arena.ops(id), f.size() as u64);
+/// assert_eq!(arena.height(id), 3); // compose → map → sng
+/// assert_eq!(arena.resolve(id), f);
+/// ```
+#[derive(Debug, Default)]
+pub struct ExprArena {
+    nodes: Vec<ENode>,
+    metas: Vec<Meta>,
+    dedup: HashMap<ENode, EId, FxBuildHasher>,
+    /// Bumped by [`ExprArena::clear`], so holders of incremental
+    /// snapshots can detect that their prefix went stale.
+    generation: u64,
+}
+
+impl ExprArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        ExprArena::default()
+    }
+
+    /// Number of distinct expression nodes interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena holds no nodes yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// [`ExprArena::len`], named for symmetry with the value arena's
+    /// occupancy introspection.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Discard every interned node. **All previously issued [`EId`]s
+    /// become invalid** — same contract as
+    /// [`crate::value::intern::ValueArena::clear`].
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.metas.clear();
+        self.dedup.clear();
+        self.generation += 1;
+    }
+
+    /// A counter that changes exactly when previously issued handles are
+    /// invalidated ([`ExprArena::clear`]) — consumers holding an
+    /// incremental [`ExprArena::extend_snapshot`] prefix compare it to
+    /// decide whether their copy is still a prefix of this arena.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn meta_for(&self, node: &ENode) -> Meta {
+        let children: [Option<EId>; 3] = match *node {
+            ENode::Leaf(_) => [None, None, None],
+            ENode::Map(f) | ENode::While(f) => [Some(f), None, None],
+            ENode::Tuple(f, g) | ENode::Compose(f, g) => [Some(f), Some(g), None],
+            ENode::Cond(c, t, e) => [Some(c), Some(t), Some(e)],
+        };
+        let mut ops: u64 = 1;
+        let mut child_height: u32 = 0;
+        for child in children.into_iter().flatten() {
+            let m = self.meta(child);
+            ops = ops.saturating_add(m.ops);
+            child_height = child_height.max(m.height);
+        }
+        Meta {
+            ops,
+            height: child_height.saturating_add(1),
+        }
+    }
+
+    fn meta(&self, e: EId) -> Meta {
+        self.metas[e.index()]
+    }
+
+    fn add(&mut self, node: ENode) -> EId {
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let meta = self.meta_for(&node);
+        let id = EId::new(u32::try_from(self.nodes.len()).expect("ExprArena: more than 2³² nodes"));
+        self.dedup.insert(node.clone(), id);
+        self.nodes.push(node);
+        self.metas.push(meta);
+        id
+    }
+
+    /// Intern an expression, sharing every repeated subterm.
+    pub fn intern(&mut self, e: &Expr) -> EId {
+        match e {
+            Expr::Tuple(f, g) => {
+                let f = self.intern(f);
+                let g = self.intern(g);
+                self.add(ENode::Tuple(f, g))
+            }
+            Expr::Map(f) => {
+                let f = self.intern(f);
+                self.add(ENode::Map(f))
+            }
+            Expr::Cond(c, t, els) => {
+                let c = self.intern(c);
+                let t = self.intern(t);
+                let els = self.intern(els);
+                self.add(ENode::Cond(c, t, els))
+            }
+            Expr::Compose(g, f) => {
+                let g = self.intern(g);
+                let f = self.intern(f);
+                self.add(ENode::Compose(g, f))
+            }
+            Expr::While(f) => {
+                let f = self.intern(f);
+                self.add(ENode::While(f))
+            }
+            leaf => self.add(ENode::Leaf(leaf.clone().rc())),
+        }
+    }
+
+    /// The interned node behind a handle — an `O(1)` clone ([`ENode`]
+    /// children are handles; leaves are behind an [`ExprRef`]).
+    pub fn node(&self, e: EId) -> ENode {
+        self.nodes[e.index()].clone()
+    }
+
+    /// Materialise the tree form of an interned expression. `O(ops)`.
+    pub fn resolve(&self, e: EId) -> Expr {
+        match &self.nodes[e.index()] {
+            ENode::Leaf(leaf) => (**leaf).clone(),
+            ENode::Tuple(f, g) => Expr::Tuple(self.resolve(*f).rc(), self.resolve(*g).rc()),
+            ENode::Map(f) => Expr::Map(self.resolve(*f).rc()),
+            ENode::Cond(c, t, els) => Expr::Cond(
+                self.resolve(*c).rc(),
+                self.resolve(*t).rc(),
+                self.resolve(*els).rc(),
+            ),
+            ENode::Compose(g, f) => Expr::Compose(self.resolve(*g).rc(), self.resolve(*f).rc()),
+            ENode::While(f) => Expr::While(self.resolve(*f).rc()),
+        }
+    }
+
+    /// Clone the node table as a dense vector indexed by
+    /// [`EId::index`]. Evaluators snapshot this once per evaluation so
+    /// their inner loop reads expression structure by plain indexing
+    /// instead of re-borrowing the (thread-local) arena at every
+    /// derivation step. Cheap: nodes hold child handles and `Rc`'d
+    /// leaves, and expressions are tiny next to the objects they
+    /// compute on.
+    pub fn snapshot(&self) -> Vec<ENode> {
+        self.nodes.clone()
+    }
+
+    /// Bring an earlier snapshot up to date by appending only the nodes
+    /// interned since it was taken — the arena is append-only between
+    /// [`ExprArena::clear`]s, so a snapshot is always a prefix of the
+    /// node table (callers detect clears via [`ExprArena::generation`]
+    /// and start from an empty vector again). This keeps repeated
+    /// evaluations `O(new nodes)` instead of `O(arena)`.
+    pub fn extend_snapshot(&self, out: &mut Vec<ENode>) {
+        debug_assert!(
+            out.len() <= self.nodes.len(),
+            "extend_snapshot: stale snapshot longer than the arena — missed a clear()?"
+        );
+        out.extend_from_slice(&self.nodes[out.len().min(self.nodes.len())..]);
+    }
+
+    /// Cached AST node count — the measure of [`Expr::size`], `O(1)`,
+    /// saturating at `u64::MAX`.
+    pub fn ops(&self, e: EId) -> u64 {
+        self.meta(e).ops
+    }
+
+    /// Cached tree height (leaves are 1) — `O(1)`, saturating.
+    pub fn height(&self, e: EId) -> u32 {
+        self.meta(e).height
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<ExprArena> = RefCell::new(ExprArena::new());
+}
+
+/// Run `f` with exclusive access to the calling thread's expression
+/// arena. Do not call this module's free functions from inside `f` (the
+/// `RefCell` borrow would panic).
+pub fn with_arena<R>(f: impl FnOnce(&mut ExprArena) -> R) -> R {
+    ARENA.with(|a| f(&mut a.borrow_mut()))
+}
+
+/// Intern an expression into the thread-local arena.
+pub fn intern(e: &Expr) -> EId {
+    with_arena(|a| a.intern(e))
+}
+
+/// Materialise the tree form of a thread-locally interned expression.
+pub fn resolve(e: EId) -> Expr {
+    with_arena(|a| a.resolve(e))
+}
+
+/// The interned node behind a handle (`O(1)` clone).
+pub fn node(e: EId) -> ENode {
+    with_arena(|a| a.node(e))
+}
+
+/// Cached AST node count — `O(1)`, saturating.
+pub fn ops(e: EId) -> u64 {
+    with_arena(|a| a.ops(e))
+}
+
+/// Cached tree height — `O(1)`, saturating.
+pub fn height(e: EId) -> u32 {
+    with_arena(|a| a.height(e))
+}
+
+/// Number of distinct nodes in the thread-local expression arena.
+pub fn node_count() -> usize {
+    with_arena(|a| a.node_count())
+}
+
+/// Snapshot the thread-local arena's node table — see
+/// [`ExprArena::snapshot`].
+pub fn snapshot() -> Vec<ENode> {
+    with_arena(|a| a.snapshot())
+}
+
+/// Update `out` (a snapshot taken at `generation`) to match the
+/// thread-local arena, restarting from scratch if the arena was cleared
+/// in between; returns the current generation. See
+/// [`ExprArena::extend_snapshot`].
+pub fn sync_snapshot(out: &mut Vec<ENode>, generation: u64) -> u64 {
+    with_arena(|a| {
+        if a.generation() != generation {
+            out.clear();
+        }
+        a.extend_snapshot(out);
+        a.generation()
+    })
+}
+
+/// Discard every node of the calling thread's expression arena — all
+/// previously issued `EId`s on this thread become invalid (same
+/// contract as [`crate::value::intern::reset_thread_arena`]).
+pub fn reset_thread_arena() {
+    with_arena(|a| a.clear())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::queries;
+
+    #[test]
+    fn interning_is_canonical_and_round_trips() {
+        let mut a = ExprArena::new();
+        for e in [
+            id(),
+            compose(flatten(), map(sng())),
+            queries::tc_while(),
+            queries::tc_paths(),
+            powerset_m_prim(3),
+        ] {
+            let i1 = a.intern(&e);
+            let i2 = a.intern(&e.clone());
+            assert_eq!(i1, i2, "{e}");
+            assert_eq!(a.resolve(i1), e, "{e}");
+        }
+    }
+
+    #[test]
+    fn cached_metadata_matches_recursive_measures() {
+        fn rec_height(e: &Expr) -> u32 {
+            match e {
+                Expr::Map(f) | Expr::While(f) => 1 + rec_height(f),
+                Expr::Tuple(f, g) | Expr::Compose(f, g) => 1 + rec_height(f).max(rec_height(g)),
+                Expr::Cond(c, t, els) => 1 + rec_height(c).max(rec_height(t)).max(rec_height(els)),
+                _ => 1,
+            }
+        }
+        let mut a = ExprArena::new();
+        for e in [id(), queries::tc_while(), queries::tc_paths()] {
+            let i = a.intern(&e);
+            assert_eq!(a.ops(i), e.size() as u64, "ops of {e}");
+            assert_eq!(a.height(i), rec_height(&e), "height of {e}");
+        }
+    }
+
+    #[test]
+    fn shared_subterms_are_stored_once() {
+        let mut a = ExprArena::new();
+        // ⟨f, f⟩ shares its two children
+        let f = compose(flatten(), map(sng()));
+        let before = a.node_count();
+        a.intern(&tuple(f.clone(), f.clone()));
+        let delta = a.node_count() - before;
+        // f has 4 distinct nodes (compose, flatten, map, sng) + the tuple
+        assert_eq!(delta, 5, "shared subterm interned twice");
+    }
+
+    #[test]
+    fn node_exposes_the_structure() {
+        let mut a = ExprArena::new();
+        let i = a.intern(&compose(flatten(), map(sng())));
+        match a.node(i) {
+            ENode::Compose(g, f) => {
+                assert!(matches!(a.node(g), ENode::Leaf(ref e) if **e == Expr::Flatten));
+                match a.node(f) {
+                    ENode::Map(b) => {
+                        assert!(matches!(a.node(b), ENode::Leaf(ref e) if **e == Expr::Sng))
+                    }
+                    other => panic!("expected map, got {other:?}"),
+                }
+            }
+            other => panic!("expected compose, got {other:?}"),
+        }
+        assert_eq!(a.node(i).head_name(), "compose");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = ExprArena::new();
+        a.intern(&queries::tc_while());
+        assert!(!a.is_empty());
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.node_count(), 0);
+        let i = a.intern(&id());
+        assert_eq!(a.resolve(i), id());
+    }
+
+    #[test]
+    fn thread_local_facade_round_trips() {
+        let e = queries::tc_step();
+        let i = intern(&e);
+        assert_eq!(resolve(i), e);
+        assert_eq!(intern(&e), i);
+        assert_eq!(ops(i), e.size() as u64);
+        assert!(height(i) >= 2);
+        assert!(node_count() >= 4);
+        assert_eq!(node(i).head_name(), "compose");
+    }
+}

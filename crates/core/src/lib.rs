@@ -13,7 +13,9 @@
 //! * [`value`] — complex objects with the paper's §3 size measure, plus
 //!   the hash-consed interning arena ([`value::intern`]) that gives the
 //!   evaluators O(1) `size`/`==`/`clone` on their hot paths;
-//! * [`expr`] — the combinator language (§2 primitives + extensions);
+//! * [`expr`] — the combinator language (§2 primitives + extensions),
+//!   plus its own hash-consing arena ([`expr::intern`]) whose `EId`
+//!   handles key the evaluators' `(EId, VId) → VId` apply cache;
 //! * [`typecheck`] — codomain inference for `f : s → t`;
 //! * [`builder`] — notation-level constructors;
 //! * [`derived`] — Proposition 2.1's derived operations (cartesian product,
@@ -39,6 +41,7 @@ pub mod typecheck;
 pub mod types;
 pub mod value;
 
+pub use expr::intern::{EId, ExprArena};
 pub use expr::{Expr, ExprRef, LangLevel};
 pub use typecheck::{check, fn_type, output_type, TypeError};
 pub use types::{FnType, Type};

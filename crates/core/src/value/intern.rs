@@ -73,11 +73,18 @@ use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
 
 /// A fast non-cryptographic hasher (the FxHash recipe: rotate, xor,
-/// multiply) for the dedup map. Interning happens on the evaluator hot
-/// path, every constructed node pays one hash — DoS-resistant SipHash
-/// buys nothing here because keys are internal handles, not user input.
+/// multiply) for handle-keyed maps. Interning happens on the evaluator
+/// hot path, every constructed node pays one hash — DoS-resistant
+/// SipHash buys nothing here because keys are internal handles, not
+/// user input. Public so that consumers building side tables keyed on
+/// [`VId`]s (or the expression arena's `EId`s) — such as the
+/// evaluators' memo tables — can use the same cheap recipe.
 #[derive(Default)]
-struct FxHasher(u64);
+pub struct FxHasher(u64);
+
+/// [`BuildHasher`](std::hash::BuildHasher) for [`FxHasher`]-backed maps:
+/// `HashMap<K, V, FxBuildHasher>`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
@@ -223,6 +230,9 @@ pub struct ArenaStats {
     /// Sum over set nodes of their element counts (total fan-out held by
     /// the arena — a proxy for its memory footprint).
     pub set_children: usize,
+    /// Approximate resident bytes — see
+    /// [`ValueArena::approx_resident_bytes`].
+    pub approx_bytes: usize,
 }
 
 impl ValueArena {
@@ -256,7 +266,38 @@ impl ValueArena {
         self.dedup.clear();
     }
 
-    /// Aggregate statistics (node count, total set fan-out).
+    /// Number of distinct nodes interned so far — the occupancy figure
+    /// the cache-effectiveness reports print (an alias of
+    /// [`ValueArena::len`], named for symmetry with the expression
+    /// arena's `node_count`).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate resident bytes held by the arena: the node and
+    /// metadata vectors, the set-element fan-out, and the dedup map's
+    /// entries (each key clones its node). An estimate — allocator
+    /// slack and `HashMap` load factor are not modelled — intended for
+    /// occupancy reporting, not exact accounting.
+    pub fn approx_resident_bytes(&self) -> usize {
+        let per_node = std::mem::size_of::<Node>() + std::mem::size_of::<Meta>();
+        // dedup holds a clone of every node (the Rc'd element slice is
+        // shared, not duplicated) plus a VId and a cached hash
+        let per_dedup_entry =
+            std::mem::size_of::<Node>() + std::mem::size_of::<VId>() + std::mem::size_of::<u64>();
+        let fan_out: usize = self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                Node::Set(items) => items.len() * std::mem::size_of::<VId>(),
+                _ => 0,
+            })
+            .sum();
+        self.nodes.len() * (per_node + per_dedup_entry) + fan_out
+    }
+
+    /// Aggregate statistics (node count, total set fan-out, approximate
+    /// resident bytes).
     pub fn stats(&self) -> ArenaStats {
         let set_children = self
             .nodes
@@ -269,6 +310,7 @@ impl ValueArena {
         ArenaStats {
             nodes: self.nodes.len(),
             set_children,
+            approx_bytes: self.approx_resident_bytes(),
         }
     }
 
@@ -381,6 +423,172 @@ impl ValueArena {
     /// Intern the empty set.
     pub fn empty_set(&mut self) -> VId {
         self.add(Node::Set(Rc::from([])))
+    }
+
+    /// Intern a set from an element vector that is **already sorted and
+    /// deduplicated** in the canonical handle order — the entry point
+    /// the merge operations use so merged results are never re-sorted.
+    fn add_canonical_set(&mut self, items: Vec<VId>) -> VId {
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "add_canonical_set: elements must be strictly ascending"
+        );
+        self.add(Node::Set(items.into()))
+    }
+
+    /// Union of two interned sets as one linear merge over their
+    /// canonical (sorted, deduplicated) element slices. `None` if
+    /// either handle is not a set. `a ∪ a` short-circuits to `a`.
+    ///
+    /// ```
+    /// use nra_core::value::intern::ValueArena;
+    ///
+    /// let mut a = ValueArena::new();
+    /// let x = a.relation([(0, 1), (1, 2)]);
+    /// let y = a.relation([(1, 2), (5, 6)]);
+    /// let u = a.set_union(x, y).unwrap();
+    /// assert_eq!(u, a.relation([(0, 1), (1, 2), (5, 6)]));
+    /// assert_eq!(a.set_union(x, x), Some(x));
+    /// ```
+    pub fn set_union(&mut self, a: VId, b: VId) -> Option<VId> {
+        let xs = self.as_set(a)?;
+        let ys = self.as_set(b)?;
+        if a == b {
+            return Some(a);
+        }
+        Some(self.add_canonical_set(merge_sorted(&xs, &ys)))
+    }
+
+    /// Intersection of two interned sets, as one linear merge. `None` if
+    /// either handle is not a set.
+    pub fn set_intersection(&mut self, a: VId, b: VId) -> Option<VId> {
+        let xs = self.as_set(a)?;
+        let ys = self.as_set(b)?;
+        if a == b {
+            return Some(a);
+        }
+        let mut out = Vec::with_capacity(xs.len().min(ys.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < xs.len() && j < ys.len() {
+            match xs[i].cmp(&ys[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(xs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Some(self.add_canonical_set(out))
+    }
+
+    /// Difference `a ∖ b` of two interned sets, as one linear merge.
+    /// `None` if either handle is not a set.
+    pub fn set_difference(&mut self, a: VId, b: VId) -> Option<VId> {
+        let xs = self.as_set(a)?;
+        let ys = self.as_set(b)?;
+        if a == b {
+            return Some(self.empty_set());
+        }
+        let mut out = Vec::with_capacity(xs.len());
+        let mut j = 0;
+        for &x in xs.iter() {
+            while j < ys.len() && ys[j] < x {
+                j += 1;
+            }
+            if j >= ys.len() || ys[j] != x {
+                out.push(x);
+            }
+        }
+        Some(self.add_canonical_set(out))
+    }
+
+    /// Subset test `a ⊆ b` as one linear merge scan — no intermediate
+    /// object is interned. `None` if either handle is not a set.
+    pub fn is_subset(&self, a: VId, b: VId) -> Option<bool> {
+        let xs = self.as_set(a)?;
+        let ys = self.as_set(b)?;
+        if a == b || xs.is_empty() {
+            return Some(true);
+        }
+        if xs.len() > ys.len() {
+            return Some(false);
+        }
+        let mut j = 0;
+        for &x in xs.iter() {
+            while j < ys.len() && ys[j] < x {
+                j += 1;
+            }
+            if j >= ys.len() || ys[j] != x {
+                return Some(false);
+            }
+            j += 1;
+        }
+        Some(true)
+    }
+
+    /// Membership test `elem ∈ set` — a binary search over the canonical
+    /// element slice (handles are the identity, so this is exact
+    /// structural membership). `None` if `set` is not a set.
+    pub fn set_contains(&self, set: VId, elem: VId) -> Option<bool> {
+        let items = self.as_set(set)?;
+        Some(items.binary_search(&elem).is_ok())
+    }
+
+    /// N-ary union: merge the canonical element slices of the given
+    /// *set* handles into one set, without ever re-sorting — the `μ`
+    /// (flatten) and `∪`-chain entry point. `None` if any handle is not
+    /// a set. Merging proceeds in balanced pairwise rounds, so the cost
+    /// is `O(total · log k)` for `k` sets.
+    ///
+    /// ```
+    /// use nra_core::value::intern::ValueArena;
+    ///
+    /// let mut a = ValueArena::new();
+    /// let parts: Vec<_> = (0..4).map(|i| a.relation([(i, i + 1)])).collect();
+    /// let merged = a.set_from_sorted_merge(&parts).unwrap();
+    /// assert_eq!(merged, a.chain(4));
+    /// ```
+    pub fn set_from_sorted_merge(&mut self, sets: &[VId]) -> Option<VId> {
+        let mut slices: Vec<Rc<[VId]>> = Vec::with_capacity(sets.len());
+        for &s in sets {
+            slices.push(self.as_set(s)?);
+        }
+        // drop empties up front; handle the trivial widths without a merge
+        slices.retain(|s| !s.is_empty());
+        match slices.len() {
+            0 => return Some(self.empty_set()),
+            1 => {
+                let only = Vec::from(&*slices[0]);
+                return Some(self.add_canonical_set(only));
+            }
+            _ => {}
+        }
+        // balanced pairwise merge rounds; the first round merges straight
+        // from the borrowed arena slices (only an odd leftover is copied),
+        // so no up-front O(total) copy is paid
+        let mut round: Vec<Vec<VId>> = slices
+            .chunks(2)
+            .map(|pair| match pair {
+                [a, b] => merge_sorted(a, b),
+                [a] => Vec::from(&**a),
+                _ => unreachable!("chunks(2) yields 1- or 2-element windows"),
+            })
+            .collect();
+        while round.len() > 1 {
+            let mut next = Vec::with_capacity(round.len().div_ceil(2));
+            let mut it = round.into_iter();
+            while let Some(left) = it.next() {
+                match it.next() {
+                    Some(right) => next.push(merge_sorted(&left, &right)),
+                    None => next.push(left),
+                }
+            }
+            round = next;
+        }
+        let merged = round.pop().unwrap_or_default();
+        Some(self.add_canonical_set(merged))
     }
 
     /// Intern a binary relation `{(a, b), …}`.
@@ -505,6 +713,32 @@ impl ValueArena {
     }
 }
 
+/// Merge two strictly ascending handle vectors into one, deduplicating.
+fn merge_sorted(xs: &[VId], ys: &[VId]) -> Vec<VId> {
+    let mut out = Vec::with_capacity(xs.len() + ys.len());
+    let (mut i, mut j) = (0, 0);
+    while i < xs.len() && j < ys.len() {
+        match xs[i].cmp(&ys[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(xs[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(ys[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(xs[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&xs[i..]);
+    out.extend_from_slice(&ys[j..]);
+    out
+}
+
 thread_local! {
     static ARENA: RefCell<ValueArena> = RefCell::new(ValueArena::new());
 }
@@ -626,6 +860,37 @@ pub fn to_edges(v: VId) -> Option<Vec<(u64, u64)>> {
     with_arena(|a| a.to_edges(v))
 }
 
+/// Merge-based union of two interned sets — see [`ValueArena::set_union`].
+pub fn set_union(a: VId, b: VId) -> Option<VId> {
+    with_arena(|ar| ar.set_union(a, b))
+}
+
+/// Merge-based intersection — see [`ValueArena::set_intersection`].
+pub fn set_intersection(a: VId, b: VId) -> Option<VId> {
+    with_arena(|ar| ar.set_intersection(a, b))
+}
+
+/// Merge-based difference `a ∖ b` — see [`ValueArena::set_difference`].
+pub fn set_difference(a: VId, b: VId) -> Option<VId> {
+    with_arena(|ar| ar.set_difference(a, b))
+}
+
+/// Merge-scan subset test `a ⊆ b` — see [`ValueArena::is_subset`].
+pub fn is_subset(a: VId, b: VId) -> Option<bool> {
+    with_arena(|ar| ar.is_subset(a, b))
+}
+
+/// Binary-search membership test — see [`ValueArena::set_contains`].
+pub fn set_contains(set: VId, elem: VId) -> Option<bool> {
+    with_arena(|a| a.set_contains(set, elem))
+}
+
+/// N-ary sorted merge of set handles — see
+/// [`ValueArena::set_from_sorted_merge`].
+pub fn set_from_sorted_merge(sets: &[VId]) -> Option<VId> {
+    with_arena(|a| a.set_from_sorted_merge(sets))
+}
+
 /// Statistics of the thread-local arena.
 pub fn arena_stats() -> ArenaStats {
     with_arena(|a| a.stats())
@@ -745,6 +1010,85 @@ mod tests {
         assert_eq!(intern(&v), id, "re-interning hits the same node");
         let stats = arena_stats();
         assert!(stats.nodes >= 5);
+    }
+
+    #[test]
+    fn merge_ops_match_btreeset_semantics() {
+        let mut a = ValueArena::new();
+        let x = a.relation([(0, 1), (1, 2), (3, 4)]);
+        let y = a.relation([(1, 2), (3, 4), (7, 8)]);
+        let union = a.set_union(x, y).unwrap();
+        assert_eq!(
+            a.resolve(union),
+            Value::relation([(0, 1), (1, 2), (3, 4), (7, 8)])
+        );
+        let inter = a.set_intersection(x, y).unwrap();
+        assert_eq!(a.resolve(inter), Value::relation([(1, 2), (3, 4)]));
+        let diff = a.set_difference(x, y).unwrap();
+        assert_eq!(a.resolve(diff), Value::relation([(0, 1)]));
+        assert_eq!(a.is_subset(inter, x), Some(true));
+        assert_eq!(a.is_subset(x, y), Some(false));
+        let e12 = a.edge(1, 2);
+        let e99 = a.edge(9, 9);
+        assert_eq!(a.set_contains(x, e12), Some(true));
+        assert_eq!(a.set_contains(x, e99), Some(false));
+        // non-sets are refused, not misinterpreted
+        assert_eq!(a.set_union(e12, x), None);
+        assert_eq!(a.set_intersection(x, e12), None);
+        assert_eq!(a.set_difference(e12, e12), None);
+        assert_eq!(a.is_subset(e12, x), None);
+        assert_eq!(a.set_contains(e12, e12), None);
+    }
+
+    #[test]
+    fn merge_ops_degenerate_cases() {
+        let mut a = ValueArena::new();
+        let x = a.relation([(0, 1)]);
+        let empty = a.empty_set();
+        assert_eq!(a.set_union(x, x), Some(x));
+        assert_eq!(a.set_union(x, empty), Some(x));
+        assert_eq!(a.set_intersection(x, empty), Some(empty));
+        assert_eq!(a.set_difference(x, x), Some(empty));
+        assert_eq!(a.set_difference(empty, x), Some(empty));
+        assert_eq!(a.is_subset(empty, x), Some(true));
+        assert_eq!(a.is_subset(x, empty), Some(false));
+        assert_eq!(a.is_subset(empty, empty), Some(true));
+    }
+
+    #[test]
+    fn sorted_merge_flattens_without_resorting() {
+        let mut a = ValueArena::new();
+        let parts: Vec<VId> = vec![
+            a.relation([(2, 3), (4, 5)]),
+            a.empty_set(),
+            a.relation([(0, 1)]),
+            a.relation([(0, 1), (2, 3)]),
+            a.relation([(6, 7)]),
+        ];
+        let merged = a.set_from_sorted_merge(&parts).unwrap();
+        assert_eq!(
+            a.resolve(merged),
+            Value::relation([(0, 1), (2, 3), (4, 5), (6, 7)])
+        );
+        // degenerate widths
+        assert_eq!(a.set_from_sorted_merge(&[]), Some(a.empty_set()));
+        assert_eq!(a.set_from_sorted_merge(&[parts[0]]), Some(parts[0]));
+        // any non-set refuses the whole merge
+        let n = a.nat(3);
+        assert_eq!(a.set_from_sorted_merge(&[parts[0], n]), None);
+    }
+
+    #[test]
+    fn occupancy_introspection() {
+        let mut a = ValueArena::new();
+        assert_eq!(a.node_count(), 0);
+        assert_eq!(a.approx_resident_bytes(), 0);
+        a.chain(4);
+        assert_eq!(a.node_count(), a.len());
+        let stats = a.stats();
+        assert_eq!(stats.nodes, a.node_count());
+        assert_eq!(stats.approx_bytes, a.approx_resident_bytes());
+        assert!(stats.approx_bytes > stats.nodes * std::mem::size_of::<u64>());
     }
 
     #[test]

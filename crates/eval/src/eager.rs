@@ -27,6 +27,7 @@
 
 use crate::error::{EvalConfig, EvalError};
 use crate::stats::EvalStats;
+use nra_core::expr::intern::{self as expr_intern, EId, ENode};
 use nra_core::expr::Expr;
 use nra_core::value::intern::{self, VId};
 use nra_core::value::Value;
@@ -181,7 +182,18 @@ pub fn evaluate(expr: &Expr, input: &Value, config: &EvalConfig) -> Evaluation {
 /// ```
 pub fn evaluate_vid(expr: &Expr, input: VId, config: &EvalConfig) -> VidEvaluation {
     let mut ctx = Ctx::new(config);
-    let result = eval_vid(expr, input, &mut ctx);
+    let result = if config.memo {
+        // the memoised route walks the interned expression, so the
+        // (EId, VId) pair is available as the apply-cache key at every
+        // recursion step
+        let eid = expr_intern::intern(expr);
+        let mut state = MemoState::acquire();
+        let result = eval_eid(eid, input, &mut ctx, &state.nodes, &mut state.cache);
+        state.release();
+        result
+    } else {
+        eval_vid(expr, input, &mut ctx)
+    };
     VidEvaluation {
         result,
         stats: ctx.stats,
@@ -217,26 +229,11 @@ pub fn evaluate_tree(expr: &Expr, input: &Value, config: &EvalConfig) -> Evaluat
 /// (which re-uses it for per-subset sub-evaluations).
 pub(crate) fn eval_vid(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<VId, EvalError> {
     ctx.node(expr.head_name())?;
-    // Fast path for the simple leaves (everything without sub-derivations
-    // or a powerset prediction): both §3 observations and the rule run
-    // under a single arena borrow.
     if !matches!(
         expr,
-        Expr::Tuple(..)
-            | Expr::Map(_)
-            | Expr::Cond(..)
-            | Expr::Compose(..)
-            | Expr::While(_)
-            | Expr::Powerset
-            | Expr::PowersetM(_)
-            | Expr::Const(..)
+        Expr::Tuple(..) | Expr::Map(_) | Expr::Cond(..) | Expr::Compose(..) | Expr::While(_)
     ) {
-        return intern::with_arena(|a| {
-            ctx.observe_in(a, input)?;
-            let output = apply_simple_leaf(expr, input, a)?;
-            ctx.observe_in(a, output)?;
-            Ok(output)
-        });
+        return eval_leaf_rule(expr, input, ctx);
     }
     ctx.observe_vid(input)?;
     let output = match expr {
@@ -279,9 +276,270 @@ pub(crate) fn eval_vid(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<VId, Ev
                 current = next;
             }
         }
-        leaf => apply_leaf_vid(leaf, input, ctx)?,
+        leaf => unreachable!("leaf {} handled above", leaf.head_name()),
     };
     ctx.observe_vid(output)?;
+    Ok(output)
+}
+
+/// One full leaf rule — both §3 observations plus the primitive itself —
+/// shared by [`eval_vid`] and the memoised [`eval_eid`]. The caller has
+/// already counted the derivation node. For the simple leaves
+/// (everything without sub-derivations or a powerset prediction) the
+/// whole rule runs under a single arena borrow.
+fn eval_leaf_rule(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<VId, EvalError> {
+    if matches!(expr, Expr::Powerset | Expr::PowersetM(_) | Expr::Const(..)) {
+        ctx.observe_vid(input)?;
+        let output = apply_leaf_vid(expr, input, ctx)?;
+        ctx.observe_vid(output)?;
+        Ok(output)
+    } else {
+        intern::with_arena(|a| {
+            ctx.observe_in(a, input)?;
+            let output = apply_simple_leaf(expr, input, a)?;
+            ctx.observe_in(a, output)?;
+            Ok(output)
+        })
+    }
+}
+
+/// Initial size of the apply cache, as a power of two.
+const MEMO_INITIAL_BITS: u32 = 14;
+/// Ceiling on the apply cache size (2²⁰ slots ≈ 16 MiB): past this the
+/// cache stays lossy instead of growing — the BDD trade-off that keeps
+/// memory bounded on powerset-sized runs.
+const MEMO_MAX_BITS: u32 = 20;
+
+/// One apply-cache slot: packed `(EId, VId)` key, the epoch that wrote
+/// it, and the cached result.
+type MemoSlot = (u64, u32, VId);
+
+thread_local! {
+    /// The pooled [`MemoState`], so consecutive memoised evaluations
+    /// reuse its storage — see [`MemoState::acquire`].
+    static MEMO_POOL: std::cell::Cell<Option<MemoState>> = const { std::cell::Cell::new(None) };
+}
+
+/// The apply cache of the memoised walker — the classic BDD design: a
+/// direct-mapped, lossy table of epoch-stamped `(key, result)` slots
+/// rather than an exact map. A probe is one array read, an insert one
+/// array write, and a colliding entry is simply overwritten (the
+/// judgment is then re-derived on the next encounter, which changes no
+/// result, only a hit counter). The table quadruples while its load
+/// would exceed ~¼, up to a fixed ceiling, and its storage is handed
+/// back to a thread-local pool between evaluations. Every rule is
+/// cached, leaves included: a leaf hit skips not just the (cheap)
+/// primitive but the per-node §3 bookkeeping — rule counting and the
+/// two size observations — which costs more than the probe. The
+/// expression-node snapshot lives *outside* this struct (see
+/// [`eval_eid`]) so the walker can read structure through a shared
+/// borrow while mutating the cache.
+pub(crate) struct MemoCache {
+    /// Direct-mapped slots; a slot is live iff its epoch matches.
+    slots: Vec<MemoSlot>,
+    /// Index mask (`slots.len() − 1`; the length is a power of two).
+    mask: u64,
+    /// Live-slot count, driving growth.
+    stored: usize,
+    /// The current evaluation's epoch stamp.
+    epoch: u32,
+}
+
+impl MemoCache {
+    /// Key sentinel used for never-written slots — unreachable as a
+    /// packed key while either arena holds fewer than 2³² nodes (they
+    /// panic before that).
+    const EMPTY: u64 = u64::MAX;
+
+    fn blank_slots(len: usize) -> Vec<MemoSlot> {
+        // the interned unit value as filler payload; never returned
+        // because the sentinel key can't match
+        vec![(Self::EMPTY, 0, intern::unit()); len]
+    }
+
+    fn key(eid: EId, input: VId) -> u64 {
+        ((eid.index() as u64) << 32) | input.index() as u64
+    }
+
+    /// Slot index: the expression id is Fibonacci-scrambled, the value
+    /// id added *linearly*. Two judgments on the same expression can
+    /// then only collide when their value ids differ by a multiple of
+    /// the table length (i.e. never, while the value arena is smaller
+    /// than the table), and a `map` loop — which probes the same `EId`
+    /// over ascending element ids — walks consecutive slots, so the
+    /// hardware prefetcher hides the table's memory latency.
+    fn slot(&self, key: u64) -> usize {
+        let eid = key >> 32;
+        (eid.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(key) & self.mask) as usize
+    }
+
+    fn probe(&self, key: u64) -> Option<VId> {
+        let (k, e, v) = self.slots[self.slot(key)];
+        (k == key && e == self.epoch).then_some(v)
+    }
+
+    fn store(&mut self, key: u64, out: VId) {
+        if self.stored * 4 >= self.slots.len() && self.slots.len() < (1 << MEMO_MAX_BITS) {
+            self.grow();
+        }
+        let epoch = self.epoch;
+        let slot = self.slot(key);
+        if self.slots[slot].1 != epoch {
+            self.stored += 1; // filling an empty or stale slot
+        }
+        self.slots[slot] = (key, epoch, out);
+    }
+
+    /// Quadruple the table, re-inserting this epoch's live entries.
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 4;
+        let old = std::mem::replace(&mut self.slots, Self::blank_slots(new_len));
+        self.mask = (new_len - 1) as u64;
+        self.stored = 0;
+        for (k, e, v) in old {
+            if k != Self::EMPTY && e == self.epoch {
+                let slot = self.slot(k);
+                if self.slots[slot].1 != self.epoch {
+                    self.stored += 1;
+                }
+                self.slots[slot] = (k, self.epoch, v);
+            }
+        }
+    }
+}
+
+/// Everything one memoised evaluation needs: the synced expression-node
+/// snapshot (read through a shared borrow) and the apply cache (read
+/// through a mutable one) — split fields so [`eval_eid`] can hold both
+/// at once. Pooled thread-locally between evaluations: "clearing" the
+/// slots is an epoch bump — `O(1)` instead of a multi-megabyte memset,
+/// the same reason BDD packages keep their apply cache alive across
+/// `apply` calls — and the node snapshot is only ever *extended* (the
+/// arena is append-only between clears), so a repeat evaluation pays
+/// `O(new nodes)`, not `O(arena)`.
+struct MemoState {
+    /// Dense copy of the expression arena's node table, indexed by
+    /// [`EId::index`], kept in sync via `expr_intern::sync_snapshot`.
+    nodes: Vec<ENode>,
+    /// The expression-arena generation `nodes` was synced against.
+    generation: u64,
+    cache: MemoCache,
+}
+
+impl MemoState {
+    /// Take the pooled state (or allocate the initial table), open a
+    /// fresh cache epoch, and bring the node snapshot up to date with
+    /// the thread-local expression arena.
+    fn acquire() -> Self {
+        let mut state = MEMO_POOL.take().unwrap_or_else(|| {
+            let len = 1usize << MEMO_INITIAL_BITS;
+            MemoState {
+                nodes: Vec::new(),
+                generation: 0,
+                cache: MemoCache {
+                    slots: MemoCache::blank_slots(len),
+                    mask: (len - 1) as u64,
+                    stored: 0,
+                    epoch: 0,
+                },
+            }
+        });
+        state.cache.epoch = state.cache.epoch.wrapping_add(1);
+        if state.cache.epoch == 0 {
+            // the stamp wrapped: stale slots could alias the new epoch
+            // (blank slots are stamped 0, so restart from 1)
+            state.cache.slots = MemoCache::blank_slots(state.cache.slots.len());
+            state.cache.epoch = 1;
+        }
+        state.cache.stored = 0;
+        state.generation = expr_intern::sync_snapshot(&mut state.nodes, state.generation);
+        state
+    }
+
+    /// Hand the state back to the thread-local pool.
+    fn release(self) {
+        MEMO_POOL.set(Some(self));
+    }
+}
+
+/// The memoised §3 rule set over the *interned* expression: identical
+/// semantics to [`eval_vid`] (the differential harnesses hold the two
+/// bit-for-bit equal), but every recursion step carries an [`EId`], so
+/// each judgment `f(C) ⇓ C'` is first looked up in the apply cache
+/// `(EId, VId) → VId` and recorded there after a miss. A hit returns
+/// the cached handle in `O(1)` without re-deriving — which is exactly
+/// what collapses the repeated body applications inside `while`, `map`
+/// over recurring elements, and `powersetₘ` chains. Hits are counted in
+/// [`EvalStats::memo_hits`] and deliberately do **not** re-count the
+/// skipped derivation's nodes or object observations.
+pub(crate) fn eval_eid(
+    eid: EId,
+    input: VId,
+    ctx: &mut Ctx,
+    nodes: &[ENode],
+    cache: &mut MemoCache,
+) -> Result<VId, EvalError> {
+    let key = MemoCache::key(eid, input);
+    if let Some(out) = cache.probe(key) {
+        ctx.stats.memo_hits += 1;
+        return Ok(out);
+    }
+    ctx.stats.memo_misses += 1;
+    let node = &nodes[eid.index()];
+    ctx.node(node.head_name())?;
+    let output = match node {
+        ENode::Leaf(leaf) => eval_leaf_rule(leaf, input, ctx)?,
+        recursive => {
+            ctx.observe_vid(input)?;
+            let output = match *recursive {
+                ENode::Tuple(f, g) => {
+                    let a = eval_eid(f, input, ctx, nodes, cache)?;
+                    let b = eval_eid(g, input, ctx, nodes, cache)?;
+                    intern::pair(a, b)
+                }
+                ENode::Map(f) => {
+                    let items =
+                        intern::as_set(input).ok_or_else(|| stuck("map", "input is not a set"))?;
+                    let mut out = Vec::with_capacity(items.len());
+                    for &item in items.iter() {
+                        out.push(eval_eid(f, item, ctx, nodes, cache)?);
+                    }
+                    intern::set(out)
+                }
+                ENode::Cond(c, then, els) => {
+                    match intern::as_bool(eval_eid(c, input, ctx, nodes, cache)?) {
+                        Some(true) => eval_eid(then, input, ctx, nodes, cache)?,
+                        Some(false) => eval_eid(els, input, ctx, nodes, cache)?,
+                        None => return Err(stuck("if", "condition is not boolean")),
+                    }
+                }
+                ENode::Compose(g, f) => {
+                    let mid = eval_eid(f, input, ctx, nodes, cache)?;
+                    eval_eid(g, mid, ctx, nodes, cache)?
+                }
+                ENode::While(f) => {
+                    let mut current = input;
+                    let mut iterations: u64 = 0;
+                    loop {
+                        let next = eval_eid(f, current, ctx, nodes, cache)?;
+                        iterations += 1;
+                        ctx.stats.while_iterations += 1;
+                        if next == current {
+                            break current;
+                        }
+                        if iterations >= ctx.config.max_while_iters {
+                            return Err(EvalError::WhileDiverged { iterations });
+                        }
+                        current = next;
+                    }
+                }
+                ENode::Leaf(_) => unreachable!("leaf handled above"),
+            };
+            ctx.observe_vid(output)?;
+            output
+        }
+    };
+    cache.store(key, output);
     Ok(output)
 }
 
@@ -324,14 +582,10 @@ fn apply_simple_leaf(
             let sets = a
                 .as_set(input)
                 .ok_or_else(|| stuck("flatten", "input is not a set"))?;
-            let mut out = Vec::new();
-            for &s in sets.iter() {
-                match a.as_set(s) {
-                    Some(inner) => out.extend(inner.iter().copied()),
-                    None => return Err(stuck("flatten", "element is not a set")),
-                }
-            }
-            a.set_from_vec(out)
+            // n-ary merge over the inner sets' canonical element slices:
+            // μ never re-sorts what the arena already keeps sorted
+            a.set_from_sorted_merge(&sets)
+                .ok_or_else(|| stuck("flatten", "element is not a set"))?
         }
         Expr::PairWith => match a.as_pair(input) {
             Some((x, s)) => match a.as_set(s) {
@@ -345,14 +599,10 @@ fn apply_simple_leaf(
         },
         Expr::EmptySet(_) => a.empty_set(),
         Expr::Union => match a.as_pair(input) {
-            Some((x, y)) => match (a.as_set(x), a.as_set(y)) {
-                (Some(xs), Some(ys)) => {
-                    let mut out: Vec<VId> = xs.iter().copied().collect();
-                    out.extend(ys.iter().copied());
-                    a.set_from_vec(out)
-                }
-                _ => return Err(stuck("union", "components are not sets")),
-            },
+            // one linear merge over the two canonical element slices
+            Some((x, y)) => a
+                .set_union(x, y)
+                .ok_or_else(|| stuck("union", "components are not sets"))?,
             None => return Err(stuck("union", "input is not a pair")),
         },
         Expr::EqNat => match a.as_pair(input) {
@@ -957,6 +1207,42 @@ mod tests {
             );
             assert_eq!(tree.stats, interned.stats, "{q}");
         }
+    }
+
+    #[test]
+    fn memoised_path_agrees_with_unmemoised_on_the_corpus() {
+        let cfg = EvalConfig::default();
+        let memo_cfg = EvalConfig::memoised();
+        let corpus: Vec<(Expr, Value)> = vec![
+            (nra_core::queries::tc_paths(), Value::chain(5)),
+            (nra_core::queries::tc_while(), Value::chain(6)),
+            (nra_core::queries::tc_step(), Value::chain(4)),
+            (nra_core::queries::siblings_powerset(), Value::chain(4)),
+            (compose(flatten(), map(sng())), Value::chain(3)),
+            (powerset(), Value::set((0..4).map(Value::nat))),
+            (powerset_m_prim(2), Value::chain(4)),
+        ];
+        for (q, input) in &corpus {
+            let plain = evaluate(q, input, &cfg);
+            let memoised = evaluate(q, input, &memo_cfg);
+            assert_eq!(
+                plain.result.as_ref().unwrap(),
+                memoised.result.as_ref().unwrap(),
+                "{q}"
+            );
+            // hits are reported separately, never inflating the §3 counters
+            assert!(memoised.stats.nodes <= plain.stats.nodes, "{q}");
+            assert_eq!(
+                memoised.stats.max_object_size, plain.stats.max_object_size,
+                "{q}"
+            );
+            assert_eq!(plain.stats.memo_hits + plain.stats.memo_misses, 0, "{q}");
+        }
+        // the while route re-applies its body to largely-shared sets: the
+        // cache must actually fire there
+        let ev = evaluate(&nra_core::queries::tc_while(), &Value::chain(6), &memo_cfg);
+        assert!(ev.stats.memo_hits > 0);
+        assert!(ev.stats.memo_hit_rate() > 0.0 && ev.stats.memo_hit_rate() < 1.0);
     }
 
     #[test]

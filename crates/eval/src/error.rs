@@ -21,6 +21,17 @@ pub struct EvalConfig {
     /// Iteration cap for the `while` extension (it is a genuine fixpoint
     /// loop, so divergence must be cut off).
     pub max_while_iters: u64,
+    /// Enable the eager evaluator's **apply cache**: a memo table
+    /// `(EId, VId) → VId` keyed on the interned expression and input.
+    /// A hit returns the cached result handle in `O(1)` instead of
+    /// re-running the §3 derivation — results are bit-for-bit identical
+    /// to unmemoised evaluation, but the reported statistics are not
+    /// the exact §3 accounting: a hit is counted in
+    /// [`EvalStats::memo_hits`](crate::stats::EvalStats::memo_hits)
+    /// *instead of* re-counting the skipped sub-derivation's nodes and
+    /// observations. Keep this off (the default) when the statistics
+    /// must be the exact eager measure.
+    pub memo: bool,
 }
 
 impl Default for EvalConfig {
@@ -29,6 +40,7 @@ impl Default for EvalConfig {
             max_object_size: None,
             max_nodes: None,
             max_while_iters: 100_000,
+            memo: false,
         }
     }
 }
@@ -38,6 +50,15 @@ impl EvalConfig {
     pub fn with_space_budget(budget: u64) -> Self {
         EvalConfig {
             max_object_size: Some(budget),
+            ..EvalConfig::default()
+        }
+    }
+
+    /// An unbudgeted config with the apply cache enabled — see
+    /// [`EvalConfig::memo`].
+    pub fn memoised() -> Self {
+        EvalConfig {
+            memo: true,
             ..EvalConfig::default()
         }
     }

@@ -27,6 +27,18 @@
 //! differential baseline the interned path is tested and benchmarked
 //! against.
 //!
+//! On top of value interning, [`EvalConfig::memo`] switches the eager
+//! (and traced) strategy onto the **apply cache**: expressions are
+//! hash-consed too ([`nra_core::expr::intern`]), and each judgment
+//! `f(C) ⇓ C'` is keyed `(EId, VId) → VId` in a BDD-style direct-mapped
+//! table, so a judgment already derived returns its cached handle in
+//! `O(1)` — which collapses the repeated body applications inside
+//! `while` iterates and `map` over recurring elements. Results are
+//! bit-for-bit identical to memo-off evaluation (both differential
+//! harnesses enforce this); cache activity is reported separately in
+//! [`EvalStats::memo_hits`]/`memo_misses` rather than inflating the §3
+//! counters, which stay exact in the default memo-off mode.
+//!
 //! Budgets ([`error::EvalConfig`]) turn the theorems' "needs ≥ S space"
 //! into clean errors carrying the exact requirement — for `powerset` the
 //! requirement is computed combinatorially *before* materialisation, so

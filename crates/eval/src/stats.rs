@@ -30,6 +30,15 @@ pub struct EvalStats {
     pub rule_counts: BTreeMap<&'static str, u64>,
     /// Iterations performed by `while` sub-evaluations.
     pub while_iterations: u64,
+    /// Apply-cache hits (only nonzero under
+    /// [`EvalConfig::memo`](crate::error::EvalConfig::memo)). Hits are
+    /// reported *separately* rather than inflating the §3 counters: a
+    /// hit contributes nothing to `nodes`, `total_size`, or
+    /// `max_object_size` — the skipped sub-derivation was never built.
+    pub memo_hits: u64,
+    /// Apply-cache misses — evaluations that ran the derivation and
+    /// populated the cache. Only nonzero under `EvalConfig::memo`.
+    pub memo_misses: u64,
 }
 
 impl EvalStats {
@@ -53,6 +62,17 @@ impl EvalStats {
     /// experiments fit (Theorem 4.1 predicts slope ≥ c > 0 for TC queries).
     pub fn log2_complexity(&self) -> f64 {
         (self.max_object_size as f64).log2()
+    }
+
+    /// Apply-cache hit rate `hits / (hits + misses)`, or 0 when the
+    /// cache never ran (memo off).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
     }
 }
 

@@ -11,14 +11,29 @@
 //! size observations are `O(1)` metadata reads — and each [`DerivNode`]
 //! resolves its judgment back to tree [`Value`]s for inspection (the whole
 //! point of tracing is to look at the objects).
+//!
+//! Under [`EvalConfig::memo`] the builder also consults the apply cache:
+//! a judgment `f(C) ⇓ C'` already derived is *shared* — the cached
+//! sub-derivation is grafted in as an [`Rc`] pointer copy instead of
+//! being re-derived, which is the reason [`DerivNode::children`] holds
+//! `Rc<DerivNode>`s. The materialised tree is bit-for-bit equal to the
+//! unmemoised one (evaluation is pure), but repeated subtrees occupy
+//! memory once, and — as in [`crate::eager`] — a hit counts in
+//! [`EvalStats::memo_hits`](crate::stats::EvalStats::memo_hits) rather
+//! than re-counting the skipped derivation's nodes and observations.
+//! Keep memo off (the default) when the statistics must be the exact §3
+//! accounting.
 
 use crate::eager::{apply_leaf_vid, Ctx};
 use crate::error::{EvalConfig, EvalError};
 use crate::stats::EvalStats;
+use nra_core::expr::intern::{self as expr_intern, EId, ENode};
 use nra_core::expr::Expr;
-use nra_core::value::intern::{self, VId};
+use nra_core::value::intern::{self, FxBuildHasher, VId};
 use nra_core::value::Value;
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::rc::Rc;
 
 /// One node of a derivation tree: the rule applied, the judgment
 /// `input ⇓ output`, and the sub-derivations.
@@ -30,25 +45,24 @@ pub struct DerivNode {
     pub input: Value,
     /// The result object `C'`.
     pub output: Value,
-    /// Sub-derivations, in evaluation order.
-    pub children: Vec<DerivNode>,
+    /// Sub-derivations, in evaluation order. `Rc`-shared so the memoised
+    /// builder can graft an already-derived subtree in `O(1)`; all tree
+    /// measures ([`DerivNode::node_count`], …) count with multiplicity,
+    /// as the §3 tree semantics require.
+    pub children: Vec<Rc<DerivNode>>,
 }
 
 impl DerivNode {
-    /// Total number of nodes of the tree.
+    /// Total number of nodes of the tree (with multiplicity — shared
+    /// subtrees count each time they occur).
     pub fn node_count(&self) -> u64 {
-        1 + self.children.iter().map(DerivNode::node_count).sum::<u64>()
+        1 + self.children.iter().map(|c| c.node_count()).sum::<u64>()
     }
 
     /// Height of the tree (a single node has height 1). §3: "the height of
     /// the tree depends only on f, not on C".
     pub fn height(&self) -> u64 {
-        1 + self
-            .children
-            .iter()
-            .map(DerivNode::height)
-            .max()
-            .unwrap_or(0)
+        1 + self.children.iter().map(|c| c.height()).max().unwrap_or(0)
     }
 
     /// Maximum branching factor (§3: "the width of this tree may depend on
@@ -57,7 +71,7 @@ impl DerivNode {
         self.children.len().max(
             self.children
                 .iter()
-                .map(DerivNode::max_branching)
+                .map(|c| c.max_branching())
                 .max()
                 .unwrap_or(0),
         )
@@ -70,7 +84,7 @@ impl DerivNode {
         let here = self.input.size().max(self.output.size());
         self.children
             .iter()
-            .map(DerivNode::max_object_size)
+            .map(|c| c.max_object_size())
             .fold(here, u64::max)
     }
 
@@ -119,32 +133,67 @@ pub struct TracedEvaluation {
     pub stats: EvalStats,
 }
 
+/// The trace-side apply cache: each derived judgment keyed by
+/// `(interned expression, interned input)`, holding the shared
+/// sub-derivation and its output handle.
+type TraceMemo = HashMap<(EId, VId), (Rc<DerivNode>, VId), FxBuildHasher>;
+
 /// Evaluate while materialising the full derivation tree. Use only on
 /// small inputs — the tree holds every intermediate object in resolved
 /// (tree) form. Budgets from `config` apply exactly as in
-/// [`crate::eager::evaluate`].
+/// [`crate::eager::evaluate`]; under [`EvalConfig::memo`] repeated
+/// judgments are grafted from the apply cache as shared subtrees (see
+/// the module docs for the statistics caveat).
 pub fn evaluate_traced(expr: &Expr, input: &Value, config: &EvalConfig) -> TracedEvaluation {
     let mut ctx = Ctx::new(config);
     let iv = intern::intern(input);
-    let result = trace_in(expr, iv, &mut ctx).map(|(node, _)| node);
+    let eid = expr_intern::intern(expr);
+    let mut memo: Option<TraceMemo> = config.memo.then(TraceMemo::default);
+    let traced = trace_eid(eid, iv, &mut ctx, &mut memo);
+    // release the cache's Rc references first, so the root node is
+    // uniquely owned and unwraps without an O(object-size) deep clone
+    drop(memo);
+    let result =
+        traced.map(|(node, _)| Rc::try_unwrap(node).unwrap_or_else(|shared| (*shared).clone()));
     TracedEvaluation {
         result,
         stats: ctx.stats,
     }
 }
 
-/// One derivation node: returns the materialised node plus the interned
-/// handle of its output (so parents can keep evaluating on handles).
-fn trace_in(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<(DerivNode, VId), EvalError> {
-    ctx.node(expr.head_name())?;
+/// One derivation node over the *interned* expression: returns the
+/// materialised node plus the interned handle of its output (so parents
+/// can keep evaluating on handles). With `memo` present (under
+/// [`EvalConfig::memo`]) every judgment is first looked up in the apply
+/// cache — a hit grafts the cached subtree in as an `Rc` copy and skips
+/// the re-derivation, counting in
+/// [`EvalStats::memo_hits`](crate::stats::EvalStats::memo_hits) instead
+/// of the §3 counters; with `memo` absent this is the exact §3 builder
+/// (its statistics coincide with the plain eager evaluator's).
+fn trace_eid(
+    eid: EId,
+    input: VId,
+    ctx: &mut Ctx,
+    memo: &mut Option<TraceMemo>,
+) -> Result<(Rc<DerivNode>, VId), EvalError> {
+    if let Some(memo) = memo.as_ref() {
+        if let Some((node, out)) = memo.get(&(eid, input)) {
+            ctx.stats.memo_hits += 1;
+            return Ok((Rc::clone(node), *out));
+        }
+        ctx.stats.memo_misses += 1;
+    }
+    let enode = expr_intern::node(eid);
+    let rule = enode.head_name();
+    ctx.node(rule)?;
     ctx.observe_vid(input)?;
-    let (output, children) = match expr {
-        Expr::Tuple(f, g) => {
-            let (a, av) = trace_in(f, input, ctx)?;
-            let (b, bv) = trace_in(g, input, ctx)?;
+    let (output, children) = match enode {
+        ENode::Tuple(f, g) => {
+            let (a, av) = trace_eid(f, input, ctx, memo)?;
+            let (b, bv) = trace_eid(g, input, ctx, memo)?;
             (intern::pair(av, bv), vec![a, b])
         }
-        Expr::Map(f) => {
+        ENode::Map(f) => {
             let items = intern::as_set(input).ok_or(EvalError::Stuck {
                 rule: "map",
                 detail: "input is not a set".into(),
@@ -152,17 +201,17 @@ fn trace_in(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<(DerivNode, VId), 
             let mut children = Vec::with_capacity(items.len());
             let mut out = Vec::with_capacity(items.len());
             for &item in items.iter() {
-                let (child, cv) = trace_in(f, item, ctx)?;
+                let (child, cv) = trace_eid(f, item, ctx, memo)?;
                 out.push(cv);
                 children.push(child);
             }
             (intern::set(out), children)
         }
-        Expr::Cond(c, then, els) => {
-            let (cnode, cv) = trace_in(c, input, ctx)?;
+        ENode::Cond(c, then, els) => {
+            let (cnode, cv) = trace_eid(c, input, ctx, memo)?;
             let (branch, bv) = match intern::as_bool(cv) {
-                Some(true) => trace_in(then, input, ctx)?,
-                Some(false) => trace_in(els, input, ctx)?,
+                Some(true) => trace_eid(then, input, ctx, memo)?,
+                Some(false) => trace_eid(els, input, ctx, memo)?,
                 None => {
                     return Err(EvalError::Stuck {
                         rule: "if",
@@ -172,17 +221,17 @@ fn trace_in(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<(DerivNode, VId), 
             };
             (bv, vec![cnode, branch])
         }
-        Expr::Compose(g, f) => {
-            let (fnode, fv) = trace_in(f, input, ctx)?;
-            let (gnode, gv) = trace_in(g, fv, ctx)?;
+        ENode::Compose(g, f) => {
+            let (fnode, fv) = trace_eid(f, input, ctx, memo)?;
+            let (gnode, gv) = trace_eid(g, fv, ctx, memo)?;
             (gv, vec![fnode, gnode])
         }
-        Expr::While(f) => {
+        ENode::While(f) => {
             let mut children = Vec::new();
             let mut current = input;
             let mut iterations: u64 = 0;
             loop {
-                let (child, next) = trace_in(f, current, ctx)?;
+                let (child, next) = trace_eid(f, current, ctx, memo)?;
                 children.push(child);
                 iterations += 1;
                 ctx.stats.while_iterations += 1;
@@ -196,15 +245,18 @@ fn trace_in(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<(DerivNode, VId), 
             }
             (current, children)
         }
-        leaf => (apply_leaf_vid(leaf, input, ctx)?, Vec::new()),
+        ENode::Leaf(leaf) => (apply_leaf_vid(&leaf, input, ctx)?, Vec::new()),
     };
     ctx.observe_vid(output)?;
-    let node = DerivNode {
-        rule: expr.head_name(),
+    let node = Rc::new(DerivNode {
+        rule,
         input: intern::resolve(input),
         output: intern::resolve(output),
         children,
-    };
+    });
+    if let Some(memo) = memo.as_mut() {
+        memo.insert((eid, input), (Rc::clone(&node), output));
+    }
     Ok((node, output))
 }
 
@@ -272,6 +324,40 @@ mod tests {
             })
             .collect();
         assert_eq!(widths, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn memoised_trace_is_bit_identical_and_reports_hits() {
+        let cfg = EvalConfig::default();
+        let memo_cfg = EvalConfig::memoised();
+        for q in [
+            compose(flatten(), map(sng())),
+            nra_core::queries::tc_step(),
+            nra_core::queries::tc_while(),
+        ] {
+            for n in 0..5u64 {
+                let input = Value::chain(n);
+                let plain = evaluate_traced(&q, &input, &cfg);
+                let memo = evaluate_traced(&q, &input, &memo_cfg);
+                let pt = plain.result.unwrap();
+                let mt = memo.result.unwrap();
+                // the materialised tree is bit-for-bit the unmemoised one
+                assert_eq!(pt, mt, "{q} n={n}");
+                // hits replace re-derivations: the §3 node count can only
+                // shrink, while the complexity (a max over the same set of
+                // distinct judgments) is untouched
+                assert!(memo.stats.nodes <= plain.stats.nodes, "{q} n={n}");
+                assert_eq!(
+                    memo.stats.max_object_size, plain.stats.max_object_size,
+                    "{q} n={n}"
+                );
+                assert_eq!(plain.stats.memo_hits, 0, "memo-off must not count");
+            }
+        }
+        // the while route actually exercises the cache: its body re-visits
+        // elements already mapped in earlier iterates
+        let memo = evaluate_traced(&nra_core::queries::tc_while(), &Value::chain(3), &memo_cfg);
+        assert!(memo.stats.memo_hits > 0, "expected apply-cache hits");
     }
 
     #[test]

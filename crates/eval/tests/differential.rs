@@ -1,9 +1,10 @@
 //! Evaluator-strategy differential tests: the plain eager evaluator, the
-//! derivation-tree-materialising traced evaluator, and the streaming
-//! (lazy) evaluator must agree — on results *and* on the statistics they
-//! share — across randomized graphs from four families (chains, cycles,
-//! DAGs, disconnected graphs), with the `nra-graph` closure as the
-//! external referee.
+//! derivation-tree-materialising traced evaluator, the streaming (lazy)
+//! evaluator, and the memoised (apply-cache) variants must agree — on
+//! results *and* on the statistics they share — across randomized graphs
+//! from seven families (chains, cycles, DAGs, disconnected graphs,
+//! grids, cliques, sparse random graphs), with the `nra-graph` closure
+//! as the external referee.
 //!
 //! The workspace-level `tests/differential.rs` checks agreement between
 //! *routes* (powerset vs while vs classical algorithms); this file checks
@@ -17,18 +18,29 @@ use nra_testkit::{check, Rng};
 const CASES: u64 = 24;
 
 /// One random graph from each family per seed, tagged for diagnostics.
+/// Every family is edge-count-bounded (≤ 8): the powerset route costs
+/// `2^|edges|`, so an unbounded tail would make unlucky seeds
+/// pathologically slow.
 fn family_graphs(rng: &mut Rng) -> Vec<(&'static str, DiGraph)> {
     let chain = DiGraph::chain(rng.below(8));
     let cycle = DiGraph::cycle(rng.range_u64(1, 8));
     let dag = DiGraph::random_dag(rng.below(8), 1.0 / 3.0, rng.next_u64());
-    // edge-count-bounded components (≤ 5 each): powerset cost is 2^|edges|
     let disconnected = DiGraph::from_edges(rng.relation(4, 5))
         .union(&DiGraph::from_edges(rng.relation(4, 5)).shifted(100));
+    // 2×2 or 2×3 grid (4 or 7 edges), at a random label offset
+    let grid = DiGraph::grid(2, rng.range_u64(2, 4)).shifted(rng.below(5));
+    // complete digraph on 1–3 nodes (≤ 6 edges)
+    let clique = DiGraph::clique(rng.range_u64(1, 4)).shifted(rng.below(5));
+    // sparse random relation: ≤ 6 edges over ≤ 5 nodes
+    let sparse = DiGraph::from_edges(rng.relation(5, 6));
     vec![
         ("chain", chain),
         ("cycle", cycle),
         ("dag", dag),
         ("disconnected", disconnected),
+        ("grid", grid),
+        ("clique", clique),
+        ("sparse", sparse),
     ]
 }
 
@@ -96,6 +108,59 @@ fn interned_path_agrees_with_tree_evaluator_on_all_families() {
                     "{family}: {q} (vid path)"
                 );
                 assert_eq!(vid_ev.stats, interned.stats, "{family}: {q} (vid stats)");
+            }
+        },
+    );
+}
+
+/// The apply cache must change the cost, never the answer: memoised
+/// eager evaluation is bit-for-bit the non-memoised interned result on
+/// every family and route, memoised *traced* evaluation materialises the
+/// identical derivation tree, and the default (memo-off) statistics are
+/// untouched — the §3 counters of a memoised run never exceed the exact
+/// ones, with the skipped work reported in `memo_hits` instead.
+#[test]
+fn memoised_agrees_with_unmemoised_on_all_families() {
+    check(
+        "memoised_agrees_with_unmemoised_on_all_families",
+        CASES,
+        |_, rng| {
+            let cfg = EvalConfig::default();
+            let memo_cfg = EvalConfig::memoised();
+            for (family, g) in family_graphs(rng) {
+                let input = graph_to_value(&g);
+                for q in [queries::tc_paths(), queries::tc_while(), queries::tc_step()] {
+                    let plain = evaluate(&q, &input, &cfg);
+                    let memoised = evaluate(&q, &input, &memo_cfg);
+                    assert_eq!(
+                        plain.result.as_ref().unwrap(),
+                        memoised.result.as_ref().unwrap(),
+                        "{family}: {q}"
+                    );
+                    assert_eq!(
+                        plain.stats.memo_hits + plain.stats.memo_misses,
+                        0,
+                        "{family}: {q} — memo-off stats must not count the cache"
+                    );
+                    assert!(
+                        memoised.stats.nodes <= plain.stats.nodes,
+                        "{family}: {q} — hits may only shrink the node count"
+                    );
+                    assert_eq!(
+                        memoised.stats.max_object_size, plain.stats.max_object_size,
+                        "{family}: {q} — the §3 complexity is a max over the same judgments"
+                    );
+                }
+                // the traced strategy under memo grafts shared subtrees:
+                // the materialised derivation must still be bit-identical
+                let q = queries::tc_step();
+                let plain = evaluate_traced(&q, &input, &cfg);
+                let memoised = evaluate_traced(&q, &input, &memo_cfg);
+                assert_eq!(
+                    plain.result.unwrap(),
+                    memoised.result.unwrap(),
+                    "{family}: traced {q}"
+                );
             }
         },
     );

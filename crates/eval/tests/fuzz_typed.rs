@@ -3,7 +3,7 @@
 //!
 //! 1. results inhabit the statically computed output type (type
 //!    soundness of the §3 semantics);
-//! 2. the plain, traced and streaming evaluators agree;
+//! 2. the plain, traced, streaming and memoised evaluators agree;
 //! 3. budget errors are the only failures (no `Stuck`, ever, on
 //!    well-typed terms).
 
@@ -51,6 +51,7 @@ fn fuzz_domain(dom: &Type, seeds: std::ops::Range<u64>, cfg_gen: &GenConfig) {
         max_object_size: Some(200_000),
         max_nodes: Some(500_000),
         max_while_iters: 50,
+        ..EvalConfig::default()
     };
     for seed in seeds {
         let mut rng = Rng::new(seed);
@@ -76,6 +77,19 @@ fn fuzz_domain(dom: &Type, seeds: std::ops::Range<u64>, cfg_gen: &GenConfig) {
                     if let Ok(lv) = lazy.result {
                         assert_eq!(&lv, v, "seed {seed} (lazy)");
                     }
+                    // 4. the apply cache changes cost, never the value —
+                    // and since hits only ever *shrink* the §3 counters,
+                    // the same budgets cannot trip earlier
+                    let memo_cfg = EvalConfig {
+                        memo: true,
+                        ..cfg.clone()
+                    };
+                    let memoised = evaluate(&e, &input, &memo_cfg);
+                    assert_eq!(
+                        memoised.result.as_ref().expect("memoised succeeds"),
+                        v,
+                        "seed {seed} (memoised)"
+                    );
                 }
                 Err(
                     EvalError::SpaceBudgetExceeded { .. }

@@ -1,0 +1,127 @@
+//! Differential tests for the arena-native set algebra: the sorted-merge
+//! operations on `ValueArena` (`set_union` / `set_intersection` /
+//! `set_difference` / `is_subset` / `set_contains` /
+//! `set_from_sorted_merge`) must agree with the *tree-side* semantics —
+//! the Prop 2.1 `derived` terms run through the evaluator, and the
+//! `BTreeSet` algebra on resolved values — on randomized relations.
+
+use nra_core::value::intern;
+use nra_core::{builder, derived, Type, Value};
+use nra_eval::eval;
+use nra_testkit::{check, Rng};
+use std::collections::BTreeSet;
+
+const CASES: u64 = 150;
+
+fn edge_ty() -> Type {
+    Type::prod(Type::Nat, Type::Nat)
+}
+
+/// Two random relations as tree values plus their interned handles.
+fn random_pair(rng: &mut Rng) -> (Value, Value, intern::VId, intern::VId) {
+    let a = Value::relation(rng.relation(6, 7));
+    let b = Value::relation(rng.relation(6, 7));
+    let (ia, ib) = (intern::intern(&a), intern::intern(&b));
+    (a, b, ia, ib)
+}
+
+#[test]
+fn merge_union_agrees_with_the_primitive_and_btreeset() {
+    check("merge_union_agrees", CASES, |_, rng| {
+        let (a, b, ia, ib) = random_pair(rng);
+        let merged = intern::set_union(ia, ib).expect("sets");
+        // the ∪ primitive through the evaluator…
+        let via_eval = eval(&builder::union(), &Value::pair(a.clone(), b.clone())).unwrap();
+        assert_eq!(intern::resolve(merged), via_eval, "{a} ∪ {b}");
+        // …and the BTreeSet union on the tree side
+        let tree: BTreeSet<Value> = a
+            .as_set()
+            .unwrap()
+            .iter()
+            .chain(b.as_set().unwrap().iter())
+            .cloned()
+            .collect();
+        assert_eq!(intern::resolve(merged), Value::Set(tree));
+    });
+}
+
+#[test]
+fn merge_intersection_agrees_with_derived() {
+    check("merge_intersection_agrees", CASES, |_, rng| {
+        let (a, b, ia, ib) = random_pair(rng);
+        let merged = intern::set_intersection(ia, ib).expect("sets");
+        let via_derived = eval(
+            &derived::intersect(&edge_ty()),
+            &Value::pair(a.clone(), b.clone()),
+        )
+        .unwrap();
+        assert_eq!(intern::resolve(merged), via_derived, "{a} ∩ {b}");
+    });
+}
+
+#[test]
+fn merge_difference_agrees_with_derived() {
+    check("merge_difference_agrees", CASES, |_, rng| {
+        let (a, b, ia, ib) = random_pair(rng);
+        let merged = intern::set_difference(ia, ib).expect("sets");
+        let via_derived = eval(
+            &derived::difference(&edge_ty()),
+            &Value::pair(a.clone(), b.clone()),
+        )
+        .unwrap();
+        assert_eq!(intern::resolve(merged), via_derived, "{a} ∖ {b}");
+    });
+}
+
+#[test]
+fn merge_subset_and_membership_agree_with_derived() {
+    check("merge_subset_membership_agree", CASES, |_, rng| {
+        let (a, b, ia, ib) = random_pair(rng);
+        let subset = intern::is_subset(ia, ib).expect("sets");
+        let via_derived = eval(
+            &derived::subset(&edge_ty()),
+            &Value::pair(a.clone(), b.clone()),
+        )
+        .unwrap();
+        assert_eq!(Value::Bool(subset), via_derived, "{a} ⊆ {b}");
+
+        // membership of each element of a ∪ b, against ∈ at the edge type
+        for edge in a.as_set().unwrap().iter().chain(b.as_set().unwrap()) {
+            let contains = intern::set_contains(ib, intern::intern(edge)).expect("set");
+            let via_member = eval(
+                &derived::member(&edge_ty()),
+                &Value::pair(edge.clone(), b.clone()),
+            )
+            .unwrap();
+            assert_eq!(Value::Bool(contains), via_member, "{edge} ∈ {b}");
+        }
+    });
+}
+
+#[test]
+fn nary_merge_agrees_with_flatten() {
+    check("nary_merge_agrees_with_flatten", CASES, |_, rng| {
+        // k relations; flatten their set-of-sets through μ and compare
+        // with the n-ary merge over the same handles
+        let k = rng.usize_below(5);
+        let parts: Vec<Value> = (0..k)
+            .map(|_| Value::relation(rng.relation(5, 5)))
+            .collect();
+        let handles: Vec<_> = parts.iter().map(intern::intern).collect();
+        let merged = intern::set_from_sorted_merge(&handles).expect("sets");
+        let via_flatten = eval(&builder::flatten(), &Value::set(parts.clone())).unwrap();
+        assert_eq!(intern::resolve(merged), via_flatten, "μ over {k} parts");
+    });
+}
+
+#[test]
+fn merge_ops_refuse_non_sets() {
+    let n = intern::nat(3);
+    let s = intern::chain(2);
+    assert_eq!(intern::set_union(n, s), None);
+    assert_eq!(intern::set_intersection(s, n), None);
+    assert_eq!(intern::set_difference(n, n), None);
+    assert_eq!(intern::is_subset(n, s), None);
+    assert_eq!(intern::set_contains(n, s), None);
+    assert_eq!(intern::set_from_sorted_merge(&[s, n]), None);
+}

@@ -43,6 +43,42 @@ impl DiGraph {
         DiGraph::from_edges(succ.iter().enumerate().map(|(i, &j)| (i as u64, j)))
     }
 
+    /// A directed grid: `rows × cols` nodes (node `(i, j)` has id
+    /// `i·cols + j`) with an edge to the right neighbour `(i, j+1)` and
+    /// the down neighbour `(i+1, j)` — the standard planar-DAG family
+    /// whose closure relates each node to its entire lower-right
+    /// quadrant.
+    pub fn grid(rows: u64, cols: u64) -> Self {
+        let mut edges = BTreeSet::new();
+        for i in 0..rows {
+            for j in 0..cols {
+                if j + 1 < cols {
+                    edges.insert((i * cols + j, i * cols + j + 1));
+                }
+                if i + 1 < rows {
+                    edges.insert((i * cols + j, (i + 1) * cols + j));
+                }
+            }
+        }
+        DiGraph { edges }
+    }
+
+    /// The complete directed graph (clique) on `n` nodes: every ordered
+    /// pair `(a, b)` with `a ≠ b` is an edge. Maximally dense — its
+    /// closure only adds the self-loops — so it stresses the evaluators'
+    /// set algebra rather than path discovery.
+    pub fn clique(n: u64) -> Self {
+        let mut edges = BTreeSet::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    edges.insert((a, b));
+                }
+            }
+        }
+        DiGraph { edges }
+    }
+
     /// A layered DAG: `layers` layers of `width` nodes, every node edged to
     /// every node of the next layer.
     pub fn layered(layers: u64, width: u64) -> Self {
@@ -198,6 +234,31 @@ mod tests {
         let g = DiGraph::functional(&[1, 2, 0, 0]);
         assert!(g.is_deterministic());
         assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = DiGraph::grid(2, 3);
+        // right edges: 2 rows × 2 = 4; down edges: 1 × 3 = 3
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2)); // along the top row
+        assert!(g.has_edge(0, 3) && g.has_edge(2, 5)); // downward
+        assert!(!g.has_edge(2, 3), "no wrap between rows");
+        assert_eq!(g.nodes().len(), 6);
+        // degenerate shapes
+        assert_eq!(DiGraph::grid(1, 4), DiGraph::chain(3));
+        assert_eq!(DiGraph::grid(0, 5).edge_count(), 0);
+        assert_eq!(DiGraph::grid(3, 1).edge_count(), 2);
+    }
+
+    #[test]
+    fn clique_is_complete() {
+        let g = DiGraph::clique(4);
+        assert_eq!(g.edge_count(), 12); // n(n−1) ordered pairs
+        assert!(g.has_edge(0, 3) && g.has_edge(3, 0));
+        assert!(!g.has_edge(2, 2), "no self-loops");
+        assert_eq!(DiGraph::clique(1).edge_count(), 0);
+        assert_eq!(DiGraph::clique(0), DiGraph::new());
     }
 
     #[test]

@@ -2,12 +2,12 @@
 //!
 //! Graph substrate for the reproduction of Suciu & Paredaens (1994):
 //! generators for the paper's input families (the chain `rₙ`, cycles,
-//! deterministic/functional graphs, layered DAGs, seeded random graphs),
-//! classical polynomial transitive-closure algorithms (the ground truth
-//! and E3 baselines), a dense bitset, and conversions to/from complex
-//! objects of type `{N × N}`.
+//! deterministic/functional graphs, layered DAGs, grids, cliques, seeded
+//! random graphs), classical polynomial transitive-closure algorithms
+//! (the ground truth and E3 baselines), a dense bitset, and conversions
+//! to/from complex objects of type `{N × N}`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bitset;
 pub mod digraph;

@@ -19,7 +19,7 @@
 //! * [`lower_bound`] — Corollary 5.3: closed `{N×N}` abstract expressions
 //!   denote unions of affine spaces and can never be `tc(rₙ)`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aexpr;
 pub mod affine;

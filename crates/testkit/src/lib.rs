@@ -11,7 +11,7 @@
 //! cross-checks) need plain randomized case generation rather than
 //! shrinking.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::collections::BTreeSet;
 

@@ -1,9 +1,10 @@
 //! The differential test harness: every route to the transitive closure —
 //! the eager powerset query (`tc_paths`), the `while` query (`tc_while`),
-//! the streaming (lazy) evaluator, and the classical `nra-graph` baselines
-//! (Warshall, semi-naive, per-source BFS) — must agree on randomized
-//! graphs from four families (chains, cycles, DAGs, disconnected graphs)
-//! with up to ~8 nodes.
+//! their memoised (apply-cache) evaluations, the streaming (lazy)
+//! evaluator, and the classical `nra-graph` baselines (Warshall,
+//! semi-naive, per-source BFS) — must agree on randomized graphs from
+//! seven families (chains, cycles, DAGs, disconnected graphs, grids,
+//! cliques, sparse random graphs) with up to ~8 nodes.
 //!
 //! On top of route agreement, the §3 complexity measure must *certify the
 //! paper's separation*: on the chains `rₙ`, the eager powerset route costs
@@ -57,6 +58,25 @@ fn random_disconnected(rng: &mut Rng) -> DiGraph {
     left.union(&right.shifted(100))
 }
 
+/// A small directed grid (2×2 or 2×3 — at most 7 edges, powerset-safe)
+/// at a random label offset.
+fn random_grid(rng: &mut Rng) -> DiGraph {
+    DiGraph::grid(2, rng.range_u64(2, 4)).shifted(rng.below(5))
+}
+
+/// A complete digraph on 1–3 nodes (≤ 6 edges) at a random label offset
+/// — already transitively closed except for the self-loops, which the
+/// closure must add.
+fn random_clique(rng: &mut Rng) -> DiGraph {
+    DiGraph::clique(rng.range_u64(1, 4)).shifted(rng.below(5))
+}
+
+/// A sparse random relation: ≤ 6 edges over ≤ 5 nodes (self-loops and
+/// all), the least structured family in the suite.
+fn random_sparse(rng: &mut Rng) -> DiGraph {
+    DiGraph::from_edges(rng.relation(5, 6))
+}
+
 /// The heart of the harness: compute the closure along every route and
 /// require bit-for-bit agreement.
 fn assert_all_routes_agree(g: &DiGraph, label: &str) {
@@ -81,11 +101,24 @@ fn assert_all_routes_agree(g: &DiGraph, label: &str) {
         .unwrap_or_else(|e| panic!("tc_while failed on {label}: {e}"));
     assert_eq!(eager_while, expect, "tc_while vs baselines on {label}");
 
-    // …and the streaming evaluator on the powerset route.
+    // …the streaming evaluator on the powerset route…
     let lazy_paths = evaluate_lazy(&queries::tc_paths(), &input, &cfg)
         .result
         .unwrap_or_else(|e| panic!("lazy tc_paths failed on {label}: {e}"));
     assert_eq!(lazy_paths, expect, "lazy tc_paths vs baselines on {label}");
+
+    // …and the memoised (apply-cache) evaluations of both routes, which
+    // must be bit-for-bit the memo-off results.
+    let memo_cfg = EvalConfig::memoised();
+    for (name, q) in [
+        ("memoised tc_paths", queries::tc_paths()),
+        ("memoised tc_while", queries::tc_while()),
+    ] {
+        let memoised = evaluate(&q, &input, &memo_cfg)
+            .result
+            .unwrap_or_else(|e| panic!("{name} failed on {label}: {e}"));
+        assert_eq!(memoised, expect, "{name} vs baselines on {label}");
+    }
 
     // the encoding round-trips, so the comparison was about real graphs
     assert_eq!(
@@ -123,6 +156,27 @@ fn differential_disconnected() {
             &random_disconnected(rng),
             &format!("disconnected (seed {seed})"),
         );
+    });
+}
+
+#[test]
+fn differential_grids() {
+    check("differential_grids", CASES, |seed, rng| {
+        assert_all_routes_agree(&random_grid(rng), &format!("grid (seed {seed})"));
+    });
+}
+
+#[test]
+fn differential_cliques() {
+    check("differential_cliques", CASES, |seed, rng| {
+        assert_all_routes_agree(&random_clique(rng), &format!("clique (seed {seed})"));
+    });
+}
+
+#[test]
+fn differential_sparse() {
+    check("differential_sparse", CASES, |seed, rng| {
+        assert_all_routes_agree(&random_sparse(rng), &format!("sparse (seed {seed})"));
     });
 }
 
