@@ -29,21 +29,25 @@ fn main() {
     // on a small chain — see nra_bench::standard_eval_comparisons
     let comparisons = standard_eval_comparisons(samples);
 
-    println!("tree vs interned vs memoised eager evaluation ({samples} samples, median):");
     println!(
-        "{:<20} {:>4} {:>12} {:>12} {:>12} {:>9} {:>9}",
-        "workload", "n", "tree", "interned", "memoised", "intern×", "memo×"
+        "tree vs interned vs memoised vs semi-naive eager evaluation ({samples} samples, median):"
+    );
+    println!(
+        "{:<20} {:>4} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "workload", "n", "tree", "interned", "memoised", "seminaive", "intern×", "memo×", "semi×"
     );
     for c in &comparisons {
         println!(
-            "{:<20} {:>4} {:>12} {:>12} {:>12} {:>8.2}x {:>8.2}x",
+            "{:<20} {:>4} {:>12} {:>12} {:>12} {:>12} {:>8.2}x {:>8.2}x {:>8.2}x",
             c.workload,
             c.n,
             fmt_duration(c.tree),
             fmt_duration(c.interned),
             fmt_duration(c.memoised),
+            fmt_duration(c.seminaive),
             c.speedup(),
-            c.memo_speedup()
+            c.memo_speedup(),
+            c.seminaive_speedup()
         );
     }
     let min = comparisons
@@ -54,8 +58,13 @@ fn main() {
         .iter()
         .map(EvalComparison::memo_speedup)
         .fold(f64::INFINITY, f64::min);
-    println!("minimum interned speedup across workloads: {min:.2}x");
-    println!("minimum memo speedup across workloads:     {min_memo:.2}x");
+    let min_semi = comparisons
+        .iter()
+        .map(EvalComparison::seminaive_speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("minimum interned speedup across workloads:   {min:.2}x");
+    println!("minimum memo speedup across workloads:       {min_memo:.2}x");
+    println!("minimum semi-naive speedup across workloads: {min_semi:.2}x");
 
     let path = write_bench_eval_json(&comparisons, samples).expect("write BENCH_eval.json");
     println!("wrote {}", path.display());

@@ -37,6 +37,7 @@ fn main() {
     e10_measure_robustness();
     e11_lazy();
     e12_apply_cache();
+    e13_delta_frontiers();
     footer();
     bench_eval_json();
 }
@@ -50,6 +51,75 @@ fn bench_eval_json() {
     let path =
         nra_bench::write_bench_eval_json(&comparisons, samples).expect("write BENCH_eval.json");
     eprintln!("report: refreshed {}", path.display());
+}
+
+fn e13_delta_frontiers() {
+    println!("## E13 — semi-naive iteration: the (total, delta) frontier trace");
+    println!();
+    println!("Under `EvalConfig::semi_naive` the `while` rule threads a `(total, delta)`");
+    println!("pair: each iterate's body runs on the frontier only (the facts the fixpoint");
+    println!("gained since the previous iterate), and the new facts are folded in by the");
+    println!("arena's one-pass merge algebra. Results are bit-for-bit the naive-iteration");
+    println!("results and the iteration count is exact — only the re-derivation of the");
+    println!("accumulated closure disappears. The frontier trace per workload (`|cₖ₊₁ ∖");
+    println!("cₖ|` per iterate; the final 0 is the fixpoint test), with the §3 node");
+    println!("counts the delta rules avoided:");
+    println!();
+    println!(
+        "| workload | n | iterations | frontier sizes | naive nodes | semi-naive nodes | skipped |"
+    );
+    println!("|--|--:|--:|--|--:|--:|--:|");
+    let cfg = EvalConfig::default();
+    let semi_cfg = EvalConfig::semi_naive();
+    let tc_while = queries::tc_while();
+    let workloads: Vec<(&str, u64, Value)> = vec![
+        ("chain/tc_while", 8, Value::chain(8)),
+        ("chain/tc_while", 12, Value::chain(12)),
+        (
+            "dag/tc_while",
+            10,
+            graph_to_value(&DiGraph::random_dag(10, 1.0 / 3.0, 2)),
+        ),
+        ("grid/tc_while", 12, graph_to_value(&DiGraph::grid(3, 4))),
+        ("clique/tc_while", 5, graph_to_value(&DiGraph::clique(5))),
+        (
+            "sparse/tc_while",
+            10,
+            graph_to_value(&DiGraph::random(10, 0.15, 7)),
+        ),
+    ];
+    for (label, n, input) in &workloads {
+        let naive = evaluate(&tc_while, input, &cfg);
+        let semi = evaluate(&tc_while, input, &semi_cfg);
+        assert_eq!(
+            naive.result.unwrap(),
+            semi.result.unwrap(),
+            "semi-naive disagrees on {label} n={n}"
+        );
+        assert_eq!(naive.stats.while_iterations, semi.stats.while_iterations);
+        let frontiers: Vec<String> = semi
+            .stats
+            .while_frontiers
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            label,
+            n,
+            semi.stats.while_iterations,
+            frontiers.join(" → "),
+            naive.stats.nodes,
+            semi.stats.nodes,
+            semi.stats.delta_skipped,
+        );
+    }
+    println!();
+    println!("The frontiers shrink to 0 exactly when the naive iterate reaches its");
+    println!("fixpoint — the trajectory is threaded, never approximated — while the");
+    println!("node column shows the point of semi-naive evaluation: the dominant");
+    println!("`O(iterations × |closure|²)` re-scan of the accumulated closure is gone.");
+    println!();
 }
 
 fn header() {

@@ -110,10 +110,11 @@ pub fn bench_samples() -> usize {
     tinybench::default_samples()
 }
 
-/// One timed comparison of the three eager evaluation paths — the
-/// tree-walking baseline, the interned (hash-consed) path, and the
-/// memoised path (interned + the `(EId, VId) → VId` apply cache) — on
-/// the same query and input.
+/// One timed comparison of the four eager evaluation paths — the
+/// tree-walking baseline, the interned (hash-consed) path, the
+/// memoised path (interned + the `(EId, VId) → VId` apply cache), and
+/// the semi-naive path (apply cache + delta-driven `while` iteration,
+/// [`nra_eval::EvalConfig::optimised`]) — on the same query and input.
 #[derive(Debug, Clone)]
 pub struct EvalComparison {
     /// Workload label, e.g. `"chain/tc_while"`.
@@ -127,6 +128,10 @@ pub struct EvalComparison {
     /// Median wall-clock of [`nra_eval::evaluate`] under
     /// [`nra_eval::EvalConfig::memoised`] (interned + apply cache).
     pub memoised: Duration,
+    /// Median wall-clock of [`nra_eval::evaluate`] under
+    /// [`nra_eval::EvalConfig::optimised`] (apply cache + semi-naive
+    /// delta-driven iteration).
+    pub seminaive: Duration,
 }
 
 impl EvalComparison {
@@ -141,6 +146,15 @@ impl EvalComparison {
     /// interned-over-tree geomean.
     pub fn memo_speedup(&self) -> f64 {
         self.interned.as_secs_f64() / self.memoised.as_secs_f64().max(1e-12)
+    }
+
+    /// How many times faster semi-naive (delta-driven) iteration makes
+    /// the *memoised* path (memoised / seminaive) — the incremental win
+    /// on top of the apply cache. Recorded per workload and as
+    /// `geomean_seminaive_speedup` in `BENCH_eval.json`; the CI gate
+    /// fails if the geomean drops below 1.
+    pub fn seminaive_speedup(&self) -> f64 {
+        self.memoised.as_secs_f64() / self.seminaive.as_secs_f64().max(1e-12)
     }
 }
 
@@ -159,10 +173,18 @@ pub fn median_time<R>(samples: usize, mut f: impl FnMut() -> R) -> Duration {
 }
 
 /// Median of each column over `samples` *interleaved* rounds: every
-/// round times each function once, back to back, so ambient machine
-/// noise (a shared or single-core box) degrades all columns equally
-/// instead of whichever happened to run in the noisy phase — the
-/// speedup *ratios* stay meaningful even when absolute times wobble.
+/// round visits each function back to back, so ambient machine noise
+/// (a shared or single-core box) degrades all columns equally instead
+/// of whichever happened to run in the noisy phase — the speedup
+/// *ratios* stay meaningful even when absolute times wobble.
+///
+/// Within a round each function runs **twice and only the second
+/// execution is timed** (the Criterion steady-state discipline): the
+/// untimed first run refills the caches the *previous* column's
+/// evaluation just evicted, which otherwise taxes the fast columns
+/// disproportionately — a 40 ms tree walk trashes megabytes of memo
+/// table and arena that a 0.5 ms delta-driven run then pays to page
+/// back in.
 fn interleaved_medians<const K: usize>(
     samples: usize,
     fs: &mut [&mut dyn FnMut(); K],
@@ -173,6 +195,7 @@ fn interleaved_medians<const K: usize>(
     let mut columns: [Vec<Duration>; K] = std::array::from_fn(|_| Vec::with_capacity(samples));
     for _ in 0..samples.max(1) {
         for (f, column) in fs.iter_mut().zip(columns.iter_mut()) {
+            f(); // steady-state: refill what the previous column evicted
             let start = Instant::now();
             f();
             column.push(start.elapsed());
@@ -184,9 +207,9 @@ fn interleaved_medians<const K: usize>(
     })
 }
 
-/// Time the tree-walking, interned, and memoised eager evaluators on one
-/// workload (asserting along the way that all three produce the same
-/// result) and return the comparison.
+/// Time the tree-walking, interned, memoised, and semi-naive eager
+/// evaluators on one workload (asserting along the way that all four
+/// produce the same result) and return the comparison.
 pub fn compare_eval(
     workload: &str,
     n: u64,
@@ -196,6 +219,7 @@ pub fn compare_eval(
 ) -> EvalComparison {
     let cfg = EvalConfig::default();
     let memo_cfg = EvalConfig::memoised();
+    let semi_cfg = EvalConfig::optimised();
     let tree_out = evaluate_tree(query, input, &cfg).result.expect("tree eval");
     let interned_out = evaluate(query, input, &cfg).result.expect("interned eval");
     assert_eq!(tree_out, interned_out, "paths disagree on {workload} n={n}");
@@ -206,7 +230,14 @@ pub fn compare_eval(
         interned_out, memo_out,
         "memoised path disagrees on {workload} n={n}"
     );
-    let [tree, interned, memoised] = interleaved_medians(
+    let semi_out = evaluate(query, input, &semi_cfg)
+        .result
+        .expect("semi-naive eval");
+    assert_eq!(
+        interned_out, semi_out,
+        "semi-naive path disagrees on {workload} n={n}"
+    );
+    let [tree, interned, memoised, seminaive] = interleaved_medians(
         samples,
         &mut [
             &mut || {
@@ -218,6 +249,9 @@ pub fn compare_eval(
             &mut || {
                 std::hint::black_box(evaluate(query, input, &memo_cfg));
             },
+            &mut || {
+                std::hint::black_box(evaluate(query, input, &semi_cfg));
+            },
         ],
     );
     EvalComparison {
@@ -226,6 +260,7 @@ pub fn compare_eval(
         tree,
         interned,
         memoised,
+        seminaive,
     }
 }
 
@@ -325,14 +360,16 @@ pub fn write_bench_eval_json_to(
     out.push_str("  \"unit\": \"ns\",\n  \"workloads\": [\n");
     for (i, c) in comparisons.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"n\": {}, \"tree_ns\": {}, \"interned_ns\": {}, \"memo_ns\": {}, \"speedup\": {:.3}, \"memo_speedup\": {:.3}}}{}\n",
+            "    {{\"workload\": \"{}\", \"n\": {}, \"tree_ns\": {}, \"interned_ns\": {}, \"memo_ns\": {}, \"seminaive_ns\": {}, \"speedup\": {:.3}, \"memo_speedup\": {:.3}, \"seminaive_speedup\": {:.3}}}{}\n",
             c.workload,
             c.n,
             c.tree.as_nanos(),
             c.interned.as_nanos(),
             c.memoised.as_nanos(),
+            c.seminaive.as_nanos(),
             c.speedup(),
             c.memo_speedup(),
+            c.seminaive_speedup(),
             if i + 1 == comparisons.len() { "" } else { "," }
         ));
     }
@@ -353,12 +390,22 @@ pub fn write_bench_eval_json_to(
         .sum::<f64>()
         / comparisons.len().max(1) as f64)
         .exp();
+    let geomean_seminaive = (comparisons
+        .iter()
+        .map(|c| c.seminaive_speedup().ln())
+        .sum::<f64>()
+        / comparisons.len().max(1) as f64)
+        .exp();
     out.push_str("  ],\n");
     out.push_str(&format!("  \"min_speedup\": {:.3},\n", min));
     out.push_str(&format!("  \"geomean_speedup\": {:.3},\n", geomean));
     out.push_str(&format!(
-        "  \"geomean_memo_speedup\": {:.3}\n}}\n",
+        "  \"geomean_memo_speedup\": {:.3},\n",
         geomean_memo
+    ));
+    out.push_str(&format!(
+        "  \"geomean_seminaive_speedup\": {:.3}\n}}\n",
+        geomean_seminaive
     ));
     let mut file = std::fs::File::create(&path)?;
     file.write_all(out.as_bytes())?;
@@ -419,7 +466,7 @@ mod tests {
     }
 
     #[test]
-    fn compare_eval_checks_agreement_and_times_all_three_paths() {
+    fn compare_eval_checks_agreement_and_times_all_four_paths() {
         let c = compare_eval(
             "chain/tc_while",
             6,
@@ -431,8 +478,10 @@ mod tests {
         assert!(c.tree > Duration::ZERO);
         assert!(c.interned > Duration::ZERO);
         assert!(c.memoised > Duration::ZERO);
+        assert!(c.seminaive > Duration::ZERO);
         assert!(c.speedup() > 0.0);
         assert!(c.memo_speedup() > 0.0);
+        assert!(c.seminaive_speedup() > 0.0);
     }
 
     #[test]
@@ -444,6 +493,7 @@ mod tests {
                 tree: Duration::from_micros(400),
                 interned: Duration::from_micros(100),
                 memoised: Duration::from_micros(50),
+                seminaive: Duration::from_micros(25),
             },
             EvalComparison {
                 workload: "dag/tc_while".into(),
@@ -451,6 +501,7 @@ mod tests {
                 tree: Duration::from_micros(300),
                 interned: Duration::from_micros(150),
                 memoised: Duration::from_micros(75),
+                seminaive: Duration::from_micros(25),
             },
         ];
         // write to a scratch path — the repo-root BENCH_eval.json is a
@@ -468,8 +519,12 @@ mod tests {
         assert!(text.contains("\"speedup\": 4.000"));
         assert!(text.contains("\"memo_ns\": 50000"));
         assert!(text.contains("\"memo_speedup\": 2.000"));
+        assert!(text.contains("\"seminaive_ns\": 25000"));
+        assert!(text.contains("\"seminaive_speedup\": 2.000"));
+        assert!(text.contains("\"seminaive_speedup\": 3.000"));
         assert!(text.contains("\"min_speedup\": 2.000"));
         assert!(text.contains("\"geomean_memo_speedup\": 2.000"));
+        assert!(text.contains("\"geomean_seminaive_speedup\": 2.449"));
         // balanced braces/brackets (no trailing-comma style breakage)
         assert_eq!(
             text.matches('{').count(),

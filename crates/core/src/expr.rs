@@ -183,28 +183,62 @@ impl Expr {
 
     /// Short primitive name used by the pretty-printer and rule statistics.
     pub fn head_name(&self) -> &'static str {
+        Self::HEAD_NAMES[self.head_index()]
+    }
+
+    /// Rule labels indexed by [`Expr::head_index`].
+    pub const HEAD_NAMES: [&'static str; 21] = [
+        "id",
+        "bang",
+        "tuple",
+        "fst",
+        "snd",
+        "map",
+        "sng",
+        "flatten",
+        "pairwith",
+        "emptyset",
+        "union",
+        "eq",
+        "isempty",
+        "true",
+        "false",
+        "if",
+        "compose",
+        "powerset",
+        "powerset_m",
+        "while",
+        "const",
+    ];
+
+    /// Dense index of this expression's head rule — the position of
+    /// [`Expr::head_name`] in [`Expr::HEAD_NAMES`]. The evaluators'
+    /// per-rule counters are hot-path (one increment per derivation
+    /// node), so they index a flat array by this instead of updating a
+    /// map keyed by name.
+    pub fn head_index(&self) -> usize {
         match self {
-            Expr::Id => "id",
-            Expr::Bang => "bang",
-            Expr::Tuple(_, _) => "tuple",
-            Expr::Fst => "fst",
-            Expr::Snd => "snd",
-            Expr::Map(_) => "map",
-            Expr::Sng => "sng",
-            Expr::Flatten => "flatten",
-            Expr::PairWith => "pairwith",
-            Expr::EmptySet(_) => "emptyset",
-            Expr::Union => "union",
-            Expr::EqNat => "eq",
-            Expr::IsEmpty => "isempty",
-            Expr::ConstTrue => "true",
-            Expr::ConstFalse => "false",
-            Expr::Cond(_, _, _) => "if",
-            Expr::Compose(_, _) => "compose",
-            Expr::Powerset => "powerset",
-            Expr::PowersetM(_) => "powerset_m",
-            Expr::While(_) => "while",
-            Expr::Const(_, _) => "const",
+            Expr::Id => 0,
+            Expr::Bang => 1,
+            Expr::Tuple(_, _) => 2,
+            Expr::Fst => 3,
+            Expr::Snd => 4,
+            Expr::Map(_) => 5,
+            Expr::Sng => 6,
+            Expr::Flatten => 7,
+            Expr::PairWith => 8,
+            Expr::EmptySet(_) => 9,
+            Expr::Union => 10,
+            Expr::EqNat => 11,
+            Expr::IsEmpty => 12,
+            Expr::ConstTrue => 13,
+            Expr::ConstFalse => 14,
+            Expr::Cond(_, _, _) => 15,
+            Expr::Compose(_, _) => 16,
+            Expr::Powerset => 17,
+            Expr::PowersetM(_) => 18,
+            Expr::While(_) => 19,
+            Expr::Const(_, _) => 20,
         }
     }
 }

@@ -89,13 +89,20 @@ impl ENode {
     /// The rule label of this node — identical to [`Expr::head_name`]
     /// of the expression it denotes.
     pub fn head_name(&self) -> &'static str {
+        Expr::HEAD_NAMES[self.head_index()]
+    }
+
+    /// Dense rule index — identical to [`Expr::head_index`] of the
+    /// expression this node denotes (a unit test holds the two in
+    /// lockstep).
+    pub fn head_index(&self) -> usize {
         match self {
-            ENode::Leaf(e) => e.head_name(),
-            ENode::Tuple(..) => "tuple",
-            ENode::Map(_) => "map",
-            ENode::Cond(..) => "if",
-            ENode::Compose(..) => "compose",
-            ENode::While(_) => "while",
+            ENode::Leaf(e) => e.head_index(),
+            ENode::Tuple(..) => 2,
+            ENode::Map(_) => 5,
+            ENode::Cond(..) => 15,
+            ENode::Compose(..) => 16,
+            ENode::While(_) => 19,
         }
     }
 }
@@ -450,6 +457,26 @@ mod tests {
         assert_eq!(a.node_count(), 0);
         let i = a.intern(&id());
         assert_eq!(a.resolve(i), id());
+    }
+
+    #[test]
+    fn head_indices_match_expr_level() {
+        let mut a = ExprArena::new();
+        for e in [
+            id(),
+            tuple(id(), sng()),
+            map(fst()),
+            cond(always_true(), id(), id()),
+            compose(flatten(), map(sng())),
+            queries::tc_while(),
+            powerset(),
+        ] {
+            let eid = a.intern(&e);
+            let node = a.node(eid);
+            assert_eq!(node.head_index(), e.head_index(), "{e}");
+            assert_eq!(node.head_name(), e.head_name(), "{e}");
+            assert_eq!(Expr::HEAD_NAMES[e.head_index()], e.head_name(), "{e}");
+        }
     }
 
     #[test]

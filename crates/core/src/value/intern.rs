@@ -591,6 +591,130 @@ impl ValueArena {
         Some(self.add_canonical_set(merged))
     }
 
+    /// Union and frontier in **one** linear pass: returns
+    /// `(old ∪ new, new ∖ old)` — the merged set together with "what's
+    /// new" relative to `old`. `None` if either handle is not a set.
+    ///
+    /// This is the primitive behind semi-naive (delta-driven) `while`
+    /// iteration: when `old ⊆ new` the union interns back to `new`
+    /// itself (so the superset test is `union == new`, for free), and
+    /// the second component is exactly the frontier the next iterate
+    /// needs to look at.
+    ///
+    /// ```
+    /// use nra_core::value::intern::ValueArena;
+    ///
+    /// let mut a = ValueArena::new();
+    /// let total = a.relation([(0, 1), (1, 2)]);
+    /// let next = a.relation([(0, 1), (0, 2), (1, 2)]);
+    /// let (union, fresh) = a.set_merge_delta(total, next).unwrap();
+    /// assert_eq!(union, next); // total ⊆ next ⇒ union is next itself
+    /// assert_eq!(fresh, a.relation([(0, 2)]));
+    /// ```
+    pub fn set_merge_delta(&mut self, old: VId, new: VId) -> Option<(VId, VId)> {
+        let xs = self.as_set(old)?;
+        let ys = self.as_set(new)?;
+        if old == new {
+            let empty = self.empty_set();
+            return Some((old, empty));
+        }
+        let mut union = Vec::with_capacity(xs.len() + ys.len());
+        let mut fresh = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < xs.len() && j < ys.len() {
+            match xs[i].cmp(&ys[j]) {
+                std::cmp::Ordering::Less => {
+                    union.push(xs[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    union.push(ys[j]);
+                    fresh.push(ys[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    union.push(xs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        union.extend_from_slice(&xs[i..]);
+        union.extend_from_slice(&ys[j..]);
+        fresh.extend_from_slice(&ys[j..]);
+        let union = self.add_canonical_set(union);
+        let fresh = self.add_canonical_set(fresh);
+        Some((union, fresh))
+    }
+
+    /// Frontier cardinality `|new ∖ old|` by a count-only merge scan —
+    /// the observation half of [`ValueArena::set_merge_delta`], for
+    /// callers (the semi-naive `while` rule's per-iterate frontier
+    /// trace) that need the size of the delta without interning it.
+    /// `None` if either handle is not a set.
+    ///
+    /// ```
+    /// use nra_core::value::intern::ValueArena;
+    ///
+    /// let mut a = ValueArena::new();
+    /// let old = a.relation([(0, 1), (1, 2)]);
+    /// let new = a.relation([(0, 1), (0, 2), (1, 2)]);
+    /// assert_eq!(a.set_delta_cardinality(old, new), Some(1));
+    /// assert_eq!(a.set_delta_cardinality(new, old), Some(0));
+    /// ```
+    pub fn set_delta_cardinality(&self, old: VId, new: VId) -> Option<u64> {
+        let xs = self.as_set(old)?;
+        let ys = self.as_set(new)?;
+        if old == new {
+            return Some(0);
+        }
+        let mut fresh: u64 = 0;
+        let mut i = 0;
+        for &y in ys.iter() {
+            while i < xs.len() && xs[i] < y {
+                i += 1;
+            }
+            if i >= xs.len() || xs[i] != y {
+                fresh += 1;
+            }
+        }
+        Some(fresh)
+    }
+
+    /// N-ary **frontier merge**: fold the element slices of the
+    /// `frontiers` (each a *set* handle) into `base` without ever
+    /// re-sorting — the semi-naive counterpart of
+    /// [`ValueArena::set_from_sorted_merge`], used to fold the images
+    /// of a delta-evaluated `map`/`μ` back into the previous total.
+    /// Equivalent to iterated binary [`ValueArena::set_union`], in one
+    /// balanced merge. `None` if `base` or any frontier is not a set.
+    ///
+    /// ```
+    /// use nra_core::value::intern::ValueArena;
+    ///
+    /// let mut a = ValueArena::new();
+    /// let base = a.relation([(0, 1)]);
+    /// let parts: Vec<_> = (1..3).map(|i| a.relation([(i, i + 1)])).collect();
+    /// let merged = a.set_merge_frontier(base, &parts).unwrap();
+    /// assert_eq!(merged, a.chain(3));
+    /// assert_eq!(a.set_merge_frontier(base, &[]), Some(base));
+    /// ```
+    pub fn set_merge_frontier(&mut self, base: VId, frontiers: &[VId]) -> Option<VId> {
+        // validate everything up front so a non-set frontier refuses the
+        // whole merge instead of silently dropping
+        self.as_set(base)?;
+        for &f in frontiers {
+            self.as_set(f)?;
+        }
+        if frontiers.is_empty() {
+            return Some(base);
+        }
+        let mut sets = Vec::with_capacity(frontiers.len() + 1);
+        sets.push(base);
+        sets.extend_from_slice(frontiers);
+        self.set_from_sorted_merge(&sets)
+    }
+
     /// Intern a binary relation `{(a, b), …}`.
     pub fn relation<I: IntoIterator<Item = (u64, u64)>>(&mut self, edges: I) -> VId {
         let items: Vec<VId> = edges.into_iter().map(|(a, b)| self.edge(a, b)).collect();
@@ -891,6 +1015,22 @@ pub fn set_from_sorted_merge(sets: &[VId]) -> Option<VId> {
     with_arena(|a| a.set_from_sorted_merge(sets))
 }
 
+/// Union + frontier in one pass — see [`ValueArena::set_merge_delta`].
+pub fn set_merge_delta(old: VId, new: VId) -> Option<(VId, VId)> {
+    with_arena(|a| a.set_merge_delta(old, new))
+}
+
+/// Count-only frontier scan — see
+/// [`ValueArena::set_delta_cardinality`].
+pub fn set_delta_cardinality(old: VId, new: VId) -> Option<u64> {
+    with_arena(|a| a.set_delta_cardinality(old, new))
+}
+
+/// N-ary frontier merge — see [`ValueArena::set_merge_frontier`].
+pub fn set_merge_frontier(base: VId, frontiers: &[VId]) -> Option<VId> {
+    with_arena(|a| a.set_merge_frontier(base, frontiers))
+}
+
 /// Statistics of the thread-local arena.
 pub fn arena_stats() -> ArenaStats {
     with_arena(|a| a.stats())
@@ -1076,6 +1216,63 @@ mod tests {
         // any non-set refuses the whole merge
         let n = a.nat(3);
         assert_eq!(a.set_from_sorted_merge(&[parts[0], n]), None);
+    }
+
+    #[test]
+    fn merge_delta_is_union_plus_difference() {
+        let mut a = ValueArena::new();
+        let old = a.relation([(0, 1), (2, 3)]);
+        let new = a.relation([(0, 1), (1, 2), (4, 5)]);
+        let (union, fresh) = a.set_merge_delta(old, new).unwrap();
+        assert_eq!(union, a.set_union(old, new).unwrap());
+        assert_eq!(fresh, a.set_difference(new, old).unwrap());
+        // superset fast-path property: old ⊆ new ⇔ union == new
+        let grown = a.set_union(old, new).unwrap();
+        let (u2, f2) = a.set_merge_delta(old, grown).unwrap();
+        assert_eq!(u2, grown);
+        assert_eq!(f2, a.set_difference(grown, old).unwrap());
+        // degenerate cases
+        let empty = a.empty_set();
+        assert_eq!(a.set_merge_delta(old, old), Some((old, empty)));
+        assert_eq!(a.set_merge_delta(empty, new), Some((new, new)));
+        assert_eq!(a.set_merge_delta(new, empty), Some((new, empty)));
+        // non-sets refuse
+        let n = a.nat(7);
+        assert_eq!(a.set_merge_delta(n, new), None);
+        assert_eq!(a.set_merge_delta(old, n), None);
+        // the count-only scan agrees with the interned frontier
+        for (x, y) in [(old, new), (new, old), (old, grown), (empty, new)] {
+            let (_, f) = a.set_merge_delta(x, y).unwrap();
+            assert_eq!(
+                a.set_delta_cardinality(x, y),
+                Some(a.cardinality(f).unwrap() as u64)
+            );
+        }
+        assert_eq!(a.set_delta_cardinality(n, new), None);
+        assert_eq!(a.set_delta_cardinality(old, n), None);
+    }
+
+    #[test]
+    fn frontier_merge_is_iterated_union() {
+        let mut a = ValueArena::new();
+        let base = a.relation([(0, 1), (5, 6)]);
+        let parts: Vec<VId> = vec![
+            a.relation([(1, 2)]),
+            a.empty_set(),
+            a.relation([(0, 1), (2, 3)]),
+        ];
+        let merged = a.set_merge_frontier(base, &parts).unwrap();
+        let mut expect = base;
+        for &p in &parts {
+            expect = a.set_union(expect, p).unwrap();
+        }
+        assert_eq!(merged, expect);
+        // no frontiers: the base comes back untouched
+        assert_eq!(a.set_merge_frontier(base, &[]), Some(base));
+        // a non-set anywhere refuses the whole merge
+        let n = a.nat(3);
+        assert_eq!(a.set_merge_frontier(n, &parts), None);
+        assert_eq!(a.set_merge_frontier(base, &[parts[0], n]), None);
     }
 
     #[test]

@@ -24,14 +24,30 @@
 //! size(eᵢ)` for a k-element input, saturating), so a budgeted evaluation
 //! can report the exact space requirement of runs that would never fit in
 //! memory.
+//!
+//! Two opt-in cost-model switches run on the interned-expression walker
+//! (`eval_eid`), never changing a result:
+//!
+//! * [`EvalConfig::memo`] — the BDD-style apply cache `(EId, VId) →
+//!   VId` (`MemoCache`), with each slot carrying the subtree's
+//!   as-if-uncached cost so hits charge the node budget exactly;
+//! * [`EvalConfig::semi_naive`] — delta-driven iteration: `while`
+//!   threads `(total, delta)`, `map`/`μ` evaluate frontier-only against
+//!   the `DeltaEntry` cache, and the hash-consed Prop 2.1 shapes —
+//!   cartesian product (`eval_cartprod_fused`), selection
+//!   (`eval_select_fused`), projection equality and tupling
+//!   (`eval_projeq_fused`, `eval_projpair_fused`) — run fused delta
+//!   rules. The §3 counters only ever shrink (every skipped object
+//!   already occurred, and was observed, earlier in the evaluation);
+//!   the default mode remains the exact §3 measure.
 
 use crate::error::{EvalConfig, EvalError};
 use crate::stats::EvalStats;
 use nra_core::expr::intern::{self as expr_intern, EId, ENode};
 use nra_core::expr::Expr;
-use nra_core::value::intern::{self, VId};
+use nra_core::value::intern::{self, FxBuildHasher, VId};
 use nra_core::value::Value;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// The outcome of an evaluation: result (or budget error) plus statistics.
 /// The statistics are meaningful in both cases — on a budget error they
@@ -72,6 +88,19 @@ impl VidEvaluation {
 pub(crate) struct Ctx<'a> {
     pub(crate) config: &'a EvalConfig,
     pub(crate) stats: EvalStats,
+    /// Derivation nodes charged against [`EvalConfig::max_nodes`]: the
+    /// *as-if-uncached* count. Equal to `stats.nodes` in the default
+    /// mode; an apply-cache hit or a delta-skipped frontier adds the
+    /// recorded cost of the skipped subtree here (and only here), so
+    /// budget exhaustion is strategy-independent — a budget that cuts
+    /// the naive derivation cuts the cached one at the same point in
+    /// the judgment sequence.
+    pub(crate) charged_nodes: u64,
+    /// Per-rule application counts, indexed by [`Expr::head_index`] —
+    /// a flat array on the hot path (one increment per derivation
+    /// node); folded into the [`EvalStats::rule_counts`] map once, by
+    /// [`Ctx::finish`].
+    rules: [u64; Expr::HEAD_NAMES.len()],
 }
 
 impl<'a> Ctx<'a> {
@@ -79,6 +108,32 @@ impl<'a> Ctx<'a> {
         Ctx {
             config,
             stats: EvalStats::default(),
+            charged_nodes: 0,
+            rules: [0; Expr::HEAD_NAMES.len()],
+        }
+    }
+
+    /// Fold the flat per-rule counters into the statistics map and
+    /// return the completed [`EvalStats`].
+    pub(crate) fn finish(mut self) -> EvalStats {
+        for (i, &count) in self.rules.iter().enumerate() {
+            if count > 0 {
+                self.stats.rule_counts.insert(Expr::HEAD_NAMES[i], count);
+            }
+        }
+        self.stats
+    }
+
+    /// Charge the recorded cost of a skipped (cached or delta-folded)
+    /// sub-derivation against the node budget without touching the §3
+    /// counters.
+    pub(crate) fn charge(&mut self, cost: u64) -> Result<(), EvalError> {
+        self.charged_nodes = self.charged_nodes.saturating_add(cost);
+        match self.config.max_nodes {
+            Some(budget) if self.charged_nodes > budget => {
+                Err(EvalError::NodeBudgetExceeded { budget })
+            }
+            _ => Ok(()),
         }
     }
 
@@ -118,14 +173,10 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    pub(crate) fn node(&mut self, rule: &'static str) -> Result<(), EvalError> {
-        self.stats.observe_node(rule);
-        match self.config.max_nodes {
-            Some(budget) if self.stats.nodes > budget => {
-                Err(EvalError::NodeBudgetExceeded { budget })
-            }
-            _ => Ok(()),
-        }
+    pub(crate) fn node(&mut self, rule: usize) -> Result<(), EvalError> {
+        self.stats.nodes += 1;
+        self.rules[rule] += 1;
+        self.charge(1)
     }
 }
 
@@ -182,13 +233,16 @@ pub fn evaluate(expr: &Expr, input: &Value, config: &EvalConfig) -> Evaluation {
 /// ```
 pub fn evaluate_vid(expr: &Expr, input: VId, config: &EvalConfig) -> VidEvaluation {
     let mut ctx = Ctx::new(config);
-    let result = if config.memo {
-        // the memoised route walks the interned expression, so the
-        // (EId, VId) pair is available as the apply-cache key at every
-        // recursion step
+    let result = if config.memo || config.semi_naive {
+        // the cached routes walk the interned expression, so the
+        // (EId, VId) pair is available as the apply-cache key — and the
+        // EId as the delta-cache key — at every recursion step
         let eid = expr_intern::intern(expr);
         let mut state = MemoState::acquire();
-        let result = eval_eid(eid, input, &mut ctx, &state.nodes, &mut state.cache);
+        let result = {
+            let MemoState { nodes, caches, .. } = &mut state;
+            eval_eid(eid, input, &mut ctx, nodes, caches)
+        };
         state.release();
         result
     } else {
@@ -196,7 +250,7 @@ pub fn evaluate_vid(expr: &Expr, input: VId, config: &EvalConfig) -> VidEvaluati
     };
     VidEvaluation {
         result,
-        stats: ctx.stats,
+        stats: ctx.finish(),
     }
 }
 
@@ -220,7 +274,7 @@ pub fn evaluate_tree(expr: &Expr, input: &Value, config: &EvalConfig) -> Evaluat
     let result = eval_in(expr, input, &mut ctx);
     Evaluation {
         result,
-        stats: ctx.stats,
+        stats: ctx.finish(),
     }
 }
 
@@ -228,7 +282,7 @@ pub fn evaluate_tree(expr: &Expr, input: &Value, config: &EvalConfig) -> Evaluat
 /// [`crate::trace`] (which materialises the tree) and [`crate::lazy`]
 /// (which re-uses it for per-subset sub-evaluations).
 pub(crate) fn eval_vid(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<VId, EvalError> {
-    ctx.node(expr.head_name())?;
+    ctx.node(expr.head_index())?;
     if !matches!(
         expr,
         Expr::Tuple(..) | Expr::Map(_) | Expr::Cond(..) | Expr::Compose(..) | Expr::While(_)
@@ -311,8 +365,10 @@ const MEMO_INITIAL_BITS: u32 = 14;
 const MEMO_MAX_BITS: u32 = 20;
 
 /// One apply-cache slot: packed `(EId, VId)` key, the epoch that wrote
-/// it, and the cached result.
-type MemoSlot = (u64, u32, VId);
+/// it, the cached result, and the recorded *as-if-uncached* cost of the
+/// cached subtree (in derivation nodes) — what a hit charges against
+/// the node budget so budgeted runs stay strategy-independent.
+type MemoSlot = (u64, u32, VId, u64);
 
 thread_local! {
     /// The pooled [`MemoState`], so consecutive memoised evaluations
@@ -354,7 +410,7 @@ impl MemoCache {
     fn blank_slots(len: usize) -> Vec<MemoSlot> {
         // the interned unit value as filler payload; never returned
         // because the sentinel key can't match
-        vec![(Self::EMPTY, 0, intern::unit()); len]
+        vec![(Self::EMPTY, 0, intern::unit(), 0); len]
     }
 
     fn key(eid: EId, input: VId) -> u64 {
@@ -373,12 +429,14 @@ impl MemoCache {
         (eid.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(key) & self.mask) as usize
     }
 
-    fn probe(&self, key: u64) -> Option<VId> {
-        let (k, e, v) = self.slots[self.slot(key)];
-        (k == key && e == self.epoch).then_some(v)
+    /// Probe for a cached judgment: the result handle plus the recorded
+    /// as-if-uncached cost of its subtree.
+    fn probe(&self, key: u64) -> Option<(VId, u64)> {
+        let (k, e, v, cost) = self.slots[self.slot(key)];
+        (k == key && e == self.epoch).then_some((v, cost))
     }
 
-    fn store(&mut self, key: u64, out: VId) {
+    fn store(&mut self, key: u64, out: VId, cost: u64) {
         if self.stored * 4 >= self.slots.len() && self.slots.len() < (1 << MEMO_MAX_BITS) {
             self.grow();
         }
@@ -387,7 +445,7 @@ impl MemoCache {
         if self.slots[slot].1 != epoch {
             self.stored += 1; // filling an empty or stale slot
         }
-        self.slots[slot] = (key, epoch, out);
+        self.slots[slot] = (key, epoch, out, cost);
     }
 
     /// Quadruple the table, re-inserting this epoch's live entries.
@@ -396,134 +454,394 @@ impl MemoCache {
         let old = std::mem::replace(&mut self.slots, Self::blank_slots(new_len));
         self.mask = (new_len - 1) as u64;
         self.stored = 0;
-        for (k, e, v) in old {
+        for (k, e, v, cost) in old {
             if k != Self::EMPTY && e == self.epoch {
                 let slot = self.slot(k);
                 if self.slots[slot].1 != self.epoch {
                     self.stored += 1;
                 }
-                self.slots[slot] = (k, self.epoch, v);
+                self.slots[slot] = (k, self.epoch, v, cost);
             }
         }
     }
 }
 
-/// Everything one memoised evaluation needs: the synced expression-node
-/// snapshot (read through a shared borrow) and the apply cache (read
-/// through a mutable one) — split fields so [`eval_eid`] can hold both
-/// at once. Pooled thread-locally between evaluations: "clearing" the
-/// slots is an epoch bump — `O(1)` instead of a multi-megabyte memset,
-/// the same reason BDD packages keep their apply cache alive across
-/// `apply` calls — and the node snapshot is only ever *extended* (the
-/// arena is append-only between clears), so a repeat evaluation pays
+/// One entry of the **delta cache**: the last `(input, output)` pair a
+/// `map`/`μ` node produced, plus the as-if-uncached cost (derivation
+/// nodes) of its per-element sub-derivations. When the same expression
+/// node next fires on a *superset* of `input` — exactly what happens to
+/// every pointwise rule inside an inflationary `while` body — the body
+/// runs on the frontier only and `output` is folded in by a sorted
+/// merge. `map` and `μ` distribute over union element-by-element, so
+/// the incremental result is bit-for-bit the recomputed one.
+#[derive(Clone, Copy)]
+pub(crate) struct DeltaEntry {
+    /// The input set of the previous application.
+    input: VId,
+    /// Its output.
+    output: VId,
+    /// As-if-uncached cost of the per-element sub-derivations (0 for
+    /// `μ`, which has none); charged on a skip so node budgets stay
+    /// strategy-independent.
+    cost: u64,
+}
+
+/// The delta cache: one [`DeltaEntry`] per `map`/`μ` expression node,
+/// keyed by [`EId`]. Cleared per evaluation.
+type DeltaMap = HashMap<EId, DeltaEntry, FxBuildHasher>;
+
+/// The mutable cache state one cached evaluation threads through
+/// [`eval_eid`]: the apply cache (active under [`EvalConfig::memo`])
+/// and the delta cache (active under [`EvalConfig::semi_naive`]).
+/// Split from the expression-node snapshot so the walker can read
+/// structure through a shared borrow while mutating the caches.
+pub(crate) struct Caches {
+    memo: MemoCache,
+    delta: DeltaMap,
+    /// The interned handle of the Prop 2.1 derived term
+    /// [`nra_core::derived::cartprod`] — hash-consing makes every
+    /// occurrence of the derived product share this `EId`, so the
+    /// semi-naive walker can recognise it and apply the fused
+    /// delta-join rule `A×B = Aₚ×Bₚ ∪ δA×B ∪ Aₚ×δB` (see
+    /// [`eval_cartprod_fused`]).
+    cartprod: EId,
+    /// Recognition cache for the Prop 2.1 selection shape
+    /// `σ_p = μ ∘ map(if p then η else ∅ˢ ∘ !)`: maps a `Compose` node
+    /// to `Some(predicate)` when it is a selection, `None` when it is
+    /// not (so the shape is walked at most once per node). See
+    /// [`eval_select_fused`].
+    selects: HashMap<EId, Option<EId>, FxBuildHasher>,
+    /// Recognition cache for projection-equality predicates
+    /// `=_N ∘ ⟨π-chain, π-chain⟩` (the coordinate comparisons every
+    /// Prop 2.1 join condition is built from), keyed at the outer
+    /// `Compose`. See [`eval_projeq_fused`].
+    projeqs: HashMap<EId, Option<(ProjPath, ProjPath)>, FxBuildHasher>,
+    /// Recognition cache for projection tupling `⟨π-chain, π-chain⟩`
+    /// (the re-assembly step of every Prop 2.1 join), keyed at the
+    /// `Tuple` node. See [`eval_projpair_fused`].
+    projpairs: HashMap<EId, Option<(ProjPath, ProjPath)>, FxBuildHasher>,
+}
+
+/// A chain of pair projections, innermost step first: `false` = `π₁`
+/// (`fst`), `true` = `π₂` (`snd`). `compose(snd, fst)` is `[false,
+/// true]` — apply `fst`, then `snd`.
+type ProjPath = Vec<bool>;
+
+/// Walk a candidate projection chain (`fst`/`snd`/`id` leaves glued by
+/// `compose`) into its [`ProjPath`], or `None` if any other head
+/// occurs.
+fn proj_path(eid: EId, nodes: &[ENode], out: &mut ProjPath) -> Option<()> {
+    match &nodes[eid.index()] {
+        ENode::Leaf(leaf) => match **leaf {
+            Expr::Fst => {
+                out.push(false);
+                Some(())
+            }
+            Expr::Snd => {
+                out.push(true);
+                Some(())
+            }
+            Expr::Id => Some(()),
+            _ => None,
+        },
+        // g ∘ f applies f first
+        ENode::Compose(g, f) => {
+            proj_path(*f, nodes, out)?;
+            proj_path(*g, nodes, out)
+        }
+        _ => None,
+    }
+}
+
+/// Apply a [`ProjPath`] to a value by direct arena reads. `None` when a
+/// non-pair shows up mid-chain (the caller falls back to the ordinary
+/// derivation, which reports the proper stuck state).
+fn apply_proj(a: &intern::ValueArena, mut v: VId, path: &[bool]) -> Option<VId> {
+    for &snd in path {
+        let (x, y) = a.as_pair(v)?;
+        v = if snd { y } else { x };
+    }
+    Some(v)
+}
+
+/// Recognise the Prop 2.1 selection shape at `eid` (already known to be
+/// a `Compose` whose left child is the `μ` leaf) and return its
+/// predicate, caching the verdict.
+fn select_pred(eid: EId, node: &ENode, nodes: &[ENode], caches: &mut Caches) -> Option<EId> {
+    if let Some(&cached) = caches.selects.get(&eid) {
+        return cached;
+    }
+    let pred = (|| {
+        let ENode::Compose(_, f) = *node else {
+            return None;
+        };
+        let ENode::Map(b) = nodes[f.index()] else {
+            return None;
+        };
+        let ENode::Cond(p, t, e) = nodes[b.index()] else {
+            return None;
+        };
+        let ENode::Leaf(ref tl) = nodes[t.index()] else {
+            return None;
+        };
+        if **tl != Expr::Sng {
+            return None;
+        }
+        let ENode::Compose(es, bg) = nodes[e.index()] else {
+            return None;
+        };
+        let ENode::Leaf(ref el) = nodes[es.index()] else {
+            return None;
+        };
+        if !matches!(**el, Expr::EmptySet(_)) {
+            return None;
+        }
+        let ENode::Leaf(ref bl) = nodes[bg.index()] else {
+            return None;
+        };
+        (**bl == Expr::Bang).then_some(p)
+    })();
+    caches.selects.insert(eid, pred);
+    pred
+}
+
+/// Probe the delta cache for an incremental application: `Some((prev
+/// output, prev cost, frontier))` when `eid` last fired on a subset of
+/// `input` (the one-pass [`set_merge_delta`] gives the subset test and
+/// the frontier together — `old ⊆ new` iff their union interns back to
+/// `new`).
+///
+/// [`set_merge_delta`]: nra_core::value::intern::ValueArena::set_merge_delta
+fn delta_probe(eid: EId, input: VId, delta: &DeltaMap) -> Option<(VId, u64, VId)> {
+    let e = delta.get(&eid)?;
+    if e.input == input {
+        // the identical application: the frontier is empty
+        return Some((e.output, e.cost, intern::empty_set()));
+    }
+    // subset test by merge *scan* (interns nothing on the miss path),
+    // then one pass for the frontier — equivalent to `set_merge_delta`
+    // with the union elided, since `old ⊆ new` makes the union `new`
+    let fresh = intern::with_arena(|a| {
+        if a.is_subset(e.input, input)? {
+            a.set_difference(input, e.input)
+        } else {
+            None
+        }
+    })?;
+    Some((e.output, e.cost, fresh))
+}
+
+/// Everything one cached (memoised and/or semi-naive) evaluation needs:
+/// the synced expression-node snapshot (read through a shared borrow)
+/// and the apply + delta caches (read through a mutable one) — split
+/// fields so [`eval_eid`] can hold both at once. Pooled thread-locally
+/// between evaluations: "clearing" the apply-cache slots is an epoch
+/// bump — `O(1)` instead of a multi-megabyte memset, the same reason
+/// BDD packages keep their apply cache alive across `apply` calls —
+/// and the node snapshot is only ever *extended* (the arena is
+/// append-only between clears), so a repeat evaluation pays
 /// `O(new nodes)`, not `O(arena)`.
-struct MemoState {
+pub(crate) struct MemoState {
     /// Dense copy of the expression arena's node table, indexed by
     /// [`EId::index`], kept in sync via `expr_intern::sync_snapshot`.
-    nodes: Vec<ENode>,
+    pub(crate) nodes: Vec<ENode>,
     /// The expression-arena generation `nodes` was synced against.
     generation: u64,
-    cache: MemoCache,
+    pub(crate) caches: Caches,
 }
 
 impl MemoState {
     /// Take the pooled state (or allocate the initial table), open a
     /// fresh cache epoch, and bring the node snapshot up to date with
     /// the thread-local expression arena.
-    fn acquire() -> Self {
+    pub(crate) fn acquire() -> Self {
         let mut state = MEMO_POOL.take().unwrap_or_else(|| {
             let len = 1usize << MEMO_INITIAL_BITS;
             MemoState {
                 nodes: Vec::new(),
                 generation: 0,
-                cache: MemoCache {
-                    slots: MemoCache::blank_slots(len),
-                    mask: (len - 1) as u64,
-                    stored: 0,
-                    epoch: 0,
+                caches: Caches {
+                    memo: MemoCache {
+                        slots: MemoCache::blank_slots(len),
+                        mask: (len - 1) as u64,
+                        stored: 0,
+                        epoch: 0,
+                    },
+                    delta: DeltaMap::default(),
+                    cartprod: expr_intern::intern(&nra_core::derived::cartprod()),
+                    selects: HashMap::default(),
+                    projeqs: HashMap::default(),
+                    projpairs: HashMap::default(),
                 },
             }
         });
-        state.cache.epoch = state.cache.epoch.wrapping_add(1);
-        if state.cache.epoch == 0 {
+        // interning is canonical, so re-interning after an arena clear
+        // (or on a pooled state) keeps the recognised handle current
+        state.caches.cartprod = expr_intern::intern(&nra_core::derived::cartprod());
+        let cache = &mut state.caches.memo;
+        cache.epoch = cache.epoch.wrapping_add(1);
+        if cache.epoch == 0 {
             // the stamp wrapped: stale slots could alias the new epoch
             // (blank slots are stamped 0, so restart from 1)
-            state.cache.slots = MemoCache::blank_slots(state.cache.slots.len());
-            state.cache.epoch = 1;
+            cache.slots = MemoCache::blank_slots(cache.slots.len());
+            cache.epoch = 1;
         }
-        state.cache.stored = 0;
-        state.generation = expr_intern::sync_snapshot(&mut state.nodes, state.generation);
+        cache.stored = 0;
+        // the delta cache has no epochs: entries hold per-evaluation
+        // costs, so a fresh evaluation starts from an empty map; the
+        // shape-recognition cache is invalidated with it (EIds could
+        // have been reissued by an arena reset in between)
+        state.caches.delta.clear();
+        state.caches.selects.clear();
+        state.caches.projeqs.clear();
+        state.caches.projpairs.clear();
+        state.resync();
         state
     }
 
+    /// Bring the node snapshot up to date with the thread-local
+    /// expression arena — needed again mid-evaluation whenever new
+    /// expressions were interned after [`MemoState::acquire`] (the lazy
+    /// strategy does this before delegating sub-evaluations).
+    pub(crate) fn resync(&mut self) {
+        self.generation = expr_intern::sync_snapshot(&mut self.nodes, self.generation);
+    }
+
     /// Hand the state back to the thread-local pool.
-    fn release(self) {
+    pub(crate) fn release(self) {
         MEMO_POOL.set(Some(self));
     }
 }
 
-/// The memoised §3 rule set over the *interned* expression: identical
+/// The cached §3 rule set over the *interned* expression: identical
 /// semantics to [`eval_vid`] (the differential harnesses hold the two
-/// bit-for-bit equal), but every recursion step carries an [`EId`], so
-/// each judgment `f(C) ⇓ C'` is first looked up in the apply cache
-/// `(EId, VId) → VId` and recorded there after a miss. A hit returns
-/// the cached handle in `O(1)` without re-deriving — which is exactly
-/// what collapses the repeated body applications inside `while`, `map`
-/// over recurring elements, and `powersetₘ` chains. Hits are counted in
-/// [`EvalStats::memo_hits`] and deliberately do **not** re-count the
-/// skipped derivation's nodes or object observations.
+/// bit-for-bit equal), but every recursion step carries an [`EId`],
+/// which keys both caches:
+///
+/// * under [`EvalConfig::memo`], each judgment `f(C) ⇓ C'` is first
+///   looked up in the apply cache `(EId, VId) → VId` and recorded there
+///   after a miss — a hit returns the cached handle in `O(1)` without
+///   re-deriving, which collapses the repeated body applications inside
+///   `while`, `map` over recurring elements, and `powersetₘ` chains;
+/// * under [`EvalConfig::semi_naive`], the pointwise set rules (`map`,
+///   `μ`) consult the delta cache: when their input grew from the
+///   previous application of the same node — the steady state of every
+///   rule inside an inflationary `while` body — the body runs on the
+///   frontier only and the previous output is folded in by a sorted
+///   merge, and the `while` rule itself threads the `(total, delta)`
+///   pair, recording each iterate's frontier in
+///   [`EvalStats::while_frontiers`].
+///
+/// Hits and skips are counted in [`EvalStats::memo_hits`] /
+/// [`EvalStats::delta_skipped`] and deliberately do **not** re-count
+/// the skipped derivation's nodes or object observations — but they do
+/// charge its recorded as-if-uncached cost against the node budget, so
+/// budget exhaustion is strategy-independent.
 pub(crate) fn eval_eid(
     eid: EId,
     input: VId,
     ctx: &mut Ctx,
     nodes: &[ENode],
-    cache: &mut MemoCache,
+    caches: &mut Caches,
 ) -> Result<VId, EvalError> {
+    let memo = ctx.config.memo;
     let key = MemoCache::key(eid, input);
-    if let Some(out) = cache.probe(key) {
-        ctx.stats.memo_hits += 1;
-        return Ok(out);
+    if memo {
+        if let Some((out, cost)) = caches.memo.probe(key) {
+            ctx.stats.memo_hits += 1;
+            ctx.charge(cost)?;
+            return Ok(out);
+        }
+        ctx.stats.memo_misses += 1;
     }
-    ctx.stats.memo_misses += 1;
+    if ctx.config.semi_naive {
+        // the fused-rule hooks; every stored slot carries the cost the
+        // fused application actually charged (one node for the pure
+        // projection rules; node + folded frontier + fresh predicate
+        // derivations for the selection), so later hits keep charging
+        // the budget exactly what a re-run would
+        let fused_start = ctx.charged_nodes;
+        if eid == caches.cartprod {
+            if let Some(output) = eval_cartprod_fused(eid, input, ctx, caches)? {
+                if memo {
+                    caches
+                        .memo
+                        .store(key, output, ctx.charged_nodes - fused_start);
+                }
+                return Ok(output);
+            }
+        } else if let ENode::Compose(g, _) = nodes[eid.index()] {
+            // one-read pre-filters before the (cached) full shape
+            // recognitions: σ_p starts `μ ∘ …`, projection equality
+            // starts `=_N ∘ …`
+            if matches!(&nodes[g.index()], ENode::Leaf(l) if **l == Expr::Flatten) {
+                if let Some(pred) = select_pred(eid, &nodes[eid.index()], nodes, caches) {
+                    if let Some(output) = eval_select_fused(eid, pred, input, ctx, nodes, caches)? {
+                        if memo {
+                            caches
+                                .memo
+                                .store(key, output, ctx.charged_nodes - fused_start);
+                        }
+                        return Ok(output);
+                    }
+                }
+            } else if matches!(&nodes[g.index()], ENode::Leaf(l) if **l == Expr::EqNat) {
+                if let Some(output) = eval_projeq_fused(eid, input, ctx, nodes, caches)? {
+                    if memo {
+                        caches
+                            .memo
+                            .store(key, output, ctx.charged_nodes - fused_start);
+                    }
+                    return Ok(output);
+                }
+            }
+        } else if matches!(nodes[eid.index()], ENode::Tuple(..)) {
+            if let Some(output) = eval_projpair_fused(eid, input, ctx, nodes, caches)? {
+                if memo {
+                    caches
+                        .memo
+                        .store(key, output, ctx.charged_nodes - fused_start);
+                }
+                return Ok(output);
+            }
+        }
+    }
+    let cost_start = ctx.charged_nodes;
     let node = &nodes[eid.index()];
-    ctx.node(node.head_name())?;
+    ctx.node(node.head_index())?;
     let output = match node {
+        ENode::Leaf(leaf) if ctx.config.semi_naive && **leaf == Expr::Flatten => {
+            eval_flatten_delta(eid, input, ctx, caches)?
+        }
         ENode::Leaf(leaf) => eval_leaf_rule(leaf, input, ctx)?,
         recursive => {
             ctx.observe_vid(input)?;
             let output = match *recursive {
                 ENode::Tuple(f, g) => {
-                    let a = eval_eid(f, input, ctx, nodes, cache)?;
-                    let b = eval_eid(g, input, ctx, nodes, cache)?;
+                    let a = eval_eid(f, input, ctx, nodes, caches)?;
+                    let b = eval_eid(g, input, ctx, nodes, caches)?;
                     intern::pair(a, b)
                 }
-                ENode::Map(f) => {
-                    let items =
-                        intern::as_set(input).ok_or_else(|| stuck("map", "input is not a set"))?;
-                    let mut out = Vec::with_capacity(items.len());
-                    for &item in items.iter() {
-                        out.push(eval_eid(f, item, ctx, nodes, cache)?);
-                    }
-                    intern::set(out)
-                }
+                ENode::Map(f) => eval_map_eid(eid, f, input, ctx, nodes, caches)?,
                 ENode::Cond(c, then, els) => {
-                    match intern::as_bool(eval_eid(c, input, ctx, nodes, cache)?) {
-                        Some(true) => eval_eid(then, input, ctx, nodes, cache)?,
-                        Some(false) => eval_eid(els, input, ctx, nodes, cache)?,
+                    match intern::as_bool(eval_eid(c, input, ctx, nodes, caches)?) {
+                        Some(true) => eval_eid(then, input, ctx, nodes, caches)?,
+                        Some(false) => eval_eid(els, input, ctx, nodes, caches)?,
                         None => return Err(stuck("if", "condition is not boolean")),
                     }
                 }
                 ENode::Compose(g, f) => {
-                    let mid = eval_eid(f, input, ctx, nodes, cache)?;
-                    eval_eid(g, mid, ctx, nodes, cache)?
+                    let mid = eval_eid(f, input, ctx, nodes, caches)?;
+                    eval_eid(g, mid, ctx, nodes, caches)?
                 }
                 ENode::While(f) => {
                     let mut current = input;
                     let mut iterations: u64 = 0;
                     loop {
-                        let next = eval_eid(f, current, ctx, nodes, cache)?;
+                        let next = eval_eid(f, current, ctx, nodes, caches)?;
                         iterations += 1;
                         ctx.stats.while_iterations += 1;
+                        record_frontier(ctx, current, next);
                         if next == current {
                             break current;
                         }
@@ -539,7 +857,403 @@ pub(crate) fn eval_eid(
             output
         }
     };
-    cache.store(key, output);
+    if memo {
+        caches
+            .memo
+            .store(key, output, ctx.charged_nodes - cost_start);
+    }
+    Ok(output)
+}
+
+/// Thread the `(total, delta)` pair of one semi-naive `while` iterate:
+/// record the frontier cardinality `|next ∖ current|` in
+/// [`EvalStats::while_frontiers`] — a count-only merge scan, nothing is
+/// interned. No-op in the default mode and on non-set iterates. Shared
+/// with the traced builder.
+pub(crate) fn record_frontier(ctx: &mut Ctx, current: VId, next: VId) {
+    if ctx.config.semi_naive {
+        if let Some(card) = intern::set_delta_cardinality(current, next) {
+            ctx.stats.while_frontiers.push(card);
+        }
+    }
+}
+
+/// The `map` rule of [`eval_eid`], with the semi-naive incremental
+/// path: `map(f)` distributes over union element-by-element, so when
+/// the input is a superset of the node's previous input, `{f(x) | x ∈
+/// fresh}` merged into the previous output *is* the full result —
+/// bit-for-bit, for every `f`.
+fn eval_map_eid(
+    eid: EId,
+    f: EId,
+    input: VId,
+    ctx: &mut Ctx,
+    nodes: &[ENode],
+    caches: &mut Caches,
+) -> Result<VId, EvalError> {
+    let items = intern::as_set(input).ok_or_else(|| stuck("map", "input is not a set"))?;
+    if ctx.config.semi_naive {
+        if let Some((prev_out, prev_cost, fresh)) = delta_probe(eid, input, &caches.delta) {
+            let fresh_items = intern::as_set(fresh).expect("frontier is a set");
+            ctx.stats.delta_hits += 1;
+            ctx.stats.delta_skipped += (items.len() - fresh_items.len()) as u64;
+            let cost_start = ctx.charged_nodes;
+            ctx.charge(prev_cost)?;
+            let mut images = Vec::with_capacity(fresh_items.len());
+            for &item in fresh_items.iter() {
+                images.push(eval_eid(f, item, ctx, nodes, caches)?);
+            }
+            let output = intern::with_arena(|a| {
+                let imgs = a.set_from_vec(images);
+                a.set_merge_frontier(prev_out, &[imgs])
+                    .expect("map outputs are sets")
+            });
+            let cost = ctx.charged_nodes - cost_start;
+            caches.delta.insert(
+                eid,
+                DeltaEntry {
+                    input,
+                    output,
+                    cost,
+                },
+            );
+            return Ok(output);
+        }
+    }
+    let cost_start = ctx.charged_nodes;
+    let mut out = Vec::with_capacity(items.len());
+    for &item in items.iter() {
+        out.push(eval_eid(f, item, ctx, nodes, caches)?);
+    }
+    let output = intern::set(out);
+    if ctx.config.semi_naive {
+        let cost = ctx.charged_nodes - cost_start;
+        caches.delta.insert(
+            eid,
+            DeltaEntry {
+                input,
+                output,
+                cost,
+            },
+        );
+    }
+    Ok(output)
+}
+
+/// The fused delta-join rule for the Prop 2.1 derived product: when the
+/// semi-naive walker reaches the (hash-consed, hence recognisable)
+/// `cartprod` term on a pair of sets, it constructs `A × B` directly in
+/// the arena instead of deriving the `μ ∘ map(ρ₂) ∘ ρ₁` spread — and
+/// when the node's previous application was on `(Aₚ ⊆ A, Bₚ ⊆ B)` (the
+/// steady state of the self-join inside `tc_step`), only the delta
+/// products are built and merged into the previous result:
+///
+/// ```text
+/// A × B  =  Aₚ × Bₚ  ∪  δA × B  ∪  Aₚ × δB
+/// ```
+///
+/// The output is the canonical set either way — bit-for-bit the derived
+/// result. The §3 observations of this rule are the judgment's own
+/// boundary objects (a *subset* of the derivation's, so counters never
+/// inflate and the complexity never grows); the skipped spread is the
+/// point — semi-naive turns the dominant `O(iterations × |closure|²)`
+/// re-materialisation into `O(|closure|²)` total work. Returns
+/// `Ok(None)` when the input is not a pair of sets (the caller falls
+/// back to the ordinary derivation, which reports the proper stuck
+/// state).
+fn eval_cartprod_fused(
+    eid: EId,
+    input: VId,
+    ctx: &mut Ctx,
+    caches: &mut Caches,
+) -> Result<Option<VId>, EvalError> {
+    #[derive(Clone, Copy)]
+    enum Plan {
+        /// Build `A × B` from scratch.
+        Full(VId, VId),
+        /// Build `δA × B ∪ Aₚ × δB` and merge into the previous output.
+        Delta {
+            prev_out: VId,
+            a_prev: VId,
+            delta_a: VId,
+            b: VId,
+            delta_b: VId,
+        },
+    }
+    let plan = intern::with_arena(|arena| {
+        let (a, b) = arena.as_pair(input)?;
+        arena.as_set(a)?;
+        arena.as_set(b)?;
+        let incremental = caches.delta.get(&eid).and_then(|e| {
+            let (a_prev, b_prev) = arena.as_pair(e.input)?;
+            if !(arena.is_subset(a_prev, a)? && arena.is_subset(b_prev, b)?) {
+                return None;
+            }
+            let delta_a = arena.set_difference(a, a_prev)?;
+            let delta_b = arena.set_difference(b, b_prev)?;
+            Some(Plan::Delta {
+                prev_out: e.output,
+                a_prev,
+                delta_a,
+                b,
+                delta_b,
+            })
+        });
+        Some(incremental.unwrap_or(Plan::Full(a, b)))
+    });
+    let Some(plan) = plan else {
+        return Ok(None);
+    };
+    // one derivation node for the fused judgment, plus its two boundary
+    // observations — a strict subset of what the spread would observe
+    ctx.node(ENode::Compose(eid, eid).head_index())?;
+    ctx.observe_vid(input)?;
+    let output = intern::with_arena(|arena| match plan {
+        Plan::Full(a, b) => {
+            let xs = arena.as_set(a).expect("checked above");
+            let ys = arena.as_set(b).expect("checked above");
+            let mut pairs = Vec::with_capacity(xs.len() * ys.len());
+            for &x in xs.iter() {
+                for &y in ys.iter() {
+                    pairs.push(arena.pair(x, y));
+                }
+            }
+            arena.set_from_vec(pairs)
+        }
+        Plan::Delta {
+            prev_out,
+            a_prev,
+            delta_a,
+            b,
+            delta_b,
+        } => {
+            let da = arena.as_set(delta_a).expect("frontier is a set");
+            let db = arena.as_set(delta_b).expect("frontier is a set");
+            let ys = arena.as_set(b).expect("checked above");
+            let xs_prev = arena.as_set(a_prev).expect("previous input was a set");
+            let mut pairs = Vec::with_capacity(da.len() * ys.len() + xs_prev.len() * db.len());
+            for &x in da.iter() {
+                for &y in ys.iter() {
+                    pairs.push(arena.pair(x, y));
+                }
+            }
+            for &x in xs_prev.iter() {
+                for &y in db.iter() {
+                    pairs.push(arena.pair(x, y));
+                }
+            }
+            let fresh = arena.set_from_vec(pairs);
+            arena
+                .set_merge_frontier(prev_out, &[fresh])
+                .expect("products are sets")
+        }
+    });
+    if let Plan::Delta { prev_out, .. } = plan {
+        ctx.stats.delta_hits += 1;
+        ctx.stats.delta_skipped += intern::cardinality(prev_out).unwrap_or(0) as u64;
+    }
+    ctx.observe_vid(output)?;
+    caches.delta.insert(
+        eid,
+        DeltaEntry {
+            input,
+            output,
+            cost: 0,
+        },
+    );
+    Ok(Some(output))
+}
+
+/// The fused rule for projection-equality predicates
+/// `=_N ∘ ⟨π-chain, π-chain⟩` — the coordinate comparison at the heart
+/// of every Prop 2.1 join condition (`eq_coords`). Both coordinates are
+/// read by direct arena walks and compared, under a single borrow —
+/// one derivation node instead of the ~8-node compose/tuple/projection
+/// spread, with the same boolean. Returns `Ok(None)` when the shape
+/// does not match or the input does not fit it (fall back to the
+/// ordinary derivation and its stuck reporting).
+fn eval_projeq_fused(
+    eid: EId,
+    input: VId,
+    ctx: &mut Ctx,
+    nodes: &[ENode],
+    caches: &mut Caches,
+) -> Result<Option<VId>, EvalError> {
+    let recognised = caches.projeqs.entry(eid).or_insert_with(|| {
+        let ENode::Compose(_, f) = nodes[eid.index()] else {
+            return None;
+        };
+        let ENode::Tuple(p1, p2) = nodes[f.index()] else {
+            return None;
+        };
+        let (mut a, mut b) = (ProjPath::new(), ProjPath::new());
+        proj_path(p1, nodes, &mut a)?;
+        proj_path(p2, nodes, &mut b)?;
+        Some((a, b))
+    });
+    let Some((p1, p2)) = recognised else {
+        return Ok(None);
+    };
+    let output = intern::with_arena(|a| {
+        let x = apply_proj(a, input, p1)?;
+        let y = apply_proj(a, input, p2)?;
+        match (a.as_nat(x), a.as_nat(y)) {
+            (Some(m), Some(n)) => Some(a.bool_(m == n)),
+            _ => None,
+        }
+    });
+    let Some(output) = output else {
+        return Ok(None);
+    };
+    ctx.node(ENode::Compose(eid, eid).head_index())?;
+    ctx.observe_vid(input)?;
+    ctx.observe_vid(output)?;
+    Ok(Some(output))
+}
+
+/// The fused rule for projection tupling `⟨π-chain, π-chain⟩` — the
+/// re-assembly step of every Prop 2.1 join (`tuple(coord_a, coord_d)`).
+/// One derivation node and one arena borrow instead of the
+/// compose/projection spread; the pair is bit-identical. `Ok(None)`
+/// falls back as in [`eval_projeq_fused`].
+fn eval_projpair_fused(
+    eid: EId,
+    input: VId,
+    ctx: &mut Ctx,
+    nodes: &[ENode],
+    caches: &mut Caches,
+) -> Result<Option<VId>, EvalError> {
+    let recognised = caches.projpairs.entry(eid).or_insert_with(|| {
+        let ENode::Tuple(p1, p2) = nodes[eid.index()] else {
+            return None;
+        };
+        let (mut a, mut b) = (ProjPath::new(), ProjPath::new());
+        proj_path(p1, nodes, &mut a)?;
+        proj_path(p2, nodes, &mut b)?;
+        // plain ⟨id, id⟩ (dup) gains nothing from fusion
+        (!(a.is_empty() && b.is_empty())).then_some((a, b))
+    });
+    let Some((p1, p2)) = recognised else {
+        return Ok(None);
+    };
+    let output = intern::with_arena(|a| {
+        let x = apply_proj(a, input, p1)?;
+        let y = apply_proj(a, input, p2)?;
+        Some(a.pair(x, y))
+    });
+    let Some(output) = output else {
+        return Ok(None);
+    };
+    ctx.node(ENode::Tuple(eid, eid).head_index())?;
+    ctx.observe_vid(input)?;
+    ctx.observe_vid(output)?;
+    Ok(Some(output))
+}
+
+/// The fused rule for the Prop 2.1 selection
+/// `σ_p = μ ∘ map(if p then η else ∅ˢ ∘ !)`: evaluate the predicate
+/// per element (a full, memo-shared §3 sub-derivation — selection
+/// semantics stay honest) but keep the kept elements directly instead
+/// of deriving the singleton/empty wrapping and the `μ` merge over
+/// `|S|` singletons. Combined with the delta cache, a grown input
+/// evaluates `p` on the frontier only and merges the newly selected
+/// elements into the previous result — bit-for-bit the derived output,
+/// with the §3 counters only ever shrinking. Returns `Ok(None)` when
+/// the input is not a set (the caller falls back to the ordinary
+/// derivation and its stuck reporting).
+fn eval_select_fused(
+    eid: EId,
+    pred: EId,
+    input: VId,
+    ctx: &mut Ctx,
+    nodes: &[ENode],
+    caches: &mut Caches,
+) -> Result<Option<VId>, EvalError> {
+    let Some(items) = intern::as_set(input) else {
+        return Ok(None);
+    };
+    // one derivation node for the fused judgment + boundary observations
+    ctx.node(ENode::Compose(eid, eid).head_index())?;
+    ctx.observe_vid(input)?;
+    let probed = delta_probe(eid, input, &caches.delta);
+    let (prev_out, prev_cost, fresh_items) = match probed {
+        Some((prev_out, prev_cost, fresh)) => {
+            let fresh_items = intern::as_set(fresh).expect("frontier is a set");
+            ctx.stats.delta_hits += 1;
+            ctx.stats.delta_skipped += (items.len() - fresh_items.len()) as u64;
+            (Some(prev_out), prev_cost, fresh_items)
+        }
+        None => (None, 0, items),
+    };
+    let cost_start = ctx.charged_nodes;
+    ctx.charge(prev_cost)?;
+    let mut selected = Vec::new();
+    for &item in fresh_items.iter() {
+        match intern::as_bool(eval_eid(pred, item, ctx, nodes, caches)?) {
+            Some(true) => selected.push(item),
+            Some(false) => {}
+            None => return Err(stuck("if", "condition is not boolean")),
+        }
+    }
+    let output = intern::with_arena(|a| {
+        // `selected` preserves the canonical element order, so this is
+        // a sort of an already-sorted vector plus one merge
+        let sel = a.set_from_vec(selected);
+        match prev_out {
+            Some(prev) => a
+                .set_merge_frontier(prev, &[sel])
+                .expect("selections are sets"),
+            None => sel,
+        }
+    });
+    ctx.observe_vid(output)?;
+    let cost = ctx.charged_nodes - cost_start;
+    caches.delta.insert(
+        eid,
+        DeltaEntry {
+            input,
+            output,
+            cost,
+        },
+    );
+    Ok(Some(output))
+}
+
+/// The `μ` (flatten) rule of [`eval_eid`] under semi-naive iteration:
+/// `μ` distributes over union of its input's *elements*, so a grown
+/// input only needs its fresh inner sets folded into the previous
+/// output — the n-ary frontier merge, never a re-sort. Falls back to
+/// the one-shot [`eval_leaf_rule`] when the node has no usable
+/// previous application.
+fn eval_flatten_delta(
+    eid: EId,
+    input: VId,
+    ctx: &mut Ctx,
+    caches: &mut Caches,
+) -> Result<VId, EvalError> {
+    let probed = delta_probe(eid, input, &caches.delta);
+    let output = match probed {
+        Some((prev_out, _, fresh)) => {
+            let fresh_sets = intern::as_set(fresh).expect("frontier is a set");
+            ctx.stats.delta_hits += 1;
+            ctx.stats.delta_skipped +=
+                (intern::cardinality(input).unwrap_or(0) - fresh_sets.len()) as u64;
+            ctx.observe_vid(input)?;
+            let output = intern::with_arena(|a| a.set_merge_frontier(prev_out, &fresh_sets))
+                .ok_or_else(|| stuck("flatten", "element is not a set"))?;
+            ctx.observe_vid(output)?;
+            output
+        }
+        None => eval_leaf_rule(&Expr::Flatten, input, ctx)?,
+    };
+    caches.delta.insert(
+        eid,
+        DeltaEntry {
+            input,
+            output,
+            cost: 0,
+        },
+    );
     Ok(output)
 }
 
@@ -762,7 +1476,7 @@ fn eval_powerset_m_vid(m: u64, input: VId, ctx: &mut Ctx) -> Result<VId, EvalErr
 /// streaming evaluator's per-subset sub-evaluations (which must not
 /// retain their transient inputs in the arena).
 pub(crate) fn eval_in(expr: &Expr, input: &Value, ctx: &mut Ctx) -> Result<Value, EvalError> {
-    ctx.node(expr.head_name())?;
+    ctx.node(expr.head_index())?;
     ctx.observe(input)?;
     let output = match expr {
         Expr::Tuple(f, g) => {

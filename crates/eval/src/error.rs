@@ -29,9 +29,28 @@ pub struct EvalConfig {
     /// the exact §3 accounting: a hit is counted in
     /// [`EvalStats::memo_hits`](crate::stats::EvalStats::memo_hits)
     /// *instead of* re-counting the skipped sub-derivation's nodes and
-    /// observations. Keep this off (the default) when the statistics
-    /// must be the exact eager measure.
+    /// observations. (A hit still *charges* the recorded cost of its
+    /// cached subtree against [`EvalConfig::max_nodes`], so budget
+    /// exhaustion is strategy-independent.) Keep this off (the default)
+    /// when the statistics must be the exact eager measure.
     pub memo: bool,
+    /// Enable **semi-naive (delta-driven) iteration**: `while` threads a
+    /// `(total, delta)` pair through its iterates, and the pointwise set
+    /// rules — `map` and `μ` (flatten) — evaluate only on the frontier
+    /// (the elements their input gained since the same rule last fired),
+    /// folding new facts into the previous result via the arena's
+    /// one-pass merge algebra
+    /// ([`set_merge_delta`](nra_core::value::intern::ValueArena::set_merge_delta),
+    /// [`set_merge_frontier`](nra_core::value::intern::ValueArena::set_merge_frontier)).
+    /// Because `map` and `μ` distribute over union element-by-element,
+    /// the results are **bit-for-bit** the naive-iteration results for
+    /// *every* body (both differential harnesses enforce this), and
+    /// `while_iterations` stays exact; like a memo hit, a skipped
+    /// sub-derivation is reported in
+    /// [`EvalStats::delta_skipped`](crate::stats::EvalStats::delta_skipped)
+    /// instead of inflating the §3 counters, while still charging its
+    /// recorded cost against [`EvalConfig::max_nodes`].
+    pub semi_naive: bool,
 }
 
 impl Default for EvalConfig {
@@ -41,6 +60,7 @@ impl Default for EvalConfig {
             max_nodes: None,
             max_while_iters: 100_000,
             memo: false,
+            semi_naive: false,
         }
     }
 }
@@ -59,6 +79,46 @@ impl EvalConfig {
     pub fn memoised() -> Self {
         EvalConfig {
             memo: true,
+            ..EvalConfig::default()
+        }
+    }
+
+    /// An unbudgeted config with semi-naive (delta-driven) `while`
+    /// iteration enabled — see [`EvalConfig::semi_naive`]. Results are
+    /// bit-for-bit the naive-iteration results; only the cost changes.
+    ///
+    /// ```
+    /// use nra_core::{queries, Value};
+    /// use nra_eval::{evaluate, EvalConfig};
+    ///
+    /// let input = Value::chain(6);
+    /// let naive = evaluate(&queries::tc_while(), &input, &EvalConfig::default());
+    /// let delta = evaluate(&queries::tc_while(), &input, &EvalConfig::semi_naive());
+    /// // same closure, same fixpoint trajectory…
+    /// assert_eq!(naive.result.unwrap(), delta.result.unwrap());
+    /// assert_eq!(naive.stats.while_iterations, delta.stats.while_iterations);
+    /// // …but the body ran on the frontier only: elements already mapped
+    /// // in earlier iterates were folded in, not re-derived, so the §3
+    /// // counters only ever shrink
+    /// assert!(delta.stats.delta_skipped > 0);
+    /// assert!(delta.stats.nodes < naive.stats.nodes);
+    /// assert!(delta.stats.max_object_size <= naive.stats.max_object_size);
+    /// ```
+    pub fn semi_naive() -> Self {
+        EvalConfig {
+            semi_naive: true,
+            ..EvalConfig::default()
+        }
+    }
+
+    /// Everything on: the apply cache **and** semi-naive iteration —
+    /// the configuration the benchmarks call "seminaive" (the delta
+    /// rules skip whole repeated frontiers; the apply cache catches the
+    /// repeats the delta rules cannot see).
+    pub fn optimised() -> Self {
+        EvalConfig {
+            memo: true,
+            semi_naive: true,
             ..EvalConfig::default()
         }
     }

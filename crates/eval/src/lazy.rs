@@ -18,15 +18,26 @@
 //! resident-size accounting reads cached arena metadata instead of
 //! traversing objects, and the deduplicating accumulator of a streamed
 //! `map` is a set of `u32` handles rather than a tree of deep
-//! comparisons. The streamed subsets themselves, however, are built as
-//! transient tree values and evaluated on the tree path — interning 2ᵏ
-//! throwaway subsets would retain them all in the arena and quietly void
-//! the polynomial-resident-space property this strategy exists to
-//! demonstrate. Only the base set and the (live) images touch the arena.
+//! comparisons. In the default mode the streamed subsets themselves are
+//! built as transient tree values and evaluated on the tree path —
+//! interning 2ᵏ throwaway subsets would retain them all in the arena and
+//! quietly void the polynomial-resident-space property this strategy
+//! exists to demonstrate. Only the base set and the (live) images touch
+//! the arena.
+//!
+//! Two opt-in switches trade that minimality for speed, without ever
+//! changing a result: [`EvalConfig::memo`] extends the eager/traced
+//! **apply cache** to the per-subset evaluations (subsets are then
+//! interned and keyed `(EId, VId)` against one cache shared across the
+//! stream, so subtrees recurring across subsets are derived once — hits
+//! in [`LazyStats::memo_hits`]), and [`EvalConfig::semi_naive`] runs
+//! `while` fixpoints over powerset-free bodies on the delta-driven
+//! interned walker, frontier-only per iterate.
 
-use crate::eager::{self, Ctx};
+use crate::eager::{self, Ctx, MemoState};
 use crate::error::{EvalConfig, EvalError};
 use crate::stats::EvalStats;
+use nra_core::expr::intern::{self as expr_intern, EId};
 use nra_core::expr::Expr;
 use nra_core::value::intern::{self, VId};
 use nra_core::value::Value;
@@ -47,6 +58,31 @@ pub struct LazyStats {
     pub nodes: u64,
     /// `while` iterations.
     pub while_iterations: u64,
+    /// Apply-cache hits across the per-subset sub-evaluations (only
+    /// nonzero under
+    /// [`EvalConfig::memo`](crate::error::EvalConfig::memo), which
+    /// extends the eager/traced `(EId, VId)` apply cache to the
+    /// streaming strategy): a streamed `map`-over-`powerset` whose
+    /// subsets share sub-structure stops re-deriving the shared
+    /// subtrees. The trade-off is documented on [`evaluate_lazy_vid`]:
+    /// cached subsets are interned, so the arena retains them.
+    pub memo_hits: u64,
+    /// Apply-cache misses across the per-subset sub-evaluations (only
+    /// nonzero under `EvalConfig::memo`).
+    pub memo_misses: u64,
+}
+
+impl LazyStats {
+    /// Apply-cache hit rate `hits / (hits + misses)`, or 0 when the
+    /// cache never ran (memo off).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Result and statistics of a streaming evaluation.
@@ -78,6 +114,12 @@ enum Lv {
 struct LazyCtx<'a> {
     config: &'a EvalConfig,
     stats: LazyStats,
+    /// The shared interned-walker state (expression-node snapshot +
+    /// apply/delta caches), held for the whole streaming evaluation
+    /// when [`EvalConfig::memo`] or [`EvalConfig::semi_naive`] is on:
+    /// per-subset sub-evaluations and delegated `while` fixpoints all
+    /// run through [`eager::eval_eid`] against the same caches.
+    eager_state: Option<MemoState>,
 }
 
 impl<'a> LazyCtx<'a> {
@@ -128,9 +170,37 @@ impl<'a> LazyCtx<'a> {
         out
     }
 
+    /// Run a sub-evaluation through the shared interned walker
+    /// ([`eager::eval_eid`]) — the apply cache persists across *all*
+    /// sub-evaluations of this streaming evaluation, which is what lets
+    /// streamed subsets share their sub-derivations. The expression is
+    /// assumed already interned with the snapshot resynced
+    /// ([`LazyCtx::intern_expr`]).
+    fn eager_sub_eid(&mut self, eid: EId, input: VId, extra_live: u64) -> Result<VId, EvalError> {
+        let mut sub = Ctx::new(self.config);
+        let state = self.eager_state.as_mut().expect("cached mode");
+        let out = {
+            let MemoState { nodes, caches, .. } = state;
+            eager::eval_eid(eid, input, &mut sub, nodes, caches)
+        };
+        self.merge_sub(&sub.stats, extra_live)?;
+        out
+    }
+
+    /// Intern an expression and bring the shared walker's node snapshot
+    /// up to date — required before the first [`LazyCtx::eager_sub_eid`]
+    /// on it.
+    fn intern_expr(&mut self, expr: &Expr) -> EId {
+        let eid = expr_intern::intern(expr);
+        self.eager_state.as_mut().expect("cached mode").resync();
+        eid
+    }
+
     fn merge_sub(&mut self, sub: &EvalStats, extra_live: u64) -> Result<(), EvalError> {
         self.stats.nodes += sub.nodes;
         self.stats.while_iterations += sub.while_iterations;
+        self.stats.memo_hits += sub.memo_hits;
+        self.stats.memo_misses += sub.memo_misses;
         self.resident(sub.max_object_size.saturating_add(extra_live))
     }
 }
@@ -146,15 +216,31 @@ pub fn evaluate_lazy(expr: &Expr, input: &Value, config: &EvalConfig) -> LazyEva
 }
 
 /// Evaluate under the streaming strategy, entirely on interned handles.
+///
+/// Under [`EvalConfig::memo`] the eager/traced **apply cache** extends
+/// to this strategy: per-subset sub-evaluations run on the interned
+/// walker, keyed `(EId, VId)` against one cache shared across the whole
+/// evaluation, so streamed `map`-over-`powerset` stops re-deriving the
+/// subtrees its subsets share (hits in [`LazyStats::memo_hits`]). The
+/// price is that streamed subsets are then *interned* — the arena
+/// retains one set node per distinct subset — trading the strategy's
+/// minimal-retention property for speed; keep memo off (the default)
+/// when measuring the §3 space story. Under [`EvalConfig::semi_naive`],
+/// `while` fixpoints over powerset-free bodies additionally run
+/// delta-driven, exactly as in [`eager::evaluate_vid`].
 pub fn evaluate_lazy_vid(expr: &Expr, input: VId, config: &EvalConfig) -> LazyVidEvaluation {
     let mut ctx = LazyCtx {
         config,
         stats: LazyStats::default(),
+        eager_state: (config.memo || config.semi_naive).then(MemoState::acquire),
     };
     let result = match lazy_in(expr, Lv::Concrete(input), &mut ctx) {
         Ok(lv) => force(lv, &mut ctx),
         Err(e) => Err(e),
     };
+    if let Some(state) = ctx.eager_state.take() {
+        state.release();
+    }
     LazyVidEvaluation {
         result,
         stats: ctx.stats,
@@ -212,14 +298,6 @@ fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
             Lv::Subsets(base) => {
                 // Stream the subsets: only base + current subset +
                 // accumulator + per-subset transient memory are live.
-                //
-                // The streamed subsets are deliberately built as
-                // *transient tree values* and evaluated on the tree path:
-                // interning them would retain all 2ᵏ subsets in the
-                // never-shrinking arena, silently trading the strategy's
-                // polynomial peak-resident guarantee for speed. Only the
-                // images — genuinely live in the accumulator — are
-                // interned.
                 let items = intern::as_set(base)
                     .ok_or_else(|| stuck("map", "powerset base is not a set"))?;
                 if items.len() > 62 {
@@ -228,26 +306,60 @@ fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
                     });
                 }
                 let base_size = intern::size(base);
-                let elems: Vec<Value> =
-                    intern::with_arena(|a| items.iter().map(|&e| a.resolve(e)).collect());
                 let mut acc: BTreeSet<VId> = BTreeSet::new();
                 let mut acc_size: u64 = 1;
-                for mask in 0u64..(1u64 << elems.len()) {
-                    let subset = Value::set(
-                        elems
+                if ctx.eager_state.is_some() && ctx.config.memo {
+                    // The sharing-aware route (EvalConfig::memo): each
+                    // subset is interned and its evaluation keyed
+                    // (EId, VId) in the apply cache shared across the
+                    // whole stream, so sub-derivations recurring across
+                    // subsets are found instead of re-derived. This
+                    // deliberately retains the streamed subsets in the
+                    // arena — see `evaluate_lazy_vid`.
+                    let feid = ctx.intern_expr(f);
+                    for mask in 0u64..(1u64 << items.len()) {
+                        let subset: Vec<VId> = items
                             .iter()
                             .enumerate()
                             .filter(|(i, _)| mask & (1 << i) != 0)
-                            .map(|(_, e)| e.clone()),
-                    );
-                    ctx.stats.streamed_subsets += 1;
-                    let live = base_size + subset.size() + acc_size;
-                    let image = ctx.eager_sub_tree(f, &subset, live)?;
-                    let image = intern::intern(&image);
-                    if acc.insert(image) {
-                        acc_size += intern::size(image);
+                            .map(|(_, &e)| e)
+                            .collect();
+                        let subset = intern::with_arena(|a| a.set_from_vec(subset));
+                        ctx.stats.streamed_subsets += 1;
+                        let live = base_size + intern::size(subset) + acc_size;
+                        let image = ctx.eager_sub_eid(feid, subset, live)?;
+                        if acc.insert(image) {
+                            acc_size += intern::size(image);
+                        }
+                        ctx.resident(live)?;
                     }
-                    ctx.resident(live)?;
+                } else {
+                    // The default route: subsets are deliberately built
+                    // as *transient tree values* and evaluated on the
+                    // tree path — interning them would retain all 2ᵏ
+                    // subsets in the never-shrinking arena, silently
+                    // trading the strategy's polynomial peak-resident
+                    // guarantee for speed. Only the images — genuinely
+                    // live in the accumulator — are interned.
+                    let elems: Vec<Value> =
+                        intern::with_arena(|a| items.iter().map(|&e| a.resolve(e)).collect());
+                    for mask in 0u64..(1u64 << elems.len()) {
+                        let subset = Value::set(
+                            elems
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| mask & (1 << i) != 0)
+                                .map(|(_, e)| e.clone()),
+                        );
+                        ctx.stats.streamed_subsets += 1;
+                        let live = base_size + subset.size() + acc_size;
+                        let image = ctx.eager_sub_tree(f, &subset, live)?;
+                        let image = intern::intern(&image);
+                        if acc.insert(image) {
+                            acc_size += intern::size(image);
+                        }
+                        ctx.resident(live)?;
+                    }
                 }
                 Ok(Lv::Concrete(intern::set(acc)))
             }
@@ -278,7 +390,17 @@ fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
             }
         }
         Expr::While(f) => {
-            let mut current = force(input, ctx)?;
+            let current = force(input, ctx)?;
+            if ctx.eager_state.is_some() && !expr.level().powerset {
+                // The lazy context threads (total, delta) through the
+                // fixpoint by delegating it wholesale to the interned
+                // walker: a powerset-free body never streams, so the
+                // delta-driven (and/or memoised) eager rules compute the
+                // bit-identical trajectory with frontier-only work.
+                let weid = ctx.intern_expr(expr);
+                return Ok(Lv::Concrete(ctx.eager_sub_eid(weid, current, 0)?));
+            }
+            let mut current = current;
             let mut iterations: u64 = 0;
             loop {
                 let next = force(lazy_in(f, Lv::Concrete(current), ctx)?, ctx)?;

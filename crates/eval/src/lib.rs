@@ -33,11 +33,27 @@
 //! `f(C) ⇓ C'` is keyed `(EId, VId) → VId` in a BDD-style direct-mapped
 //! table, so a judgment already derived returns its cached handle in
 //! `O(1)` — which collapses the repeated body applications inside
-//! `while` iterates and `map` over recurring elements. Results are
+//! `while` iterates and `map` over recurring elements. The same cache
+//! extends to the lazy strategy's per-subset evaluations. Results are
 //! bit-for-bit identical to memo-off evaluation (both differential
 //! harnesses enforce this); cache activity is reported separately in
 //! [`EvalStats::memo_hits`]/`memo_misses` rather than inflating the §3
-//! counters, which stay exact in the default memo-off mode.
+//! counters, which stay exact in the default memo-off mode — though a
+//! hit does charge the recorded cost of its cached subtree against the
+//! node budget, so budget exhaustion is strategy-independent.
+//!
+//! Orthogonally, [`EvalConfig::semi_naive`] turns on **semi-naive
+//! (delta-driven) iteration**: `while` threads a `(total, delta)` pair
+//! through its iterates, the pointwise set rules (`map`, `μ`) evaluate
+//! only on the frontier their input gained since they last fired, and
+//! recognisable Prop 2.1 derived shapes (cartesian product, selection,
+//! projection chains) run fused delta rules instead of re-deriving
+//! their combinator spreads. Results and the fixpoint trajectory are
+//! bit-for-bit the naive ones; the §3 counters only ever shrink, with
+//! skipped work reported in [`EvalStats::delta_hits`]/`delta_skipped`
+//! and the per-iterate frontier trace in
+//! [`EvalStats::while_frontiers`]. [`EvalConfig::optimised`] combines
+//! both switches — the configuration the benchmarks call "seminaive".
 //!
 //! Budgets ([`error::EvalConfig`]) turn the theorems' "needs ≥ S space"
 //! into clean errors carrying the exact requirement — for `powerset` the

@@ -39,6 +39,27 @@ pub struct EvalStats {
     /// Apply-cache misses — evaluations that ran the derivation and
     /// populated the cache. Only nonzero under `EvalConfig::memo`.
     pub memo_misses: u64,
+    /// Number of `map`/`μ` applications served incrementally by the
+    /// semi-naive delta rules (only nonzero under
+    /// [`EvalConfig::semi_naive`](crate::error::EvalConfig::semi_naive)):
+    /// the rule's input was a superset of its previous input, so the
+    /// body ran on the frontier only and the previous result was folded
+    /// in by a sorted merge.
+    pub delta_hits: u64,
+    /// Element sub-derivations skipped by those incremental
+    /// applications. Like `memo_hits`, skips are reported *separately*:
+    /// they contribute nothing to `nodes`/`total_size`/
+    /// `max_object_size` (every skipped object already occurred, and
+    /// was observed, earlier in the same evaluation), but their
+    /// recorded cost still counts against
+    /// [`EvalConfig::max_nodes`](crate::error::EvalConfig::max_nodes).
+    pub delta_skipped: u64,
+    /// Frontier cardinality per `while` iteration — `|cₖ₊₁ ∖ cₖ|` for
+    /// each iterate, in order (the `(total, delta)` pair the semi-naive
+    /// `while` rule threads; the final entry is 0, the fixpoint test).
+    /// Recorded only under `EvalConfig::semi_naive`, and only for
+    /// set-valued iterates.
+    pub while_frontiers: Vec<u64>,
 }
 
 impl EvalStats {
@@ -50,12 +71,6 @@ impl EvalStats {
         if let Some(card) = cardinality {
             self.max_set_cardinality = self.max_set_cardinality.max(card as u64);
         }
-    }
-
-    /// Record a rule application.
-    pub(crate) fn observe_node(&mut self, rule: &'static str) {
-        self.nodes += 1;
-        *self.rule_counts.entry(rule).or_insert(0) += 1;
     }
 
     /// `log₂` of the complexity, the quantity whose growth-in-`n` slope the
@@ -89,17 +104,6 @@ mod tests {
         assert_eq!(s.max_object_size, 5);
         assert_eq!(s.total_size, 12);
         assert_eq!(s.max_set_cardinality, 7);
-    }
-
-    #[test]
-    fn counts_rules() {
-        let mut s = EvalStats::default();
-        s.observe_node("map");
-        s.observe_node("map");
-        s.observe_node("id");
-        assert_eq!(s.nodes, 3);
-        assert_eq!(s.rule_counts["map"], 2);
-        assert_eq!(s.rule_counts["id"], 1);
     }
 
     #[test]

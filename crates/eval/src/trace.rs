@@ -24,7 +24,7 @@
 //! Keep memo off (the default) when the statistics must be the exact §3
 //! accounting.
 
-use crate::eager::{apply_leaf_vid, Ctx};
+use crate::eager::{apply_leaf_vid, record_frontier, Ctx};
 use crate::error::{EvalConfig, EvalError};
 use crate::stats::EvalStats;
 use nra_core::expr::intern::{self as expr_intern, EId, ENode};
@@ -135,8 +135,21 @@ pub struct TracedEvaluation {
 
 /// The trace-side apply cache: each derived judgment keyed by
 /// `(interned expression, interned input)`, holding the shared
-/// sub-derivation and its output handle.
-type TraceMemo = HashMap<(EId, VId), (Rc<DerivNode>, VId), FxBuildHasher>;
+/// sub-derivation, its output handle, and the as-if-uncached cost of
+/// the subtree (charged on a hit so node budgets stay
+/// strategy-independent).
+type TraceMemo = HashMap<(EId, VId), (Rc<DerivNode>, VId, u64), FxBuildHasher>;
+
+/// The trace-side delta cache (semi-naive iteration): per `map` node,
+/// the last application's input/output and its per-element
+/// sub-derivations `element ↦ (shared child, image, cost)`, so a
+/// grown input re-derives the frontier only and grafts the rest.
+type TraceDelta = HashMap<EId, TraceDeltaEntry, FxBuildHasher>;
+
+struct TraceDeltaEntry {
+    input: VId,
+    children: HashMap<VId, (Rc<DerivNode>, VId, u64), FxBuildHasher>,
+}
 
 /// Evaluate while materialising the full derivation tree. Use only on
 /// small inputs — the tree holds every intermediate object in resolved
@@ -149,15 +162,17 @@ pub fn evaluate_traced(expr: &Expr, input: &Value, config: &EvalConfig) -> Trace
     let iv = intern::intern(input);
     let eid = expr_intern::intern(expr);
     let mut memo: Option<TraceMemo> = config.memo.then(TraceMemo::default);
-    let traced = trace_eid(eid, iv, &mut ctx, &mut memo);
-    // release the cache's Rc references first, so the root node is
+    let mut delta: Option<TraceDelta> = config.semi_naive.then(TraceDelta::default);
+    let traced = trace_eid(eid, iv, &mut ctx, &mut memo, &mut delta);
+    // release the caches' Rc references first, so the root node is
     // uniquely owned and unwraps without an O(object-size) deep clone
     drop(memo);
+    drop(delta);
     let result =
         traced.map(|(node, _)| Rc::try_unwrap(node).unwrap_or_else(|shared| (*shared).clone()));
     TracedEvaluation {
         result,
-        stats: ctx.stats,
+        stats: ctx.finish(),
     }
 }
 
@@ -175,43 +190,34 @@ fn trace_eid(
     input: VId,
     ctx: &mut Ctx,
     memo: &mut Option<TraceMemo>,
+    delta: &mut Option<TraceDelta>,
 ) -> Result<(Rc<DerivNode>, VId), EvalError> {
     if let Some(memo) = memo.as_ref() {
-        if let Some((node, out)) = memo.get(&(eid, input)) {
+        if let Some((node, out, cost)) = memo.get(&(eid, input)) {
             ctx.stats.memo_hits += 1;
-            return Ok((Rc::clone(node), *out));
+            let (node, out, cost) = (Rc::clone(node), *out, *cost);
+            ctx.charge(cost)?;
+            return Ok((node, out));
         }
         ctx.stats.memo_misses += 1;
     }
+    let cost_start = ctx.charged_nodes;
     let enode = expr_intern::node(eid);
     let rule = enode.head_name();
-    ctx.node(rule)?;
+    ctx.node(enode.head_index())?;
     ctx.observe_vid(input)?;
     let (output, children) = match enode {
         ENode::Tuple(f, g) => {
-            let (a, av) = trace_eid(f, input, ctx, memo)?;
-            let (b, bv) = trace_eid(g, input, ctx, memo)?;
+            let (a, av) = trace_eid(f, input, ctx, memo, delta)?;
+            let (b, bv) = trace_eid(g, input, ctx, memo, delta)?;
             (intern::pair(av, bv), vec![a, b])
         }
-        ENode::Map(f) => {
-            let items = intern::as_set(input).ok_or(EvalError::Stuck {
-                rule: "map",
-                detail: "input is not a set".into(),
-            })?;
-            let mut children = Vec::with_capacity(items.len());
-            let mut out = Vec::with_capacity(items.len());
-            for &item in items.iter() {
-                let (child, cv) = trace_eid(f, item, ctx, memo)?;
-                out.push(cv);
-                children.push(child);
-            }
-            (intern::set(out), children)
-        }
+        ENode::Map(f) => trace_map(eid, f, input, ctx, memo, delta)?,
         ENode::Cond(c, then, els) => {
-            let (cnode, cv) = trace_eid(c, input, ctx, memo)?;
+            let (cnode, cv) = trace_eid(c, input, ctx, memo, delta)?;
             let (branch, bv) = match intern::as_bool(cv) {
-                Some(true) => trace_eid(then, input, ctx, memo)?,
-                Some(false) => trace_eid(els, input, ctx, memo)?,
+                Some(true) => trace_eid(then, input, ctx, memo, delta)?,
+                Some(false) => trace_eid(els, input, ctx, memo, delta)?,
                 None => {
                     return Err(EvalError::Stuck {
                         rule: "if",
@@ -222,8 +228,8 @@ fn trace_eid(
             (bv, vec![cnode, branch])
         }
         ENode::Compose(g, f) => {
-            let (fnode, fv) = trace_eid(f, input, ctx, memo)?;
-            let (gnode, gv) = trace_eid(g, fv, ctx, memo)?;
+            let (fnode, fv) = trace_eid(f, input, ctx, memo, delta)?;
+            let (gnode, gv) = trace_eid(g, fv, ctx, memo, delta)?;
             (gv, vec![fnode, gnode])
         }
         ENode::While(f) => {
@@ -231,10 +237,12 @@ fn trace_eid(
             let mut current = input;
             let mut iterations: u64 = 0;
             loop {
-                let (child, next) = trace_eid(f, current, ctx, memo)?;
+                let (child, next) = trace_eid(f, current, ctx, memo, delta)?;
                 children.push(child);
                 iterations += 1;
                 ctx.stats.while_iterations += 1;
+                // thread (total, delta), exactly as the eager walker
+                record_frontier(ctx, current, next);
                 if next == current {
                     break;
                 }
@@ -255,9 +263,102 @@ fn trace_eid(
         children,
     });
     if let Some(memo) = memo.as_mut() {
-        memo.insert((eid, input), (Rc::clone(&node), output));
+        memo.insert(
+            (eid, input),
+            (Rc::clone(&node), output, ctx.charged_nodes - cost_start),
+        );
     }
     Ok((node, output))
+}
+
+/// The `map` rule of [`trace_eid`]: under [`EvalConfig::semi_naive`], a
+/// grown input re-derives only the frontier elements and grafts the
+/// previous application's per-element sub-derivations in as `Rc`
+/// copies — the materialised tree is bit-for-bit the naive one
+/// (evaluation is pure), with the reused elements' recorded costs
+/// charged against the node budget exactly as the eager walker does.
+#[allow(clippy::type_complexity)]
+fn trace_map(
+    eid: EId,
+    f: EId,
+    input: VId,
+    ctx: &mut Ctx,
+    memo: &mut Option<TraceMemo>,
+    delta: &mut Option<TraceDelta>,
+) -> Result<(VId, Vec<Rc<DerivNode>>), EvalError> {
+    let items = intern::as_set(input).ok_or(EvalError::Stuck {
+        rule: "map",
+        detail: "input is not a set".into(),
+    })?;
+    // take the node's previous application out of the cache (no map
+    // node can recursively contain itself, so nothing re-enters)
+    let prev = delta.as_mut().and_then(|d| d.remove(&eid));
+    let reusable = prev.and_then(|e| {
+        if e.input == input {
+            return Some((e, intern::empty_set()));
+        }
+        let (union, fresh) = intern::with_arena(|a| a.set_merge_delta(e.input, input))?;
+        (union == input).then_some((e, fresh))
+    });
+    let mut children = Vec::with_capacity(items.len());
+    let mut out = Vec::with_capacity(items.len());
+    match reusable {
+        Some((mut entry, fresh)) => {
+            let fresh_items = intern::as_set(fresh).expect("frontier is a set");
+            ctx.stats.delta_hits += 1;
+            ctx.stats.delta_skipped += (items.len() - fresh_items.len()) as u64;
+            for &item in items.iter() {
+                if fresh_items.binary_search(&item).is_err() {
+                    // carried over from the previous application: graft
+                    // the shared subtree and charge its recorded cost
+                    let (child, cv, cost) =
+                        entry.children.get(&item).expect("previous element traced");
+                    let (child, cv, cost) = (Rc::clone(child), *cv, *cost);
+                    ctx.charge(cost)?;
+                    out.push(cv);
+                    children.push(child);
+                } else {
+                    let start = ctx.charged_nodes;
+                    let (child, cv) = trace_eid(f, item, ctx, memo, delta)?;
+                    entry
+                        .children
+                        .insert(item, (Rc::clone(&child), cv, ctx.charged_nodes - start));
+                    out.push(cv);
+                    children.push(child);
+                }
+            }
+            let output = intern::set(out);
+            entry.input = input;
+            if let Some(d) = delta.as_mut() {
+                d.insert(eid, entry);
+            }
+            Ok((output, children))
+        }
+        None => {
+            let mut fresh_children: HashMap<VId, (Rc<DerivNode>, VId, u64), FxBuildHasher> =
+                HashMap::default();
+            for &item in items.iter() {
+                let start = ctx.charged_nodes;
+                let (child, cv) = trace_eid(f, item, ctx, memo, delta)?;
+                if delta.is_some() {
+                    fresh_children.insert(item, (Rc::clone(&child), cv, ctx.charged_nodes - start));
+                }
+                out.push(cv);
+                children.push(child);
+            }
+            let output = intern::set(out);
+            if let Some(d) = delta.as_mut() {
+                d.insert(
+                    eid,
+                    TraceDeltaEntry {
+                        input,
+                        children: fresh_children,
+                    },
+                );
+            }
+            Ok((output, children))
+        }
+    }
 }
 
 #[cfg(test)]

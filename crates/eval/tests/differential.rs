@@ -17,31 +17,15 @@ use nra_testkit::{check, Rng};
 
 const CASES: u64 = 24;
 
-/// One random graph from each family per seed, tagged for diagnostics.
-/// Every family is edge-count-bounded (≤ 8): the powerset route costs
-/// `2^|edges|`, so an unbounded tail would make unlucky seeds
-/// pathologically slow.
+/// One random graph from each of the seven shared families per seed,
+/// lifted to `DiGraph` — the family definitions live in
+/// `nra_testkit::graphs` so this harness and the route-level
+/// `tests/differential.rs` can never drift apart.
 fn family_graphs(rng: &mut Rng) -> Vec<(&'static str, DiGraph)> {
-    let chain = DiGraph::chain(rng.below(8));
-    let cycle = DiGraph::cycle(rng.range_u64(1, 8));
-    let dag = DiGraph::random_dag(rng.below(8), 1.0 / 3.0, rng.next_u64());
-    let disconnected = DiGraph::from_edges(rng.relation(4, 5))
-        .union(&DiGraph::from_edges(rng.relation(4, 5)).shifted(100));
-    // 2×2 or 2×3 grid (4 or 7 edges), at a random label offset
-    let grid = DiGraph::grid(2, rng.range_u64(2, 4)).shifted(rng.below(5));
-    // complete digraph on 1–3 nodes (≤ 6 edges)
-    let clique = DiGraph::clique(rng.range_u64(1, 4)).shifted(rng.below(5));
-    // sparse random relation: ≤ 6 edges over ≤ 5 nodes
-    let sparse = DiGraph::from_edges(rng.relation(5, 6));
-    vec![
-        ("chain", chain),
-        ("cycle", cycle),
-        ("dag", dag),
-        ("disconnected", disconnected),
-        ("grid", grid),
-        ("clique", clique),
-        ("sparse", sparse),
-    ]
+    nra_testkit::graphs::family_graphs(rng)
+        .into_iter()
+        .map(|g| (g.family, DiGraph::from_edges(g.edges)))
+        .collect()
 }
 
 /// Eager and traced are the same semantics with different bookkeeping:
@@ -213,6 +197,183 @@ fn strategies_agree_with_the_graph_referee() {
             }
         },
     );
+}
+
+/// Semi-naive (delta-driven) iteration must change the cost, never the
+/// answer — or the trajectory: on every family and route, semi-naive-on
+/// results are bit-for-bit the semi-naive-off results, `while_iterations`
+/// is exactly the naive count (the fixpoint sequence is threaded, not
+/// approximated), and the §3 counters only ever shrink, with the skipped
+/// work reported in `delta_hits`/`delta_skipped` instead.
+#[test]
+fn seminaive_agrees_with_naive_on_all_families() {
+    check(
+        "seminaive_agrees_with_naive_on_all_families",
+        CASES,
+        |_, rng| {
+            let cfg = EvalConfig::default();
+            for (family, g) in family_graphs(rng) {
+                let input = graph_to_value(&g);
+                for q in [queries::tc_paths(), queries::tc_while(), queries::tc_step()] {
+                    let naive = evaluate(&q, &input, &cfg);
+                    for (mode, delta_cfg) in [
+                        ("semi-naive", EvalConfig::semi_naive()),
+                        ("memo+semi-naive", EvalConfig::optimised()),
+                    ] {
+                        let delta = evaluate(&q, &input, &delta_cfg);
+                        assert_eq!(
+                            naive.result.as_ref().unwrap(),
+                            delta.result.as_ref().unwrap(),
+                            "{family}: {mode} {q}"
+                        );
+                        assert_eq!(
+                            naive.stats.while_iterations, delta.stats.while_iterations,
+                            "{family}: {mode} {q} — the fixpoint trajectory must be exact"
+                        );
+                        assert!(
+                            delta.stats.nodes <= naive.stats.nodes,
+                            "{family}: {mode} {q} — delta skips may only shrink the node count"
+                        );
+                        assert!(
+                            delta.stats.max_object_size <= naive.stats.max_object_size,
+                            "{family}: {mode} {q} — fused rules observe a subset of the objects"
+                        );
+                    }
+                    // the default mode never counts delta activity
+                    assert_eq!(
+                        naive.stats.delta_hits + naive.stats.delta_skipped,
+                        0,
+                        "{family}: {q} — semi-naive-off stats must not count the delta cache"
+                    );
+                    assert!(naive.stats.while_frontiers.is_empty(), "{family}: {q}");
+                }
+                // the traced strategy under semi-naive grafts the reused
+                // per-element sub-derivations: the materialised tree must
+                // still be bit-identical, with the same frontier trace
+                let q = queries::tc_while();
+                let plain = evaluate_traced(&q, &input, &cfg);
+                let delta = evaluate_traced(&q, &input, &EvalConfig::semi_naive());
+                assert_eq!(
+                    plain.result.unwrap(),
+                    delta.result.unwrap(),
+                    "{family}: traced {q}"
+                );
+                assert_eq!(
+                    plain.stats.while_iterations, delta.stats.while_iterations,
+                    "{family}: traced {q}"
+                );
+                let eager_delta = evaluate(&q, &input, &EvalConfig::semi_naive());
+                assert_eq!(
+                    eager_delta.stats.while_frontiers, delta.stats.while_frontiers,
+                    "{family}: eager and traced must thread the same (total, delta) pairs"
+                );
+            }
+        },
+    );
+}
+
+/// On set-valued inflationary fixpoints, the threaded `(total, delta)`
+/// pair is internally consistent: the frontier cardinalities sum to
+/// `|final| − |input|` and the last frontier is empty (the fixpoint
+/// test).
+#[test]
+fn seminaive_frontiers_reconstruct_the_closure() {
+    check(
+        "seminaive_frontiers_reconstruct_the_closure",
+        CASES,
+        |_, rng| {
+            for (family, g) in family_graphs(rng) {
+                let input = graph_to_value(&g);
+                let ev = evaluate(&queries::tc_while(), &input, &EvalConfig::semi_naive());
+                let out = ev.result.unwrap();
+                let frontiers = &ev.stats.while_frontiers;
+                assert_eq!(
+                    frontiers.len() as u64,
+                    ev.stats.while_iterations,
+                    "{family}: one frontier per iterate"
+                );
+                assert_eq!(frontiers.last().copied(), Some(0), "{family}: fixpoint");
+                let grown: u64 = frontiers.iter().sum();
+                let (n_in, n_out) = (
+                    input.cardinality().unwrap() as u64,
+                    out.cardinality().unwrap() as u64,
+                );
+                assert_eq!(grown, n_out - n_in, "{family}: frontiers sum to the growth");
+            }
+        },
+    );
+}
+
+/// Extending the apply cache to the lazy strategy's per-subset
+/// evaluations must change the cost, never the answer: lazy-cache-on is
+/// bit-for-bit lazy-cache-off on every family, the cache actually fires
+/// on the powerset route, and cache-off stats never count it.
+#[test]
+fn lazy_cache_agrees_with_uncached_on_all_families() {
+    check(
+        "lazy_cache_agrees_with_uncached_on_all_families",
+        CASES,
+        |_, rng| {
+            let cfg = EvalConfig::default();
+            let memo_cfg = EvalConfig::memoised();
+            for (family, g) in family_graphs(rng) {
+                let input = graph_to_value(&g);
+                for q in [
+                    queries::tc_paths(),
+                    queries::tc_while(),
+                    queries::siblings_powerset(),
+                ] {
+                    let plain = evaluate_lazy(&q, &input, &cfg);
+                    let cached = evaluate_lazy(&q, &input, &memo_cfg);
+                    assert_eq!(
+                        plain.result.as_ref().unwrap(),
+                        cached.result.as_ref().unwrap(),
+                        "{family}: lazy cache {q}"
+                    );
+                    assert_eq!(
+                        plain.stats.memo_hits + plain.stats.memo_misses,
+                        0,
+                        "{family}: {q} — cache-off lazy stats must not count the cache"
+                    );
+                    assert_eq!(
+                        plain.stats.streamed_subsets, cached.stats.streamed_subsets,
+                        "{family}: {q} — the same subsets are streamed either way"
+                    );
+                }
+                // the semi-naive lazy context delegates powerset-free
+                // fixpoints to the delta walker: same answer again
+                let q = queries::tc_while();
+                let plain = evaluate_lazy(&q, &input, &cfg);
+                let delta = evaluate_lazy(&q, &input, &EvalConfig::semi_naive());
+                assert_eq!(
+                    plain.result.unwrap(),
+                    delta.result.unwrap(),
+                    "{family}: semi-naive lazy {q}"
+                );
+                assert_eq!(
+                    plain.stats.while_iterations, delta.stats.while_iterations,
+                    "{family}: semi-naive lazy {q}"
+                );
+            }
+        },
+    );
+}
+
+/// The lazy apply cache earns its keep on the powerset route: streamed
+/// subsets share sub-derivations, so the shared cache must actually hit.
+#[test]
+fn lazy_cache_fires_on_streamed_subsets() {
+    let input = Value::chain(7);
+    let ev = evaluate_lazy(&queries::tc_paths(), &input, &EvalConfig::memoised());
+    assert_eq!(ev.result.unwrap(), Value::chain_tc(7));
+    assert_eq!(ev.stats.streamed_subsets, 128);
+    assert!(
+        ev.stats.memo_hits > 10_000,
+        "expected the shared apply cache to fire across subsets: {} hits / {} misses",
+        ev.stats.memo_hits,
+        ev.stats.memo_misses
+    );
+    assert!(ev.stats.memo_hit_rate() > 0.4);
 }
 
 /// The §3 caveat, quantified: on chains the lazy strategy's peak resident

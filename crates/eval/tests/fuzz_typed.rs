@@ -90,6 +90,43 @@ fn fuzz_domain(dom: &Type, seeds: std::ops::Range<u64>, cfg_gen: &GenConfig) {
                         v,
                         "seed {seed} (memoised)"
                     );
+                    // 5. semi-naive (delta-driven) iteration and its
+                    // fused Prop 2.1 rules change cost, never the value
+                    // — and never the fixpoint trajectory; a delta skip
+                    // does strictly less work, so the same budgets
+                    // cannot trip earlier here either
+                    for (mode, memo) in [("semi-naive", false), ("memo+semi-naive", true)] {
+                        let delta_cfg = EvalConfig {
+                            semi_naive: true,
+                            memo,
+                            ..cfg.clone()
+                        };
+                        let delta = evaluate(&e, &input, &delta_cfg);
+                        assert_eq!(
+                            delta.result.as_ref().expect("semi-naive succeeds"),
+                            v,
+                            "seed {seed} ({mode})"
+                        );
+                        assert_eq!(
+                            delta.stats.while_iterations, plain.stats.while_iterations,
+                            "seed {seed} ({mode}): exact trajectory"
+                        );
+                        assert!(
+                            delta.stats.nodes <= plain.stats.nodes,
+                            "seed {seed} ({mode}): counters may only shrink"
+                        );
+                        // the traced builder under semi-naive grafts
+                        // shared subtrees but materialises the same tree
+                        let traced_delta = evaluate_traced(&e, &input, &delta_cfg);
+                        assert_eq!(
+                            &traced_delta
+                                .result
+                                .expect("traced semi-naive succeeds")
+                                .output,
+                            v,
+                            "seed {seed} (traced {mode})"
+                        );
+                    }
                 }
                 Err(
                     EvalError::SpaceBudgetExceeded { .. }

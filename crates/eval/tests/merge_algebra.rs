@@ -115,6 +115,54 @@ fn nary_merge_agrees_with_flatten() {
 }
 
 #[test]
+fn merge_delta_is_union_plus_difference_on_random_sets() {
+    check("merge_delta_is_union_plus_difference", CASES, |_, rng| {
+        let (a, b, ia, ib) = random_pair(rng);
+        let (union, fresh) = intern::set_merge_delta(ia, ib).expect("sets");
+        // the one-pass result against the two separate merge ops…
+        assert_eq!(union, intern::set_union(ia, ib).unwrap(), "{a} ∪ {b}");
+        assert_eq!(fresh, intern::set_difference(ib, ia).unwrap(), "{b} ∖ {a}");
+        // …against the Prop 2.1 derived terms through the evaluator…
+        let via_union = eval(&builder::union(), &Value::pair(a.clone(), b.clone())).unwrap();
+        let via_diff = eval(
+            &derived::difference(&edge_ty()),
+            &Value::pair(b.clone(), a.clone()),
+        )
+        .unwrap();
+        assert_eq!(intern::resolve(union), via_union);
+        assert_eq!(intern::resolve(fresh), via_diff);
+        // …and the semi-naive superset test: old ⊆ new ⇔ union == new
+        assert_eq!(union == ib, intern::is_subset(ia, ib).unwrap(), "{a} ⊆ {b}");
+    });
+}
+
+#[test]
+fn frontier_merge_agrees_with_iterated_binary_union() {
+    check("frontier_merge_agrees_with_union", CASES, |_, rng| {
+        let k = rng.usize_below(5);
+        let base = Value::relation(rng.relation(6, 7));
+        let ibase = intern::intern(&base);
+        let parts: Vec<Value> = (0..k)
+            .map(|_| Value::relation(rng.relation(5, 5)))
+            .collect();
+        let handles: Vec<_> = parts.iter().map(intern::intern).collect();
+        let merged = intern::set_merge_frontier(ibase, &handles).expect("sets");
+        // iterated binary union over the same handles…
+        let mut expect = ibase;
+        for &h in &handles {
+            expect = intern::set_union(expect, h).unwrap();
+        }
+        assert_eq!(merged, expect, "μ-fold over {k} frontiers");
+        // …and the ∪ primitive through the evaluator, folded left
+        let mut tree = base;
+        for p in &parts {
+            tree = eval(&builder::union(), &Value::pair(tree, p.clone())).unwrap();
+        }
+        assert_eq!(intern::resolve(merged), tree);
+    });
+}
+
+#[test]
 fn merge_ops_refuse_non_sets() {
     let n = intern::nat(3);
     let s = intern::chain(2);
@@ -124,4 +172,8 @@ fn merge_ops_refuse_non_sets() {
     assert_eq!(intern::is_subset(n, s), None);
     assert_eq!(intern::set_contains(n, s), None);
     assert_eq!(intern::set_from_sorted_merge(&[s, n]), None);
+    assert_eq!(intern::set_merge_delta(n, s), None);
+    assert_eq!(intern::set_merge_delta(s, n), None);
+    assert_eq!(intern::set_merge_frontier(n, &[s]), None);
+    assert_eq!(intern::set_merge_frontier(s, &[n]), None);
 }

@@ -1,0 +1,211 @@
+//! The differential suite's randomized graph families, in one place.
+//!
+//! Both differential harnesses — the route-level one at
+//! `tests/differential.rs` and the strategy-level one at
+//! `crates/eval/tests/differential.rs` — exercise the same seven graph
+//! families. The builders used to be copy-pasted between the two files;
+//! they live here instead, as plain edge lists (this crate depends on
+//! nothing), so a new family lands in both harnesses automatically.
+//! Harnesses lift an edge list into whatever graph/value representation
+//! they test (`DiGraph::from_edges`, `Value::relation`, …).
+//!
+//! Every family is edge-count-bounded (≤ 8): the powerset route costs
+//! `2^|edges|`, so an unbounded tail would make unlucky seeds
+//! pathologically slow.
+
+use crate::Rng;
+use std::collections::BTreeSet;
+
+/// One randomized graph: its family tag (for diagnostics) plus the edge
+/// list.
+#[derive(Debug, Clone)]
+pub struct FamilyGraph {
+    /// Family name, e.g. `"chain"` — prepend it to assertion messages so
+    /// failures identify the family along with the seed.
+    pub family: &'static str,
+    /// The edges, deduplicated and ordered.
+    pub edges: BTreeSet<(u64, u64)>,
+}
+
+impl FamilyGraph {
+    fn new<I: IntoIterator<Item = (u64, u64)>>(family: &'static str, edges: I) -> Self {
+        FamilyGraph {
+            family,
+            edges: edges.into_iter().collect(),
+        }
+    }
+}
+
+/// A chain `o → o+1 → … → o+n` of random length (possibly empty) at a
+/// random label offset, so closure code cannot rely on 0-based ids.
+pub fn random_chain(rng: &mut Rng) -> FamilyGraph {
+    let n = rng.below(8);
+    let o = rng.below(5);
+    FamilyGraph::new("chain", (0..n).map(|i| (o + i, o + i + 1)))
+}
+
+/// A directed cycle on 1..=7 nodes at a random label offset.
+pub fn random_cycle(rng: &mut Rng) -> FamilyGraph {
+    let n = rng.range_u64(1, 8);
+    let o = rng.below(5);
+    FamilyGraph::new("cycle", (0..n).map(|i| (o + i, o + (i + 1) % n)))
+}
+
+/// A random DAG: edges only from smaller to larger ids, each present
+/// with probability 1/3.
+pub fn random_dag(rng: &mut Rng) -> FamilyGraph {
+    let n = rng.below(8);
+    let mut edges = BTreeSet::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.below(3) == 0 {
+                edges.insert((a, b));
+            }
+        }
+    }
+    FamilyGraph {
+        family: "dag",
+        edges,
+    }
+}
+
+/// A disconnected graph: two independent random components on disjoint
+/// label ranges (0..4 and 100..104), so the closure must not invent
+/// cross-component paths. Components are edge-count-bounded (≤ 5 each).
+pub fn random_disconnected(rng: &mut Rng) -> FamilyGraph {
+    let left = rng.relation(4, 5);
+    let right = rng.relation(4, 5);
+    FamilyGraph::new(
+        "disconnected",
+        left.into_iter()
+            .chain(right.into_iter().map(|(a, b)| (a + 100, b + 100))),
+    )
+}
+
+/// A small directed grid (2×2 or 2×3 — at most 7 edges, powerset-safe)
+/// at a random label offset: node `(i, j)` has id `i·cols + j` and edges
+/// to its right and down neighbours.
+pub fn random_grid(rng: &mut Rng) -> FamilyGraph {
+    let (rows, cols) = (2, rng.range_u64(2, 4));
+    let o = rng.below(5);
+    let mut edges = BTreeSet::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            if j + 1 < cols {
+                edges.insert((o + i * cols + j, o + i * cols + j + 1));
+            }
+            if i + 1 < rows {
+                edges.insert((o + i * cols + j, o + (i + 1) * cols + j));
+            }
+        }
+    }
+    FamilyGraph {
+        family: "grid",
+        edges,
+    }
+}
+
+/// A complete digraph on 1–3 nodes (≤ 6 edges) at a random label offset
+/// — already transitively closed except for the self-loops, which the
+/// closure must add.
+pub fn random_clique(rng: &mut Rng) -> FamilyGraph {
+    let n = rng.range_u64(1, 4);
+    let o = rng.below(5);
+    let mut edges = BTreeSet::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                edges.insert((o + a, o + b));
+            }
+        }
+    }
+    FamilyGraph {
+        family: "clique",
+        edges,
+    }
+}
+
+/// A sparse random relation: ≤ 6 edges over ≤ 5 nodes (self-loops and
+/// all), the least structured family in the suite.
+pub fn random_sparse(rng: &mut Rng) -> FamilyGraph {
+    FamilyGraph::new("sparse", rng.relation(5, 6))
+}
+
+/// One graph from **each** of the seven families — the canonical
+/// per-seed sweep both differential harnesses run.
+pub fn family_graphs(rng: &mut Rng) -> Vec<FamilyGraph> {
+    vec![
+        random_chain(rng),
+        random_cycle(rng),
+        random_dag(rng),
+        random_disconnected(rng),
+        random_grid(rng),
+        random_clique(rng),
+        random_sparse(rng),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_families_with_bounded_edge_counts() {
+        for seed in 0..50 {
+            let mut rng = Rng::new(seed);
+            let graphs = family_graphs(&mut rng);
+            assert_eq!(graphs.len(), 7);
+            let names: Vec<&str> = graphs.iter().map(|g| g.family).collect();
+            assert_eq!(
+                names,
+                [
+                    "chain",
+                    "cycle",
+                    "dag",
+                    "disconnected",
+                    "grid",
+                    "clique",
+                    "sparse"
+                ]
+            );
+            for g in &graphs {
+                assert!(
+                    g.edges.len() <= 10,
+                    "{} grew to {} edges (powerset-unsafe)",
+                    g.family,
+                    g.edges.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn families_are_deterministic_in_the_seed() {
+        let a: Vec<_> = family_graphs(&mut Rng::new(42))
+            .into_iter()
+            .map(|g| g.edges)
+            .collect();
+        let b: Vec<_> = family_graphs(&mut Rng::new(42))
+            .into_iter()
+            .map(|g| g.edges)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structural_sanity() {
+        let mut rng = Rng::new(7);
+        for _ in 0..30 {
+            let dag = random_dag(&mut rng);
+            assert!(dag.edges.iter().all(|&(a, b)| a < b), "dag edges ascend");
+            let clique = random_clique(&mut rng);
+            assert!(clique.edges.iter().all(|&(a, b)| a != b), "no self-loops");
+            let disc = random_disconnected(&mut rng);
+            assert!(
+                disc.edges.iter().all(|&(a, b)| (a < 100) == (b < 100)),
+                "components stay disjoint: {:?}",
+                disc.edges
+            );
+        }
+    }
+}

@@ -13,6 +13,8 @@
 
 #![deny(missing_docs)]
 
+pub mod graphs;
+
 use std::collections::BTreeSet;
 
 /// A tiny deterministic RNG (SplitMix64). The same algorithm as

@@ -11,7 +11,7 @@
 //! `max_object_size ≥ 2ⁿ` while the while-loop route stays polynomial
 //! (Theorem 4.1 vs the §4 upper bounds).
 
-use nra_testkit::{check, Rng};
+use nra_testkit::check;
 use powerset_tc::core::{queries, Value};
 use powerset_tc::eval::{evaluate, evaluate_lazy, EvalConfig};
 use powerset_tc::graph::{
@@ -25,56 +25,12 @@ const MAX_N: u64 = 8;
 
 const CASES: u64 = 24;
 
-/// A chain `o → o+1 → … → o+n` of random length (possibly empty) at a
-/// random label offset, so closure code cannot rely on 0-based ids.
-fn random_chain(rng: &mut Rng) -> DiGraph {
-    let n = rng.below(MAX_N + 1);
-    let offset = rng.below(5);
-    DiGraph::from_edges((0..n).map(|i| (offset + i, offset + i + 1)))
-}
-
-/// A directed cycle on 1..=MAX_N nodes at a random label offset.
-fn random_cycle(rng: &mut Rng) -> DiGraph {
-    let n = rng.range_u64(1, MAX_N + 1);
-    let offset = rng.below(5);
-    DiGraph::from_edges((0..n).map(|i| (offset + i, offset + (i + 1) % n)))
-}
-
-/// A random DAG: edges only from smaller to larger ids, each present with
-/// probability 1/3.
-fn random_dag(rng: &mut Rng) -> DiGraph {
-    DiGraph::random_dag(rng.below(MAX_N + 1), 1.0 / 3.0, rng.next_u64())
-}
-
-/// A disconnected graph: two independent random components on disjoint
-/// label ranges (0..4 and 100..104), so the closure must not invent
-/// cross-component paths.
-fn random_disconnected(rng: &mut Rng) -> DiGraph {
-    // components are edge-count-bounded (≤ 5 each): the powerset route's
-    // cost is 2^|edges|, so an unbounded Binomial tail would make unlucky
-    // seeds pathologically slow
-    let left = DiGraph::from_edges(rng.relation(4, 5));
-    let right = DiGraph::from_edges(rng.relation(4, 5));
-    left.union(&right.shifted(100))
-}
-
-/// A small directed grid (2×2 or 2×3 — at most 7 edges, powerset-safe)
-/// at a random label offset.
-fn random_grid(rng: &mut Rng) -> DiGraph {
-    DiGraph::grid(2, rng.range_u64(2, 4)).shifted(rng.below(5))
-}
-
-/// A complete digraph on 1–3 nodes (≤ 6 edges) at a random label offset
-/// — already transitively closed except for the self-loops, which the
-/// closure must add.
-fn random_clique(rng: &mut Rng) -> DiGraph {
-    DiGraph::clique(rng.range_u64(1, 4)).shifted(rng.below(5))
-}
-
-/// A sparse random relation: ≤ 6 edges over ≤ 5 nodes (self-loops and
-/// all), the least structured family in the suite.
-fn random_sparse(rng: &mut Rng) -> DiGraph {
-    DiGraph::from_edges(rng.relation(5, 6))
+/// Lift one of the shared `nra_testkit::graphs` family builders (the
+/// same definitions the strategy-level harness at
+/// `crates/eval/tests/differential.rs` uses, so the two suites can
+/// never drift apart) to a `DiGraph`.
+fn lift(g: nra_testkit::graphs::FamilyGraph) -> DiGraph {
+    DiGraph::from_edges(g.edges)
 }
 
 /// The heart of the harness: compute the closure along every route and
@@ -107,18 +63,39 @@ fn assert_all_routes_agree(g: &DiGraph, label: &str) {
         .unwrap_or_else(|e| panic!("lazy tc_paths failed on {label}: {e}"));
     assert_eq!(lazy_paths, expect, "lazy tc_paths vs baselines on {label}");
 
-    // …and the memoised (apply-cache) evaluations of both routes, which
-    // must be bit-for-bit the memo-off results.
-    let memo_cfg = EvalConfig::memoised();
-    for (name, q) in [
-        ("memoised tc_paths", queries::tc_paths()),
-        ("memoised tc_while", queries::tc_while()),
+    // …the memoised (apply-cache), semi-naive (delta-driven), and
+    // fully-optimised evaluations of both routes, which must all be
+    // bit-for-bit the default results…
+    for (mode, cfg) in [
+        ("memoised", EvalConfig::memoised()),
+        ("semi-naive", EvalConfig::semi_naive()),
+        ("optimised", EvalConfig::optimised()),
     ] {
-        let memoised = evaluate(&q, &input, &memo_cfg)
-            .result
-            .unwrap_or_else(|e| panic!("{name} failed on {label}: {e}"));
-        assert_eq!(memoised, expect, "{name} vs baselines on {label}");
+        for (route, q) in [
+            ("tc_paths", queries::tc_paths()),
+            ("tc_while", queries::tc_while()),
+        ] {
+            let got = evaluate(&q, &input, &cfg)
+                .result
+                .unwrap_or_else(|e| panic!("{mode} {route} failed on {label}: {e}"));
+            assert_eq!(got, expect, "{mode} {route} vs baselines on {label}");
+        }
     }
+
+    // …the semi-naive runs iterate the exact naive trajectory…
+    let naive_while = evaluate(&queries::tc_while(), &input, &cfg);
+    let semi_while = evaluate(&queries::tc_while(), &input, &EvalConfig::semi_naive());
+    assert_eq!(
+        naive_while.stats.while_iterations, semi_while.stats.while_iterations,
+        "semi-naive while_iterations must be exact on {label}"
+    );
+
+    // …and the streaming evaluator with the shared apply cache agrees
+    // with its uncached self.
+    let lazy_cached = evaluate_lazy(&queries::tc_paths(), &input, &EvalConfig::memoised())
+        .result
+        .unwrap_or_else(|e| panic!("cached lazy tc_paths failed on {label}: {e}"));
+    assert_eq!(lazy_cached, expect, "cached lazy tc_paths on {label}");
 
     // the encoding round-trips, so the comparison was about real graphs
     assert_eq!(
@@ -131,21 +108,30 @@ fn assert_all_routes_agree(g: &DiGraph, label: &str) {
 #[test]
 fn differential_chains() {
     check("differential_chains", CASES, |seed, rng| {
-        assert_all_routes_agree(&random_chain(rng), &format!("chain (seed {seed})"));
+        assert_all_routes_agree(
+            &lift(nra_testkit::graphs::random_chain(rng)),
+            &format!("chain (seed {seed})"),
+        );
     });
 }
 
 #[test]
 fn differential_cycles() {
     check("differential_cycles", CASES, |seed, rng| {
-        assert_all_routes_agree(&random_cycle(rng), &format!("cycle (seed {seed})"));
+        assert_all_routes_agree(
+            &lift(nra_testkit::graphs::random_cycle(rng)),
+            &format!("cycle (seed {seed})"),
+        );
     });
 }
 
 #[test]
 fn differential_dags() {
     check("differential_dags", CASES, |seed, rng| {
-        assert_all_routes_agree(&random_dag(rng), &format!("dag (seed {seed})"));
+        assert_all_routes_agree(
+            &lift(nra_testkit::graphs::random_dag(rng)),
+            &format!("dag (seed {seed})"),
+        );
     });
 }
 
@@ -153,7 +139,7 @@ fn differential_dags() {
 fn differential_disconnected() {
     check("differential_disconnected", CASES, |seed, rng| {
         assert_all_routes_agree(
-            &random_disconnected(rng),
+            &lift(nra_testkit::graphs::random_disconnected(rng)),
             &format!("disconnected (seed {seed})"),
         );
     });
@@ -162,21 +148,30 @@ fn differential_disconnected() {
 #[test]
 fn differential_grids() {
     check("differential_grids", CASES, |seed, rng| {
-        assert_all_routes_agree(&random_grid(rng), &format!("grid (seed {seed})"));
+        assert_all_routes_agree(
+            &lift(nra_testkit::graphs::random_grid(rng)),
+            &format!("grid (seed {seed})"),
+        );
     });
 }
 
 #[test]
 fn differential_cliques() {
     check("differential_cliques", CASES, |seed, rng| {
-        assert_all_routes_agree(&random_clique(rng), &format!("clique (seed {seed})"));
+        assert_all_routes_agree(
+            &lift(nra_testkit::graphs::random_clique(rng)),
+            &format!("clique (seed {seed})"),
+        );
     });
 }
 
 #[test]
 fn differential_sparse() {
     check("differential_sparse", CASES, |seed, rng| {
-        assert_all_routes_agree(&random_sparse(rng), &format!("sparse (seed {seed})"));
+        assert_all_routes_agree(
+            &lift(nra_testkit::graphs::random_sparse(rng)),
+            &format!("sparse (seed {seed})"),
+        );
     });
 }
 
