@@ -30,24 +30,43 @@ fn main() {
     let comparisons = standard_eval_comparisons(samples);
 
     println!(
-        "tree vs interned vs memoised vs semi-naive eager evaluation ({samples} samples, median):"
+        "tree vs interned vs memoised vs semi-naive eager evaluation, plus session warm \
+         re-evaluation and the {}-job/{}-worker batch ({samples} samples, median):",
+        nra_bench::BATCH_JOBS,
+        nra_bench::BATCH_WORKERS
     );
     println!(
-        "{:<20} {:>4} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9}",
-        "workload", "n", "tree", "interned", "memoised", "seminaive", "intern×", "memo×", "semi×"
+        "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "workload",
+        "n",
+        "tree",
+        "interned",
+        "memoised",
+        "seminaive",
+        "warm",
+        "batch",
+        "intern×",
+        "memo×",
+        "semi×",
+        "warm×",
+        "batch×"
     );
     for c in &comparisons {
         println!(
-            "{:<20} {:>4} {:>12} {:>12} {:>12} {:>12} {:>8.2}x {:>8.2}x {:>8.2}x",
+            "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x",
             c.workload,
             c.n,
             fmt_duration(c.tree),
             fmt_duration(c.interned),
             fmt_duration(c.memoised),
             fmt_duration(c.seminaive),
+            fmt_duration(c.warm),
+            fmt_duration(c.batch),
             c.speedup(),
             c.memo_speedup(),
-            c.seminaive_speedup()
+            c.seminaive_speedup(),
+            c.warm_speedup(),
+            c.batch_speedup()
         );
     }
     let min = comparisons
@@ -62,9 +81,19 @@ fn main() {
         .iter()
         .map(EvalComparison::seminaive_speedup)
         .fold(f64::INFINITY, f64::min);
+    let min_warm = comparisons
+        .iter()
+        .map(EvalComparison::warm_speedup)
+        .fold(f64::INFINITY, f64::min);
+    let min_batch = comparisons
+        .iter()
+        .map(EvalComparison::batch_speedup)
+        .fold(f64::INFINITY, f64::min);
     println!("minimum interned speedup across workloads:   {min:.2}x");
     println!("minimum memo speedup across workloads:       {min_memo:.2}x");
     println!("minimum semi-naive speedup across workloads: {min_semi:.2}x");
+    println!("minimum warm-start speedup across workloads: {min_warm:.2}x");
+    println!("minimum batch speedup across workloads:      {min_batch:.2}x");
 
     let path = write_bench_eval_json(&comparisons, samples).expect("write BENCH_eval.json");
     println!("wrote {}", path.display());

@@ -13,10 +13,18 @@ pub mod tinybench;
 
 use nra_core::expr::Expr;
 use nra_core::value::Value;
-use nra_eval::{evaluate, evaluate_tree, EvalConfig, EvalError};
+use nra_eval::{eval_batch, evaluate, evaluate_tree, EvalConfig, EvalError, EvalSession};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Jobs per batch workload: each query replicated this many times — a
+/// serving-style batch (many clients asking the same closures). Three
+/// jobs per worker, so each worker pays one cold evaluation and serves
+/// the rest from its chunk-local warm cache.
+pub const BATCH_JOBS: usize = 12;
+/// Worker sessions the batch workload fans across.
+pub const BATCH_WORKERS: usize = 4;
 
 /// Outcome of measuring one evaluation at one input size.
 #[derive(Debug, Clone)]
@@ -132,6 +140,19 @@ pub struct EvalComparison {
     /// [`nra_eval::EvalConfig::optimised`] (apply cache + semi-naive
     /// delta-driven iteration).
     pub seminaive: Duration,
+    /// Median wall-clock of a **warm** re-evaluation: the same query on
+    /// the same input through an [`nra_eval::EvalSession`] (optimised
+    /// config) that already evaluated it once — the cross-query apply
+    /// cache serves the whole judgment.
+    pub warm: Duration,
+    /// Median wall-clock of the [`BATCH_JOBS`]-query batch (the query
+    /// replicated) fanned across [`BATCH_WORKERS`] worker sessions via
+    /// [`nra_eval::eval_batch`].
+    pub batch: Duration,
+    /// Median wall-clock of the same [`BATCH_JOBS`] queries evaluated
+    /// sequentially, each in a fresh (cold) session — the status-quo
+    /// one-shot cost the batch API is compared against.
+    pub batch_seq: Duration,
 }
 
 impl EvalComparison {
@@ -155,6 +176,25 @@ impl EvalComparison {
     /// fails if the geomean drops below 1.
     pub fn seminaive_speedup(&self) -> f64 {
         self.memoised.as_secs_f64() / self.seminaive.as_secs_f64().max(1e-12)
+    }
+
+    /// How many times faster a warm session re-evaluation is than the
+    /// best cold run (seminaive / warm) — the cross-query warm-start
+    /// win. Recorded per workload and as `geomean_warm_speedup` in
+    /// `BENCH_eval.json`; the CI gate fails if the geomean drops
+    /// below 1.
+    pub fn warm_speedup(&self) -> f64 {
+        self.seminaive.as_secs_f64() / self.warm.as_secs_f64().max(1e-12)
+    }
+
+    /// How many times faster the 4-worker batch evaluates its job list
+    /// than sequential one-shot (cold-session) evaluation of the same
+    /// list (batch_seq / batch). The win combines parallel workers with
+    /// per-worker warm sharing across each chunk, so it holds even on a
+    /// single core. Recorded per workload and as
+    /// `geomean_batch_speedup`; the CI gate fails below 1.
+    pub fn batch_speedup(&self) -> f64 {
+        self.batch_seq.as_secs_f64() / self.batch.as_secs_f64().max(1e-12)
     }
 }
 
@@ -254,6 +294,34 @@ pub fn compare_eval(
             },
         ],
     );
+    // warm: re-evaluation through a session whose apply cache survived
+    // the seeding call — the whole judgment is served from the cache
+    let mut warm_session = EvalSession::new(EvalConfig::optimised());
+    warm_session
+        .eval(query, input)
+        .result
+        .expect("warm-seed eval");
+    let warm = median_time(samples, || {
+        std::hint::black_box(warm_session.eval(query, input));
+    });
+    // batch: BATCH_JOBS replicas across BATCH_WORKERS worker sessions,
+    // against the sequential cold-session evaluation of the same list
+    let mut parent = EvalSession::new(EvalConfig::optimised());
+    let qe = parent.intern_expr(query);
+    let iv = parent.intern_value(input);
+    let jobs = vec![(qe, iv); BATCH_JOBS];
+    // thread spawns make single-digit-sample medians jittery; floor the
+    // sample count so the batch columns stay meaningful in smoke runs
+    let batch_samples = samples.max(5);
+    let batch = median_time(batch_samples, || {
+        std::hint::black_box(eval_batch(&mut parent, &jobs, BATCH_WORKERS));
+    });
+    let batch_seq = median_time(batch_samples, || {
+        for _ in 0..BATCH_JOBS {
+            let mut cold = EvalSession::new(EvalConfig::optimised());
+            std::hint::black_box(cold.eval(query, input));
+        }
+    });
     EvalComparison {
         workload: workload.to_string(),
         n,
@@ -261,6 +329,9 @@ pub fn compare_eval(
         interned,
         memoised,
         seminaive,
+        warm,
+        batch,
+        batch_seq,
     }
 }
 
@@ -360,16 +431,21 @@ pub fn write_bench_eval_json_to(
     out.push_str("  \"unit\": \"ns\",\n  \"workloads\": [\n");
     for (i, c) in comparisons.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"n\": {}, \"tree_ns\": {}, \"interned_ns\": {}, \"memo_ns\": {}, \"seminaive_ns\": {}, \"speedup\": {:.3}, \"memo_speedup\": {:.3}, \"seminaive_speedup\": {:.3}}}{}\n",
+            "    {{\"workload\": \"{}\", \"n\": {}, \"tree_ns\": {}, \"interned_ns\": {}, \"memo_ns\": {}, \"seminaive_ns\": {}, \"warm_ns\": {}, \"batch_ns\": {}, \"batch_seq_ns\": {}, \"speedup\": {:.3}, \"memo_speedup\": {:.3}, \"seminaive_speedup\": {:.3}, \"warm_speedup\": {:.3}, \"batch_speedup\": {:.3}}}{}\n",
             c.workload,
             c.n,
             c.tree.as_nanos(),
             c.interned.as_nanos(),
             c.memoised.as_nanos(),
             c.seminaive.as_nanos(),
+            c.warm.as_nanos(),
+            c.batch.as_nanos(),
+            c.batch_seq.as_nanos(),
             c.speedup(),
             c.memo_speedup(),
             c.seminaive_speedup(),
+            c.warm_speedup(),
+            c.batch_speedup(),
             if i + 1 == comparisons.len() { "" } else { "," }
         ));
     }
@@ -396,7 +472,22 @@ pub fn write_bench_eval_json_to(
         .sum::<f64>()
         / comparisons.len().max(1) as f64)
         .exp();
+    let geomean_warm = (comparisons
+        .iter()
+        .map(|c| c.warm_speedup().ln())
+        .sum::<f64>()
+        / comparisons.len().max(1) as f64)
+        .exp();
+    let geomean_batch = (comparisons
+        .iter()
+        .map(|c| c.batch_speedup().ln())
+        .sum::<f64>()
+        / comparisons.len().max(1) as f64)
+        .exp();
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"batch_jobs\": {BATCH_JOBS},\n  \"batch_workers\": {BATCH_WORKERS},\n"
+    ));
     out.push_str(&format!("  \"min_speedup\": {:.3},\n", min));
     out.push_str(&format!("  \"geomean_speedup\": {:.3},\n", geomean));
     out.push_str(&format!(
@@ -404,8 +495,16 @@ pub fn write_bench_eval_json_to(
         geomean_memo
     ));
     out.push_str(&format!(
-        "  \"geomean_seminaive_speedup\": {:.3}\n}}\n",
+        "  \"geomean_seminaive_speedup\": {:.3},\n",
         geomean_seminaive
+    ));
+    out.push_str(&format!(
+        "  \"geomean_warm_speedup\": {:.3},\n",
+        geomean_warm
+    ));
+    out.push_str(&format!(
+        "  \"geomean_batch_speedup\": {:.3}\n}}\n",
+        geomean_batch
     ));
     let mut file = std::fs::File::create(&path)?;
     file.write_all(out.as_bytes())?;
@@ -479,9 +578,14 @@ mod tests {
         assert!(c.interned > Duration::ZERO);
         assert!(c.memoised > Duration::ZERO);
         assert!(c.seminaive > Duration::ZERO);
+        assert!(c.warm > Duration::ZERO);
+        assert!(c.batch > Duration::ZERO);
+        assert!(c.batch_seq > Duration::ZERO);
         assert!(c.speedup() > 0.0);
         assert!(c.memo_speedup() > 0.0);
         assert!(c.seminaive_speedup() > 0.0);
+        assert!(c.warm_speedup() > 0.0);
+        assert!(c.batch_speedup() > 0.0);
     }
 
     #[test]
@@ -494,6 +598,9 @@ mod tests {
                 interned: Duration::from_micros(100),
                 memoised: Duration::from_micros(50),
                 seminaive: Duration::from_micros(25),
+                warm: Duration::from_micros(5),
+                batch: Duration::from_micros(100),
+                batch_seq: Duration::from_micros(200),
             },
             EvalComparison {
                 workload: "dag/tc_while".into(),
@@ -502,6 +609,9 @@ mod tests {
                 interned: Duration::from_micros(150),
                 memoised: Duration::from_micros(75),
                 seminaive: Duration::from_micros(25),
+                warm: Duration::from_micros(5),
+                batch: Duration::from_micros(100),
+                batch_seq: Duration::from_micros(200),
             },
         ];
         // write to a scratch path — the repo-root BENCH_eval.json is a
@@ -522,9 +632,18 @@ mod tests {
         assert!(text.contains("\"seminaive_ns\": 25000"));
         assert!(text.contains("\"seminaive_speedup\": 2.000"));
         assert!(text.contains("\"seminaive_speedup\": 3.000"));
+        assert!(text.contains("\"warm_ns\": 5000"));
+        assert!(text.contains("\"warm_speedup\": 5.000"));
+        assert!(text.contains("\"batch_ns\": 100000"));
+        assert!(text.contains("\"batch_seq_ns\": 200000"));
+        assert!(text.contains("\"batch_speedup\": 2.000"));
+        assert!(text.contains("\"batch_jobs\": 12"));
+        assert!(text.contains("\"batch_workers\": 4"));
         assert!(text.contains("\"min_speedup\": 2.000"));
         assert!(text.contains("\"geomean_memo_speedup\": 2.000"));
         assert!(text.contains("\"geomean_seminaive_speedup\": 2.449"));
+        assert!(text.contains("\"geomean_warm_speedup\": 5.000"));
+        assert!(text.contains("\"geomean_batch_speedup\": 2.000"));
         // balanced braces/brackets (no trailing-comma style breakage)
         assert_eq!(
             text.matches('{').count(),

@@ -17,10 +17,13 @@
 //!   the derivation. `nra-eval`'s memoised eager evaluator is exactly
 //!   that table.
 //!
-//! Like the value arena, the expression arena is thread-local by
-//! default ([`intern`], [`resolve`], [`node`], … operate on the calling
-//! thread's arena; [`EId`] is `!Send`/`!Sync`), grows monotonically,
-//! and can be reset at quiescent points with [`reset_thread_arena`].
+//! Like the value arena, this module keeps a thread-local arena behind
+//! its free functions ([`intern`], [`resolve`], [`node`], …) as the
+//! *compatibility facade*; the engine layer (`nra-eval`'s
+//! `EvalSession`) owns an [`ExprArena`] outright and threads it
+//! explicitly. [`EId`] is a plain `Send` index, meaningful only in the
+//! arena that issued it. Arenas grow monotonically and can be reset at
+//! quiescent points with [`reset_thread_arena`] / [`ExprArena::clear`].
 //!
 //! # Examples
 //!
@@ -39,27 +42,35 @@ use super::{Expr, ExprRef};
 use crate::value::intern::FxBuildHasher;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
 
 /// A handle to an interned expression in an [`ExprArena`].
 ///
 /// Within one arena, two handles are equal **iff** the expressions they
 /// denote are structurally equal. Handles are only meaningful in the
 /// arena that issued them — for this module's free functions, the
-/// calling thread's arena — so `EId` is `!Send`/`!Sync` (via a phantom
-/// [`Rc`] marker), exactly like the value arena's `VId`.
+/// calling thread's arena; for an owned arena (an `EvalSession`), that
+/// arena. Like the value arena's `VId`, `EId` is a plain `Send` index:
+/// handle and arena must travel together, by the holder's discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EId(u32, std::marker::PhantomData<Rc<()>>);
+pub struct EId(u32);
 
 impl EId {
     fn new(raw: u32) -> Self {
-        EId(raw, std::marker::PhantomData)
+        EId(raw)
     }
 
     /// The raw arena index of this handle (stable for the arena's
     /// lifetime; mainly useful for debugging and dense side tables).
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Rebuild a handle from a raw index previously obtained via
+    /// [`EId::index`] **from the same arena** — the inverse direction
+    /// for dense side tables, with the same contract as
+    /// [`crate::value::intern::VId::from_index`].
+    pub fn from_index(raw: usize) -> EId {
+        EId::new(u32::try_from(raw).expect("EId::from_index: index exceeds u32"))
     }
 }
 

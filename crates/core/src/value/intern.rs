@@ -21,12 +21,17 @@
 //! structural identities hold by construction, exactly as they do for the
 //! [`BTreeSet`]-backed [`Value`].
 //!
-//! The arena is thread-local by default: the free functions of this module
-//! ([`intern`], [`resolve`], [`pair`], [`set`], [`size`], …) all operate on
-//! the calling thread's arena, and [`VId`] is `!Send`/`!Sync` so handles
-//! cannot leave the thread that issued them. A [`ValueArena`] can also be
-//! owned directly when isolation is wanted (each arena then has its own
-//! handle space).
+//! The free functions of this module ([`intern`], [`resolve`], [`pair`],
+//! [`set`], [`size`], …) operate on a thread-local arena — the
+//! *compatibility facade* for code that does not thread an arena
+//! explicitly. The engine layer (`nra-eval`'s `EvalSession`) instead
+//! **owns** a `ValueArena` and threads it by `&mut` through every rule,
+//! which is what makes sessions movable across threads and lets several
+//! evaluation streams run in parallel, each against its own arena.
+//! [`VId`] is a plain copyable index and is `Send`: a handle is only
+//! meaningful in the arena that issued it, and keeping handle and arena
+//! together is the holder's contract (exactly as with `usize` indices
+//! into a `Vec`).
 //!
 //! Hash-consing trades reclamation for sharing: the arena grows
 //! monotonically and never frees individual nodes, so a long-running
@@ -70,7 +75,7 @@ use super::Value;
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A fast non-cryptographic hasher (the FxHash recipe: rotate, xor,
 /// multiply) for handle-keyed maps. Interning happens on the evaluator
@@ -139,10 +144,12 @@ impl Hasher for FxHasher {
 /// order for deduplication, but *not* the [`Value`] ordering.
 ///
 /// Handles are only meaningful in the arena that issued them — for the
-/// free functions of this module, the calling thread's arena — so `VId`
-/// is deliberately `!Send`/`!Sync` (via a phantom [`Rc`] marker): moving
-/// a handle to another thread, where it would silently denote a different
-/// object or panic, is a compile error rather than a runtime surprise.
+/// free functions of this module, the calling thread's arena; for an
+/// owned arena (an `EvalSession`), that arena. `VId` is a plain `Send`
+/// index so that a session owning its arena can move between threads
+/// (handles travel *with* their arena); mixing handles across arenas is
+/// a logic error the type system does not catch, same as indexing one
+/// `Vec` with another's indices.
 ///
 /// ```
 /// use nra_core::value::intern;
@@ -152,17 +159,26 @@ impl Hasher for FxHasher {
 /// assert_eq!(intern::size(e), 3); // O(1) size: 1 + size(1) + size(2)
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct VId(u32, std::marker::PhantomData<Rc<()>>);
+pub struct VId(u32);
 
 impl VId {
     fn new(raw: u32) -> Self {
-        VId(raw, std::marker::PhantomData)
+        VId(raw)
     }
 
     /// The raw arena index of this handle (stable for the arena's
     /// lifetime; mainly useful for debugging and dense side tables).
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Rebuild a handle from a raw index previously obtained via
+    /// [`VId::index`] **from the same arena** (dense side tables store
+    /// raw indices; this is the way back). Fabricating indices that no
+    /// arena issued yields a handle that panics or denotes an arbitrary
+    /// object when used.
+    pub fn from_index(raw: usize) -> VId {
+        VId::new(u32::try_from(raw).expect("VId::from_index: index exceeds u32"))
     }
 }
 
@@ -175,8 +191,9 @@ enum Node {
     Nat(u64),
     Pair(VId, VId),
     /// Element handles, sorted ascending and deduplicated — the canonical
-    /// representation of a set denotation.
-    Set(Rc<[VId]>),
+    /// representation of a set denotation. `Arc` (not `Rc`) so a whole
+    /// arena — and the `EvalSession` owning it — is `Send`.
+    Set(Arc<[VId]>),
 }
 
 /// Cached per-node metadata, computed once at interning time.
@@ -220,6 +237,10 @@ pub struct ValueArena {
     nodes: Vec<Node>,
     metas: Vec<Meta>,
     dedup: HashMap<Node, VId, BuildHasherDefault<FxHasher>>,
+    /// Bumped by [`ValueArena::clear`], mirroring the expression
+    /// arena's counter, so holders of handles can detect that they went
+    /// stale.
+    generation: u64,
 }
 
 /// Aggregate statistics of an arena — see [`ValueArena::stats`].
@@ -264,6 +285,15 @@ impl ValueArena {
         self.nodes.clear();
         self.metas.clear();
         self.dedup.clear();
+        self.generation += 1;
+    }
+
+    /// A counter that changes exactly when previously issued handles are
+    /// invalidated ([`ValueArena::clear`]) — the staleness signal for
+    /// holders of [`VId`]s, mirroring
+    /// [`ExprArena::generation`](crate::expr::intern::ExprArena::generation).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of distinct nodes interned so far — the occupancy figure
@@ -281,7 +311,7 @@ impl ValueArena {
     /// occupancy reporting, not exact accounting.
     pub fn approx_resident_bytes(&self) -> usize {
         let per_node = std::mem::size_of::<Node>() + std::mem::size_of::<Meta>();
-        // dedup holds a clone of every node (the Rc'd element slice is
+        // dedup holds a clone of every node (the Arc'd element slice is
         // shared, not duplicated) plus a VId and a cached hash
         let per_dedup_entry =
             std::mem::size_of::<Node>() + std::mem::size_of::<VId>() + std::mem::size_of::<u64>();
@@ -422,7 +452,7 @@ impl ValueArena {
 
     /// Intern the empty set.
     pub fn empty_set(&mut self) -> VId {
-        self.add(Node::Set(Rc::from([])))
+        self.add(Node::Set(Arc::from([])))
     }
 
     /// Intern a set from an element vector that is **already sorted and
@@ -551,7 +581,7 @@ impl ValueArena {
     /// assert_eq!(merged, a.chain(4));
     /// ```
     pub fn set_from_sorted_merge(&mut self, sets: &[VId]) -> Option<VId> {
-        let mut slices: Vec<Rc<[VId]>> = Vec::with_capacity(sets.len());
+        let mut slices: Vec<Arc<[VId]>> = Vec::with_capacity(sets.len());
         for &s in sets {
             slices.push(self.as_set(s)?);
         }
@@ -798,12 +828,12 @@ impl ValueArena {
         }
     }
 
-    /// The canonically ordered element handles if `v` is a set. The `Rc`
+    /// The canonically ordered element handles if `v` is a set. The `Arc`
     /// clone is `O(1)`, so callers can iterate without borrowing the
     /// arena.
-    pub fn as_set(&self, v: VId) -> Option<Rc<[VId]>> {
+    pub fn as_set(&self, v: VId) -> Option<Arc<[VId]>> {
         match &self.nodes[v.index()] {
-            Node::Set(items) => Some(Rc::clone(items)),
+            Node::Set(items) => Some(Arc::clone(items)),
             _ => None,
         }
     }
@@ -822,6 +852,11 @@ impl ValueArena {
             Node::Bool(b) => Some(*b),
             _ => None,
         }
+    }
+
+    /// Whether `v` is the unit value `()`.
+    pub fn is_unit(&self, v: VId) -> bool {
+        matches!(&self.nodes[v.index()], Node::Unit)
     }
 
     /// Decode a value of type `{N × N}` into a sorted edge list.
@@ -965,7 +1000,7 @@ pub fn as_pair(v: VId) -> Option<(VId, VId)> {
 }
 
 /// The canonically ordered element handles if `v` is a set.
-pub fn as_set(v: VId) -> Option<Rc<[VId]>> {
+pub fn as_set(v: VId) -> Option<Arc<[VId]>> {
     with_arena(|a| a.as_set(v))
 }
 

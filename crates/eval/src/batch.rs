@@ -1,0 +1,194 @@
+//! Parallel batch evaluation over worker sessions.
+//!
+//! A batch is a list of `(EId, VId)` queries against one parent
+//! [`EvalSession`]. [`eval_batch`] fans them across `workers` scoped
+//! threads (`std::thread::scope` — no external crates), each owning a
+//! fresh worker `EvalSession` under the parent's
+//! [`EvalConfig`](crate::error::EvalConfig):
+//!
+//! 1. every query is **resolved** out of the parent's arenas into its
+//!    tree form (handles are arena-local, trees are the transferable
+//!    representation);
+//! 2. workers claim queries round-robin and evaluate them — within one
+//!    worker, the session's apply cache and arenas warm-start across
+//!    its chunk, exactly as in a sequential session;
+//! 3. results return as trees and are **canonically re-interned** into
+//!    the parent session, in input order — interning is canonical, so
+//!    the handles (and the §3 statistics, which are a pure function of
+//!    `(query, input, config)`) are **bit-for-bit identical** to a
+//!    sequential evaluation of the same batch, regardless of thread
+//!    scheduling. The differential harness holds this across all seven
+//!    graph families.
+//!
+//! Evaluation is pure, so correctness never depends on the partition;
+//! the partition only decides which judgments share a worker's warm
+//! cache.
+//!
+//! ```
+//! use nra_core::{queries, Value};
+//! use nra_eval::{batch::eval_batch, EvalConfig, EvalSession};
+//!
+//! let mut session = EvalSession::new(EvalConfig::optimised());
+//! let q = session.intern_expr(&queries::tc_while());
+//! let jobs: Vec<_> = (3..7u64)
+//!     .map(|n| (q, session.values_mut().chain(n)))
+//!     .collect();
+//! let results = eval_batch(&mut session, &jobs, 2);
+//! for (n, ev) in (3..7u64).zip(&results) {
+//!     let expect = session.values_mut().chain_tc(n);
+//!     assert_eq!(ev.result.clone().unwrap(), expect);
+//! }
+//! ```
+
+use crate::eager::VidEvaluation;
+use crate::session::EvalSession;
+use nra_core::expr::intern::EId;
+use nra_core::value::intern::VId;
+use nra_core::value::Value;
+use nra_core::Expr;
+
+/// Evaluate `queries` (handles into `session`) across `workers` scoped
+/// worker threads, returning one [`VidEvaluation`] per query, in input
+/// order, with result handles re-interned into `session`. `workers` is
+/// clamped to `1..=queries.len()`; `workers == 1` is the sequential
+/// degenerate case (still through a worker session, so results are
+/// partition-independent by construction).
+pub fn eval_batch(
+    session: &mut EvalSession,
+    queries: &[(EId, VId)],
+    workers: usize,
+) -> Vec<VidEvaluation> {
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    // 1. resolve the batch out of the parent's arenas
+    let jobs: Vec<(Expr, Value)> = queries
+        .iter()
+        .map(|&(eid, input)| {
+            (
+                session.exprs().resolve(eid),
+                session.values().resolve(input),
+            )
+        })
+        .collect();
+    let config = session.config().clone();
+    let workers = workers.clamp(1, jobs.len());
+
+    // 2. fan out over scoped worker sessions
+    let mut gathered: Vec<Option<Evaluated>> = (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let jobs = &jobs;
+                let config = config.clone();
+                scope.spawn(move || {
+                    let mut worker = EvalSession::new(config);
+                    jobs.iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % workers == w)
+                        .map(|(i, (expr, input))| {
+                            let ev = worker.eval(expr, input);
+                            (
+                                i,
+                                Evaluated {
+                                    result: ev.result,
+                                    stats: ev.stats,
+                                },
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, ev) in handle.join().expect("batch worker panicked") {
+                gathered[i] = Some(ev);
+            }
+        }
+    });
+
+    // 3. canonical re-intern pass, in input order
+    gathered
+        .into_iter()
+        .map(|ev| {
+            let ev = ev.expect("every query was claimed by exactly one worker");
+            VidEvaluation {
+                result: ev.result.map(|value| session.intern_value(&value)),
+                stats: ev.stats,
+            }
+        })
+        .collect()
+}
+
+/// One worker result in transferable (tree) form.
+struct Evaluated {
+    result: Result<Value, crate::error::EvalError>,
+    stats: crate::stats::EvalStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::EvalConfig;
+    use nra_core::queries;
+
+    #[test]
+    fn batch_matches_sequential_session_evaluation() {
+        for config in [EvalConfig::default(), EvalConfig::optimised()] {
+            let mut session = EvalSession::new(config.clone());
+            let q_while = session.intern_expr(&queries::tc_while());
+            let q_step = session.intern_expr(&queries::tc_step());
+            let jobs: Vec<(EId, VId)> = (2..8u64)
+                .flat_map(|n| {
+                    let input = session.values_mut().chain(n);
+                    [(q_while, input), (q_step, input)]
+                })
+                .collect();
+            // sequential reference, through the same session
+            let sequential: Vec<_> = jobs
+                .iter()
+                .map(|&(eid, input)| session.eval_vid(eid, input))
+                .collect();
+            let batched = eval_batch(&mut session, &jobs, 4);
+            assert_eq!(batched.len(), sequential.len());
+            for (i, (seq, par)) in sequential.iter().zip(&batched).enumerate() {
+                // same arena + canonical interning ⇒ identical handles
+                assert_eq!(
+                    seq.result.as_ref().unwrap(),
+                    par.result.as_ref().unwrap(),
+                    "job {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_stats_are_partition_independent() {
+        // the §3 statistics are a pure function of (query, input,
+        // config): every worker count reports the same per-query stats
+        let mut session = EvalSession::new(EvalConfig::default());
+        let q = session.intern_expr(&queries::tc_while());
+        let jobs: Vec<(EId, VId)> = (2..6u64)
+            .map(|n| (q, session.values_mut().chain(n)))
+            .collect();
+        let one = eval_batch(&mut session, &jobs, 1);
+        let four = eval_batch(&mut session, &jobs, 4);
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_and_oversized_worker_counts() {
+        let mut session = EvalSession::new(EvalConfig::default());
+        assert!(eval_batch(&mut session, &[], 4).is_empty());
+        let q = session.intern_expr(&queries::tc_while());
+        let input = session.values_mut().chain(3);
+        let jobs = [(q, input)];
+        // more workers than jobs clamps cleanly
+        let out = eval_batch(&mut session, &jobs, 64);
+        let expect = session.values_mut().chain_tc(3);
+        assert_eq!(out[0].result.clone().unwrap(), expect);
+    }
+}

@@ -42,10 +42,11 @@
 //!   the default mode remains the exact §3 measure.
 
 use crate::error::{EvalConfig, EvalError};
+use crate::shapes::ShapeCaches;
 use crate::stats::EvalStats;
-use nra_core::expr::intern::{self as expr_intern, EId, ENode};
+use nra_core::expr::intern::{self as expr_intern, EId, ENode, ExprArena};
 use nra_core::expr::Expr;
-use nra_core::value::intern::{self, FxBuildHasher, VId};
+use nra_core::value::intern::{self, FxBuildHasher, VId, ValueArena};
 use nra_core::value::Value;
 use std::collections::{BTreeSet, HashMap};
 
@@ -144,19 +145,10 @@ impl<'a> Ctx<'a> {
         self.check_size(size)
     }
 
-    /// Observe an interned object — the size and cardinality are cached
-    /// arena metadata, so the observation is `O(1)`.
-    pub(crate) fn observe_vid(&mut self, value: VId) -> Result<(), EvalError> {
-        intern::with_arena(|a| self.observe_in(a, value))
-    }
-
-    /// [`Ctx::observe_vid`] against an already-borrowed arena, so a leaf
-    /// rule can do both observations and the rule itself in one borrow.
-    pub(crate) fn observe_in(
-        &mut self,
-        a: &intern::ValueArena,
-        value: VId,
-    ) -> Result<(), EvalError> {
+    /// Observe an interned object against the supplied arena — the size
+    /// and cardinality are cached arena metadata, so the observation is
+    /// `O(1)` and touches no thread-local state.
+    pub(crate) fn observe_vid(&mut self, a: &ValueArena, value: VId) -> Result<(), EvalError> {
         let size = a.size(value);
         self.stats.observe_object(size, a.cardinality(value));
         self.check_size(size)
@@ -236,17 +228,21 @@ pub fn evaluate_vid(expr: &Expr, input: VId, config: &EvalConfig) -> VidEvaluati
     let result = if config.memo || config.semi_naive {
         // the cached routes walk the interned expression, so the
         // (EId, VId) pair is available as the apply-cache key — and the
-        // EId as the delta-cache key — at every recursion step
-        let eid = expr_intern::intern(expr);
-        let mut state = MemoState::acquire();
-        let result = {
-            let MemoState { nodes, caches, .. } = &mut state;
-            eval_eid(eid, input, &mut ctx, nodes, caches)
-        };
-        state.release();
-        result
+        // EId as the delta-cache key — at every recursion step. The
+        // facade borrows both thread-local arenas once, for the whole
+        // evaluation: the walker itself never touches a thread-local.
+        expr_intern::with_arena(|ea| {
+            let eid = ea.intern(expr);
+            let mut state = MemoState::acquire_pooled(ea);
+            let result = intern::with_arena(|va| {
+                let MemoState { nodes, caches, .. } = &mut state;
+                eval_eid(eid, input, &mut ctx, nodes, caches, va)
+            });
+            state.release_pooled();
+            result
+        })
     } else {
-        eval_vid(expr, input, &mut ctx)
+        intern::with_arena(|va| eval_vid(expr, input, &mut ctx, va))
     };
     VidEvaluation {
         result,
@@ -280,44 +276,56 @@ pub fn evaluate_tree(expr: &Expr, input: &Value, config: &EvalConfig) -> Evaluat
 
 /// The interned §3 rule set: one call = one derivation node. Shared with
 /// [`crate::trace`] (which materialises the tree) and [`crate::lazy`]
-/// (which re-uses it for per-subset sub-evaluations).
-pub(crate) fn eval_vid(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<VId, EvalError> {
+/// (which re-uses it for per-subset sub-evaluations). The arena is an
+/// explicit parameter — a session threads its own, the facade threads the
+/// thread-local one.
+pub(crate) fn eval_vid(
+    expr: &Expr,
+    input: VId,
+    ctx: &mut Ctx,
+    va: &mut ValueArena,
+) -> Result<VId, EvalError> {
     ctx.node(expr.head_index())?;
     if !matches!(
         expr,
         Expr::Tuple(..) | Expr::Map(_) | Expr::Cond(..) | Expr::Compose(..) | Expr::While(_)
     ) {
-        return eval_leaf_rule(expr, input, ctx);
+        return eval_leaf_rule(expr, input, ctx, va);
     }
-    ctx.observe_vid(input)?;
+    ctx.observe_vid(va, input)?;
     let output = match expr {
         Expr::Tuple(f, g) => {
-            let a = eval_vid(f, input, ctx)?;
-            let b = eval_vid(g, input, ctx)?;
-            intern::pair(a, b)
+            let a = eval_vid(f, input, ctx, va)?;
+            let b = eval_vid(g, input, ctx, va)?;
+            va.pair(a, b)
         }
         Expr::Map(f) => {
-            let items = intern::as_set(input).ok_or_else(|| stuck("map", "input is not a set"))?;
+            let items = va
+                .as_set(input)
+                .ok_or_else(|| stuck("map", "input is not a set"))?;
             let mut out = Vec::with_capacity(items.len());
             for &item in items.iter() {
-                out.push(eval_vid(f, item, ctx)?);
+                out.push(eval_vid(f, item, ctx, va)?);
             }
-            intern::set(out)
+            va.set_from_vec(out)
         }
-        Expr::Cond(c, then, els) => match intern::as_bool(eval_vid(c, input, ctx)?) {
-            Some(true) => eval_vid(then, input, ctx)?,
-            Some(false) => eval_vid(els, input, ctx)?,
-            None => return Err(stuck("if", "condition is not boolean")),
-        },
+        Expr::Cond(c, then, els) => {
+            let cv = eval_vid(c, input, ctx, va)?;
+            match va.as_bool(cv) {
+                Some(true) => eval_vid(then, input, ctx, va)?,
+                Some(false) => eval_vid(els, input, ctx, va)?,
+                None => return Err(stuck("if", "condition is not boolean")),
+            }
+        }
         Expr::Compose(g, f) => {
-            let mid = eval_vid(f, input, ctx)?;
-            eval_vid(g, mid, ctx)?
+            let mid = eval_vid(f, input, ctx, va)?;
+            eval_vid(g, mid, ctx, va)?
         }
         Expr::While(f) => {
             let mut current = input;
             let mut iterations: u64 = 0;
             loop {
-                let next = eval_vid(f, current, ctx)?;
+                let next = eval_vid(f, current, ctx, va)?;
                 iterations += 1;
                 ctx.stats.while_iterations += 1;
                 // hash-consing makes the fixpoint test O(1)
@@ -332,47 +340,51 @@ pub(crate) fn eval_vid(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<VId, Ev
         }
         leaf => unreachable!("leaf {} handled above", leaf.head_name()),
     };
-    ctx.observe_vid(output)?;
+    ctx.observe_vid(va, output)?;
     Ok(output)
 }
 
 /// One full leaf rule — both §3 observations plus the primitive itself —
 /// shared by [`eval_vid`] and the memoised [`eval_eid`]. The caller has
-/// already counted the derivation node. For the simple leaves
-/// (everything without sub-derivations or a powerset prediction) the
-/// whole rule runs under a single arena borrow.
-fn eval_leaf_rule(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<VId, EvalError> {
+/// already counted the derivation node.
+fn eval_leaf_rule(
+    expr: &Expr,
+    input: VId,
+    ctx: &mut Ctx,
+    va: &mut ValueArena,
+) -> Result<VId, EvalError> {
     if matches!(expr, Expr::Powerset | Expr::PowersetM(_) | Expr::Const(..)) {
-        ctx.observe_vid(input)?;
-        let output = apply_leaf_vid(expr, input, ctx)?;
-        ctx.observe_vid(output)?;
+        ctx.observe_vid(va, input)?;
+        let output = apply_leaf_vid(expr, input, ctx, va)?;
+        ctx.observe_vid(va, output)?;
         Ok(output)
     } else {
-        intern::with_arena(|a| {
-            ctx.observe_in(a, input)?;
-            let output = apply_simple_leaf(expr, input, a)?;
-            ctx.observe_in(a, output)?;
-            Ok(output)
-        })
+        ctx.observe_vid(va, input)?;
+        let output = apply_simple_leaf(expr, input, va)?;
+        ctx.observe_vid(va, output)?;
+        Ok(output)
     }
 }
 
 /// Initial size of the apply cache, as a power of two.
 const MEMO_INITIAL_BITS: u32 = 14;
-/// Ceiling on the apply cache size (2²⁰ slots ≈ 16 MiB): past this the
+/// Ceiling on the apply cache size (2²⁰ slots ≈ 32 MiB): past this the
 /// cache stays lossy instead of growing — the BDD trade-off that keeps
 /// memory bounded on powerset-sized runs.
 const MEMO_MAX_BITS: u32 = 20;
 
 /// One apply-cache slot: packed `(EId, VId)` key, the epoch that wrote
-/// it, the cached result, and the recorded *as-if-uncached* cost of the
-/// cached subtree (in derivation nodes) — what a hit charges against
-/// the node budget so budgeted runs stay strategy-independent.
-type MemoSlot = (u64, u32, VId, u64);
+/// it, the query stamp within that epoch (how warm hits are told apart
+/// from same-query hits), the cached result, and the recorded
+/// *as-if-uncached* cost of the cached subtree (in derivation nodes) —
+/// what a hit charges against the node budget so budgeted runs stay
+/// strategy-independent.
+type MemoSlot = (u64, u32, u32, VId, u64);
 
 thread_local! {
     /// The pooled [`MemoState`], so consecutive memoised evaluations
-    /// reuse its storage — see [`MemoState::acquire`].
+    /// through the free-function facade reuse its storage — see
+    /// [`MemoState::acquire_pooled`]. Sessions own their state instead.
     static MEMO_POOL: std::cell::Cell<Option<MemoState>> = const { std::cell::Cell::new(None) };
 }
 
@@ -397,8 +409,15 @@ pub(crate) struct MemoCache {
     mask: u64,
     /// Live-slot count, driving growth.
     stored: usize,
-    /// The current evaluation's epoch stamp.
+    /// The current epoch stamp. The facade opens a fresh epoch per
+    /// evaluation (cold starts); a session keeps the epoch and bumps
+    /// only the query stamp, which is what makes its entries survive
+    /// across `session.eval(…)` calls.
     epoch: u32,
+    /// The current query stamp within the epoch. A hit on a slot whose
+    /// query stamp differs is a **warm hit**: the judgment was derived
+    /// by an earlier query of the same session.
+    query: u32,
 }
 
 impl MemoCache {
@@ -408,9 +427,9 @@ impl MemoCache {
     const EMPTY: u64 = u64::MAX;
 
     fn blank_slots(len: usize) -> Vec<MemoSlot> {
-        // the interned unit value as filler payload; never returned
-        // because the sentinel key can't match
-        vec![(Self::EMPTY, 0, intern::unit(), 0); len]
+        // handle 0 as filler payload; never returned because the
+        // sentinel key can't match
+        vec![(Self::EMPTY, 0, 0, VId::from_index(0), 0); len]
     }
 
     fn key(eid: EId, input: VId) -> u64 {
@@ -429,11 +448,12 @@ impl MemoCache {
         (eid.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(key) & self.mask) as usize
     }
 
-    /// Probe for a cached judgment: the result handle plus the recorded
-    /// as-if-uncached cost of its subtree.
-    fn probe(&self, key: u64) -> Option<(VId, u64)> {
-        let (k, e, v, cost) = self.slots[self.slot(key)];
-        (k == key && e == self.epoch).then_some((v, cost))
+    /// Probe for a cached judgment: the result handle, the recorded
+    /// as-if-uncached cost of its subtree, and whether the entry is a
+    /// *warm* one (written by an earlier query of the same session).
+    fn probe(&self, key: u64) -> Option<(VId, u64, bool)> {
+        let (k, e, q, v, cost) = self.slots[self.slot(key)];
+        (k == key && e == self.epoch).then_some((v, cost, q != self.query))
     }
 
     fn store(&mut self, key: u64, out: VId, cost: u64) {
@@ -445,24 +465,31 @@ impl MemoCache {
         if self.slots[slot].1 != epoch {
             self.stored += 1; // filling an empty or stale slot
         }
-        self.slots[slot] = (key, epoch, out, cost);
+        self.slots[slot] = (key, epoch, self.query, out, cost);
     }
 
-    /// Quadruple the table, re-inserting this epoch's live entries.
+    /// Quadruple the table, re-inserting this epoch's live entries
+    /// (their query stamps survive, so warmness is preserved).
     fn grow(&mut self) {
         let new_len = self.slots.len() * 4;
         let old = std::mem::replace(&mut self.slots, Self::blank_slots(new_len));
         self.mask = (new_len - 1) as u64;
         self.stored = 0;
-        for (k, e, v, cost) in old {
+        for (k, e, q, v, cost) in old {
             if k != Self::EMPTY && e == self.epoch {
                 let slot = self.slot(k);
                 if self.slots[slot].1 != self.epoch {
                     self.stored += 1;
                 }
-                self.slots[slot] = (k, self.epoch, v, cost);
+                self.slots[slot] = (k, self.epoch, q, v, cost);
             }
         }
+    }
+
+    /// Approximate resident bytes of the slot table (the session layer's
+    /// occupancy accounting).
+    fn approx_resident_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<MemoSlot>()
     }
 }
 
@@ -505,6 +532,16 @@ pub(crate) struct Caches {
     /// delta-join rule `A×B = Aₚ×Bₚ ∪ δA×B ∪ Aₚ×δB` (see
     /// [`eval_cartprod_fused`]).
     cartprod: EId,
+    /// The interned handle of the Prop 2.1 `unnest = μ ∘ map(ρ₂)` term
+    /// — like `cartprod`, monomorphic and hence recognisable by handle
+    /// equality. See [`eval_unnest_fused`].
+    unnest: EId,
+    /// Recognition caches for the type-parameterised Prop 2.1 shapes —
+    /// equality at a type, membership, inclusion, and `nest` — which
+    /// cannot be recognised by a single handle (each type instantiation
+    /// interns differently) and are matched structurally instead. See
+    /// [`crate::shapes`].
+    pub(crate) shapes: ShapeCaches,
     /// Recognition cache for the Prop 2.1 selection shape
     /// `σ_p = μ ∘ map(if p then η else ∅ˢ ∘ !)`: maps a `Compose` node
     /// to `Some(predicate)` when it is a selection, `None` when it is
@@ -612,22 +649,24 @@ fn select_pred(eid: EId, node: &ENode, nodes: &[ENode], caches: &mut Caches) -> 
 /// `new`).
 ///
 /// [`set_merge_delta`]: nra_core::value::intern::ValueArena::set_merge_delta
-fn delta_probe(eid: EId, input: VId, delta: &DeltaMap) -> Option<(VId, u64, VId)> {
+fn delta_probe(
+    eid: EId,
+    input: VId,
+    delta: &DeltaMap,
+    va: &mut ValueArena,
+) -> Option<(VId, u64, VId)> {
     let e = delta.get(&eid)?;
     if e.input == input {
         // the identical application: the frontier is empty
-        return Some((e.output, e.cost, intern::empty_set()));
+        return Some((e.output, e.cost, va.empty_set()));
     }
     // subset test by merge *scan* (interns nothing on the miss path),
     // then one pass for the frontier — equivalent to `set_merge_delta`
     // with the union elided, since `old ⊆ new` makes the union `new`
-    let fresh = intern::with_arena(|a| {
-        if a.is_subset(e.input, input)? {
-            a.set_difference(input, e.input)
-        } else {
-            None
-        }
-    })?;
+    if !va.is_subset(e.input, input)? {
+        return None;
+    }
+    let fresh = va.set_difference(input, e.input)?;
     Some((e.output, e.cost, fresh))
 }
 
@@ -643,7 +682,7 @@ fn delta_probe(eid: EId, input: VId, delta: &DeltaMap) -> Option<(VId, u64, VId)
 /// `O(new nodes)`, not `O(arena)`.
 pub(crate) struct MemoState {
     /// Dense copy of the expression arena's node table, indexed by
-    /// [`EId::index`], kept in sync via `expr_intern::sync_snapshot`.
+    /// [`EId::index`], kept in sync via [`MemoState::resync`].
     pub(crate) nodes: Vec<ENode>,
     /// The expression-arena generation `nodes` was synced against.
     generation: u64,
@@ -651,64 +690,139 @@ pub(crate) struct MemoState {
 }
 
 impl MemoState {
-    /// Take the pooled state (or allocate the initial table), open a
-    /// fresh cache epoch, and bring the node snapshot up to date with
-    /// the thread-local expression arena.
-    pub(crate) fn acquire() -> Self {
-        let mut state = MEMO_POOL.take().unwrap_or_else(|| {
-            let len = 1usize << MEMO_INITIAL_BITS;
-            MemoState {
-                nodes: Vec::new(),
-                generation: 0,
-                caches: Caches {
-                    memo: MemoCache {
-                        slots: MemoCache::blank_slots(len),
-                        mask: (len - 1) as u64,
-                        stored: 0,
-                        epoch: 0,
-                    },
-                    delta: DeltaMap::default(),
-                    cartprod: expr_intern::intern(&nra_core::derived::cartprod()),
-                    selects: HashMap::default(),
-                    projeqs: HashMap::default(),
-                    projpairs: HashMap::default(),
+    /// A fresh state against the given expression arena (interns the
+    /// monomorphic recognisable derived terms). Sessions own one of
+    /// these for their whole lifetime; the facade pools one per thread.
+    pub(crate) fn new(ea: &mut ExprArena) -> Self {
+        let len = 1usize << MEMO_INITIAL_BITS;
+        let mut state = MemoState {
+            nodes: Vec::new(),
+            generation: ea.generation(),
+            caches: Caches {
+                memo: MemoCache {
+                    slots: MemoCache::blank_slots(len),
+                    mask: (len - 1) as u64,
+                    stored: 0,
+                    epoch: 0,
+                    query: 0,
                 },
-            }
-        });
-        // interning is canonical, so re-interning after an arena clear
-        // (or on a pooled state) keeps the recognised handle current
-        state.caches.cartprod = expr_intern::intern(&nra_core::derived::cartprod());
-        let cache = &mut state.caches.memo;
-        cache.epoch = cache.epoch.wrapping_add(1);
-        if cache.epoch == 0 {
-            // the stamp wrapped: stale slots could alias the new epoch
-            // (blank slots are stamped 0, so restart from 1)
-            cache.slots = MemoCache::blank_slots(cache.slots.len());
-            cache.epoch = 1;
-        }
-        cache.stored = 0;
-        // the delta cache has no epochs: entries hold per-evaluation
-        // costs, so a fresh evaluation starts from an empty map; the
-        // shape-recognition cache is invalidated with it (EIds could
-        // have been reissued by an arena reset in between)
-        state.caches.delta.clear();
-        state.caches.selects.clear();
-        state.caches.projeqs.clear();
-        state.caches.projpairs.clear();
-        state.resync();
+                delta: DeltaMap::default(),
+                cartprod: ea.intern(&nra_core::derived::cartprod()),
+                unnest: ea.intern(&nra_core::derived::unnest()),
+                shapes: ShapeCaches::default(),
+                selects: HashMap::default(),
+                projeqs: HashMap::default(),
+                projpairs: HashMap::default(),
+            },
+        };
+        state.begin_query(ea, false);
         state
     }
 
-    /// Bring the node snapshot up to date with the thread-local
-    /// expression arena — needed again mid-evaluation whenever new
-    /// expressions were interned after [`MemoState::acquire`] (the lazy
-    /// strategy does this before delegating sub-evaluations).
-    pub(crate) fn resync(&mut self) {
-        self.generation = expr_intern::sync_snapshot(&mut self.nodes, self.generation);
+    /// Open the next query against this state.
+    ///
+    /// * `warm = false` (the facade's per-call semantics): a fresh cache
+    ///   epoch — every previous apply-cache entry goes stale in `O(1)` —
+    ///   and cleared recognition caches.
+    /// * `warm = true` (the session semantics): the epoch is kept, so
+    ///   apply-cache entries **survive across queries** and later hits
+    ///   on them are counted as warm; only the query stamp advances.
+    ///   Falls back to a cold start when the expression arena was
+    ///   cleared in between (all cached `EId`s went stale) or the query
+    ///   stamp would wrap.
+    ///
+    /// The delta cache is cleared either way: its entries carry
+    /// per-evaluation cost accounting.
+    pub(crate) fn begin_query(&mut self, ea: &mut ExprArena, warm: bool) {
+        // interning is canonical, so re-interning after an arena clear
+        // (or on a pooled state) keeps the recognised handles current
+        self.caches.cartprod = ea.intern(&nra_core::derived::cartprod());
+        self.caches.unnest = ea.intern(&nra_core::derived::unnest());
+        let generation_changed = self.resync(ea);
+        let cache = &mut self.caches.memo;
+        let warm = warm && !generation_changed && cache.query < u32::MAX;
+        if warm {
+            cache.query += 1;
+        } else {
+            cache.epoch = cache.epoch.wrapping_add(1);
+            if cache.epoch == 0 {
+                // the stamp wrapped: stale slots could alias the new
+                // epoch (blank slots are stamped 0, so restart from 1)
+                cache.slots = MemoCache::blank_slots(cache.slots.len());
+                cache.epoch = 1;
+            }
+            cache.stored = 0;
+            cache.query = 0;
+            // the shape-recognition caches key on EIds, which a cold
+            // start treats as untrusted (the arena may have been reset)
+            self.caches.shapes.clear();
+            self.caches.selects.clear();
+            self.caches.projeqs.clear();
+            self.caches.projpairs.clear();
+        }
+        // the delta cache has no epochs: entries hold per-evaluation
+        // costs, so every query starts from an empty map
+        self.caches.delta.clear();
+    }
+
+    /// Bring the node snapshot up to date with the given expression
+    /// arena — needed again mid-evaluation whenever new expressions were
+    /// interned after [`MemoState::begin_query`] (the lazy strategy does
+    /// this before delegating sub-evaluations). Returns whether the
+    /// arena was cleared since the last sync (all snapshot prefixes and
+    /// cached `EId`s were stale).
+    pub(crate) fn resync(&mut self, ea: &ExprArena) -> bool {
+        let changed = ea.generation() != self.generation;
+        if changed {
+            self.nodes.clear();
+            self.generation = ea.generation();
+        }
+        ea.extend_snapshot(&mut self.nodes);
+        changed
+    }
+
+    /// Drop everything this state retains — apply-cache entries (the
+    /// slot table shrinks back to its initial size), node snapshot, and
+    /// recognition caches. The session layer calls this on
+    /// generation-based eviction, together with clearing its arenas.
+    pub(crate) fn evict(&mut self) {
+        let len = 1usize << MEMO_INITIAL_BITS;
+        let cache = &mut self.caches.memo;
+        cache.slots = MemoCache::blank_slots(len);
+        cache.mask = (len - 1) as u64;
+        cache.stored = 0;
+        cache.epoch = 0;
+        cache.query = 0;
+        self.nodes = Vec::new();
+        self.caches.delta = DeltaMap::default();
+        self.caches.shapes = ShapeCaches::default();
+        self.caches.selects = HashMap::default();
+        self.caches.projeqs = HashMap::default();
+        self.caches.projpairs = HashMap::default();
+    }
+
+    /// Approximate resident bytes of the retained cache state — the
+    /// apply-cache slots plus the node snapshot (the recognition caches
+    /// are negligible next to either).
+    pub(crate) fn approx_resident_bytes(&self) -> usize {
+        self.caches.memo.approx_resident_bytes() + self.nodes.len() * std::mem::size_of::<ENode>()
+    }
+
+    /// Take the pooled per-thread state (or allocate one) and open a
+    /// cold query against the thread-local expression arena — the
+    /// facade's entry point.
+    pub(crate) fn acquire_pooled(ea: &mut ExprArena) -> Self {
+        match MEMO_POOL.take() {
+            Some(mut state) => {
+                state.begin_query(ea, false);
+                state
+            }
+            None => MemoState::new(ea),
+        }
     }
 
     /// Hand the state back to the thread-local pool.
-    pub(crate) fn release(self) {
+    pub(crate) fn release_pooled(self) {
         MEMO_POOL.set(Some(self));
     }
 }
@@ -743,12 +857,16 @@ pub(crate) fn eval_eid(
     ctx: &mut Ctx,
     nodes: &[ENode],
     caches: &mut Caches,
+    va: &mut ValueArena,
 ) -> Result<VId, EvalError> {
     let memo = ctx.config.memo;
     let key = MemoCache::key(eid, input);
     if memo {
-        if let Some((out, cost)) = caches.memo.probe(key) {
+        if let Some((out, cost, warm)) = caches.memo.probe(key) {
             ctx.stats.memo_hits += 1;
+            if warm {
+                ctx.stats.warm_hits += 1;
+            }
             ctx.charge(cost)?;
             return Ok(out);
         }
@@ -761,49 +879,45 @@ pub(crate) fn eval_eid(
         // derivations for the selection), so later hits keep charging
         // the budget exactly what a re-run would
         let fused_start = ctx.charged_nodes;
-        if eid == caches.cartprod {
-            if let Some(output) = eval_cartprod_fused(eid, input, ctx, caches)? {
-                if memo {
-                    caches
-                        .memo
-                        .store(key, output, ctx.charged_nodes - fused_start);
-                }
-                return Ok(output);
-            }
+        let fused = if eid == caches.cartprod {
+            eval_cartprod_fused(eid, input, ctx, caches, va)?
+        } else if eid == caches.unnest {
+            eval_unnest_fused(eid, input, ctx, caches, va)?
         } else if let ENode::Compose(g, _) = nodes[eid.index()] {
             // one-read pre-filters before the (cached) full shape
             // recognitions: σ_p starts `μ ∘ …`, projection equality
-            // starts `=_N ∘ …`
-            if matches!(&nodes[g.index()], ENode::Leaf(l) if **l == Expr::Flatten) {
-                if let Some(pred) = select_pred(eid, &nodes[eid.index()], nodes, caches) {
-                    if let Some(output) = eval_select_fused(eid, pred, input, ctx, nodes, caches)? {
-                        if memo {
-                            caches
-                                .memo
-                                .store(key, output, ctx.charged_nodes - fused_start);
-                        }
-                        return Ok(output);
+            // starts `=_N ∘ …`, inclusion starts `empty ∘ …`,
+            // membership starts `(¬ ∘ empty) ∘ …`, nest starts
+            // `map(⟨π₁, …⟩) ∘ …`
+            match &nodes[g.index()] {
+                ENode::Leaf(l) if **l == Expr::Flatten => {
+                    match select_pred(eid, &nodes[eid.index()], nodes, caches) {
+                        Some(pred) => eval_select_fused(eid, pred, input, ctx, nodes, caches, va)?,
+                        None => None,
                     }
                 }
-            } else if matches!(&nodes[g.index()], ENode::Leaf(l) if **l == Expr::EqNat) {
-                if let Some(output) = eval_projeq_fused(eid, input, ctx, nodes, caches)? {
-                    if memo {
-                        caches
-                            .memo
-                            .store(key, output, ctx.charged_nodes - fused_start);
-                    }
-                    return Ok(output);
+                ENode::Leaf(l) if **l == Expr::EqNat => {
+                    eval_projeq_fused(eid, input, ctx, nodes, caches, va)?
                 }
+                ENode::Leaf(l) if **l == Expr::IsEmpty => {
+                    eval_subset_fused(eid, input, ctx, nodes, caches, va)?
+                }
+                ENode::Compose(..) => eval_member_fused(eid, input, ctx, nodes, caches, va)?,
+                ENode::Map(_) => eval_nest_fused(eid, input, ctx, nodes, caches, va)?,
+                _ => None,
             }
         } else if matches!(nodes[eid.index()], ENode::Tuple(..)) {
-            if let Some(output) = eval_projpair_fused(eid, input, ctx, nodes, caches)? {
-                if memo {
-                    caches
-                        .memo
-                        .store(key, output, ctx.charged_nodes - fused_start);
-                }
-                return Ok(output);
+            eval_projpair_fused(eid, input, ctx, nodes, caches, va)?
+        } else {
+            None
+        };
+        if let Some(output) = fused {
+            if memo {
+                caches
+                    .memo
+                    .store(key, output, ctx.charged_nodes - fused_start);
             }
+            return Ok(output);
         }
     }
     let cost_start = ctx.charged_nodes;
@@ -811,37 +925,38 @@ pub(crate) fn eval_eid(
     ctx.node(node.head_index())?;
     let output = match node {
         ENode::Leaf(leaf) if ctx.config.semi_naive && **leaf == Expr::Flatten => {
-            eval_flatten_delta(eid, input, ctx, caches)?
+            eval_flatten_delta(eid, input, ctx, caches, va)?
         }
-        ENode::Leaf(leaf) => eval_leaf_rule(leaf, input, ctx)?,
+        ENode::Leaf(leaf) => eval_leaf_rule(leaf, input, ctx, va)?,
         recursive => {
-            ctx.observe_vid(input)?;
+            ctx.observe_vid(va, input)?;
             let output = match *recursive {
                 ENode::Tuple(f, g) => {
-                    let a = eval_eid(f, input, ctx, nodes, caches)?;
-                    let b = eval_eid(g, input, ctx, nodes, caches)?;
-                    intern::pair(a, b)
+                    let a = eval_eid(f, input, ctx, nodes, caches, va)?;
+                    let b = eval_eid(g, input, ctx, nodes, caches, va)?;
+                    va.pair(a, b)
                 }
-                ENode::Map(f) => eval_map_eid(eid, f, input, ctx, nodes, caches)?,
+                ENode::Map(f) => eval_map_eid(eid, f, input, ctx, nodes, caches, va)?,
                 ENode::Cond(c, then, els) => {
-                    match intern::as_bool(eval_eid(c, input, ctx, nodes, caches)?) {
-                        Some(true) => eval_eid(then, input, ctx, nodes, caches)?,
-                        Some(false) => eval_eid(els, input, ctx, nodes, caches)?,
+                    let cv = eval_eid(c, input, ctx, nodes, caches, va)?;
+                    match va.as_bool(cv) {
+                        Some(true) => eval_eid(then, input, ctx, nodes, caches, va)?,
+                        Some(false) => eval_eid(els, input, ctx, nodes, caches, va)?,
                         None => return Err(stuck("if", "condition is not boolean")),
                     }
                 }
                 ENode::Compose(g, f) => {
-                    let mid = eval_eid(f, input, ctx, nodes, caches)?;
-                    eval_eid(g, mid, ctx, nodes, caches)?
+                    let mid = eval_eid(f, input, ctx, nodes, caches, va)?;
+                    eval_eid(g, mid, ctx, nodes, caches, va)?
                 }
                 ENode::While(f) => {
                     let mut current = input;
                     let mut iterations: u64 = 0;
                     loop {
-                        let next = eval_eid(f, current, ctx, nodes, caches)?;
+                        let next = eval_eid(f, current, ctx, nodes, caches, va)?;
                         iterations += 1;
                         ctx.stats.while_iterations += 1;
-                        record_frontier(ctx, current, next);
+                        record_frontier(ctx, va, current, next);
                         if next == current {
                             break current;
                         }
@@ -853,7 +968,7 @@ pub(crate) fn eval_eid(
                 }
                 ENode::Leaf(_) => unreachable!("leaf handled above"),
             };
-            ctx.observe_vid(output)?;
+            ctx.observe_vid(va, output)?;
             output
         }
     };
@@ -870,9 +985,9 @@ pub(crate) fn eval_eid(
 /// [`EvalStats::while_frontiers`] — a count-only merge scan, nothing is
 /// interned. No-op in the default mode and on non-set iterates. Shared
 /// with the traced builder.
-pub(crate) fn record_frontier(ctx: &mut Ctx, current: VId, next: VId) {
+pub(crate) fn record_frontier(ctx: &mut Ctx, va: &ValueArena, current: VId, next: VId) {
     if ctx.config.semi_naive {
-        if let Some(card) = intern::set_delta_cardinality(current, next) {
+        if let Some(card) = va.set_delta_cardinality(current, next) {
             ctx.stats.while_frontiers.push(card);
         }
     }
@@ -890,24 +1005,26 @@ fn eval_map_eid(
     ctx: &mut Ctx,
     nodes: &[ENode],
     caches: &mut Caches,
+    va: &mut ValueArena,
 ) -> Result<VId, EvalError> {
-    let items = intern::as_set(input).ok_or_else(|| stuck("map", "input is not a set"))?;
+    let items = va
+        .as_set(input)
+        .ok_or_else(|| stuck("map", "input is not a set"))?;
     if ctx.config.semi_naive {
-        if let Some((prev_out, prev_cost, fresh)) = delta_probe(eid, input, &caches.delta) {
-            let fresh_items = intern::as_set(fresh).expect("frontier is a set");
+        if let Some((prev_out, prev_cost, fresh)) = delta_probe(eid, input, &caches.delta, va) {
+            let fresh_items = va.as_set(fresh).expect("frontier is a set");
             ctx.stats.delta_hits += 1;
             ctx.stats.delta_skipped += (items.len() - fresh_items.len()) as u64;
             let cost_start = ctx.charged_nodes;
             ctx.charge(prev_cost)?;
             let mut images = Vec::with_capacity(fresh_items.len());
             for &item in fresh_items.iter() {
-                images.push(eval_eid(f, item, ctx, nodes, caches)?);
+                images.push(eval_eid(f, item, ctx, nodes, caches, va)?);
             }
-            let output = intern::with_arena(|a| {
-                let imgs = a.set_from_vec(images);
-                a.set_merge_frontier(prev_out, &[imgs])
-                    .expect("map outputs are sets")
-            });
+            let imgs = va.set_from_vec(images);
+            let output = va
+                .set_merge_frontier(prev_out, &[imgs])
+                .expect("map outputs are sets");
             let cost = ctx.charged_nodes - cost_start;
             caches.delta.insert(
                 eid,
@@ -923,9 +1040,9 @@ fn eval_map_eid(
     let cost_start = ctx.charged_nodes;
     let mut out = Vec::with_capacity(items.len());
     for &item in items.iter() {
-        out.push(eval_eid(f, item, ctx, nodes, caches)?);
+        out.push(eval_eid(f, item, ctx, nodes, caches, va)?);
     }
-    let output = intern::set(out);
+    let output = va.set_from_vec(out);
     if ctx.config.semi_naive {
         let cost = ctx.charged_nodes - cost_start;
         caches.delta.insert(
@@ -966,6 +1083,7 @@ fn eval_cartprod_fused(
     input: VId,
     ctx: &mut Ctx,
     caches: &mut Caches,
+    va: &mut ValueArena,
 ) -> Result<Option<VId>, EvalError> {
     #[derive(Clone, Copy)]
     enum Plan {
@@ -980,17 +1098,17 @@ fn eval_cartprod_fused(
             delta_b: VId,
         },
     }
-    let plan = intern::with_arena(|arena| {
-        let (a, b) = arena.as_pair(input)?;
-        arena.as_set(a)?;
-        arena.as_set(b)?;
-        let incremental = caches.delta.get(&eid).and_then(|e| {
-            let (a_prev, b_prev) = arena.as_pair(e.input)?;
-            if !(arena.is_subset(a_prev, a)? && arena.is_subset(b_prev, b)?) {
+    let plan = (|va: &mut ValueArena| {
+        let (a, b) = va.as_pair(input)?;
+        va.as_set(a)?;
+        va.as_set(b)?;
+        let incremental = caches.delta.get(&eid).copied().and_then(|e| {
+            let (a_prev, b_prev) = va.as_pair(e.input)?;
+            if !(va.is_subset(a_prev, a)? && va.is_subset(b_prev, b)?) {
                 return None;
             }
-            let delta_a = arena.set_difference(a, a_prev)?;
-            let delta_b = arena.set_difference(b, b_prev)?;
+            let delta_a = va.set_difference(a, a_prev)?;
+            let delta_b = va.set_difference(b, b_prev)?;
             Some(Plan::Delta {
                 prev_out: e.output,
                 a_prev,
@@ -1000,25 +1118,25 @@ fn eval_cartprod_fused(
             })
         });
         Some(incremental.unwrap_or(Plan::Full(a, b)))
-    });
+    })(va);
     let Some(plan) = plan else {
         return Ok(None);
     };
     // one derivation node for the fused judgment, plus its two boundary
     // observations — a strict subset of what the spread would observe
     ctx.node(ENode::Compose(eid, eid).head_index())?;
-    ctx.observe_vid(input)?;
-    let output = intern::with_arena(|arena| match plan {
+    ctx.observe_vid(va, input)?;
+    let output = match plan {
         Plan::Full(a, b) => {
-            let xs = arena.as_set(a).expect("checked above");
-            let ys = arena.as_set(b).expect("checked above");
+            let xs = va.as_set(a).expect("checked above");
+            let ys = va.as_set(b).expect("checked above");
             let mut pairs = Vec::with_capacity(xs.len() * ys.len());
             for &x in xs.iter() {
                 for &y in ys.iter() {
-                    pairs.push(arena.pair(x, y));
+                    pairs.push(va.pair(x, y));
                 }
             }
-            arena.set_from_vec(pairs)
+            va.set_from_vec(pairs)
         }
         Plan::Delta {
             prev_out,
@@ -1027,32 +1145,31 @@ fn eval_cartprod_fused(
             b,
             delta_b,
         } => {
-            let da = arena.as_set(delta_a).expect("frontier is a set");
-            let db = arena.as_set(delta_b).expect("frontier is a set");
-            let ys = arena.as_set(b).expect("checked above");
-            let xs_prev = arena.as_set(a_prev).expect("previous input was a set");
+            let da = va.as_set(delta_a).expect("frontier is a set");
+            let db = va.as_set(delta_b).expect("frontier is a set");
+            let ys = va.as_set(b).expect("checked above");
+            let xs_prev = va.as_set(a_prev).expect("previous input was a set");
             let mut pairs = Vec::with_capacity(da.len() * ys.len() + xs_prev.len() * db.len());
             for &x in da.iter() {
                 for &y in ys.iter() {
-                    pairs.push(arena.pair(x, y));
+                    pairs.push(va.pair(x, y));
                 }
             }
             for &x in xs_prev.iter() {
                 for &y in db.iter() {
-                    pairs.push(arena.pair(x, y));
+                    pairs.push(va.pair(x, y));
                 }
             }
-            let fresh = arena.set_from_vec(pairs);
-            arena
-                .set_merge_frontier(prev_out, &[fresh])
+            let fresh = va.set_from_vec(pairs);
+            va.set_merge_frontier(prev_out, &[fresh])
                 .expect("products are sets")
         }
-    });
+    };
     if let Plan::Delta { prev_out, .. } = plan {
         ctx.stats.delta_hits += 1;
-        ctx.stats.delta_skipped += intern::cardinality(prev_out).unwrap_or(0) as u64;
+        ctx.stats.delta_skipped += va.cardinality(prev_out).unwrap_or(0) as u64;
     }
-    ctx.observe_vid(output)?;
+    ctx.observe_vid(va, output)?;
     caches.delta.insert(
         eid,
         DeltaEntry {
@@ -1078,6 +1195,7 @@ fn eval_projeq_fused(
     ctx: &mut Ctx,
     nodes: &[ENode],
     caches: &mut Caches,
+    va: &mut ValueArena,
 ) -> Result<Option<VId>, EvalError> {
     let recognised = caches.projeqs.entry(eid).or_insert_with(|| {
         let ENode::Compose(_, f) = nodes[eid.index()] else {
@@ -1094,20 +1212,21 @@ fn eval_projeq_fused(
     let Some((p1, p2)) = recognised else {
         return Ok(None);
     };
-    let output = intern::with_arena(|a| {
-        let x = apply_proj(a, input, p1)?;
-        let y = apply_proj(a, input, p2)?;
-        match (a.as_nat(x), a.as_nat(y)) {
-            (Some(m), Some(n)) => Some(a.bool_(m == n)),
+    let output = (|| {
+        let x = apply_proj(va, input, p1)?;
+        let y = apply_proj(va, input, p2)?;
+        match (va.as_nat(x), va.as_nat(y)) {
+            (Some(m), Some(n)) => Some(m == n),
             _ => None,
         }
-    });
+    })();
     let Some(output) = output else {
         return Ok(None);
     };
+    let output = va.bool_(output);
     ctx.node(ENode::Compose(eid, eid).head_index())?;
-    ctx.observe_vid(input)?;
-    ctx.observe_vid(output)?;
+    ctx.observe_vid(va, input)?;
+    ctx.observe_vid(va, output)?;
     Ok(Some(output))
 }
 
@@ -1122,6 +1241,7 @@ fn eval_projpair_fused(
     ctx: &mut Ctx,
     nodes: &[ENode],
     caches: &mut Caches,
+    va: &mut ValueArena,
 ) -> Result<Option<VId>, EvalError> {
     let recognised = caches.projpairs.entry(eid).or_insert_with(|| {
         let ENode::Tuple(p1, p2) = nodes[eid.index()] else {
@@ -1136,17 +1256,18 @@ fn eval_projpair_fused(
     let Some((p1, p2)) = recognised else {
         return Ok(None);
     };
-    let output = intern::with_arena(|a| {
-        let x = apply_proj(a, input, p1)?;
-        let y = apply_proj(a, input, p2)?;
-        Some(a.pair(x, y))
-    });
-    let Some(output) = output else {
+    let output = (|| {
+        let x = apply_proj(va, input, p1)?;
+        let y = apply_proj(va, input, p2)?;
+        Some((x, y))
+    })();
+    let Some((x, y)) = output else {
         return Ok(None);
     };
+    let output = va.pair(x, y);
     ctx.node(ENode::Tuple(eid, eid).head_index())?;
-    ctx.observe_vid(input)?;
-    ctx.observe_vid(output)?;
+    ctx.observe_vid(va, input)?;
+    ctx.observe_vid(va, output)?;
     Ok(Some(output))
 }
 
@@ -1168,17 +1289,18 @@ fn eval_select_fused(
     ctx: &mut Ctx,
     nodes: &[ENode],
     caches: &mut Caches,
+    va: &mut ValueArena,
 ) -> Result<Option<VId>, EvalError> {
-    let Some(items) = intern::as_set(input) else {
+    let Some(items) = va.as_set(input) else {
         return Ok(None);
     };
     // one derivation node for the fused judgment + boundary observations
     ctx.node(ENode::Compose(eid, eid).head_index())?;
-    ctx.observe_vid(input)?;
-    let probed = delta_probe(eid, input, &caches.delta);
+    ctx.observe_vid(va, input)?;
+    let probed = delta_probe(eid, input, &caches.delta, va);
     let (prev_out, prev_cost, fresh_items) = match probed {
         Some((prev_out, prev_cost, fresh)) => {
-            let fresh_items = intern::as_set(fresh).expect("frontier is a set");
+            let fresh_items = va.as_set(fresh).expect("frontier is a set");
             ctx.stats.delta_hits += 1;
             ctx.stats.delta_skipped += (items.len() - fresh_items.len()) as u64;
             (Some(prev_out), prev_cost, fresh_items)
@@ -1189,24 +1311,23 @@ fn eval_select_fused(
     ctx.charge(prev_cost)?;
     let mut selected = Vec::new();
     for &item in fresh_items.iter() {
-        match intern::as_bool(eval_eid(pred, item, ctx, nodes, caches)?) {
+        let verdict = eval_eid(pred, item, ctx, nodes, caches, va)?;
+        match va.as_bool(verdict) {
             Some(true) => selected.push(item),
             Some(false) => {}
             None => return Err(stuck("if", "condition is not boolean")),
         }
     }
-    let output = intern::with_arena(|a| {
-        // `selected` preserves the canonical element order, so this is
-        // a sort of an already-sorted vector plus one merge
-        let sel = a.set_from_vec(selected);
-        match prev_out {
-            Some(prev) => a
-                .set_merge_frontier(prev, &[sel])
-                .expect("selections are sets"),
-            None => sel,
-        }
-    });
-    ctx.observe_vid(output)?;
+    // `selected` preserves the canonical element order, so this is a
+    // sort of an already-sorted vector plus one merge
+    let sel = va.set_from_vec(selected);
+    let output = match prev_out {
+        Some(prev) => va
+            .set_merge_frontier(prev, &[sel])
+            .expect("selections are sets"),
+        None => sel,
+    };
+    ctx.observe_vid(va, output)?;
     let cost = ctx.charged_nodes - cost_start;
     caches.delta.insert(
         eid,
@@ -1230,21 +1351,23 @@ fn eval_flatten_delta(
     input: VId,
     ctx: &mut Ctx,
     caches: &mut Caches,
+    va: &mut ValueArena,
 ) -> Result<VId, EvalError> {
-    let probed = delta_probe(eid, input, &caches.delta);
+    let probed = delta_probe(eid, input, &caches.delta, va);
     let output = match probed {
         Some((prev_out, _, fresh)) => {
-            let fresh_sets = intern::as_set(fresh).expect("frontier is a set");
+            let fresh_sets = va.as_set(fresh).expect("frontier is a set");
             ctx.stats.delta_hits += 1;
             ctx.stats.delta_skipped +=
-                (intern::cardinality(input).unwrap_or(0) - fresh_sets.len()) as u64;
-            ctx.observe_vid(input)?;
-            let output = intern::with_arena(|a| a.set_merge_frontier(prev_out, &fresh_sets))
+                (va.cardinality(input).unwrap_or(0) - fresh_sets.len()) as u64;
+            ctx.observe_vid(va, input)?;
+            let output = va
+                .set_merge_frontier(prev_out, &fresh_sets)
                 .ok_or_else(|| stuck("flatten", "element is not a set"))?;
-            ctx.observe_vid(output)?;
+            ctx.observe_vid(va, output)?;
             output
         }
-        None => eval_leaf_rule(&Expr::Flatten, input, ctx)?,
+        None => eval_leaf_rule(&Expr::Flatten, input, ctx, va)?,
     };
     caches.delta.insert(
         eid,
@@ -1257,29 +1380,235 @@ fn eval_flatten_delta(
     Ok(output)
 }
 
+/// The fused delta rule for the Prop 2.1 `unnest = μ ∘ map(ρ₂)` term
+/// (monomorphic, hence recognised by handle equality like `cartprod`):
+/// `unnest({(x₁,S₁),…})` is constructed directly in the arena as
+/// `⋃ᵢ {xᵢ} × Sᵢ` instead of deriving the map/ρ₂/μ spread — and since
+/// unnest distributes over union of its input's *elements*, a grown
+/// input (the steady state inside an inflationary `while`) only
+/// processes its fresh `(x, S)` pairs and folds the previous output in
+/// by a sorted merge. Bit-for-bit the derived result; the §3
+/// observations (the judgment's own boundary objects) are a subset of
+/// the spread's. Returns `Ok(None)` when the input does not fit the
+/// shape (the ordinary derivation then reports the proper stuck state).
+fn eval_unnest_fused(
+    eid: EId,
+    input: VId,
+    ctx: &mut Ctx,
+    caches: &mut Caches,
+    va: &mut ValueArena,
+) -> Result<Option<VId>, EvalError> {
+    let Some(items) = va.as_set(input) else {
+        return Ok(None);
+    };
+    let probed = delta_probe(eid, input, &caches.delta, va);
+    let (prev_out, work_items) = match &probed {
+        Some((prev_out, _, fresh)) => (Some(*prev_out), va.as_set(*fresh).expect("frontier")),
+        None => (None, items.clone()),
+    };
+    let mut pairs = Vec::new();
+    for &item in work_items.iter() {
+        let Some((x, s)) = va.as_pair(item) else {
+            return Ok(None);
+        };
+        let Some(ys) = va.as_set(s) else {
+            return Ok(None);
+        };
+        for &y in ys.iter() {
+            pairs.push(va.pair(x, y));
+        }
+    }
+    ctx.node(ENode::Compose(eid, eid).head_index())?;
+    ctx.observe_vid(va, input)?;
+    let fresh_pairs = va.set_from_vec(pairs);
+    let output = match prev_out {
+        Some(prev) => {
+            ctx.stats.delta_hits += 1;
+            ctx.stats.delta_skipped += (items.len() - work_items.len()) as u64;
+            va.set_merge_frontier(prev, &[fresh_pairs])
+                .expect("unnest outputs are sets")
+        }
+        None => fresh_pairs,
+    };
+    ctx.observe_vid(va, output)?;
+    caches.delta.insert(
+        eid,
+        DeltaEntry {
+            input,
+            output,
+            cost: 0,
+        },
+    );
+    Ok(Some(output))
+}
+
+/// The fused rule for the Prop 2.1 membership predicate
+/// `∈ = ¬empty ∘ σ_{=ₜ} ∘ ρ₂` (recognised structurally at any element
+/// type — see [`crate::shapes`]): handle equality *is* structural
+/// equality within one arena, so `x ∈ S` is a binary search over `S`'s
+/// canonical element slice instead of spreading `{x} × S` and deriving
+/// `=ₜ` per element. One derivation node, the same boolean. `Ok(None)`
+/// on shape mismatch — or when the input does not *conform* to the
+/// witnessed type `t`: the derived `=ₜ` is only total-and-structural on
+/// conforming values (it gets stuck on shape mismatches, and `=_unit`
+/// is constantly true on anything), so ill-typed inputs fall back to
+/// the ordinary derivation and keep its exact behaviour.
+fn eval_member_fused(
+    eid: EId,
+    input: VId,
+    ctx: &mut Ctx,
+    nodes: &[ENode],
+    caches: &mut Caches,
+    va: &mut ValueArena,
+) -> Result<Option<VId>, EvalError> {
+    let Some(t) = crate::shapes::member_elem_type(eid, nodes, &mut caches.shapes) else {
+        return Ok(None);
+    };
+    let Some((x, s)) = va.as_pair(input) else {
+        return Ok(None);
+    };
+    let Some(found) = va.set_contains(s, x) else {
+        return Ok(None);
+    };
+    let items = va.as_set(s).expect("checked above");
+    if !crate::shapes::conforms_cached(&mut caches.shapes, va, eid, x, &t)
+        || !items
+            .iter()
+            .all(|&y| crate::shapes::conforms_cached(&mut caches.shapes, va, eid, y, &t))
+    {
+        return Ok(None);
+    }
+    ctx.node(ENode::Compose(eid, eid).head_index())?;
+    ctx.observe_vid(va, input)?;
+    let output = va.bool_(found);
+    ctx.observe_vid(va, output)?;
+    Ok(Some(output))
+}
+
+/// The fused rule for the Prop 2.1 inclusion predicate
+/// `⊆ = empty ∘ σ_{∉} ∘ ρ₁` (recognised structurally at any element
+/// type): one merge scan over the two canonical element slices instead
+/// of the ρ₁ spread with a per-element membership sub-derivation.
+/// `Ok(None)` on shape mismatch or when either set's elements do not
+/// conform to the witnessed type (same soundness gate as
+/// [`eval_member_fused`]).
+fn eval_subset_fused(
+    eid: EId,
+    input: VId,
+    ctx: &mut Ctx,
+    nodes: &[ENode],
+    caches: &mut Caches,
+    va: &mut ValueArena,
+) -> Result<Option<VId>, EvalError> {
+    let Some(t) = crate::shapes::subset_elem_type(eid, nodes, &mut caches.shapes) else {
+        return Ok(None);
+    };
+    let Some((a, b)) = va.as_pair(input) else {
+        return Ok(None);
+    };
+    let Some(holds) = va.is_subset(a, b) else {
+        return Ok(None);
+    };
+    for set in [a, b] {
+        let items = va.as_set(set).expect("checked above");
+        if !items
+            .iter()
+            .all(|&y| crate::shapes::conforms_cached(&mut caches.shapes, va, eid, y, &t))
+        {
+            return Ok(None);
+        }
+    }
+    ctx.node(ENode::Compose(eid, eid).head_index())?;
+    ctx.observe_vid(va, input)?;
+    let output = va.bool_(holds);
+    ctx.observe_vid(va, output)?;
+    Ok(Some(output))
+}
+
+/// The fused rule for the Prop 2.1 grouping operator
+/// `nest(R) = {(x, {y | (x,y) ∈ R}) | x ∈ π₁(R)}` (recognised
+/// structurally at any key/value type): one grouping pass over `R`'s
+/// canonical elements instead of the π₁-image/ρ₁/σ spread whose
+/// intermediate product is quadratic in `|R|`.
+///
+/// Unlike `map`/`μ`/`unnest`, nest does **not** distribute over union —
+/// a grown input *replaces* group values rather than adding elements —
+/// so there is no frontier rule: the fused rule recomputes the grouping
+/// from the full input (linear, versus the derived spread's quadratic
+/// re-derivation). `Ok(None)` on shape mismatch, on non-pair elements,
+/// or when a key does not conform to the witnessed key type `s` (the
+/// derived `=ₛ` comparing keys is only structural on conforming values
+/// — same soundness gate as [`eval_member_fused`]).
+fn eval_nest_fused(
+    eid: EId,
+    input: VId,
+    ctx: &mut Ctx,
+    nodes: &[ENode],
+    caches: &mut Caches,
+    va: &mut ValueArena,
+) -> Result<Option<VId>, EvalError> {
+    let Some(key_type) = crate::shapes::nest_key_type(eid, nodes, &mut caches.shapes) else {
+        return Ok(None);
+    };
+    let Some(items) = va.as_set(input) else {
+        return Ok(None);
+    };
+    // group in canonical element order: keys first occur in that order,
+    // and each group's values arrive ascending (pairs sharing a first
+    // component sort by their second within the canonical slice)
+    let mut keys: Vec<VId> = Vec::new();
+    let mut groups: HashMap<VId, Vec<VId>, FxBuildHasher> = HashMap::default();
+    for &item in items.iter() {
+        let Some((x, y)) = va.as_pair(item) else {
+            return Ok(None);
+        };
+        if !crate::shapes::conforms_cached(&mut caches.shapes, va, eid, x, &key_type) {
+            return Ok(None);
+        }
+        groups
+            .entry(x)
+            .or_insert_with(|| {
+                keys.push(x);
+                Vec::new()
+            })
+            .push(y);
+    }
+    ctx.node(ENode::Compose(eid, eid).head_index())?;
+    ctx.observe_vid(va, input)?;
+    let mut out = Vec::with_capacity(keys.len());
+    for x in keys {
+        let ys = groups.remove(&x).expect("key recorded with its group");
+        let group = va.set_from_vec(ys);
+        out.push(va.pair(x, group));
+    }
+    let output = va.set_from_vec(out);
+    ctx.observe_vid(va, output)?;
+    Ok(Some(output))
+}
+
 /// Apply a non-recursive primitive on the interned path (every rule
 /// without sub-derivations). Shared with the derivation-tree builder in
 /// [`crate::trace`].
-pub(crate) fn apply_leaf_vid(expr: &Expr, input: VId, ctx: &mut Ctx) -> Result<VId, EvalError> {
-    // the only leaves that need the budget context or re-enter the
-    // thread-local facade; everything else runs under ONE arena borrow
+pub(crate) fn apply_leaf_vid(
+    expr: &Expr,
+    input: VId,
+    ctx: &mut Ctx,
+    va: &mut ValueArena,
+) -> Result<VId, EvalError> {
+    // the powerset leaves need the budget context; everything else is a
+    // plain arena operation
     match expr {
-        Expr::Powerset => return eval_powerset_vid(input, ctx),
-        Expr::PowersetM(m) => return eval_powerset_m_vid(*m, input, ctx),
-        Expr::Const(v, _) => return Ok(intern::intern(v)),
-        _ => {}
+        Expr::Powerset => eval_powerset_vid(input, ctx, va),
+        Expr::PowersetM(m) => eval_powerset_m_vid(*m, input, ctx, va),
+        Expr::Const(v, _) => Ok(va.intern(v)),
+        _ => apply_simple_leaf(expr, input, va),
     }
-    intern::with_arena(|a| apply_simple_leaf(expr, input, a))
 }
 
 /// The non-recursive, non-powerset rules, against an explicitly borrowed
 /// arena — a single borrow per leaf instead of one per constructed node
 /// (a `pairwith` over k elements would otherwise take k + 1 of them).
-fn apply_simple_leaf(
-    expr: &Expr,
-    input: VId,
-    a: &mut intern::ValueArena,
-) -> Result<VId, EvalError> {
+fn apply_simple_leaf(expr: &Expr, input: VId, a: &mut ValueArena) -> Result<VId, EvalError> {
     let output = match expr {
         Expr::Id => input,
         Expr::Bang => a.unit(),
@@ -1368,9 +1697,11 @@ pub fn powerset_output_size(elem_sizes: &[u64]) -> u128 {
         .saturating_add((subsets >> 1).saturating_mul(sum))
 }
 
-fn eval_powerset_vid(input: VId, ctx: &mut Ctx) -> Result<VId, EvalError> {
-    let items = intern::as_set(input).ok_or_else(|| stuck("powerset", "input is not a set"))?;
-    let sizes: Vec<u64> = intern::with_arena(|a| items.iter().map(|&v| a.size(v)).collect());
+fn eval_powerset_vid(input: VId, ctx: &mut Ctx, va: &mut ValueArena) -> Result<VId, EvalError> {
+    let items = va
+        .as_set(input)
+        .ok_or_else(|| stuck("powerset", "input is not a set"))?;
+    let sizes: Vec<u64> = items.iter().map(|&v| va.size(v)).collect();
     let predicted = powerset_output_size(&sizes);
     let predicted64 = u64::try_from(predicted).unwrap_or(u64::MAX);
     // Record the requirement and enforce the budget *before* materialising.
@@ -1381,22 +1712,18 @@ fn eval_powerset_vid(input: VId, ctx: &mut Ctx) -> Result<VId, EvalError> {
         });
     }
     let k = items.len();
-    // one arena borrow for the whole materialisation loop
-    let out = intern::with_arena(|a| {
-        let mut subsets = Vec::with_capacity(1usize << k);
-        for mask in 0u64..(1u64 << k) {
-            // the canonical element order is preserved under subset selection
-            let subset: Vec<VId> = items
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| mask & (1 << i) != 0)
-                .map(|(_, &e)| e)
-                .collect();
-            subsets.push(a.set_from_vec(subset));
-        }
-        a.set_from_vec(subsets)
-    });
-    Ok(out)
+    let mut subsets = Vec::with_capacity(1usize << k);
+    for mask in 0u64..(1u64 << k) {
+        // the canonical element order is preserved under subset selection
+        let subset: Vec<VId> = items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &e)| e)
+            .collect();
+        subsets.push(va.set_from_vec(subset));
+    }
+    Ok(va.set_from_vec(subsets))
 }
 
 /// Saturating binomial coefficient `C(n, k)` in `u128`.
@@ -1439,15 +1766,22 @@ pub fn powerset_m_output_size(m: u64, elem_sizes: &[u64]) -> u128 {
         .saturating_add(per_elem.saturating_mul(sum))
 }
 
-fn eval_powerset_m_vid(m: u64, input: VId, ctx: &mut Ctx) -> Result<VId, EvalError> {
-    let items = intern::as_set(input).ok_or_else(|| stuck("powerset_m", "input is not a set"))?;
-    let sizes: Vec<u64> = intern::with_arena(|a| items.iter().map(|&v| a.size(v)).collect());
+fn eval_powerset_m_vid(
+    m: u64,
+    input: VId,
+    ctx: &mut Ctx,
+    va: &mut ValueArena,
+) -> Result<VId, EvalError> {
+    let items = va
+        .as_set(input)
+        .ok_or_else(|| stuck("powerset_m", "input is not a set"))?;
+    let sizes: Vec<u64> = items.iter().map(|&v| va.size(v)).collect();
     let predicted = powerset_m_output_size(m, &sizes);
     let predicted64 = u64::try_from(predicted).unwrap_or(u64::MAX);
     ctx.check_size(predicted64)?;
     // Breadth-first by cardinality: level i holds the i-element subsets,
     // each a sorted handle vector (the canonical set representation).
-    let mut all: Vec<VId> = vec![intern::empty_set()];
+    let mut all: Vec<VId> = vec![va.empty_set()];
     let mut level: BTreeSet<Vec<VId>> = BTreeSet::new();
     level.insert(Vec::new());
     for _ in 0..m.min(items.len() as u64) {
@@ -1462,11 +1796,11 @@ fn eval_powerset_m_vid(m: u64, input: VId, ctx: &mut Ctx) -> Result<VId, EvalErr
             }
         }
         for s in &next {
-            all.push(intern::set(s.iter().copied()));
+            all.push(va.set(s.iter().copied()));
         }
         level = next;
     }
-    Ok(intern::set(all))
+    Ok(va.set(all))
 }
 
 // ---------------------------------------------------------------------------

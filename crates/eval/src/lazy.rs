@@ -1,12 +1,14 @@
-//! A streaming ("lazy") evaluation strategy for `powerset`.
+//! A streaming ("lazy") evaluation strategy for `powerset` and
+//! `powersetₘ`.
 //!
 //! §3 scopes the lower bound precisely: "our main result will depend (1) on
 //! the particular evaluation strategy and (2) on the complexity measure. …
 //! it is not obvious whether it still holds for a lazy evaluation
-//! strategy." This module makes that caveat concrete: `powerset` results
-//! are represented *symbolically* (as "the subsets of this base set") and
-//! only streamed — one subset at a time — when a consumer such as `map`
-//! actually traverses them.
+//! strategy." This module makes that caveat concrete: `powerset` (and
+//! `powersetₘ`) results are represented *symbolically* (as "the subsets of
+//! this base set", optionally cardinality-bounded) and only streamed — one
+//! subset at a time — when a consumer such as `map` actually traverses
+//! them.
 //!
 //! Under this strategy the paper's eager measure no longer reflects the
 //! memory actually held: for `tc_paths` on the chain `rₙ`, the eager
@@ -14,16 +16,16 @@
 //! polynomial (the number of subset evaluations — i.e. *time* — remains
 //! `2^{Θ(n)}`). Experiment E11 tabulates both.
 //!
-//! Like [`crate::eager`], the recursion runs on interned handles: the
-//! resident-size accounting reads cached arena metadata instead of
-//! traversing objects, and the deduplicating accumulator of a streamed
-//! `map` is a set of `u32` handles rather than a tree of deep
-//! comparisons. In the default mode the streamed subsets themselves are
-//! built as transient tree values and evaluated on the tree path —
-//! interning 2ᵏ throwaway subsets would retain them all in the arena and
-//! quietly void the polynomial-resident-space property this strategy
-//! exists to demonstrate. Only the base set and the (live) images touch
-//! the arena.
+//! Like [`crate::eager`], the recursion runs on interned handles against
+//! an **explicitly threaded** [`ValueArena`]/[`ExprArena`] pair — a
+//! session passes its own, the free-function facade passes the
+//! thread-locals — so the §3 resident-size accounting reads cached arena
+//! metadata and the hot path touches no thread-local state. In the
+//! default mode the streamed subsets themselves are built as transient
+//! tree values and evaluated on the tree path — interning 2ᵏ throwaway
+//! subsets would retain them all in the arena and quietly void the
+//! polynomial-resident-space property this strategy exists to
+//! demonstrate. Only the base set and the (live) images touch the arena.
 //!
 //! Two opt-in switches trade that minimality for speed, without ever
 //! changing a result: [`EvalConfig::memo`] extends the eager/traced
@@ -32,16 +34,22 @@
 //! stream, so subtrees recurring across subsets are derived once — hits
 //! in [`LazyStats::memo_hits`]), and [`EvalConfig::semi_naive`] runs
 //! `while` fixpoints over powerset-free bodies on the delta-driven
-//! interned walker, frontier-only per iterate.
+//! interned walker — and, for `powersetₘ` (or `powerset`) **chains inside
+//! a fixpoint**, resumes the subset stream incrementally: when the same
+//! `map` body re-fires over the subsets of a *grown* base (the steady
+//! state of a bounded-witness TC loop), only the subsets containing at
+//! least one fresh element are streamed and the previous images are
+//! folded in ([`LazyStats::frontier_streams`] /
+//! [`LazyStats::frontier_subsets_skipped`]).
 
-use crate::eager::{self, Ctx, MemoState};
+use crate::eager::{self, binomial, Ctx, MemoState};
 use crate::error::{EvalConfig, EvalError};
 use crate::stats::EvalStats;
-use nra_core::expr::intern::{self as expr_intern, EId};
+use nra_core::expr::intern::{self as expr_intern, EId, ExprArena};
 use nra_core::expr::Expr;
-use nra_core::value::intern::{self, VId};
+use nra_core::value::intern::{self, FxBuildHasher, VId, ValueArena};
 use nra_core::value::Value;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// Statistics of a streaming evaluation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -70,6 +78,25 @@ pub struct LazyStats {
     /// Apply-cache misses across the per-subset sub-evaluations (only
     /// nonzero under `EvalConfig::memo`).
     pub memo_misses: u64,
+    /// The subset of `memo_hits` served by entries written by an
+    /// earlier query of the same session (cross-query warm starts) —
+    /// always 0 through the free-function facade, exactly as
+    /// [`EvalStats::warm_hits`](crate::stats::EvalStats::warm_hits).
+    pub warm_hits: u64,
+    /// `map`-over-subsets applications served **incrementally** (only
+    /// nonzero under
+    /// [`EvalConfig::semi_naive`](crate::error::EvalConfig::semi_naive)):
+    /// the same body re-fired over the subsets of a grown base — the
+    /// steady state of a `powersetₘ` chain inside a `while` — so only
+    /// subsets touching the frontier were streamed and the previous
+    /// images were folded in.
+    pub frontier_streams: u64,
+    /// Subsets *not* re-enumerated by those incremental applications
+    /// (every subset of the previous base: its image is already in the
+    /// folded-in accumulator). Like `delta_skipped` on the eager side,
+    /// reported separately — the result is bit-for-bit the full
+    /// re-stream's.
+    pub frontier_subsets_skipped: u64,
 }
 
 impl LazyStats {
@@ -107,19 +134,42 @@ pub struct LazyVidEvaluation {
 enum Lv {
     /// A fully materialised (interned) object.
     Concrete(VId),
-    /// `powerset(base)`, not yet materialised.
-    Subsets(VId),
+    /// `powerset(base)` (`bound = None`) or `powersetₘ(base)`
+    /// (`bound = Some(m)`), not yet materialised.
+    Subsets {
+        /// The base set whose subsets are denoted.
+        base: VId,
+        /// Cardinality bound `m` for `powersetₘ`; `None` = full powerset.
+        bound: Option<u64>,
+    },
+}
+
+/// The frontier-resumption cache of the semi-naive streaming route: per
+/// `map` body, the last base (and bound) its subset stream ran over and
+/// the interned output, so a re-fire over a grown base streams only the
+/// subsets touching the fresh elements.
+struct SubsetDeltaEntry {
+    base: VId,
+    bound: Option<u64>,
+    output: VId,
 }
 
 struct LazyCtx<'a> {
     config: &'a EvalConfig,
     stats: LazyStats,
+    /// The value arena every rule runs against — a session's own, or the
+    /// thread-local one borrowed for the whole evaluation by the facade.
+    va: &'a mut ValueArena,
+    /// The expression arena (the cached routes intern bodies mid-stream).
+    ea: &'a mut ExprArena,
     /// The shared interned-walker state (expression-node snapshot +
-    /// apply/delta caches), held for the whole streaming evaluation
-    /// when [`EvalConfig::memo`] or [`EvalConfig::semi_naive`] is on:
-    /// per-subset sub-evaluations and delegated `while` fixpoints all
-    /// run through [`eager::eval_eid`] against the same caches.
-    eager_state: Option<MemoState>,
+    /// apply/delta caches), present when [`EvalConfig::memo`] or
+    /// [`EvalConfig::semi_naive`] is on: per-subset sub-evaluations and
+    /// delegated `while` fixpoints all run through [`eager::eval_eid`]
+    /// against the same caches.
+    state: Option<&'a mut MemoState>,
+    /// Frontier-resumption entries, keyed by the streamed `map` body.
+    subset_delta: HashMap<EId, SubsetDeltaEntry, FxBuildHasher>,
 }
 
 impl<'a> LazyCtx<'a> {
@@ -150,7 +200,7 @@ impl<'a> LazyCtx<'a> {
     /// is currently held.
     fn eager_sub(&mut self, expr: &Expr, input: VId, extra_live: u64) -> Result<VId, EvalError> {
         let mut sub = Ctx::new(self.config);
-        let out = eager::eval_vid(expr, input, &mut sub);
+        let out = eager::eval_vid(expr, input, &mut sub, self.va);
         self.merge_sub(&sub.stats, extra_live)?;
         out
     }
@@ -178,10 +228,10 @@ impl<'a> LazyCtx<'a> {
     /// ([`LazyCtx::intern_expr`]).
     fn eager_sub_eid(&mut self, eid: EId, input: VId, extra_live: u64) -> Result<VId, EvalError> {
         let mut sub = Ctx::new(self.config);
-        let state = self.eager_state.as_mut().expect("cached mode");
+        let state = self.state.as_deref_mut().expect("cached mode");
         let out = {
             let MemoState { nodes, caches, .. } = state;
-            eager::eval_eid(eid, input, &mut sub, nodes, caches)
+            eager::eval_eid(eid, input, &mut sub, nodes, caches, self.va)
         };
         self.merge_sub(&sub.stats, extra_live)?;
         out
@@ -191,8 +241,11 @@ impl<'a> LazyCtx<'a> {
     /// up to date — required before the first [`LazyCtx::eager_sub_eid`]
     /// on it.
     fn intern_expr(&mut self, expr: &Expr) -> EId {
-        let eid = expr_intern::intern(expr);
-        self.eager_state.as_mut().expect("cached mode").resync();
+        let eid = self.ea.intern(expr);
+        self.state
+            .as_deref_mut()
+            .expect("cached mode")
+            .resync(self.ea);
         eid
     }
 
@@ -201,6 +254,7 @@ impl<'a> LazyCtx<'a> {
         self.stats.while_iterations += sub.while_iterations;
         self.stats.memo_hits += sub.memo_hits;
         self.stats.memo_misses += sub.memo_misses;
+        self.stats.warm_hits += sub.warm_hits;
         self.resident(sub.max_object_size.saturating_add(extra_live))
     }
 }
@@ -215,7 +269,9 @@ pub fn evaluate_lazy(expr: &Expr, input: &Value, config: &EvalConfig) -> LazyEva
     }
 }
 
-/// Evaluate under the streaming strategy, entirely on interned handles.
+/// Evaluate under the streaming strategy, entirely on interned handles
+/// (the calling thread's arenas — the compatibility facade over the
+/// engine-layer `lazy_eval_with` entry point sessions use).
 ///
 /// Under [`EvalConfig::memo`] the eager/traced **apply cache** extends
 /// to this strategy: per-subset sub-evaluations run on the interned
@@ -227,36 +283,66 @@ pub fn evaluate_lazy(expr: &Expr, input: &Value, config: &EvalConfig) -> LazyEva
 /// minimal-retention property for speed; keep memo off (the default)
 /// when measuring the §3 space story. Under [`EvalConfig::semi_naive`],
 /// `while` fixpoints over powerset-free bodies additionally run
-/// delta-driven, exactly as in [`eager::evaluate_vid`].
+/// delta-driven, exactly as in [`eager::evaluate_vid`], and subset
+/// streams inside powerset-carrying fixpoints resume incrementally from
+/// their previous base (the same retention trade-off applies).
 pub fn evaluate_lazy_vid(expr: &Expr, input: VId, config: &EvalConfig) -> LazyVidEvaluation {
+    intern::with_arena(|va| {
+        expr_intern::with_arena(|ea| {
+            let mut state =
+                (config.memo || config.semi_naive).then(|| MemoState::acquire_pooled(ea));
+            let ev = lazy_eval_with(expr, input, config, va, ea, state.as_mut());
+            if let Some(state) = state {
+                state.release_pooled();
+            }
+            ev
+        })
+    })
+}
+
+/// Run one streaming evaluation against explicitly supplied arenas and
+/// (for the cached routes) walker state — the engine-layer entry point
+/// sessions call; [`evaluate_lazy_vid`] is its thread-local facade.
+pub(crate) fn lazy_eval_with(
+    expr: &Expr,
+    input: VId,
+    config: &EvalConfig,
+    va: &mut ValueArena,
+    ea: &mut ExprArena,
+    state: Option<&mut MemoState>,
+) -> LazyVidEvaluation {
     let mut ctx = LazyCtx {
         config,
         stats: LazyStats::default(),
-        eager_state: (config.memo || config.semi_naive).then(MemoState::acquire),
+        va,
+        ea,
+        state,
+        subset_delta: HashMap::default(),
     };
     let result = match lazy_in(expr, Lv::Concrete(input), &mut ctx) {
         Ok(lv) => force(lv, &mut ctx),
         Err(e) => Err(e),
     };
-    if let Some(state) = ctx.eager_state.take() {
-        state.release();
-    }
     LazyVidEvaluation {
         result,
         stats: ctx.stats,
     }
 }
 
-/// Materialise a symbolic value (falls back to the eager powerset rule).
+/// Materialise a symbolic value (falls back to the eager powerset rules).
 fn force(lv: Lv, ctx: &mut LazyCtx) -> Result<VId, EvalError> {
     match lv {
         Lv::Concrete(v) => {
-            ctx.resident(intern::size(v))?;
+            ctx.resident(ctx.va.size(v))?;
             Ok(v)
         }
-        Lv::Subsets(base) => {
+        Lv::Subsets { base, bound } => {
+            let expr = match bound {
+                None => Expr::Powerset,
+                Some(m) => Expr::PowersetM(m),
+            };
             let mut sub = Ctx::new(ctx.config);
-            let out = eager::eval_vid(&Expr::Powerset, base, &mut sub);
+            let out = eager::eval_vid(&expr, base, &mut sub, ctx.va);
             ctx.merge_sub(&sub.stats, 0)?;
             out
         }
@@ -270,6 +356,46 @@ fn stuck(rule: &'static str, detail: &str) -> EvalError {
     }
 }
 
+/// Number of subsets of an `n`-element set with cardinality ≤ `bound`
+/// (saturating) — what a resumed stream *skips* re-enumerating.
+fn subset_count(n: usize, bound: Option<u64>) -> u64 {
+    let total: u128 = match bound {
+        None => 1u128 << n.min(127),
+        Some(m) => (0..=m.min(n as u64)).map(|i| binomial(n as u64, i)).sum(),
+    };
+    u64::try_from(total).unwrap_or(u64::MAX)
+}
+
+/// Enumerate every index combination of `0..n` with size ≤ `max_len`,
+/// calling `f` once per combination (the empty one included), in DFS
+/// order. The streaming routes use this instead of a 2ⁿ mask scan so a
+/// cardinality-bounded stream costs `Σᵢ C(n, i)`, not `2ⁿ`.
+fn for_each_combination(
+    n: usize,
+    max_len: usize,
+    f: &mut impl FnMut(&[usize]) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    fn rec(
+        start: usize,
+        n: usize,
+        remaining: usize,
+        cur: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize]) -> Result<(), EvalError>,
+    ) -> Result<(), EvalError> {
+        f(cur)?;
+        if remaining == 0 {
+            return Ok(());
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i + 1, n, remaining - 1, cur, f)?;
+            cur.pop();
+        }
+        Ok(())
+    }
+    rec(0, n, max_len, &mut Vec::with_capacity(max_len), f)
+}
+
 fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
     ctx.node()?;
     match expr {
@@ -279,99 +405,49 @@ fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
         }
         Expr::Powerset => {
             let base = force(input, ctx)?;
-            if intern::cardinality(base).is_none() {
+            if ctx.va.cardinality(base).is_none() {
                 return Err(stuck("powerset", "input is not a set"));
             }
-            Ok(Lv::Subsets(base))
+            Ok(Lv::Subsets { base, bound: None })
+        }
+        Expr::PowersetM(m) => {
+            let base = force(input, ctx)?;
+            if ctx.va.cardinality(base).is_none() {
+                return Err(stuck("powerset_m", "input is not a set"));
+            }
+            Ok(Lv::Subsets {
+                base,
+                bound: Some(*m),
+            })
         }
         Expr::Flatten => match input {
-            // μ(powerset(x)) = x : the subsets' union is the base itself.
-            Lv::Subsets(base) => Ok(Lv::Concrete(base)),
+            // μ(powerset(x)) = x; μ(powersetₘ(x)) = x for m ≥ 1, ∅ for
+            // m = 0 ({∅} is the only subset) — no subset is ever streamed.
+            Lv::Subsets { base, bound } => match bound {
+                Some(0) => Ok(Lv::Concrete(ctx.va.empty_set())),
+                _ => Ok(Lv::Concrete(base)),
+            },
             Lv::Concrete(v) => Ok(Lv::Concrete(ctx.eager_sub(&Expr::Flatten, v, 0)?)),
         },
         Expr::IsEmpty => match input {
-            // powerset(x) always contains ∅, hence is never empty.
-            Lv::Subsets(_) => Ok(Lv::Concrete(intern::bool_(false))),
+            // powerset(ₘ)(x) always contains ∅, hence is never empty.
+            Lv::Subsets { .. } => Ok(Lv::Concrete(ctx.va.bool_(false))),
             Lv::Concrete(v) => Ok(Lv::Concrete(ctx.eager_sub(&Expr::IsEmpty, v, 0)?)),
         },
         Expr::Map(f) => match input {
-            Lv::Subsets(base) => {
-                // Stream the subsets: only base + current subset +
-                // accumulator + per-subset transient memory are live.
-                let items = intern::as_set(base)
-                    .ok_or_else(|| stuck("map", "powerset base is not a set"))?;
-                if items.len() > 62 {
-                    return Err(EvalError::PowersetOverflow {
-                        input_cardinality: items.len() as u64,
-                    });
-                }
-                let base_size = intern::size(base);
-                let mut acc: BTreeSet<VId> = BTreeSet::new();
-                let mut acc_size: u64 = 1;
-                if ctx.eager_state.is_some() && ctx.config.memo {
-                    // The sharing-aware route (EvalConfig::memo): each
-                    // subset is interned and its evaluation keyed
-                    // (EId, VId) in the apply cache shared across the
-                    // whole stream, so sub-derivations recurring across
-                    // subsets are found instead of re-derived. This
-                    // deliberately retains the streamed subsets in the
-                    // arena — see `evaluate_lazy_vid`.
-                    let feid = ctx.intern_expr(f);
-                    for mask in 0u64..(1u64 << items.len()) {
-                        let subset: Vec<VId> = items
-                            .iter()
-                            .enumerate()
-                            .filter(|(i, _)| mask & (1 << i) != 0)
-                            .map(|(_, &e)| e)
-                            .collect();
-                        let subset = intern::with_arena(|a| a.set_from_vec(subset));
-                        ctx.stats.streamed_subsets += 1;
-                        let live = base_size + intern::size(subset) + acc_size;
-                        let image = ctx.eager_sub_eid(feid, subset, live)?;
-                        if acc.insert(image) {
-                            acc_size += intern::size(image);
-                        }
-                        ctx.resident(live)?;
-                    }
-                } else {
-                    // The default route: subsets are deliberately built
-                    // as *transient tree values* and evaluated on the
-                    // tree path — interning them would retain all 2ᵏ
-                    // subsets in the never-shrinking arena, silently
-                    // trading the strategy's polynomial peak-resident
-                    // guarantee for speed. Only the images — genuinely
-                    // live in the accumulator — are interned.
-                    let elems: Vec<Value> =
-                        intern::with_arena(|a| items.iter().map(|&e| a.resolve(e)).collect());
-                    for mask in 0u64..(1u64 << elems.len()) {
-                        let subset = Value::set(
-                            elems
-                                .iter()
-                                .enumerate()
-                                .filter(|(i, _)| mask & (1 << i) != 0)
-                                .map(|(_, e)| e.clone()),
-                        );
-                        ctx.stats.streamed_subsets += 1;
-                        let live = base_size + subset.size() + acc_size;
-                        let image = ctx.eager_sub_tree(f, &subset, live)?;
-                        let image = intern::intern(&image);
-                        if acc.insert(image) {
-                            acc_size += intern::size(image);
-                        }
-                        ctx.resident(live)?;
-                    }
-                }
-                Ok(Lv::Concrete(intern::set(acc)))
-            }
+            Lv::Subsets { base, bound } => stream_map(f, base, bound, ctx),
             Lv::Concrete(v) => {
-                let items = intern::as_set(v).ok_or_else(|| stuck("map", "input is not a set"))?;
+                let items = ctx
+                    .va
+                    .as_set(v)
+                    .ok_or_else(|| stuck("map", "input is not a set"))?;
                 let mut out = Vec::with_capacity(items.len());
                 for &item in items.iter() {
                     let image = lazy_in(f, Lv::Concrete(item), ctx)?;
                     out.push(force(image, ctx)?);
                 }
-                let out = intern::set(out);
-                ctx.resident(intern::size(out))?;
+                let out = ctx.va.set_from_vec(out);
+                ctx.resident(ctx.va.size(out))?;
                 Ok(Lv::Concrete(out))
             }
         },
@@ -379,11 +455,12 @@ fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
             let v = force(input, ctx)?;
             let a = force(lazy_in(f, Lv::Concrete(v), ctx)?, ctx)?;
             let b = force(lazy_in(g, Lv::Concrete(v), ctx)?, ctx)?;
-            Ok(Lv::Concrete(intern::pair(a, b)))
+            Ok(Lv::Concrete(ctx.va.pair(a, b)))
         }
         Expr::Cond(c, then, els) => {
             let v = force(input, ctx)?;
-            match intern::as_bool(force(lazy_in(c, Lv::Concrete(v), ctx)?, ctx)?) {
+            let cv = force(lazy_in(c, Lv::Concrete(v), ctx)?, ctx)?;
+            match ctx.va.as_bool(cv) {
                 Some(true) => lazy_in(then, Lv::Concrete(v), ctx),
                 Some(false) => lazy_in(els, Lv::Concrete(v), ctx),
                 None => Err(stuck("if", "condition is not boolean")),
@@ -391,7 +468,8 @@ fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
         }
         Expr::While(f) => {
             let current = force(input, ctx)?;
-            if ctx.eager_state.is_some() && !expr.level().powerset {
+            let level = expr.level();
+            if ctx.state.is_some() && !level.powerset && !level.powerset_m {
                 // The lazy context threads (total, delta) through the
                 // fixpoint by delegating it wholesale to the interned
                 // walker: a powerset-free body never streams, so the
@@ -400,6 +478,9 @@ fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
                 let weid = ctx.intern_expr(expr);
                 return Ok(Lv::Concrete(ctx.eager_sub_eid(weid, current, 0)?));
             }
+            // a powerset(ₘ)-carrying body iterates here, streaming its
+            // subsets per iterate — with frontier resumption across
+            // iterates under the semi-naive switch (see `stream_map`)
             let mut current = current;
             let mut iterations: u64 = 0;
             loop {
@@ -421,6 +502,154 @@ fn lazy_in(expr: &Expr, input: Lv, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
             Ok(Lv::Concrete(ctx.eager_sub(leaf, v, 0)?))
         }
     }
+}
+
+/// Stream the subsets of `base` (cardinality-bounded for `powersetₘ`)
+/// through the `map` body `f`: only base + current subset + accumulator
+/// + per-subset transient memory are live at any point.
+fn stream_map(f: &Expr, base: VId, bound: Option<u64>, ctx: &mut LazyCtx) -> Result<Lv, EvalError> {
+    let items = ctx
+        .va
+        .as_set(base)
+        .ok_or_else(|| stuck("map", "powerset base is not a set"))?;
+    if items.len() > 62 {
+        return Err(EvalError::PowersetOverflow {
+            input_cardinality: items.len() as u64,
+        });
+    }
+    let base_size = ctx.va.size(base);
+    let max_len = bound.map_or(items.len(), |m| (m.min(items.len() as u64)) as usize);
+    let mut acc: BTreeSet<VId> = BTreeSet::new();
+    let mut acc_size: u64 = 1;
+    if ctx.state.is_some() {
+        // The sharing-aware route (EvalConfig::memo and/or semi_naive):
+        // each subset is interned and evaluated through the shared
+        // interned walker — under memo, keyed (EId, VId) in the apply
+        // cache shared across the whole stream, so sub-derivations
+        // recurring across subsets are found instead of re-derived. This
+        // deliberately retains the streamed subsets in the arena — see
+        // `evaluate_lazy_vid`.
+        let feid = ctx.intern_expr(f);
+        // Frontier resumption (EvalConfig::semi_naive): when this body
+        // last streamed over a base' ⊆ base with the same bound — the
+        // steady state of a powersetₘ chain inside a while — seed the
+        // accumulator with the previous images and stream only the
+        // subsets containing at least one fresh element. map distributes
+        // over the subset stream subset-by-subset, so the folded result
+        // is bit-for-bit the full re-stream's.
+        let previous = if ctx.config.semi_naive {
+            ctx.subset_delta
+                .get(&feid)
+                .filter(|entry| entry.bound == bound)
+                .map(|entry| (entry.base, entry.output))
+        } else {
+            None
+        };
+        let resumed = previous.and_then(|(prev_base, prev_out)| {
+            if prev_base == base {
+                return Some((prev_out, Vec::new(), items.to_vec()));
+            }
+            if ctx.va.is_subset(prev_base, base) != Some(true) {
+                return None;
+            }
+            let old = ctx.va.as_set(prev_base).expect("previous base is a set");
+            let fresh: Vec<VId> = items
+                .iter()
+                .copied()
+                .filter(|e| old.binary_search(e).is_err())
+                .collect();
+            Some((prev_out, fresh, old.to_vec()))
+        });
+        match resumed {
+            Some((prev_out, fresh, old)) => {
+                ctx.stats.frontier_streams += 1;
+                ctx.stats.frontier_subsets_skipped += subset_count(old.len(), bound);
+                let prev_items = ctx
+                    .va
+                    .as_set(prev_out)
+                    .expect("map over subsets yields a set");
+                acc.extend(prev_items.iter().copied());
+                acc_size = ctx.va.size(prev_out);
+                // subsets with ≥ 1 fresh element: a nonempty combination
+                // of fresh elements unioned with any combination of old
+                // ones, within the cardinality bound (each subset needs
+                // its own vector anyway — the arena takes ownership)
+                for_each_combination(fresh.len(), max_len.min(fresh.len()), &mut |fidx| {
+                    if fidx.is_empty() {
+                        return Ok(()); // the all-old subsets are skipped
+                    }
+                    let old_room = max_len - fidx.len();
+                    for_each_combination(old.len(), old_room.min(old.len()), &mut |oidx| {
+                        let subset: Vec<VId> = fidx
+                            .iter()
+                            .map(|&i| fresh[i])
+                            .chain(oidx.iter().map(|&i| old[i]))
+                            .collect();
+                        stream_one_interned(feid, subset, base_size, &mut acc, &mut acc_size, ctx)
+                    })
+                })?;
+            }
+            None => {
+                for_each_combination(items.len(), max_len, &mut |idx| {
+                    let subset: Vec<VId> = idx.iter().map(|&i| items[i]).collect();
+                    stream_one_interned(feid, subset, base_size, &mut acc, &mut acc_size, ctx)
+                })?;
+            }
+        }
+        let output = ctx.va.set(acc);
+        if ctx.config.semi_naive {
+            ctx.subset_delta.insert(
+                feid,
+                SubsetDeltaEntry {
+                    base,
+                    bound,
+                    output,
+                },
+            );
+        }
+        Ok(Lv::Concrete(output))
+    } else {
+        // The default route: subsets are deliberately built as
+        // *transient tree values* and evaluated on the tree path —
+        // interning them would retain all 2ᵏ subsets in the
+        // never-shrinking arena, silently trading the strategy's
+        // polynomial peak-resident guarantee for speed. Only the images
+        // — genuinely live in the accumulator — are interned.
+        let elems: Vec<Value> = items.iter().map(|&e| ctx.va.resolve(e)).collect();
+        for_each_combination(elems.len(), max_len, &mut |idx| {
+            let subset = Value::set(idx.iter().map(|&i| elems[i].clone()));
+            ctx.stats.streamed_subsets += 1;
+            let live = base_size + subset.size() + acc_size;
+            let image = ctx.eager_sub_tree(f, &subset, live)?;
+            let image = ctx.va.intern(&image);
+            if acc.insert(image) {
+                acc_size += ctx.va.size(image);
+            }
+            ctx.resident(live)
+        })?;
+        let output = ctx.va.set(acc);
+        Ok(Lv::Concrete(output))
+    }
+}
+
+/// Stream one interned subset through the shared walker, folding its
+/// image into the accumulator.
+fn stream_one_interned(
+    feid: EId,
+    subset: Vec<VId>,
+    base_size: u64,
+    acc: &mut BTreeSet<VId>,
+    acc_size: &mut u64,
+    ctx: &mut LazyCtx,
+) -> Result<(), EvalError> {
+    let subset = ctx.va.set_from_vec(subset);
+    ctx.stats.streamed_subsets += 1;
+    let live = base_size + ctx.va.size(subset) + *acc_size;
+    let image = ctx.eager_sub_eid(feid, subset, live)?;
+    if acc.insert(image) {
+        *acc_size += ctx.va.size(image);
+    }
+    ctx.resident(live)
 }
 
 #[cfg(test)]
@@ -476,6 +705,31 @@ mod tests {
         assert_eq!(ev.result.unwrap(), v);
         // no subsets were ever streamed
         assert_eq!(ev.stats.streamed_subsets, 0);
+    }
+
+    #[test]
+    fn flatten_of_powerset_m_respects_the_bound() {
+        let v = Value::chain(4);
+        // m ≥ 1: the subsets' union is the base itself
+        let q = compose(flatten(), powerset_m_prim(2));
+        let ev = evaluate_lazy(&q, &v, &EvalConfig::default());
+        assert_eq!(ev.result.unwrap(), v);
+        assert_eq!(ev.stats.streamed_subsets, 0);
+        // m = 0: powerset₀(x) = {∅}, whose union is ∅
+        let q0 = compose(flatten(), powerset_m_prim(0));
+        let ev0 = evaluate_lazy(&q0, &v, &EvalConfig::default());
+        assert_eq!(ev0.result.unwrap(), Value::empty_set());
+    }
+
+    #[test]
+    fn powerset_m_streams_only_bounded_subsets() {
+        // map(sng) over powersetₘ(r₄): Σ_{i≤2} C(4,i) = 11 subsets
+        let q = compose(map(sng()), powerset_m_prim(2));
+        let input = Value::chain(4);
+        let lazy_ev = evaluate_lazy(&q, &input, &EvalConfig::default());
+        let eager_ev = evaluate(&q, &input, &EvalConfig::default());
+        assert_eq!(lazy_ev.result.unwrap(), eager_ev.result.unwrap());
+        assert_eq!(lazy_ev.stats.streamed_subsets, 11);
     }
 
     #[test]

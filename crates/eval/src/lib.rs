@@ -17,9 +17,23 @@
 //! [`nra_core::value::intern`]: objects are `VId` handles, so the §3 size
 //! observation performed at every rule application is an `O(1)` metadata
 //! read, `clone` is a handle copy, and (de)duplication compares `u32`s.
-//! The arena is thread-local and retains interned nodes across calls
-//! (repeat evaluations hit the cache; memory grows monotonically —
-//! see `intern::reset_thread_arena` for reclamation at quiescent points).
+//! The arenas are threaded **explicitly** through every rule; who owns
+//! them is the caller's choice:
+//!
+//! * an [`EvalSession`] ([`session`]) owns its arenas, apply cache and
+//!   config outright — queries **warm-start** across `session.eval`
+//!   calls (the `(EId, VId)` apply cache survives, hits reported in
+//!   [`EvalStats::warm_hits`]), residency is bounded by a
+//!   generation-based eviction budget, the session is `Send`, and
+//!   [`batch::eval_batch`] fans query batches across worker sessions on
+//!   scoped threads;
+//! * the free functions ([`evaluate`], [`evaluate_vid`],
+//!   [`evaluate_lazy`], [`evaluate_traced`]) remain as a thin
+//!   thread-local-backed compatibility facade with the historical
+//!   per-call semantics (fresh cache epoch each call; the thread's
+//!   arenas retain interned nodes — see `intern::reset_thread_arena`
+//!   for reclamation at quiescent points).
+//!
 //! The [`nra_core::Value`] tree API remains the public surface —
 //! [`evaluate`] converts at the boundary — while [`evaluate_vid`] and
 //! [`evaluate_lazy_vid`] expose the interned path end-to-end. The original
@@ -62,14 +76,19 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod eager;
 pub mod error;
 pub mod lazy;
+pub mod session;
+mod shapes;
 pub mod stats;
 pub mod trace;
 
+pub use batch::eval_batch;
 pub use eager::{eval, evaluate, evaluate_tree, evaluate_vid, Evaluation, VidEvaluation};
 pub use error::{EvalConfig, EvalError};
 pub use lazy::{evaluate_lazy, evaluate_lazy_vid, LazyEvaluation, LazyStats, LazyVidEvaluation};
+pub use session::{EvalSession, SessionStats};
 pub use stats::EvalStats;
 pub use trace::{evaluate_traced, DerivNode, TracedEvaluation};

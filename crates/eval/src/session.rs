@@ -1,0 +1,392 @@
+//! Explicit evaluation sessions: the owned engine layer over the
+//! evaluators.
+//!
+//! The free functions of [`crate::eager`] / [`crate::trace`] /
+//! [`crate::lazy`] run against *thread-local* arenas — convenient, but
+//! one evaluation stream per thread, and the BDD-style apply cache opens
+//! a fresh epoch on every call. An [`EvalSession`] lifts all of that
+//! state into one owned value:
+//!
+//! * a [`ValueArena`] and an [`ExprArena`] (the §3 store of complex
+//!   objects and the hash-consed expressions over it);
+//! * the apply cache `(EId, VId) → VId` and the shape-recognition /
+//!   delta caches of the cached walker;
+//! * the [`EvalConfig`] every query of the session runs under.
+//!
+//! Owning the state buys three things:
+//!
+//! 1. **Cross-query warm starts** — the arenas *and* the apply cache
+//!    survive across [`EvalSession::eval`] calls, so re-evaluating a
+//!    query (or any query sharing judgments with an earlier one) hits
+//!    cached derivations immediately. Warm activity is reported in
+//!    [`EvalStats::warm_hits`](crate::stats::EvalStats::warm_hits) and
+//!    aggregated in [`SessionStats`].
+//! 2. **Bounded residency** — [`EvalSession::set_resident_budget`]
+//!    installs an `approx_resident_bytes` ceiling; when a query boundary
+//!    finds the session above it, the session **evicts**: both arenas
+//!    and the cache state are cleared and [`EvalSession::generation`]
+//!    is bumped (all previously issued handles go stale — the
+//!    tree-boundary [`EvalSession::eval`] is immune, handle-level
+//!    callers must re-intern). Eviction never changes results, only
+//!    cache hit counters — a property test holds this.
+//! 3. **Parallelism** — `EvalSession` is `Send` (handles travel with
+//!    their arena), so sessions can move across threads, and
+//!    [`crate::batch`] fans a batch of queries across N worker sessions.
+//!
+//! The free functions remain as a thin thread-local-backed compatibility
+//! facade; nothing on the evaluator hot path touches a thread-local when
+//! a session is supplied.
+//!
+//! ```
+//! use nra_core::{queries, Value};
+//! use nra_eval::{EvalConfig, EvalSession};
+//!
+//! let mut session = EvalSession::new(EvalConfig::optimised());
+//! let input = Value::chain(6);
+//! let cold = session.eval(&queries::tc_while(), &input);
+//! let warm = session.eval(&queries::tc_while(), &input);
+//! assert_eq!(cold.result.unwrap(), warm.result.unwrap());
+//! // the second call found the whole judgment in the surviving cache
+//! assert!(warm.stats.warm_hits > 0);
+//! assert!(session.stats().warm_hits > 0);
+//! ```
+
+use crate::eager::{self, Ctx, Evaluation, MemoState, VidEvaluation};
+use crate::error::EvalConfig;
+use crate::lazy::{self, LazyEvaluation};
+use crate::trace::{self, TracedEvaluation};
+use nra_core::expr::intern::{EId, ExprArena};
+use nra_core::value::intern::{VId, ValueArena};
+use nra_core::value::Value;
+use nra_core::Expr;
+
+/// Aggregate counters of one session, accumulated across its queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries evaluated through this session (any strategy).
+    pub queries: u64,
+    /// Apply-cache hits summed over all queries.
+    pub memo_hits: u64,
+    /// Apply-cache misses summed over all queries.
+    pub memo_misses: u64,
+    /// The subset of `memo_hits` served **across** queries — entries
+    /// written by an earlier `eval` of this session. The cross-query
+    /// warm-start counter.
+    pub warm_hits: u64,
+    /// Generation-based evictions performed (resident budget exceeded).
+    pub evictions: u64,
+}
+
+/// An owned evaluation context: arenas, apply cache, and configuration —
+/// see the [module docs](self).
+pub struct EvalSession {
+    values: ValueArena,
+    exprs: ExprArena,
+    memo: MemoState,
+    config: EvalConfig,
+    stats: SessionStats,
+    resident_budget: Option<usize>,
+    generation: u64,
+}
+
+impl EvalSession {
+    /// A fresh session evaluating under `config`. For warm starts across
+    /// queries, use a config with the apply cache on
+    /// ([`EvalConfig::memoised`] or [`EvalConfig::optimised`]); the
+    /// arenas warm-start regardless.
+    pub fn new(config: EvalConfig) -> Self {
+        let mut exprs = ExprArena::new();
+        let memo = MemoState::new(&mut exprs);
+        EvalSession {
+            values: ValueArena::new(),
+            exprs,
+            memo,
+            config,
+            stats: SessionStats::default(),
+            resident_budget: None,
+            generation: 0,
+        }
+    }
+
+    /// [`EvalSession::new`] with a resident-byte budget installed — see
+    /// [`EvalSession::set_resident_budget`].
+    pub fn with_resident_budget(config: EvalConfig, bytes: usize) -> Self {
+        let mut session = EvalSession::new(config);
+        session.set_resident_budget(Some(bytes));
+        session
+    }
+
+    /// Install (or remove) the occupancy ceiling. At every
+    /// [`EvalSession::eval`] / [`EvalSession::eval_lazy`] /
+    /// [`EvalSession::trace`] boundary where
+    /// [`EvalSession::approx_resident_bytes`] exceeds the budget, the
+    /// session [evicts](EvalSession::evict).
+    pub fn set_resident_budget(&mut self, bytes: Option<usize>) {
+        self.resident_budget = bytes;
+    }
+
+    /// The configuration every query of this session runs under.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// Aggregate counters accumulated so far.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The eviction generation: bumped exactly when previously issued
+    /// [`VId`]/[`EId`] handles went stale. Within one generation, the
+    /// arenas only grow and [`EvalSession::approx_resident_bytes`] is
+    /// monotone over successful queries.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The session's value arena (read access for resolving, occupancy
+    /// inspection, merge-algebra reads).
+    pub fn values(&self) -> &ValueArena {
+        &self.values
+    }
+
+    /// Mutable access to the value arena — for callers that build inputs
+    /// handle-by-handle before [`EvalSession::eval_vid`].
+    pub fn values_mut(&mut self) -> &mut ValueArena {
+        &mut self.values
+    }
+
+    /// The session's expression arena.
+    pub fn exprs(&self) -> &ExprArena {
+        &self.exprs
+    }
+
+    /// Intern a tree value into this session's arena.
+    pub fn intern_value(&mut self, v: &Value) -> VId {
+        self.values.intern(v)
+    }
+
+    /// Intern an expression into this session's arena.
+    pub fn intern_expr(&mut self, e: &Expr) -> EId {
+        self.exprs.intern(e)
+    }
+
+    /// Materialise the tree form of a session handle.
+    pub fn resolve(&self, v: VId) -> Value {
+        self.values.resolve(v)
+    }
+
+    /// Approximate bytes resident in this session: both arenas plus the
+    /// retained cache state. Monotone within one generation; drops at
+    /// eviction.
+    pub fn approx_resident_bytes(&self) -> usize {
+        self.values.approx_resident_bytes()
+            + self.exprs.node_count() * std::mem::size_of::<nra_core::expr::intern::ENode>()
+            + self.memo.approx_resident_bytes()
+    }
+
+    /// Evaluate `expr` on a tree `input` — the evict-safe boundary:
+    /// input is interned on entry, the result resolved on exit, so the
+    /// caller never holds session handles across a possible eviction.
+    pub fn eval(&mut self, expr: &Expr, input: &Value) -> Evaluation {
+        let eid = self.exprs.intern(expr);
+        let iv = self.values.intern(input);
+        let ev = self.eval_vid(eid, iv);
+        let result = ev.result.map(|out| self.values.resolve(out));
+        self.maybe_evict();
+        Evaluation {
+            result,
+            stats: ev.stats,
+        }
+    }
+
+    /// Evaluate entirely on session handles (`eid` and `input` must have
+    /// been issued by *this* session in its *current* generation). No
+    /// eviction happens inside this call — the returned handle is valid
+    /// until the next tree-boundary query triggers one.
+    pub fn eval_vid(&mut self, eid: EId, input: VId) -> VidEvaluation {
+        self.memo.begin_query(&mut self.exprs, true);
+        let mut ctx = Ctx::new(&self.config);
+        let result = {
+            let MemoState { nodes, caches, .. } = &mut self.memo;
+            eager::eval_eid(eid, input, &mut ctx, nodes, caches, &mut self.values)
+        };
+        let stats = ctx.finish();
+        self.absorb(&stats);
+        VidEvaluation { result, stats }
+    }
+
+    /// Evaluate under the streaming (lazy) strategy — the session-owned
+    /// counterpart of [`crate::evaluate_lazy`]; the apply cache warms
+    /// across calls exactly as for [`EvalSession::eval`].
+    pub fn eval_lazy(&mut self, expr: &Expr, input: &Value) -> LazyEvaluation {
+        let iv = self.values.intern(input);
+        let state = if self.config.memo || self.config.semi_naive {
+            self.memo.begin_query(&mut self.exprs, true);
+            Some(&mut self.memo)
+        } else {
+            None
+        };
+        let ev = lazy::lazy_eval_with(
+            expr,
+            iv,
+            &self.config,
+            &mut self.values,
+            &mut self.exprs,
+            state,
+        );
+        self.stats.queries += 1;
+        self.stats.memo_hits += ev.stats.memo_hits;
+        self.stats.memo_misses += ev.stats.memo_misses;
+        self.stats.warm_hits += ev.stats.warm_hits;
+        let result = ev.result.map(|out| self.values.resolve(out));
+        self.maybe_evict();
+        LazyEvaluation {
+            result,
+            stats: ev.stats,
+        }
+    }
+
+    /// Evaluate while materialising the derivation tree — the
+    /// session-owned counterpart of [`crate::evaluate_traced`].
+    pub fn trace(&mut self, expr: &Expr, input: &Value) -> TracedEvaluation {
+        let ev = trace::trace_with(expr, input, &self.config, &mut self.exprs, &mut self.values);
+        self.absorb(&ev.stats);
+        self.maybe_evict();
+        ev
+    }
+
+    /// Force an eviction now: clear both arenas and the cache state,
+    /// bump the generation, count it. **All handles issued by this
+    /// session become invalid.** Results of subsequent queries are
+    /// unaffected — only cache hit counters change (cold restart).
+    pub fn evict(&mut self) {
+        self.values.clear();
+        self.exprs.clear();
+        self.memo.evict();
+        self.memo.begin_query(&mut self.exprs, false);
+        self.generation += 1;
+        self.stats.evictions += 1;
+    }
+
+    fn maybe_evict(&mut self) {
+        if let Some(budget) = self.resident_budget {
+            if self.approx_resident_bytes() > budget {
+                self.evict();
+            }
+        }
+    }
+
+    fn absorb(&mut self, stats: &crate::stats::EvalStats) {
+        self.stats.queries += 1;
+        self.stats.memo_hits += stats.memo_hits;
+        self.stats.memo_misses += stats.memo_misses;
+        self.stats.warm_hits += stats.warm_hits;
+    }
+}
+
+impl std::fmt::Debug for EvalSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalSession")
+            .field("generation", &self.generation)
+            .field("values", &self.values.node_count())
+            .field("exprs", &self.exprs.node_count())
+            .field("approx_resident_bytes", &self.approx_resident_bytes())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_core::queries;
+
+    // the tentpole's thread-mobility contract, checked at compile time
+    const _: fn() = || {
+        fn assert_send<T: Send>() {}
+        assert_send::<EvalSession>();
+    };
+
+    #[test]
+    fn session_agrees_with_the_facade() {
+        for config in [
+            EvalConfig::default(),
+            EvalConfig::memoised(),
+            EvalConfig::semi_naive(),
+            EvalConfig::optimised(),
+        ] {
+            let mut session = EvalSession::new(config.clone());
+            for n in 0..6u64 {
+                let input = Value::chain(n);
+                for q in [queries::tc_while(), queries::tc_step(), queries::tc_paths()] {
+                    let facade = crate::evaluate(&q, &input, &config);
+                    let owned = session.eval(&q, &input);
+                    assert_eq!(
+                        facade.result.unwrap(),
+                        owned.result.unwrap(),
+                        "{q} n={n} (session vs facade)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_hits_on_reevaluation() {
+        let mut session = EvalSession::new(EvalConfig::optimised());
+        let input = Value::chain(8);
+        let cold = session.eval(&queries::tc_while(), &input);
+        assert_eq!(cold.stats.warm_hits, 0, "first query cannot be warm");
+        let warm = session.eval(&queries::tc_while(), &input);
+        assert_eq!(cold.result.unwrap(), warm.result.unwrap());
+        assert!(warm.stats.memo_hits > 0);
+        assert!(warm.stats.warm_hits > 0, "{:?}", warm.stats);
+        assert_eq!(session.stats().queries, 2);
+        assert!(session.stats().warm_hits > 0);
+    }
+
+    #[test]
+    fn facade_never_reports_warm_hits() {
+        let input = Value::chain(6);
+        for _ in 0..3 {
+            let ev = crate::evaluate(&queries::tc_while(), &input, &EvalConfig::optimised());
+            assert_eq!(ev.stats.warm_hits, 0);
+        }
+    }
+
+    #[test]
+    fn eviction_resets_generation_and_counters() {
+        // a budget of one byte forces an eviction after every query
+        let mut session = EvalSession::with_resident_budget(EvalConfig::optimised(), 1);
+        let input = Value::chain(5);
+        let first = session.eval(&queries::tc_while(), &input);
+        assert_eq!(session.generation(), 1);
+        assert_eq!(session.stats().evictions, 1);
+        let second = session.eval(&queries::tc_while(), &input);
+        assert_eq!(first.result.unwrap(), second.result.unwrap());
+        assert_eq!(second.stats.warm_hits, 0, "evicted cache cannot be warm");
+        assert_eq!(session.generation(), 2);
+    }
+
+    #[test]
+    fn lazy_and_trace_run_on_the_session() {
+        let mut session = EvalSession::new(EvalConfig::optimised());
+        let input = Value::chain(5);
+        let lazy = session.eval_lazy(&queries::tc_paths(), &input);
+        assert_eq!(lazy.result.unwrap(), Value::chain_tc(5));
+        let traced = session.trace(&queries::tc_step(), &input);
+        let plain = crate::evaluate(&queries::tc_step(), &input, &EvalConfig::default());
+        assert_eq!(traced.result.unwrap().output, plain.result.unwrap());
+        assert_eq!(session.stats().queries, 2);
+    }
+
+    #[test]
+    fn handle_level_evaluation_round_trips() {
+        let mut session = EvalSession::new(EvalConfig::default());
+        let eid = session.intern_expr(&queries::tc_while());
+        let input = session.values_mut().chain(5);
+        let ev = session.eval_vid(eid, input);
+        let expect = session.values_mut().chain_tc(5);
+        assert_eq!(ev.result.unwrap(), expect, "O(1) handle equality");
+    }
+}

@@ -39,6 +39,13 @@ pub struct EvalStats {
     /// Apply-cache misses — evaluations that ran the derivation and
     /// populated the cache. Only nonzero under `EvalConfig::memo`.
     pub memo_misses: u64,
+    /// The subset of `memo_hits` served by entries written by an
+    /// **earlier query of the same session** (cross-query warm starts).
+    /// Always 0 through the free-function facade, which opens a fresh
+    /// cache epoch per call; a `session::EvalSession` keeps its apply
+    /// cache across `eval` calls and re-derivations of judgments already
+    /// seen by previous queries land here.
+    pub warm_hits: u64,
     /// Number of `map`/`μ` applications served incrementally by the
     /// semi-naive delta rules (only nonzero under
     /// [`EvalConfig::semi_naive`](crate::error::EvalConfig::semi_naive)):

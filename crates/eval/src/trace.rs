@@ -27,9 +27,9 @@
 use crate::eager::{apply_leaf_vid, record_frontier, Ctx};
 use crate::error::{EvalConfig, EvalError};
 use crate::stats::EvalStats;
-use nra_core::expr::intern::{self as expr_intern, EId, ENode};
+use nra_core::expr::intern::{self as expr_intern, EId, ENode, ExprArena};
 use nra_core::expr::Expr;
-use nra_core::value::intern::{self, FxBuildHasher, VId};
+use nra_core::value::intern::{self, FxBuildHasher, VId, ValueArena};
 use nra_core::value::Value;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -158,12 +158,26 @@ struct TraceDeltaEntry {
 /// judgments are grafted from the apply cache as shared subtrees (see
 /// the module docs for the statistics caveat).
 pub fn evaluate_traced(expr: &Expr, input: &Value, config: &EvalConfig) -> TracedEvaluation {
+    intern::with_arena(|va| expr_intern::with_arena(|ea| trace_with(expr, input, config, ea, va)))
+}
+
+/// Run one traced evaluation against explicitly supplied arenas — the
+/// engine-layer entry point sessions call; [`evaluate_traced`] is its
+/// thread-local facade. The trace-side memo/delta caches are per-call
+/// (they hold `Rc`-shared materialised subtrees, not session state).
+pub(crate) fn trace_with(
+    expr: &Expr,
+    input: &Value,
+    config: &EvalConfig,
+    ea: &mut ExprArena,
+    va: &mut ValueArena,
+) -> TracedEvaluation {
     let mut ctx = Ctx::new(config);
-    let iv = intern::intern(input);
-    let eid = expr_intern::intern(expr);
+    let iv = va.intern(input);
+    let eid = ea.intern(expr);
     let mut memo: Option<TraceMemo> = config.memo.then(TraceMemo::default);
     let mut delta: Option<TraceDelta> = config.semi_naive.then(TraceDelta::default);
-    let traced = trace_eid(eid, iv, &mut ctx, &mut memo, &mut delta);
+    let traced = trace_eid(eid, iv, &mut ctx, &mut memo, &mut delta, ea, va);
     // release the caches' Rc references first, so the root node is
     // uniquely owned and unwraps without an O(object-size) deep clone
     drop(memo);
@@ -185,12 +199,15 @@ pub fn evaluate_traced(expr: &Expr, input: &Value, config: &EvalConfig) -> Trace
 /// [`EvalStats::memo_hits`](crate::stats::EvalStats::memo_hits) instead
 /// of the §3 counters; with `memo` absent this is the exact §3 builder
 /// (its statistics coincide with the plain eager evaluator's).
+#[allow(clippy::too_many_arguments)]
 fn trace_eid(
     eid: EId,
     input: VId,
     ctx: &mut Ctx,
     memo: &mut Option<TraceMemo>,
     delta: &mut Option<TraceDelta>,
+    ea: &ExprArena,
+    va: &mut ValueArena,
 ) -> Result<(Rc<DerivNode>, VId), EvalError> {
     if let Some(memo) = memo.as_ref() {
         if let Some((node, out, cost)) = memo.get(&(eid, input)) {
@@ -202,22 +219,22 @@ fn trace_eid(
         ctx.stats.memo_misses += 1;
     }
     let cost_start = ctx.charged_nodes;
-    let enode = expr_intern::node(eid);
+    let enode = ea.node(eid);
     let rule = enode.head_name();
     ctx.node(enode.head_index())?;
-    ctx.observe_vid(input)?;
+    ctx.observe_vid(va, input)?;
     let (output, children) = match enode {
         ENode::Tuple(f, g) => {
-            let (a, av) = trace_eid(f, input, ctx, memo, delta)?;
-            let (b, bv) = trace_eid(g, input, ctx, memo, delta)?;
-            (intern::pair(av, bv), vec![a, b])
+            let (a, av) = trace_eid(f, input, ctx, memo, delta, ea, va)?;
+            let (b, bv) = trace_eid(g, input, ctx, memo, delta, ea, va)?;
+            (va.pair(av, bv), vec![a, b])
         }
-        ENode::Map(f) => trace_map(eid, f, input, ctx, memo, delta)?,
+        ENode::Map(f) => trace_map(eid, f, input, ctx, memo, delta, ea, va)?,
         ENode::Cond(c, then, els) => {
-            let (cnode, cv) = trace_eid(c, input, ctx, memo, delta)?;
-            let (branch, bv) = match intern::as_bool(cv) {
-                Some(true) => trace_eid(then, input, ctx, memo, delta)?,
-                Some(false) => trace_eid(els, input, ctx, memo, delta)?,
+            let (cnode, cv) = trace_eid(c, input, ctx, memo, delta, ea, va)?;
+            let (branch, bv) = match va.as_bool(cv) {
+                Some(true) => trace_eid(then, input, ctx, memo, delta, ea, va)?,
+                Some(false) => trace_eid(els, input, ctx, memo, delta, ea, va)?,
                 None => {
                     return Err(EvalError::Stuck {
                         rule: "if",
@@ -228,8 +245,8 @@ fn trace_eid(
             (bv, vec![cnode, branch])
         }
         ENode::Compose(g, f) => {
-            let (fnode, fv) = trace_eid(f, input, ctx, memo, delta)?;
-            let (gnode, gv) = trace_eid(g, fv, ctx, memo, delta)?;
+            let (fnode, fv) = trace_eid(f, input, ctx, memo, delta, ea, va)?;
+            let (gnode, gv) = trace_eid(g, fv, ctx, memo, delta, ea, va)?;
             (gv, vec![fnode, gnode])
         }
         ENode::While(f) => {
@@ -237,12 +254,12 @@ fn trace_eid(
             let mut current = input;
             let mut iterations: u64 = 0;
             loop {
-                let (child, next) = trace_eid(f, current, ctx, memo, delta)?;
+                let (child, next) = trace_eid(f, current, ctx, memo, delta, ea, va)?;
                 children.push(child);
                 iterations += 1;
                 ctx.stats.while_iterations += 1;
                 // thread (total, delta), exactly as the eager walker
-                record_frontier(ctx, current, next);
+                record_frontier(ctx, va, current, next);
                 if next == current {
                     break;
                 }
@@ -253,13 +270,13 @@ fn trace_eid(
             }
             (current, children)
         }
-        ENode::Leaf(leaf) => (apply_leaf_vid(&leaf, input, ctx)?, Vec::new()),
+        ENode::Leaf(leaf) => (apply_leaf_vid(&leaf, input, ctx, va)?, Vec::new()),
     };
-    ctx.observe_vid(output)?;
+    ctx.observe_vid(va, output)?;
     let node = Rc::new(DerivNode {
         rule,
-        input: intern::resolve(input),
-        output: intern::resolve(output),
+        input: va.resolve(input),
+        output: va.resolve(output),
         children,
     });
     if let Some(memo) = memo.as_mut() {
@@ -278,6 +295,7 @@ fn trace_eid(
 /// (evaluation is pure), with the reused elements' recorded costs
 /// charged against the node budget exactly as the eager walker does.
 #[allow(clippy::type_complexity)]
+#[allow(clippy::too_many_arguments)]
 fn trace_map(
     eid: EId,
     f: EId,
@@ -285,8 +303,10 @@ fn trace_map(
     ctx: &mut Ctx,
     memo: &mut Option<TraceMemo>,
     delta: &mut Option<TraceDelta>,
+    ea: &ExprArena,
+    va: &mut ValueArena,
 ) -> Result<(VId, Vec<Rc<DerivNode>>), EvalError> {
-    let items = intern::as_set(input).ok_or(EvalError::Stuck {
+    let items = va.as_set(input).ok_or(EvalError::Stuck {
         rule: "map",
         detail: "input is not a set".into(),
     })?;
@@ -295,16 +315,16 @@ fn trace_map(
     let prev = delta.as_mut().and_then(|d| d.remove(&eid));
     let reusable = prev.and_then(|e| {
         if e.input == input {
-            return Some((e, intern::empty_set()));
+            return Some((e, va.empty_set()));
         }
-        let (union, fresh) = intern::with_arena(|a| a.set_merge_delta(e.input, input))?;
+        let (union, fresh) = va.set_merge_delta(e.input, input)?;
         (union == input).then_some((e, fresh))
     });
     let mut children = Vec::with_capacity(items.len());
     let mut out = Vec::with_capacity(items.len());
     match reusable {
         Some((mut entry, fresh)) => {
-            let fresh_items = intern::as_set(fresh).expect("frontier is a set");
+            let fresh_items = va.as_set(fresh).expect("frontier is a set");
             ctx.stats.delta_hits += 1;
             ctx.stats.delta_skipped += (items.len() - fresh_items.len()) as u64;
             for &item in items.iter() {
@@ -319,7 +339,7 @@ fn trace_map(
                     children.push(child);
                 } else {
                     let start = ctx.charged_nodes;
-                    let (child, cv) = trace_eid(f, item, ctx, memo, delta)?;
+                    let (child, cv) = trace_eid(f, item, ctx, memo, delta, ea, va)?;
                     entry
                         .children
                         .insert(item, (Rc::clone(&child), cv, ctx.charged_nodes - start));
@@ -327,7 +347,7 @@ fn trace_map(
                     children.push(child);
                 }
             }
-            let output = intern::set(out);
+            let output = va.set_from_vec(out);
             entry.input = input;
             if let Some(d) = delta.as_mut() {
                 d.insert(eid, entry);
@@ -339,14 +359,14 @@ fn trace_map(
                 HashMap::default();
             for &item in items.iter() {
                 let start = ctx.charged_nodes;
-                let (child, cv) = trace_eid(f, item, ctx, memo, delta)?;
+                let (child, cv) = trace_eid(f, item, ctx, memo, delta, ea, va)?;
                 if delta.is_some() {
                     fresh_children.insert(item, (Rc::clone(&child), cv, ctx.charged_nodes - start));
                 }
                 out.push(cv);
                 children.push(child);
             }
-            let output = intern::set(out);
+            let output = va.set_from_vec(out);
             if let Some(d) = delta.as_mut() {
                 d.insert(
                     eid,

@@ -10,12 +10,75 @@
 //! *routes* (powerset vs while vs classical algorithms); this file checks
 //! agreement between *strategies* evaluating the same route.
 
-use nra_core::{queries, Value};
+use nra_core::builder::*;
+use nra_core::types::Type;
+use nra_core::{derived, queries, Value};
 use nra_eval::{evaluate, evaluate_lazy, evaluate_traced, evaluate_tree, EvalConfig};
 use nra_graph::{graph_to_value, graph_to_vid, tc, DiGraph};
 use nra_testkit::{check, Rng};
 
 const CASES: u64 = 24;
+
+/// The edge type `N × N`.
+fn edge_ty() -> Type {
+    Type::prod(Type::Nat, Type::Nat)
+}
+
+/// Queries exercising the fused derived shapes — `nest`/`unnest`,
+/// membership and inclusion predicates (via `∩`, `∖`, `⊆`, `=` at set
+/// types) — each of type `{N × N} → t` so the family graphs feed them
+/// directly, and each wrapping a growing `tc_step` so the semi-naive
+/// walker sees the shapes re-fire on grown inputs.
+fn fused_shape_queries() -> Vec<(&'static str, nra_core::Expr)> {
+    let rel = Type::set(edge_ty());
+    vec![
+        // nest ∘ unnest round-trips inside the fixpoint: the body is
+        // exactly tc_step followed by an identity detour through the
+        // grouping operators, so the trajectory is tc_while's
+        (
+            "while(unnest ∘ nest ∘ tc_step)",
+            while_fix(pipeline([
+                queries::tc_step(),
+                derived::nest(&Type::Nat, &Type::Nat),
+                derived::unnest(),
+            ])),
+        ),
+        ("nest", derived::nest(&Type::Nat, &Type::Nat)),
+        (
+            "unnest ∘ nest",
+            pipeline([derived::nest(&Type::Nat, &Type::Nat), derived::unnest()]),
+        ),
+        // tc_step(r) ∩ r = r (membership predicate inside ∩)
+        (
+            "tc_step ∩ id",
+            compose(
+                derived::intersect(&edge_ty()),
+                tuple(queries::tc_step(), id()),
+            ),
+        ),
+        // tc_step(r) ∖ r — the freshly derived edges (¬∈ inside ∖)
+        (
+            "tc_step ∖ id",
+            compose(
+                derived::difference(&edge_ty()),
+                tuple(queries::tc_step(), id()),
+            ),
+        ),
+        // r ⊆ tc_step(r) — the inclusion predicate itself
+        (
+            "id ⊆ tc_step",
+            compose(derived::subset(&edge_ty()), tuple(id(), queries::tc_step())),
+        ),
+        // =_{ {N×N} } — set equality, i.e. antisymmetric inclusion
+        (
+            "tc_step = tc_while",
+            compose(
+                derived::eq_at(&rel),
+                tuple(queries::tc_step(), queries::tc_while()),
+            ),
+        ),
+    ]
+}
 
 /// One random graph from each of the seven shared families per seed,
 /// lifted to `DiGraph` — the family definitions live in
@@ -397,6 +460,248 @@ fn lazy_space_undercuts_eager_on_chains() {
             lazy.stats.streamed_subsets >= 1 << n,
             "n={n}: streamed {} subsets, expected ≥ 2^{n}",
             lazy.stats.streamed_subsets
+        );
+    }
+}
+
+/// The fused rules for `nest`/`unnest` and the membership/inclusion
+/// predicates must change the cost, never the answer: on every family,
+/// semi-naive evaluation of the shape-bearing queries is bit-for-bit
+/// the naive (and tree-path) result, with the §3 counters only ever
+/// shrinking.
+#[test]
+fn fused_derived_shapes_agree_with_naive_on_all_families() {
+    check(
+        "fused_derived_shapes_agree_with_naive_on_all_families",
+        CASES,
+        |_, rng| {
+            let cfg = EvalConfig::default();
+            for (family, g) in family_graphs(rng) {
+                let input = graph_to_value(&g);
+                for (label, q) in fused_shape_queries() {
+                    let tree = evaluate_tree(&q, &input, &cfg);
+                    let naive = evaluate(&q, &input, &cfg);
+                    assert_eq!(
+                        tree.result.as_ref().unwrap(),
+                        naive.result.as_ref().unwrap(),
+                        "{family}: {label} (tree vs interned)"
+                    );
+                    for (mode, delta_cfg) in [
+                        ("semi-naive", EvalConfig::semi_naive()),
+                        ("memo+semi-naive", EvalConfig::optimised()),
+                    ] {
+                        let delta = evaluate(&q, &input, &delta_cfg);
+                        assert_eq!(
+                            naive.result.as_ref().unwrap(),
+                            delta.result.as_ref().unwrap(),
+                            "{family}: {mode} {label}"
+                        );
+                        assert!(
+                            delta.stats.nodes <= naive.stats.nodes,
+                            "{family}: {mode} {label} — fusion may only shrink the node count"
+                        );
+                        assert!(
+                            delta.stats.max_object_size <= naive.stats.max_object_size,
+                            "{family}: {mode} {label} — fused rules observe a subset of the objects"
+                        );
+                        assert_eq!(
+                            naive.stats.while_iterations, delta.stats.while_iterations,
+                            "{family}: {mode} {label} — the fixpoint trajectory must be exact"
+                        );
+                    }
+                }
+            }
+        },
+    );
+}
+
+/// The fused membership/inclusion/nest rules actually fire: on a
+/// non-trivial input the semi-naive derivation is strictly smaller than
+/// the exact §3 one (the combinator spreads collapse to single fused
+/// judgments), and the delta-driven `unnest` reports frontier skips
+/// inside the fixpoint.
+#[test]
+fn fused_derived_shapes_fire() {
+    let input = Value::chain(5);
+    for (label, q) in fused_shape_queries() {
+        let naive = evaluate(&q, &input, &EvalConfig::default());
+        let delta = evaluate(&q, &input, &EvalConfig::semi_naive());
+        assert_eq!(
+            naive.result.as_ref().unwrap(),
+            delta.result.as_ref().unwrap(),
+            "{label}"
+        );
+        assert!(
+            delta.stats.nodes < naive.stats.nodes,
+            "{label}: expected fused rules to shrink {} nodes, got {}",
+            naive.stats.nodes,
+            delta.stats.nodes
+        );
+    }
+    // the round-trip fixpoint re-fires unnest on grown groupings:
+    // the delta rule must serve it incrementally
+    let (label, roundtrip) = &fused_shape_queries()[0];
+    let delta = evaluate(roundtrip, &input, &EvalConfig::semi_naive());
+    assert!(
+        delta.stats.delta_hits > 0,
+        "{label}: expected delta hits, stats {:?}",
+        delta.stats
+    );
+}
+
+/// Bounded-witness transitive closure: each iterate joins the ≤2-edge
+/// subsets of the current relation, so the body is `powersetₘ` applied
+/// to a *growing* base — the workload the semi-naive lazy context
+/// serves by streaming only frontier subsets.
+fn tc_bounded_witness() -> nra_core::Expr {
+    let step = compose(
+        union(),
+        tuple(
+            id(),
+            pipeline([powerset_m_prim(2), map(queries::compose_rel()), flatten()]),
+        ),
+    );
+    while_fix(step)
+}
+
+/// The semi-naive lazy context must stream only *frontier* subsets for
+/// `powersetₘ` chains — same answer as the full re-enumeration, on
+/// every family, with the skipped re-enumeration reported in
+/// `LazyStats::frontier_subsets_skipped`.
+#[test]
+fn lazy_frontier_streaming_agrees_on_all_families() {
+    check(
+        "lazy_frontier_streaming_agrees_on_all_families",
+        CASES / 2,
+        |_, rng| {
+            let q = tc_bounded_witness();
+            for (family, g) in family_graphs(rng) {
+                let input = graph_to_value(&g);
+                let expect = graph_to_value(&tc(&g));
+                let plain = evaluate_lazy(&q, &input, &EvalConfig::default());
+                assert_eq!(
+                    plain.result.as_ref().unwrap(),
+                    &expect,
+                    "{family}: lazy bounded-witness TC vs graph closure"
+                );
+                for (mode, cfg) in [
+                    ("semi-naive", EvalConfig::semi_naive()),
+                    ("memo+semi-naive", EvalConfig::optimised()),
+                ] {
+                    let delta = evaluate_lazy(&q, &input, &cfg);
+                    assert_eq!(
+                        plain.result.as_ref().unwrap(),
+                        delta.result.as_ref().unwrap(),
+                        "{family}: {mode} lazy bounded-witness TC"
+                    );
+                    assert_eq!(
+                        plain.stats.while_iterations, delta.stats.while_iterations,
+                        "{family}: {mode} — the fixpoint trajectory must be exact"
+                    );
+                    assert!(
+                        delta.stats.streamed_subsets <= plain.stats.streamed_subsets,
+                        "{family}: {mode} — resumption may only shrink the stream"
+                    );
+                }
+                // the eager strategy is a second referee
+                let eager_ev = evaluate(&q, &input, &EvalConfig::default());
+                assert_eq!(eager_ev.result.unwrap(), expect, "{family}: eager referee");
+            }
+        },
+    );
+}
+
+/// On a chain long enough to iterate, frontier resumption actually
+/// kicks in: incremental streams fire, whole sub-powersets are skipped,
+/// and the semi-naive stream is strictly shorter than the naive one.
+#[test]
+fn lazy_frontier_streaming_skips_resumed_subsets() {
+    let q = tc_bounded_witness();
+    let input = Value::chain(5);
+    let plain = evaluate_lazy(&q, &input, &EvalConfig::default());
+    let delta = evaluate_lazy(&q, &input, &EvalConfig::semi_naive());
+    assert_eq!(
+        plain.result.as_ref().unwrap(),
+        delta.result.as_ref().unwrap()
+    );
+    assert_eq!(plain.result.unwrap(), Value::chain_tc(5));
+    assert!(delta.stats.frontier_streams > 0, "{:?}", delta.stats);
+    assert!(
+        delta.stats.frontier_subsets_skipped > 0,
+        "{:?}",
+        delta.stats
+    );
+    assert!(
+        delta.stats.streamed_subsets < plain.stats.streamed_subsets,
+        "semi-naive streamed {} vs naive {}",
+        delta.stats.streamed_subsets,
+        plain.stats.streamed_subsets
+    );
+    // the default mode never counts frontier activity
+    assert_eq!(plain.stats.frontier_streams, 0);
+    assert_eq!(plain.stats.frontier_subsets_skipped, 0);
+}
+
+/// The conformance gate of the fused predicate rules: on *ill-typed*
+/// inputs the derived terms have observable behaviour of their own
+/// (stuck states; `=_unit` constantly true), and the fused rules must
+/// fall back rather than answer from handle comparisons — semi-naive
+/// stays bit-for-bit the exact derivation even off the well-typed path.
+#[test]
+fn fused_predicates_preserve_ill_typed_semantics() {
+    use nra_eval::EvalError;
+    let configs = [
+        EvalConfig::default(),
+        EvalConfig::semi_naive(),
+        EvalConfig::optimised(),
+    ];
+    // member(N) on (true, {1, 2}): eq_nat gets stuck comparing a boolean
+    let q = derived::member(&Type::Nat);
+    let input = Value::pair(Value::TRUE, Value::set([Value::nat(1), Value::nat(2)]));
+    for cfg in &configs {
+        let ev = evaluate(&q, &input, cfg);
+        assert!(
+            matches!(ev.result, Err(EvalError::Stuck { .. })),
+            "member(N) on an ill-typed pair must stay stuck: {:?}",
+            ev.result
+        );
+    }
+    // member(unit) on ((), {1}): =_unit is constantly true on ANY
+    // elements, so the derived term says "yes" even though no element
+    // is structurally () — a handle search would say "no"
+    let q = derived::member(&Type::Unit);
+    let input = Value::pair(Value::Unit, Value::set([Value::nat(1)]));
+    for cfg in &configs {
+        let ev = evaluate(&q, &input, cfg);
+        assert_eq!(
+            ev.result.unwrap(),
+            Value::TRUE,
+            "member(unit) ignores element structure — fused must agree"
+        );
+    }
+    // subset(N) with a boolean hiding in the left set: stuck preserved
+    let q = derived::subset(&Type::Nat);
+    let input = Value::pair(
+        Value::set([Value::TRUE]),
+        Value::set([Value::nat(1), Value::nat(2)]),
+    );
+    for cfg in &configs {
+        let ev = evaluate(&q, &input, cfg);
+        assert!(
+            matches!(ev.result, Err(EvalError::Stuck { .. })),
+            "subset(N) over ill-typed elements must stay stuck: {:?}",
+            ev.result
+        );
+    }
+    // nest(N, N) with a boolean key: the same-key eq_nat gets stuck
+    let q = derived::nest(&Type::Nat, &Type::Nat);
+    let input = Value::set([Value::pair(Value::TRUE, Value::nat(1))]);
+    for cfg in &configs {
+        let ev = evaluate(&q, &input, cfg);
+        assert!(
+            matches!(ev.result, Err(EvalError::Stuck { .. })),
+            "nest(N, N) on an ill-typed key must stay stuck: {:?}",
+            ev.result
         );
     }
 }

@@ -1,0 +1,153 @@
+//! Session-layer property tests: arena occupancy accounting,
+//! generation-based eviction, and cross-query warm starts.
+//!
+//! The contracts under test (see `nra_eval::session`):
+//!
+//! * eviction never changes results — only cache hit counters;
+//! * `approx_resident_bytes` is monotone over queries *within* one
+//!   generation, and drops at an eviction;
+//! * warm starts report `memo_hits > 0` (and `warm_hits > 0`) on
+//!   re-evaluation, and never survive an eviction.
+
+use nra_core::{queries, Value};
+use nra_eval::{evaluate, EvalConfig, EvalSession};
+use nra_testkit::{check, Rng};
+
+const CASES: u64 = 16;
+
+fn family_inputs(rng: &mut Rng) -> Vec<(&'static str, Value)> {
+    nra_testkit::graphs::family_graphs(rng)
+        .into_iter()
+        .map(|g| (g.family, Value::relation(g.edges)))
+        .collect()
+}
+
+/// Generation-based eviction must be invisible in the results: a
+/// session evicting after every query (1-byte budget), a never-evicting
+/// session, and the thread-local facade all produce bit-for-bit the
+/// same values on every family and route — only `memo_hits`/`warm_hits`
+/// differ.
+#[test]
+fn eviction_never_changes_results() {
+    check("eviction_never_changes_results", CASES, |_, rng| {
+        let config = EvalConfig::optimised();
+        let mut warm = EvalSession::new(config.clone());
+        let mut evicting = EvalSession::with_resident_budget(config.clone(), 1);
+        for (family, input) in family_inputs(rng) {
+            for q in [queries::tc_while(), queries::tc_step(), queries::tc_paths()] {
+                let reference = evaluate(&q, &input, &config);
+                let from_warm = warm.eval(&q, &input);
+                let from_evicting = evicting.eval(&q, &input);
+                let expect = reference.result.unwrap();
+                assert_eq!(from_warm.result.unwrap(), expect, "{family}: {q} (warm)");
+                assert_eq!(
+                    from_evicting.result.unwrap(),
+                    expect,
+                    "{family}: {q} (evicting)"
+                );
+                // an evicted cache is cold by construction
+                assert_eq!(
+                    from_evicting.stats.warm_hits, 0,
+                    "{family}: {q} — warm hit across an eviction"
+                );
+                // cache hits never *re-observe* skipped derivations, so
+                // the §3 counters of a warm run only ever shrink (down
+                // to 0 when the whole judgment is cached); the evicting
+                // session restarts cold every query, so its measure is
+                // exactly the reference one
+                assert!(
+                    from_warm.stats.max_object_size <= reference.stats.max_object_size,
+                    "{family}: {q}"
+                );
+                assert_eq!(
+                    from_evicting.stats.max_object_size, reference.stats.max_object_size,
+                    "{family}: {q} (cold restart must report the exact measure)"
+                );
+            }
+        }
+        // the 1-byte budget evicted at every query boundary
+        assert_eq!(evicting.stats().evictions, evicting.stats().queries);
+        assert_eq!(evicting.generation(), evicting.stats().queries);
+        assert_eq!(warm.stats().evictions, 0);
+        assert_eq!(warm.generation(), 0);
+    });
+}
+
+/// Within one generation the resident-byte estimate is monotone (arenas
+/// and cache state only grow); an eviction drops it back.
+#[test]
+fn resident_bytes_are_monotone_within_a_generation() {
+    check(
+        "resident_bytes_are_monotone_within_a_generation",
+        CASES,
+        |_, rng| {
+            let mut session = EvalSession::new(EvalConfig::optimised());
+            let mut last = session.approx_resident_bytes();
+            let baseline = last;
+            for (family, input) in family_inputs(rng) {
+                for q in [queries::tc_while(), queries::tc_step()] {
+                    session.eval(&q, &input).result.unwrap();
+                    let now = session.approx_resident_bytes();
+                    assert!(
+                        now >= last,
+                        "{family}: resident bytes shrank {last} → {now} without an eviction"
+                    );
+                    last = now;
+                }
+            }
+            assert!(last > baseline, "evaluations must grow the session");
+            let before_eviction = session.generation();
+            session.evict();
+            assert_eq!(session.generation(), before_eviction + 1);
+            assert!(
+                session.approx_resident_bytes() < last,
+                "eviction must drop the resident estimate"
+            );
+        },
+    );
+}
+
+/// The acceptance workload: warm-start re-evaluation of `tc_while` on
+/// the chain n = 12 hits the surviving apply cache on the second call.
+#[test]
+fn warm_start_on_chain_12_hits_the_cache() {
+    let mut session = EvalSession::new(EvalConfig::optimised());
+    let input = Value::chain(12);
+    let cold = session.eval(&queries::tc_while(), &input);
+    assert_eq!(cold.result.unwrap(), Value::chain_tc(12));
+    assert_eq!(cold.stats.warm_hits, 0);
+    let second = session.eval(&queries::tc_while(), &input);
+    assert_eq!(second.result.unwrap(), Value::chain_tc(12));
+    assert!(
+        second.stats.memo_hits > 0,
+        "second call must hit the surviving cache: {:?}",
+        second.stats
+    );
+    assert!(second.stats.warm_hits > 0, "{:?}", second.stats);
+    // the warm start collapses the whole derivation: the root judgment
+    // itself is cached, so the §3 node count drops to (almost) nothing
+    assert!(
+        second.stats.nodes < cold.stats.nodes / 10,
+        "warm re-evaluation should skip the bulk of the derivation: \
+         cold {} vs warm {} nodes",
+        cold.stats.nodes,
+        second.stats.nodes
+    );
+}
+
+/// Warm starts also fire across *related* (not identical) queries: a
+/// closure over a grown input reuses the judgments shared with the
+/// smaller run.
+#[test]
+fn warm_starts_cross_related_queries() {
+    let mut session = EvalSession::new(EvalConfig::optimised());
+    session
+        .eval(&queries::tc_while(), &Value::chain(8))
+        .result
+        .unwrap();
+    // same query, different input: shared sub-judgments (per-element
+    // map bodies over the shared prefix) warm-start
+    let grown = session.eval(&queries::tc_while(), &Value::chain(9));
+    assert_eq!(grown.result.unwrap(), Value::chain_tc(9));
+    assert!(grown.stats.warm_hits > 0, "{:?}", grown.stats);
+}

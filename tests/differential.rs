@@ -245,3 +245,65 @@ fn chain_separation_is_certified_by_growth_rate() {
         "while route: polynomial degree ≈ 4 expected, got {degree}"
     );
 }
+
+/// Tentpole acceptance: 4-worker batch evaluation is **bit-for-bit**
+/// identical to sequential evaluation across all seven graph families —
+/// same result handles after the canonical re-intern pass, same
+/// per-query §3 statistics — under both the default and the fully
+/// optimised configuration.
+#[test]
+fn batch_evaluation_matches_sequential_on_all_families() {
+    use powerset_tc::eval::{eval_batch, EvalSession};
+    check(
+        "batch_evaluation_matches_sequential_on_all_families",
+        CASES / 2,
+        |seed, rng| {
+            let graphs: Vec<_> = nra_testkit::graphs::family_graphs(rng)
+                .into_iter()
+                .map(lift)
+                .collect();
+            for config in [EvalConfig::default(), EvalConfig::optimised()] {
+                let mut session = EvalSession::new(config.clone());
+                let q_while = session.intern_expr(&queries::tc_while());
+                let q_paths = session.intern_expr(&queries::tc_paths());
+                let jobs: Vec<_> = graphs
+                    .iter()
+                    .flat_map(|g| {
+                        let input = session.intern_value(&graph_to_value(g));
+                        [(q_while, input), (q_paths, input)]
+                    })
+                    .collect();
+                // sequential reference through an *independent* session,
+                // resolved to values so the comparison is representation-free
+                let mut reference = EvalSession::new(config.clone());
+                let sequential: Vec<Value> = jobs
+                    .iter()
+                    .map(|&(eid, input)| {
+                        let expr = session.exprs().resolve(eid);
+                        let value = session.resolve(input);
+                        reference.eval(&expr, &value).result.unwrap()
+                    })
+                    .collect();
+                let batched = eval_batch(&mut session, &jobs, 4);
+                assert_eq!(batched.len(), jobs.len());
+                for (i, (seq, par)) in sequential.iter().zip(&batched).enumerate() {
+                    let par_value = session.resolve(*par.result.as_ref().unwrap());
+                    assert_eq!(
+                        seq, &par_value,
+                        "seed {seed}: job {i} (batch vs sequential)"
+                    );
+                }
+                // the graph referee closes the loop: every tc_while job
+                // must be the classical closure
+                for (g, chunk) in graphs.iter().zip(batched.chunks(2)) {
+                    let expect = graph_to_value(&warshall(g));
+                    assert_eq!(
+                        session.resolve(*chunk[0].result.as_ref().unwrap()),
+                        expect,
+                        "seed {seed}: batch tc_while vs warshall"
+                    );
+                }
+            }
+        },
+    );
+}
