@@ -36,7 +36,7 @@ fn main() {
         nra_bench::BATCH_WORKERS
     );
     println!(
-        "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "workload",
         "n",
         "tree",
@@ -45,15 +45,17 @@ fn main() {
         "seminaive",
         "warm",
         "batch",
+        "shwarm",
         "intern×",
         "memo×",
         "semi×",
         "warm×",
-        "batch×"
+        "batch×",
+        "shwarm×"
     );
     for c in &comparisons {
         println!(
-            "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x",
+            "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x",
             c.workload,
             c.n,
             fmt_duration(c.tree),
@@ -62,11 +64,13 @@ fn main() {
             fmt_duration(c.seminaive),
             fmt_duration(c.warm),
             fmt_duration(c.batch),
+            fmt_duration(c.shared_warm),
             c.speedup(),
             c.memo_speedup(),
             c.seminaive_speedup(),
             c.warm_speedup(),
-            c.batch_speedup()
+            c.batch_speedup(),
+            c.shared_warm_speedup()
         );
     }
     let min = comparisons
@@ -89,11 +93,16 @@ fn main() {
         .iter()
         .map(EvalComparison::batch_speedup)
         .fold(f64::INFINITY, f64::min);
+    let min_shared_warm = comparisons
+        .iter()
+        .map(EvalComparison::shared_warm_speedup)
+        .fold(f64::INFINITY, f64::min);
     println!("minimum interned speedup across workloads:   {min:.2}x");
     println!("minimum memo speedup across workloads:       {min_memo:.2}x");
     println!("minimum semi-naive speedup across workloads: {min_semi:.2}x");
     println!("minimum warm-start speedup across workloads: {min_warm:.2}x");
     println!("minimum batch speedup across workloads:      {min_batch:.2}x");
+    println!("minimum shared-warm speedup across workloads: {min_shared_warm:.2}x");
 
     let path = write_bench_eval_json(&comparisons, samples).expect("write BENCH_eval.json");
     println!("wrote {}", path.display());

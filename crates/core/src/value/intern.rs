@@ -74,8 +74,9 @@
 use super::Value;
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
-use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::Arc;
+use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// A fast non-cryptographic hasher (the FxHash recipe: rotate, xor,
 /// multiply) for handle-keyed maps. Interning happens on the evaluator
@@ -87,7 +88,7 @@ use std::sync::Arc;
 #[derive(Default)]
 pub struct FxHasher(u64);
 
-/// [`BuildHasher`](std::hash::BuildHasher) for [`FxHasher`]-backed maps:
+/// [`BuildHasher`] for [`FxHasher`]-backed maps:
 /// `HashMap<K, V, FxBuildHasher>`.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
@@ -214,11 +215,147 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Number of lock-striped dedup shards of a shared arena (a power of
+/// two; a node's shard is its hash masked down). 16 stripes keep
+/// contention negligible for the worker counts `eval_batch` runs
+/// (typically ≤ the machine's core count).
+const DEDUP_SHARDS: usize = 16;
+
+/// Slot count of chunk 0 of a shared arena, as a power of two.
+const FIRST_CHUNK_BITS: u32 = 10;
+
+/// Number of chunks a shared arena can grow: chunk `c` holds
+/// `2^(FIRST_CHUNK_BITS + c)` slots, so 23 chunks cover the full `u32`
+/// handle space (the arena panics before exceeding it, exactly like
+/// the local backing).
+const SHARED_CHUNKS: usize = 23;
+
+/// Locate `index` in the graduated chunk directory: chunk 0 holds
+/// indices `0..2¹⁰`, chunk `c ≥ 1` the next `2^(10+c)`.
+#[inline]
+fn chunk_pos(index: usize) -> (usize, usize) {
+    let adjusted = index + (1usize << FIRST_CHUNK_BITS);
+    let k = usize::BITS - 1 - adjusted.leading_zeros();
+    ((k - FIRST_CHUNK_BITS) as usize, adjusted - (1usize << k))
+}
+
+/// Capacity of chunk `chunk` of the graduated directory.
+#[inline]
+fn chunk_capacity(chunk: usize) -> usize {
+    1usize << (FIRST_CHUNK_BITS as usize + chunk)
+}
+
+/// Dedup shard of `node` — deterministic (FxHash of the node), so every
+/// thread agrees on where a node's canonical entry lives.
+#[inline]
+fn shard_index(node: &Node) -> usize {
+    (FxBuildHasher::default().hash_one(node) as usize) & (DEDUP_SHARDS - 1)
+}
+
+/// The single-owner backing: plain vectors plus one dedup map, the
+/// layout every arena starts with.
+#[derive(Default)]
+struct LocalTables {
+    nodes: Vec<Node>,
+    metas: Vec<Meta>,
+    dedup: HashMap<Node, VId, FxBuildHasher>,
+    /// Total set-element fan-out, maintained incrementally so occupancy
+    /// accounting is `O(1)` (and identical between backings).
+    set_children: usize,
+}
+
+/// The concurrent backing behind [`ValueArena::make_shared`]: one
+/// canonical store many arena clones intern into simultaneously.
+///
+/// Layout and lock discipline:
+///
+/// * **Node storage** is a graduated directory of append-only chunks
+///   (chunk `c` holds `2^(10+c)` slots), so indices are globally dense
+///   — the same `VId` space as the local backing — and published slots
+///   never move. Each slot is a [`OnceLock`], whose `set`/`get` pair
+///   provides the release/acquire edge that makes a node (and its
+///   metadata) visible to every thread that obtained its `VId`.
+/// * **Deduplication** is lock-striped: [`DEDUP_SHARDS`] mutexes, a
+///   node hashing to its shard. Interning an already-known node takes
+///   exactly one shard lock.
+/// * **Allocation** of fresh indices is serialised by the single
+///   `alloc` mutex (taken *after* the shard lock — the lock order is
+///   shard → alloc, and alloc never takes a shard lock, so the pair
+///   cannot deadlock). `len` is stored with `Release` only after the
+///   slot is written, so any reader that observes an index below `len`
+///   finds its slot initialised.
+///
+/// Reads (`slot`) are entirely lock-free: one `Acquire` load of `len`,
+/// pure index arithmetic, two `OnceLock::get`s.
+struct SharedTables {
+    chunks: [OnceLock<SharedChunk>; SHARED_CHUNKS],
+    len: AtomicUsize,
+    set_children: AtomicUsize,
+    dedup: [Mutex<HashMap<Node, VId, FxBuildHasher>>; DEDUP_SHARDS],
+    alloc: Mutex<()>,
+}
+
+/// One lazily-allocated storage chunk of the shared store: a fixed run
+/// of write-once slots.
+type SharedChunk = Box<[OnceLock<(Node, Meta)>]>;
+
+impl SharedTables {
+    fn new() -> Self {
+        SharedTables {
+            chunks: std::array::from_fn(|_| OnceLock::new()),
+            len: AtomicUsize::new(0),
+            set_children: AtomicUsize::new(0),
+            dedup: std::array::from_fn(|_| Mutex::new(HashMap::default())),
+            alloc: Mutex::new(()),
+        }
+    }
+
+    /// The chunk `chunk`, allocated on first touch.
+    fn chunk(&self, chunk: usize) -> &[OnceLock<(Node, Meta)>] {
+        self.chunks[chunk].get_or_init(|| {
+            (0..chunk_capacity(chunk))
+                .map(|_| OnceLock::new())
+                .collect()
+        })
+    }
+
+    /// The published node behind `index`. Panics on an index this store
+    /// never issued — the stale-handle failure mode.
+    fn slot(&self, index: usize) -> &(Node, Meta) {
+        assert!(
+            index < self.len.load(Ordering::Acquire),
+            "stale handle: index {index} was never issued by this shared arena \
+             (evicted generation, or a foreign arena's handle)"
+        );
+        let (chunk, offset) = chunk_pos(index);
+        self.chunks[chunk]
+            .get()
+            .expect("chunk of a published index is initialised")[offset]
+            .get()
+            .expect("slot of a published index is initialised")
+    }
+}
+
+/// The two storage modes of an arena — see [`ValueArena::make_shared`].
+enum Backing {
+    Local(LocalTables),
+    Shared(Arc<SharedTables>),
+}
+
 /// A hash-consing arena for complex objects.
 ///
 /// Most callers use the thread-local arena through this module's free
 /// functions; owning a `ValueArena` directly gives an isolated handle
 /// space (handles from different arenas must never be mixed).
+///
+/// An arena starts in **local** mode (plain vectors, zero
+/// synchronisation). [`ValueArena::make_shared`] migrates it onto a
+/// lock-striped concurrent store, after which
+/// [`ValueArena::shared_clone`] hands out further arenas over the *same*
+/// store: handles are interchangeable between all clones, interning is
+/// canonical across threads, and previously issued handles stay valid
+/// (indices are preserved by the migration). The whole public API is
+/// identical in both modes.
 ///
 /// ```
 /// use nra_core::value::intern::ValueArena;
@@ -232,15 +369,31 @@ fn mix(mut z: u64) -> u64 {
 /// assert_eq!(arena.size(s), 3); // 1 + size(1) + size(2), cached
 /// assert_eq!(arena.resolve(s), Value::set([Value::nat(1), Value::nat(2)]));
 /// ```
-#[derive(Debug, Default)]
 pub struct ValueArena {
-    nodes: Vec<Node>,
-    metas: Vec<Meta>,
-    dedup: HashMap<Node, VId, BuildHasherDefault<FxHasher>>,
+    backing: Backing,
     /// Bumped by [`ValueArena::clear`], mirroring the expression
     /// arena's counter, so holders of handles can detect that they went
     /// stale.
     generation: u64,
+}
+
+impl Default for ValueArena {
+    fn default() -> Self {
+        ValueArena {
+            backing: Backing::Local(LocalTables::default()),
+            generation: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for ValueArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValueArena")
+            .field("nodes", &self.len())
+            .field("shared", &self.is_shared())
+            .field("generation", &self.generation)
+            .finish()
+    }
 }
 
 /// Aggregate statistics of an arena — see [`ValueArena::stats`].
@@ -264,16 +417,79 @@ impl ValueArena {
 
     /// Number of distinct nodes interned so far.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        match &self.backing {
+            Backing::Local(t) => t.nodes.len(),
+            Backing::Shared(t) => t.len.load(Ordering::Acquire),
+        }
     }
 
     /// Whether the arena holds no nodes yet.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
+    }
+
+    /// Whether this arena runs on a shared concurrent store — see
+    /// [`ValueArena::make_shared`].
+    pub fn is_shared(&self) -> bool {
+        matches!(self.backing, Backing::Shared(_))
+    }
+
+    /// Migrate this arena onto a **shared concurrent store** (idempotent).
+    ///
+    /// Every node keeps its index, so previously issued [`VId`]s remain
+    /// valid; the generation does not change. Afterwards
+    /// [`ValueArena::shared_clone`] hands out further arenas over the
+    /// same store: all clones intern canonically into one table (equal
+    /// objects receive equal handles *across threads*), which is what
+    /// lets batch workers share a parent session's store instead of
+    /// re-interning results.
+    pub fn make_shared(&mut self) {
+        if self.is_shared() {
+            return;
+        }
+        let Backing::Local(t) =
+            std::mem::replace(&mut self.backing, Backing::Local(LocalTables::default()))
+        else {
+            unreachable!("is_shared() was false");
+        };
+        let mut shared = SharedTables::new();
+        let node_count = t.nodes.len();
+        for (index, (node, meta)) in t.nodes.into_iter().zip(t.metas).enumerate() {
+            let (chunk, offset) = chunk_pos(index);
+            if shared.chunk(chunk)[offset].set((node, meta)).is_err() {
+                unreachable!("fresh shared chunk slot already occupied");
+            }
+        }
+        for (node, id) in t.dedup {
+            let shard = shard_index(&node);
+            shared.dedup[shard]
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(node, id);
+        }
+        shared.len.store(node_count, Ordering::Release);
+        shared.set_children.store(t.set_children, Ordering::Relaxed);
+        self.backing = Backing::Shared(Arc::new(shared));
+    }
+
+    /// Another arena over the **same** shared store (`None` while local).
+    /// Handles are interchangeable between all clones; the clone carries
+    /// the same generation. Interning through any clone is canonical for
+    /// all of them.
+    pub fn shared_clone(&self) -> Option<ValueArena> {
+        match &self.backing {
+            Backing::Shared(t) => Some(ValueArena {
+                backing: Backing::Shared(Arc::clone(t)),
+                generation: self.generation,
+            }),
+            Backing::Local(_) => None,
+        }
     }
 
     /// Discard every interned node, returning the arena to its empty
-    /// state (capacity is kept).
+    /// state (capacity is kept in local mode; a shared arena replaces
+    /// its store with a fresh one — clones made before the clear keep
+    /// the *old* store and are unaffected).
     ///
     /// **All previously issued [`VId`]s become invalid**: using one
     /// afterwards panics (index out of range) or, once new values are
@@ -282,9 +498,15 @@ impl ValueArena {
     /// batches in a long-running process, to stop the arena's otherwise
     /// monotone growth.
     pub fn clear(&mut self) {
-        self.nodes.clear();
-        self.metas.clear();
-        self.dedup.clear();
+        match &mut self.backing {
+            Backing::Local(t) => {
+                t.nodes.clear();
+                t.metas.clear();
+                t.dedup.clear();
+                t.set_children = 0;
+            }
+            shared => *shared = Backing::Shared(Arc::new(SharedTables::new())),
+        }
         self.generation += 1;
     }
 
@@ -301,11 +523,20 @@ impl ValueArena {
     /// [`ValueArena::len`], named for symmetry with the expression
     /// arena's `node_count`).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.len()
+    }
+
+    /// Total set-element fan-out held by the arena (maintained as a
+    /// counter in both backings, so this is `O(1)`).
+    fn set_children(&self) -> usize {
+        match &self.backing {
+            Backing::Local(t) => t.set_children,
+            Backing::Shared(t) => t.set_children.load(Ordering::Relaxed),
+        }
     }
 
     /// Approximate resident bytes held by the arena: the node and
-    /// metadata vectors, the set-element fan-out, and the dedup map's
+    /// metadata storage, the set-element fan-out, and the dedup map's
     /// entries (each key clones its node). An estimate — allocator
     /// slack and `HashMap` load factor are not modelled — intended for
     /// occupancy reporting, not exact accounting.
@@ -315,31 +546,16 @@ impl ValueArena {
         // shared, not duplicated) plus a VId and a cached hash
         let per_dedup_entry =
             std::mem::size_of::<Node>() + std::mem::size_of::<VId>() + std::mem::size_of::<u64>();
-        let fan_out: usize = self
-            .nodes
-            .iter()
-            .map(|n| match n {
-                Node::Set(items) => items.len() * std::mem::size_of::<VId>(),
-                _ => 0,
-            })
-            .sum();
-        self.nodes.len() * (per_node + per_dedup_entry) + fan_out
+        let fan_out = self.set_children() * std::mem::size_of::<VId>();
+        self.len() * (per_node + per_dedup_entry) + fan_out
     }
 
     /// Aggregate statistics (node count, total set fan-out, approximate
     /// resident bytes).
     pub fn stats(&self) -> ArenaStats {
-        let set_children = self
-            .nodes
-            .iter()
-            .map(|n| match n {
-                Node::Set(items) => items.len(),
-                _ => 0,
-            })
-            .sum();
         ArenaStats {
-            nodes: self.nodes.len(),
-            set_children,
+            nodes: self.len(),
+            set_children: self.set_children(),
             approx_bytes: self.approx_resident_bytes(),
         }
     }
@@ -392,19 +608,79 @@ impl ValueArena {
     }
 
     fn meta(&self, v: VId) -> Meta {
-        self.metas[v.index()]
+        match &self.backing {
+            Backing::Local(t) => t.metas[v.index()],
+            Backing::Shared(t) => t.slot(v.index()).1,
+        }
+    }
+
+    /// The node behind a handle — both backings' read path. Panics on a
+    /// handle the arena never issued (stale after a clear, or foreign).
+    fn node_ref(&self, v: VId) -> &Node {
+        match &self.backing {
+            Backing::Local(t) => &t.nodes[v.index()],
+            Backing::Shared(t) => &t.slot(v.index()).0,
+        }
     }
 
     fn add(&mut self, node: Node) -> VId {
-        if let Some(&id) = self.dedup.get(&node) {
-            return id;
+        if let Backing::Shared(tables) = &self.backing {
+            let tables = Arc::clone(tables);
+            return self.add_shared(&tables, node);
+        }
+        if let Backing::Local(t) = &self.backing {
+            if let Some(&id) = t.dedup.get(&node) {
+                return id;
+            }
         }
         let meta = self.meta_for(&node);
-        let id =
-            VId::new(u32::try_from(self.nodes.len()).expect("ValueArena: more than 2³² nodes"));
-        self.dedup.insert(node.clone(), id);
-        self.nodes.push(node);
-        self.metas.push(meta);
+        let Backing::Local(t) = &mut self.backing else {
+            unreachable!("checked local above");
+        };
+        let id = VId::new(u32::try_from(t.nodes.len()).expect("ValueArena: more than 2³² nodes"));
+        if let Node::Set(items) = &node {
+            t.set_children += items.len();
+        }
+        t.dedup.insert(node.clone(), id);
+        t.nodes.push(node);
+        t.metas.push(meta);
+        id
+    }
+
+    /// The shared-store intern protocol. Lock order is shard → alloc;
+    /// a node already known costs exactly one shard lock.
+    fn add_shared(&self, tables: &SharedTables, node: Node) -> VId {
+        let mut shard = tables.dedup[shard_index(&node)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(&id) = shard.get(&node) {
+            return id;
+        }
+        // child metadata reads are lock-free: every child handle was
+        // published (slot set, then `len` released) before we got it
+        let meta = self.meta_for(&node);
+        let id;
+        {
+            let _alloc = tables.alloc.lock().unwrap_or_else(PoisonError::into_inner);
+            let index = tables.len.load(Ordering::Relaxed);
+            id = VId::new(u32::try_from(index).expect("ValueArena: more than 2³² nodes"));
+            let (chunk, offset) = chunk_pos(index);
+            if let Node::Set(items) = &node {
+                tables
+                    .set_children
+                    .fetch_add(items.len(), Ordering::Relaxed);
+            }
+            if tables.chunk(chunk)[offset]
+                .set((node.clone(), meta))
+                .is_err()
+            {
+                unreachable!("allocation is serialised; a fresh slot cannot be occupied");
+            }
+            // publish: the slot write above happens-before any reader
+            // that observes the new length
+            tables.len.store(index + 1, Ordering::Release);
+        }
+        shard.insert(node, id);
         id
     }
 
@@ -782,7 +1058,7 @@ impl ValueArena {
     /// Materialise the tree form of an interned value. `O(size)` — the
     /// conversion layer back to the [`Value`] API.
     pub fn resolve(&self, v: VId) -> Value {
-        match &self.nodes[v.index()] {
+        match self.node_ref(v) {
             Node::Unit => Value::Unit,
             Node::Bool(b) => Value::Bool(*b),
             Node::Nat(n) => Value::Nat(*n),
@@ -814,7 +1090,7 @@ impl ValueArena {
 
     /// Number of elements if `v` is a set — `O(1)`.
     pub fn cardinality(&self, v: VId) -> Option<usize> {
-        match &self.nodes[v.index()] {
+        match self.node_ref(v) {
             Node::Set(items) => Some(items.len()),
             _ => None,
         }
@@ -822,7 +1098,7 @@ impl ValueArena {
 
     /// The component handles if `v` is a pair.
     pub fn as_pair(&self, v: VId) -> Option<(VId, VId)> {
-        match &self.nodes[v.index()] {
+        match self.node_ref(v) {
             Node::Pair(a, b) => Some((*a, *b)),
             _ => None,
         }
@@ -832,7 +1108,7 @@ impl ValueArena {
     /// clone is `O(1)`, so callers can iterate without borrowing the
     /// arena.
     pub fn as_set(&self, v: VId) -> Option<Arc<[VId]>> {
-        match &self.nodes[v.index()] {
+        match self.node_ref(v) {
             Node::Set(items) => Some(Arc::clone(items)),
             _ => None,
         }
@@ -840,7 +1116,7 @@ impl ValueArena {
 
     /// The natural number if `v` is one.
     pub fn as_nat(&self, v: VId) -> Option<u64> {
-        match &self.nodes[v.index()] {
+        match self.node_ref(v) {
             Node::Nat(n) => Some(*n),
             _ => None,
         }
@@ -848,7 +1124,7 @@ impl ValueArena {
 
     /// The boolean if `v` is one.
     pub fn as_bool(&self, v: VId) -> Option<bool> {
-        match &self.nodes[v.index()] {
+        match self.node_ref(v) {
             Node::Bool(b) => Some(*b),
             _ => None,
         }
@@ -856,7 +1132,7 @@ impl ValueArena {
 
     /// Whether `v` is the unit value `()`.
     pub fn is_unit(&self, v: VId) -> bool {
-        matches!(&self.nodes[v.index()], Node::Unit)
+        matches!(self.node_ref(v), Node::Unit)
     }
 
     /// Decode a value of type `{N × N}` into a sorted edge list.
@@ -1321,6 +1597,116 @@ mod tests {
         assert_eq!(stats.nodes, a.node_count());
         assert_eq!(stats.approx_bytes, a.approx_resident_bytes());
         assert!(stats.approx_bytes > stats.nodes * std::mem::size_of::<u64>());
+    }
+
+    // the shared store's thread-mobility contract, checked at compile time
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ValueArena>();
+    };
+
+    #[test]
+    fn make_shared_preserves_handles_and_metadata() {
+        let mut a = ValueArena::new();
+        let tc = a.chain_tc(4);
+        let e = a.edge(1, 2);
+        let (size, depth, hash) = (a.size(tc), a.depth(tc), a.structural_hash(tc));
+        let bytes = a.approx_resident_bytes();
+        let stats = a.stats();
+        a.make_shared();
+        assert!(a.is_shared());
+        // indices survived the migration: the same handles resolve
+        assert_eq!(a.resolve(tc), Value::chain_tc(4));
+        assert_eq!(a.as_pair(e).map(|(x, _)| a.as_nat(x)), Some(Some(1)));
+        assert_eq!(a.size(tc), size);
+        assert_eq!(a.depth(tc), depth);
+        assert_eq!(a.structural_hash(tc), hash);
+        // occupancy accounting is identical between backings
+        assert_eq!(a.approx_resident_bytes(), bytes);
+        assert_eq!(a.stats(), stats);
+        // dedup survived too: re-interning hits the same node
+        assert_eq!(a.chain_tc(4), tc);
+        // idempotent
+        a.make_shared();
+        assert!(a.is_shared());
+    }
+
+    #[test]
+    fn shared_clones_intern_canonically() {
+        let mut a = ValueArena::new();
+        let before = a.chain(3);
+        assert_eq!(a.shared_clone().map(|c| c.is_shared()), None);
+        a.make_shared();
+        let mut b = a.shared_clone().unwrap();
+        let mut c = a.shared_clone().unwrap();
+        assert_eq!(b.generation(), a.generation());
+        // handles are interchangeable between clones
+        assert_eq!(b.resolve(before), Value::chain(3));
+        // equal objects intern to equal handles through any clone
+        let x = b.chain_tc(3);
+        let y = c.chain_tc(3);
+        let z = a.chain_tc(3);
+        assert_eq!(x, y);
+        assert_eq!(x, z);
+        // and everyone observes everyone's nodes
+        let fresh = b.relation([(41, 42)]);
+        assert_eq!(c.resolve(fresh), Value::relation([(41, 42)]));
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn shared_clear_detaches_from_the_old_store() {
+        let mut a = ValueArena::new();
+        a.make_shared();
+        let v = a.chain(3);
+        let b = a.shared_clone().unwrap();
+        let gen = a.generation();
+        a.clear();
+        assert!(a.is_shared(), "clear keeps the arena shared");
+        assert!(a.is_empty());
+        assert_eq!(a.generation(), gen + 1);
+        // the clone still points at the old store, untouched
+        assert_eq!(b.resolve(v), Value::chain(3));
+        // the cleared arena is fully usable on its fresh store
+        let w = a.chain(3);
+        assert_eq!(a.resolve(w), Value::chain(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale handle")]
+    fn shared_stale_handle_panics() {
+        let mut a = ValueArena::new();
+        a.make_shared();
+        a.chain(2);
+        a.clear();
+        let fabricated = VId::from_index(1 << 20);
+        a.size(fabricated);
+    }
+
+    #[test]
+    fn shared_store_under_concurrent_interning() {
+        let mut a = ValueArena::new();
+        a.make_shared();
+        let expect_tc = a.chain_tc(6);
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let mut worker = a.shared_clone().unwrap();
+                scope.spawn(move || {
+                    for round in 0..8u64 {
+                        let tc = worker.chain_tc(6);
+                        assert_eq!(tc, expect_tc, "canonical across threads");
+                        let r = worker.relation([(w, round), (round, w)]);
+                        let (u, fresh) = worker.set_merge_delta(tc, r).unwrap();
+                        assert_eq!(worker.set_union(tc, r), Some(u));
+                        assert_eq!(worker.set_difference(r, tc), Some(fresh));
+                    }
+                });
+            }
+        });
+        // every worker's nodes are visible here, and the store is canonical
+        assert_eq!(a.chain_tc(6), expect_tc);
+        assert!(!a.is_empty());
+        assert_eq!(a.stats().nodes, a.len());
     }
 
     #[test]

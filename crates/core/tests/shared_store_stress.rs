@@ -1,0 +1,157 @@
+//! Stress smoke for the **shared concurrent store**: seeded threads
+//! hammering one lock-striped value/expression store at once (the
+//! workload `nra_eval::eval_batch` workers put on it), offline and
+//! dependency-free — a loom-style schedule-shaking smoke rather than a
+//! model check.
+//!
+//! The invariants under fire:
+//!
+//! * **canonical interning across threads** — whichever thread interns
+//!   a structure first, every thread (and the parent) gets the *same*
+//!   handle for it, so handles are meaningful across sessions;
+//! * **resolve round-trips** — every handle issued mid-contention
+//!   resolves to exactly the tree it was interned from;
+//! * **metadata coherence** — sizes, cardinalities, and the merge
+//!   algebra read through concurrently-issued handles agree with the
+//!   sequential reference.
+
+use nra_core::expr::intern::ExprArena;
+use nra_core::value::intern::{VId, ValueArena};
+use nra_core::value::Value;
+use nra_core::{queries, Expr};
+use nra_testkit::{check, Rng};
+
+/// Threads per case — enough to contend on 16 value shards without
+/// swamping small CI runners.
+const THREADS: u64 = 4;
+/// Interning rounds per thread per case.
+const ROUNDS: u64 = 12;
+
+/// One thread's deterministic workload: build a random tree value from
+/// the seed, intern it, exercise the merge algebra on shared sets, and
+/// report `(tree, handle)` pairs for the post-join canonicality audit.
+fn hammer_values(arena: &mut ValueArena, seed: u64) -> Vec<(Value, VId)> {
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::new();
+    for round in 0..ROUNDS {
+        // a tree no other thread is likely to build…
+        let private = Value::relation(rng.relation(24, 12));
+        let private_id = arena.intern(&private);
+        out.push((private, private_id));
+        // …and trees every thread builds, racing the dedup shards
+        let common_n = 2 + round % 5;
+        let chain = arena.chain(common_n);
+        let tc = arena.chain_tc(common_n);
+        out.push((Value::chain(common_n), chain));
+        out.push((Value::chain_tc(common_n), tc));
+        // merge algebra on handles issued by *any* thread
+        let union = arena.set_union(chain, tc).expect("sets union");
+        assert_eq!(
+            union, tc,
+            "chain ⊆ chain_tc, so their union must intern back to chain_tc"
+        );
+        assert_eq!(arena.is_subset(chain, tc), Some(true));
+        let diff = arena.set_difference(tc, chain).expect("sets difference");
+        let (merged, frontier) = arena.set_merge_delta(chain, tc).expect("merge delta");
+        assert_eq!(merged, tc);
+        assert_eq!(frontier, diff, "delta frontier must be the difference");
+        out.push((arena.resolve(diff), diff));
+    }
+    out
+}
+
+#[test]
+fn concurrent_value_interning_is_canonical() {
+    check("concurrent_value_interning_is_canonical", 8, |seed, rng| {
+        let mut parent = ValueArena::new();
+        parent.make_shared();
+        let thread_seeds: Vec<u64> = (0..THREADS).map(|_| rng.next_u64()).collect();
+        let gathered: Vec<Vec<(Value, VId)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = thread_seeds
+                .iter()
+                .map(|&ts| {
+                    let mut worker = parent.shared_clone().expect("parent is shared");
+                    scope.spawn(move || hammer_values(&mut worker, ts))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stress worker panicked"))
+                .collect()
+        });
+        // every handle issued under contention is canonical: the parent
+        // re-interns the tree and gets the same handle back, and the
+        // handle resolves to the tree it came from
+        for pairs in gathered {
+            for (tree, id) in pairs {
+                assert_eq!(
+                    parent.intern(&tree),
+                    id,
+                    "seed {seed}: canonical re-intern diverged"
+                );
+                assert_eq!(
+                    parent.resolve(id),
+                    tree,
+                    "seed {seed}: resolve round-trip diverged"
+                );
+            }
+        }
+        // the dedup audit above interned nothing new, and the arena's
+        // occupancy books stayed coherent under the races
+        let stats = parent.stats();
+        assert!(stats.nodes > 0);
+        assert_eq!(stats.nodes, parent.len());
+    });
+}
+
+#[test]
+fn concurrent_expr_interning_is_canonical() {
+    check("concurrent_expr_interning_is_canonical", 8, |seed, rng| {
+        let mut parent = ExprArena::new();
+        parent.make_shared();
+        let queries: Vec<Expr> = vec![
+            queries::tc_while(),
+            queries::tc_step(),
+            queries::tc_paths(),
+            nra_core::derived::cartprod(),
+            nra_core::derived::unnest(),
+        ];
+        let thread_seeds: Vec<u64> = (0..THREADS).map(|_| rng.next_u64()).collect();
+        let gathered: Vec<Vec<(usize, nra_core::expr::intern::EId)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = thread_seeds
+                    .iter()
+                    .map(|&ts| {
+                        let mut worker = parent.shared_clone().expect("parent is shared");
+                        let queries = &queries;
+                        scope.spawn(move || {
+                            let mut rng = Rng::new(ts);
+                            (0..ROUNDS * 2)
+                                .map(|_| {
+                                    let pick = rng.usize_below(queries.len());
+                                    (pick, worker.intern(&queries[pick]))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("stress worker panicked"))
+                    .collect()
+            });
+        for pairs in gathered {
+            for (pick, eid) in pairs {
+                assert_eq!(
+                    parent.intern(&queries[pick]),
+                    eid,
+                    "seed {seed}: expression interning must be canonical across threads"
+                );
+                assert_eq!(parent.resolve(eid), queries[pick], "seed {seed}");
+            }
+        }
+        // the snapshot machinery the evaluators rely on sees every
+        // published node
+        assert_eq!(parent.snapshot().len(), parent.node_count());
+    });
+}

@@ -1,28 +1,48 @@
-//! Parallel batch evaluation over worker sessions.
+//! Parallel batch evaluation over one **shared concurrent store**.
 //!
 //! A batch is a list of `(EId, VId)` queries against one parent
-//! [`EvalSession`]. [`eval_batch`] fans them across `workers` scoped
-//! threads (`std::thread::scope` — no external crates), each owning a
-//! fresh worker `EvalSession` under the parent's
-//! [`EvalConfig`](crate::error::EvalConfig):
+//! [`EvalSession`]. [`eval_batch`] first migrates the parent onto the
+//! shared store ([`EvalSession::make_shared`] — handle-preserving and
+//! idempotent), then fans the queries across `workers` scoped threads
+//! (`std::thread::scope` — no external crates), each owning a worker
+//! session [split](EvalSession::split) off the parent:
 //!
-//! 1. every query is **resolved** out of the parent's arenas into its
-//!    tree form (handles are arena-local, trees are the transferable
-//!    representation);
-//! 2. workers claim queries round-robin and evaluate them — within one
-//!    worker, the session's apply cache and arenas warm-start across
-//!    its chunk, exactly as in a sequential session;
-//! 3. results return as trees and are **canonically re-interned** into
-//!    the parent session, in input order — interning is canonical, so
-//!    the handles (and the §3 statistics, which are a pure function of
-//!    `(query, input, config)`) are **bit-for-bit identical** to a
-//!    sequential evaluation of the same batch, regardless of thread
-//!    scheduling. The differential harness holds this across all seven
-//!    graph families.
+//! 1. workers **share the parent's arenas and apply table** — there is
+//!    no per-worker arena, no resolve-to-tree hand-off, and no
+//!    re-intern merge pass; every worker interns into the single
+//!    canonical store, so a handle issued by any of them is valid in
+//!    all of them (and in the parent);
+//! 2. workers claim queries round-robin and evaluate them on handles
+//!    directly; because the apply table is shared, a judgment derived
+//!    by one worker is an `O(1)` warm hit for every other worker (and
+//!    for later queries of the parent) — one worker's derivation is
+//!    the whole batch's warm start;
+//! 3. results are returned in input order as handles into the shared
+//!    store. Interning is canonical, so the handles (and the §3
+//!    statistics, which are a pure function of `(query, input,
+//!    config)`) are **bit-for-bit identical** to a sequential
+//!    evaluation of the same batch, regardless of thread scheduling.
+//!    The differential harness holds this across all seven graph
+//!    families.
 //!
 //! Evaluation is pure, so correctness never depends on the partition;
-//! the partition only decides which judgments share a worker's warm
-//! cache.
+//! the partition only decides the interleaving of cache fills, and the
+//! shared apply table makes even that immaterial for warmth.
+//!
+//! The batch also keeps the parent's *accounting* honest:
+//!
+//! * every per-query [`EvalStats`](crate::stats::EvalStats) is folded
+//!   into the parent's [`SessionStats`](crate::SessionStats), exactly
+//!   as a sequential [`EvalSession::eval_vid`] loop would;
+//! * the parent's resident budget is enforced at the batch boundary:
+//!   if the shared store ends the batch over budget, the parent
+//!   resolves the results, [evicts](EvalSession::evict), and re-interns
+//!   them into the fresh generation (the returned handles are valid in
+//!   the post-batch generation either way);
+//! * a worker panic (e.g. a stale fabricated handle) is contained to
+//!   its job and surfaced as
+//!   [`EvalError::WorkerPanicked`]
+//!   — the other jobs of the batch still return their results.
 //!
 //! ```
 //! use nra_core::{queries, Value};
@@ -41,18 +61,20 @@
 //! ```
 
 use crate::eager::VidEvaluation;
+use crate::error::EvalError;
 use crate::session::EvalSession;
 use nra_core::expr::intern::EId;
 use nra_core::value::intern::VId;
-use nra_core::value::Value;
-use nra_core::Expr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Evaluate `queries` (handles into `session`) across `workers` scoped
-/// worker threads, returning one [`VidEvaluation`] per query, in input
-/// order, with result handles re-interned into `session`. `workers` is
-/// clamped to `1..=queries.len()`; `workers == 1` is the sequential
-/// degenerate case (still through a worker session, so results are
-/// partition-independent by construction).
+/// worker threads over the session's shared store, returning one
+/// [`VidEvaluation`] per query, in input order, with result handles
+/// valid in `session`. `workers` is clamped to `1..=queries.len()`;
+/// `workers == 1` is the sequential degenerate case (still through a
+/// worker session, so results are partition-independent by
+/// construction). The session stays on the shared store afterwards, so
+/// a later batch re-uses every judgment this one derived.
 pub fn eval_batch(
     session: &mut EvalSession,
     queries: &[(EId, VId)],
@@ -61,69 +83,97 @@ pub fn eval_batch(
     if queries.is_empty() {
         return Vec::new();
     }
-    // 1. resolve the batch out of the parent's arenas
-    let jobs: Vec<(Expr, Value)> = queries
-        .iter()
-        .map(|&(eid, input)| {
-            (
-                session.exprs().resolve(eid),
-                session.values().resolve(input),
-            )
-        })
-        .collect();
-    let config = session.config().clone();
-    let workers = workers.clamp(1, jobs.len());
+    let workers = workers.clamp(1, queries.len());
 
-    // 2. fan out over scoped worker sessions
-    let mut gathered: Vec<Option<Evaluated>> = (0..jobs.len()).map(|_| None).collect();
+    // fan out over worker sessions sharing the parent's store
+    let worker_sessions = session.split(workers);
+    let mut gathered: Vec<Option<VidEvaluation>> = (0..queries.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let jobs = &jobs;
-                let config = config.clone();
+        let handles: Vec<_> = worker_sessions
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut worker)| {
                 scope.spawn(move || {
-                    let mut worker = EvalSession::new(config);
-                    jobs.iter()
+                    queries
+                        .iter()
                         .enumerate()
                         .filter(|(i, _)| i % workers == w)
-                        .map(|(i, (expr, input))| {
-                            let ev = worker.eval(expr, input);
-                            (
-                                i,
-                                Evaluated {
-                                    result: ev.result,
-                                    stats: ev.stats,
-                                },
-                            )
+                        .map(|(i, &(eid, input))| {
+                            // contain a panicking job (stale fabricated
+                            // handle, debug assertion, …) to that job
+                            let ev = catch_unwind(AssertUnwindSafe(|| worker.eval_vid(eid, input)))
+                                .unwrap_or_else(|payload| VidEvaluation {
+                                    result: Err(EvalError::WorkerPanicked {
+                                        detail: panic_detail(&payload),
+                                    }),
+                                    stats: crate::stats::EvalStats::default(),
+                                });
+                            (i, ev)
                         })
                         .collect::<Vec<_>>()
                 })
             })
             .collect();
-        for handle in handles {
-            for (i, ev) in handle.join().expect("batch worker panicked") {
-                gathered[i] = Some(ev);
+        for (w, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(list) => {
+                    for (i, ev) in list {
+                        gathered[i] = Some(ev);
+                    }
+                }
+                // a panic that escaped the per-job guard (should not
+                // happen): fail that worker's share, keep the rest
+                Err(payload) => {
+                    let detail = panic_detail(&payload);
+                    for slot in gathered.iter_mut().skip(w).step_by(workers) {
+                        slot.get_or_insert_with(|| VidEvaluation {
+                            result: Err(EvalError::WorkerPanicked {
+                                detail: detail.clone(),
+                            }),
+                            stats: crate::stats::EvalStats::default(),
+                        });
+                    }
+                }
             }
         }
     });
-
-    // 3. canonical re-intern pass, in input order
-    gathered
+    let mut results: Vec<VidEvaluation> = gathered
         .into_iter()
-        .map(|ev| {
-            let ev = ev.expect("every query was claimed by exactly one worker");
-            VidEvaluation {
-                result: ev.result.map(|value| session.intern_value(&value)),
-                stats: ev.stats,
+        .map(|ev| ev.expect("every query was claimed by exactly one worker"))
+        .collect();
+
+    // the batch counts against the parent's books like a sequential
+    // loop would: per-query stats fold into SessionStats…
+    for ev in &results {
+        session.absorb(&ev.stats);
+    }
+    // …and the resident budget is enforced at the batch boundary. An
+    // eviction invalidates the gathered handles, so resolve-evict-
+    // re-intern keeps the returned handles valid in the new generation.
+    if session.over_budget() {
+        let resolved: Vec<_> = results
+            .iter()
+            .map(|ev| ev.result.as_ref().ok().map(|&out| session.resolve(out)))
+            .collect();
+        session.evict();
+        for (ev, value) in results.iter_mut().zip(&resolved) {
+            if let Some(value) = value {
+                ev.result = Ok(session.intern_value(value));
             }
-        })
-        .collect()
+        }
+    }
+    results
 }
 
-/// One worker result in transferable (tree) form.
-struct Evaluated {
-    result: Result<Value, crate::error::EvalError>,
-    stats: crate::stats::EvalStats,
+/// Render a panic payload for [`EvalError::WorkerPanicked`].
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -152,7 +202,7 @@ mod tests {
             let batched = eval_batch(&mut session, &jobs, 4);
             assert_eq!(batched.len(), sequential.len());
             for (i, (seq, par)) in sequential.iter().zip(&batched).enumerate() {
-                // same arena + canonical interning ⇒ identical handles
+                // same canonical store ⇒ identical handles
                 assert_eq!(
                     seq.result.as_ref().unwrap(),
                     par.result.as_ref().unwrap(),
@@ -190,5 +240,97 @@ mod tests {
         let out = eval_batch(&mut session, &jobs, 64);
         let expect = session.values_mut().chain_tc(3);
         assert_eq!(out[0].result.clone().unwrap(), expect);
+    }
+
+    #[test]
+    fn batch_shares_one_store_and_one_apply_table() {
+        // after a batch the parent is on the shared store, and the
+        // judgments the workers derived are warm for the parent
+        let mut session = EvalSession::new(EvalConfig::optimised());
+        let q = session.intern_expr(&queries::tc_while());
+        let jobs: Vec<(EId, VId)> = (4..8u64)
+            .map(|n| (q, session.values_mut().chain(n)))
+            .collect();
+        assert!(!session.is_shared());
+        let first = eval_batch(&mut session, &jobs, 4);
+        assert!(session.is_shared());
+        // a second batch over the same jobs hits the shared table the
+        // first batch filled: every job reports warm activity
+        let second = eval_batch(&mut session, &jobs, 4);
+        for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+            assert_eq!(a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert!(
+                b.stats.warm_hits > 0,
+                "job {i}: second batch found no warm entries: {:?}",
+                b.stats
+            );
+        }
+        // …and the parent itself hits them too, sequentially
+        let (eid, input) = jobs[2];
+        let warm = session.eval_vid(eid, input);
+        assert!(warm.stats.warm_hits > 0, "{:?}", warm.stats);
+    }
+
+    /// Regression (bug 1): worker sessions used to be constructed with
+    /// `EvalSession::new(config)` — no resident budget — so a budgeted
+    /// parent could blow N-fold past its ceiling during a batch with
+    /// `evictions` still reading 0. The budget is now enforced at the
+    /// batch boundary.
+    #[test]
+    fn batch_respects_the_parent_resident_budget() {
+        let mut session = EvalSession::with_resident_budget(EvalConfig::optimised(), 1);
+        let q = session.intern_expr(&queries::tc_while());
+        let jobs: Vec<(EId, VId)> = (2..6u64)
+            .map(|n| (q, session.values_mut().chain(n)))
+            .collect();
+        let generation = session.generation();
+        let out = eval_batch(&mut session, &jobs, 2);
+        assert!(
+            session.stats().evictions >= 1,
+            "a 1-byte budget must evict at the batch boundary: {:?}",
+            session.stats()
+        );
+        assert!(session.generation() > generation);
+        // the returned handles were re-interned into the new generation
+        for (n, ev) in (2..6u64).zip(&out) {
+            let expect = session.values_mut().chain_tc(n);
+            assert_eq!(*ev.result.as_ref().unwrap(), expect, "n={n}");
+        }
+    }
+
+    /// Regression (bug 3): a single panicking job used to abort the
+    /// whole batch through `handle.join().expect(…)`. It now surfaces
+    /// as a per-job `WorkerPanicked` error and the other jobs return
+    /// their results.
+    #[test]
+    fn one_panicking_job_does_not_poison_the_batch() {
+        let mut session = EvalSession::new(EvalConfig::optimised());
+        let q = session.intern_expr(&queries::tc_while());
+        let good: Vec<(EId, VId)> = (2..6u64)
+            .map(|n| (q, session.values_mut().chain(n)))
+            .collect();
+        // a fabricated handle no arena ever issued: evaluating it
+        // panics inside the worker (stale-handle detection)
+        let poison = (q, VId::from_index(usize::from(u16::MAX) << 8));
+        let mut jobs = good.clone();
+        jobs.insert(2, poison);
+        let out = eval_batch(&mut session, &jobs, 3);
+        assert_eq!(out.len(), jobs.len());
+        assert!(
+            matches!(out[2].result, Err(EvalError::WorkerPanicked { .. })),
+            "poisoned job must fail with WorkerPanicked: {:?}",
+            out[2].result
+        );
+        let expect: Vec<_> = (2..6u64)
+            .map(|n| session.values_mut().chain_tc(n))
+            .collect();
+        let survivors = out
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 2)
+            .map(|(_, ev)| ev);
+        for (ev, expect) in survivors.zip(&expect) {
+            assert_eq!(ev.result.as_ref().unwrap(), expect);
+        }
     }
 }

@@ -49,6 +49,8 @@ use nra_core::expr::Expr;
 use nra_core::value::intern::{self, FxBuildHasher, VId, ValueArena};
 use nra_core::value::Value;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// The outcome of an evaluation: result (or budget error) plus statistics.
 /// The statistics are meaningful in both cases — on a budget error they
@@ -388,21 +390,95 @@ thread_local! {
     static MEMO_POOL: std::cell::Cell<Option<MemoState>> = const { std::cell::Cell::new(None) };
 }
 
-/// The apply cache of the memoised walker — the classic BDD design: a
+/// Key sentinel used for never-written slots — unreachable as a packed
+/// key while either arena holds fewer than 2³² nodes (they panic before
+/// that).
+const MEMO_EMPTY_KEY: u64 = u64::MAX;
+
+/// Slot index of the apply tables: the expression id is
+/// Fibonacci-scrambled, the value id added *linearly*. Two judgments on
+/// the same expression can then only collide when their value ids
+/// differ by a multiple of the table length, and a `map` loop — which
+/// probes the same `EId` over ascending element ids — walks consecutive
+/// slots, so the hardware prefetcher hides the table's memory latency.
+#[inline]
+fn memo_slot(key: u64, mask: u64) -> usize {
+    let eid = key >> 32;
+    (eid.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(key) & mask) as usize
+}
+
+/// Fixed size of the shared apply table, as a power of two (2¹⁶ slots ≈
+/// 1.5 MiB). Unlike the local table it never grows: growth would move
+/// slots under concurrent readers, and the table is lossy by design —
+/// a displaced judgment is simply re-derived.
+const SHARED_MEMO_BITS: u32 = 16;
+/// Lock stripes of the shared apply table. 2¹⁶ slots / 128 stripes =
+/// 512 consecutive slots per stripe — consecutive probes of a `map`
+/// loop stay on one stripe, so striping costs no locality.
+const SHARED_MEMO_STRIPES: usize = 128;
+/// Slots per stripe.
+const SHARED_MEMO_STRIPE_SLOTS: usize = (1usize << SHARED_MEMO_BITS) / SHARED_MEMO_STRIPES;
+
+/// One shared apply-table slot: packed key, the query stamp that wrote
+/// it, the result, and the recorded as-if-uncached cost. No epoch — a
+/// shared table is dropped wholesale (the Arc replaced) instead of
+/// epoch-invalidated, and it lives exactly as long as the shared store
+/// its handles point into.
+type SharedSlot = (u64, u32, VId, u64);
+
+/// The **shared** apply table all worker sessions of a batch probe and
+/// write together: one worker's derivation becomes every worker's warm
+/// hit. Lock-striped; a probe or store locks exactly one stripe.
+/// Query stamps are drawn from one atomic counter, so every
+/// `begin_query` anywhere gets a distinct stamp and cross-query *and*
+/// cross-worker hits both classify as warm.
+pub(crate) struct SharedMemoTable {
+    stripes: Box<[Mutex<Box<[SharedSlot]>>]>,
+    next_query: AtomicU32,
+}
+
+impl SharedMemoTable {
+    fn new() -> Self {
+        let stripes = (0..SHARED_MEMO_STRIPES)
+            .map(|_| {
+                Mutex::new(
+                    vec![(MEMO_EMPTY_KEY, 0, VId::from_index(0), 0); SHARED_MEMO_STRIPE_SLOTS]
+                        .into_boxed_slice(),
+                )
+            })
+            .collect();
+        SharedMemoTable {
+            stripes,
+            next_query: AtomicU32::new(0),
+        }
+    }
+
+    /// A fresh query stamp, distinct from every stamp handed out before
+    /// (modulo `u32` wrap, which only ever misclassifies warmness, never
+    /// correctness).
+    fn fresh_query(&self) -> u32 {
+        self.next_query.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The stripe holding `slot`, and the slot's index within it.
+    #[inline]
+    fn stripe(&self, slot: usize) -> (&Mutex<Box<[SharedSlot]>>, usize) {
+        (
+            &self.stripes[slot / SHARED_MEMO_STRIPE_SLOTS],
+            slot % SHARED_MEMO_STRIPE_SLOTS,
+        )
+    }
+}
+
+/// The single-owner apply cache — the classic BDD design: a
 /// direct-mapped, lossy table of epoch-stamped `(key, result)` slots
 /// rather than an exact map. A probe is one array read, an insert one
 /// array write, and a colliding entry is simply overwritten (the
 /// judgment is then re-derived on the next encounter, which changes no
 /// result, only a hit counter). The table quadruples while its load
 /// would exceed ~¼, up to a fixed ceiling, and its storage is handed
-/// back to a thread-local pool between evaluations. Every rule is
-/// cached, leaves included: a leaf hit skips not just the (cheap)
-/// primitive but the per-node §3 bookkeeping — rule counting and the
-/// two size observations — which costs more than the probe. The
-/// expression-node snapshot lives *outside* this struct (see
-/// [`eval_eid`]) so the walker can read structure through a shared
-/// borrow while mutating the cache.
-pub(crate) struct MemoCache {
+/// back to a thread-local pool between evaluations.
+pub(crate) struct LocalMemo {
     /// Direct-mapped slots; a slot is live iff its epoch matches.
     slots: Vec<MemoSlot>,
     /// Index mask (`slots.len() − 1`; the length is a power of two).
@@ -420,39 +496,29 @@ pub(crate) struct MemoCache {
     query: u32,
 }
 
-impl MemoCache {
-    /// Key sentinel used for never-written slots — unreachable as a
-    /// packed key while either arena holds fewer than 2³² nodes (they
-    /// panic before that).
-    const EMPTY: u64 = u64::MAX;
-
+impl LocalMemo {
     fn blank_slots(len: usize) -> Vec<MemoSlot> {
         // handle 0 as filler payload; never returned because the
         // sentinel key can't match
-        vec![(Self::EMPTY, 0, 0, VId::from_index(0), 0); len]
+        vec![(MEMO_EMPTY_KEY, 0, 0, VId::from_index(0), 0); len]
     }
 
-    fn key(eid: EId, input: VId) -> u64 {
-        ((eid.index() as u64) << 32) | input.index() as u64
-    }
-
-    /// Slot index: the expression id is Fibonacci-scrambled, the value
-    /// id added *linearly*. Two judgments on the same expression can
-    /// then only collide when their value ids differ by a multiple of
-    /// the table length (i.e. never, while the value arena is smaller
-    /// than the table), and a `map` loop — which probes the same `EId`
-    /// over ascending element ids — walks consecutive slots, so the
-    /// hardware prefetcher hides the table's memory latency.
-    fn slot(&self, key: u64) -> usize {
-        let eid = key >> 32;
-        (eid.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(key) & self.mask) as usize
+    fn new() -> Self {
+        let len = 1usize << MEMO_INITIAL_BITS;
+        LocalMemo {
+            slots: Self::blank_slots(len),
+            mask: (len - 1) as u64,
+            stored: 0,
+            epoch: 0,
+            query: 0,
+        }
     }
 
     /// Probe for a cached judgment: the result handle, the recorded
     /// as-if-uncached cost of its subtree, and whether the entry is a
     /// *warm* one (written by an earlier query of the same session).
     fn probe(&self, key: u64) -> Option<(VId, u64, bool)> {
-        let (k, e, q, v, cost) = self.slots[self.slot(key)];
+        let (k, e, q, v, cost) = self.slots[memo_slot(key, self.mask)];
         (k == key && e == self.epoch).then_some((v, cost, q != self.query))
     }
 
@@ -461,7 +527,7 @@ impl MemoCache {
             self.grow();
         }
         let epoch = self.epoch;
-        let slot = self.slot(key);
+        let slot = memo_slot(key, self.mask);
         if self.slots[slot].1 != epoch {
             self.stored += 1; // filling an empty or stale slot
         }
@@ -476,8 +542,8 @@ impl MemoCache {
         self.mask = (new_len - 1) as u64;
         self.stored = 0;
         for (k, e, q, v, cost) in old {
-            if k != Self::EMPTY && e == self.epoch {
-                let slot = self.slot(k);
+            if k != MEMO_EMPTY_KEY && e == self.epoch {
+                let slot = memo_slot(k, self.mask);
                 if self.slots[slot].1 != self.epoch {
                     self.stored += 1;
                 }
@@ -485,11 +551,167 @@ impl MemoCache {
             }
         }
     }
+}
 
-    /// Approximate resident bytes of the slot table (the session layer's
-    /// occupancy accounting).
+/// A session's view of a [`SharedMemoTable`]: the Arc plus this view's
+/// current query stamp (stamps live per view, entries per table).
+pub(crate) struct SharedMemo {
+    table: Arc<SharedMemoTable>,
+    query: u32,
+}
+
+/// The apply cache of the memoised walker, in one of two modes:
+///
+/// * [`MemoCache::Local`] — the single-owner direct-mapped table every
+///   session starts with (and the facade pools thread-locally);
+/// * [`MemoCache::Shared`] — a view of one lock-striped
+///   [`SharedMemoTable`] several sessions (the parent and its batch
+///   workers) probe and write together, so a judgment derived by any
+///   of them is a warm `O(1)` hit for all of them.
+///
+/// Every rule is cached, leaves included: a leaf hit skips not just
+/// the (cheap) primitive but the per-node §3 bookkeeping — rule
+/// counting and the two size observations — which costs more than the
+/// probe. The expression-node snapshot lives *outside* this type (see
+/// [`eval_eid`]) so the walker can read structure through a shared
+/// borrow while mutating the cache.
+pub(crate) enum MemoCache {
+    /// Single-owner table.
+    Local(LocalMemo),
+    /// View of a table shared between sessions.
+    Shared(SharedMemo),
+}
+
+impl MemoCache {
+    fn new_local() -> Self {
+        MemoCache::Local(LocalMemo::new())
+    }
+
+    /// A view of an existing shared table, opening with a fresh query
+    /// stamp — how batch workers join the parent's cache.
+    fn with_shared_table(table: Arc<SharedMemoTable>) -> Self {
+        let query = table.fresh_query();
+        MemoCache::Shared(SharedMemo { table, query })
+    }
+
+    /// Switch to a **fresh, empty** shared table (idempotent). Local
+    /// entries are deliberately not migrated — the shared cache starts
+    /// cold and warms on first use; migrating would mean re-hashing the
+    /// whole local table under no contention benefit.
+    fn make_shared(&mut self) {
+        if matches!(self, MemoCache::Shared(_)) {
+            return;
+        }
+        *self = MemoCache::with_shared_table(Arc::new(SharedMemoTable::new()));
+    }
+
+    /// The shared table behind this cache, if any — what a parent
+    /// session hands to its batch workers.
+    fn shared_table(&self) -> Option<Arc<SharedMemoTable>> {
+        match self {
+            MemoCache::Shared(m) => Some(Arc::clone(&m.table)),
+            MemoCache::Local(_) => None,
+        }
+    }
+
+    fn key(eid: EId, input: VId) -> u64 {
+        ((eid.index() as u64) << 32) | input.index() as u64
+    }
+
+    /// Probe for a cached judgment — see [`LocalMemo::probe`]. On the
+    /// shared table this locks exactly one stripe; an entry written by
+    /// any *other* query stamp (other query of this session, or any
+    /// query of another session on the same table) classifies as warm.
+    fn probe(&self, key: u64) -> Option<(VId, u64, bool)> {
+        match self {
+            MemoCache::Local(m) => m.probe(key),
+            MemoCache::Shared(m) => {
+                let slot = memo_slot(key, (1u64 << SHARED_MEMO_BITS) - 1);
+                let (stripe, within) = m.table.stripe(slot);
+                let guard = stripe.lock().unwrap_or_else(PoisonError::into_inner);
+                let (k, q, v, cost) = guard[within];
+                (k == key).then_some((v, cost, q != m.query))
+            }
+        }
+    }
+
+    fn store(&mut self, key: u64, out: VId, cost: u64) {
+        match self {
+            MemoCache::Local(m) => m.store(key, out, cost),
+            MemoCache::Shared(m) => {
+                let slot = memo_slot(key, (1u64 << SHARED_MEMO_BITS) - 1);
+                let (stripe, within) = m.table.stripe(slot);
+                let mut guard = stripe.lock().unwrap_or_else(PoisonError::into_inner);
+                guard[within] = (key, m.query, out, cost);
+            }
+        }
+    }
+
+    /// Open the next query against this cache; returns whether it is
+    /// actually warm (entries of earlier queries remain probeable).
+    /// `generation_changed` forces a cold start — cached handles went
+    /// stale with the arena; a shared cache detaches onto a fresh table
+    /// for the same reason (other views keep the old one).
+    fn begin_query(&mut self, warm: bool, generation_changed: bool) -> bool {
+        match self {
+            MemoCache::Local(m) => {
+                let warm = warm && !generation_changed && m.query < u32::MAX;
+                if warm {
+                    m.query += 1;
+                } else {
+                    m.epoch = m.epoch.wrapping_add(1);
+                    if m.epoch == 0 {
+                        // the stamp wrapped: stale slots could alias the
+                        // new epoch (blank slots are stamped 0, so
+                        // restart from 1)
+                        m.slots = LocalMemo::blank_slots(m.slots.len());
+                        m.epoch = 1;
+                    }
+                    m.stored = 0;
+                    m.query = 0;
+                }
+                warm
+            }
+            MemoCache::Shared(m) => {
+                if generation_changed {
+                    m.table = Arc::new(SharedMemoTable::new());
+                    m.query = m.table.fresh_query();
+                    return false;
+                }
+                m.query = m.table.fresh_query();
+                // a shared table cannot be epoch-invalidated per view;
+                // a cold (warm = false) open detaches this view instead
+                if !warm {
+                    m.table = Arc::new(SharedMemoTable::new());
+                    m.query = m.table.fresh_query();
+                }
+                warm
+            }
+        }
+    }
+
+    /// Drop everything this cache retains; the local table shrinks back
+    /// to its initial size, a shared view detaches onto a fresh table.
+    fn evict(&mut self) {
+        match self {
+            MemoCache::Local(m) => *m = LocalMemo::new(),
+            MemoCache::Shared(m) => {
+                m.table = Arc::new(SharedMemoTable::new());
+                m.query = m.table.fresh_query();
+            }
+        }
+    }
+
+    /// Approximate resident bytes of the slot table (the session
+    /// layer's occupancy accounting). A shared table is counted in full
+    /// by every view holding it.
     fn approx_resident_bytes(&self) -> usize {
-        self.slots.len() * std::mem::size_of::<MemoSlot>()
+        match self {
+            MemoCache::Local(m) => m.slots.len() * std::mem::size_of::<MemoSlot>(),
+            MemoCache::Shared(_) => {
+                (1usize << SHARED_MEMO_BITS) * std::mem::size_of::<SharedSlot>()
+            }
+        }
     }
 }
 
@@ -694,18 +916,25 @@ impl MemoState {
     /// monomorphic recognisable derived terms). Sessions own one of
     /// these for their whole lifetime; the facade pools one per thread.
     pub(crate) fn new(ea: &mut ExprArena) -> Self {
-        let len = 1usize << MEMO_INITIAL_BITS;
+        Self::new_with_cache(ea, MemoCache::new_local())
+    }
+
+    /// A fresh state around the given apply cache — how batch workers
+    /// are built directly onto the parent's shared table, skipping the
+    /// local slot-table allocation [`MemoState::new`] would make.
+    pub(crate) fn with_shared_table(ea: &mut ExprArena, table: Arc<SharedMemoTable>) -> Self {
+        Self::new_with_cache(ea, MemoCache::with_shared_table(table))
+    }
+
+    fn new_with_cache(ea: &mut ExprArena, memo: MemoCache) -> Self {
+        // a state built onto an existing shared table opens *warm*, so
+        // it joins the table's entries instead of detaching from them
+        let opens_warm = matches!(memo, MemoCache::Shared(_));
         let mut state = MemoState {
             nodes: Vec::new(),
             generation: ea.generation(),
             caches: Caches {
-                memo: MemoCache {
-                    slots: MemoCache::blank_slots(len),
-                    mask: (len - 1) as u64,
-                    stored: 0,
-                    epoch: 0,
-                    query: 0,
-                },
+                memo,
                 delta: DeltaMap::default(),
                 cartprod: ea.intern(&nra_core::derived::cartprod()),
                 unnest: ea.intern(&nra_core::derived::unnest()),
@@ -715,8 +944,19 @@ impl MemoState {
                 projpairs: HashMap::default(),
             },
         };
-        state.begin_query(ea, false);
+        state.begin_query(ea, opens_warm);
         state
+    }
+
+    /// Switch the apply cache to a fresh shared table (idempotent) —
+    /// part of [`crate::EvalSession::make_shared`].
+    pub(crate) fn make_shared(&mut self) {
+        self.caches.memo.make_shared();
+    }
+
+    /// The shared apply table behind this state, if any.
+    pub(crate) fn shared_table(&self) -> Option<Arc<SharedMemoTable>> {
+        self.caches.memo.shared_table()
     }
 
     /// Open the next query against this state.
@@ -739,20 +979,7 @@ impl MemoState {
         self.caches.cartprod = ea.intern(&nra_core::derived::cartprod());
         self.caches.unnest = ea.intern(&nra_core::derived::unnest());
         let generation_changed = self.resync(ea);
-        let cache = &mut self.caches.memo;
-        let warm = warm && !generation_changed && cache.query < u32::MAX;
-        if warm {
-            cache.query += 1;
-        } else {
-            cache.epoch = cache.epoch.wrapping_add(1);
-            if cache.epoch == 0 {
-                // the stamp wrapped: stale slots could alias the new
-                // epoch (blank slots are stamped 0, so restart from 1)
-                cache.slots = MemoCache::blank_slots(cache.slots.len());
-                cache.epoch = 1;
-            }
-            cache.stored = 0;
-            cache.query = 0;
+        if !self.caches.memo.begin_query(warm, generation_changed) {
             // the shape-recognition caches key on EIds, which a cold
             // start treats as untrusted (the arena may have been reset)
             self.caches.shapes.clear();
@@ -786,13 +1013,7 @@ impl MemoState {
     /// recognition caches. The session layer calls this on
     /// generation-based eviction, together with clearing its arenas.
     pub(crate) fn evict(&mut self) {
-        let len = 1usize << MEMO_INITIAL_BITS;
-        let cache = &mut self.caches.memo;
-        cache.slots = MemoCache::blank_slots(len);
-        cache.mask = (len - 1) as u64;
-        cache.stored = 0;
-        cache.epoch = 0;
-        cache.query = 0;
+        self.caches.memo.evict();
         self.nodes = Vec::new();
         self.caches.delta = DeltaMap::default();
         self.caches.shapes = ShapeCaches::default();

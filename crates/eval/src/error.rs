@@ -160,6 +160,13 @@ pub enum EvalError {
         /// Cardinality of the input set.
         input_cardinality: u64,
     },
+    /// A [`crate::eval_batch`] worker panicked while evaluating this
+    /// job (e.g. a stale fabricated handle). The panic is contained to
+    /// the job: the other jobs of the batch still return their results.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -188,6 +195,9 @@ impl fmt::Display for EvalError {
                 "powerset of a {}-element set cannot be materialised",
                 input_cardinality
             ),
+            EvalError::WorkerPanicked { detail } => {
+                write!(f, "batch worker panicked: {}", detail)
+            }
         }
     }
 }

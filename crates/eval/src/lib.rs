@@ -26,7 +26,8 @@
 //!   [`EvalStats::warm_hits`]), residency is bounded by a
 //!   generation-based eviction budget, the session is `Send`, and
 //!   [`batch::eval_batch`] fans query batches across worker sessions on
-//!   scoped threads;
+//!   scoped threads that intern into one **shared concurrent store**
+//!   and share one apply cache ([`EvalSession::split`]);
 //! * the free functions ([`evaluate`], [`evaluate_vid`],
 //!   [`evaluate_lazy`], [`evaluate_traced`]) remain as a thin
 //!   thread-local-backed compatibility facade with the historical

@@ -59,6 +59,7 @@ use nra_core::expr::intern::{EId, ExprArena};
 use nra_core::value::intern::{VId, ValueArena};
 use nra_core::value::Value;
 use nra_core::Expr;
+use std::sync::Arc;
 
 /// Aggregate counters of one session, accumulated across its queries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -114,6 +115,68 @@ impl EvalSession {
         let mut session = EvalSession::new(config);
         session.set_resident_budget(Some(bytes));
         session
+    }
+
+    /// Migrate this session onto the **shared concurrent store**:
+    /// lock-striped intern tables for both arenas plus one lock-striped
+    /// apply table, all behind `Arc`s. Idempotent; every previously
+    /// issued handle stays valid (the migration preserves indices), and
+    /// results are bit-for-bit unaffected — interning stays canonical,
+    /// so the same structure gets the same handle no matter which
+    /// session (or thread) interns it first.
+    ///
+    /// This is what [`EvalSession::split`] (and through it
+    /// [`crate::eval_batch`]) builds worker sessions on: workers intern
+    /// into the *same* canonical store and probe the *same* apply
+    /// table, so one worker's derivation is every worker's warm hit.
+    pub fn make_shared(&mut self) {
+        self.values.make_shared();
+        self.exprs.make_shared();
+        self.memo.make_shared();
+    }
+
+    /// Whether this session runs on the shared concurrent store.
+    pub fn is_shared(&self) -> bool {
+        self.values.is_shared()
+    }
+
+    /// Split off `workers` sessions over this session's shared store
+    /// (migrating it via [`EvalSession::make_shared`] first if needed).
+    ///
+    /// Each returned session interns into the **same** canonical
+    /// value/expression store and probes the **same** apply table as
+    /// the parent — handles issued by any of them are valid in all of
+    /// them — but owns its private recognition/delta caches, its own
+    /// [`SessionStats`], and no resident budget (the parent enforces
+    /// its budget at batch boundaries instead; see [`crate::eval_batch`]).
+    pub fn split(&mut self, workers: usize) -> Vec<EvalSession> {
+        self.make_shared();
+        let table = self
+            .memo
+            .shared_table()
+            .expect("make_shared installed a shared apply table");
+        (0..workers)
+            .map(|_| {
+                let values = self
+                    .values
+                    .shared_clone()
+                    .expect("make_shared installed a shared value store");
+                let mut exprs = self
+                    .exprs
+                    .shared_clone()
+                    .expect("make_shared installed a shared expression store");
+                let memo = MemoState::with_shared_table(&mut exprs, Arc::clone(&table));
+                EvalSession {
+                    values,
+                    exprs,
+                    memo,
+                    config: self.config.clone(),
+                    stats: SessionStats::default(),
+                    resident_budget: None,
+                    generation: self.generation,
+                }
+            })
+            .collect()
     }
 
     /// Install (or remove) the occupancy ceiling. At every
@@ -204,6 +267,17 @@ impl EvalSession {
     /// eviction happens inside this call — the returned handle is valid
     /// until the next tree-boundary query triggers one.
     pub fn eval_vid(&mut self, eid: EId, input: VId) -> VidEvaluation {
+        debug_assert!(
+            eid.index() < self.exprs.node_count() && input.index() < self.values.len(),
+            "stale handle: eval_vid called with EId {} / VId {} but this session's arenas hold \
+             only {} expressions / {} values — the handle predates an eviction (generation is \
+             now {}); re-intern through the current arenas",
+            eid.index(),
+            input.index(),
+            self.exprs.node_count(),
+            self.values.len(),
+            self.generation,
+        );
         self.memo.begin_query(&mut self.exprs, true);
         let mut ctx = Ctx::new(&self.config);
         let result = {
@@ -269,14 +343,19 @@ impl EvalSession {
     }
 
     fn maybe_evict(&mut self) {
-        if let Some(budget) = self.resident_budget {
-            if self.approx_resident_bytes() > budget {
-                self.evict();
-            }
+        if self.over_budget() {
+            self.evict();
         }
     }
 
-    fn absorb(&mut self, stats: &crate::stats::EvalStats) {
+    /// Whether the installed resident budget (if any) is currently
+    /// exceeded — the batch layer checks this at its own boundary.
+    pub(crate) fn over_budget(&self) -> bool {
+        self.resident_budget
+            .is_some_and(|budget| self.approx_resident_bytes() > budget)
+    }
+
+    pub(crate) fn absorb(&mut self, stats: &crate::stats::EvalStats) {
         self.stats.queries += 1;
         self.stats.memo_hits += stats.memo_hits;
         self.stats.memo_misses += stats.memo_misses;

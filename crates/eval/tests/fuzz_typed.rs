@@ -139,6 +139,11 @@ fn fuzz_domain(dom: &Type, seeds: std::ops::Range<u64>, cfg_gen: &GenConfig) {
                 Err(EvalError::Stuck { rule, detail }) => {
                     panic!("seed {seed}: well-typed {e} got stuck at {rule}: {detail}")
                 }
+                Err(EvalError::WorkerPanicked { detail }) => {
+                    panic!(
+                        "seed {seed}: sequential evaluation cannot report a worker panic: {detail}"
+                    )
+                }
             }
         }
     }

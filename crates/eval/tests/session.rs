@@ -151,3 +151,120 @@ fn warm_starts_cross_related_queries() {
     assert_eq!(grown.result.unwrap(), Value::chain_tc(9));
     assert!(grown.stats.warm_hits > 0, "{:?}", grown.stats);
 }
+
+/// A session's jobs, interned fresh: `tc_while` and `tc_step` over the
+/// chains `2..8`.
+fn chain_jobs(
+    session: &mut EvalSession,
+) -> Vec<(nra_core::expr::intern::EId, nra_core::value::intern::VId)> {
+    let q_while = session.intern_expr(&queries::tc_while());
+    let q_step = session.intern_expr(&queries::tc_step());
+    (2..8u64)
+        .flat_map(|n| {
+            let input = session.values_mut().chain(n);
+            [(q_while, input), (q_step, input)]
+        })
+        .collect()
+}
+
+/// Regression (batch bug 2): `eval_batch` used to bypass
+/// [`SessionStats`](nra_eval::SessionStats) entirely — after a batch,
+/// `session.stats().queries` still read 0. A batch must count against
+/// the parent's books exactly like the equivalent sequential
+/// `eval_vid` loop. Under the default configuration (apply cache off)
+/// the whole `SessionStats` is a pure function of the job list, so
+/// batch and sequential sessions must agree field for field.
+#[test]
+fn batch_folds_into_session_stats_like_a_sequential_loop() {
+    let mut sequential = EvalSession::new(EvalConfig::default());
+    let jobs = chain_jobs(&mut sequential);
+    for &(eid, input) in &jobs {
+        sequential.eval_vid(eid, input);
+    }
+
+    let mut batched = EvalSession::new(EvalConfig::default());
+    let jobs = chain_jobs(&mut batched);
+    nra_eval::eval_batch(&mut batched, &jobs, 3);
+
+    assert_eq!(
+        sequential.stats(),
+        batched.stats(),
+        "batch and sequential SessionStats must agree"
+    );
+    assert_eq!(batched.stats().queries, jobs.len() as u64);
+}
+
+/// The same accounting under the optimised configuration: per-query
+/// cache counters depend on the (shared vs local) table layout, so
+/// only the layout-independent fields are pinned exactly — but the
+/// cache activity itself must be *visible* in the parent's stats,
+/// which is precisely what the bug lost.
+#[test]
+fn batch_cache_activity_is_visible_in_session_stats() {
+    let mut session = EvalSession::new(EvalConfig::optimised());
+    let jobs = chain_jobs(&mut session);
+    nra_eval::eval_batch(&mut session, &jobs, 3);
+    let first = *session.stats();
+    assert_eq!(first.queries, jobs.len() as u64);
+    assert!(
+        first.memo_hits > 0,
+        "batch memo activity must reach SessionStats: {first:?}"
+    );
+    // a second identical batch runs fully warm against the shared
+    // apply table the first one filled
+    nra_eval::eval_batch(&mut session, &jobs, 3);
+    let second = *session.stats();
+    assert_eq!(second.queries, 2 * jobs.len() as u64);
+    assert!(
+        second.warm_hits > first.warm_hits,
+        "second batch must report warm hits: {second:?}"
+    );
+}
+
+/// Satellite (stale handles): `evict` bumps the generation and the
+/// docs demand handle-level callers re-intern — in debug builds,
+/// `eval_vid` now *detects* a pre-eviction `VId` instead of silently
+/// denoting an arbitrary object.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "stale handle")]
+fn stale_value_handle_after_eviction_is_detected() {
+    let mut session = EvalSession::new(EvalConfig::default());
+    let eid = session.intern_expr(&queries::tc_while());
+    let input = session.values_mut().chain(5);
+    session.evict();
+    // `eid` happens to be re-issued by the post-eviction re-interning,
+    // but the input handle points past the cleared value arena
+    let _ = session.eval_vid(eid, input);
+}
+
+/// A fabricated expression handle no arena ever issued is detected the
+/// same way.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "stale handle")]
+fn fabricated_expr_handle_is_detected() {
+    let mut session = EvalSession::new(EvalConfig::default());
+    let input = session.values_mut().chain(3);
+    let stale = nra_core::expr::intern::EId::from_index(1 << 20);
+    let _ = session.eval_vid(stale, input);
+}
+
+/// The documented remedy works: re-interning through the current
+/// arenas after an eviction yields valid handles and the same result.
+#[test]
+fn reinterning_after_eviction_recovers() {
+    let mut session = EvalSession::new(EvalConfig::default());
+    let eid = session.intern_expr(&queries::tc_while());
+    let input = session.values_mut().chain(5);
+    let before = session.eval_vid(eid, input);
+    session.evict();
+    let eid = session.intern_expr(&queries::tc_while());
+    let input = session.values_mut().chain(5);
+    let after = session.eval_vid(eid, input);
+    assert_eq!(
+        session.resolve(*after.result.as_ref().unwrap()),
+        Value::chain_tc(5)
+    );
+    assert_eq!(before.stats, after.stats, "cold restart, same measure");
+}

@@ -248,9 +248,10 @@ fn chain_separation_is_certified_by_growth_rate() {
 
 /// Tentpole acceptance: 4-worker batch evaluation is **bit-for-bit**
 /// identical to sequential evaluation across all seven graph families —
-/// same result handles after the canonical re-intern pass, same
-/// per-query §3 statistics — under both the default and the fully
-/// optimised configuration.
+/// workers intern straight into the parent's shared concurrent store, so
+/// canonical interning hands back the *same* result handles with no
+/// merge pass, and the same per-query §3 statistics — under both the
+/// default and the fully optimised configuration.
 #[test]
 fn batch_evaluation_matches_sequential_on_all_families() {
     use powerset_tc::eval::{eval_batch, EvalSession};
