@@ -1,0 +1,60 @@
+//! Sustained serving throughput through the `nra-serve` front.
+//!
+//! Four tenants submit a mixed workload drawn from all seven
+//! differential graph families — the polynomial zoo (`tc_while`,
+//! `tc_step`, `siblings_powerset`) on seeded graphs, plus
+//! certified-exponential `tc_paths` submissions that admission must
+//! turn away with their Theorem 4.1 citation — over the
+//! newline-delimited wire to one shared server. Every answered frame
+//! counts toward qps (a structured rejection is a served answer); an
+//! evaluation error fails the CI gate. Results land in
+//! `BENCH_serve.json` at the repository root.
+//!
+//! ```sh
+//! NRA_BENCH_SAMPLES=2 cargo bench -p nra-bench --bench serve
+//! ```
+
+use nra_bench::bench_samples;
+use nra_bench::serve::{run_serve_workload, write_bench_serve_json, SERVE_TENANTS};
+
+fn main() {
+    let samples = bench_samples();
+    let report = run_serve_workload(samples);
+
+    println!(
+        "serving front: {} tenants, {samples} graphs/family/tenant, mixed 7-family workload:",
+        SERVE_TENANTS
+    );
+    println!(
+        "{:<14} {:>6} {:>9} {:>9} {:>6} {:>7} {:>12} {:>10}",
+        "family", "jobs", "admitted", "rejected", "ok", "failed", "elapsed", "qps"
+    );
+    for w in &report.workloads {
+        println!(
+            "{:<14} {:>6} {:>9} {:>9} {:>6} {:>7} {:>12} {:>10.1}",
+            w.family,
+            w.jobs,
+            w.admitted,
+            w.rejected_exponential,
+            w.ok,
+            w.failed,
+            nra_bench::fmt_duration(w.elapsed),
+            w.qps()
+        );
+    }
+    println!(
+        "total: {} jobs in {} — sustained {:.1} qps; {} admitted, {} rejected \
+         (certified exponential), {} errors; warm hits {} across {} tenants",
+        report.jobs(),
+        nra_bench::fmt_duration(report.elapsed()),
+        report.sustained_qps(),
+        report.admitted(),
+        report.rejected_exponential(),
+        report.errors,
+        report.warm_hits,
+        report.warm_tenants
+    );
+
+    let path = write_bench_serve_json(&report).expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,284 @@
+//! The serving benchmark behind `BENCH_serve.json`: sustained
+//! queries-per-second through the full `nra-serve` front — wire
+//! framing, admission, cache-aware scheduling, budget accounting —
+//! under a mixed workload drawn from all seven differential graph
+//! families, submitted by multiple tenants over one shared server.
+//!
+//! Each family row measures one drained burst: every tenant submits
+//! the family's polynomial zoo (`tc_while`, `tc_step`,
+//! `siblings_powerset`) on `samples` seeded graphs, plus a
+//! certified-exponential `tc_paths` submission long enough to be
+//! rejected with its Theorem 4.1 citation — so the measured loop
+//! always exercises the rejection path too, at serving speed. Elapsed
+//! time runs from the first frame sent to the last response received;
+//! `qps` counts *answered* frames (completions and structured
+//! rejections both count — a rejection is a served answer; an error
+//! never counts and fails the CI gate).
+
+use nra_core::{queries, Value};
+use nra_serve::{encode_request, spawn, Outcome, Request, ServeConfig};
+use nra_testkit::{graphs, Rng};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Tenants submitting concurrently-accounted workloads.
+pub const SERVE_TENANTS: usize = 4;
+
+/// One family's measured burst.
+#[derive(Debug, Clone)]
+pub struct ServeWorkload {
+    /// Graph family (e.g. `"chain"`).
+    pub family: &'static str,
+    /// Frames submitted.
+    pub jobs: u64,
+    /// Frames that cleared admission.
+    pub admitted: u64,
+    /// Frames rejected with a certified-exponential citation.
+    pub rejected_exponential: u64,
+    /// Admitted frames answered `ok`.
+    pub ok: u64,
+    /// Admitted frames answered `failed` (must be zero).
+    pub failed: u64,
+    /// First frame sent → last response received.
+    pub elapsed: Duration,
+}
+
+impl ServeWorkload {
+    /// Answered frames per second over the burst.
+    pub fn qps(&self) -> f64 {
+        self.jobs as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The whole run: per-family rows plus the server's own closing books.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// One row per graph family.
+    pub workloads: Vec<ServeWorkload>,
+    /// Graphs per family per tenant.
+    pub samples: usize,
+    /// Tenants that ended the run with cross-query warm hits — the
+    /// shared-store payoff the CI gate requires to span ≥ 2 tenants.
+    pub warm_tenants: usize,
+    /// Total cross-tenant warm hits.
+    pub warm_hits: u64,
+    /// Evaluation errors across the run (gated to zero).
+    pub errors: u64,
+}
+
+impl ServeBenchReport {
+    /// Total frames answered.
+    pub fn jobs(&self) -> u64 {
+        self.workloads.iter().map(|w| w.jobs).sum()
+    }
+    /// Total admitted.
+    pub fn admitted(&self) -> u64 {
+        self.workloads.iter().map(|w| w.admitted).sum()
+    }
+    /// Total certified-exponential rejections.
+    pub fn rejected_exponential(&self) -> u64 {
+        self.workloads.iter().map(|w| w.rejected_exponential).sum()
+    }
+    /// Total elapsed across bursts.
+    pub fn elapsed(&self) -> Duration {
+        self.workloads.iter().map(|w| w.elapsed).sum()
+    }
+    /// Sustained qps over the whole run.
+    pub fn sustained_qps(&self) -> f64 {
+        self.jobs() as f64 / self.elapsed().as_secs_f64().max(1e-9)
+    }
+}
+
+/// Run the mixed 7-family serving workload: `samples` seeded graphs per
+/// family per tenant through one shared server, measured burst by
+/// burst.
+pub fn run_serve_workload(samples: usize) -> ServeBenchReport {
+    type FamilyBuilder = fn(&mut Rng) -> graphs::FamilyGraph;
+    let (mut client, handle) = spawn(ServeConfig::default());
+    let families: [(&'static str, FamilyBuilder); 7] = [
+        ("chain", graphs::random_chain),
+        ("cycle", graphs::random_cycle),
+        ("dag", graphs::random_dag),
+        ("disconnected", graphs::random_disconnected),
+        ("grid", graphs::random_grid),
+        ("clique", graphs::random_clique),
+        ("sparse", graphs::random_sparse),
+    ];
+    let zoo = [
+        queries::tc_while(),
+        queries::tc_step(),
+        queries::siblings_powerset(),
+    ];
+
+    let mut id = 0u64;
+    let mut workloads = Vec::new();
+    for (f, (family, builder)) in families.iter().enumerate() {
+        // build the burst up front so the clock measures serving, not
+        // generation
+        let mut lines = Vec::new();
+        for tenant in 0..SERVE_TENANTS {
+            let mut rng = Rng::new(0xBE7C_0000 ^ ((f as u64) << 32) ^ tenant as u64);
+            for _ in 0..samples {
+                let g = builder(&mut rng);
+                let input = Value::relation(g.edges.iter().copied());
+                for q in &zoo {
+                    id += 1;
+                    lines.push(
+                        encode_request(&Request {
+                            tenant: format!("tenant-{tenant}"),
+                            id,
+                            query: q.clone(),
+                            input: input.clone(),
+                        })
+                        .expect("encodable"),
+                    );
+                }
+            }
+            // one certified-exponential submission per tenant per family:
+            // the rejection path is part of the sustained load
+            id += 1;
+            lines.push(
+                encode_request(&Request {
+                    tenant: format!("tenant-{tenant}"),
+                    id,
+                    query: queries::tc_paths(),
+                    input: Value::chain(20 + f as u64),
+                })
+                .expect("encodable"),
+            );
+        }
+
+        let start = Instant::now();
+        for line in &lines {
+            client.tx.send_line(line).expect("server inbox open");
+        }
+        let mut row = ServeWorkload {
+            family,
+            jobs: lines.len() as u64,
+            admitted: 0,
+            rejected_exponential: 0,
+            ok: 0,
+            failed: 0,
+            elapsed: Duration::ZERO,
+        };
+        for _ in 0..lines.len() {
+            let resp = client.recv().expect("server alive").expect("decodable");
+            match resp.outcome {
+                Outcome::Ok { .. } => {
+                    row.admitted += 1;
+                    row.ok += 1;
+                }
+                Outcome::Rejected { reason } => {
+                    assert!(
+                        reason.contains("Theorem 4.1"),
+                        "[{family}] unexpected rejection: {reason}"
+                    );
+                    row.rejected_exponential += 1;
+                }
+                Outcome::Failed { detail } => {
+                    row.failed += 1;
+                    eprintln!("[{family}] FAILED: {detail}");
+                }
+            }
+        }
+        row.elapsed = start.elapsed();
+        workloads.push(row);
+    }
+
+    client.shutdown().expect("shutdown frame");
+    let report = handle.join().expect("server thread");
+    ServeBenchReport {
+        workloads,
+        samples,
+        warm_tenants: report.tenants.values().filter(|t| t.warm_hits > 0).count(),
+        warm_hits: report.tenants.values().map(|t| t.warm_hits).sum(),
+        errors: report.errors,
+    }
+}
+
+/// Write `BENCH_serve.json` at the repository root. Returns the path.
+pub fn write_bench_serve_json(report: &ServeBenchReport) -> std::io::Result<PathBuf> {
+    write_bench_serve_json_to(crate::repo_root().join("BENCH_serve.json"), report)
+}
+
+/// [`write_bench_serve_json`] with an explicit destination, so tests can
+/// exercise the format without clobbering the measured artifact.
+pub fn write_bench_serve_json_to(
+    path: PathBuf,
+    report: &ServeBenchReport,
+) -> std::io::Result<PathBuf> {
+    let mut out = String::from("{\n  \"bench\": \"serve\",\n");
+    out.push_str(&format!("  \"samples\": {},\n", report.samples));
+    out.push_str(&format!("  \"tenants\": {SERVE_TENANTS},\n"));
+    out.push_str("  \"unit\": \"ns\",\n  \"workloads\": [\n");
+    for (i, w) in report.workloads.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"jobs\": {}, \"admitted\": {}, \"rejected_exponential\": {}, \"ok\": {}, \"failed\": {}, \"elapsed_ns\": {}, \"qps\": {:.1}}}{}\n",
+            w.family,
+            w.jobs,
+            w.admitted,
+            w.rejected_exponential,
+            w.ok,
+            w.failed,
+            w.elapsed.as_nanos(),
+            w.qps(),
+            if i + 1 == report.workloads.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"total_jobs\": {},\n", report.jobs()));
+    out.push_str(&format!("  \"admitted\": {},\n", report.admitted()));
+    out.push_str(&format!(
+        "  \"rejected_exponential\": {},\n",
+        report.rejected_exponential()
+    ));
+    out.push_str(&format!("  \"errors\": {},\n", report.errors));
+    out.push_str(&format!("  \"warm_hits\": {},\n", report.warm_hits));
+    out.push_str(&format!("  \"warm_tenants\": {},\n", report.warm_tenants));
+    out.push_str(&format!(
+        "  \"total_elapsed_ns\": {},\n",
+        report.elapsed().as_nanos()
+    ));
+    out.push_str(&format!(
+        "  \"sustained_qps\": {:.1}\n}}\n",
+        report.sustained_qps()
+    ));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(out.as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_workload_runs_and_its_json_is_well_formed() {
+        let report = run_serve_workload(1);
+        assert_eq!(report.workloads.len(), 7, "one row per family");
+        assert_eq!(report.errors, 0);
+        assert!(report.admitted() > 0);
+        assert!(
+            report.rejected_exponential() >= 7 * SERVE_TENANTS as u64,
+            "every family burst carries its rejections"
+        );
+        assert!(
+            report.warm_tenants >= 2,
+            "shared-store warm hits must span tenants: {report:?}"
+        );
+        assert!(report.sustained_qps() > 0.0);
+
+        let dest =
+            std::env::temp_dir().join(format!("BENCH_serve_test_{}.json", std::process::id()));
+        let path = write_bench_serve_json_to(dest.clone(), &report).expect("write json");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&dest).ok();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"bench\": \"serve\""));
+        assert!(text.contains("\"workload\": \"chain\""));
+        assert!(text.contains("\"sustained_qps\""));
+        assert!(text.contains("\"warm_tenants\""));
+        assert!(text.contains("\"errors\": 0"));
+    }
+}

@@ -12,11 +12,14 @@
 //!    re-intern merge pass; every worker interns into the single
 //!    canonical store, so a handle issued by any of them is valid in
 //!    all of them (and in the parent);
-//! 2. workers claim queries round-robin and evaluate them on handles
-//!    directly; because the apply table is shared, a judgment derived
-//!    by one worker is an `O(1)` warm hit for every other worker (and
-//!    for later queries of the parent) — one worker's derivation is
-//!    the whole batch's warm start;
+//! 2. workers claim the queries their **assignment** names (round-robin
+//!    for [`eval_batch`]; scheduling layers pass an explicit partition
+//!    to [`eval_batch_assigned`], e.g. grouping jobs that share
+//!    hash-consed subtrees onto one worker) and evaluate them on
+//!    handles directly; because the apply table is shared, a judgment
+//!    derived by one worker is an `O(1)` warm hit for every other
+//!    worker (and for later queries of the parent) — one worker's
+//!    derivation is the whole batch's warm start;
 //! 3. results are returned in input order as handles into the shared
 //!    store. Interning is canonical, so the handles (and the §3
 //!    statistics, which are a pure function of `(query, input,
@@ -28,6 +31,18 @@
 //! Evaluation is pure, so correctness never depends on the partition;
 //! the partition only decides the interleaving of cache fills, and the
 //! shared apply table makes even that immaterial for warmth.
+//!
+//! **Small batches never pay for threads.** Spawning a scoped worker
+//! costs on the order of 100µs, which dominates a sub-millisecond
+//! batch — the `dag/tc_while n=8` workload used to *lose* 8% against
+//! sequential evaluation. [`eval_batch`] therefore estimates the batch
+//! cost up front ([`estimated_batch_cost`], an `O(1)`-per-job metadata
+//! read) and runs batches under [`SMALL_BATCH_COST`] inline on the
+//! calling thread, still through a single split worker session — so
+//! the store migration, panic containment, statistics and budget
+//! accounting are identical on both paths, and the results stay
+//! bit-for-bit the same (a regression test pins both sides of the
+//! threshold).
 //!
 //! The batch also keeps the parent's *accounting* honest:
 //!
@@ -67,14 +82,74 @@ use nra_core::expr::intern::EId;
 use nra_core::value::intern::VId;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+/// Batches whose [`estimated_batch_cost`] falls below this run inline on
+/// the calling thread instead of spawning workers. Calibrated so the
+/// 12-job `tc_while` batches on ≤10-node graphs (sub-millisecond of
+/// total work, where thread spawns used to eat the parallel win) stay
+/// sequential while the larger differential/bench workloads still fan
+/// out.
+pub const SMALL_BATCH_COST: u64 = 750_000;
+
+/// One job of an assigned batch: a query applied to an input, with an
+/// optional per-job `max_object_size` tightening (the serving layer's
+/// *declared budget* — admission control predicts a space envelope per
+/// query and the engine enforces it, surfacing an overrun as
+/// [`EvalError::SpaceBudgetExceeded`]).
+/// `None` inherits the session's configured budget unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchJob {
+    /// The hash-consed query.
+    pub query: EId,
+    /// The interned input.
+    pub input: VId,
+    /// Per-job space budget (§3 object-size units); the effective budget
+    /// is the minimum of this and the session's configured one.
+    pub max_object_size: Option<u64>,
+}
+
+impl From<(EId, VId)> for BatchJob {
+    fn from((query, input): (EId, VId)) -> Self {
+        BatchJob {
+            query,
+            input,
+            max_object_size: None,
+        }
+    }
+}
+
+/// A crude, `O(1)`-per-job cost proxy for batch scheduling:
+/// `Σ ops(query) · size(input)²` over the jobs — the square reflecting
+/// that the relational workloads are dominated by their self-products.
+/// Both factors are interned metadata reads. Scheduling layers use it
+/// to pick worker counts and balance partitions; [`eval_batch`] uses it
+/// to decide the sequential fallback.
+pub fn estimated_batch_cost(session: &EvalSession, queries: &[(EId, VId)]) -> u64 {
+    queries
+        .iter()
+        .map(|&(eid, input)| {
+            // a stale/fabricated handle costs 0 here and panics inside
+            // the per-job guard instead (WorkerPanicked), not in the
+            // scheduler
+            if eid.index() >= session.exprs().node_count()
+                || input.index() >= session.values().len()
+            {
+                return 0;
+            }
+            let s = session.values().size(input);
+            session.exprs().ops(eid).saturating_mul(s.saturating_mul(s))
+        })
+        .fold(0u64, u64::saturating_add)
+}
+
 /// Evaluate `queries` (handles into `session`) across `workers` scoped
 /// worker threads over the session's shared store, returning one
 /// [`VidEvaluation`] per query, in input order, with result handles
-/// valid in `session`. `workers` is clamped to `1..=queries.len()`;
-/// `workers == 1` is the sequential degenerate case (still through a
-/// worker session, so results are partition-independent by
-/// construction). The session stays on the shared store afterwards, so
-/// a later batch re-uses every judgment this one derived.
+/// valid in `session`. `workers` is clamped to `1..=queries.len()`,
+/// and a batch under [`SMALL_BATCH_COST`] runs on one inline worker
+/// (results are partition-independent by construction, so the fallback
+/// is invisible except in wall-clock time). The session stays on the
+/// shared store afterwards, so a later batch re-uses every judgment
+/// this one derived.
 pub fn eval_batch(
     session: &mut EvalSession,
     queries: &[(EId, VId)],
@@ -83,63 +158,98 @@ pub fn eval_batch(
     if queries.is_empty() {
         return Vec::new();
     }
-    let workers = workers.clamp(1, queries.len());
+    let mut workers = workers.clamp(1, queries.len());
+    if estimated_batch_cost(session, queries) < SMALL_BATCH_COST {
+        workers = 1;
+    }
+    let assignment: Vec<Vec<usize>> = (0..workers)
+        .map(|w| (w..queries.len()).step_by(workers).collect())
+        .collect();
+    let jobs: Vec<BatchJob> = queries.iter().copied().map(BatchJob::from).collect();
+    eval_batch_assigned(session, &jobs, &assignment)
+}
 
-    // fan out over worker sessions sharing the parent's store
-    let worker_sessions = session.split(workers);
-    let mut gathered: Vec<Option<VidEvaluation>> = (0..queries.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = worker_sessions
-            .into_iter()
-            .enumerate()
-            .map(|(w, mut worker)| {
-                scope.spawn(move || {
-                    queries
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| i % workers == w)
-                        .map(|(i, &(eid, input))| {
-                            // contain a panicking job (stale fabricated
-                            // handle, debug assertion, …) to that job
-                            let ev = catch_unwind(AssertUnwindSafe(|| worker.eval_vid(eid, input)))
-                                .unwrap_or_else(|payload| VidEvaluation {
-                                    result: Err(EvalError::WorkerPanicked {
-                                        detail: panic_detail(&payload),
-                                    }),
-                                    stats: crate::stats::EvalStats::default(),
-                                });
-                            (i, ev)
-                        })
-                        .collect::<Vec<_>>()
+/// The scheduling hook under [`eval_batch`]: evaluate `jobs` under an
+/// **explicit partition** — `assignment[w]` lists the job indices worker
+/// `w` evaluates, and every job index must be assigned exactly once.
+/// A single-worker assignment runs inline on the calling thread (no
+/// spawn); anything else fans out on scoped threads. Results come back
+/// in job order either way, with the same statistics folding, panic
+/// containment and parent-budget enforcement as [`eval_batch`] — which
+/// is this function with a round-robin assignment.
+///
+/// Serving layers use the explicit partition for **cache-aware
+/// placement**: jobs sharing hash-consed subtrees grouped onto the same
+/// worker derive their common judgments once and hit the shared apply
+/// table for the rest.
+pub fn eval_batch_assigned(
+    session: &mut EvalSession,
+    jobs: &[BatchJob],
+    assignment: &[Vec<usize>],
+) -> Vec<VidEvaluation> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let assigned: usize = assignment.iter().map(Vec::len).sum();
+    debug_assert!(
+        assigned == jobs.len() && {
+            let mut seen = vec![false; jobs.len()];
+            assignment
+                .iter()
+                .flatten()
+                .all(|&i| i < jobs.len() && !std::mem::replace(&mut seen[i], true))
+        },
+        "assignment must name every job index exactly once"
+    );
+
+    let mut worker_sessions = session.split(assignment.len().max(1));
+    let mut gathered: Vec<Option<VidEvaluation>> = (0..jobs.len()).map(|_| None).collect();
+    if assignment.len() <= 1 {
+        // inline fallback: same worker-session semantics, no spawn
+        let worker = &mut worker_sessions[0];
+        for &i in assignment.first().map(Vec::as_slice).unwrap_or(&[]) {
+            gathered[i] = Some(run_job(worker, jobs[i]));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = worker_sessions
+                .into_iter()
+                .zip(assignment)
+                .map(|(mut worker, mine)| {
+                    scope.spawn(move || {
+                        mine.iter()
+                            .map(|&i| (i, run_job(&mut worker, jobs[i])))
+                            .collect::<Vec<_>>()
+                    })
                 })
-            })
-            .collect();
-        for (w, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok(list) => {
-                    for (i, ev) in list {
-                        gathered[i] = Some(ev);
+                .collect();
+            for (w, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(list) => {
+                        for (i, ev) in list {
+                            gathered[i] = Some(ev);
+                        }
                     }
-                }
-                // a panic that escaped the per-job guard (should not
-                // happen): fail that worker's share, keep the rest
-                Err(payload) => {
-                    let detail = panic_detail(&payload);
-                    for slot in gathered.iter_mut().skip(w).step_by(workers) {
-                        slot.get_or_insert_with(|| VidEvaluation {
-                            result: Err(EvalError::WorkerPanicked {
-                                detail: detail.clone(),
-                            }),
-                            stats: crate::stats::EvalStats::default(),
-                        });
+                    // a panic that escaped the per-job guard (should not
+                    // happen): fail that worker's share, keep the rest
+                    Err(payload) => {
+                        let detail = panic_detail(&payload);
+                        for &i in &assignment[w] {
+                            gathered[i].get_or_insert_with(|| VidEvaluation {
+                                result: Err(EvalError::WorkerPanicked {
+                                    detail: detail.clone(),
+                                }),
+                                stats: crate::stats::EvalStats::default(),
+                            });
+                        }
                     }
                 }
             }
-        }
-    });
+        });
+    }
     let mut results: Vec<VidEvaluation> = gathered
         .into_iter()
-        .map(|ev| ev.expect("every query was claimed by exactly one worker"))
+        .map(|ev| ev.expect("every job was claimed by exactly one worker"))
         .collect();
 
     // the batch counts against the parent's books like a sequential
@@ -163,6 +273,21 @@ pub fn eval_batch(
         }
     }
     results
+}
+
+/// One job on one worker session, with the panic guard: a panicking job
+/// (stale fabricated handle, debug assertion, …) is contained to that
+/// job and surfaced as [`EvalError::WorkerPanicked`].
+fn run_job(worker: &mut EvalSession, job: BatchJob) -> VidEvaluation {
+    catch_unwind(AssertUnwindSafe(|| {
+        worker.eval_vid_budgeted(job.query, job.input, job.max_object_size)
+    }))
+    .unwrap_or_else(|payload| VidEvaluation {
+        result: Err(EvalError::WorkerPanicked {
+            detail: panic_detail(&payload),
+        }),
+        stats: crate::stats::EvalStats::default(),
+    })
 }
 
 /// Render a panic payload for [`EvalError::WorkerPanicked`].
@@ -331,6 +456,133 @@ mod tests {
             .map(|(_, ev)| ev);
         for (ev, expect) in survivors.zip(&expect) {
             assert_eq!(ev.result.as_ref().unwrap(), expect);
+        }
+    }
+
+    /// A panicking job must be contained on the *inline* (small-batch)
+    /// path too — same guard, no thread to die on.
+    #[test]
+    fn panicking_job_is_contained_on_the_inline_path() {
+        let mut session = EvalSession::new(EvalConfig::optimised());
+        let q = session.intern_expr(&queries::tc_while());
+        let good = session.values_mut().chain(3);
+        let jobs = [(q, good), (q, VId::from_index(usize::from(u16::MAX) << 8))];
+        assert!(estimated_batch_cost(&session, &jobs) < SMALL_BATCH_COST);
+        let out = eval_batch(&mut session, &jobs, 4);
+        let expect = session.values_mut().chain_tc(3);
+        assert_eq!(out[0].result.clone().unwrap(), expect);
+        assert!(matches!(
+            out[1].result,
+            Err(EvalError::WorkerPanicked { .. })
+        ));
+    }
+
+    /// The small-batch regression fix, pinned from both sides: the
+    /// 12-job `tc_while` batches on small graphs fall under
+    /// [`SMALL_BATCH_COST`] (they run inline), the larger bench
+    /// workloads stay parallel, and the results are **bit-for-bit**
+    /// identical either way — forced through both code paths via
+    /// explicit assignments.
+    #[test]
+    fn small_batch_fallback_is_bit_for_bit() {
+        let mut session = EvalSession::new(EvalConfig::optimised());
+        let q = session.intern_expr(&queries::tc_while());
+        let small: Vec<(EId, VId)> = (0..12)
+            .map(|_| (q, session.values_mut().chain(8)))
+            .collect();
+        assert!(
+            estimated_batch_cost(&session, &small) < SMALL_BATCH_COST,
+            "the dag/chain n=8 batch shape must take the sequential fallback"
+        );
+        let big: Vec<(EId, VId)> = (0..12)
+            .map(|_| (q, session.values_mut().chain(12)))
+            .collect();
+        assert!(
+            estimated_batch_cost(&session, &big) >= SMALL_BATCH_COST,
+            "the chain n=12 batch must still fan out"
+        );
+
+        // both shapes, both code paths, same result bits (under the
+        // warm cache, per-job *hit counters* are timing-dependent
+        // across threads by design, so handles are the contract here)
+        for jobs in [&small, &big] {
+            let batch_jobs: Vec<BatchJob> = jobs.iter().copied().map(BatchJob::from).collect();
+            let inline_assignment = vec![(0..jobs.len()).collect::<Vec<_>>()];
+            let threaded_assignment: Vec<Vec<usize>> = (0..4)
+                .map(|w| (w..jobs.len()).step_by(4).collect())
+                .collect();
+            let inline = eval_batch_assigned(&mut session, &batch_jobs, &inline_assignment);
+            let threaded = eval_batch_assigned(&mut session, &batch_jobs, &threaded_assignment);
+            for (i, (a, b)) in inline.iter().zip(&threaded).enumerate() {
+                assert_eq!(
+                    a.result.as_ref().unwrap(),
+                    b.result.as_ref().unwrap(),
+                    "job {i}: inline vs threaded handles"
+                );
+            }
+        }
+
+        // under the exact (memo-off) §3 accounting, the *statistics*
+        // are bit-for-bit partition-independent too
+        let mut exact = EvalSession::new(EvalConfig::default());
+        let q = exact.intern_expr(&queries::tc_while());
+        let jobs: Vec<BatchJob> = (2..8u64)
+            .map(|n| BatchJob::from((q, exact.values_mut().chain(n))))
+            .collect();
+        let inline_assignment = vec![(0..jobs.len()).collect::<Vec<_>>()];
+        let threaded_assignment: Vec<Vec<usize>> = (0..3)
+            .map(|w| (w..jobs.len()).step_by(3).collect())
+            .collect();
+        let inline = eval_batch_assigned(&mut exact, &jobs, &inline_assignment);
+        let threaded = eval_batch_assigned(&mut exact, &jobs, &threaded_assignment);
+        for (i, (a, b)) in inline.iter().zip(&threaded).enumerate() {
+            assert_eq!(a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(a.stats, b.stats, "job {i}: inline vs threaded stats");
+        }
+    }
+
+    /// The explicit-assignment hook honours arbitrary partitions (here:
+    /// all jobs on one of three workers, the others idle) and per-job
+    /// declared budgets — an undersized budget surfaces as the engine's
+    /// own `SpaceBudgetExceeded`, not a panic.
+    #[test]
+    fn assigned_partitions_and_declared_budgets() {
+        let mut session = EvalSession::new(EvalConfig::optimised());
+        let q = session.intern_expr(&queries::tc_while());
+        let jobs: Vec<BatchJob> = (4..8u64)
+            .map(|n| BatchJob {
+                query: q,
+                input: session.values_mut().chain(n),
+                max_object_size: if n == 5 { Some(1) } else { None },
+            })
+            .collect();
+        let assignment = vec![vec![], vec![3, 1, 0, 2], vec![]];
+        let out = eval_batch_assigned(&mut session, &jobs, &assignment);
+        for (n, ev) in (4..8u64).zip(&out) {
+            if n == 5 {
+                assert!(
+                    matches!(ev.result, Err(EvalError::SpaceBudgetExceeded { .. })),
+                    "declared budget of 1 must trip: {:?}",
+                    ev.result
+                );
+            } else {
+                let expect = session.values_mut().chain_tc(n);
+                assert_eq!(ev.result.clone().unwrap(), expect, "n={n}");
+            }
+        }
+        // a budget generous enough never changes the result
+        let roomy: Vec<BatchJob> = jobs
+            .iter()
+            .map(|j| BatchJob {
+                max_object_size: Some(u64::MAX),
+                ..*j
+            })
+            .collect();
+        let rr = vec![vec![0, 2], vec![1, 3]];
+        let out = eval_batch_assigned(&mut session, &roomy, &rr);
+        for (n, ev) in (4..8u64).zip(&out) {
+            let expect = session.values_mut().chain_tc(n);
+            assert_eq!(ev.result.clone().unwrap(), expect, "n={n}");
         }
     }
 }

@@ -289,6 +289,31 @@ impl EvalSession {
         VidEvaluation { result, stats }
     }
 
+    /// [`EvalSession::eval_vid`] under a per-call space budget: the
+    /// effective `max_object_size` is the minimum of `max_object_size`
+    /// and the session's configured one, restored afterwards. `None`
+    /// is exactly `eval_vid`. This is how a batch job's *declared
+    /// budget* ([`crate::batch::BatchJob`]) is enforced by the engine
+    /// rather than audited after the fact — an overrun surfaces as
+    /// [`EvalError::SpaceBudgetExceeded`](crate::EvalError::SpaceBudgetExceeded)
+    /// carrying the exact requirement. Budgets never change results,
+    /// only whether the evaluation is cut off.
+    pub fn eval_vid_budgeted(
+        &mut self,
+        eid: EId,
+        input: VId,
+        max_object_size: Option<u64>,
+    ) -> VidEvaluation {
+        let Some(budget) = max_object_size else {
+            return self.eval_vid(eid, input);
+        };
+        let saved = self.config.max_object_size;
+        self.config.max_object_size = Some(saved.map_or(budget, |s| s.min(budget)));
+        let ev = self.eval_vid(eid, input);
+        self.config.max_object_size = saved;
+        ev
+    }
+
     /// Evaluate under the streaming (lazy) strategy — the session-owned
     /// counterpart of [`crate::evaluate_lazy`]; the apply cache warms
     /// across calls exactly as for [`EvalSession::eval`].

@@ -1,0 +1,227 @@
+//! Cache-aware partitioning of admitted jobs across workers.
+//!
+//! Every worker session interns into the parent's shared concurrent
+//! store and probes the shared apply table, so *any* placement is
+//! correct — but placement still decides how often a worker's private
+//! recognition/delta caches and the apply table's stripes are hit
+//! warm. The scheduler therefore:
+//!
+//! 1. **Groups jobs by root [`EId`]** — hash-consing makes "same query"
+//!    a handle comparison, and same-query jobs are each other's best
+//!    warm-up (the body judgments of `while` iterates recur across
+//!    inputs).
+//! 2. **Places groups by subtree affinity** — groups whose hash-consed
+//!    expression DAGs share descendant `EId`s (a common join subplan, a
+//!    shared predicate) prefer the worker already holding the most
+//!    overlapping subtrees; ties fall to the least-loaded worker
+//!    (LPT-style, using the same `ops(query) · size(input)²` cost proxy
+//!    as [`nra_eval::estimated_batch_cost`]).
+//! 3. **Falls back to one worker for small batches** — below
+//!    [`SMALL_BATCH_COST`] the
+//!    fan-out tax exceeds the work, and `eval_batch_assigned` runs a
+//!    single-partition assignment inline on the calling thread.
+//!
+//! The returned assignment is exactly what
+//! [`nra_eval::eval_batch_assigned`] consumes: one index list per
+//! worker, each job appearing exactly once.
+
+use nra_core::expr::intern::{EId, ENode};
+use nra_eval::batch::SMALL_BATCH_COST;
+use nra_eval::EvalSession;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-job cost proxy, stale-handle safe (a fabricated handle prices at
+/// zero here and panics inside the batch layer's per-job guard instead).
+fn job_cost(session: &EvalSession, query: EId, input: nra_core::value::intern::VId) -> u64 {
+    if query.index() >= session.exprs().node_count() || input.index() >= session.values().len() {
+        return 0;
+    }
+    let s = session.values().size(input);
+    session
+        .exprs()
+        .ops(query)
+        .saturating_mul(s.saturating_mul(s))
+}
+
+/// All descendant `EId`s of `root` (inclusive) in the hash-consed DAG —
+/// the subtree fingerprint affinity compares.
+fn descendants(session: &EvalSession, root: EId) -> BTreeSet<u32> {
+    let mut seen = BTreeSet::new();
+    if root.index() >= session.exprs().node_count() {
+        return seen;
+    }
+    let mut stack = vec![root];
+    while let Some(e) = stack.pop() {
+        if !seen.insert(e.index() as u32) {
+            continue;
+        }
+        match session.exprs().node(e) {
+            ENode::Leaf(_) => {}
+            ENode::Map(f) | ENode::While(f) => stack.push(f),
+            ENode::Tuple(f, g) | ENode::Compose(f, g) => {
+                stack.push(f);
+                stack.push(g);
+            }
+            ENode::Cond(c, t, e) => {
+                stack.push(c);
+                stack.push(t);
+                stack.push(e);
+            }
+        }
+    }
+    seen
+}
+
+/// Partition `jobs` into an assignment for
+/// [`nra_eval::eval_batch_assigned`]: `workers` index lists (some may
+/// be empty), every job index appearing exactly once, same-query jobs
+/// kept together, overlapping-subtree groups co-located, and the whole
+/// batch collapsed to one inline partition when it is too small to pay
+/// the fan-out tax.
+pub fn partition(
+    session: &EvalSession,
+    jobs: &[(EId, nra_core::value::intern::VId)],
+    workers: usize,
+) -> Vec<Vec<usize>> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs.len());
+    let costs: Vec<u64> = jobs.iter().map(|&(q, v)| job_cost(session, q, v)).collect();
+    let total: u64 = costs.iter().fold(0u64, |a, &c| a.saturating_add(c));
+    if workers == 1 || total < SMALL_BATCH_COST {
+        return vec![(0..jobs.len()).collect()];
+    }
+
+    // group by root EId, priced by summed job cost
+    let mut groups: BTreeMap<u32, (u64, Vec<usize>)> = BTreeMap::new();
+    for (i, &(q, _)) in jobs.iter().enumerate() {
+        let entry = groups.entry(q.index() as u32).or_default();
+        entry.0 = entry.0.saturating_add(costs[i]);
+        entry.1.push(i);
+    }
+
+    // heaviest groups place first (LPT), deterministic tie-break on EId
+    let mut order: Vec<(u64, u32)> = groups.iter().map(|(&e, &(c, _))| (c, e)).collect();
+    order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut loads: Vec<u64> = vec![0; workers];
+    let mut fingerprints: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); workers];
+    for (cost, eid_raw) in order {
+        let subtree = descendants(session, EId::from_index(eid_raw as usize));
+        // prefer the worker sharing the most hash-consed subtrees; break
+        // affinity ties (including the all-zeros cold start) by load
+        let w = (0..workers)
+            .max_by(|&a, &b| {
+                let affinity_a = fingerprints[a].intersection(&subtree).count();
+                let affinity_b = fingerprints[b].intersection(&subtree).count();
+                affinity_a
+                    .cmp(&affinity_b)
+                    .then(loads[b].cmp(&loads[a]))
+                    .then(b.cmp(&a))
+            })
+            .expect("workers >= 1");
+        let (_, indices) = &groups[&eid_raw];
+        assignment[w].extend(indices.iter().copied());
+        loads[w] = loads[w].saturating_add(cost);
+        fingerprints[w].extend(subtree);
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_core::queries;
+    use nra_eval::{eval_batch_assigned, BatchJob, EvalConfig, EvalSession};
+
+    #[test]
+    fn every_job_is_assigned_exactly_once() {
+        let mut session = EvalSession::new(EvalConfig::optimised());
+        let q1 = session.intern_expr(&queries::tc_while());
+        let q2 = session.intern_expr(&queries::tc_step());
+        let jobs: Vec<_> = (2..14u64)
+            .map(|n| {
+                let v = session.values_mut().chain(n);
+                (if n % 2 == 0 { q1 } else { q2 }, v)
+            })
+            .collect();
+        let assignment = partition(&session, &jobs, 4);
+        let mut seen: Vec<usize> = assignment.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..jobs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_query_jobs_share_a_worker() {
+        let mut session = EvalSession::new(EvalConfig::optimised());
+        let q1 = session.intern_expr(&queries::tc_while());
+        let q2 = session.intern_expr(&queries::tc_paths());
+        let jobs: Vec<_> = (8..16u64)
+            .map(|n| {
+                let v = session.values_mut().chain(n);
+                (if n % 2 == 0 { q1 } else { q2 }, v)
+            })
+            .collect();
+        let assignment = partition(&session, &jobs, 4);
+        for (query, _) in [(q1, ()), (q2, ())] {
+            let holders: Vec<usize> = assignment
+                .iter()
+                .enumerate()
+                .filter(|(_, part)| part.iter().any(|&i| jobs[i].0 == query))
+                .map(|(w, _)| w)
+                .collect();
+            assert_eq!(holders.len(), 1, "query split across workers {holders:?}");
+        }
+    }
+
+    #[test]
+    fn small_batches_collapse_to_one_inline_partition() {
+        let mut session = EvalSession::new(EvalConfig::optimised());
+        let q = session.intern_expr(&queries::tc_while());
+        let jobs: Vec<_> = (2..6u64)
+            .map(|n| {
+                let v = session.values_mut().chain(n);
+                (q, v)
+            })
+            .collect();
+        let assignment = partition(&session, &jobs, 4);
+        assert_eq!(assignment.len(), 1, "small batch must not fan out");
+    }
+
+    #[test]
+    fn partitions_feed_eval_batch_assigned_bit_for_bit() {
+        let mut parallel = EvalSession::new(EvalConfig::optimised());
+        let mut sequential = EvalSession::new(EvalConfig::optimised());
+        let queries_zoo = [
+            queries::tc_while(),
+            queries::tc_step(),
+            queries::compose_rel(),
+        ];
+        let mut jobs = Vec::new();
+        let mut seq_jobs = Vec::new();
+        for (k, q) in queries_zoo.iter().enumerate() {
+            let qp = parallel.intern_expr(q);
+            let qs = sequential.intern_expr(q);
+            for n in 8..12u64 {
+                let vp = parallel.values_mut().chain(n + k as u64);
+                let vs = sequential.values_mut().chain(n + k as u64);
+                jobs.push((qp, vp));
+                seq_jobs.push((qs, vs));
+            }
+        }
+        let assignment = partition(&parallel, &jobs, 3);
+        let batch: Vec<BatchJob> = jobs.iter().copied().map(BatchJob::from).collect();
+        let evals = eval_batch_assigned(&mut parallel, &batch, &assignment);
+        for (i, ev) in evals.iter().enumerate() {
+            let (qs, vs) = seq_jobs[i];
+            let expect = sequential.eval_vid(qs, vs);
+            assert_eq!(
+                parallel.resolve(*ev.result.as_ref().unwrap()),
+                sequential.resolve(*expect.result.as_ref().unwrap()),
+                "job {i}"
+            );
+        }
+    }
+}

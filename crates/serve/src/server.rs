@@ -1,0 +1,544 @@
+//! The long-lived serving loop: wire in, admission, cache-aware batch
+//! scheduling, per-tenant byte budgets, wire out.
+//!
+//! One [`Server`] owns one [`EvalSession`] (the shared concurrent
+//! store every batch's workers intern into) and a tenant ledger. Its
+//! [`run`](Server::run) loop blocks on the transport, drains up to
+//! [`ServeConfig::batch_window`] frames, admits each request
+//! ([`crate::admission`]), places the admitted jobs with the
+//! cache-aware scheduler ([`crate::schedule`]), evaluates them on
+//! scoped worker threads via [`nra_eval::eval_batch_assigned`] — each
+//! under its **declared budget** — and answers every frame exactly
+//! once. A worker panic is contained by the batch layer and surfaces
+//! as a `failed` response; the loop, the session, and the other jobs
+//! of the batch are unaffected.
+//!
+//! **Per-tenant byte budgets** ride the engine's generational
+//! eviction: every completed job charges its tenant the approximate
+//! bytes of its result; a tenant over budget is rejected at staging
+//! (`rejected` outcome, before any evaluation); and when the session's
+//! resident-byte budget triggers an eviction — bumping
+//! [`EvalSession::generation`] — the per-generation charges reset,
+//! because the objects the tenants were paying residency for are gone.
+//!
+//! Embedders that want the loop without the wire (tests, benches, the
+//! in-process front) call [`Server::process_batch`] /
+//! [`Server::run_staged`] directly.
+
+use crate::admission::{admit, AdmissionDecision, AdmissionPolicy};
+use crate::schedule::partition;
+use crate::wire::{
+    decode_frame, encode_response, socketpair, Endpoint, Frame, Outcome, Request, Response,
+    WireError,
+};
+use nra_core::expr::intern::EId;
+use nra_core::typecheck::output_type;
+use nra_core::value::intern::VId;
+use nra_core::{Expr, Value};
+use nra_eval::{eval_batch_assigned, BatchJob, EvalConfig, EvalSession, SessionStats};
+use nra_symbolic::SpaceVerdict;
+use std::collections::BTreeMap;
+use std::thread::JoinHandle;
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker sessions per batch (scoped threads over the shared store).
+    pub workers: usize,
+    /// Maximum frames drained into one batch.
+    pub batch_window: usize,
+    /// Admission policy (ceilings, clamps, waivers).
+    pub policy: AdmissionPolicy,
+    /// Default per-tenant byte budget per eviction generation
+    /// (override per tenant with [`Server::set_tenant_budget`]).
+    pub tenant_budget_bytes: u64,
+    /// Resident-byte ceiling for the session (eviction trigger); `None`
+    /// disables eviction.
+    pub resident_budget_bytes: Option<usize>,
+    /// Evaluator configuration for the session and its workers.
+    pub eval: EvalConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            batch_window: 16,
+            policy: AdmissionPolicy::default(),
+            tenant_budget_bytes: u64::MAX,
+            resident_budget_bytes: None,
+            eval: EvalConfig::optimised(),
+        }
+    }
+}
+
+/// Per-tenant accounting, folded across every batch the tenant touched.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Frames decoded for this tenant.
+    pub submitted: u64,
+    /// Requests that cleared admission (and the byte-budget check).
+    pub admitted: u64,
+    /// Requests turned away (admission or byte budget).
+    pub rejected: u64,
+    /// Admitted requests that evaluated successfully.
+    pub completed: u64,
+    /// Admitted requests that erred (budget overrun, panic, …).
+    pub errors: u64,
+    /// Cross-query warm-cache hits earned by this tenant's jobs.
+    pub warm_hits: u64,
+    /// Bytes charged in the current eviction generation.
+    pub bytes_charged: u64,
+    /// Lifetime bytes charged (never reset).
+    pub total_bytes: u64,
+    /// Per-tenant budget override; `None` uses
+    /// [`ServeConfig::tenant_budget_bytes`].
+    pub budget_override: Option<u64>,
+}
+
+/// What one serving run did — returned when the loop exits.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Batches evaluated.
+    pub batches: u64,
+    /// Frames decoded (requests only; control frames excluded).
+    pub frames: u64,
+    /// Lines that failed to decode (answered with a `failed` response
+    /// when a tenant could be salvaged, dropped otherwise).
+    pub decode_errors: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Admitted requests completing successfully.
+    pub completed: u64,
+    /// Admitted requests erring during evaluation.
+    pub errors: u64,
+    /// Rejections citing a certified-exponential verdict.
+    pub rejected_exponential: u64,
+    /// Other admission rejections (ceiling, unanalyzable, probe failure,
+    /// ill-typed).
+    pub rejected_admission: u64,
+    /// Rejections for an exhausted tenant byte budget.
+    pub rejected_tenant_budget: u64,
+    /// Final eviction generation of the session.
+    pub generation: u64,
+    /// The session's aggregate counters (warm hits, evictions, …).
+    pub session: SessionStats,
+    /// The tenant ledger.
+    pub tenants: BTreeMap<String, TenantStats>,
+}
+
+/// An admitted job, staged for one batch: session handles plus its
+/// declared budget and provenance. Embedders can construct these
+/// directly (handles must come from the server's [`Server::session`]
+/// in its current generation) and push them through
+/// [`Server::run_staged`].
+#[derive(Debug, Clone)]
+pub struct StagedJob {
+    /// Tenant accounted.
+    pub tenant: String,
+    /// Correlation id.
+    pub id: u64,
+    /// Interned query.
+    pub query: EId,
+    /// Interned input.
+    pub input: VId,
+    /// Declared §3 space budget (enforced by the engine).
+    pub budget: u64,
+}
+
+/// The serving state: session, config, ledger, counters.
+pub struct Server {
+    session: EvalSession,
+    config: ServeConfig,
+    report: ServeReport,
+    charge_generation: u64,
+}
+
+impl Server {
+    /// A fresh server with its own session.
+    pub fn new(config: ServeConfig) -> Self {
+        let mut session = EvalSession::new(config.eval.clone());
+        session.set_resident_budget(config.resident_budget_bytes);
+        Server {
+            session,
+            config,
+            report: ServeReport::default(),
+            charge_generation: 0,
+        }
+    }
+
+    /// The serving session (handles for [`StagedJob`] must be interned
+    /// through this).
+    pub fn session(&mut self) -> &mut EvalSession {
+        &mut self.session
+    }
+
+    /// A snapshot of the report so far.
+    pub fn report(&self) -> ServeReport {
+        let mut report = self.report.clone();
+        report.generation = self.session.generation();
+        report.session = *self.session.stats();
+        report
+    }
+
+    /// Override one tenant's per-generation byte budget.
+    pub fn set_tenant_budget(&mut self, tenant: &str, bytes: u64) {
+        self.report
+            .tenants
+            .entry(tenant.to_string())
+            .or_default()
+            .budget_override = Some(bytes);
+    }
+
+    fn tenant(&mut self, name: &str) -> &mut TenantStats {
+        self.report.tenants.entry(name.to_string()).or_default()
+    }
+
+    /// Reset per-generation charges if the session evicted since the
+    /// last check — the "byte budgets ride the generational eviction"
+    /// contract.
+    fn roll_generation(&mut self) {
+        let generation = self.session.generation();
+        if generation != self.charge_generation {
+            self.charge_generation = generation;
+            for tenant in self.report.tenants.values_mut() {
+                tenant.bytes_charged = 0;
+            }
+        }
+    }
+
+    /// Admit one request: byte-budget check, typecheck, symbolic +
+    /// concrete admission. Returns either a staged job or the rejection
+    /// response.
+    fn stage(&mut self, request: &Request) -> Result<StagedJob, Response> {
+        let reject = |reason: String| Response {
+            tenant: request.tenant.clone(),
+            id: request.id,
+            outcome: Outcome::Rejected { reason },
+        };
+        // an eviction since the last batch voids the old generation's
+        // charges before they can block anyone
+        self.roll_generation();
+        self.tenant(&request.tenant).submitted += 1;
+
+        // 1. tenant byte budget (per eviction generation)
+        let default_budget = self.config.tenant_budget_bytes;
+        let generation = self.charge_generation;
+        let tenant = self.tenant(&request.tenant);
+        let allowance = tenant.budget_override.unwrap_or(default_budget);
+        if tenant.bytes_charged >= allowance {
+            tenant.rejected += 1;
+            let charged = tenant.bytes_charged;
+            self.report.rejected_tenant_budget += 1;
+            return Err(reject(format!(
+                "tenant byte budget exhausted for generation {generation}: {charged} of \
+                 {allowance} bytes charged; the ledger resets at the next eviction generation"
+            )));
+        }
+
+        // 2. typecheck against the input's inferred type
+        if let Some(dom) = request.input.infer_type() {
+            if let Err(e) = output_type(&request.query, &dom) {
+                self.tenant(&request.tenant).rejected += 1;
+                self.report.rejected_admission += 1;
+                return Err(reject(format!("ill-typed query for this input: {e}")));
+            }
+        }
+
+        // 3. cost-based admission
+        let query = self.session.intern_expr(&request.query);
+        let input = self.session.intern_value(&request.input);
+        match admit(&mut self.session, query, input, &self.config.policy) {
+            AdmissionDecision::Admitted(a) => {
+                self.tenant(&request.tenant).admitted += 1;
+                self.report.admitted += 1;
+                Ok(StagedJob {
+                    tenant: request.tenant.clone(),
+                    id: request.id,
+                    query,
+                    input,
+                    budget: a.budget,
+                })
+            }
+            AdmissionDecision::Rejected(r) => {
+                self.tenant(&request.tenant).rejected += 1;
+                if matches!(r.verdict, SpaceVerdict::Exponential { .. }) {
+                    self.report.rejected_exponential += 1;
+                } else {
+                    self.report.rejected_admission += 1;
+                }
+                Err(reject(r.reason))
+            }
+        }
+    }
+
+    /// Evaluate one staged batch: cache-aware partition, scoped-thread
+    /// fan-out under per-job budgets, tenant charging, generation roll.
+    /// One response per job, in job order.
+    pub fn run_staged(&mut self, staged: &[StagedJob]) -> Vec<Response> {
+        if staged.is_empty() {
+            return Vec::new();
+        }
+        let pairs: Vec<(EId, VId)> = staged.iter().map(|j| (j.query, j.input)).collect();
+        let assignment = partition(&self.session, &pairs, self.config.workers);
+        let jobs: Vec<BatchJob> = staged
+            .iter()
+            .map(|j| BatchJob {
+                query: j.query,
+                input: j.input,
+                max_object_size: Some(j.budget),
+            })
+            .collect();
+        let evals = eval_batch_assigned(&mut self.session, &jobs, &assignment);
+        self.report.batches += 1;
+        // the batch tail may have evicted (and re-interned the results) —
+        // roll the tenant ledgers before charging this batch
+        self.roll_generation();
+        staged
+            .iter()
+            .zip(evals)
+            .map(|(job, ev)| {
+                let tenant = self.report.tenants.entry(job.tenant.clone()).or_default();
+                tenant.warm_hits += ev.stats.warm_hits;
+                let outcome = match ev.result {
+                    Ok(out) => {
+                        let bytes = self.session.values().size(out).saturating_mul(8);
+                        tenant.bytes_charged = tenant.bytes_charged.saturating_add(bytes);
+                        tenant.total_bytes = tenant.total_bytes.saturating_add(bytes);
+                        tenant.completed += 1;
+                        self.report.completed += 1;
+                        Outcome::Ok {
+                            declared_budget: job.budget,
+                            value: self.session.resolve(out),
+                        }
+                    }
+                    Err(e) => {
+                        tenant.errors += 1;
+                        self.report.errors += 1;
+                        Outcome::Failed {
+                            detail: e.to_string(),
+                        }
+                    }
+                };
+                Response {
+                    tenant: job.tenant.clone(),
+                    id: job.id,
+                    outcome,
+                }
+            })
+            .collect()
+    }
+
+    /// Admit and evaluate one batch of parsed requests. One response
+    /// per request, in request order.
+    pub fn process_batch(&mut self, requests: &[Request]) -> Vec<Response> {
+        let mut slots: Vec<Option<Response>> = vec![None; requests.len()];
+        let mut staged = Vec::new();
+        let mut staged_slots = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            self.report.frames += 1;
+            match self.stage(request) {
+                Ok(job) => {
+                    staged.push(job);
+                    staged_slots.push(i);
+                }
+                Err(response) => slots[i] = Some(response),
+            }
+        }
+        for (slot, response) in staged_slots.into_iter().zip(self.run_staged(&staged)) {
+            slots[slot] = Some(response);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every request answered exactly once"))
+            .collect()
+    }
+
+    /// The serving loop: block for a frame, drain the window, process,
+    /// respond; exit on [`SHUTDOWN_FRAME`](crate::wire::SHUTDOWN_FRAME)
+    /// or peer hangup. Returns the final report.
+    pub fn run(mut self, mut transport: Endpoint) -> ServeReport {
+        // exits when the peer hangs up or a shutdown frame arrives
+        'serve: while let Some(first) = transport.rx.recv_line() {
+            let mut lines = vec![first];
+            while lines.len() < self.config.batch_window.max(1) {
+                match transport.rx.try_recv_line() {
+                    Ok(Some(line)) => lines.push(line),
+                    Ok(None) | Err(_) => break,
+                }
+            }
+            let mut requests = Vec::new();
+            let mut shutdown = false;
+            for line in &lines {
+                match decode_frame(line) {
+                    Ok(Frame::Request(request)) => requests.push(request),
+                    Ok(Frame::Shutdown) => shutdown = true,
+                    Err(e) => {
+                        self.report.decode_errors += 1;
+                        // salvage the tenant prefix when present so the
+                        // client can correlate the failure
+                        let tenant = line.split(';').next().unwrap_or("");
+                        if crate::wire::validate_tenant(tenant).is_ok() {
+                            let id = line
+                                .split(';')
+                                .nth(1)
+                                .and_then(|f| f.parse::<u64>().ok())
+                                .unwrap_or(0);
+                            let resp = Response {
+                                tenant: tenant.to_string(),
+                                id,
+                                outcome: Outcome::Failed {
+                                    detail: format!("wire: {e}"),
+                                },
+                            };
+                            if self.send(&transport, &resp).is_err() {
+                                break 'serve;
+                            }
+                        }
+                    }
+                }
+            }
+            for response in self.process_batch(&requests) {
+                if self.send(&transport, &response).is_err() {
+                    break 'serve;
+                }
+            }
+            if shutdown {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    fn send(&self, transport: &Endpoint, response: &Response) -> Result<(), WireError> {
+        transport.tx.send_line(&encode_response(response)?)
+    }
+}
+
+/// A client for the wire front: submit parsed queries, receive
+/// responses. Both halves are independently usable (the sender clones),
+/// so many submitter threads can share one server.
+#[derive(Debug)]
+pub struct Client {
+    /// Frame sender (cloneable).
+    pub tx: crate::wire::LineSender,
+    /// Response receiver.
+    pub rx: crate::wire::LineReceiver,
+}
+
+impl Client {
+    /// Submit one query under `tenant` with correlation id `id`.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        id: u64,
+        query: &Expr,
+        input: &Value,
+    ) -> Result<(), WireError> {
+        let request = Request {
+            tenant: tenant.to_string(),
+            id,
+            query: query.clone(),
+            input: input.clone(),
+        };
+        self.tx.send_line(&crate::wire::encode_request(&request)?)
+    }
+
+    /// Block for the next response; `None` when the server exited.
+    pub fn recv(&mut self) -> Option<Result<Response, WireError>> {
+        self.rx
+            .recv_line()
+            .map(|line| crate::wire::decode_response(&line))
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&self) -> Result<(), WireError> {
+        self.tx.send_line(crate::wire::SHUTDOWN_FRAME)
+    }
+}
+
+/// Spawn a server on its own thread, returning the connected client
+/// and the handle that yields the [`ServeReport`] after
+/// [`Client::shutdown`] (or hangup).
+pub fn spawn(config: ServeConfig) -> (Client, JoinHandle<ServeReport>) {
+    let (client_end, server_end) = socketpair();
+    let handle = std::thread::spawn(move || Server::new(config).run(server_end));
+    (
+        Client {
+            tx: client_end.tx,
+            rx: client_end.rx,
+        },
+        handle,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_core::queries;
+
+    #[test]
+    fn serve_round_trip_admits_polynomial_and_rejects_exponential() {
+        let (mut client, handle) = spawn(ServeConfig::default());
+        client
+            .submit("acme", 1, &queries::tc_while(), &Value::chain(6))
+            .unwrap();
+        client
+            .submit("acme", 2, &queries::tc_paths(), &Value::chain(20))
+            .unwrap();
+        let mut by_id = BTreeMap::new();
+        for _ in 0..2 {
+            let resp = client.recv().unwrap().unwrap();
+            by_id.insert(resp.id, resp.outcome);
+        }
+        match &by_id[&1] {
+            Outcome::Ok { value, .. } => assert_eq!(*value, Value::chain_tc(6)),
+            other => panic!("tc_while: {other:?}"),
+        }
+        match &by_id[&2] {
+            Outcome::Rejected { reason } => {
+                assert!(reason.contains("Theorem 4.1"), "{reason}")
+            }
+            other => panic!("tc_paths chain(20): {other:?}"),
+        }
+        client.shutdown().unwrap();
+        let report = handle.join().unwrap();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.rejected_exponential, 1);
+        assert_eq!(report.tenants["acme"].submitted, 2);
+    }
+
+    #[test]
+    fn warm_hits_accrue_across_tenants_on_the_shared_store() {
+        let (mut client, handle) = spawn(ServeConfig::default());
+        for (round, tenant) in ["alpha", "beta", "alpha", "beta"].iter().enumerate() {
+            client
+                .submit(tenant, round as u64, &queries::tc_while(), &Value::chain(9))
+                .unwrap();
+            let resp = client.recv().unwrap().unwrap();
+            assert!(matches!(resp.outcome, Outcome::Ok { .. }), "{resp:?}");
+        }
+        client.shutdown().unwrap();
+        let report = handle.join().unwrap();
+        assert!(
+            report.tenants["beta"].warm_hits > 0,
+            "beta must warm-hit judgments derived for alpha: {report:?}"
+        );
+    }
+
+    #[test]
+    fn ill_typed_queries_are_rejected_at_the_door() {
+        let mut server = Server::new(ServeConfig::default());
+        let responses = server.process_batch(&[Request {
+            tenant: "acme".into(),
+            id: 9,
+            // fst of a set input: ill-typed
+            query: nra_core::builder::fst(),
+            input: Value::chain(3),
+        }]);
+        assert!(
+            matches!(&responses[0].outcome, Outcome::Rejected { reason } if reason.contains("ill-typed")),
+            "{responses:?}"
+        );
+    }
+}

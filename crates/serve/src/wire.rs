@@ -1,0 +1,434 @@
+//! The wire format and the in-repo transport.
+//!
+//! Queries travel as **newline-delimited frames** whose payload is the
+//! concrete syntax of [`nra_core::parser`] — the same parser-readable
+//! [`Display`](std::fmt::Display) form every `Expr`/`Value` already
+//! round-trips through (`parse(display(e)) == e`, property-tested in
+//! `nra-core`). The concrete syntax contains neither `;` nor newlines,
+//! so a frame is simply `;`-separated fields on one line:
+//!
+//! ```text
+//! request   := TENANT ";" ID ";" EXPR ";" VALUE "\n"
+//! response  := TENANT ";" ID ";" "ok" ";" BUDGET ";" VALUE "\n"
+//!            | TENANT ";" ID ";" "rejected" ";" REASON "\n"
+//!            | TENANT ";" ID ";" "failed" ";" DETAIL "\n"
+//! shutdown  := "!shutdown" "\n"
+//! ```
+//!
+//! `REASON`/`DETAIL` are free text (they may contain `;`), so they are
+//! always the *last* field and decoded with a bounded split. Tenant
+//! names must be non-empty and contain neither `;` nor newlines nor a
+//! leading `!` (reserved for control frames).
+//!
+//! The transport is an in-repo **socketpair**: two [`Endpoint`]s joined
+//! by a pair of `mpsc` byte-chunk channels (the offline counterpart of
+//! a duplex socket — no tokio, per the workspace's no-external-deps
+//! rule). Chunks are arbitrary byte slices; each receiver reassembles
+//! them into `\n`-terminated lines, so frames survive any chunking the
+//! sender (or a fuzzer) chooses — the framing layer is tested by
+//! splitting encoded frames at random byte boundaries.
+
+use nra_core::parser::{parse_expr, parse_value, ParseError};
+use nra_core::{Expr, Value};
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+
+/// The control frame that asks the server to drain and exit.
+pub const SHUTDOWN_FRAME: &str = "!shutdown";
+
+/// One parsed query submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Tenant the query is accounted to (validated: no `;`/newline).
+    pub tenant: String,
+    /// Client-chosen correlation id, echoed back on the response.
+    pub id: u64,
+    /// The NRA query, as parsed from the wire.
+    pub query: Expr,
+    /// The complex-object input the query is applied to.
+    pub input: Value,
+}
+
+/// Everything a single inbound line can mean.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A query submission.
+    Request(Request),
+    /// The shutdown control frame.
+    Shutdown,
+}
+
+/// The server's verdict on one request, echoed with its correlation id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Tenant the original request was accounted to.
+    pub tenant: String,
+    /// Correlation id of the original request.
+    pub id: u64,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+/// The three terminal states of an admitted-or-not request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Admitted and evaluated within its declared budget.
+    Ok {
+        /// The space budget (§3 units) the job was admitted under.
+        declared_budget: u64,
+        /// The query result.
+        value: Value,
+    },
+    /// Turned away at the door — by admission control (with the bound
+    /// citation) or by an exhausted tenant byte budget.
+    Rejected {
+        /// Human-readable reason, citing the certified bound where one
+        /// exists.
+        reason: String,
+    },
+    /// Admitted but the evaluation itself erred (budget overrun,
+    /// divergence cap, stuck term, worker panic).
+    Failed {
+        /// The `EvalError` rendering.
+        detail: String,
+    },
+}
+
+/// Wire-layer errors: invalid field, unparseable payload, or a closed
+/// transport.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// Tenant failed validation (empty, contains `;`/newline, or starts
+    /// with `!`).
+    InvalidTenant(String),
+    /// The line does not have the expected shape.
+    Malformed(String),
+    /// A payload field failed to parse as an expression or value.
+    Parse(ParseError),
+    /// The peer hung up.
+    Closed,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::InvalidTenant(t) => write!(f, "invalid tenant name {t:?}"),
+            WireError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            WireError::Parse(e) => write!(f, "payload parse error: {e}"),
+            WireError::Closed => write!(f, "transport closed"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<ParseError> for WireError {
+    fn from(e: ParseError) -> Self {
+        WireError::Parse(e)
+    }
+}
+
+/// Validate a tenant name for the wire: non-empty, single-line, no
+/// field separator, no control prefix.
+pub fn validate_tenant(tenant: &str) -> Result<(), WireError> {
+    if tenant.is_empty() || tenant.contains(';') || tenant.contains('\n') || tenant.starts_with('!')
+    {
+        return Err(WireError::InvalidTenant(tenant.to_string()));
+    }
+    Ok(())
+}
+
+fn validate_line(line: &str) -> Result<(), WireError> {
+    if line.contains('\n') {
+        return Err(WireError::Malformed(
+            "frame payload contains a newline".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// Encode a request as one frame line (no trailing newline — the
+/// transport adds it).
+pub fn encode_request(req: &Request) -> Result<String, WireError> {
+    validate_tenant(&req.tenant)?;
+    let line = format!("{};{};{};{}", req.tenant, req.id, req.query, req.input);
+    validate_line(&line)?;
+    Ok(line)
+}
+
+/// Decode one inbound line into a [`Frame`].
+pub fn decode_frame(line: &str) -> Result<Frame, WireError> {
+    if line == SHUTDOWN_FRAME {
+        return Ok(Frame::Shutdown);
+    }
+    let mut fields = line.splitn(4, ';');
+    let tenant = fields
+        .next()
+        .ok_or_else(|| WireError::Malformed("empty frame".into()))?;
+    validate_tenant(tenant)?;
+    let id = fields
+        .next()
+        .ok_or_else(|| WireError::Malformed("missing id field".into()))?
+        .trim()
+        .parse::<u64>()
+        .map_err(|e| WireError::Malformed(format!("bad id field: {e}")))?;
+    let query = parse_expr(
+        fields
+            .next()
+            .ok_or_else(|| WireError::Malformed("missing query field".into()))?,
+    )?;
+    let input = parse_value(
+        fields
+            .next()
+            .ok_or_else(|| WireError::Malformed("missing input field".into()))?,
+    )?;
+    Ok(Frame::Request(Request {
+        tenant: tenant.to_string(),
+        id,
+        query,
+        input,
+    }))
+}
+
+/// Encode a response as one frame line.
+pub fn encode_response(resp: &Response) -> Result<String, WireError> {
+    validate_tenant(&resp.tenant)?;
+    let line = match &resp.outcome {
+        Outcome::Ok {
+            declared_budget,
+            value,
+        } => format!(
+            "{};{};ok;{};{}",
+            resp.tenant, resp.id, declared_budget, value
+        ),
+        Outcome::Rejected { reason } => {
+            format!("{};{};rejected;{}", resp.tenant, resp.id, reason)
+        }
+        Outcome::Failed { detail } => {
+            format!("{};{};failed;{}", resp.tenant, resp.id, detail)
+        }
+    };
+    validate_line(&line)?;
+    Ok(line)
+}
+
+/// Decode one response line.
+pub fn decode_response(line: &str) -> Result<Response, WireError> {
+    let mut fields = line.splitn(4, ';');
+    let tenant = fields
+        .next()
+        .ok_or_else(|| WireError::Malformed("empty response".into()))?;
+    validate_tenant(tenant)?;
+    let id = fields
+        .next()
+        .ok_or_else(|| WireError::Malformed("missing id field".into()))?
+        .parse::<u64>()
+        .map_err(|e| WireError::Malformed(format!("bad id field: {e}")))?;
+    let tag = fields
+        .next()
+        .ok_or_else(|| WireError::Malformed("missing outcome tag".into()))?;
+    let rest = fields
+        .next()
+        .ok_or_else(|| WireError::Malformed("missing outcome payload".into()))?;
+    let outcome = match tag {
+        "ok" => {
+            let (budget, value) = rest
+                .split_once(';')
+                .ok_or_else(|| WireError::Malformed("ok without value field".into()))?;
+            Outcome::Ok {
+                declared_budget: budget
+                    .parse::<u64>()
+                    .map_err(|e| WireError::Malformed(format!("bad budget field: {e}")))?,
+                value: parse_value(value)?,
+            }
+        }
+        "rejected" => Outcome::Rejected {
+            reason: rest.to_string(),
+        },
+        "failed" => Outcome::Failed {
+            detail: rest.to_string(),
+        },
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown outcome tag {other:?}"
+            )));
+        }
+    };
+    Ok(Response {
+        tenant: tenant.to_string(),
+        id,
+        outcome,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The byte-chunk transport
+// ---------------------------------------------------------------------------
+
+/// The sending half of one direction: accepts arbitrary byte chunks
+/// (lines need not align with chunks). Cloneable, so many producer
+/// threads can share one server inbox.
+#[derive(Debug, Clone)]
+pub struct LineSender {
+    tx: Sender<Vec<u8>>,
+}
+
+impl LineSender {
+    /// Send one complete frame line (the trailing `\n` is appended).
+    pub fn send_line(&self, line: &str) -> Result<(), WireError> {
+        validate_line(line)?;
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        self.send_bytes(bytes)
+    }
+
+    /// Send a raw byte chunk — lines may span chunks arbitrarily. This
+    /// is the seam the framing fuzzer drives.
+    pub fn send_bytes(&self, chunk: Vec<u8>) -> Result<(), WireError> {
+        self.tx.send(chunk).map_err(|_| WireError::Closed)
+    }
+}
+
+/// The receiving half of one direction: reassembles byte chunks into
+/// `\n`-terminated lines.
+#[derive(Debug)]
+pub struct LineReceiver {
+    rx: Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+}
+
+impl LineReceiver {
+    fn pop_line(&mut self) -> Option<String> {
+        let nl = self.buf.iter().position(|&b| b == b'\n')?;
+        let line: Vec<u8> = self.buf.drain(..=nl).take(nl).collect();
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// Block until one complete line is available. `None` means the
+    /// peer hung up (any trailing unterminated bytes are discarded —
+    /// an incomplete frame is not a frame).
+    pub fn recv_line(&mut self) -> Option<String> {
+        loop {
+            if let Some(line) = self.pop_line() {
+                return Some(line);
+            }
+            match self.rx.recv() {
+                Ok(chunk) => self.buf.extend_from_slice(&chunk),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Non-blocking poll for one complete line. `Ok(None)` means no
+    /// complete line is buffered right now; `Err(WireError::Closed)`
+    /// means the peer hung up and nothing complete remains.
+    pub fn try_recv_line(&mut self) -> Result<Option<String>, WireError> {
+        loop {
+            if let Some(line) = self.pop_line() {
+                return Ok(Some(line));
+            }
+            match self.rx.try_recv() {
+                Ok(chunk) => self.buf.extend_from_slice(&chunk),
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => return Err(WireError::Closed),
+            }
+        }
+    }
+}
+
+/// One end of the duplex transport.
+#[derive(Debug)]
+pub struct Endpoint {
+    /// Writes toward the peer.
+    pub tx: LineSender,
+    /// Reads from the peer.
+    pub rx: LineReceiver,
+}
+
+/// An in-process duplex pipe: two connected [`Endpoint`]s, the offline
+/// stand-in for a socketpair.
+pub fn socketpair() -> (Endpoint, Endpoint) {
+    let (a_tx, b_rx) = channel();
+    let (b_tx, a_rx) = channel();
+    (
+        Endpoint {
+            tx: LineSender { tx: a_tx },
+            rx: LineReceiver {
+                rx: a_rx,
+                buf: Vec::new(),
+            },
+        },
+        Endpoint {
+            tx: LineSender { tx: b_tx },
+            rx: LineReceiver {
+                rx: b_rx,
+                buf: Vec::new(),
+            },
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_core::queries;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let req = Request {
+            tenant: "acme".into(),
+            id: 7,
+            query: queries::tc_while(),
+            input: Value::chain(4),
+        };
+        let line = encode_request(&req).unwrap();
+        assert_eq!(decode_frame(&line).unwrap(), Frame::Request(req));
+        assert_eq!(decode_frame(SHUTDOWN_FRAME).unwrap(), Frame::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip_with_free_text_reasons() {
+        for outcome in [
+            Outcome::Ok {
+                declared_budget: 4096,
+                value: Value::chain_tc(3),
+            },
+            Outcome::Rejected {
+                reason: "certified exponential; see Theorem 4.1; bound 2^8".into(),
+            },
+            Outcome::Failed {
+                detail: "space budget exceeded: required 512; budget 256".into(),
+            },
+        ] {
+            let resp = Response {
+                tenant: "acme".into(),
+                id: 3,
+                outcome,
+            };
+            let line = encode_response(&resp).unwrap();
+            assert_eq!(decode_response(&line).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn tenant_validation_rejects_separators_and_control_prefixes() {
+        for bad in ["", "a;b", "a\nb", "!sneaky"] {
+            assert!(validate_tenant(bad).is_err(), "{bad:?}");
+        }
+        assert!(validate_tenant("tenant-7_ok").is_ok());
+    }
+
+    #[test]
+    fn lines_reassemble_across_arbitrary_chunk_boundaries() {
+        let (client, mut server) = socketpair();
+        let payload = b"alpha;1;id;{(0, 1)}\nbeta;2;";
+        for byte in payload.iter() {
+            client.tx.send_bytes(vec![*byte]).unwrap();
+        }
+        client.tx.send_bytes(b"fst;(1, 2)\n".to_vec()).unwrap();
+        assert_eq!(server.rx.recv_line().unwrap(), "alpha;1;id;{(0, 1)}");
+        assert_eq!(server.rx.recv_line().unwrap(), "beta;2;fst;(1, 2)");
+        drop(client);
+        assert_eq!(server.rx.recv_line(), None, "hangup after the last frame");
+    }
+}

@@ -17,7 +17,10 @@
 //! * [`ramsey`] — Lemma 5.7's monochromatic-clique bound `C(2m−2, m−1)`
 //!   (constructive) and Lemma 5.6's condition-splitting helpers;
 //! * [`lower_bound`] — Corollary 5.3: closed `{N×N}` abstract expressions
-//!   denote unions of affine spaces and can never be `tc(rₙ)`.
+//!   denote unions of affine spaces and can never be `tc(rₙ)`;
+//! * [`predict`] — the above as a *prediction facade* for serving-time
+//!   admission control: classify a query's space complexity before
+//!   evaluating it ([`predict::SpaceClass`] / [`predict::SpaceVerdict`]).
 
 #![deny(missing_docs)]
 
@@ -27,6 +30,7 @@ pub mod condition;
 pub mod dichotomy;
 pub mod evalem;
 pub mod lower_bound;
+pub mod predict;
 pub mod ramsey;
 pub mod simple;
 pub mod vars;
@@ -39,5 +43,6 @@ pub use evalem::{
     SymbolicError,
 };
 pub use lower_bound::{chain_tc_impossibility, ChainTcImpossibility};
+pub use predict::{classify_space, predict_space, SpaceClass, SpaceVerdict};
 pub use simple::SimpleExpr;
 pub use vars::{Env, VarGen, VarId};

@@ -1,0 +1,456 @@
+//! Space prediction for admission control: classify a query's space
+//! complexity *before* evaluating it, so a serving layer can reject
+//! queries the paper certifies as exponential-space at the door.
+//!
+//! The classification runs the §5 machinery on the chain abstraction
+//! `rₙ` (the family Theorem 4.1's lower bound is proved on):
+//!
+//! * a `powerset`-free query is [`SpaceClass::Polynomial`] — every `NRA`
+//!   (and `NRA(while)`, by the §1 remark) term evaluates in polynomial
+//!   space; a structural degree analysis produces a crude exponent;
+//! * a `powerset`-using query goes through [`approximation_order`]
+//!   (Lemma 5.8): if every powerset application is **bounded**, the
+//!   query is [`SpaceClass::BoundedPowerset`] with the Prop 4.2 order
+//!   `m*` — it is `NRA`-expressible as `f.approximate(m*)` and thus
+//!   polynomial-space; if some application generates Ω(n) witnesses,
+//!   the query is [`SpaceClass::Exponential`] and the
+//!   [`LinearCertificate`] *is* the paper's lower-bound argument:
+//!   `2^Ω(n)` subsets must be enumerated (Theorem 4.1);
+//! * anything the abstract machinery cannot see through (`powerset`
+//!   under `while`, constants, non-relation domains) is
+//!   [`SpaceClass::Unanalyzed`] — a server should reject it
+//!   conservatively rather than guess.
+//!
+//! A classification is per-*query* and input-independent, so callers can
+//! cache it by hash-consed [`EId`]. [`SpaceClass::verdict`] then turns a
+//! classification plus the §3 size and cardinality of one concrete input
+//! into a [`SpaceVerdict`] carrying concrete bounds; [`predict_space`]
+//! is the one-call facade over both steps.
+//!
+//! ```
+//! use nra_core::queries;
+//! use nra_symbolic::predict::{classify_space, SpaceClass};
+//!
+//! assert!(matches!(
+//!     classify_space(&queries::tc_paths()),
+//!     SpaceClass::Exponential { .. }
+//! ));
+//! assert!(matches!(
+//!     classify_space(&queries::tc_while()),
+//!     SpaceClass::Polynomial { .. }
+//! ));
+//! // powerset over a *bounded* argument (sources(rₙ) = {0}) is fine
+//! use nra_core::builder::{flatten, pipeline, powerset};
+//! let bounded = pipeline([queries::sources(), powerset(), flatten()]);
+//! assert!(matches!(
+//!     classify_space(&bounded),
+//!     SpaceClass::BoundedPowerset { .. }
+//! ));
+//! ```
+
+use crate::aexpr::chain_aexpr;
+use crate::dichotomy::LinearCertificate;
+use crate::evalem::{approximation_order, SymbolicError};
+use crate::vars::VarGen;
+use nra_core::expr::intern::{EId, ExprArena};
+use nra_core::Expr;
+use std::fmt;
+
+/// Witness-enumeration cap handed to the Lemma 5.8 dichotomy: a bounded
+/// powerset application with more witnesses than this is treated as
+/// unanalyzed rather than enumerated further.
+pub const MAX_WITNESSES: usize = 16;
+
+/// Exponent ceiling for the structural degree analysis; degrees are
+/// clamped here so saturated predictions stay saturated instead of
+/// wrapping.
+pub const DEGREE_CAP: u32 = 24;
+
+/// Input-independent space classification of one query — cacheable by
+/// the query's hash-consed [`EId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceClass {
+    /// Some powerset application generates Ω(n) distinct witnesses on
+    /// the chain abstraction: by Theorem 4.1 the eager evaluation needs
+    /// `2^Ω(n)` space. The certificate names the offending binder.
+    Exponential {
+        /// The Lemma 5.8 case-2 certificate (the Ω(n) binder).
+        certificate: LinearCertificate,
+    },
+    /// Every powerset application is bounded (Lemma 5.8 case 1): the
+    /// query is equivalent to its `powersetₘ` approximation at this
+    /// order (Prop 4.2), hence `NRA`-expressible and polynomial-space.
+    BoundedPowerset {
+        /// The approximation order `m*` — `f.approximate(order)` is
+        /// exact on the inputs the chain abstraction denotes.
+        order: u64,
+    },
+    /// `powerset`-free: polynomial space, with a structural (crude,
+    /// sound-by-saturation) degree bound.
+    Polynomial {
+        /// Exponent bound on the §3 cost as a power of the input size,
+        /// clamped to [`DEGREE_CAP`].
+        degree: u32,
+    },
+    /// The abstract machinery cannot classify this query (`powerset`
+    /// under `while`, constants, …). Reject conservatively.
+    Unanalyzed {
+        /// Why classification failed.
+        reason: String,
+    },
+}
+
+/// A classification instantiated at one concrete input: concrete bounds
+/// a server can compare against budgets and cite in rejections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceVerdict {
+    /// Certified exponential: the §3 cost on an input of this
+    /// cardinality is at least `lower_bound = 2^cardinality` (the
+    /// powerset of the certificate's Ω(n) witness set).
+    Exponential {
+        /// The Lemma 5.8 certificate behind the verdict.
+        certificate: LinearCertificate,
+        /// `log₂` of the certified space requirement.
+        log2_lower_bound: u32,
+        /// The requirement itself, saturating at `u64::MAX`.
+        lower_bound: u64,
+    },
+    /// Bounded powerset use: polynomial once rewritten to
+    /// `approximate(order)`.
+    BoundedPowerset {
+        /// The Prop 4.2 approximation order.
+        order: u64,
+        /// Crude structural envelope for the *rewritten* query's §3
+        /// cost on this input (saturating).
+        upper_bound: u64,
+    },
+    /// Polynomial space; the envelope is the structural degree bound
+    /// instantiated at this input's size (saturating).
+    Polynomial {
+        /// The structural degree.
+        degree: u32,
+        /// `64·size^degree + 4096`, saturating.
+        upper_bound: u64,
+    },
+    /// Unclassifiable — no bound either way.
+    Unanalyzed {
+        /// Why classification failed.
+        reason: String,
+    },
+}
+
+impl SpaceClass {
+    /// Instantiate this classification at one input, described by its
+    /// §3 size and (for set inputs) cardinality.
+    pub fn verdict(&self, input_size: u64, input_cardinality: u64) -> SpaceVerdict {
+        match self {
+            SpaceClass::Exponential { certificate } => {
+                let log2 = input_cardinality.min(63) as u32;
+                SpaceVerdict::Exponential {
+                    certificate: certificate.clone(),
+                    log2_lower_bound: input_cardinality.min(u64::from(u32::MAX)) as u32,
+                    lower_bound: if input_cardinality > 63 {
+                        u64::MAX
+                    } else {
+                        1u64 << log2
+                    },
+                }
+            }
+            SpaceClass::BoundedPowerset { order } => SpaceVerdict::BoundedPowerset {
+                order: *order,
+                // the rewritten query materialises ≤ (c+1)^m subsets of
+                // ≤ m elements each: degree m+1 over the input size
+                upper_bound: envelope(input_size, ((*order).min(u64::from(DEGREE_CAP)) as u32) + 1),
+            },
+            SpaceClass::Polynomial { degree } => SpaceVerdict::Polynomial {
+                degree: *degree,
+                upper_bound: envelope(input_size, *degree),
+            },
+            SpaceClass::Unanalyzed { reason } => SpaceVerdict::Unanalyzed {
+                reason: reason.clone(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for SpaceVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceVerdict::Exponential {
+                certificate,
+                log2_lower_bound,
+                ..
+            } => write!(
+                f,
+                "certified exponential space (Theorem 4.1): needs >= 2^{log2_lower_bound} \
+                 units; Lemma 5.8 certificate: {certificate}"
+            ),
+            SpaceVerdict::BoundedPowerset { order, upper_bound } => write!(
+                f,
+                "bounded powerset use (Lemma 5.8 case 1): exact at approximation order \
+                 {order} (Prop 4.2), envelope {upper_bound}"
+            ),
+            SpaceVerdict::Polynomial {
+                degree,
+                upper_bound,
+            } => write!(
+                f,
+                "polynomial space: structural degree {degree}, envelope {upper_bound}"
+            ),
+            SpaceVerdict::Unanalyzed { reason } => write!(f, "unanalyzed: {reason}"),
+        }
+    }
+}
+
+/// `64·size^degree + 4096`, saturating.
+fn envelope(size: u64, degree: u32) -> u64 {
+    size.max(2)
+        .saturating_pow(degree.min(DEGREE_CAP))
+        .saturating_mul(64)
+        .saturating_add(4096)
+}
+
+/// Classify one query — see the [module docs](self). Input-independent;
+/// cache by [`EId`] when classifying repeatedly.
+pub fn classify_space(f: &Expr) -> SpaceClass {
+    let level = f.level();
+    if !level.powerset {
+        return SpaceClass::Polynomial {
+            degree: degrees(f).peak,
+        };
+    }
+    // powerset present: run the Lemma 5.8 dichotomy on the chain
+    // abstraction (the family the paper's lower bound lives on)
+    let mut gen = VarGen::default();
+    let chain = chain_aexpr(&mut gen);
+    match approximation_order(f, &chain, MAX_WITNESSES) {
+        Ok(order) => SpaceClass::BoundedPowerset { order },
+        Err(SymbolicError::ExponentialPowerset(certificate)) => {
+            SpaceClass::Exponential { certificate }
+        }
+        Err(e) => SpaceClass::Unanalyzed {
+            reason: e.to_string(),
+        },
+    }
+}
+
+/// The one-call facade: classify the hash-consed query `eid` and
+/// instantiate the verdict at an input of the given §3 size and
+/// cardinality.
+pub fn predict_space(
+    eid: EId,
+    exprs: &ExprArena,
+    input_size: u64,
+    input_cardinality: u64,
+) -> SpaceVerdict {
+    classify_space(&exprs.resolve(eid)).verdict(input_size, input_cardinality)
+}
+
+/// Output/peak degree pair for the structural analysis: exponents `d`
+/// such that the object (resp. any intermediate object) has §3 size
+/// `O(sᵈ)` in the input size `s`. Crude — selections and products
+/// compound multiplicatively — but sound by saturation: the serving
+/// layer tightens it with measured probes.
+#[derive(Debug, Clone, Copy)]
+struct Degrees {
+    out: u32,
+    peak: u32,
+}
+
+fn deg(out: u32, peak: u32) -> Degrees {
+    Degrees {
+        out: out.min(DEGREE_CAP),
+        peak: peak.max(out).clamp(1, DEGREE_CAP),
+    }
+}
+
+/// Structural degree analysis. Selection shapes
+/// (`μ ∘ map(if p then η else ∅)`) are recognised as degree-preserving,
+/// which keeps the Prop 2.1 derived pipelines (`select`, `member`,
+/// `subset`) from inflating every composition quadratically.
+fn degrees(f: &Expr) -> Degrees {
+    match f {
+        Expr::Id | Expr::Fst | Expr::Snd | Expr::Sng | Expr::Flatten | Expr::Union => deg(1, 1),
+        Expr::Bang
+        | Expr::EqNat
+        | Expr::IsEmpty
+        | Expr::ConstTrue
+        | Expr::ConstFalse
+        | Expr::EmptySet(_)
+        | Expr::Const(..) => deg(0, 1),
+        Expr::PairWith => deg(2, 2),
+        Expr::Tuple(a, b) => {
+            let (da, db) = (degrees(a), degrees(b));
+            deg(da.out.max(db.out), da.peak.max(db.peak))
+        }
+        Expr::Cond(c, t, e) => {
+            let (dc, dt, de) = (degrees(c), degrees(t), degrees(e));
+            deg(dt.out.max(de.out), dc.peak.max(dt.peak).max(de.peak))
+        }
+        Expr::Map(g) => {
+            // elements are no bigger than the input; by convexity
+            // Σᵢ |elem_i|^d ≤ s^d, so map preserves the body's degree
+            // (floored at 1 for the spine)
+            let dg = degrees(g);
+            deg(dg.out.max(1), dg.peak)
+        }
+        Expr::Compose(g, h) => {
+            if let Some(d) = selection_degrees(f) {
+                return d;
+            }
+            let (dg, dh) = (degrees(g), degrees(h));
+            deg(
+                dg.out.saturating_mul(dh.out),
+                dh.peak.max(dg.peak.saturating_mul(dh.out.max(1))),
+            )
+        }
+        // count ≤ (c+1)^m subsets of ≤ m elements each: degree m+1
+        Expr::PowersetM(m) => {
+            let d = (*m).min(u64::from(DEGREE_CAP)) as u32;
+            deg(d.saturating_add(1), d.saturating_add(1))
+        }
+        Expr::While(g) => {
+            // inflationary fixpoint: iterates live in a closure whose
+            // size the body's output degree bounds; the body then runs
+            // on an object of that size
+            let dg = degrees(g);
+            let fixpoint = dg.out.max(1).saturating_mul(2);
+            deg(fixpoint, dg.peak.max(1).saturating_mul(fixpoint))
+        }
+        // unreachable from classify_space (powerset-free branch), but
+        // keep the analysis total: a full powerset is no polynomial
+        Expr::Powerset => deg(DEGREE_CAP, DEGREE_CAP),
+    }
+}
+
+/// Recognise the Prop 2.1 selection shape `μ ∘ map(if p then η else ∅)`
+/// (possibly with the branches flipped): output ⊆ input, so the shape
+/// is degree-preserving and only the predicate contributes to the peak.
+fn selection_degrees(f: &Expr) -> Option<Degrees> {
+    let Expr::Compose(outer, inner) = f else {
+        return None;
+    };
+    if **outer != Expr::Flatten {
+        return None;
+    }
+    let Expr::Map(body) = &**inner else {
+        return None;
+    };
+    let Expr::Cond(p, t, e) = &**body else {
+        return None;
+    };
+    let keeps = |x: &Expr| matches!(x, Expr::Sng);
+    let drops = |x: &Expr| match x {
+        Expr::Compose(g, h) => matches!(&**g, Expr::EmptySet(_)) && matches!(&**h, Expr::Bang),
+        Expr::EmptySet(_) => true,
+        _ => false,
+    };
+    if (keeps(t) && drops(e)) || (keeps(e) && drops(t)) {
+        let dp = degrees(p);
+        Some(deg(1, dp.peak))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_core::queries;
+
+    #[test]
+    fn classification_matches_the_paper_on_the_query_zoo() {
+        // Theorem 4.1 regime: every query applying powerset to the
+        // (linear-sized) input relation is certified exponential —
+        // including siblings_powerset, whose *semantics* is order-2
+        // approximable but whose eager powerset cost is still 2^|r|
+        for q in [
+            queries::tc_paths(),
+            queries::tc_naive(),
+            queries::siblings_powerset(),
+        ] {
+            assert!(
+                matches!(classify_space(&q), SpaceClass::Exponential { .. }),
+                "{q} must classify exponential"
+            );
+        }
+        // §1 remark: the while route is polynomial
+        for q in [
+            queries::tc_while(),
+            queries::tc_step(),
+            queries::compose_rel(),
+            queries::siblings_direct(),
+        ] {
+            assert!(
+                matches!(classify_space(&q), SpaceClass::Polynomial { .. }),
+                "{q} must classify polynomial"
+            );
+        }
+        // Lemma 5.8 case 1: powerset over a bounded argument
+        use nra_core::builder::*;
+        let bounded = pipeline([queries::sources(), powerset(), flatten()]);
+        match classify_space(&bounded) {
+            SpaceClass::BoundedPowerset { order } => assert!(order >= 1),
+            other => panic!("bounded-argument powerset must be bounded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exponential_verdicts_carry_the_2_to_the_c_lower_bound() {
+        let class = classify_space(&queries::tc_paths());
+        match class.verdict(25, 8) {
+            SpaceVerdict::Exponential {
+                log2_lower_bound,
+                lower_bound,
+                ..
+            } => {
+                assert_eq!(log2_lower_bound, 8);
+                assert_eq!(lower_bound, 256);
+            }
+            other => panic!("expected exponential verdict, got {other:?}"),
+        }
+        // huge inputs saturate instead of overflowing
+        match class.verdict(u64::MAX, 1 << 40) {
+            SpaceVerdict::Exponential { lower_bound, .. } => assert_eq!(lower_bound, u64::MAX),
+            other => panic!("expected exponential verdict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn powerset_under_while_is_unanalyzed() {
+        use nra_core::builder::*;
+        let q = while_fix(pipeline([powerset(), flatten()]));
+        assert!(
+            matches!(classify_space(&q), SpaceClass::Unanalyzed { .. }),
+            "powerset under while must be rejected conservatively"
+        );
+    }
+
+    #[test]
+    fn predict_space_facade_round_trips_through_the_arena() {
+        let mut exprs = ExprArena::new();
+        let eid = exprs.intern(&queries::tc_while());
+        match predict_space(eid, &exprs, 25, 8) {
+            SpaceVerdict::Polynomial {
+                degree,
+                upper_bound,
+            } => {
+                assert!(degree >= 2, "tc_while degree {degree} too small");
+                assert!(upper_bound > 4096);
+            }
+            other => panic!("expected polynomial verdict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selection_shape_is_degree_preserving() {
+        use nra_core::derived::select;
+        use nra_core::{builder::*, Type};
+        let sel = select(
+            compose(eq_nat(), tuple(fst(), snd())),
+            Type::prod(Type::Nat, Type::Nat),
+        );
+        let d = degrees(&sel);
+        assert_eq!(d.out, 1, "selection output is a subset of its input");
+    }
+}
