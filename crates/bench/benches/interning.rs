@@ -36,38 +36,42 @@ fn main() {
         nra_bench::BATCH_WORKERS
     );
     println!(
-        "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "workload",
         "n",
         "tree",
         "interned",
         "memoised",
         "seminaive",
+        "compiled",
         "warm",
         "batch",
         "shwarm",
         "intern×",
         "memo×",
         "semi×",
+        "comp×",
         "warm×",
         "batch×",
         "shwarm×"
     );
     for c in &comparisons {
         println!(
-            "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x",
+            "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x",
             c.workload,
             c.n,
             fmt_duration(c.tree),
             fmt_duration(c.interned),
             fmt_duration(c.memoised),
             fmt_duration(c.seminaive),
+            fmt_duration(c.compiled),
             fmt_duration(c.warm),
             fmt_duration(c.batch),
             fmt_duration(c.shared_warm),
             c.speedup(),
             c.memo_speedup(),
             c.seminaive_speedup(),
+            c.compiled_speedup(),
             c.warm_speedup(),
             c.batch_speedup(),
             c.shared_warm_speedup()
@@ -85,6 +89,10 @@ fn main() {
         .iter()
         .map(EvalComparison::seminaive_speedup)
         .fold(f64::INFINITY, f64::min);
+    let min_compiled = comparisons
+        .iter()
+        .map(EvalComparison::compiled_speedup)
+        .fold(f64::INFINITY, f64::min);
     let min_warm = comparisons
         .iter()
         .map(EvalComparison::warm_speedup)
@@ -100,6 +108,7 @@ fn main() {
     println!("minimum interned speedup across workloads:   {min:.2}x");
     println!("minimum memo speedup across workloads:       {min_memo:.2}x");
     println!("minimum semi-naive speedup across workloads: {min_semi:.2}x");
+    println!("minimum compiled speedup across workloads:   {min_compiled:.2}x");
     println!("minimum warm-start speedup across workloads: {min_warm:.2}x");
     println!("minimum batch speedup across workloads:      {min_batch:.2}x");
     println!("minimum shared-warm speedup across workloads: {min_shared_warm:.2}x");

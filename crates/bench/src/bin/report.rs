@@ -24,6 +24,10 @@ use nra_symbolic::{
 use std::time::Instant;
 
 fn main() {
+    if std::env::args().any(|a| a == "--disasm") {
+        disasm();
+        return;
+    }
     header();
     e1_powerset_tc();
     e2_naive_tc();
@@ -40,6 +44,24 @@ fn main() {
     e13_delta_frontiers();
     footer();
     bench_eval_json();
+}
+
+/// Debug aid (`--disasm`): instead of regenerating EXPERIMENTS.md, print
+/// the bytecode the compiled backend emits for the standard queries —
+/// the same text `nra_eval::compile::parse` round-trips, so the dump is
+/// also a machine-readable program description.
+fn disasm() {
+    let mut session = nra_eval::EvalSession::new(EvalConfig::compiled());
+    for (name, q) in [
+        ("tc_step", queries::tc_step()),
+        ("tc_while", queries::tc_while()),
+        ("tc_paths", queries::tc_paths()),
+    ] {
+        let eid = session.intern_expr(&q);
+        let program = session.compiled_program(eid);
+        println!("# {name}");
+        println!("{}", nra_eval::disassemble(&program));
+    }
 }
 
 /// Refresh `BENCH_eval.json` at the repo root, from the same workload set

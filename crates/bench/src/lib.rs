@@ -122,11 +122,13 @@ pub fn bench_samples() -> usize {
     tinybench::default_samples()
 }
 
-/// One timed comparison of the four eager evaluation paths — the
+/// One timed comparison of the five eager evaluation paths — the
 /// tree-walking baseline, the interned (hash-consed) path, the
-/// memoised path (interned + the `(EId, VId) → VId` apply cache), and
-/// the semi-naive path (apply cache + delta-driven `while` iteration,
-/// [`nra_eval::EvalConfig::optimised`]) — on the same query and input.
+/// memoised path (interned + the `(EId, VId) → VId` apply cache), the
+/// semi-naive path (apply cache + delta-driven `while` iteration,
+/// [`nra_eval::EvalConfig::optimised`]), and the compiled path (the
+/// optimised switches run by the bytecode register VM,
+/// [`nra_eval::EvalConfig::compiled`]) — on the same query and input.
 #[derive(Debug, Clone)]
 pub struct EvalComparison {
     /// Workload label, e.g. `"chain/tc_while"`.
@@ -144,6 +146,12 @@ pub struct EvalComparison {
     /// [`nra_eval::EvalConfig::optimised`] (apply cache + semi-naive
     /// delta-driven iteration).
     pub seminaive: Duration,
+    /// Median wall-clock of [`nra_eval::evaluate`] under
+    /// [`nra_eval::EvalConfig::compiled`] (the optimised switches
+    /// executed by the bytecode register VM instead of the tree-walking
+    /// interpreter; the compiled program is cached per root, so this is
+    /// the steady-state dispatch cost).
+    pub compiled: Duration,
     /// Median wall-clock of a **warm** re-evaluation: the same query on
     /// the same input through an [`nra_eval::EvalSession`] (optimised
     /// config) that already evaluated it once — the cross-query apply
@@ -186,6 +194,19 @@ impl EvalComparison {
     /// fails if the geomean drops below 1.
     pub fn seminaive_speedup(&self) -> f64 {
         self.memoised.as_secs_f64() / self.seminaive.as_secs_f64().max(1e-12)
+    }
+
+    /// How many times faster the full compiled stack (apply cache +
+    /// semi-naive delta rules + bytecode VM, `EvalConfig::compiled`)
+    /// runs than **memoised interpretation** (memoised / compiled) —
+    /// the headline metric of the compiled backend, measured against
+    /// the same rung the semi-naive column is measured against, so the
+    /// dispatch-only ratio is `compiled_speedup / seminaive_speedup`.
+    /// Recorded per workload and as `geomean_compiled_speedup` in
+    /// `BENCH_eval.json`; the CI gate fails if any workload drops
+    /// below 1.
+    pub fn compiled_speedup(&self) -> f64 {
+        self.memoised.as_secs_f64() / self.compiled.as_secs_f64().max(1e-12)
     }
 
     /// How many times faster a warm session re-evaluation is than the
@@ -267,9 +288,9 @@ fn interleaved_medians<const K: usize>(
     })
 }
 
-/// Time the tree-walking, interned, memoised, and semi-naive eager
-/// evaluators on one workload (asserting along the way that all four
-/// produce the same result) and return the comparison.
+/// Time the tree-walking, interned, memoised, semi-naive and compiled
+/// eager evaluators on one workload (asserting along the way that all
+/// five produce the same result) and return the comparison.
 pub fn compare_eval(
     workload: &str,
     n: u64,
@@ -280,6 +301,7 @@ pub fn compare_eval(
     let cfg = EvalConfig::default();
     let memo_cfg = EvalConfig::memoised();
     let semi_cfg = EvalConfig::optimised();
+    let compiled_cfg = EvalConfig::compiled();
     let tree_out = evaluate_tree(query, input, &cfg).result.expect("tree eval");
     let interned_out = evaluate(query, input, &cfg).result.expect("interned eval");
     assert_eq!(tree_out, interned_out, "paths disagree on {workload} n={n}");
@@ -297,7 +319,14 @@ pub fn compare_eval(
         interned_out, semi_out,
         "semi-naive path disagrees on {workload} n={n}"
     );
-    let [tree, interned, memoised, seminaive] = interleaved_medians(
+    let compiled_out = evaluate(query, input, &compiled_cfg)
+        .result
+        .expect("compiled eval");
+    assert_eq!(
+        interned_out, compiled_out,
+        "compiled path disagrees on {workload} n={n}"
+    );
+    let [tree, interned, memoised, seminaive, compiled] = interleaved_medians(
         samples,
         &mut [
             &mut || {
@@ -311,6 +340,9 @@ pub fn compare_eval(
             },
             &mut || {
                 std::hint::black_box(evaluate(query, input, &semi_cfg));
+            },
+            &mut || {
+                std::hint::black_box(evaluate(query, input, &compiled_cfg));
             },
         ],
     );
@@ -369,6 +401,7 @@ pub fn compare_eval(
         interned,
         memoised,
         seminaive,
+        compiled,
         warm,
         batch,
         batch_seq,
@@ -379,9 +412,11 @@ pub fn compare_eval(
 /// The canonical tree-vs-interned-vs-memoised workload set feeding
 /// `BENCH_eval.json` — the chain and DAG families of the differential
 /// suite through the `while` route, the powerset route on a small chain,
-/// and the grid/clique/random-sparse families added with the apply
-/// cache. Shared by `benches/interning.rs` and the `report` binary so
-/// the two entry points can never drift apart.
+/// the grid/clique/random-sparse families added with the apply cache,
+/// and the deep-dispatch workloads (chain n=16, a depth-24 compose
+/// spine) added with the bytecode backend. Shared by
+/// `benches/interning.rs` and the `report` binary so the two entry
+/// points can never drift apart.
 pub fn standard_eval_comparisons(samples: usize) -> Vec<EvalComparison> {
     let tc_while = nra_core::queries::tc_while();
     let mut comparisons = Vec::new();
@@ -438,6 +473,29 @@ pub fn standard_eval_comparisons(samples: usize) -> Vec<EvalComparison> {
         &nra_graph::graph_to_value(&sparse),
         samples,
     ));
+    // deep-dispatch workloads, added with the bytecode backend: a longer
+    // chain through the while route (more fixpoint iterates, so the
+    // per-iterate dispatch overhead compounds), and a depth-24 spine of
+    // composed `tc_step`s — a tall DAG of small rule applications where
+    // interpretive dispatch, not set algebra, dominates
+    comparisons.push(compare_eval(
+        "chain/tc_while",
+        16,
+        &tc_while,
+        &Value::chain(16),
+        samples,
+    ));
+    let tc_step = nra_core::queries::tc_step();
+    let spine = (1..24).fold(tc_step.clone(), |acc, _| {
+        nra_core::builder::compose(tc_step.clone(), acc)
+    });
+    comparisons.push(compare_eval(
+        "compose_spine/tc_step24",
+        24,
+        &spine,
+        &Value::chain(8),
+        samples,
+    ));
     comparisons
 }
 
@@ -472,13 +530,14 @@ pub fn write_bench_eval_json_to(
     out.push_str("  \"unit\": \"ns\",\n  \"workloads\": [\n");
     for (i, c) in comparisons.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"n\": {}, \"tree_ns\": {}, \"interned_ns\": {}, \"memo_ns\": {}, \"seminaive_ns\": {}, \"warm_ns\": {}, \"batch_ns\": {}, \"batch_seq_ns\": {}, \"shared_warm_ns\": {}, \"speedup\": {:.3}, \"memo_speedup\": {:.3}, \"seminaive_speedup\": {:.3}, \"warm_speedup\": {:.3}, \"batch_speedup\": {:.3}, \"shared_warm_speedup\": {:.3}}}{}\n",
+            "    {{\"workload\": \"{}\", \"n\": {}, \"tree_ns\": {}, \"interned_ns\": {}, \"memo_ns\": {}, \"seminaive_ns\": {}, \"compiled_ns\": {}, \"warm_ns\": {}, \"batch_ns\": {}, \"batch_seq_ns\": {}, \"shared_warm_ns\": {}, \"speedup\": {:.3}, \"memo_speedup\": {:.3}, \"seminaive_speedup\": {:.3}, \"compiled_speedup\": {:.3}, \"warm_speedup\": {:.3}, \"batch_speedup\": {:.3}, \"shared_warm_speedup\": {:.3}}}{}\n",
             c.workload,
             c.n,
             c.tree.as_nanos(),
             c.interned.as_nanos(),
             c.memoised.as_nanos(),
             c.seminaive.as_nanos(),
+            c.compiled.as_nanos(),
             c.warm.as_nanos(),
             c.batch.as_nanos(),
             c.batch_seq.as_nanos(),
@@ -486,6 +545,7 @@ pub fn write_bench_eval_json_to(
             c.speedup(),
             c.memo_speedup(),
             c.seminaive_speedup(),
+            c.compiled_speedup(),
             c.warm_speedup(),
             c.batch_speedup(),
             c.shared_warm_speedup(),
@@ -512,6 +572,12 @@ pub fn write_bench_eval_json_to(
     let geomean_seminaive = (comparisons
         .iter()
         .map(|c| c.seminaive_speedup().ln())
+        .sum::<f64>()
+        / comparisons.len().max(1) as f64)
+        .exp();
+    let geomean_compiled = (comparisons
+        .iter()
+        .map(|c| c.compiled_speedup().ln())
         .sum::<f64>()
         / comparisons.len().max(1) as f64)
         .exp();
@@ -546,6 +612,10 @@ pub fn write_bench_eval_json_to(
     out.push_str(&format!(
         "  \"geomean_seminaive_speedup\": {:.3},\n",
         geomean_seminaive
+    ));
+    out.push_str(&format!(
+        "  \"geomean_compiled_speedup\": {:.3},\n",
+        geomean_compiled
     ));
     out.push_str(&format!(
         "  \"geomean_warm_speedup\": {:.3},\n",
@@ -631,6 +701,7 @@ mod tests {
         assert!(c.interned > Duration::ZERO);
         assert!(c.memoised > Duration::ZERO);
         assert!(c.seminaive > Duration::ZERO);
+        assert!(c.compiled > Duration::ZERO);
         assert!(c.warm > Duration::ZERO);
         assert!(c.batch > Duration::ZERO);
         assert!(c.batch_seq > Duration::ZERO);
@@ -638,6 +709,7 @@ mod tests {
         assert!(c.speedup() > 0.0);
         assert!(c.memo_speedup() > 0.0);
         assert!(c.seminaive_speedup() > 0.0);
+        assert!(c.compiled_speedup() > 0.0);
         assert!(c.warm_speedup() > 0.0);
         assert!(c.batch_speedup() > 0.0);
         assert!(c.shared_warm_speedup() > 0.0);
@@ -653,6 +725,7 @@ mod tests {
                 interned: Duration::from_micros(100),
                 memoised: Duration::from_micros(50),
                 seminaive: Duration::from_micros(25),
+                compiled: Duration::from_micros(10),
                 warm: Duration::from_micros(5),
                 batch: Duration::from_micros(100),
                 batch_seq: Duration::from_micros(200),
@@ -665,6 +738,7 @@ mod tests {
                 interned: Duration::from_micros(150),
                 memoised: Duration::from_micros(75),
                 seminaive: Duration::from_micros(25),
+                compiled: Duration::from_micros(20),
                 warm: Duration::from_micros(5),
                 batch: Duration::from_micros(100),
                 batch_seq: Duration::from_micros(200),
@@ -689,6 +763,10 @@ mod tests {
         assert!(text.contains("\"seminaive_ns\": 25000"));
         assert!(text.contains("\"seminaive_speedup\": 2.000"));
         assert!(text.contains("\"seminaive_speedup\": 3.000"));
+        assert!(text.contains("\"compiled_ns\": 10000"));
+        assert!(text.contains("\"compiled_speedup\": 5.000"));
+        assert!(text.contains("\"compiled_ns\": 20000"));
+        assert!(text.contains("\"compiled_speedup\": 3.750"));
         assert!(text.contains("\"warm_ns\": 5000"));
         assert!(text.contains("\"warm_speedup\": 5.000"));
         assert!(text.contains("\"batch_ns\": 100000"));
@@ -703,6 +781,7 @@ mod tests {
         assert!(text.contains("\"min_speedup\": 2.000"));
         assert!(text.contains("\"geomean_memo_speedup\": 2.000"));
         assert!(text.contains("\"geomean_seminaive_speedup\": 2.449"));
+        assert!(text.contains("\"geomean_compiled_speedup\": 4.330"));
         assert!(text.contains("\"geomean_warm_speedup\": 5.000"));
         assert!(text.contains("\"geomean_shared_warm_speedup\": 2.828"));
         assert!(text.contains("\"geomean_batch_speedup\": 2.000"));

@@ -141,15 +141,35 @@ pub fn estimated_batch_cost(session: &EvalSession, queries: &[(EId, VId)]) -> u6
         .fold(0u64, u64::saturating_add)
 }
 
+/// The worker count [`eval_batch`] actually uses for this batch — the
+/// scheduling decision itself, exposed so callers (and the regression
+/// tests) can check the small-batch floor without timing anything: the
+/// requested count clamped to `1..=queries.len()`, then floored to a
+/// single inline worker when [`estimated_batch_cost`] falls under
+/// [`SMALL_BATCH_COST`] (sub-millisecond batches lose more to thread
+/// spawns than they gain from parallelism — the `batch_speedup: 0.168`
+/// regression on chain n=8). Returns 0 for an empty batch.
+pub fn effective_workers(session: &EvalSession, queries: &[(EId, VId)], workers: usize) -> usize {
+    if queries.is_empty() {
+        return 0;
+    }
+    if estimated_batch_cost(session, queries) < SMALL_BATCH_COST {
+        1
+    } else {
+        workers.clamp(1, queries.len())
+    }
+}
+
 /// Evaluate `queries` (handles into `session`) across `workers` scoped
 /// worker threads over the session's shared store, returning one
 /// [`VidEvaluation`] per query, in input order, with result handles
-/// valid in `session`. `workers` is clamped to `1..=queries.len()`,
-/// and a batch under [`SMALL_BATCH_COST`] runs on one inline worker
-/// (results are partition-independent by construction, so the fallback
-/// is invisible except in wall-clock time). The session stays on the
-/// shared store afterwards, so a later batch re-uses every judgment
-/// this one derived.
+/// valid in `session`. The worker count is [`effective_workers`]:
+/// clamped to `1..=queries.len()`, and a batch under
+/// [`SMALL_BATCH_COST`] runs on one inline worker (results are
+/// partition-independent by construction, so the fallback is invisible
+/// except in wall-clock time). The session stays on the shared store
+/// afterwards, so a later batch re-uses every judgment this one
+/// derived.
 pub fn eval_batch(
     session: &mut EvalSession,
     queries: &[(EId, VId)],
@@ -158,10 +178,7 @@ pub fn eval_batch(
     if queries.is_empty() {
         return Vec::new();
     }
-    let mut workers = workers.clamp(1, queries.len());
-    if estimated_batch_cost(session, queries) < SMALL_BATCH_COST {
-        workers = 1;
-    }
+    let workers = effective_workers(session, queries, workers);
     let assignment: Vec<Vec<usize>> = (0..workers)
         .map(|w| (w..queries.len()).step_by(workers).collect())
         .collect();
@@ -539,6 +556,28 @@ mod tests {
             assert_eq!(a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
             assert_eq!(a.stats, b.stats, "job {i}: inline vs threaded stats");
         }
+    }
+
+    /// The scheduling decision itself, unit-tested without timing: the
+    /// bench's 12-job batch shapes land on one inline worker at chain
+    /// n=8 (the `batch_speedup: 0.168` regression shape) and fan out to
+    /// the requested four at chain n=12; the clamp and the empty batch
+    /// behave.
+    #[test]
+    fn effective_workers_floors_small_batches() {
+        let mut session = EvalSession::new(EvalConfig::optimised());
+        let q = session.intern_expr(&queries::tc_while());
+        let small: Vec<(EId, VId)> = (0..12)
+            .map(|_| (q, session.values_mut().chain(8)))
+            .collect();
+        assert_eq!(effective_workers(&session, &small, 4), 1);
+        let big: Vec<(EId, VId)> = (0..12)
+            .map(|_| (q, session.values_mut().chain(12)))
+            .collect();
+        assert_eq!(effective_workers(&session, &big, 4), 4);
+        // the clamp still applies above the floor
+        assert_eq!(effective_workers(&session, &big, 20), 12);
+        assert_eq!(effective_workers(&session, &[], 4), 0);
     }
 
     /// The explicit-assignment hook honours arbitrary partitions (here:

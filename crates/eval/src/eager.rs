@@ -174,7 +174,7 @@ impl<'a> Ctx<'a> {
     }
 }
 
-fn stuck(rule: &'static str, detail: impl Into<String>) -> EvalError {
+pub(crate) fn stuck(rule: &'static str, detail: impl Into<String>) -> EvalError {
     EvalError::Stuck {
         rule,
         detail: detail.into(),
@@ -227,7 +227,7 @@ pub fn evaluate(expr: &Expr, input: &Value, config: &EvalConfig) -> Evaluation {
 /// ```
 pub fn evaluate_vid(expr: &Expr, input: VId, config: &EvalConfig) -> VidEvaluation {
     let mut ctx = Ctx::new(config);
-    let result = if config.memo || config.semi_naive {
+    let result = if config.memo || config.semi_naive || config.compiled {
         // the cached routes walk the interned expression, so the
         // (EId, VId) pair is available as the apply-cache key — and the
         // EId as the delta-cache key — at every recursion step. The
@@ -236,10 +236,21 @@ pub fn evaluate_vid(expr: &Expr, input: VId, config: &EvalConfig) -> VidEvaluati
         expr_intern::with_arena(|ea| {
             let eid = ea.intern(expr);
             let mut state = MemoState::acquire_pooled(ea);
-            let result = intern::with_arena(|va| {
-                let MemoState { nodes, caches, .. } = &mut state;
-                eval_eid(eid, input, &mut ctx, nodes, caches, va)
-            });
+            let result = if config.compiled {
+                // the pooled state keeps its program cache across
+                // facade calls (handles are generation-stable), so
+                // repeat evaluations skip straight to the VM
+                let program = state.program(eid, config);
+                intern::with_arena(|va| {
+                    let MemoState { nodes, caches, .. } = &mut state;
+                    crate::compile::vm::run(&program, input, &mut ctx, nodes, caches, va)
+                })
+            } else {
+                intern::with_arena(|va| {
+                    let MemoState { nodes, caches, .. } = &mut state;
+                    eval_eid(eid, input, &mut ctx, nodes, caches, va)
+                })
+            };
             state.release_pooled();
             result
         })
@@ -349,7 +360,7 @@ pub(crate) fn eval_vid(
 /// One full leaf rule — both §3 observations plus the primitive itself —
 /// shared by [`eval_vid`] and the memoised [`eval_eid`]. The caller has
 /// already counted the derivation node.
-fn eval_leaf_rule(
+pub(crate) fn eval_leaf_rule(
     expr: &Expr,
     input: VId,
     ctx: &mut Ctx,
@@ -614,7 +625,7 @@ impl MemoCache {
         }
     }
 
-    fn key(eid: EId, input: VId) -> u64 {
+    pub(crate) fn key(eid: EId, input: VId) -> u64 {
         ((eid.index() as u64) << 32) | input.index() as u64
     }
 
@@ -622,7 +633,7 @@ impl MemoCache {
     /// shared table this locks exactly one stripe; an entry written by
     /// any *other* query stamp (other query of this session, or any
     /// query of another session on the same table) classifies as warm.
-    fn probe(&self, key: u64) -> Option<(VId, u64, bool)> {
+    pub(crate) fn probe(&self, key: u64) -> Option<(VId, u64, bool)> {
         match self {
             MemoCache::Local(m) => m.probe(key),
             MemoCache::Shared(m) => {
@@ -635,7 +646,7 @@ impl MemoCache {
         }
     }
 
-    fn store(&mut self, key: u64, out: VId, cost: u64) {
+    pub(crate) fn store(&mut self, key: u64, out: VId, cost: u64) {
         match self {
             MemoCache::Local(m) => m.store(key, out, cost),
             MemoCache::Shared(m) => {
@@ -726,18 +737,18 @@ impl MemoCache {
 #[derive(Clone, Copy)]
 pub(crate) struct DeltaEntry {
     /// The input set of the previous application.
-    input: VId,
+    pub(crate) input: VId,
     /// Its output.
-    output: VId,
+    pub(crate) output: VId,
     /// As-if-uncached cost of the per-element sub-derivations (0 for
     /// `μ`, which has none); charged on a skip so node budgets stay
     /// strategy-independent.
-    cost: u64,
+    pub(crate) cost: u64,
 }
 
 /// The delta cache: one [`DeltaEntry`] per `map`/`μ` expression node,
 /// keyed by [`EId`]. Cleared per evaluation.
-type DeltaMap = HashMap<EId, DeltaEntry, FxBuildHasher>;
+pub(crate) type DeltaMap = HashMap<EId, DeltaEntry, FxBuildHasher>;
 
 /// The mutable cache state one cached evaluation threads through
 /// [`eval_eid`]: the apply cache (active under [`EvalConfig::memo`])
@@ -745,19 +756,19 @@ type DeltaMap = HashMap<EId, DeltaEntry, FxBuildHasher>;
 /// Split from the expression-node snapshot so the walker can read
 /// structure through a shared borrow while mutating the caches.
 pub(crate) struct Caches {
-    memo: MemoCache,
-    delta: DeltaMap,
+    pub(crate) memo: MemoCache,
+    pub(crate) delta: DeltaMap,
     /// The interned handle of the Prop 2.1 derived term
     /// [`nra_core::derived::cartprod`] — hash-consing makes every
     /// occurrence of the derived product share this `EId`, so the
     /// semi-naive walker can recognise it and apply the fused
     /// delta-join rule `A×B = Aₚ×Bₚ ∪ δA×B ∪ Aₚ×δB` (see
     /// [`eval_cartprod_fused`]).
-    cartprod: EId,
+    pub(crate) cartprod: EId,
     /// The interned handle of the Prop 2.1 `unnest = μ ∘ map(ρ₂)` term
     /// — like `cartprod`, monomorphic and hence recognisable by handle
     /// equality. See [`eval_unnest_fused`].
-    unnest: EId,
+    pub(crate) unnest: EId,
     /// Recognition caches for the type-parameterised Prop 2.1 shapes —
     /// equality at a type, membership, inclusion, and `nest` — which
     /// cannot be recognised by a single handle (each type instantiation
@@ -826,7 +837,12 @@ fn apply_proj(a: &intern::ValueArena, mut v: VId, path: &[bool]) -> Option<VId> 
 /// Recognise the Prop 2.1 selection shape at `eid` (already known to be
 /// a `Compose` whose left child is the `μ` leaf) and return its
 /// predicate, caching the verdict.
-fn select_pred(eid: EId, node: &ENode, nodes: &[ENode], caches: &mut Caches) -> Option<EId> {
+pub(crate) fn select_pred(
+    eid: EId,
+    node: &ENode,
+    nodes: &[ENode],
+    caches: &mut Caches,
+) -> Option<EId> {
     if let Some(&cached) = caches.selects.get(&eid) {
         return cached;
     }
@@ -871,7 +887,7 @@ fn select_pred(eid: EId, node: &ENode, nodes: &[ENode], caches: &mut Caches) -> 
 /// `new`).
 ///
 /// [`set_merge_delta`]: nra_core::value::intern::ValueArena::set_merge_delta
-fn delta_probe(
+pub(crate) fn delta_probe(
     eid: EId,
     input: VId,
     delta: &DeltaMap,
@@ -909,6 +925,13 @@ pub(crate) struct MemoState {
     /// The expression-arena generation `nodes` was synced against.
     generation: u64,
     pub(crate) caches: Caches,
+    /// Compiled bytecode programs ([`crate::compile`]), keyed by root
+    /// `EId` plus the `memo`/`semi_naive` switches they were
+    /// specialised for — compile once, execute on every warm re-eval
+    /// and every batch job. `EId`s are append-only stable within an
+    /// arena generation, so cached programs stay valid as the arena
+    /// grows; a generation bump (and eviction) drops them.
+    programs: HashMap<(EId, bool, bool), Arc<crate::compile::Program>>,
 }
 
 impl MemoState {
@@ -943,6 +966,7 @@ impl MemoState {
                 projeqs: HashMap::default(),
                 projpairs: HashMap::default(),
             },
+            programs: HashMap::default(),
         };
         state.begin_query(ea, opens_warm);
         state
@@ -1003,9 +1027,36 @@ impl MemoState {
         if changed {
             self.nodes.clear();
             self.generation = ea.generation();
+            // compiled programs embed EIds and entry pcs resolved
+            // against the old snapshot
+            self.programs.clear();
         }
         ea.extend_snapshot(&mut self.nodes);
         changed
+    }
+
+    /// Fetch — or compile and cache — the bytecode program for `root`
+    /// under `config`'s `memo`/`semi_naive` switches (the compiled
+    /// backend's entry point). Callers must have brought the node
+    /// snapshot up to date first ([`MemoState::begin_query`] or
+    /// [`MemoState::resync`]), so the DAG under `root` is covered.
+    pub(crate) fn program(
+        &mut self,
+        root: EId,
+        config: &EvalConfig,
+    ) -> Arc<crate::compile::Program> {
+        let key = (root, config.memo, config.semi_naive);
+        if let Some(program) = self.programs.get(&key) {
+            return Arc::clone(program);
+        }
+        let program = Arc::new(crate::compile::compile(
+            root,
+            &self.nodes,
+            &mut self.caches,
+            config,
+        ));
+        self.programs.insert(key, Arc::clone(&program));
+        program
     }
 
     /// Drop everything this state retains — apply-cache entries (the
@@ -1020,13 +1071,20 @@ impl MemoState {
         self.caches.selects = HashMap::default();
         self.caches.projeqs = HashMap::default();
         self.caches.projpairs = HashMap::default();
+        self.programs = HashMap::default();
     }
 
     /// Approximate resident bytes of the retained cache state — the
-    /// apply-cache slots plus the node snapshot (the recognition caches
-    /// are negligible next to either).
+    /// apply-cache slots, the node snapshot, and the compiled-program
+    /// cache (the recognition caches are negligible next to any).
     pub(crate) fn approx_resident_bytes(&self) -> usize {
-        self.caches.memo.approx_resident_bytes() + self.nodes.len() * std::mem::size_of::<ENode>()
+        self.caches.memo.approx_resident_bytes()
+            + self.nodes.len() * std::mem::size_of::<ENode>()
+            + self
+                .programs
+                .values()
+                .map(|p| p.approx_resident_bytes())
+                .sum::<usize>()
     }
 
     /// Take the pooled per-thread state (or allocate one) and open a
@@ -1299,7 +1357,7 @@ fn eval_map_eid(
 /// `Ok(None)` when the input is not a pair of sets (the caller falls
 /// back to the ordinary derivation, which reports the proper stuck
 /// state).
-fn eval_cartprod_fused(
+pub(crate) fn eval_cartprod_fused(
     eid: EId,
     input: VId,
     ctx: &mut Ctx,
@@ -1410,7 +1468,7 @@ fn eval_cartprod_fused(
 /// spread, with the same boolean. Returns `Ok(None)` when the shape
 /// does not match or the input does not fit it (fall back to the
 /// ordinary derivation and its stuck reporting).
-fn eval_projeq_fused(
+pub(crate) fn eval_projeq_fused(
     eid: EId,
     input: VId,
     ctx: &mut Ctx,
@@ -1456,7 +1514,7 @@ fn eval_projeq_fused(
 /// One derivation node and one arena borrow instead of the
 /// compose/projection spread; the pair is bit-identical. `Ok(None)`
 /// falls back as in [`eval_projeq_fused`].
-fn eval_projpair_fused(
+pub(crate) fn eval_projpair_fused(
     eid: EId,
     input: VId,
     ctx: &mut Ctx,
@@ -1503,7 +1561,7 @@ fn eval_projpair_fused(
 /// with the §3 counters only ever shrinking. Returns `Ok(None)` when
 /// the input is not a set (the caller falls back to the ordinary
 /// derivation and its stuck reporting).
-fn eval_select_fused(
+pub(crate) fn eval_select_fused(
     eid: EId,
     pred: EId,
     input: VId,
@@ -1567,7 +1625,7 @@ fn eval_select_fused(
 /// output — the n-ary frontier merge, never a re-sort. Falls back to
 /// the one-shot [`eval_leaf_rule`] when the node has no usable
 /// previous application.
-fn eval_flatten_delta(
+pub(crate) fn eval_flatten_delta(
     eid: EId,
     input: VId,
     ctx: &mut Ctx,
@@ -1612,7 +1670,7 @@ fn eval_flatten_delta(
 /// observations (the judgment's own boundary objects) are a subset of
 /// the spread's. Returns `Ok(None)` when the input does not fit the
 /// shape (the ordinary derivation then reports the proper stuck state).
-fn eval_unnest_fused(
+pub(crate) fn eval_unnest_fused(
     eid: EId,
     input: VId,
     ctx: &mut Ctx,
@@ -1674,7 +1732,7 @@ fn eval_unnest_fused(
 /// conforming values (it gets stuck on shape mismatches, and `=_unit`
 /// is constantly true on anything), so ill-typed inputs fall back to
 /// the ordinary derivation and keep its exact behaviour.
-fn eval_member_fused(
+pub(crate) fn eval_member_fused(
     eid: EId,
     input: VId,
     ctx: &mut Ctx,
@@ -1713,7 +1771,7 @@ fn eval_member_fused(
 /// `Ok(None)` on shape mismatch or when either set's elements do not
 /// conform to the witnessed type (same soundness gate as
 /// [`eval_member_fused`]).
-fn eval_subset_fused(
+pub(crate) fn eval_subset_fused(
     eid: EId,
     input: VId,
     ctx: &mut Ctx,
@@ -1760,7 +1818,7 @@ fn eval_subset_fused(
 /// or when a key does not conform to the witnessed key type `s` (the
 /// derived `=ₛ` comparing keys is only structural on conforming values
 /// — same soundness gate as [`eval_member_fused`]).
-fn eval_nest_fused(
+pub(crate) fn eval_nest_fused(
     eid: EId,
     input: VId,
     ctx: &mut Ctx,

@@ -51,6 +51,20 @@ pub struct EvalConfig {
     /// instead of inflating the §3 counters, while still charging its
     /// recorded cost against [`EvalConfig::max_nodes`].
     pub semi_naive: bool,
+    /// Execute through the **compiled bytecode backend**
+    /// ([`crate::compile`]): the hash-consed expression DAG is flattened
+    /// once into a register-VM program (one routine per unique `EId`,
+    /// structured blocks for `while`/`if`, fused superinstructions for
+    /// the recognised Prop 2.1 shapes) and every evaluation runs the
+    /// program instead of walking the tree interpretively. Results,
+    /// [`EvalStats`](crate::stats::EvalStats), §3 rule counters and
+    /// `while_iterations` are **bit-for-bit identical** to the
+    /// interpreted strategies under the same `memo`/`semi_naive`
+    /// switches (both differential harnesses enforce this); only the
+    /// dispatch overhead changes. Compiled frames stamp the same
+    /// `(EId, VId)` apply-cache keys, so warm starts and cross-worker
+    /// sharing keep working.
+    pub compiled: bool,
 }
 
 impl Default for EvalConfig {
@@ -61,6 +75,7 @@ impl Default for EvalConfig {
             max_while_iters: 100_000,
             memo: false,
             semi_naive: false,
+            compiled: false,
         }
     }
 }
@@ -120,6 +135,29 @@ impl EvalConfig {
             memo: true,
             semi_naive: true,
             ..EvalConfig::default()
+        }
+    }
+
+    /// [`EvalConfig::optimised`] routed through the compiled bytecode
+    /// backend — the apply cache, semi-naive iteration, *and* flat
+    /// register-VM execution ([`EvalConfig::compiled`]). Results and
+    /// statistics are bit-for-bit the [`EvalConfig::optimised`] ones;
+    /// interpretive dispatch is retired from the hot path.
+    ///
+    /// ```
+    /// use nra_core::{queries, Value};
+    /// use nra_eval::{evaluate, EvalConfig};
+    ///
+    /// let input = Value::chain(6);
+    /// let walked = evaluate(&queries::tc_while(), &input, &EvalConfig::optimised());
+    /// let compiled = evaluate(&queries::tc_while(), &input, &EvalConfig::compiled());
+    /// assert_eq!(walked.result.unwrap(), compiled.result.unwrap());
+    /// assert_eq!(walked.stats, compiled.stats);
+    /// ```
+    pub fn compiled() -> Self {
+        EvalConfig {
+            compiled: true,
+            ..EvalConfig::optimised()
         }
     }
 }

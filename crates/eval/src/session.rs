@@ -280,13 +280,31 @@ impl EvalSession {
         );
         self.memo.begin_query(&mut self.exprs, true);
         let mut ctx = Ctx::new(&self.config);
-        let result = {
+        let result = if self.config.compiled {
+            // compile once per (root, switches) within a generation,
+            // execute the flat program on this and every warm re-eval
+            let program = self.memo.program(eid, &self.config);
+            let MemoState { nodes, caches, .. } = &mut self.memo;
+            crate::compile::vm::run(&program, input, &mut ctx, nodes, caches, &mut self.values)
+        } else {
             let MemoState { nodes, caches, .. } = &mut self.memo;
             eager::eval_eid(eid, input, &mut ctx, nodes, caches, &mut self.values)
         };
         let stats = ctx.finish();
         self.absorb(&stats);
         VidEvaluation { result, stats }
+    }
+
+    /// The compiled bytecode program this session executes for `eid`
+    /// under its current configuration — compiled (and cached) on first
+    /// request, shared with every subsequent
+    /// [`EvalSession::eval_vid`] on the same root. This is the
+    /// inspection entry point behind the `--disasm` tooling and
+    /// `examples/bytecode_compile.rs`; render it with
+    /// [`crate::compile::disassemble`].
+    pub fn compiled_program(&mut self, eid: EId) -> std::sync::Arc<crate::compile::Program> {
+        self.memo.begin_query(&mut self.exprs, true);
+        self.memo.program(eid, &self.config)
     }
 
     /// [`EvalSession::eval_vid`] under a per-call space budget: the

@@ -67,7 +67,11 @@ impl Default for ServeConfig {
             policy: AdmissionPolicy::default(),
             tenant_budget_bytes: u64::MAX,
             resident_budget_bytes: None,
-            eval: EvalConfig::optimised(),
+            // the serving front runs the compiled bytecode backend:
+            // programs are compiled once per root within a generation
+            // and executed on every admitted request and batch job,
+            // bit-for-bit the interpreted results
+            eval: EvalConfig::compiled(),
         }
     }
 }
