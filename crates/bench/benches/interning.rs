@@ -36,7 +36,7 @@ fn main() {
         nra_bench::BATCH_WORKERS
     );
     println!(
-        "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "workload",
         "n",
         "tree",
@@ -44,6 +44,7 @@ fn main() {
         "memoised",
         "seminaive",
         "compiled",
+        "optimised",
         "warm",
         "batch",
         "shwarm",
@@ -51,13 +52,14 @@ fn main() {
         "memo×",
         "semi×",
         "comp×",
+        "opt×",
         "warm×",
         "batch×",
         "shwarm×"
     );
     for c in &comparisons {
         println!(
-            "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x",
+            "{:<20} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x",
             c.workload,
             c.n,
             fmt_duration(c.tree),
@@ -65,6 +67,7 @@ fn main() {
             fmt_duration(c.memoised),
             fmt_duration(c.seminaive),
             fmt_duration(c.compiled),
+            fmt_duration(c.optimised),
             fmt_duration(c.warm),
             fmt_duration(c.batch),
             fmt_duration(c.shared_warm),
@@ -72,6 +75,7 @@ fn main() {
             c.memo_speedup(),
             c.seminaive_speedup(),
             c.compiled_speedup(),
+            c.optimised_speedup(),
             c.warm_speedup(),
             c.batch_speedup(),
             c.shared_warm_speedup()
@@ -93,6 +97,10 @@ fn main() {
         .iter()
         .map(EvalComparison::compiled_speedup)
         .fold(f64::INFINITY, f64::min);
+    let min_optimised = comparisons
+        .iter()
+        .map(EvalComparison::optimised_speedup)
+        .fold(f64::INFINITY, f64::min);
     let min_warm = comparisons
         .iter()
         .map(EvalComparison::warm_speedup)
@@ -109,6 +117,7 @@ fn main() {
     println!("minimum memo speedup across workloads:       {min_memo:.2}x");
     println!("minimum semi-naive speedup across workloads: {min_semi:.2}x");
     println!("minimum compiled speedup across workloads:   {min_compiled:.2}x");
+    println!("minimum optimised speedup across workloads:  {min_optimised:.2}x");
     println!("minimum warm-start speedup across workloads: {min_warm:.2}x");
     println!("minimum batch speedup across workloads:      {min_batch:.2}x");
     println!("minimum shared-warm speedup across workloads: {min_shared_warm:.2}x");

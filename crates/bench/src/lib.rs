@@ -128,7 +128,10 @@ pub fn bench_samples() -> usize {
 /// semi-naive path (apply cache + delta-driven `while` iteration,
 /// [`nra_eval::EvalConfig::optimised`]), and the compiled path (the
 /// optimised switches run by the bytecode register VM,
-/// [`nra_eval::EvalConfig::compiled`]) — on the same query and input.
+/// [`nra_eval::EvalConfig::compiled`]) — on the same query and input,
+/// plus the compiled path re-run on the **rewrite-optimised** query
+/// ([`nra_opt::optimise_expr`]), isolating the `nra-opt` pass's win
+/// over the compiled rung.
 #[derive(Debug, Clone)]
 pub struct EvalComparison {
     /// Workload label, e.g. `"chain/tc_while"`.
@@ -152,6 +155,15 @@ pub struct EvalComparison {
     /// interpreter; the compiled program is cached per root, so this is
     /// the steady-state dispatch cost).
     pub compiled: Duration,
+    /// Median wall-clock of the **rewrite-optimised** query
+    /// ([`nra_opt::optimise_expr`]) under the same compiled
+    /// configuration — the steady-state cost after the `nra-opt` pass
+    /// has run once (sessions cache the rewrite per root, exactly as
+    /// the program cache amortises compilation). On workloads the rules
+    /// leave unchanged this column times the identical program as
+    /// [`EvalComparison::compiled`]; on the powerset-route rows the
+    /// rescue rewrite moves the query into the polynomial class.
+    pub optimised: Duration,
     /// Median wall-clock of a **warm** re-evaluation: the same query on
     /// the same input through an [`nra_eval::EvalSession`] (optimised
     /// config) that already evaluated it once — the cross-query apply
@@ -207,6 +219,18 @@ impl EvalComparison {
     /// below 1.
     pub fn compiled_speedup(&self) -> f64 {
         self.memoised.as_secs_f64() / self.compiled.as_secs_f64().max(1e-12)
+    }
+
+    /// How many times faster the rewrite-optimised query runs than the
+    /// raw query on the **same compiled rung** (compiled / optimised)
+    /// — the win of the `nra-opt` pass in isolation, with every other
+    /// switch held fixed. ≈ 1 on workloads the rules leave unchanged;
+    /// large on the powerset-route rows the TC rescue rewrites into
+    /// the polynomial class. Recorded per workload and as
+    /// `geomean_optimised_speedup` in `BENCH_eval.json`; the CI gate
+    /// fails if the geomean drops below 1.
+    pub fn optimised_speedup(&self) -> f64 {
+        self.compiled.as_secs_f64() / self.optimised.as_secs_f64().max(1e-12)
     }
 
     /// How many times faster a warm session re-evaluation is than the
@@ -289,8 +313,9 @@ fn interleaved_medians<const K: usize>(
 }
 
 /// Time the tree-walking, interned, memoised, semi-naive and compiled
-/// eager evaluators on one workload (asserting along the way that all
-/// five produce the same result) and return the comparison.
+/// eager evaluators — plus the compiled evaluator on the
+/// rewrite-optimised query — on one workload (asserting along the way
+/// that all six produce the same result) and return the comparison.
 pub fn compare_eval(
     workload: &str,
     n: u64,
@@ -326,7 +351,19 @@ pub fn compare_eval(
         interned_out, compiled_out,
         "compiled path disagrees on {workload} n={n}"
     );
-    let [tree, interned, memoised, seminaive, compiled] = interleaved_medians(
+    // the rewrite runs once up front — sessions cache the pass per
+    // root, so steady state times the optimised program, not the
+    // rewrite itself (the same amortisation the program cache gives
+    // compilation)
+    let opt_query = nra_opt::optimise_expr(query);
+    let optimised_out = evaluate(&opt_query, input, &compiled_cfg)
+        .result
+        .expect("optimised eval");
+    assert_eq!(
+        interned_out, optimised_out,
+        "rewrite-optimised query disagrees on {workload} n={n}"
+    );
+    let [tree, interned, memoised, seminaive, compiled, optimised] = interleaved_medians(
         samples,
         &mut [
             &mut || {
@@ -343,6 +380,9 @@ pub fn compare_eval(
             },
             &mut || {
                 std::hint::black_box(evaluate(query, input, &compiled_cfg));
+            },
+            &mut || {
+                std::hint::black_box(evaluate(&opt_query, input, &compiled_cfg));
             },
         ],
     );
@@ -402,6 +442,7 @@ pub fn compare_eval(
         memoised,
         seminaive,
         compiled,
+        optimised,
         warm,
         batch,
         batch_seq,
@@ -530,7 +571,7 @@ pub fn write_bench_eval_json_to(
     out.push_str("  \"unit\": \"ns\",\n  \"workloads\": [\n");
     for (i, c) in comparisons.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"n\": {}, \"tree_ns\": {}, \"interned_ns\": {}, \"memo_ns\": {}, \"seminaive_ns\": {}, \"compiled_ns\": {}, \"warm_ns\": {}, \"batch_ns\": {}, \"batch_seq_ns\": {}, \"shared_warm_ns\": {}, \"speedup\": {:.3}, \"memo_speedup\": {:.3}, \"seminaive_speedup\": {:.3}, \"compiled_speedup\": {:.3}, \"warm_speedup\": {:.3}, \"batch_speedup\": {:.3}, \"shared_warm_speedup\": {:.3}}}{}\n",
+            "    {{\"workload\": \"{}\", \"n\": {}, \"tree_ns\": {}, \"interned_ns\": {}, \"memo_ns\": {}, \"seminaive_ns\": {}, \"compiled_ns\": {}, \"optimised_ns\": {}, \"warm_ns\": {}, \"batch_ns\": {}, \"batch_seq_ns\": {}, \"shared_warm_ns\": {}, \"speedup\": {:.3}, \"memo_speedup\": {:.3}, \"seminaive_speedup\": {:.3}, \"compiled_speedup\": {:.3}, \"optimised_speedup\": {:.3}, \"warm_speedup\": {:.3}, \"batch_speedup\": {:.3}, \"shared_warm_speedup\": {:.3}}}{}\n",
             c.workload,
             c.n,
             c.tree.as_nanos(),
@@ -538,6 +579,7 @@ pub fn write_bench_eval_json_to(
             c.memoised.as_nanos(),
             c.seminaive.as_nanos(),
             c.compiled.as_nanos(),
+            c.optimised.as_nanos(),
             c.warm.as_nanos(),
             c.batch.as_nanos(),
             c.batch_seq.as_nanos(),
@@ -546,6 +588,7 @@ pub fn write_bench_eval_json_to(
             c.memo_speedup(),
             c.seminaive_speedup(),
             c.compiled_speedup(),
+            c.optimised_speedup(),
             c.warm_speedup(),
             c.batch_speedup(),
             c.shared_warm_speedup(),
@@ -578,6 +621,12 @@ pub fn write_bench_eval_json_to(
     let geomean_compiled = (comparisons
         .iter()
         .map(|c| c.compiled_speedup().ln())
+        .sum::<f64>()
+        / comparisons.len().max(1) as f64)
+        .exp();
+    let geomean_optimised = (comparisons
+        .iter()
+        .map(|c| c.optimised_speedup().ln())
         .sum::<f64>()
         / comparisons.len().max(1) as f64)
         .exp();
@@ -616,6 +665,10 @@ pub fn write_bench_eval_json_to(
     out.push_str(&format!(
         "  \"geomean_compiled_speedup\": {:.3},\n",
         geomean_compiled
+    ));
+    out.push_str(&format!(
+        "  \"geomean_optimised_speedup\": {:.3},\n",
+        geomean_optimised
     ));
     out.push_str(&format!(
         "  \"geomean_warm_speedup\": {:.3},\n",
@@ -702,6 +755,7 @@ mod tests {
         assert!(c.memoised > Duration::ZERO);
         assert!(c.seminaive > Duration::ZERO);
         assert!(c.compiled > Duration::ZERO);
+        assert!(c.optimised > Duration::ZERO);
         assert!(c.warm > Duration::ZERO);
         assert!(c.batch > Duration::ZERO);
         assert!(c.batch_seq > Duration::ZERO);
@@ -710,6 +764,7 @@ mod tests {
         assert!(c.memo_speedup() > 0.0);
         assert!(c.seminaive_speedup() > 0.0);
         assert!(c.compiled_speedup() > 0.0);
+        assert!(c.optimised_speedup() > 0.0);
         assert!(c.warm_speedup() > 0.0);
         assert!(c.batch_speedup() > 0.0);
         assert!(c.shared_warm_speedup() > 0.0);
@@ -726,6 +781,7 @@ mod tests {
                 memoised: Duration::from_micros(50),
                 seminaive: Duration::from_micros(25),
                 compiled: Duration::from_micros(10),
+                optimised: Duration::from_micros(8),
                 warm: Duration::from_micros(5),
                 batch: Duration::from_micros(100),
                 batch_seq: Duration::from_micros(200),
@@ -739,6 +795,7 @@ mod tests {
                 memoised: Duration::from_micros(75),
                 seminaive: Duration::from_micros(25),
                 compiled: Duration::from_micros(20),
+                optimised: Duration::from_micros(10),
                 warm: Duration::from_micros(5),
                 batch: Duration::from_micros(100),
                 batch_seq: Duration::from_micros(200),
@@ -767,6 +824,10 @@ mod tests {
         assert!(text.contains("\"compiled_speedup\": 5.000"));
         assert!(text.contains("\"compiled_ns\": 20000"));
         assert!(text.contains("\"compiled_speedup\": 3.750"));
+        assert!(text.contains("\"optimised_ns\": 8000"));
+        assert!(text.contains("\"optimised_speedup\": 1.250"));
+        assert!(text.contains("\"optimised_ns\": 10000"));
+        assert!(text.contains("\"optimised_speedup\": 2.000"));
         assert!(text.contains("\"warm_ns\": 5000"));
         assert!(text.contains("\"warm_speedup\": 5.000"));
         assert!(text.contains("\"batch_ns\": 100000"));
@@ -782,6 +843,7 @@ mod tests {
         assert!(text.contains("\"geomean_memo_speedup\": 2.000"));
         assert!(text.contains("\"geomean_seminaive_speedup\": 2.449"));
         assert!(text.contains("\"geomean_compiled_speedup\": 4.330"));
+        assert!(text.contains("\"geomean_optimised_speedup\": 1.581"));
         assert!(text.contains("\"geomean_warm_speedup\": 5.000"));
         assert!(text.contains("\"geomean_shared_warm_speedup\": 2.828"));
         assert!(text.contains("\"geomean_batch_speedup\": 2.000"));

@@ -7,13 +7,16 @@
 //! Each family row measures one drained burst: every tenant submits
 //! the family's polynomial zoo (`tc_while`, `tc_step`,
 //! `siblings_powerset`) on `samples` seeded graphs, plus a
-//! certified-exponential `tc_paths` submission long enough to be
-//! rejected with its Theorem 4.1 citation — so the measured loop
-//! always exercises the rejection path too, at serving speed. Elapsed
-//! time runs from the first frame sent to the last response received;
-//! `qps` counts *answered* frames (completions and structured
-//! rejections both count — a rejection is a served answer; an error
-//! never counts and fails the CI gate).
+//! powerset-route `tc_paths` submission long enough that admission
+//! would reject it as submitted — the optimiser rewrites it to the
+//! while route at the door and it is counted in the row's `rescued`
+//! column — plus a bare `powerset` submission with nothing to rewrite,
+//! rejected with its Theorem 4.1 citation. So the measured loop always
+//! exercises the rescue and rejection paths too, at serving speed.
+//! Elapsed time runs from the first frame sent to the last response
+//! received; `qps` counts *answered* frames (completions and
+//! structured rejections both count — a rejection is a served answer;
+//! an error never counts and fails the CI gate).
 
 use nra_core::{queries, Value};
 use nra_serve::{encode_request, spawn, Outcome, Request, ServeConfig};
@@ -36,6 +39,10 @@ pub struct ServeWorkload {
     pub admitted: u64,
     /// Frames rejected with a certified-exponential citation.
     pub rejected_exponential: u64,
+    /// Admitted frames whose *submitted* form admission would have
+    /// rejected — rescued into the admissible class by the optimiser's
+    /// rewrite (powerset-route → while-route transitive closure).
+    pub rescued: u64,
     /// Admitted frames answered `ok`.
     pub ok: u64,
     /// Admitted frames answered `failed` (must be zero).
@@ -80,6 +87,10 @@ impl ServeBenchReport {
     pub fn rejected_exponential(&self) -> u64 {
         self.workloads.iter().map(|w| w.rejected_exponential).sum()
     }
+    /// Total rescued admissions.
+    pub fn rescued(&self) -> u64 {
+        self.workloads.iter().map(|w| w.rescued).sum()
+    }
     /// Total elapsed across bursts.
     pub fn elapsed(&self) -> Duration {
         self.workloads.iter().map(|w| w.elapsed).sum()
@@ -117,6 +128,7 @@ pub fn run_serve_workload(samples: usize) -> ServeBenchReport {
         // build the burst up front so the clock measures serving, not
         // generation
         let mut lines = Vec::new();
+        let mut rescuable = std::collections::BTreeSet::new();
         for tenant in 0..SERVE_TENANTS {
             let mut rng = Rng::new(0xBE7C_0000 ^ ((f as u64) << 32) ^ tenant as u64);
             for _ in 0..samples {
@@ -135,14 +147,29 @@ pub fn run_serve_workload(samples: usize) -> ServeBenchReport {
                     );
                 }
             }
-            // one certified-exponential submission per tenant per family:
-            // the rejection path is part of the sustained load
+            // one rescuable powerset-route submission per tenant per
+            // family — rejected as submitted, rewritten to the while
+            // route at the door — the rescue path is part of the
+            // sustained load
             id += 1;
+            rescuable.insert(id);
             lines.push(
                 encode_request(&Request {
                     tenant: format!("tenant-{tenant}"),
                     id,
                     query: queries::tc_paths(),
+                    input: Value::chain(20 + f as u64),
+                })
+                .expect("encodable"),
+            );
+            // …and one certified-exponential submission with nothing to
+            // rewrite: the rejection path too
+            id += 1;
+            lines.push(
+                encode_request(&Request {
+                    tenant: format!("tenant-{tenant}"),
+                    id,
+                    query: nra_core::builder::powerset(),
                     input: Value::chain(20 + f as u64),
                 })
                 .expect("encodable"),
@@ -158,6 +185,7 @@ pub fn run_serve_workload(samples: usize) -> ServeBenchReport {
             jobs: lines.len() as u64,
             admitted: 0,
             rejected_exponential: 0,
+            rescued: 0,
             ok: 0,
             failed: 0,
             elapsed: Duration::ZERO,
@@ -168,6 +196,9 @@ pub fn run_serve_workload(samples: usize) -> ServeBenchReport {
                 Outcome::Ok { .. } => {
                     row.admitted += 1;
                     row.ok += 1;
+                    if rescuable.contains(&resp.id) {
+                        row.rescued += 1;
+                    }
                 }
                 Outcome::Rejected { reason } => {
                     assert!(
@@ -214,11 +245,12 @@ pub fn write_bench_serve_json_to(
     out.push_str("  \"unit\": \"ns\",\n  \"workloads\": [\n");
     for (i, w) in report.workloads.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"jobs\": {}, \"admitted\": {}, \"rejected_exponential\": {}, \"ok\": {}, \"failed\": {}, \"elapsed_ns\": {}, \"qps\": {:.1}}}{}\n",
+            "    {{\"workload\": \"{}\", \"jobs\": {}, \"admitted\": {}, \"rejected_exponential\": {}, \"rescued\": {}, \"ok\": {}, \"failed\": {}, \"elapsed_ns\": {}, \"qps\": {:.1}}}{}\n",
             w.family,
             w.jobs,
             w.admitted,
             w.rejected_exponential,
+            w.rescued,
             w.ok,
             w.failed,
             w.elapsed.as_nanos(),
@@ -233,6 +265,7 @@ pub fn write_bench_serve_json_to(
         "  \"rejected_exponential\": {},\n",
         report.rejected_exponential()
     ));
+    out.push_str(&format!("  \"rescued\": {},\n", report.rescued()));
     out.push_str(&format!("  \"errors\": {},\n", report.errors));
     out.push_str(&format!("  \"warm_hits\": {},\n", report.warm_hits));
     out.push_str(&format!("  \"warm_tenants\": {},\n", report.warm_tenants));
@@ -263,6 +296,18 @@ mod tests {
             report.rejected_exponential() >= 7 * SERVE_TENANTS as u64,
             "every family burst carries its rejections"
         );
+        for w in &report.workloads {
+            assert!(
+                w.rescued >= 1,
+                "[{}] the powerset-route idiom must be rescued at least once: {w:?}",
+                w.family
+            );
+        }
+        assert_eq!(
+            report.rescued(),
+            7 * SERVE_TENANTS as u64,
+            "every tenant's tc_paths submission is rescued in every family"
+        );
         assert!(
             report.warm_tenants >= 2,
             "shared-store warm hits must span tenants: {report:?}"
@@ -277,6 +322,7 @@ mod tests {
         assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
         assert!(text.contains("\"bench\": \"serve\""));
         assert!(text.contains("\"workload\": \"chain\""));
+        assert!(text.contains("\"rescued\""));
         assert!(text.contains("\"sustained_qps\""));
         assert!(text.contains("\"warm_tenants\""));
         assert!(text.contains("\"errors\": 0"));

@@ -38,7 +38,11 @@
 //! recorded as-if-uncached cost on exit; the fused call forms
 //! [`Inst::CallLeaf`] and [`Inst::CallEnter`] keep the exact same
 //! probe/store protocol while deleting frame traffic and prologue
-//! dispatches), so warm starts and
+//! dispatches, and a closing **peephole pass** fuses the adjacent
+//! `call.leaf; call.leaf` spine a `Compose` of two plain leaves emits
+//! into one [`Inst::LeafPair`] superinstruction, remapping every
+//! static program counter over the compacted vector), so warm starts
+//! and
 //! cross-worker sharing keep working — and the produced results,
 //! [`EvalStats`](crate::stats::EvalStats), §3 rule counters and
 //! `while_iterations` are **bit-for-bit identical** to the interpreted
@@ -123,6 +127,25 @@ pub enum Inst {
         /// The caller's register holding the argument.
         src: Reg,
         /// The caller's register receiving the result.
+        dst: Reg,
+    },
+    /// Peephole fusion of two adjacent [`Inst::CallLeaf`]s threading
+    /// one intermediate register — the shape a `Compose` of two plain
+    /// leaves emits. Runs the first leaf's probe-or-primitive into
+    /// `mid`, then the second's on `mid` into `dst`, one dispatch for
+    /// the whole spine step. Both `mid` and `dst` are written, so the
+    /// register file ends bit-identical to the unfused pair and no
+    /// liveness analysis is needed.
+    LeafPair {
+        /// The first (inner) leaf node applied to `regs[src]`.
+        e1: EId,
+        /// The second (outer) leaf node applied to the first's output.
+        e2: EId,
+        /// The caller's register holding the argument.
+        src: Reg,
+        /// The intermediate register (the fused pair's seam).
+        mid: Reg,
+        /// The caller's register receiving the final result.
         dst: Reg,
     },
     /// Fused probe-and-call of a callee whose routine opens with the
@@ -414,6 +437,94 @@ fn window(node: &ENode) -> u32 {
     }
 }
 
+/// Apply `f` to every static program-counter operand of `inst` — the
+/// single source of truth for "which fields are jump targets", shared
+/// by the peephole pass's target collection and its remap so the two
+/// can never drift.
+fn for_each_target(inst: &mut Inst, f: &mut impl FnMut(&mut u32)) {
+    match inst {
+        Inst::Call { entry, .. } | Inst::CallEnter { entry, .. } | Inst::MapIter { entry, .. } => {
+            f(entry)
+        }
+        Inst::Branch { els, .. } => f(els),
+        Inst::Jump { to } => f(to),
+        Inst::WhileStep { back, .. } => f(back),
+        Inst::CallLeaf { .. }
+        | Inst::LeafPair { .. }
+        | Inst::Enter { .. }
+        | Inst::Leaf { .. }
+        | Inst::FlattenDelta { .. }
+        | Inst::Fused { .. }
+        | Inst::Pair { .. }
+        | Inst::WhileBegin { .. }
+        | Inst::MapBegin { .. }
+        | Inst::MapEnd { .. }
+        | Inst::Ret { .. } => {}
+    }
+}
+
+/// The peephole pass: fuse adjacent set-algebra opcodes. The one
+/// adjacent pair the emitter produces is the compose-of-leaves spine
+/// `call.leaf f; call.leaf g` threading a single intermediate register
+/// (`Tuple` emits two `call.leaf`s too, but they share their *source*,
+/// not a seam, and the seam test excludes them). The pair fuses into
+/// one [`Inst::LeafPair`] unless the second instruction is a jump
+/// target — fusing would delete an entry point — and every static pc
+/// reference (including the program entry) is remapped over the
+/// compacted vector. Behaviour is unchanged by construction: the
+/// superinstruction replays both `call.leaf` bodies in order, writing
+/// both registers.
+fn peephole(insts: Vec<Inst>, entry: u32) -> (Vec<Inst>, u32) {
+    let mut is_target = vec![false; insts.len() + 1];
+    is_target[entry as usize] = true;
+    for inst in &insts {
+        let mut probe = *inst;
+        for_each_target(&mut probe, &mut |t| is_target[*t as usize] = true);
+    }
+    let mut out: Vec<Inst> = Vec::with_capacity(insts.len());
+    // old pc → new pc (a fused second element maps to its pair)
+    let mut map: Vec<u32> = vec![0; insts.len()];
+    let mut i = 0;
+    while i < insts.len() {
+        map[i] = out.len() as u32;
+        if i + 1 < insts.len() && !is_target[i + 1] {
+            if let (
+                Inst::CallLeaf {
+                    eid: e1,
+                    src,
+                    dst: mid,
+                },
+                Inst::CallLeaf {
+                    eid: e2,
+                    src: seam,
+                    dst,
+                },
+            ) = (insts[i], insts[i + 1])
+            {
+                if seam == mid {
+                    map[i + 1] = out.len() as u32;
+                    out.push(Inst::LeafPair {
+                        e1,
+                        e2,
+                        src,
+                        mid,
+                        dst,
+                    });
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        out.push(insts[i]);
+        i += 1;
+    }
+    for inst in &mut out {
+        for_each_target(inst, &mut |t| *t = map[*t as usize]);
+    }
+    let entry = map[entry as usize];
+    (out, entry)
+}
+
 /// Flatten the DAG under `root` into a [`Program`] specialised for the
 /// given `memo`/`semi_naive` switches. `nodes` is the synced snapshot
 /// the evaluation will run against; `caches` supplies the interned
@@ -641,10 +752,11 @@ pub(crate) fn compile(
     }
 
     let root_routine = routines[root.index()].as_ref().expect("root compiled");
+    let (insts, entry) = peephole(insts, root_routine.entry);
     Program {
         insts,
         root,
-        entry: root_routine.entry,
+        entry,
         root_in: root_routine.base,
         regs,
         map_slots,
@@ -709,6 +821,21 @@ pub fn disassemble(program: &Program) -> String {
             Inst::CallLeaf { eid, src, dst } => {
                 writeln!(out, "call.leaf e{} src=r{} dst=r{}", eid.index(), src, dst)
             }
+            Inst::LeafPair {
+                e1,
+                e2,
+                src,
+                mid,
+                dst,
+            } => writeln!(
+                out,
+                "call.leaf2 e{} e{} src=r{} mid=r{} dst=r{}",
+                e1.index(),
+                e2.index(),
+                src,
+                mid,
+                dst
+            ),
             Inst::CallEnter {
                 eid,
                 entry,
@@ -820,6 +947,13 @@ fn parse_inst(line: &str) -> Result<Inst, String> {
         "call.leaf" => Inst::CallLeaf {
             eid: eid_ref(t.next(), "e")?,
             src: reg(t.next(), "src=r")?,
+            dst: reg(t.next(), "dst=r")?,
+        },
+        "call.leaf2" => Inst::LeafPair {
+            e1: eid_ref(t.next(), "e")?,
+            e2: eid_ref(t.next(), "e")?,
+            src: reg(t.next(), "src=r")?,
+            mid: reg(t.next(), "mid=r")?,
             dst: reg(t.next(), "dst=r")?,
         },
         "call.enter" => Inst::CallEnter {
@@ -992,6 +1126,7 @@ mod tests {
                 builder::id(),
                 builder::compose(builder::flatten(), builder::map(builder::sng())),
             ), // cond diamond + flatten.delta
+            builder::compose(builder::fst(), builder::snd()), // peephole leaf pair
         ];
         let mut seen = std::collections::HashSet::new();
         for config in [EvalConfig::optimised(), EvalConfig::default()] {
@@ -1005,8 +1140,8 @@ mod tests {
                 }
             }
         }
-        // all 16 opcodes exercised
-        assert_eq!(seen.len(), 16, "instruction zoo lost coverage");
+        // all 17 opcodes exercised
+        assert_eq!(seen.len(), 17, "instruction zoo lost coverage");
     }
 
     /// A parse error names the offending token instead of panicking.
@@ -1039,6 +1174,7 @@ mod tests {
                 | Inst::FlattenDelta { src, dst, .. } => {
                     vec![src, dst]
                 }
+                Inst::LeafPair { src, mid, dst, .. } => vec![src, mid, dst],
                 Inst::MapBegin { src, .. } => vec![src],
                 Inst::Pair { a, b, dst } => vec![a, b, dst],
                 Inst::Branch { cond, .. } => vec![cond],
@@ -1055,5 +1191,66 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The peephole pass fuses exactly the compose-of-leaves spine —
+    /// a `Tuple` of two leaves shares a *source*, not a seam, and must
+    /// stay unfused — every remapped pc stays in range, and the fused
+    /// program computes the same answer with the same stats as the
+    /// interpreter.
+    #[test]
+    fn peephole_fuses_the_compose_of_leaves_spine() {
+        use crate::EvalSession;
+        use nra_core::Value;
+
+        let q = builder::compose(builder::fst(), builder::snd());
+        for config in [
+            EvalConfig::default(),
+            EvalConfig::memoised(),
+            EvalConfig::semi_naive(),
+            EvalConfig::optimised(),
+        ] {
+            let program = compile_expr(&q, &config);
+            let pairs = program
+                .insts
+                .iter()
+                .filter(|i| matches!(i, Inst::LeafPair { .. }))
+                .count();
+            let lone = program
+                .insts
+                .iter()
+                .filter(|i| matches!(i, Inst::CallLeaf { .. }))
+                .count();
+            assert_eq!(pairs, 1, "one fused spine step\n{}", disassemble(&program));
+            assert_eq!(lone, 0, "both call.leafs consumed by the fusion");
+            // every static pc survived the remap in range
+            let len = program.insts.len() as u32;
+            assert!(program.entry < len);
+            for inst in &program.insts {
+                let mut probe = *inst;
+                for_each_target(&mut probe, &mut |t| assert!(*t < len, "dangling pc @{t}"));
+            }
+        }
+
+        // the tuple shape is left alone: its two call.leafs read the
+        // same input register instead of threading a seam
+        let t = builder::tuple(builder::fst(), builder::snd());
+        let program = compile_expr(&t, &EvalConfig::optimised());
+        assert!(
+            !program
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::LeafPair { .. })),
+            "tuple of leaves must not fuse\n{}",
+            disassemble(&program)
+        );
+
+        // fused execution is bit-for-bit the interpreted one
+        let input = Value::pair(Value::nat(1), Value::pair(Value::nat(2), Value::nat(3)));
+        let walked = EvalSession::new(EvalConfig::optimised()).eval(&q, &input);
+        let fused = EvalSession::new(EvalConfig::compiled()).eval(&q, &input);
+        assert_eq!(walked.result.as_ref().unwrap(), &Value::nat(2));
+        assert_eq!(walked.result, fused.result);
+        assert_eq!(walked.stats, fused.stats);
     }
 }

@@ -219,6 +219,48 @@ pub(crate) fn run(
                 regs[dst as usize] = out;
                 pc += 1;
             }
+            Inst::LeafPair {
+                e1,
+                e2,
+                src,
+                mid,
+                dst,
+            } => {
+                // the peephole fusion of a compose-of-leaves spine:
+                // two `call.leaf` bodies back to back, each with the
+                // identical probe/run/store protocol, both registers
+                // written — bit-for-bit the unfused pair
+                let mut a = regs[src as usize];
+                for (eid, out_reg) in [(e1, mid), (e2, dst)] {
+                    let key = MemoCache::key(eid, a);
+                    if memo {
+                        if let Some((out, cost, warm)) = caches.memo.probe(key) {
+                            ctx.stats.memo_hits += 1;
+                            if warm {
+                                ctx.stats.warm_hits += 1;
+                            }
+                            ctx.charge(cost)?;
+                            regs[out_reg as usize] = out;
+                            a = out;
+                            continue;
+                        }
+                        ctx.stats.memo_misses += 1;
+                    }
+                    let leaf_start = ctx.charged_nodes;
+                    let node = &nodes[eid.index()];
+                    ctx.node(node.head_index())?;
+                    let ENode::Leaf(leaf) = node else {
+                        unreachable!("`call.leaf2` instruction on a recursive node")
+                    };
+                    let out = eval_leaf_rule(leaf, a, ctx, va)?;
+                    if memo {
+                        caches.memo.store(key, out, ctx.charged_nodes - leaf_start);
+                    }
+                    regs[out_reg as usize] = out;
+                    a = out;
+                }
+                pc += 1;
+            }
             Inst::CallEnter {
                 eid,
                 entry,

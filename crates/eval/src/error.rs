@@ -65,6 +65,16 @@ pub struct EvalConfig {
     /// `(EId, VId)` apply-cache keys, so warm starts and cross-worker
     /// sharing keep working.
     pub compiled: bool,
+    /// Route every session query through the **rewrite pass** installed
+    /// with [`EvalSession::set_rewriter`](crate::EvalSession::set_rewriter)
+    /// before evaluation. The evaluator itself carries no rules — the
+    /// pass is an injected [`RewritePass`](crate::RewritePass) closure
+    /// (the `nra-opt` crate provides the real one), so the dependency
+    /// arrow stays `opt → eval`. With the flag on but no pass installed
+    /// the hook is the identity. Rewritten roots key the program cache
+    /// and the apply cache on the *optimised* `EId`, so the compiled
+    /// backend compiles the rewritten DAG.
+    pub optimise: bool,
 }
 
 impl Default for EvalConfig {
@@ -76,6 +86,7 @@ impl Default for EvalConfig {
             memo: false,
             semi_naive: false,
             compiled: false,
+            optimise: false,
         }
     }
 }
@@ -158,6 +169,19 @@ impl EvalConfig {
         EvalConfig {
             compiled: true,
             ..EvalConfig::optimised()
+        }
+    }
+
+    /// [`EvalConfig::compiled`] with the pre-evaluation **rewrite pass**
+    /// switched on ([`EvalConfig::optimise`]) — the full stack: rule
+    /// rewriting, apply cache, semi-naive iteration, bytecode execution.
+    /// The pass only runs once a
+    /// [`RewritePass`](crate::RewritePass) has been installed on the
+    /// session (`nra_opt::install` does both).
+    pub fn rewritten() -> Self {
+        EvalConfig {
+            optimise: true,
+            ..EvalConfig::compiled()
         }
     }
 }

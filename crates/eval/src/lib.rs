@@ -106,6 +106,6 @@ pub use compile::{disassemble, Program};
 pub use eager::{eval, evaluate, evaluate_tree, evaluate_vid, Evaluation, VidEvaluation};
 pub use error::{EvalConfig, EvalError};
 pub use lazy::{evaluate_lazy, evaluate_lazy_vid, LazyEvaluation, LazyStats, LazyVidEvaluation};
-pub use session::{EvalSession, SessionStats};
+pub use session::{EvalSession, RewritePass, SessionStats};
 pub use stats::EvalStats;
 pub use trace::{evaluate_traced, DerivNode, TracedEvaluation};

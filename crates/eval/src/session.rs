@@ -59,7 +59,17 @@ use nra_core::expr::intern::{EId, ExprArena};
 use nra_core::value::intern::{VId, ValueArena};
 use nra_core::value::Value;
 use nra_core::Expr;
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// An injected pre-evaluation rewrite pass: given the session's
+/// expression arena and a root, return the (possibly identical) root to
+/// evaluate instead. The evaluator owns no rules — `nra-opt` provides
+/// the real pass (`nra_opt::pass()`), keeping the dependency arrow
+/// `opt → eval`. The closure must be pure up to interning: it may grow
+/// the arena but must return a handle valid in it, and equal inputs must
+/// give equal outputs (the session memoises per root `EId`).
+pub type RewritePass = Arc<dyn Fn(&mut ExprArena, EId) -> EId + Send + Sync>;
 
 /// Aggregate counters of one session, accumulated across its queries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -88,6 +98,13 @@ pub struct EvalSession {
     stats: SessionStats,
     resident_budget: Option<usize>,
     generation: u64,
+    /// The injected rewrite pass, when one is installed — see
+    /// [`RewritePass`]. Only consulted when [`EvalConfig::optimise`] is
+    /// set.
+    rewriter: Option<RewritePass>,
+    /// Memoised `root → rewritten root` per generation (cleared on
+    /// eviction along with the arenas whose handles it holds).
+    rewrites: HashMap<EId, EId>,
 }
 
 impl EvalSession {
@@ -106,6 +123,8 @@ impl EvalSession {
             stats: SessionStats::default(),
             resident_budget: None,
             generation: 0,
+            rewriter: None,
+            rewrites: HashMap::new(),
         }
     }
 
@@ -174,9 +193,43 @@ impl EvalSession {
                     stats: SessionStats::default(),
                     resident_budget: None,
                     generation: self.generation,
+                    rewriter: self.rewriter.clone(),
+                    rewrites: HashMap::new(),
                 }
             })
             .collect()
+    }
+
+    /// Install (or remove) the pre-evaluation rewrite pass — see
+    /// [`RewritePass`]. The pass runs at [`EvalSession::eval`] /
+    /// [`EvalSession::eval_vid`] boundaries when
+    /// [`EvalConfig::optimise`] is set; worker sessions produced by
+    /// [`EvalSession::split`] inherit it. Installing a pass clears the
+    /// per-root rewrite memo.
+    pub fn set_rewriter(&mut self, pass: Option<RewritePass>) {
+        self.rewriter = pass;
+        self.rewrites.clear();
+    }
+
+    /// The root actually evaluated for `eid`: the rewrite pass's output
+    /// when [`EvalConfig::optimise`] is on and a pass is installed, `eid`
+    /// itself otherwise. Memoised per root within a generation, so the
+    /// rules run once per distinct query — warm re-evaluations pay one
+    /// hash lookup. The returned handle is what the program cache and
+    /// the apply cache are keyed on.
+    pub fn optimise_eid(&mut self, eid: EId) -> EId {
+        if !self.config.optimise {
+            return eid;
+        }
+        let Some(pass) = self.rewriter.clone() else {
+            return eid;
+        };
+        if let Some(&done) = self.rewrites.get(&eid) {
+            return done;
+        }
+        let out = pass(&mut self.exprs, eid);
+        self.rewrites.insert(eid, out);
+        out
     }
 
     /// Install (or remove) the occupancy ceiling. At every
@@ -278,6 +331,9 @@ impl EvalSession {
             self.values.len(),
             self.generation,
         );
+        // rewrite before the query opens: the (possibly new) root is what
+        // the program cache compiles and the apply cache keys on
+        let eid = self.optimise_eid(eid);
         self.memo.begin_query(&mut self.exprs, true);
         let mut ctx = Ctx::new(&self.config);
         let result = if self.config.compiled {
@@ -303,6 +359,7 @@ impl EvalSession {
     /// `examples/bytecode_compile.rs`; render it with
     /// [`crate::compile::disassemble`].
     pub fn compiled_program(&mut self, eid: EId) -> std::sync::Arc<crate::compile::Program> {
+        let eid = self.optimise_eid(eid);
         self.memo.begin_query(&mut self.exprs, true);
         self.memo.program(eid, &self.config)
     }
@@ -380,6 +437,7 @@ impl EvalSession {
         self.values.clear();
         self.exprs.clear();
         self.memo.evict();
+        self.rewrites.clear();
         self.memo.begin_query(&mut self.exprs, false);
         self.generation += 1;
         self.stats.evictions += 1;

@@ -1,0 +1,177 @@
+//! # nra-opt
+//!
+//! A pre-evaluation **rewrite optimiser** over the hash-consed
+//! expression DAG, turning the paper's separation theorem into an
+//! automatic optimisation: the *powerset route* to transitive closure
+//! (certified exponential by `nra-symbolic`, Theorem 4.1) is recognised
+//! structurally and rewritten to the *while route* (polynomial, Theorem
+//! 5.2) — a query the serving door would reject is **rescued** into the
+//! admissible class. Around that headline rule sits a conventional
+//! rewrite engine:
+//!
+//! * [`pattern`] — patterns over the core concrete syntax with typed
+//!   metavariables (`?0:nra`, `?2:empty`);
+//! * [`rules`] — the rule format, `RULES.json` loader with load-time
+//!   validation, and the code-built rescue rules;
+//! * [`cost`] — the cost gate: a rewrite fires only when
+//!   [`nra_symbolic::classify_space`] proves the space class does not
+//!   worsen;
+//! * [`mod@rewrite`] — the bottom-up, memoised, fixpoint engine over
+//!   [`ExprArena`];
+//! * [`synth`] — the ruler-style enumerate → fingerprint → verify →
+//!   admit harness that produced the `synthesised` section of
+//!   `RULES.json`.
+//!
+//! The evaluator knows nothing about rules: `nra-eval` exposes a
+//! [`RewritePass`] hook on [`EvalSession`], and
+//! [`install`] plugs this crate's pass into it. [`EvalConfig::rewritten`]
+//! is the full stack — rewriting + apply cache + semi-naive + bytecode.
+//!
+//! ```
+//! use nra_core::{queries, Value};
+//! use nra_eval::EvalConfig;
+//!
+//! // the exponential-route query is rewritten to the while route…
+//! let optimised = nra_opt::optimise_expr(&queries::tc_paths());
+//! assert_eq!(optimised, queries::tc_while());
+//!
+//! // …and a session with the pass installed serves it in polynomial
+//! // space, bit-for-bit equal to the raw evaluation
+//! let mut session = nra_opt::optimising_session(EvalConfig::rewritten());
+//! let input = Value::chain(6);
+//! let ev = session.eval(&queries::tc_paths(), &input);
+//! assert_eq!(ev.result.unwrap(), Value::chain_tc(6));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cost;
+pub mod json;
+pub mod pattern;
+pub mod rewrite;
+pub mod rules;
+pub mod synth;
+
+pub use cost::{rank, Gate, Rank};
+pub use pattern::{Guard, Pat, PatternError, VarUse, MAX_VARS};
+pub use rewrite::{rewrite, OptStats, MAX_PASSES, MAX_SPINS};
+pub use rules::{
+    rescue_rules, rules_to_json, validate_rule, Rule, RuleError, RuleKind, RuleSet, EMBEDDED_RULES,
+};
+pub use synth::{synthesise, SynthConfig};
+
+use nra_core::{EId, Expr, ExprArena};
+use nra_eval::{EvalConfig, EvalSession, RewritePass};
+use std::sync::OnceLock;
+
+/// The default rule set — rescues first, then the validated
+/// `RULES.json` rules — built once per process.
+pub fn default_rules() -> &'static RuleSet {
+    static RULES: OnceLock<RuleSet> = OnceLock::new();
+    RULES.get_or_init(RuleSet::builtin)
+}
+
+/// Rewrite the DAG rooted at `root` with the [`default_rules`],
+/// discarding statistics. The workhorse behind [`pass`].
+pub fn optimise(ea: &mut ExprArena, root: EId) -> EId {
+    rewrite(ea, root, default_rules()).0
+}
+
+/// [`optimise`] with the what-happened statistics.
+pub fn optimise_with_stats(ea: &mut ExprArena, root: EId) -> (EId, OptStats) {
+    rewrite(ea, root, default_rules())
+}
+
+/// Optimise a tree-form expression in a private arena — the convenience
+/// entry point for benches and one-shot callers.
+pub fn optimise_expr(e: &Expr) -> Expr {
+    let mut ea = ExprArena::new();
+    let root = ea.intern(e);
+    let out = optimise(&mut ea, root);
+    ea.resolve(out)
+}
+
+/// This crate's rewrite pass as an injectable [`RewritePass`] for
+/// [`EvalSession::set_rewriter`].
+pub fn pass() -> RewritePass {
+    std::sync::Arc::new(|ea: &mut ExprArena, root: EId| optimise(ea, root))
+}
+
+/// Install the default pass on a session (the session still only runs
+/// it when its config has [`EvalConfig::optimise`] set).
+pub fn install(session: &mut EvalSession) {
+    session.set_rewriter(Some(pass()));
+}
+
+/// A fresh [`EvalSession`] with the pass already installed.
+pub fn optimising_session(config: EvalConfig) -> EvalSession {
+    let mut session = EvalSession::new(config);
+    install(&mut session);
+    session
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_core::{queries, Value};
+
+    #[test]
+    fn session_pass_is_transparent_for_results() {
+        let input = Value::chain(6);
+        let mut plain = EvalSession::new(EvalConfig::compiled());
+        let mut optimising = optimising_session(EvalConfig::rewritten());
+        for q in [queries::tc_while(), queries::tc_paths(), queries::tc_step()] {
+            let raw = plain
+                .eval(&q, &input)
+                .result
+                .expect("raw evaluation succeeds");
+            let opt = optimising
+                .eval(&q, &input)
+                .result
+                .expect("optimised evaluation succeeds");
+            assert_eq!(raw, opt, "{q}");
+        }
+    }
+
+    #[test]
+    fn rescued_query_escapes_the_space_budget() {
+        // chain(12): the powerset route materialises the 2^12-subset
+        // family (§3 size ≈ 78k units), the while route peaks at ≈ 32k
+        // (the cartesian product inside tc_step) — a budget between the
+        // two is satisfiable only through the rewrite
+        let input = Value::chain(12);
+        let budget = 1 << 16;
+        let strict = EvalConfig {
+            max_object_size: Some(budget),
+            ..EvalConfig::compiled()
+        };
+        let raw = EvalSession::new(strict.clone())
+            .eval(&queries::tc_paths(), &input)
+            .result;
+        assert!(raw.is_err(), "powerset route must blow the budget");
+        let rescued = optimising_session(EvalConfig {
+            optimise: true,
+            ..strict
+        })
+        .eval(&queries::tc_paths(), &input)
+        .result;
+        assert_eq!(rescued.unwrap(), Value::chain_tc(12));
+    }
+
+    #[test]
+    fn optimise_flag_without_installed_pass_is_identity() {
+        let mut session = EvalSession::new(EvalConfig::rewritten());
+        let eid = session.intern_expr(&queries::tc_paths());
+        assert_eq!(session.optimise_eid(eid), eid);
+    }
+
+    #[test]
+    fn pass_memoises_per_root() {
+        let mut session = optimising_session(EvalConfig::rewritten());
+        let eid = session.intern_expr(&queries::tc_paths());
+        let first = session.optimise_eid(eid);
+        let second = session.optimise_eid(eid);
+        assert_eq!(first, second);
+        assert_ne!(first, eid, "the rescue must have fired");
+    }
+}

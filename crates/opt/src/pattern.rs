@@ -1,0 +1,491 @@
+//! Rewrite patterns: the core concrete syntax plus typed metavariables.
+//!
+//! A pattern is an [`Expr`]-shaped tree whose leaves may additionally be
+//! metavariables `?0 … ?7`, optionally guarded:
+//!
+//! * `?3` — matches any subterm;
+//! * `?3:nra` — matches only a plain-`NRA` subterm (`powerset`-,
+//!   `powersetₘ`- and `while`-free). This is the guard that keeps a rule
+//!   *loop-preserving*: a variable the rule drops, duplicates or moves
+//!   into a different evaluation context must be `nra`-guarded so the
+//!   optimised expression reproduces `while_iterations` bit-for-bit;
+//! * `?3:empty` — matches only an empty-set constant (`emptyset[t]`, or
+//!   the any-domain form `compose(emptyset[t], bang)`), binding it so the
+//!   right-hand side can re-use the *same typed* empty where the type is
+//!   not otherwise expressible in a pattern.
+//!
+//! Everything else is exactly the grammar of [`nra_core::parser`], so a
+//! ground pattern round-trips through the core [`std::fmt::Display`]
+//! syntax. A
+//! fully ground subtree is collapsed to [`Pat::Ground`] at parse time:
+//! the rewriter interns it once per pass and matches it with a single
+//! `EId` comparison, which is what makes whole-query *rescue* rules
+//! (`tc_paths → tc_while`) O(1) to recognise under hash-consing.
+
+use nra_core::builder;
+use nra_core::parser::{parse_expr, parse_type};
+use nra_core::Expr;
+use std::fmt;
+
+/// Number of metavariable slots a rule may use (`?0` … `?7`).
+pub const MAX_VARS: usize = 8;
+
+/// A metavariable guard — see the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guard {
+    /// Matches anything.
+    Any,
+    /// Matches only `powerset`/`powersetₘ`/`while`-free subterms.
+    Nra,
+    /// Matches only empty-set constants (`emptyset[t]`, possibly
+    /// pre-composed with `bang`).
+    Empty,
+}
+
+/// One rewrite pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pat {
+    /// A metavariable `?i`, with its guard.
+    Var(u8, Guard),
+    /// A fully ground subtree (no metavariables anywhere below).
+    Ground(Expr),
+    /// `tuple(a, b)` with at least one metavariable below.
+    Tuple(Box<Pat>, Box<Pat>),
+    /// `map(f)` with a metavariable below.
+    Map(Box<Pat>),
+    /// `if(c, t, e)` with a metavariable below.
+    Cond(Box<Pat>, Box<Pat>, Box<Pat>),
+    /// `compose(g, f)` (`f` applied first) with a metavariable below.
+    Compose(Box<Pat>, Box<Pat>),
+    /// `while(f)` with a metavariable below.
+    While(Box<Pat>),
+}
+
+/// A pattern parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// Per-variable usage summary, produced by [`Pat::collect_vars`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VarUse {
+    /// How many times the variable occurs in this pattern.
+    pub count: u32,
+    /// Strongest guard seen on any occurrence ([`Guard::Any`] if none).
+    pub guard: Option<Guard>,
+    /// Whether two occurrences carried *different* non-`Any` guards.
+    pub conflicting: bool,
+}
+
+impl Pat {
+    /// Parse a pattern from the extended concrete syntax.
+    pub fn parse(input: &str) -> Result<Pat, PatternError> {
+        let mut p = PatParser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let pat = p.pat()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing input after pattern"));
+        }
+        Ok(collapse(pat))
+    }
+
+    /// True when no metavariable occurs anywhere in this pattern.
+    pub fn is_ground(&self) -> bool {
+        matches!(self, Pat::Ground(_))
+    }
+
+    /// Accumulate per-variable occurrence counts and guards.
+    pub fn collect_vars(&self, uses: &mut [VarUse; MAX_VARS]) {
+        match self {
+            Pat::Var(i, guard) => {
+                let u = &mut uses[*i as usize];
+                u.count += 1;
+                match (*guard, u.guard) {
+                    (Guard::Any, _) => {}
+                    (g, None | Some(Guard::Any)) => u.guard = Some(g),
+                    (g, Some(prev)) if g != prev => u.conflicting = true,
+                    _ => {}
+                }
+            }
+            Pat::Ground(_) => {}
+            Pat::Map(f) | Pat::While(f) => f.collect_vars(uses),
+            Pat::Tuple(a, b) | Pat::Compose(a, b) => {
+                a.collect_vars(uses);
+                b.collect_vars(uses);
+            }
+            Pat::Cond(c, t, e) => {
+                c.collect_vars(uses);
+                t.collect_vars(uses);
+                e.collect_vars(uses);
+            }
+        }
+    }
+
+    /// Language-level flags of the pattern's *literal* content (ground
+    /// parts and constructors — metavariables contribute nothing). Used
+    /// by rule validation: a right-hand side may not introduce a literal
+    /// `while` or `powerset` its left-hand side does not already match.
+    pub fn literal_level(&self) -> (bool, bool) {
+        match self {
+            Pat::Var(..) => (false, false),
+            Pat::Ground(e) => {
+                let level = e.level();
+                (level.powerset || level.powerset_m, level.while_loop)
+            }
+            Pat::Map(f) => f.literal_level(),
+            Pat::While(f) => {
+                let (p, _) = f.literal_level();
+                (p, true)
+            }
+            Pat::Tuple(a, b) | Pat::Compose(a, b) => {
+                let (pa, wa) = a.literal_level();
+                let (pb, wb) = b.literal_level();
+                (pa || pb, wa || wb)
+            }
+            Pat::Cond(c, t, e) => {
+                let (pc, wc) = c.literal_level();
+                let (pt, wt) = t.literal_level();
+                let (pe, we) = e.literal_level();
+                (pc || pt || pe, wc || wt || we)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pat::Var(i, Guard::Any) => write!(f, "?{i}"),
+            Pat::Var(i, Guard::Nra) => write!(f, "?{i}:nra"),
+            Pat::Var(i, Guard::Empty) => write!(f, "?{i}:empty"),
+            Pat::Ground(e) => write!(f, "{e}"),
+            Pat::Tuple(a, b) => write!(f, "tuple({a}, {b})"),
+            Pat::Map(g) => write!(f, "map({g})"),
+            Pat::Cond(c, t, e) => write!(f, "if({c}, {t}, {e})"),
+            Pat::Compose(g, h) => write!(f, "compose({g}, {h})"),
+            Pat::While(g) => write!(f, "while({g})"),
+        }
+    }
+}
+
+/// Collapse var-free composite subtrees into [`Pat::Ground`].
+fn collapse(p: Pat) -> Pat {
+    fn as_ground(p: &Pat) -> Option<Expr> {
+        match p {
+            Pat::Ground(e) => Some(e.clone()),
+            _ => None,
+        }
+    }
+    match p {
+        Pat::Var(..) | Pat::Ground(_) => p,
+        Pat::Map(f) => {
+            let f = collapse(*f);
+            match as_ground(&f) {
+                Some(e) => Pat::Ground(builder::map(e)),
+                None => Pat::Map(Box::new(f)),
+            }
+        }
+        Pat::While(f) => {
+            let f = collapse(*f);
+            match as_ground(&f) {
+                Some(e) => Pat::Ground(builder::while_fix(e)),
+                None => Pat::While(Box::new(f)),
+            }
+        }
+        Pat::Tuple(a, b) => {
+            let (a, b) = (collapse(*a), collapse(*b));
+            match (as_ground(&a), as_ground(&b)) {
+                (Some(x), Some(y)) => Pat::Ground(builder::tuple(x, y)),
+                _ => Pat::Tuple(Box::new(a), Box::new(b)),
+            }
+        }
+        Pat::Compose(g, h) => {
+            let (g, h) = (collapse(*g), collapse(*h));
+            match (as_ground(&g), as_ground(&h)) {
+                (Some(x), Some(y)) => Pat::Ground(builder::compose(x, y)),
+                _ => Pat::Compose(Box::new(g), Box::new(h)),
+            }
+        }
+        Pat::Cond(c, t, e) => {
+            let (c, t, e) = (collapse(*c), collapse(*t), collapse(*e));
+            match (as_ground(&c), as_ground(&t), as_ground(&e)) {
+                (Some(x), Some(y), Some(z)) => Pat::Ground(builder::cond(x, y, z)),
+                _ => Pat::Cond(Box::new(c), Box::new(t), Box::new(e)),
+            }
+        }
+    }
+}
+
+struct PatParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PatParser<'a> {
+    fn err(&self, message: &str) -> PatternError {
+        PatternError {
+            at: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), PatternError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn ident(&mut self) -> &'a str {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii ident")
+    }
+
+    fn number(&mut self) -> Result<u64, PatternError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii digits")
+            .parse()
+            .map_err(|_| self.err("number out of range"))
+    }
+
+    fn pat(&mut self) -> Result<Pat, PatternError> {
+        self.skip_ws();
+        if self.peek() == Some(b'?') {
+            self.pos += 1;
+            let idx = self.number()?;
+            if idx >= MAX_VARS as u64 {
+                return Err(self.err(&format!("metavariable index must be < {MAX_VARS}")));
+            }
+            let guard = if self.peek() == Some(b':') {
+                self.pos += 1;
+                match self.ident() {
+                    "nra" => Guard::Nra,
+                    "empty" => Guard::Empty,
+                    other => return Err(self.err(&format!("unknown guard \"{other}\""))),
+                }
+            } else {
+                Guard::Any
+            };
+            return Ok(Pat::Var(idx as u8, guard));
+        }
+        let name = self.ident();
+        match name {
+            "id" => Ok(Pat::Ground(Expr::Id)),
+            "bang" => Ok(Pat::Ground(Expr::Bang)),
+            "fst" => Ok(Pat::Ground(Expr::Fst)),
+            "snd" => Ok(Pat::Ground(Expr::Snd)),
+            "sng" => Ok(Pat::Ground(Expr::Sng)),
+            "flatten" => Ok(Pat::Ground(Expr::Flatten)),
+            "pairwith" => Ok(Pat::Ground(Expr::PairWith)),
+            "union" => Ok(Pat::Ground(Expr::Union)),
+            "eq" => Ok(Pat::Ground(Expr::EqNat)),
+            "isempty" => Ok(Pat::Ground(Expr::IsEmpty)),
+            "true" => Ok(Pat::Ground(Expr::ConstTrue)),
+            "false" => Ok(Pat::Ground(Expr::ConstFalse)),
+            "powerset" => Ok(Pat::Ground(Expr::Powerset)),
+            "tuple" => {
+                self.expect(b'(')?;
+                let a = self.pat()?;
+                self.expect(b',')?;
+                let b = self.pat()?;
+                self.expect(b')')?;
+                Ok(Pat::Tuple(Box::new(a), Box::new(b)))
+            }
+            "map" => {
+                self.expect(b'(')?;
+                let f = self.pat()?;
+                self.expect(b')')?;
+                Ok(Pat::Map(Box::new(f)))
+            }
+            "while" => {
+                self.expect(b'(')?;
+                let f = self.pat()?;
+                self.expect(b')')?;
+                Ok(Pat::While(Box::new(f)))
+            }
+            "if" => {
+                self.expect(b'(')?;
+                let c = self.pat()?;
+                self.expect(b',')?;
+                let t = self.pat()?;
+                self.expect(b',')?;
+                let e = self.pat()?;
+                self.expect(b')')?;
+                Ok(Pat::Cond(Box::new(c), Box::new(t), Box::new(e)))
+            }
+            "compose" => {
+                self.expect(b'(')?;
+                let g = self.pat()?;
+                self.expect(b',')?;
+                let h = self.pat()?;
+                self.expect(b')')?;
+                Ok(Pat::Compose(Box::new(g), Box::new(h)))
+            }
+            "emptyset" => {
+                self.expect(b'[')?;
+                let ty = self.balanced_until(b'[', b']')?;
+                let t = parse_type(ty).map_err(|e| self.err(&format!("bad type: {e}")))?;
+                self.expect(b']')?;
+                Ok(Pat::Ground(Expr::EmptySet(t)))
+            }
+            "powerset_m" => {
+                self.expect(b'(')?;
+                self.skip_ws();
+                let m = self.number()?;
+                self.expect(b')')?;
+                Ok(Pat::Ground(Expr::PowersetM(m)))
+            }
+            "const" => {
+                // delegate the whole const literal to the core parser
+                self.pos -= name.len();
+                let start = self.pos;
+                self.pos += name.len();
+                self.expect(b'(')?;
+                let _ = self.balanced_until(b'(', b')')?;
+                self.expect(b')')?;
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+                let e = parse_expr(text).map_err(|e| self.err(&format!("bad const: {e}")))?;
+                Ok(Pat::Ground(e))
+            }
+            "" => Err(self.err("expected a pattern")),
+            other => Err(self.err(&format!("unknown combinator \"{other}\""))),
+        }
+    }
+
+    /// The slice from the current position up to (not including) the
+    /// delimiter that closes an already-opened `open`. Position advances
+    /// to the closing delimiter.
+    fn balanced_until(&mut self, open: u8, close: u8) -> Result<&'a str, PatternError> {
+        let start = self.pos;
+        let mut depth = 1usize;
+        while let Some(c) = self.peek() {
+            if c == open {
+                depth += 1;
+            } else if c == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii"));
+                }
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unbalanced delimiters"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_patterns_collapse_and_round_trip() {
+        let p = Pat::parse("compose(flatten, map(sng))").unwrap();
+        match &p {
+            Pat::Ground(e) => assert_eq!(e.to_string(), "compose(flatten, map(sng))"),
+            other => panic!("expected ground, got {other:?}"),
+        }
+        assert_eq!(Pat::parse(&p.to_string()).unwrap(), p);
+    }
+
+    #[test]
+    fn metavariables_and_guards_parse_and_display() {
+        let p = Pat::parse("compose(map(?0:nra), map(?1))").unwrap();
+        assert_eq!(p.to_string(), "compose(map(?0:nra), map(?1))");
+        assert_eq!(Pat::parse(&p.to_string()).unwrap(), p);
+        let mut uses = [VarUse::default(); MAX_VARS];
+        p.collect_vars(&mut uses);
+        assert_eq!(uses[0].count, 1);
+        assert_eq!(uses[0].guard, Some(Guard::Nra));
+        assert_eq!(uses[1].count, 1);
+        assert_eq!(uses[1].guard, None);
+    }
+
+    #[test]
+    fn emptyset_types_parse() {
+        let p = Pat::parse("emptyset[{nat * nat}]").unwrap();
+        match p {
+            Pat::Ground(Expr::EmptySet(t)) => assert_eq!(t, nra_core::Type::nat_rel()),
+            other => panic!("expected emptyset, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn core_display_syntax_is_a_subset() {
+        // every query in the zoo round-trips through the pattern parser
+        for q in [
+            nra_core::queries::tc_paths(),
+            nra_core::queries::tc_while(),
+            nra_core::queries::siblings_powerset(),
+            nra_core::queries::siblings_direct(),
+        ] {
+            match Pat::parse(&q.to_string()).unwrap() {
+                Pat::Ground(e) => assert_eq!(e, q),
+                other => panic!("expected ground, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_patterns_are_rejected() {
+        for bad in [
+            "",
+            "?9",
+            "?0:weird",
+            "frobnicate",
+            "compose(id)",
+            "map(id",
+            "tuple(id, id) extra",
+            "emptyset[wat]",
+            "while(?0:nra) :",
+        ] {
+            assert!(Pat::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn conflicting_guards_are_reported() {
+        let p = Pat::parse("tuple(?0:nra, ?0:empty)").unwrap();
+        let mut uses = [VarUse::default(); MAX_VARS];
+        p.collect_vars(&mut uses);
+        assert!(uses[0].conflicting);
+    }
+}

@@ -1,0 +1,446 @@
+//! The rewrite engine: bottom-up, memoised, cost-gated rule application
+//! over the hash-consed [`ExprArena`] DAG.
+//!
+//! Per [`rewrite`] invocation the rule patterns are *compiled* against
+//! the target arena: every ground subtree is interned once, so matching
+//! it is a single `EId` comparison — which makes whole-query rescue
+//! rules (`tc_paths → tc_while`) O(1) to recognise anywhere in the DAG.
+//! The pass walks each node bottom-up (children first, so an inner
+//! powerset-route idiom is rescued before its context is considered),
+//! memoising `EId → EId` so shared subterms are rewritten once. Passes
+//! repeat to a fixpoint, capped at [`MAX_PASSES`]; rules spin at a
+//! single node at most [`MAX_SPINS`] times per pass. Every candidate
+//! rewrite is submitted to the [`Gate`]: it is taken only when the
+//! space class of the replacement does not worsen the original's.
+//!
+//! Unchanged nodes keep their `EId`s, so a query the rules never touch
+//! comes back as the *same* handle — callers (the eval session, the
+//! serving door) use `rewritten != original` as the "optimiser did
+//! something" signal without any extra bookkeeping.
+
+use crate::cost::Gate;
+use crate::pattern::{Guard, Pat, MAX_VARS};
+use crate::rules::{Rule, RuleKind, RuleSet};
+use nra_core::expr::intern::ENode;
+use nra_core::{builder, EId, Expr, ExprArena};
+use std::collections::{BTreeMap, HashMap};
+
+/// Fixpoint cap: how many full bottom-up passes one invocation may run.
+pub const MAX_PASSES: usize = 8;
+
+/// How many times the rule list may re-fire at a single node per pass.
+pub const MAX_SPINS: usize = 4;
+
+/// What one [`rewrite`] invocation did.
+#[derive(Debug, Clone, Default)]
+pub struct OptStats {
+    /// Total rule applications taken (gate-approved).
+    pub rewrites: u64,
+    /// How many of those were [`RuleKind::Rescue`] applications.
+    pub rescues: u64,
+    /// Full passes run (1 even when nothing fired).
+    pub passes: u64,
+    /// Per-rule fire counts, by rule name.
+    pub fired: BTreeMap<String, u64>,
+}
+
+/// A pattern compiled against a concrete arena: ground subtrees interned.
+#[derive(Debug, Clone)]
+enum CPat {
+    Var(u8, Guard),
+    Ground(EId),
+    Tuple(Box<CPat>, Box<CPat>),
+    Map(Box<CPat>),
+    Cond(Box<CPat>, Box<CPat>, Box<CPat>),
+    Compose(Box<CPat>, Box<CPat>),
+    While(Box<CPat>),
+}
+
+struct CRule {
+    name: String,
+    kind: RuleKind,
+    lhs: CPat,
+    rhs: CPat,
+}
+
+fn compile_pat(ea: &mut ExprArena, p: &Pat) -> CPat {
+    match p {
+        Pat::Var(i, g) => CPat::Var(*i, *g),
+        Pat::Ground(e) => CPat::Ground(ea.intern(e)),
+        Pat::Tuple(a, b) => CPat::Tuple(Box::new(compile_pat(ea, a)), Box::new(compile_pat(ea, b))),
+        Pat::Map(f) => CPat::Map(Box::new(compile_pat(ea, f))),
+        Pat::Cond(c, t, e) => CPat::Cond(
+            Box::new(compile_pat(ea, c)),
+            Box::new(compile_pat(ea, t)),
+            Box::new(compile_pat(ea, e)),
+        ),
+        Pat::Compose(g, h) => {
+            CPat::Compose(Box::new(compile_pat(ea, g)), Box::new(compile_pat(ea, h)))
+        }
+        Pat::While(f) => CPat::While(Box::new(compile_pat(ea, f))),
+    }
+}
+
+/// Shared mutable state for one invocation.
+struct Pass {
+    gate: Gate,
+    /// `EId → (has powerset/powersetₘ, has while)`, memoised DAG-wide.
+    levels: HashMap<EId, (bool, bool)>,
+    stats: OptStats,
+}
+
+impl Pass {
+    fn level_of(&mut self, ea: &ExprArena, eid: EId) -> (bool, bool) {
+        if let Some(l) = self.levels.get(&eid) {
+            return *l;
+        }
+        let l = match ea.node(eid) {
+            ENode::Leaf(e) => {
+                let level = e.level();
+                (level.powerset || level.powerset_m, level.while_loop)
+            }
+            ENode::Map(f) => self.level_of(ea, f),
+            ENode::While(f) => {
+                let (p, _) = self.level_of(ea, f);
+                (p, true)
+            }
+            ENode::Tuple(a, b) | ENode::Compose(a, b) => {
+                let (pa, wa) = self.level_of(ea, a);
+                let (pb, wb) = self.level_of(ea, b);
+                (pa || pb, wa || wb)
+            }
+            ENode::Cond(c, t, e) => {
+                let (pc, wc) = self.level_of(ea, c);
+                let (pt, wt) = self.level_of(ea, t);
+                let (pe, we) = self.level_of(ea, e);
+                (pc || pt || pe, wc || wt || we)
+            }
+        };
+        self.levels.insert(eid, l);
+        l
+    }
+
+    fn guard_ok(&mut self, ea: &ExprArena, guard: Guard, eid: EId) -> bool {
+        match guard {
+            Guard::Any => true,
+            Guard::Nra => self.level_of(ea, eid) == (false, false),
+            Guard::Empty => is_empty_const(ea, eid),
+        }
+    }
+
+    fn matches(
+        &mut self,
+        ea: &ExprArena,
+        pat: &CPat,
+        eid: EId,
+        binds: &mut [Option<EId>; MAX_VARS],
+    ) -> bool {
+        match pat {
+            CPat::Ground(g) => *g == eid,
+            CPat::Var(i, guard) => {
+                if !self.guard_ok(ea, *guard, eid) {
+                    return false;
+                }
+                match binds[*i as usize] {
+                    // non-linear occurrence: hash-consing makes equal
+                    // subterms share an EId, so this is exact equality
+                    Some(prev) => prev == eid,
+                    None => {
+                        binds[*i as usize] = Some(eid);
+                        true
+                    }
+                }
+            }
+            CPat::Tuple(a, b) => match ea.node(eid) {
+                ENode::Tuple(x, y) => {
+                    self.matches(ea, a, x, binds) && self.matches(ea, b, y, binds)
+                }
+                _ => false,
+            },
+            CPat::Map(f) => match ea.node(eid) {
+                ENode::Map(x) => self.matches(ea, f, x, binds),
+                _ => false,
+            },
+            CPat::While(f) => match ea.node(eid) {
+                ENode::While(x) => self.matches(ea, f, x, binds),
+                _ => false,
+            },
+            CPat::Compose(g, h) => match ea.node(eid) {
+                ENode::Compose(x, y) => {
+                    self.matches(ea, g, x, binds) && self.matches(ea, h, y, binds)
+                }
+                _ => false,
+            },
+            CPat::Cond(c, t, e) => match ea.node(eid) {
+                ENode::Cond(x, y, z) => {
+                    self.matches(ea, c, x, binds)
+                        && self.matches(ea, t, y, binds)
+                        && self.matches(ea, e, z, binds)
+                }
+                _ => false,
+            },
+        }
+    }
+
+    fn instantiate(
+        &mut self,
+        ea: &mut ExprArena,
+        rhs: &CPat,
+        binds: &[Option<EId>; MAX_VARS],
+    ) -> EId {
+        let e = build_expr(ea, rhs, binds);
+        ea.intern(&e)
+    }
+
+    /// Spin the rule list at one (already child-rewritten) node.
+    fn apply_rules(&mut self, ea: &mut ExprArena, rules: &[CRule], mut eid: EId) -> EId {
+        'spin: for _ in 0..MAX_SPINS {
+            for rule in rules {
+                let mut binds = [None; MAX_VARS];
+                if !self.matches(ea, &rule.lhs, eid, &mut binds) {
+                    continue;
+                }
+                let replacement = self.instantiate(ea, &rule.rhs, &binds);
+                if !self.gate.allows(ea, eid, replacement) {
+                    continue;
+                }
+                self.stats.rewrites += 1;
+                if rule.kind == RuleKind::Rescue {
+                    self.stats.rescues += 1;
+                }
+                *self.stats.fired.entry(rule.name.clone()).or_insert(0) += 1;
+                eid = replacement;
+                continue 'spin;
+            }
+            break;
+        }
+        eid
+    }
+
+    /// One bottom-up pass over the DAG rooted at `eid`.
+    fn walk(
+        &mut self,
+        ea: &mut ExprArena,
+        rules: &[CRule],
+        eid: EId,
+        memo: &mut HashMap<EId, EId>,
+    ) -> EId {
+        if let Some(&done) = memo.get(&eid) {
+            return done;
+        }
+        let rebuilt = match ea.node(eid) {
+            ENode::Leaf(_) => eid,
+            ENode::Tuple(a, b) => {
+                let (a2, b2) = (self.walk(ea, rules, a, memo), self.walk(ea, rules, b, memo));
+                if (a2, b2) == (a, b) {
+                    eid
+                } else {
+                    let e = builder::tuple(ea.resolve(a2), ea.resolve(b2));
+                    ea.intern(&e)
+                }
+            }
+            ENode::Map(f) => {
+                let f2 = self.walk(ea, rules, f, memo);
+                if f2 == f {
+                    eid
+                } else {
+                    let e = builder::map(ea.resolve(f2));
+                    ea.intern(&e)
+                }
+            }
+            ENode::While(f) => {
+                let f2 = self.walk(ea, rules, f, memo);
+                if f2 == f {
+                    eid
+                } else {
+                    let e = builder::while_fix(ea.resolve(f2));
+                    ea.intern(&e)
+                }
+            }
+            ENode::Compose(g, f) => {
+                let (g2, f2) = (self.walk(ea, rules, g, memo), self.walk(ea, rules, f, memo));
+                if (g2, f2) == (g, f) {
+                    eid
+                } else {
+                    let e = builder::compose(ea.resolve(g2), ea.resolve(f2));
+                    ea.intern(&e)
+                }
+            }
+            ENode::Cond(c, t, e) => {
+                let (c2, t2, e2) = (
+                    self.walk(ea, rules, c, memo),
+                    self.walk(ea, rules, t, memo),
+                    self.walk(ea, rules, e, memo),
+                );
+                if (c2, t2, e2) == (c, t, e) {
+                    eid
+                } else {
+                    let x = builder::cond(ea.resolve(c2), ea.resolve(t2), ea.resolve(e2));
+                    ea.intern(&x)
+                }
+            }
+        };
+        let out = self.apply_rules(ea, rules, rebuilt);
+        memo.insert(eid, out);
+        out
+    }
+}
+
+fn build_expr(ea: &ExprArena, pat: &CPat, binds: &[Option<EId>; MAX_VARS]) -> Expr {
+    match pat {
+        CPat::Var(i, _) => {
+            let bound = binds[*i as usize].expect("validated rule: rhs vars bound on lhs");
+            ea.resolve(bound)
+        }
+        CPat::Ground(g) => ea.resolve(*g),
+        CPat::Tuple(a, b) => builder::tuple(build_expr(ea, a, binds), build_expr(ea, b, binds)),
+        CPat::Map(f) => builder::map(build_expr(ea, f, binds)),
+        CPat::While(f) => builder::while_fix(build_expr(ea, f, binds)),
+        CPat::Compose(g, h) => builder::compose(build_expr(ea, g, binds), build_expr(ea, h, binds)),
+        CPat::Cond(c, t, e) => builder::cond(
+            build_expr(ea, c, binds),
+            build_expr(ea, t, binds),
+            build_expr(ea, e, binds),
+        ),
+    }
+}
+
+/// `emptyset[t]`, or the any-domain form `compose(emptyset[t], bang)`.
+fn is_empty_const(ea: &ExprArena, eid: EId) -> bool {
+    let leaf_is = |id: EId, f: &dyn Fn(&Expr) -> bool| match ea.node(id) {
+        ENode::Leaf(e) => f(&e),
+        _ => false,
+    };
+    match ea.node(eid) {
+        ENode::Leaf(e) => matches!(&*e, Expr::EmptySet(_)),
+        ENode::Compose(g, f) => {
+            leaf_is(g, &|e| matches!(e, Expr::EmptySet(_))) && leaf_is(f, &|e| e == &Expr::Bang)
+        }
+        _ => false,
+    }
+}
+
+/// Rewrite the DAG rooted at `root` with `rules`, to a fixpoint capped
+/// at [`MAX_PASSES`]. Returns the (possibly unchanged) root and what
+/// happened.
+pub fn rewrite(ea: &mut ExprArena, root: EId, rules: &RuleSet) -> (EId, OptStats) {
+    let compiled: Vec<CRule> = rules
+        .rules()
+        .iter()
+        .map(|r: &Rule| CRule {
+            name: r.name.clone(),
+            kind: r.kind,
+            lhs: compile_pat(ea, &r.lhs),
+            rhs: compile_pat(ea, &r.rhs),
+        })
+        .collect();
+    let mut pass = Pass {
+        gate: Gate::new(),
+        levels: HashMap::new(),
+        stats: OptStats::default(),
+    };
+    let mut current = root;
+    for _ in 0..MAX_PASSES {
+        pass.stats.passes += 1;
+        let mut memo = HashMap::new();
+        let next = pass.walk(ea, &compiled, current, &mut memo);
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    (current, pass.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_core::queries;
+
+    fn opt(e: &Expr) -> (Expr, OptStats) {
+        let mut ea = ExprArena::new();
+        let root = ea.intern(e);
+        let (out, stats) = rewrite(&mut ea, root, &RuleSet::builtin());
+        (ea.resolve(out), stats)
+    }
+
+    #[test]
+    fn identity_composition_is_eliminated() {
+        let (out, stats) = opt(&builder::compose(queries::tc_while(), builder::id()));
+        assert_eq!(out, queries::tc_while());
+        assert!(stats.rewrites >= 1);
+        assert_eq!(stats.rescues, 0);
+    }
+
+    #[test]
+    fn powerset_route_tc_is_rescued_at_the_root() {
+        let (out, stats) = opt(&queries::tc_paths());
+        assert_eq!(out, queries::tc_while());
+        assert_eq!(stats.rescues, 1);
+        assert!(stats.fired.contains_key("rescue-tc-powerset-route"));
+    }
+
+    #[test]
+    fn nested_powerset_route_is_rescued_and_context_simplified() {
+        let wrapped = builder::compose(queries::tc_paths(), builder::id());
+        let (out, stats) = opt(&wrapped);
+        assert_eq!(out, queries::tc_while());
+        assert_eq!(stats.rescues, 1);
+    }
+
+    #[test]
+    fn siblings_powerset_route_is_rescued() {
+        let (out, stats) = opt(&queries::siblings_powerset());
+        assert_eq!(out, queries::siblings_direct());
+        assert_eq!(stats.rescues, 1);
+    }
+
+    #[test]
+    fn untouched_queries_keep_their_eid() {
+        let mut ea = ExprArena::new();
+        let root = ea.intern(&queries::tc_while());
+        let (out, stats) = rewrite(&mut ea, root, &RuleSet::builtin());
+        assert_eq!(out, root, "no rule fired, same handle must come back");
+        assert_eq!(stats.rewrites, 0);
+    }
+
+    #[test]
+    fn map_fusion_fires_and_exposes_projection() {
+        let e = builder::compose(
+            builder::map(builder::fst()),
+            builder::map(builder::tuple(builder::snd(), builder::fst())),
+        );
+        let (out, stats) = opt(&e);
+        // fusion produces map(compose(fst, tuple(snd, fst))), and the
+        // now-adjacent projection collapses it further: map(snd)
+        assert_eq!(out, builder::map(builder::snd()));
+        assert!(stats.fired.contains_key("map-fusion"));
+        assert!(stats.fired.contains_key("fst-tuple"));
+    }
+
+    #[test]
+    fn dead_branch_elimination_fires() {
+        let e = builder::cond(
+            builder::always_true(),
+            builder::sng(),
+            builder::empty_at(nra_core::Type::nat_rel()),
+        );
+        let (out, _) = opt(&e);
+        assert_eq!(out, builder::sng());
+    }
+
+    #[test]
+    fn rewrite_does_not_worsen_space_class() {
+        use nra_symbolic::classify_space;
+        // powerset over a `while`-route body: Unanalyzed — rules must
+        // leave it alone rather than risk a class regression
+        let e = builder::compose(queries::tc_while(), builder::powerset());
+        let before = classify_space(&e);
+        let (out, _) = opt(&e);
+        let after = classify_space(&out);
+        assert!(
+            crate::cost::rank(&after) <= crate::cost::rank(&before),
+            "{before:?} -> {after:?}"
+        );
+    }
+}

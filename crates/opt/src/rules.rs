@@ -1,0 +1,383 @@
+//! Rewrite rules: the `RULES.json` format, its loader/validator, and the
+//! code-built *rescue* rules.
+//!
+//! A rule is `lhs → rhs` over [`Pat`] patterns. The shipped rule set
+//! lives in `RULES.json` at the repository root (embedded at compile
+//! time, so the optimiser needs no filesystem access) and is validated
+//! on load — malformed JSON, unparseable patterns, unbound right-hand
+//! variables, or a rule that is not loop-preserving by construction all
+//! make [`RuleSet::from_json`] fail rather than silently applying a
+//! corrupted rule. The *rescue* rules (whole-query powerset-route →
+//! while-route rewrites, the paper's separation theorem run backwards)
+//! are built in code from [`nra_core::queries`], because their concrete
+//! syntax is large and their right-hand sides intentionally introduce a
+//! `while` loop, which the JSON validator forbids for data-borne rules.
+//!
+//! ## Loop preservation
+//!
+//! The optimiser's soundness contract (see `tests/soundness.rs`) is that
+//! optimised and raw evaluation agree bit-for-bit on results whenever
+//! raw evaluation succeeds, and — for every rule *except* the rescues —
+//! on `while_iterations` too. A JSON rule is loop-preserving by
+//! construction when (a) any variable whose occurrence count differs
+//! between the two sides carries an `nra` or `empty` guard (dropped or
+//! duplicated subterms cannot hide a loop or a powerset), and (b) the
+//! right-hand side introduces no literal `while`/`powerset` the left-hand
+//! side does not already match. Rescues are exempt from (b) by design:
+//! they *add* a `while` loop to remove a certified-exponential powerset.
+
+use crate::pattern::{Guard, Pat, VarUse, MAX_VARS};
+use crate::{json, json::Json};
+use nra_core::queries;
+use std::fmt;
+
+/// Where a rule came from; recorded in `RULES.json` and in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Hand-written, part of the seeded rule set.
+    Seed,
+    /// Admitted by the [`crate::synth`] harness.
+    Synthesised,
+    /// A code-built whole-query rescue (powerset route → while route).
+    Rescue,
+}
+
+impl fmt::Display for RuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleKind::Seed => write!(f, "seed"),
+            RuleKind::Synthesised => write!(f, "synthesised"),
+            RuleKind::Rescue => write!(f, "rescue"),
+        }
+    }
+}
+
+/// One rewrite rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Unique, human-readable name (cited in reports and errors).
+    pub name: String,
+    /// Provenance.
+    pub kind: RuleKind,
+    /// Left-hand side — what to match.
+    pub lhs: Pat,
+    /// Right-hand side — what to build.
+    pub rhs: Pat,
+}
+
+/// A rule-set load/validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleError {
+    /// The document is not the JSON subset the format uses.
+    Json(json::JsonError),
+    /// The document parses but is not a rule file (missing/mistyped
+    /// fields, wrong version, …).
+    Format(String),
+    /// A rule failed validation; the name (when known) and the reason.
+    Invalid {
+        /// The offending rule's name, or `"<unnamed>"`.
+        rule: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::Json(e) => write!(f, "rule file is not valid JSON: {e}"),
+            RuleError::Format(m) => write!(f, "rule file malformed: {m}"),
+            RuleError::Invalid { rule, reason } => {
+                write!(f, "rule \"{rule}\" rejected: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// The format version this loader understands.
+pub const RULES_VERSION: i64 = 1;
+
+/// The `RULES.json` shipped at the repository root, embedded at compile
+/// time.
+pub const EMBEDDED_RULES: &str = include_str!("../../../RULES.json");
+
+/// A validated, ordered rule set.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// The rules, in application-priority order (rescues first).
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Parse and validate a `RULES.json` document. Data-borne rules may
+    /// only be `seed` or `synthesised`; every rule must pass
+    /// [`validate_rule`].
+    pub fn from_json(text: &str) -> Result<RuleSet, RuleError> {
+        let doc = json::parse(text).map_err(RuleError::Json)?;
+        let version = doc
+            .get("version")
+            .and_then(Json::as_num)
+            .ok_or_else(|| RuleError::Format("missing integer \"version\"".into()))?;
+        if version != RULES_VERSION {
+            return Err(RuleError::Format(format!(
+                "unsupported version {version} (expected {RULES_VERSION})"
+            )));
+        }
+        let entries = doc
+            .get("rules")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| RuleError::Format("missing array \"rules\"".into()))?;
+        let mut rules = Vec::with_capacity(entries.len());
+        let mut names: Vec<&str> = Vec::new();
+        for entry in entries {
+            let field = |key: &str| -> Result<&str, RuleError> {
+                entry.get(key).and_then(Json::as_str).ok_or_else(|| {
+                    RuleError::Format(format!("rule entry missing string \"{key}\""))
+                })
+            };
+            let name = field("name")?;
+            if name.is_empty() {
+                return Err(RuleError::Format("empty rule name".into()));
+            }
+            if names.contains(&name) {
+                return Err(RuleError::Format(format!("duplicate rule name \"{name}\"")));
+            }
+            names.push(name);
+            let kind = match field("kind")? {
+                "seed" => RuleKind::Seed,
+                "synthesised" => RuleKind::Synthesised,
+                other => {
+                    return Err(RuleError::Invalid {
+                        rule: name.to_string(),
+                        reason: format!(
+                            "kind \"{other}\" is not data-borne (rescues are code-built)"
+                        ),
+                    })
+                }
+            };
+            let pat = |key: &str| -> Result<Pat, RuleError> {
+                Pat::parse(field(key)?).map_err(|e| RuleError::Invalid {
+                    rule: name.to_string(),
+                    reason: format!("{key} does not parse: {e}"),
+                })
+            };
+            let rule = Rule {
+                name: name.to_string(),
+                kind,
+                lhs: pat("lhs")?,
+                rhs: pat("rhs")?,
+            };
+            validate_rule(&rule)?;
+            rules.push(rule);
+        }
+        if rules.is_empty() {
+            return Err(RuleError::Format("rule file contains no rules".into()));
+        }
+        Ok(RuleSet { rules })
+    }
+
+    /// The default rule set: the code-built rescues (highest priority)
+    /// followed by the validated `RULES.json` rules.
+    pub fn builtin() -> RuleSet {
+        let mut rules = rescue_rules();
+        let shipped = RuleSet::from_json(EMBEDDED_RULES)
+            .expect("the shipped RULES.json must validate — CI gates this");
+        rules.extend(shipped.rules);
+        RuleSet { rules }
+    }
+
+    /// A rule set from an explicit rule list (used by the synthesis
+    /// harness); every rule is validated.
+    pub fn from_rules(rules: Vec<Rule>) -> Result<RuleSet, RuleError> {
+        for rule in &rules {
+            validate_rule(rule)?;
+        }
+        Ok(RuleSet { rules })
+    }
+
+    /// A rule set that skips [`validate_rule`] — for the synthesis
+    /// shrink step only, which rewrites with deliberately guard-relaxed
+    /// rules that the validator would (rightly) refuse to ship.
+    pub(crate) fn from_rules_unchecked(rules: Vec<Rule>) -> RuleSet {
+        RuleSet { rules }
+    }
+
+    /// Serialise data-borne rules back to the `RULES.json` format.
+    /// Rescue rules are skipped (they are code, not data).
+    pub fn to_json(&self) -> String {
+        rules_to_json(
+            self.rules
+                .iter()
+                .filter(|r| r.kind != RuleKind::Rescue)
+                .cloned()
+                .collect::<Vec<_>>()
+                .as_slice(),
+        )
+    }
+}
+
+/// Serialise rules to the `RULES.json` document format.
+pub fn rules_to_json(rules: &[Rule]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"rules\": [\n");
+    for (i, r) in rules.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"lhs\": \"{}\", \"rhs\": \"{}\"}}{}\n",
+            r.name,
+            r.kind,
+            r.lhs,
+            r.rhs,
+            if i + 1 == rules.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Structural validation of one rule — the conditions that make it safe
+/// to *apply* mechanically (semantic equivalence is established
+/// separately: by hand for seeds, by the differential oracle for
+/// synthesised rules, by the paper's separation argument for rescues).
+pub fn validate_rule(rule: &Rule) -> Result<(), RuleError> {
+    let fail = |reason: String| {
+        Err(RuleError::Invalid {
+            rule: rule.name.clone(),
+            reason,
+        })
+    };
+    if matches!(rule.lhs, Pat::Var(..)) {
+        return fail("left-hand side is a bare metavariable (matches everything)".into());
+    }
+    if rule.lhs == rule.rhs {
+        return fail("left- and right-hand sides are identical".into());
+    }
+    let mut lhs_uses = [VarUse::default(); MAX_VARS];
+    let mut rhs_uses = [VarUse::default(); MAX_VARS];
+    rule.lhs.collect_vars(&mut lhs_uses);
+    rule.rhs.collect_vars(&mut rhs_uses);
+    for i in 0..MAX_VARS {
+        let (l, r) = (&lhs_uses[i], &rhs_uses[i]);
+        if l.conflicting || r.conflicting {
+            return fail(format!("?{i} carries conflicting guards"));
+        }
+        if r.count > 0 && l.count == 0 {
+            return fail(format!("?{i} occurs on the right but is never bound"));
+        }
+        if r.guard.is_some() && r.guard != l.guard && r.guard != Some(Guard::Any) {
+            return fail(format!(
+                "?{i} is guarded on the right; guards belong on the binding side"
+            ));
+        }
+        if l.count != r.count && !matches!(l.guard, Some(Guard::Nra | Guard::Empty)) {
+            return fail(format!(
+                "?{i} occurs {} time(s) on the left and {} on the right but is not \
+                 nra/empty-guarded — dropped or duplicated subterms could change \
+                 while_iterations or hide a powerset",
+                l.count, r.count
+            ));
+        }
+    }
+    if rule.kind != RuleKind::Rescue {
+        let (lhs_pow, lhs_while) = rule.lhs.literal_level();
+        let (rhs_pow, rhs_while) = rule.rhs.literal_level();
+        if rhs_pow && !lhs_pow {
+            return fail("right-hand side introduces a literal powerset".into());
+        }
+        if rhs_while && !lhs_while {
+            return fail(
+                "right-hand side introduces a literal while (only rescue rules may)".into(),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The code-built rescue rules: whole-query recognition of the
+/// powerset-route idioms, rewritten to their polynomial counterparts.
+/// Matching is a single hash-consed `EId` comparison per rule.
+pub fn rescue_rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "rescue-tc-powerset-route".into(),
+            kind: RuleKind::Rescue,
+            lhs: Pat::Ground(queries::tc_paths()),
+            rhs: Pat::Ground(queries::tc_while()),
+        },
+        Rule {
+            name: "rescue-siblings-powerset-route".into(),
+            kind: RuleKind::Rescue,
+            lhs: Pat::Ground(queries::siblings_powerset()),
+            rhs: Pat::Ground(queries::siblings_direct()),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_shipped_rule_file_loads() {
+        let rules = RuleSet::from_json(EMBEDDED_RULES).expect("RULES.json validates");
+        assert!(rules.rules().len() >= 10, "rule set unexpectedly small");
+        assert!(rules.rules().iter().any(|r| r.kind == RuleKind::Seed));
+        assert!(rules
+            .rules()
+            .iter()
+            .any(|r| r.kind == RuleKind::Synthesised));
+    }
+
+    #[test]
+    fn builtin_rules_put_rescues_first() {
+        let rules = RuleSet::builtin();
+        assert_eq!(rules.rules()[0].kind, RuleKind::Rescue);
+        assert!(rules.rules().iter().any(|r| r.kind == RuleKind::Seed));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let shipped = RuleSet::from_json(EMBEDDED_RULES).unwrap();
+        let again = RuleSet::from_json(&shipped.to_json()).unwrap();
+        assert_eq!(shipped.rules(), again.rules());
+    }
+
+    #[test]
+    fn unbound_rhs_variable_is_rejected() {
+        let r = Rule {
+            name: "bad".into(),
+            kind: RuleKind::Seed,
+            lhs: Pat::parse("compose(?0, id)").unwrap(),
+            rhs: Pat::parse("?1").unwrap(),
+        };
+        assert!(matches!(validate_rule(&r), Err(RuleError::Invalid { .. })));
+    }
+
+    #[test]
+    fn unguarded_dropped_variable_is_rejected() {
+        let r = Rule {
+            name: "bad".into(),
+            kind: RuleKind::Seed,
+            lhs: Pat::parse("compose(fst, tuple(?0, ?1))").unwrap(),
+            rhs: Pat::parse("?0").unwrap(),
+        };
+        let err = validate_rule(&r).unwrap_err();
+        assert!(err.to_string().contains("?1"), "{err}");
+    }
+
+    #[test]
+    fn data_borne_while_introduction_is_rejected() {
+        let r = Rule {
+            name: "bad".into(),
+            kind: RuleKind::Seed,
+            lhs: Pat::parse("compose(?0, id)").unwrap(),
+            rhs: Pat::parse("while(?0)").unwrap(),
+        };
+        let err = validate_rule(&r).unwrap_err();
+        assert!(err.to_string().contains("while"), "{err}");
+    }
+}

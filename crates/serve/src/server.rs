@@ -67,11 +67,14 @@ impl Default for ServeConfig {
             policy: AdmissionPolicy::default(),
             tenant_budget_bytes: u64::MAX,
             resident_budget_bytes: None,
-            // the serving front runs the compiled bytecode backend:
-            // programs are compiled once per root within a generation
-            // and executed on every admitted request and batch job,
-            // bit-for-bit the interpreted results
-            eval: EvalConfig::compiled(),
+            // the serving front runs the full stack: the rewrite
+            // optimiser in front of the compiled bytecode backend.
+            // Programs are compiled once per *optimised* root within a
+            // generation, bit-for-bit the interpreted results — and a
+            // query admission would reject in its submitted form can be
+            // rescued by a space-class-improving rewrite (the
+            // powerset-route → while-route transitive closure headline)
+            eval: EvalConfig::rewritten(),
         }
     }
 }
@@ -123,6 +126,11 @@ pub struct ServeReport {
     pub rejected_admission: u64,
     /// Rejections for an exhausted tenant byte budget.
     pub rejected_tenant_budget: u64,
+    /// Admitted requests whose *submitted* form admission would have
+    /// rejected — the optimiser's rewrite moved them into the
+    /// admissible class (e.g. powerset-route → while-route transitive
+    /// closure).
+    pub rescued: u64,
     /// Final eviction generation of the session.
     pub generation: u64,
     /// The session's aggregate counters (warm hits, evictions, …).
@@ -162,6 +170,15 @@ impl Server {
     /// A fresh server with its own session.
     pub fn new(config: ServeConfig) -> Self {
         let mut session = EvalSession::new(config.eval.clone());
+        // migrate to the shared concurrent store *before* the first
+        // admission: the probe evaluates powerset-free prefixes inside
+        // this session, and `make_shared` starts the shared apply table
+        // cold (local entries are not migrated) — staying local until
+        // the first batch split would throw the probe's warmth away
+        session.make_shared();
+        if config.eval.optimise {
+            nra_opt::install(&mut session);
+        }
         session.set_resident_budget(config.resident_budget_bytes);
         Server {
             session,
@@ -249,11 +266,29 @@ impl Server {
             }
         }
 
-        // 3. cost-based admission
-        let query = self.session.intern_expr(&request.query);
+        // 3. optimise, then cost-based admission on the *optimised*
+        // form — a rewrite that provably improves the space class (the
+        // cost gate guarantees it never worsens) can move a query from
+        // the rejected into the admitted set
+        let raw = self.session.intern_expr(&request.query);
         let input = self.session.intern_value(&request.input);
+        let query = if self.config.eval.optimise {
+            self.session.optimise_eid(raw)
+        } else {
+            raw
+        };
         match admit(&mut self.session, query, input, &self.config.policy) {
             AdmissionDecision::Admitted(a) => {
+                // a rescue = the rewrite changed the query AND the
+                // submitted form would have been turned away on its own
+                if query != raw
+                    && matches!(
+                        admit(&mut self.session, raw, input, &self.config.policy),
+                        AdmissionDecision::Rejected(_)
+                    )
+                {
+                    self.report.rescued += 1;
+                }
                 self.tenant(&request.tenant).admitted += 1;
                 self.report.admitted += 1;
                 Ok(StagedJob {
@@ -482,16 +517,22 @@ mod tests {
     use nra_core::queries;
 
     #[test]
-    fn serve_round_trip_admits_polynomial_and_rejects_exponential() {
+    fn serve_round_trip_admits_rescues_and_rejects() {
         let (mut client, handle) = spawn(ServeConfig::default());
         client
             .submit("acme", 1, &queries::tc_while(), &Value::chain(6))
             .unwrap();
+        // the powerset route: certified exponential as submitted, but
+        // the optimiser rewrites it to the while route at the door
         client
             .submit("acme", 2, &queries::tc_paths(), &Value::chain(20))
             .unwrap();
+        // a bare powerset really is exponential — nothing to rewrite
+        client
+            .submit("acme", 3, &nra_core::builder::powerset(), &Value::chain(20))
+            .unwrap();
         let mut by_id = BTreeMap::new();
-        for _ in 0..2 {
+        for _ in 0..3 {
             let resp = client.recv().unwrap().unwrap();
             by_id.insert(resp.id, resp.outcome);
         }
@@ -500,16 +541,73 @@ mod tests {
             other => panic!("tc_while: {other:?}"),
         }
         match &by_id[&2] {
+            Outcome::Ok { value, .. } => assert_eq!(*value, Value::chain_tc(20)),
+            other => panic!("tc_paths chain(20) must be rescued: {other:?}"),
+        }
+        match &by_id[&3] {
             Outcome::Rejected { reason } => {
                 assert!(reason.contains("Theorem 4.1"), "{reason}")
             }
-            other => panic!("tc_paths chain(20): {other:?}"),
+            other => panic!("powerset chain(20): {other:?}"),
         }
         client.shutdown().unwrap();
         let report = handle.join().unwrap();
-        assert_eq!(report.completed, 1);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.rescued, 1);
         assert_eq!(report.rejected_exponential, 1);
-        assert_eq!(report.tenants["acme"].submitted, 2);
+        assert_eq!(report.tenants["acme"].submitted, 3);
+    }
+
+    #[test]
+    fn optimise_off_front_rejects_what_the_default_front_rescues() {
+        let mut server = Server::new(ServeConfig {
+            eval: EvalConfig::compiled(),
+            ..ServeConfig::default()
+        });
+        let responses = server.process_batch(&[Request {
+            tenant: "acme".into(),
+            id: 1,
+            query: queries::tc_paths(),
+            input: Value::chain(20),
+        }]);
+        assert!(
+            matches!(&responses[0].outcome, Outcome::Rejected { reason } if reason.contains("Theorem 4.1")),
+            "{responses:?}"
+        );
+        assert_eq!(server.report().rescued, 0);
+    }
+
+    #[test]
+    fn admission_probe_warms_the_shared_store_for_the_admitted_run() {
+        // powerset over a nontrivial powerset-free prefix: admission
+        // must evaluate `tc_step` on the live input to price the site,
+        // and that judgment must land in the shared apply table so the
+        // admitted run starts warm (a local cache is discarded, not
+        // migrated, when the first batch split shares the store).
+        // Interpreted memo config: it probes the cache at every node,
+        // so the overlap with the probe's keys is exact rather than
+        // call-grain dependent; optimise stays off so the query runs as
+        // submitted
+        let mut server = Server::new(ServeConfig {
+            eval: EvalConfig::optimised(),
+            ..ServeConfig::default()
+        });
+        let query = nra_core::builder::compose(nra_core::builder::powerset(), queries::tc_step());
+        let responses = server.process_batch(&[Request {
+            tenant: "acme".into(),
+            id: 1,
+            query,
+            input: Value::chain(4),
+        }]);
+        assert!(
+            matches!(&responses[0].outcome, Outcome::Ok { .. }),
+            "{responses:?}"
+        );
+        let report = server.report();
+        assert!(
+            report.tenants["acme"].warm_hits > 0,
+            "probe judgments must land in the shared store, not a doomed local cache: {report:?}"
+        );
     }
 
     #[test]

@@ -21,9 +21,10 @@ const TENANTS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
 const PER_TENANT: u64 = 24;
 
 /// The mixed workload, deterministic per (tenant, index): both
-/// dichotomy classes, including powerset-route TC long enough to be
-/// rejected with its bound. Returns the request plus whether admission
-/// must turn it away.
+/// dichotomy classes, rescuable powerset-route TC (rewritten to the
+/// while route at the door), and bare powersets large enough to be
+/// rejected with their bound. Returns the request plus whether
+/// admission must turn it away.
 fn workload_item(tenant: &str, t: usize, i: u64) -> (Request, bool) {
     let mut rng = Rng::new(0x5EED_0000 ^ ((t as u64) << 32) ^ i);
     let (query, input, rejected) = if i == 0 {
@@ -58,9 +59,14 @@ fn workload_item(tenant: &str, t: usize, i: u64) -> (Request, bool) {
                     false,
                 )
             }
-            // certified exponential at serving scale: rejected with the
-            // Theorem 4.1 citation
-            _ => (queries::tc_paths(), Value::chain(20 + rng.below(8)), true),
+            // certified exponential at serving scale with nothing the
+            // optimiser can rewrite (tc_paths would be rescued to the
+            // while route): rejected with the Theorem 4.1 citation
+            _ => (
+                nra_core::builder::powerset(),
+                Value::chain(20 + rng.below(8)),
+                true,
+            ),
         }
     };
     (

@@ -8,12 +8,16 @@
 //!   by class (§4 upper bound) and answered;
 //! * the powerset-route `tc_paths` on a small chain — admitted because
 //!   its concretely-priced powerset site fits under the ceiling;
-//! * the same `tc_paths` on a long chain — **rejected before
-//!   evaluation**, with a reason citing the Theorem 4.1 lower bound.
+//! * the same `tc_paths` on a long chain — rejected as submitted, then
+//!   **rescued**: the optimiser rewrites it to the polynomial while
+//!   route, admission re-predicts, and the query is answered;
+//! * a bare `powerset` on the same long chain — nothing to rewrite, so
+//!   it is **rejected before evaluation** with a reason citing the
+//!   Theorem 4.1 lower bound.
 //!
 //! Run with `cargo run --release --example serve_demo`.
 
-use powerset_tc::core::{queries, Value};
+use powerset_tc::core::{builder, queries, Value};
 use powerset_tc::serve::{spawn, Outcome, ServeConfig};
 
 fn main() {
@@ -54,6 +58,12 @@ fn main() {
             "bob",
             "tc_paths(chain_24)",
             queries::tc_paths(),
+            Value::chain(24),
+        ),
+        (
+            "bob",
+            "powerset(chain_24)",
+            builder::powerset(),
             Value::chain(24),
         ),
     ];
@@ -97,12 +107,13 @@ fn main() {
 
     println!("\n── serving report ──");
     println!(
-        "  batches={} frames={} admitted={} completed={} rejected(exponential)={}",
+        "  batches={} frames={} admitted={} completed={} rejected(exponential)={} rescued={}",
         report.batches,
         report.frames,
         report.admitted,
         report.completed,
-        report.rejected_exponential
+        report.rejected_exponential,
+        report.rescued
     );
     for (tenant, stats) in &report.tenants {
         println!(
@@ -114,5 +125,9 @@ fn main() {
         report.rejected_exponential >= 1,
         "demo must show a rejection"
     );
-    assert!(report.completed >= 4, "demo must show completions");
+    assert!(
+        report.rescued >= 1,
+        "demo must show a powerset-route rescue"
+    );
+    assert!(report.completed >= 5, "demo must show completions");
 }

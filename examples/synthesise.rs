@@ -1,0 +1,35 @@
+//! Regenerate `RULES.json`: seed rules plus freshly synthesised ones.
+//!
+//! Runs the ruler-style enumerate → fingerprint → verify → admit loop
+//! of `nra-opt/src/synth.rs` at the default size and prints the full
+//! `RULES.json` document — the shipped file's `synthesised` section is
+//! exactly this output (`tests/rules.rs` and CI hold the two in sync by
+//! re-verifying every shipped rule against the same oracle).
+//!
+//! Run with `cargo run --release --example synthesise > RULES.json`.
+
+use powerset_tc::opt::{rules_to_json, synthesise, RuleKind, RuleSet, SynthConfig};
+
+fn main() {
+    let shipped = RuleSet::from_json(powerset_tc::opt::EMBEDDED_RULES)
+        .expect("the shipped RULES.json validates");
+    let mut rules: Vec<_> = shipped
+        .rules()
+        .iter()
+        .filter(|r| r.kind == RuleKind::Seed)
+        .cloned()
+        .collect();
+
+    let synthesised = synthesise(&SynthConfig::default());
+    eprintln!(
+        "synthesis admitted {} rule(s) at max size {}",
+        synthesised.len(),
+        SynthConfig::default().max_size
+    );
+    for r in &synthesised {
+        eprintln!("  {}: {} => {}", r.name, r.lhs, r.rhs);
+    }
+    rules.extend(synthesised);
+
+    print!("{}", rules_to_json(&rules));
+}

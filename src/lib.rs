@@ -19,7 +19,8 @@
 //! | [`graph`] (`nra-graph`) | input generators (chains, cycles, deterministic graphs) and classical polynomial TC baselines |
 //! | [`symbolic`] (`nra-symbolic`) | the §5 proof machinery: abstract expressions, the Lemma 5.1 evaluator, affine spaces, quantifier elimination, the Lemma 5.8 dichotomy, the Lemma 5.7 Ramsey bound, Corollary 5.3 |
 //! | [`circuits`] (`nra-circuits`) | Prop 4.3's `AC⁰`/`TC⁰` substrate: threshold circuits and a flat-algebra compiler |
-//! | [`serve`] (`nra-serve`) | an offline query-serving front: newline-delimited wire format, **cost-based admission control** (Theorem 4.1 as a safety rail — certified-exponential queries are rejected with their bound), cache-aware batch scheduling, per-tenant byte budgets riding the eviction generations |
+//! | [`opt`] (`nra-opt`) | the pre-evaluation rewrite optimiser: cost-gated rules over the hash-consed DAG (`RULES.json` + a ruler-style synthesis harness), and the powerset-route → while-route **TC rescue** — the separation theorem run backwards as an optimisation |
+//! | [`serve`] (`nra-serve`) | an offline query-serving front: newline-delimited wire format, **cost-based admission control** (Theorem 4.1 as a safety rail — certified-exponential queries are rejected with their bound; rescuable ones are rewritten and admitted), cache-aware batch scheduling, per-tenant byte budgets riding the eviction generations |
 //! | `nra-bench` | measurement helpers (complexity series, slope fits) and the E1–E11 benchmark suite, on a self-contained harness |
 //! | `nra-testkit` | seeded RNG + property-check runner used by every randomized test suite |
 //!
@@ -106,5 +107,6 @@ pub use nra_circuits as circuits;
 pub use nra_core as core;
 pub use nra_eval as eval;
 pub use nra_graph as graph;
+pub use nra_opt as opt;
 pub use nra_serve as serve;
 pub use nra_symbolic as symbolic;
