@@ -19,7 +19,8 @@
 //! ```
 
 use nra_bench::{
-    bench_samples, fmt_duration, standard_eval_comparisons, write_bench_eval_json, EvalComparison,
+    bench_samples, fmt_duration, standard_dense_comparisons, standard_eval_comparisons,
+    write_bench_eval_json, EvalComparison,
 };
 
 fn main() {
@@ -28,6 +29,9 @@ fn main() {
     // (object sizes Θ(n⁴) at the self-product), plus the powerset route
     // on a small chain — see nra_bench::standard_eval_comparisons
     let comparisons = standard_eval_comparisons(samples);
+    // the serving-scale dense-vs-sorted closure table (tc_arena's two
+    // representation routes on the 512-node graph families)
+    let dense = standard_dense_comparisons(samples);
 
     println!(
         "tree vs interned vs memoised vs semi-naive eager evaluation, plus session warm \
@@ -122,6 +126,28 @@ fn main() {
     println!("minimum batch speedup across workloads:      {min_batch:.2}x");
     println!("minimum shared-warm speedup across workloads: {min_shared_warm:.2}x");
 
-    let path = write_bench_eval_json(&comparisons, samples).expect("write BENCH_eval.json");
+    println!();
+    println!("dense vs sorted transitive closure (tc_arena) on the serving-scale families:");
+    println!(
+        "{:<22} {:>4} {:>7} {:>10} {:>10} {:>8}",
+        "workload", "n", "edges", "sorted", "dense", "dense×"
+    );
+    for d in &dense {
+        println!(
+            "{:<22} {:>4} {:>7} {:>10} {:>10} {:>7.2}x",
+            d.workload,
+            d.n,
+            d.edges,
+            fmt_duration(d.sorted),
+            fmt_duration(d.dense),
+            d.dense_speedup()
+        );
+    }
+    let geomean_dense = (dense.iter().map(|d| d.dense_speedup().ln()).sum::<f64>()
+        / dense.len().max(1) as f64)
+        .exp();
+    println!("geomean dense speedup: {geomean_dense:.2}x");
+
+    let path = write_bench_eval_json(&comparisons, &dense, samples).expect("write BENCH_eval.json");
     println!("wrote {}", path.display());
 }

@@ -71,8 +71,9 @@ fn disasm() {
 fn bench_eval_json() {
     let samples = nra_bench::bench_samples();
     let comparisons = nra_bench::standard_eval_comparisons(samples);
-    let path =
-        nra_bench::write_bench_eval_json(&comparisons, samples).expect("write BENCH_eval.json");
+    let dense = nra_bench::standard_dense_comparisons(samples);
+    let path = nra_bench::write_bench_eval_json(&comparisons, &dense, samples)
+        .expect("write BENCH_eval.json");
     eprintln!("report: refreshed {}", path.display());
 }
 

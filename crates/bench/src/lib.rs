@@ -263,6 +263,103 @@ impl EvalComparison {
     }
 }
 
+/// One timed dense-vs-sorted comparison of the arena-native transitive
+/// closure ([`nra_graph::tc_arena`]) on a serving-scale graph: the same
+/// relation closed twice, once with the dense word-parallel
+/// representation disabled (per-round frontier interning and sorted
+/// `set_union` merges) and once with it enabled (bitmap Warshall over
+/// packed words, one final intern). Both routes produce the identical
+/// closure handle — [`compare_dense`] asserts it before timing.
+#[derive(Debug, Clone)]
+pub struct DenseComparison {
+    /// Workload label, e.g. `"road_grid/tc_arena"`.
+    pub workload: String,
+    /// Node-domain bound of the input graph.
+    pub n: u64,
+    /// Edges in the input relation.
+    pub edges: u64,
+    /// Median wall-clock of the sorted-merge route (dense disabled).
+    pub sorted: Duration,
+    /// Median wall-clock of the dense route (dense enabled).
+    pub dense: Duration,
+}
+
+impl DenseComparison {
+    /// How many times faster the dense representation closes the
+    /// relation (sorted / dense). Recorded per workload and as
+    /// `geomean_dense_speedup` in `BENCH_eval.json`; the CI gate fails
+    /// if the geomean drops below 1.
+    pub fn dense_speedup(&self) -> f64 {
+        self.sorted.as_secs_f64() / self.dense.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Time [`nra_graph::tc_arena`]'s two routes on one edge list, first
+/// asserting they intern the identical closure handle. Every timed run
+/// builds a fresh arena, so neither route is served the other's
+/// interned intermediates.
+pub fn compare_dense(
+    workload: &str,
+    n: u64,
+    edges: &[(u64, u64)],
+    samples: usize,
+) -> DenseComparison {
+    use nra_core::value::intern::ValueArena;
+    {
+        let mut va = ValueArena::new();
+        va.set_dense_enabled(false);
+        let r = va.relation(edges.iter().copied());
+        let sorted_out = nra_graph::tc_arena(&mut va, r).expect("sorted closure");
+        va.set_dense_enabled(true);
+        let dense_out = nra_graph::tc_arena(&mut va, r).expect("dense closure");
+        assert_eq!(
+            sorted_out, dense_out,
+            "tc_arena routes disagree on {workload} n={n}"
+        );
+    }
+    let [sorted, dense] = interleaved_medians(
+        samples,
+        &mut [
+            &mut || {
+                let mut va = ValueArena::new();
+                va.set_dense_enabled(false);
+                let r = va.relation(edges.iter().copied());
+                std::hint::black_box(nra_graph::tc_arena(&mut va, r));
+            },
+            &mut || {
+                let mut va = ValueArena::new();
+                va.set_dense_enabled(true);
+                let r = va.relation(edges.iter().copied());
+                std::hint::black_box(nra_graph::tc_arena(&mut va, r));
+            },
+        ],
+    );
+    DenseComparison {
+        workload: workload.to_string(),
+        n,
+        edges: edges.len() as u64,
+        sorted,
+        dense,
+    }
+}
+
+/// The serving-scale dense-vs-sorted TC workloads feeding the
+/// `dense_workloads` table of `BENCH_eval.json`: the three large-graph
+/// families (road grid, preferential-attachment power law, two thinly
+/// bridged communities) at n = 512 through [`nra_graph::tc_arena`]'s
+/// two routes. Shared by `benches/interning.rs` and the `report`
+/// binary, like [`standard_eval_comparisons`].
+pub fn standard_dense_comparisons(samples: usize) -> Vec<DenseComparison> {
+    let mut rng = nra_testkit::Rng::new(0xD3A5E);
+    nra_testkit::graphs::large_family_graphs(&mut rng, 512)
+        .into_iter()
+        .map(|g| {
+            let edges: Vec<(u64, u64)> = g.edges.iter().copied().collect();
+            compare_dense(&format!("{}/tc_arena", g.family), 512, &edges, samples)
+        })
+        .collect()
+}
+
 /// Median of `samples` timed runs of `f`, after one warm-up run.
 pub fn median_time<R>(samples: usize, mut f: impl FnMut() -> R) -> Duration {
     std::hint::black_box(f());
@@ -554,9 +651,15 @@ pub fn repo_root() -> PathBuf {
 /// timed with (it is recorded in the file). Returns the path written.
 pub fn write_bench_eval_json(
     comparisons: &[EvalComparison],
+    dense: &[DenseComparison],
     samples: usize,
 ) -> std::io::Result<PathBuf> {
-    write_bench_eval_json_to(repo_root().join("BENCH_eval.json"), comparisons, samples)
+    write_bench_eval_json_to(
+        repo_root().join("BENCH_eval.json"),
+        comparisons,
+        dense,
+        samples,
+    )
 }
 
 /// [`write_bench_eval_json`] with an explicit destination — so tests can
@@ -564,6 +667,7 @@ pub fn write_bench_eval_json(
 pub fn write_bench_eval_json_to(
     path: PathBuf,
     comparisons: &[EvalComparison],
+    dense: &[DenseComparison],
     samples: usize,
 ) -> std::io::Result<PathBuf> {
     let mut out = String::from("{\n  \"bench\": \"eval\",\n");
@@ -649,6 +753,30 @@ pub fn write_bench_eval_json_to(
         / comparisons.len().max(1) as f64)
         .exp();
     out.push_str("  ],\n");
+    // the dense-vs-sorted closure table lives in its own array: its
+    // rows time `tc_arena`'s two representation routes, not the
+    // evaluator rungs, so the per-workload key set is different
+    out.push_str("  \"dense_workloads\": [\n");
+    for (i, d) in dense.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"n\": {}, \"edges\": {}, \"sorted_ns\": {}, \"dense_ns\": {}, \"dense_speedup\": {:.3}}}{}\n",
+            d.workload,
+            d.n,
+            d.edges,
+            d.sorted.as_nanos(),
+            d.dense.as_nanos(),
+            d.dense_speedup(),
+            if i + 1 == dense.len() { "" } else { "," }
+        ));
+    }
+    let geomean_dense = (dense.iter().map(|d| d.dense_speedup().ln()).sum::<f64>()
+        / dense.len().max(1) as f64)
+        .exp();
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"geomean_dense_speedup\": {:.3},\n",
+        geomean_dense
+    ));
     out.push_str(&format!(
         "  \"batch_jobs\": {BATCH_JOBS},\n  \"batch_workers\": {BATCH_WORKERS},\n"
     ));
@@ -802,11 +930,28 @@ mod tests {
                 shared_warm: Duration::from_micros(25),
             },
         ];
+        let dense = vec![
+            DenseComparison {
+                workload: "road_grid/tc_arena".into(),
+                n: 512,
+                edges: 950,
+                sorted: Duration::from_micros(400),
+                dense: Duration::from_micros(100),
+            },
+            DenseComparison {
+                workload: "power_law/tc_arena".into(),
+                n: 512,
+                edges: 980,
+                sorted: Duration::from_micros(900),
+                dense: Duration::from_micros(100),
+            },
+        ];
         // write to a scratch path — the repo-root BENCH_eval.json is a
         // real measured artifact that `cargo test` must never clobber
         let dest =
             std::env::temp_dir().join(format!("BENCH_eval_test_{}.json", std::process::id()));
-        let path = write_bench_eval_json_to(dest.clone(), &comparisons, 2).expect("write json");
+        let path =
+            write_bench_eval_json_to(dest.clone(), &comparisons, &dense, 2).expect("write json");
         let text = std::fs::read_to_string(&path).expect("read back");
         std::fs::remove_file(&dest).ok();
         // shape checks a JSON parser would enforce
@@ -837,6 +982,14 @@ mod tests {
         assert!(text.contains("\"shared_warm_speedup\": 2.000"));
         assert!(text.contains("\"shared_warm_ns\": 25000"));
         assert!(text.contains("\"shared_warm_speedup\": 4.000"));
+        assert!(text.contains("\"dense_workloads\""));
+        assert!(text.contains("\"workload\": \"road_grid/tc_arena\""));
+        assert!(text.contains("\"edges\": 950"));
+        assert!(text.contains("\"sorted_ns\": 400000"));
+        assert!(text.contains("\"dense_ns\": 100000"));
+        assert!(text.contains("\"dense_speedup\": 4.000"));
+        assert!(text.contains("\"dense_speedup\": 9.000"));
+        assert!(text.contains("\"geomean_dense_speedup\": 6.000"));
         assert!(text.contains("\"batch_jobs\": 12"));
         assert!(text.contains("\"batch_workers\": 4"));
         assert!(text.contains("\"min_speedup\": 2.000"));

@@ -2,7 +2,9 @@
 //! queries-per-second through the full `nra-serve` front — wire
 //! framing, admission, cache-aware scheduling, budget accounting —
 //! under a mixed workload drawn from all seven differential graph
-//! families, submitted by multiple tenants over one shared server.
+//! families — plus a serving-scale 512-node road-grid burst through
+//! the one-shot polynomial joins — submitted by multiple tenants over
+//! one shared server.
 //!
 //! Each family row measures one drained burst: every tenant submits
 //! the family's polynomial zoo (`tc_while`, `tc_step`,
@@ -217,6 +219,85 @@ pub fn run_serve_workload(samples: usize) -> ServeBenchReport {
         workloads.push(row);
     }
 
+    // the serving-scale row: all tenants query one 512-node road-grid
+    // relation through the one-shot polynomial joins (the while route's
+    // self-product is quartic in the closure and correctly priced out at
+    // this scale; these joins are exactly what the domain-word admission
+    // pricing exists to let through), sharing the store so later tenants
+    // are served warm — plus a bare `powerset` per tenant, rejected with
+    // its certificate without ever touching the 512-node relation
+    {
+        let mut rng = Rng::new(0xBE7C_0000 ^ (7u64 << 32));
+        let g = graphs::road_grid(&mut rng, 512);
+        let input = Value::relation(g.edges.iter().copied());
+        let large_zoo = [
+            queries::tc_step(),
+            queries::compose_rel(),
+            queries::siblings_direct(),
+        ];
+        let mut lines = Vec::new();
+        for tenant in 0..SERVE_TENANTS {
+            for q in &large_zoo {
+                id += 1;
+                lines.push(
+                    encode_request(&Request {
+                        tenant: format!("tenant-{tenant}"),
+                        id,
+                        query: q.clone(),
+                        input: input.clone(),
+                    })
+                    .expect("encodable"),
+                );
+            }
+            id += 1;
+            lines.push(
+                encode_request(&Request {
+                    tenant: format!("tenant-{tenant}"),
+                    id,
+                    query: nra_core::builder::powerset(),
+                    input: input.clone(),
+                })
+                .expect("encodable"),
+            );
+        }
+        let start = Instant::now();
+        for line in &lines {
+            client.tx.send_line(line).expect("server inbox open");
+        }
+        let mut row = ServeWorkload {
+            family: "road_grid",
+            jobs: lines.len() as u64,
+            admitted: 0,
+            rejected_exponential: 0,
+            rescued: 0,
+            ok: 0,
+            failed: 0,
+            elapsed: Duration::ZERO,
+        };
+        for _ in 0..lines.len() {
+            let resp = client.recv().expect("server alive").expect("decodable");
+            match resp.outcome {
+                Outcome::Ok { .. } => {
+                    row.admitted += 1;
+                    row.ok += 1;
+                }
+                Outcome::Rejected { reason } => {
+                    assert!(
+                        reason.contains("Theorem 4.1"),
+                        "[road_grid] unexpected rejection: {reason}"
+                    );
+                    row.rejected_exponential += 1;
+                }
+                Outcome::Failed { detail } => {
+                    row.failed += 1;
+                    eprintln!("[road_grid] FAILED: {detail}");
+                }
+            }
+        }
+        row.elapsed = start.elapsed();
+        workloads.push(row);
+    }
+
     client.shutdown().expect("shutdown frame");
     let report = handle.join().expect("server thread");
     ServeBenchReport {
@@ -289,14 +370,29 @@ mod tests {
     #[test]
     fn serve_workload_runs_and_its_json_is_well_formed() {
         let report = run_serve_workload(1);
-        assert_eq!(report.workloads.len(), 7, "one row per family");
+        assert_eq!(
+            report.workloads.len(),
+            8,
+            "one row per family plus the serving-scale road-grid burst"
+        );
         assert_eq!(report.errors, 0);
         assert!(report.admitted() > 0);
         assert!(
-            report.rejected_exponential() >= 7 * SERVE_TENANTS as u64,
+            report.rejected_exponential() >= 8 * SERVE_TENANTS as u64,
             "every family burst carries its rejections"
         );
         for w in &report.workloads {
+            if w.family == "road_grid" {
+                // the serving-scale burst submits no rescuable idiom —
+                // the rescued while-route TC is priced out at 512 nodes
+                assert_eq!(w.failed, 0, "road_grid burst must not fail: {w:?}");
+                assert_eq!(
+                    w.admitted,
+                    3 * SERVE_TENANTS as u64,
+                    "every tenant's polynomial joins clear admission: {w:?}"
+                );
+                continue;
+            }
             assert!(
                 w.rescued >= 1,
                 "[{}] the powerset-route idiom must be rescued at least once: {w:?}",

@@ -22,6 +22,7 @@
 //! on their hot paths; the two convert freely via [`intern::intern`] and
 //! [`intern::resolve`].
 
+pub mod dense;
 pub mod intern;
 
 use crate::types::Type;

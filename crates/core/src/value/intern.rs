@@ -71,11 +71,11 @@
 //! assert_eq!(intern::depth(v), 70);
 //! ```
 
-use super::Value;
+use super::{dense, Value};
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// A fast non-cryptographic hasher (the FxHash recipe: rotate, xor,
@@ -252,6 +252,145 @@ fn shard_index(node: &Node) -> usize {
     (FxBuildHasher::default().hash_one(node) as usize) & (DEDUP_SHARDS - 1)
 }
 
+/// Largest atom coordinate a dense sidecar will pack. Beyond this the
+/// bit domain (quadratic in the coordinate range for pair relations)
+/// stops paying for itself and sets stay on the sorted spine.
+pub const DENSE_MAX_COORD: u64 = 8192;
+
+/// Minimum cardinality before a set is *considered* for promotion to a
+/// dense sidecar on its own. Below this, one sorted merge is already a
+/// handful of comparisons and the decode pass would dominate. Small
+/// sets can still be densified *against* a dense partner at a merge
+/// boundary (the partner's shape is the hint), which is how frontiers
+/// join the word-parallel path.
+const DENSE_MIN_CARD: usize = 64;
+
+/// The bit domain of a dense sidecar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenseShape {
+    /// Every element is a natural: bit `n` is the atom `n`.
+    Atoms,
+    /// Every element is a pair of naturals: bit `a·stride + b` is the
+    /// edge `(a, b)`. `stride` is a power of two covering the largest
+    /// coordinate, so the domain is a `stride × stride` adjacency
+    /// matrix packed row-major.
+    Pairs {
+        /// Row length of the packed matrix.
+        stride: u32,
+    },
+}
+
+impl DenseShape {
+    /// The bit index of a decoded element under this shape.
+    #[inline]
+    fn bit(&self, a: u64, b: u64) -> usize {
+        match self {
+            DenseShape::Atoms => a as usize,
+            DenseShape::Pairs { stride } => a as usize * *stride as usize + b as usize,
+        }
+    }
+
+    /// Decode a bit index back into element coordinates.
+    #[inline]
+    fn coords(&self, bit: usize) -> (u64, u64) {
+        match self {
+            DenseShape::Atoms => (bit as u64, 0),
+            DenseShape::Pairs { stride } => (
+                (bit / *stride as usize) as u64,
+                (bit % *stride as usize) as u64,
+            ),
+        }
+    }
+}
+
+/// The dense backing of an interned set of atoms or pairs over a
+/// bounded domain: packed `u64` words (bit `i` set ⇔ the element the
+/// [`DenseShape`] decodes from `i` is in the set).
+///
+/// A `DenseSet` is a **sidecar**, not the node: canonical identity —
+/// the [`VId`], the dedup key, `size`/`depth`/`structural_hash` — is
+/// always the sorted element spine, so dense and sparse encodings of
+/// the same set intern to the same handle by construction. The sidecar
+/// is what the word-parallel set algebra
+/// ([`ValueArena::set_union`] … [`ValueArena::set_merge_frontier`])
+/// computes with when both operands have one.
+#[derive(Debug)]
+pub struct DenseSet {
+    shape: DenseShape,
+    words: Vec<u64>,
+}
+
+impl DenseSet {
+    /// The bit-domain layout.
+    pub fn shape(&self) -> DenseShape {
+        self.shape
+    }
+
+    /// The packed words (suitable for the [`dense`] primitives).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of elements — one popcount pass.
+    pub fn cardinality(&self) -> u64 {
+        dense::popcount(&self.words)
+    }
+}
+
+/// How an interned set node is currently represented — see
+/// [`ValueArena::set_repr`].
+#[derive(Debug)]
+pub enum SetRepr {
+    /// The canonical sorted-`VId` element spine (every set has one).
+    Sorted(Arc<[VId]>),
+    /// A dense bitmap sidecar is attached: word-parallel set algebra
+    /// applies. The canonical spine still exists and still defines the
+    /// node's identity.
+    Dense(Arc<DenseSet>),
+}
+
+/// Key of the per-arena atom/pair-domain map: the content coordinates
+/// of a densifiable element, tagged so atom `n` and edge `(0, n)`
+/// cannot collide. Content-addressed (not stride-dependent), so
+/// re-striding a sidecar never invalidates the map.
+#[inline]
+fn atom_key(n: u64) -> u64 {
+    (1u64 << 63) | n
+}
+
+#[inline]
+fn pair_key(a: u64, b: u64) -> u64 {
+    (a << 32) | b
+}
+
+/// Per-arena dense bookkeeping: built sidecars (and negative verdicts)
+/// keyed by node index, plus the atom/pair-domain map that turns bits
+/// back into element handles without re-interning.
+#[derive(Default)]
+struct DenseCache {
+    /// `Some(sidecar)` — built; `None` — proven never-densifiable
+    /// (mixed element kinds, coordinates beyond [`DENSE_MAX_COORD`],
+    /// or density too low). Below-threshold small sets are *not*
+    /// recorded, so a later hinted build can still promote them.
+    sidecars: HashMap<u32, Option<Arc<DenseSet>>, FxBuildHasher>,
+    /// Domain map: [`atom_key`]/[`pair_key`] → the element's handle.
+    domain: HashMap<u64, VId, FxBuildHasher>,
+    /// Total `u64` words held by cached sidecars (for byte accounting).
+    words: usize,
+}
+
+impl DenseCache {
+    fn store(&mut self, index: u32, sidecar: Option<Arc<DenseSet>>) {
+        let new_words = sidecar.as_ref().map_or(0, |s| s.words.len());
+        let old_words = self
+            .sidecars
+            .insert(index, sidecar)
+            .flatten()
+            .map_or(0, |s| s.words.len());
+        self.words = self.words - old_words + new_words;
+    }
+}
+
 /// The single-owner backing: plain vectors plus one dedup map, the
 /// layout every arena starts with.
 #[derive(Default)]
@@ -262,6 +401,12 @@ struct LocalTables {
     /// Total set-element fan-out, maintained incrementally so occupancy
     /// accounting is `O(1)` (and identical between backings).
     set_children: usize,
+    /// Dense sidecars + domain map. Behind a (single-owner, therefore
+    /// uncontended) `Mutex` because the read-only set ops
+    /// (`is_subset`, `set_contains`, `set_delta_cardinality`) take
+    /// `&self` but still consult the cache, and `ValueArena` must stay
+    /// `Sync`; locks are per-call and never held across arena re-entry.
+    dense: Mutex<DenseCache>,
 }
 
 /// The concurrent backing behind [`ValueArena::make_shared`]: one
@@ -293,7 +438,22 @@ struct SharedTables {
     set_children: AtomicUsize,
     dedup: [Mutex<HashMap<Node, VId, FxBuildHasher>>; DEDUP_SHARDS],
     alloc: Mutex<()>,
+    /// Dense sidecars, lock-striped by **node index** (`index & mask`)
+    /// so a hot node's sidecar and its neighbours spread over stripes.
+    /// Leaf locks: taken only to get/insert one entry, never while
+    /// holding a dedup shard or `alloc`, and nothing is acquired while
+    /// one is held — so they extend the shard → alloc order trivially.
+    dense_sidecars: [Mutex<SidecarMap>; DEDUP_SHARDS],
+    /// The atom/pair-domain map, lock-striped by key. Same leaf-lock
+    /// discipline as `dense_sidecars`.
+    dense_domain: [Mutex<HashMap<u64, VId, FxBuildHasher>>; DEDUP_SHARDS],
+    /// Total sidecar words across stripes (byte accounting).
+    dense_words: AtomicUsize,
 }
+
+/// One stripe of the sidecar table: cached verdict per node index —
+/// absent = never checked, `None` = checked and not densifiable.
+type SidecarMap = HashMap<u32, Option<Arc<DenseSet>>, FxBuildHasher>;
 
 /// One lazily-allocated storage chunk of the shared store: a fixed run
 /// of write-once slots.
@@ -307,6 +467,9 @@ impl SharedTables {
             set_children: AtomicUsize::new(0),
             dedup: std::array::from_fn(|_| Mutex::new(HashMap::default())),
             alloc: Mutex::new(()),
+            dense_sidecars: std::array::from_fn(|_| Mutex::new(HashMap::default())),
+            dense_domain: std::array::from_fn(|_| Mutex::new(HashMap::default())),
+            dense_words: AtomicUsize::new(0),
         }
     }
 
@@ -375,6 +538,16 @@ pub struct ValueArena {
     /// arena's counter, so holders of handles can detect that they went
     /// stale.
     generation: u64,
+    /// Whether the set algebra may take the dense word-parallel fast
+    /// path — see [`ValueArena::set_dense_enabled`].
+    dense_enabled: bool,
+    /// Set-algebra calls answered on the dense path by *this* arena
+    /// handle (clones of a shared store count separately — the counter
+    /// is the per-session observation the evaluator snapshots).
+    dense_ops: AtomicU64,
+    /// Sorted→dense promotions (sidecar builds) plus re-stridings
+    /// performed by this arena handle.
+    dense_promotions: AtomicU64,
 }
 
 impl Default for ValueArena {
@@ -382,6 +555,9 @@ impl Default for ValueArena {
         ValueArena {
             backing: Backing::Local(LocalTables::default()),
             generation: 0,
+            dense_enabled: true,
+            dense_ops: AtomicU64::new(0),
+            dense_promotions: AtomicU64::new(0),
         }
     }
 }
@@ -404,6 +580,9 @@ pub struct ArenaStats {
     /// Sum over set nodes of their element counts (total fan-out held by
     /// the arena — a proxy for its memory footprint).
     pub set_children: usize,
+    /// Total packed `u64` words held by dense sidecars — the dense
+    /// representation's footprint is *words*, not elements.
+    pub dense_words: usize,
     /// Approximate resident bytes — see
     /// [`ValueArena::approx_resident_bytes`].
     pub approx_bytes: usize,
@@ -469,6 +648,25 @@ impl ValueArena {
         }
         shared.len.store(node_count, Ordering::Release);
         shared.set_children.store(t.set_children, Ordering::Relaxed);
+        // migrate the dense sidecars and domain map: indices are
+        // preserved by the migration, so both stay valid as-is
+        let dense_cache = t.dense.into_inner().unwrap_or_else(PoisonError::into_inner);
+        shared
+            .dense_words
+            .store(dense_cache.words, Ordering::Relaxed);
+        for (index, sidecar) in dense_cache.sidecars {
+            shared.dense_sidecars[index as usize & (DEDUP_SHARDS - 1)]
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(index, sidecar);
+        }
+        for (key, id) in dense_cache.domain {
+            shared.dense_domain
+                [(FxBuildHasher::default().hash_one(key) as usize) & (DEDUP_SHARDS - 1)]
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(key, id);
+        }
         self.backing = Backing::Shared(Arc::new(shared));
     }
 
@@ -481,6 +679,9 @@ impl ValueArena {
             Backing::Shared(t) => Some(ValueArena {
                 backing: Backing::Shared(Arc::clone(t)),
                 generation: self.generation,
+                dense_enabled: self.dense_enabled,
+                dense_ops: AtomicU64::new(0),
+                dense_promotions: AtomicU64::new(0),
             }),
             Backing::Local(_) => None,
         }
@@ -504,6 +705,7 @@ impl ValueArena {
                 t.metas.clear();
                 t.dedup.clear();
                 t.set_children = 0;
+                *t.dense.get_mut().unwrap_or_else(PoisonError::into_inner) = DenseCache::default();
             }
             shared => *shared = Backing::Shared(Arc::new(SharedTables::new())),
         }
@@ -535,11 +737,23 @@ impl ValueArena {
         }
     }
 
+    /// Total packed words held by dense sidecars (both backings keep a
+    /// running counter, so this is `O(1)`).
+    fn dense_words_held(&self) -> usize {
+        match &self.backing {
+            Backing::Local(t) => t.dense.lock().unwrap_or_else(PoisonError::into_inner).words,
+            Backing::Shared(t) => t.dense_words.load(Ordering::Relaxed),
+        }
+    }
+
     /// Approximate resident bytes held by the arena: the node and
-    /// metadata storage, the set-element fan-out, and the dedup map's
-    /// entries (each key clones its node). An estimate — allocator
-    /// slack and `HashMap` load factor are not modelled — intended for
-    /// occupancy reporting, not exact accounting.
+    /// metadata storage, the set-element fan-out, the dedup map's
+    /// entries (each key clones its node), and the dense sidecars —
+    /// charged by *words*, not elements: a dense relation's marginal
+    /// cost is its packed bit domain, however many elements it holds.
+    /// An estimate — allocator slack and `HashMap` load factor are not
+    /// modelled — intended for occupancy reporting, not exact
+    /// accounting.
     pub fn approx_resident_bytes(&self) -> usize {
         let per_node = std::mem::size_of::<Node>() + std::mem::size_of::<Meta>();
         // dedup holds a clone of every node (the Arc'd element slice is
@@ -547,15 +761,17 @@ impl ValueArena {
         let per_dedup_entry =
             std::mem::size_of::<Node>() + std::mem::size_of::<VId>() + std::mem::size_of::<u64>();
         let fan_out = self.set_children() * std::mem::size_of::<VId>();
-        self.len() * (per_node + per_dedup_entry) + fan_out
+        let dense = self.dense_words_held() * std::mem::size_of::<u64>();
+        self.len() * (per_node + per_dedup_entry) + fan_out + dense
     }
 
-    /// Aggregate statistics (node count, total set fan-out, approximate
-    /// resident bytes).
+    /// Aggregate statistics (node count, total set fan-out, dense
+    /// sidecar words, approximate resident bytes).
     pub fn stats(&self) -> ArenaStats {
         ArenaStats {
             nodes: self.len(),
             set_children: self.set_children(),
+            dense_words: self.dense_words_held(),
             approx_bytes: self.approx_resident_bytes(),
         }
     }
@@ -762,6 +978,17 @@ impl ValueArena {
         if a == b {
             return Some(a);
         }
+        if let Some((da, db)) = self.dense_operands(a, &xs, b, &ys) {
+            self.count_dense_op();
+            let mut words = da.words.clone();
+            if !dense::union_into(&mut words, &db.words) {
+                return Some(a); // b ⊆ a: the union is a itself
+            }
+            if dense::words_equal(&words, &db.words) {
+                return Some(b); // a ⊆ b: the union is b itself
+            }
+            return Some(self.dense_materialise(da.shape, words));
+        }
         Some(self.add_canonical_set(merge_sorted(&xs, &ys)))
     }
 
@@ -772,6 +999,18 @@ impl ValueArena {
         let ys = self.as_set(b)?;
         if a == b {
             return Some(a);
+        }
+        if let Some((da, db)) = self.dense_operands(a, &xs, b, &ys) {
+            self.count_dense_op();
+            let mut words = da.words.clone();
+            dense::intersect_into(&mut words, &db.words);
+            if dense::words_equal(&words, &da.words) {
+                return Some(a); // a ⊆ b: the intersection is a itself
+            }
+            if dense::words_equal(&words, &db.words) {
+                return Some(b);
+            }
+            return Some(self.dense_materialise(da.shape, words));
         }
         let mut out = Vec::with_capacity(xs.len().min(ys.len()));
         let (mut i, mut j) = (0, 0);
@@ -797,6 +1036,15 @@ impl ValueArena {
         if a == b {
             return Some(self.empty_set());
         }
+        if let Some((da, db)) = self.dense_operands(a, &xs, b, &ys) {
+            self.count_dense_op();
+            let mut words = da.words.clone();
+            dense::difference_into(&mut words, &db.words);
+            if dense::words_equal(&words, &da.words) {
+                return Some(a); // a ∩ b = ∅: the difference is a itself
+            }
+            return Some(self.dense_materialise(da.shape, words));
+        }
         let mut out = Vec::with_capacity(xs.len());
         let mut j = 0;
         for &x in xs.iter() {
@@ -821,6 +1069,16 @@ impl ValueArena {
         if xs.len() > ys.len() {
             return Some(false);
         }
+        // read-only entry point: use dense sidecars when both are
+        // already cached with the same shape (no building from `&self`)
+        if self.dense_enabled {
+            if let (Some(Some(da)), Some(Some(db))) = (self.dense_lookup(a), self.dense_lookup(b)) {
+                if da.shape == db.shape {
+                    self.count_dense_op();
+                    return Some(dense::is_subset_words(&da.words, &db.words));
+                }
+            }
+        }
         let mut j = 0;
         for &x in xs.iter() {
             while j < ys.len() && ys[j] < x {
@@ -839,6 +1097,28 @@ impl ValueArena {
     /// structural membership). `None` if `set` is not a set.
     pub fn set_contains(&self, set: VId, elem: VId) -> Option<bool> {
         let items = self.as_set(set)?;
+        // with a cached sidecar, membership is one bit probe: decode the
+        // candidate; an element of the wrong kind or beyond the domain
+        // cannot be in the set
+        if self.dense_enabled {
+            if let Some(Some(ds)) = self.dense_lookup(set) {
+                self.count_dense_op();
+                let decoded = match ds.shape {
+                    DenseShape::Atoms => self.as_nat(elem).map(|n| (n, 0)),
+                    DenseShape::Pairs { stride } => self.as_pair(elem).and_then(|(x, y)| {
+                        match (self.as_nat(x), self.as_nat(y)) {
+                            (Some(a), Some(b)) if a < stride as u64 && b < stride as u64 => {
+                                Some((a, b))
+                            }
+                            _ => None,
+                        }
+                    }),
+                };
+                return Some(
+                    decoded.is_some_and(|(a, b)| dense::get_bit(&ds.words, ds.shape.bit(a, b))),
+                );
+            }
+        }
         Some(items.binary_search(&elem).is_ok())
     }
 
@@ -924,6 +1204,24 @@ impl ValueArena {
             let empty = self.empty_set();
             return Some((old, empty));
         }
+        if let Some((dold, dnew)) = self.dense_operands(old, &xs, new, &ys) {
+            self.count_dense_op();
+            let mut union = dold.words.clone();
+            if !dense::union_into(&mut union, &dnew.words) {
+                // new ⊆ old: fixpoint reached, the frontier is empty
+                let empty = self.empty_set();
+                return Some((old, empty));
+            }
+            let mut fresh = dnew.words.clone();
+            dense::difference_into(&mut fresh, &dold.words);
+            let union_vid = if dense::words_equal(&union, &dnew.words) {
+                new // old ⊆ new: the union is new itself
+            } else {
+                self.dense_materialise(dold.shape, union)
+            };
+            let fresh_vid = self.dense_materialise(dnew.shape, fresh);
+            return Some((union_vid, fresh_vid));
+        }
         let mut union = Vec::with_capacity(xs.len() + ys.len());
         let mut fresh = Vec::new();
         let (mut i, mut j) = (0, 0);
@@ -974,6 +1272,17 @@ impl ValueArena {
         if old == new {
             return Some(0);
         }
+        // read-only entry point: cached same-shape sidecars only
+        if self.dense_enabled {
+            if let (Some(Some(dold)), Some(Some(dnew))) =
+                (self.dense_lookup(old), self.dense_lookup(new))
+            {
+                if dold.shape == dnew.shape {
+                    self.count_dense_op();
+                    return Some(dense::delta_count(&dold.words, &dnew.words));
+                }
+            }
+        }
         let mut fresh: u64 = 0;
         let mut i = 0;
         for &y in ys.iter() {
@@ -1008,17 +1317,58 @@ impl ValueArena {
     pub fn set_merge_frontier(&mut self, base: VId, frontiers: &[VId]) -> Option<VId> {
         // validate everything up front so a non-set frontier refuses the
         // whole merge instead of silently dropping
-        self.as_set(base)?;
+        let base_items = self.as_set(base)?;
+        let mut frontier_items = Vec::with_capacity(frontiers.len());
         for &f in frontiers {
-            self.as_set(f)?;
+            frontier_items.push(self.as_set(f)?);
         }
         if frontiers.is_empty() {
             return Some(base);
+        }
+        // dense path: OR every frontier into the base words — one pass,
+        // no per-element interning. Frontiers densify against the
+        // base's shape (the hint), so small deltas still join in.
+        if self.dense_enabled {
+            if let Some(merged) =
+                self.dense_frontier_merge(base, &base_items, frontiers, &frontier_items)
+            {
+                return Some(merged);
+            }
         }
         let mut sets = Vec::with_capacity(frontiers.len() + 1);
         sets.push(base);
         sets.extend_from_slice(frontiers);
         self.set_from_sorted_merge(&sets)
+    }
+
+    /// The word-parallel body of [`ValueArena::set_merge_frontier`]:
+    /// `None` means "stay on the sorted path" (an operand would not
+    /// densify), never an error.
+    fn dense_frontier_merge(
+        &mut self,
+        base: VId,
+        base_items: &[VId],
+        frontiers: &[VId],
+        frontier_items: &[Arc<[VId]>],
+    ) -> Option<VId> {
+        let db = self.sidecar(base, base_items, None)?;
+        let shape = db.shape;
+        let mut words = db.words.clone();
+        let mut changed = false;
+        for (&f, items) in frontiers.iter().zip(frontier_items) {
+            let df = self.sidecar(f, items, Some(shape))?;
+            if df.shape != shape {
+                // a frontier cached under another stride/kind — rare;
+                // the sorted merge handles it
+                return None;
+            }
+            changed |= dense::union_into(&mut words, &df.words);
+        }
+        self.count_dense_op();
+        if !changed {
+            return Some(base);
+        }
+        Some(self.dense_materialise(shape, words))
     }
 
     /// Intern a binary relation `{(a, b), …}`.
@@ -1145,6 +1495,418 @@ impl ValueArena {
         }
         out.sort_unstable();
         Some(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Dense bitmap sidecars — the word-parallel representation layer.
+    //
+    // Canonical identity never changes: every set node keeps its sorted
+    // element spine, which is the dedup key and the source of
+    // size/depth/structural-hash. A *sidecar* (DenseSet) is derived,
+    // cached per node index, and consulted by the set algebra above:
+    // when both operands have (or can build) same-shape sidecars, the
+    // op becomes bitwise words + popcount and the result interns to
+    // exactly the VId the sorted merge would produce.
+    // ------------------------------------------------------------------
+
+    /// Whether the set algebra may take the dense word-parallel path.
+    pub fn dense_enabled(&self) -> bool {
+        self.dense_enabled
+    }
+
+    /// Enable/disable the dense representation (on by default). With it
+    /// off every operation stays on the sorted-merge path — results are
+    /// identical either way (same handles); this switch exists for the
+    /// dense-vs-sorted differentials and benchmarks.
+    pub fn set_dense_enabled(&mut self, on: bool) {
+        self.dense_enabled = on;
+    }
+
+    /// `(dense_ops, dense_promotions)` performed through this arena
+    /// handle: operations answered on the word-parallel path, and
+    /// sorted→dense promotions (sidecar builds + re-stridings). The
+    /// counters are cumulative; callers snapshot deltas.
+    pub fn dense_counters(&self) -> (u64, u64) {
+        (
+            self.dense_ops.load(Ordering::Relaxed),
+            self.dense_promotions.load(Ordering::Relaxed),
+        )
+    }
+
+    #[inline]
+    fn count_dense_op(&self) {
+        self.dense_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn count_dense_promotion(&self) {
+        self.dense_promotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current representation of a set node: `Dense` when a sidecar
+    /// is attached (and the dense path is enabled), `Sorted` otherwise.
+    /// `None` if `v` is not a set.
+    ///
+    /// ```
+    /// use nra_core::value::intern::{SetRepr, ValueArena};
+    ///
+    /// let mut a = ValueArena::new();
+    /// let r = a.relation((0..100).map(|i| (i, i + 1)));
+    /// assert!(matches!(a.set_repr(r), Some(SetRepr::Sorted(_))));
+    /// assert!(a.prepare_dense(r));
+    /// assert!(matches!(a.set_repr(r), Some(SetRepr::Dense(_))));
+    /// ```
+    pub fn set_repr(&self, v: VId) -> Option<SetRepr> {
+        let items = self.as_set(v)?;
+        if self.dense_enabled {
+            if let Some(Some(sc)) = self.dense_lookup(v) {
+                return Some(SetRepr::Dense(sc));
+            }
+        }
+        Some(SetRepr::Sorted(items))
+    }
+
+    /// Try to attach a dense sidecar to the set `v` (no-op if one is
+    /// already attached). Returns whether `v` is dense afterwards —
+    /// `false` for non-sets, for sets of anything but small-coordinate
+    /// atoms/pairs, and for sets too small or too sparse to pay for a
+    /// packed domain.
+    pub fn prepare_dense(&self, v: VId) -> bool {
+        if !self.dense_enabled {
+            return false;
+        }
+        let Some(items) = self.as_set(v) else {
+            return false;
+        };
+        self.sidecar(v, &items, None).is_some()
+    }
+
+    /// The packed-domain bound of `v`: `Some(max_coord + 1)` when `v`
+    /// is a set of small-coordinate nat atoms or nat-pair edges (every
+    /// coordinate below [`DENSE_MAX_COORD`]), `None` otherwise. The
+    /// empty set reports a domain of `1`.
+    ///
+    /// This inspects the *domain*, not the representation: it answers
+    /// whether `v` lives in the territory the dense layer can pack,
+    /// independent of whether a sidecar is attached or the dense path
+    /// is even enabled. Admission control uses it to price polynomial
+    /// queries over large relations by domain words instead of by
+    /// per-element §3 size (which saturates on thousands of edges).
+    pub fn dense_domain_cap(&self, v: VId) -> Option<u64> {
+        let items = self.as_set(v)?;
+        let mut max_coord = 0u64;
+        let mut is_atoms = None;
+        for &item in items.iter() {
+            let (a, b, atom) = if let Some(n) = self.as_nat(item) {
+                (n, 0, true)
+            } else if let Some((x, y)) = self.as_pair(item) {
+                match (self.as_nat(x), self.as_nat(y)) {
+                    (Some(a), Some(b)) => (a, b, false),
+                    _ => return None,
+                }
+            } else {
+                return None;
+            };
+            match is_atoms {
+                None => is_atoms = Some(atom),
+                Some(k) if k != atom => return None,
+                _ => {}
+            }
+            if a.max(b) >= DENSE_MAX_COORD {
+                return None;
+            }
+            max_coord = max_coord.max(a).max(b);
+        }
+        Some(if items.is_empty() { 1 } else { max_coord + 1 })
+    }
+
+    /// Cached sidecar verdict for a node: `None` — never checked;
+    /// `Some(None)` — checked, not densifiable; `Some(Some(_))` — built.
+    fn dense_lookup(&self, v: VId) -> Option<Option<Arc<DenseSet>>> {
+        let index = v.0;
+        match &self.backing {
+            Backing::Local(t) => t
+                .dense
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .sidecars
+                .get(&index)
+                .cloned(),
+            Backing::Shared(t) => t.dense_sidecars[index as usize & (DEDUP_SHARDS - 1)]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .get(&index)
+                .cloned(),
+        }
+    }
+
+    /// Record a sidecar (or a negative verdict) for a node, keeping the
+    /// word count in sync. Leaf lock on the shared backing — nothing
+    /// else is held while this runs.
+    fn dense_store(&self, v: VId, sidecar: Option<Arc<DenseSet>>) {
+        let index = v.0;
+        match &self.backing {
+            Backing::Local(t) => t
+                .dense
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .store(index, sidecar),
+            Backing::Shared(t) => {
+                let new_words = sidecar.as_ref().map_or(0, |s| s.words.len());
+                let old_words = t.dense_sidecars[index as usize & (DEDUP_SHARDS - 1)]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(index, sidecar)
+                    .flatten()
+                    .map_or(0, |s| s.words.len());
+                if new_words >= old_words {
+                    t.dense_words
+                        .fetch_add(new_words - old_words, Ordering::Relaxed);
+                } else {
+                    t.dense_words
+                        .fetch_sub(old_words - new_words, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Domain-map lookup: the handle of the element whose coordinates
+    /// hash to `key` (see [`atom_key`]/[`pair_key`]).
+    fn domain_get(&self, key: u64) -> Option<VId> {
+        match &self.backing {
+            Backing::Local(t) => t
+                .dense
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .domain
+                .get(&key)
+                .copied(),
+            Backing::Shared(t) => t.dense_domain
+                [(FxBuildHasher::default().hash_one(key) as usize) & (DEDUP_SHARDS - 1)]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .get(&key)
+                .copied(),
+        }
+    }
+
+    fn domain_insert(&self, key: u64, id: VId) {
+        match &self.backing {
+            Backing::Local(t) => {
+                t.dense
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .domain
+                    .insert(key, id);
+            }
+            Backing::Shared(t) => {
+                t.dense_domain
+                    [(FxBuildHasher::default().hash_one(key) as usize) & (DEDUP_SHARDS - 1)]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(key, id);
+            }
+        }
+    }
+
+    /// The sidecar of set `v`, building one if the representation
+    /// heuristic admits it. `hint` is the partner's shape at a merge
+    /// boundary: it waives the cardinality threshold (a small frontier
+    /// is worth densifying against a dense base) and fixes the stride
+    /// so the pair can word-op directly. Returns `None` to stay sorted.
+    fn sidecar(&self, v: VId, items: &[VId], hint: Option<DenseShape>) -> Option<Arc<DenseSet>> {
+        match self.dense_lookup(v) {
+            Some(Some(sc)) => return Some(sc),
+            // a recorded negative verdict is final for unhinted calls;
+            // a hinted build re-checks (the verdict may have been "too
+            // sparse for its own domain", which a partner's paid-for
+            // domain makes moot)
+            Some(None) if hint.is_none() => return None,
+            _ => {}
+        }
+        if hint.is_none() && items.len() < DENSE_MIN_CARD {
+            // not recorded: a later hinted build may still promote it
+            return None;
+        }
+        if items.is_empty() {
+            // only reachable hinted; borrow the partner's shape and do
+            // not cache — the empty set is shapeless
+            return Some(Arc::new(DenseSet {
+                shape: hint.expect("empty sets are below DENSE_MIN_CARD"),
+                words: Vec::new(),
+            }));
+        }
+        // decode: all atoms, or all pairs of atoms, under the coordinate cap
+        let mut decoded: Vec<(u64, u64)> = Vec::with_capacity(items.len());
+        let mut is_atoms = false;
+        let mut max_coord = 0u64;
+        for (i, &item) in items.iter().enumerate() {
+            let (a, b, atom) = if let Some(n) = self.as_nat(item) {
+                (n, 0, true)
+            } else if let Some((x, y)) = self.as_pair(item) {
+                match (self.as_nat(x), self.as_nat(y)) {
+                    (Some(a), Some(b)) => (a, b, false),
+                    _ => {
+                        self.dense_store(v, None);
+                        return None;
+                    }
+                }
+            } else {
+                self.dense_store(v, None);
+                return None;
+            };
+            if i == 0 {
+                is_atoms = atom;
+            } else if is_atoms != atom {
+                self.dense_store(v, None);
+                return None;
+            }
+            if a.max(b) >= DENSE_MAX_COORD {
+                self.dense_store(v, None);
+                return None;
+            }
+            max_coord = max_coord.max(a).max(b);
+            decoded.push((a, b));
+        }
+        let shape = if is_atoms {
+            if matches!(hint, Some(DenseShape::Pairs { .. })) {
+                return None; // kind mismatch with the partner, not a verdict on v
+            }
+            DenseShape::Atoms
+        } else {
+            let needed = u32::try_from((max_coord + 1).next_power_of_two())
+                .expect("coordinates are below DENSE_MAX_COORD");
+            match hint {
+                Some(DenseShape::Atoms) => return None,
+                Some(DenseShape::Pairs { stride }) => {
+                    if needed > stride {
+                        return None; // v outgrows the partner's domain
+                    }
+                    DenseShape::Pairs { stride }
+                }
+                None => DenseShape::Pairs { stride: needed },
+            }
+        };
+        let mut words: Vec<u64> = Vec::new();
+        for &(a, b) in &decoded {
+            dense::set_bit(&mut words, shape.bit(a, b));
+        }
+        // the density heuristic: the packed domain must be within a
+        // constant factor of the element count, or the words don't pay
+        // for themselves (hinted builds skip it — the partner already
+        // paid for the domain)
+        if hint.is_none() && words.len() > 8 * items.len() + 64 {
+            self.dense_store(v, None);
+            return None;
+        }
+        for (&item, &(a, b)) in items.iter().zip(&decoded) {
+            let key = if is_atoms {
+                atom_key(a)
+            } else {
+                pair_key(a, b)
+            };
+            self.domain_insert(key, item);
+        }
+        let sc = Arc::new(DenseSet { shape, words });
+        self.dense_store(v, Some(Arc::clone(&sc)));
+        self.count_dense_promotion();
+        Some(sc)
+    }
+
+    /// Re-pack a pair sidecar onto a wider stride (the promotion that
+    /// reconciles two dense operands whose domains grew apart).
+    fn restride(&self, v: VId, sc: &DenseSet, stride: u32) -> Arc<DenseSet> {
+        let shape = DenseShape::Pairs { stride };
+        let mut words: Vec<u64> = Vec::new();
+        for bit in dense::iter_ones(&sc.words) {
+            let (a, b) = sc.shape.coords(bit);
+            dense::set_bit(&mut words, shape.bit(a, b));
+        }
+        let arc = Arc::new(DenseSet { shape, words });
+        self.dense_store(v, Some(Arc::clone(&arc)));
+        self.count_dense_promotion();
+        arc
+    }
+
+    /// Both operands of a binary set op as *same-shape* sidecars, or
+    /// `None` to stay on the sorted path. The larger operand leads (it
+    /// must justify a domain on its own); the smaller densifies against
+    /// its shape; mismatched pair strides reconcile by re-striding the
+    /// narrower one.
+    fn dense_operands(
+        &self,
+        a: VId,
+        xs: &[VId],
+        b: VId,
+        ys: &[VId],
+    ) -> Option<(Arc<DenseSet>, Arc<DenseSet>)> {
+        if !self.dense_enabled {
+            return None;
+        }
+        let (mut da, mut db);
+        if xs.len() >= ys.len() {
+            da = self.sidecar(a, xs, None)?;
+            db = self.sidecar(b, ys, Some(da.shape))?;
+        } else {
+            db = self.sidecar(b, ys, None)?;
+            da = self.sidecar(a, xs, Some(db.shape))?;
+        }
+        match (da.shape, db.shape) {
+            (DenseShape::Atoms, DenseShape::Atoms) => {}
+            (DenseShape::Pairs { stride: sa }, DenseShape::Pairs { stride: sb }) => {
+                if sa < sb {
+                    da = self.restride(a, &da, sb);
+                } else if sb < sa {
+                    db = self.restride(b, &db, sa);
+                }
+            }
+            _ => return None, // cached sidecars of different kinds
+        }
+        Some((da, db))
+    }
+
+    /// Intern the set a dense word computation produced. Every set bit
+    /// maps back to its element handle through the domain map (falling
+    /// back to interning the decoded element, which dedup-hits), the
+    /// handles are sorted into the canonical spine order, and the spine
+    /// interns as usual — so the result `VId` is exactly what the
+    /// sorted merge would have produced. The words are attached to the
+    /// result as its sidecar.
+    fn dense_materialise(&mut self, shape: DenseShape, mut words: Vec<u64>) -> VId {
+        if dense::popcount(&words) == 0 {
+            return self.empty_set();
+        }
+        let mut items: Vec<VId> = Vec::new();
+        for bit in dense::iter_ones(&words) {
+            let (a, b) = shape.coords(bit);
+            let key = match shape {
+                DenseShape::Atoms => atom_key(a),
+                DenseShape::Pairs { .. } => pair_key(a, b),
+            };
+            let id = match self.domain_get(key) {
+                Some(id) => id,
+                None => {
+                    // result bits come from registered operand bits, but
+                    // re-interning is always a safe (dedup-hit) fallback
+                    let id = match shape {
+                        DenseShape::Atoms => self.nat(a),
+                        DenseShape::Pairs { .. } => self.edge(a, b),
+                    };
+                    self.domain_insert(key, id);
+                    id
+                }
+            };
+            items.push(id);
+        }
+        items.sort_unstable();
+        let out = self.add_canonical_set(items);
+        if !matches!(self.dense_lookup(out), Some(Some(_))) {
+            while words.last() == Some(&0) {
+                words.pop();
+            }
+            self.dense_store(out, Some(Arc::new(DenseSet { shape, words })));
+        }
+        out
     }
 }
 
@@ -1719,5 +2481,176 @@ mod tests {
         let tc = a.chain_tc(3);
         assert_eq!(a.resolve(tc), Value::chain_tc(3));
         assert_eq!(a.to_edges(tc).unwrap().len(), 6);
+    }
+
+    /// A pseudo-random relation big enough to clear [`DENSE_MIN_CARD`].
+    fn sample_relation(arena: &mut ValueArena, seed: u64, n: u64) -> VId {
+        let mut state = seed;
+        let edges: Vec<(u64, u64)> = (0..4 * n)
+            .map(|_| {
+                state = mix(state.wrapping_add(0x9E37_79B9_7F4A_7C15));
+                (state % n, (state >> 32) % n)
+            })
+            .collect();
+        arena.relation(edges)
+    }
+
+    #[test]
+    fn dense_ops_intern_to_the_sorted_handles() {
+        // two arenas — dense on vs off — must issue identical handle
+        // sequences for the same op trace, because the dense path
+        // interns exactly the set the sorted merge would
+        for seed in [1u64, 7, 99] {
+            let mut on = ValueArena::new();
+            let mut off = ValueArena::new();
+            off.set_dense_enabled(false);
+            for arena in [&mut on, &mut off] {
+                let x = sample_relation(arena, seed, 64);
+                let y = sample_relation(arena, seed ^ 0xABCD, 64);
+                arena.prepare_dense(x);
+                arena.prepare_dense(y);
+                let u = arena.set_union(x, y).unwrap();
+                let i = arena.set_intersection(x, y).unwrap();
+                let d = arena.set_difference(x, y).unwrap();
+                let (m, fresh) = arena.set_merge_delta(x, y).unwrap();
+                let f = arena.set_merge_frontier(x, &[y, d]).unwrap();
+                assert_eq!(arena.is_subset(i, x), Some(true));
+                assert_eq!(arena.is_subset(u, x), Some(u == x));
+                assert_eq!(
+                    arena.set_delta_cardinality(x, y),
+                    Some(arena.cardinality(fresh).unwrap() as u64)
+                );
+                assert_eq!(u, m);
+                assert_eq!(f, u);
+                // results resolve to the same trees either way
+                let _ = (u, i, d, m, fresh, f);
+            }
+            // identical traces ⇒ identical arena contents
+            assert_eq!(on.len(), off.len());
+            for raw in 0..on.len() {
+                let v = VId::from_index(raw);
+                assert_eq!(
+                    on.structural_hash(v),
+                    off.structural_hash(v),
+                    "node {raw} diverged between dense and sorted (seed {seed})"
+                );
+            }
+            let (ops, promotions) = on.dense_counters();
+            assert!(ops > 0, "dense path never taken (seed {seed})");
+            assert!(promotions > 0, "no promotion recorded (seed {seed})");
+            assert_eq!(off.dense_counters(), (0, 0));
+        }
+    }
+
+    #[test]
+    fn dense_respects_the_representation_heuristic() {
+        let mut a = ValueArena::new();
+        // tiny sets stay sorted on their own…
+        let small = a.relation([(1, 0), (2, 1)]);
+        assert!(!a.prepare_dense(small));
+        assert!(matches!(a.set_repr(small), Some(SetRepr::Sorted(_))));
+        // …but densify against a dense partner (the hint waives the
+        // cardinality threshold), so the merge still goes word-parallel
+        let big = a.relation((0..100).map(|i| (i, i + 1)));
+        assert!(a.prepare_dense(big));
+        let ops_before = a.dense_counters().0;
+        let u = a.set_union(big, small).unwrap();
+        assert!(
+            a.dense_counters().0 > ops_before,
+            "hinted merge stayed sorted"
+        );
+        assert_eq!(a.cardinality(u), Some(102));
+        // coordinates beyond the cap are never densified
+        let wide = a.relation((0..100).map(|i| (i * 1_000_000, i)));
+        assert!(!a.prepare_dense(wide));
+        // atom sets densify with the Atoms shape
+        let nats: Vec<VId> = (0..200).map(|i| a.nat(i)).collect();
+        let atom_set = a.set(nats);
+        assert!(a.prepare_dense(atom_set));
+        assert!(matches!(
+            a.set_repr(atom_set),
+            Some(SetRepr::Dense(ds)) if ds.shape() == DenseShape::Atoms
+        ));
+        // non-sets have no representation
+        let n = a.nat(3);
+        assert!(a.set_repr(n).is_none());
+        assert!(!a.prepare_dense(n));
+    }
+
+    #[test]
+    fn dense_restride_reconciles_grown_domains() {
+        let mut a = ValueArena::new();
+        // stride 128 domain vs stride 512 domain
+        let narrow = a.relation((0..70).map(|i| (i, i + 1)));
+        let wide = a.relation((0..300).map(|i| (i, i + 1)));
+        assert!(a.prepare_dense(narrow));
+        assert!(a.prepare_dense(wide));
+        let promotions_before = a.dense_counters().1;
+        let u = a.set_union(narrow, wide).unwrap();
+        assert_eq!(u, wide, "narrow ⊆ wide: union is wide itself");
+        assert!(
+            a.dense_counters().1 > promotions_before,
+            "stride reconciliation should re-stride the narrow sidecar"
+        );
+    }
+
+    #[test]
+    fn dense_words_are_charged_not_elements() {
+        let mut a = ValueArena::new();
+        let r = a.relation((0..200).map(|i| (i, i + 1)));
+        let before = a.approx_resident_bytes();
+        assert_eq!(a.stats().dense_words, 0);
+        assert!(a.prepare_dense(r));
+        let words = a.stats().dense_words;
+        assert!(words > 0);
+        assert_eq!(
+            a.approx_resident_bytes(),
+            before + words * std::mem::size_of::<u64>(),
+            "sidecars are charged by packed words"
+        );
+        a.clear();
+        assert_eq!(a.stats().dense_words, 0);
+    }
+
+    #[test]
+    fn dense_survives_migration_to_the_shared_store() {
+        let mut a = ValueArena::new();
+        let x = sample_relation(&mut a, 42, 96);
+        assert!(a.prepare_dense(x));
+        let words = a.stats().dense_words;
+        a.make_shared();
+        assert_eq!(
+            a.stats().dense_words,
+            words,
+            "sidecars migrate with their indices"
+        );
+        assert!(matches!(a.set_repr(x), Some(SetRepr::Dense(_))));
+        // dense algebra keeps working across clones of the shared store
+        let mut clone = a.shared_clone().unwrap();
+        let y = sample_relation(&mut clone, 43, 96);
+        clone.prepare_dense(y);
+        let u_clone = clone.set_union(x, y).unwrap();
+        let u_orig = a.set_union(x, y).unwrap();
+        assert_eq!(u_clone, u_orig, "canonical handles across clones");
+        assert!(clone.dense_counters().0 > 0);
+    }
+
+    #[test]
+    fn dense_contains_probes_bits() {
+        let mut a = ValueArena::new();
+        let r = a.relation((0..100).map(|i| (i, i + 1)));
+        let inside = a.edge(5, 6);
+        let outside = a.edge(6, 5);
+        let not_a_pair = a.nat(7);
+        // sorted answers first…
+        assert_eq!(a.set_contains(r, inside), Some(true));
+        assert_eq!(a.set_contains(r, outside), Some(false));
+        // …and identical dense answers once the sidecar is attached
+        assert!(a.prepare_dense(r));
+        let ops = a.dense_counters().0;
+        assert_eq!(a.set_contains(r, inside), Some(true));
+        assert_eq!(a.set_contains(r, outside), Some(false));
+        assert_eq!(a.set_contains(r, not_a_pair), Some(false));
+        assert_eq!(a.dense_counters().0, ops + 3);
     }
 }

@@ -227,6 +227,9 @@ pub fn evaluate(expr: &Expr, input: &Value, config: &EvalConfig) -> Evaluation {
 /// ```
 pub fn evaluate_vid(expr: &Expr, input: VId, config: &EvalConfig) -> VidEvaluation {
     let mut ctx = Ctx::new(config);
+    // cumulative per-arena counters: the delta across the call is what
+    // this evaluation spent on the word-parallel dense path
+    let (dense_ops0, dense_promotions0) = intern::with_arena(|va| va.dense_counters());
     let result = if config.memo || config.semi_naive || config.compiled {
         // the cached routes walk the interned expression, so the
         // (EId, VId) pair is available as the apply-cache key — and the
@@ -257,10 +260,11 @@ pub fn evaluate_vid(expr: &Expr, input: VId, config: &EvalConfig) -> VidEvaluati
     } else {
         intern::with_arena(|va| eval_vid(expr, input, &mut ctx, va))
     };
-    VidEvaluation {
-        result,
-        stats: ctx.finish(),
-    }
+    let (dense_ops1, dense_promotions1) = intern::with_arena(|va| va.dense_counters());
+    let mut stats = ctx.finish();
+    stats.dense_ops = dense_ops1 - dense_ops0;
+    stats.dense_promotions = dense_promotions1 - dense_promotions0;
+    VidEvaluation { result, stats }
 }
 
 /// Evaluate with the default (unbudgeted) configuration, discarding stats.

@@ -336,6 +336,7 @@ impl EvalSession {
         let eid = self.optimise_eid(eid);
         self.memo.begin_query(&mut self.exprs, true);
         let mut ctx = Ctx::new(&self.config);
+        let (dense_ops0, dense_promotions0) = self.values.dense_counters();
         let result = if self.config.compiled {
             // compile once per (root, switches) within a generation,
             // execute the flat program on this and every warm re-eval
@@ -346,7 +347,10 @@ impl EvalSession {
             let MemoState { nodes, caches, .. } = &mut self.memo;
             eager::eval_eid(eid, input, &mut ctx, nodes, caches, &mut self.values)
         };
-        let stats = ctx.finish();
+        let mut stats = ctx.finish();
+        let (dense_ops1, dense_promotions1) = self.values.dense_counters();
+        stats.dense_ops = dense_ops1 - dense_ops0;
+        stats.dense_promotions = dense_promotions1 - dense_promotions0;
         self.absorb(&stats);
         VidEvaluation { result, stats }
     }

@@ -14,7 +14,15 @@
 use std::collections::BTreeMap;
 
 /// Statistics of one eager evaluation, in the sense of §3.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Equality deliberately ignores the `dense_ops`/`dense_promotions`
+/// counters (see the manual [`PartialEq`] impl): whether a set-algebra
+/// op took the word-parallel dense path is a representation detail of
+/// the arena, not of the derivation, and the differential suites assert
+/// stats equality across backends that do and don't have an arena at
+/// all. Everything a §3 derivation determines — sizes, node counts,
+/// rule counters, frontiers — still compares exactly.
+#[derive(Debug, Clone, Default, Eq)]
 pub struct EvalStats {
     /// The paper's complexity: the size of the largest complex object
     /// occurring anywhere in the derivation tree.
@@ -67,6 +75,34 @@ pub struct EvalStats {
     /// Recorded only under `EvalConfig::semi_naive`, and only for
     /// set-valued iterates.
     pub while_frontiers: Vec<u64>,
+    /// Set-algebra operations served by the arena's word-parallel dense
+    /// bitmap path (union/intersection/difference/subset/contains/
+    /// merge) during this evaluation. Excluded from equality: a
+    /// representation counter, not a derivation fact.
+    pub dense_ops: u64,
+    /// Dense sidecars built by the arena during this evaluation —
+    /// promotions of a sorted spine to the packed-words representation
+    /// (including stride-widening re-promotions). Excluded from
+    /// equality, like `dense_ops`.
+    pub dense_promotions: u64,
+}
+
+impl PartialEq for EvalStats {
+    fn eq(&self, other: &Self) -> bool {
+        // every field except dense_ops / dense_promotions
+        self.max_object_size == other.max_object_size
+            && self.nodes == other.nodes
+            && self.total_size == other.total_size
+            && self.max_set_cardinality == other.max_set_cardinality
+            && self.rule_counts == other.rule_counts
+            && self.while_iterations == other.while_iterations
+            && self.memo_hits == other.memo_hits
+            && self.memo_misses == other.memo_misses
+            && self.warm_hits == other.warm_hits
+            && self.delta_hits == other.delta_hits
+            && self.delta_skipped == other.delta_skipped
+            && self.while_frontiers == other.while_frontiers
+    }
 }
 
 impl EvalStats {
@@ -111,6 +147,19 @@ mod tests {
         assert_eq!(s.max_object_size, 5);
         assert_eq!(s.total_size, 12);
         assert_eq!(s.max_set_cardinality, 7);
+    }
+
+    #[test]
+    fn equality_ignores_dense_counters() {
+        let mut a = EvalStats::default();
+        let b = EvalStats {
+            dense_ops: 17,
+            dense_promotions: 3,
+            ..EvalStats::default()
+        };
+        assert_eq!(a, b, "dense_* are representation, not derivation");
+        a.nodes = 1;
+        assert_ne!(a, b, "derivation fields still compare");
     }
 
     #[test]

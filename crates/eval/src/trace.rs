@@ -173,6 +173,7 @@ pub(crate) fn trace_with(
     va: &mut ValueArena,
 ) -> TracedEvaluation {
     let mut ctx = Ctx::new(config);
+    let (dense_ops0, dense_promotions0) = va.dense_counters();
     let iv = va.intern(input);
     let eid = ea.intern(expr);
     let mut memo: Option<TraceMemo> = config.memo.then(TraceMemo::default);
@@ -184,10 +185,11 @@ pub(crate) fn trace_with(
     drop(delta);
     let result =
         traced.map(|(node, _)| Rc::try_unwrap(node).unwrap_or_else(|shared| (*shared).clone()));
-    TracedEvaluation {
-        result,
-        stats: ctx.finish(),
-    }
+    let mut stats = ctx.finish();
+    let (dense_ops1, dense_promotions1) = va.dense_counters();
+    stats.dense_ops = dense_ops1 - dense_ops0;
+    stats.dense_promotions = dense_promotions1 - dense_promotions0;
+    TracedEvaluation { result, stats }
 }
 
 /// One derivation node over the *interned* expression: returns the

@@ -14,7 +14,13 @@ pub mod digraph;
 pub mod encode;
 pub mod tc;
 
+/// The arena-native word-parallel primitives ([`nra_core::value::dense`])
+/// re-exported as this crate's bit-twiddling vocabulary: [`BitSet`] and
+/// the closure algorithms in [`mod@tc`] delegate to these, so the graph layer
+/// carries no private duplicate of the word ops.
+pub use nra_core::value::dense;
+
 pub use bitset::BitSet;
 pub use digraph::DiGraph;
 pub use encode::{graph_to_value, graph_to_vid, value_to_graph, vid_to_graph};
-pub use tc::{bfs_per_source, semi_naive, tc, warshall};
+pub use tc::{bfs_per_source, semi_naive, tc, tc_arena, warshall};

@@ -2,16 +2,22 @@
 //! against which every `NRA(powerset)` evaluation is checked, and the
 //! baselines of experiment E3.
 //!
-//! Three algorithms with different complexity profiles:
+//! Four algorithms with different complexity profiles:
 //! * [`warshall`] — dense bitset Warshall, `O(V³/64)`;
 //! * [`semi_naive`] — delta-driven datalog-style iteration, the classical
 //!   implementation of the paper's `while` query;
-//! * [`bfs_per_source`] — `O(V·(V+E))` adjacency-list search.
+//! * [`bfs_per_source`] — `O(V·(V+E))` adjacency-list search;
+//! * [`tc_arena`] — closure of an *interned* relation, choosing its route
+//!   by the arena's dense switch: word-parallel bitmap Warshall over the
+//!   shared [`dense`] primitives when on, sorted
+//!   arena merges when off — identical closure `VId` either way.
 //!
-//! All three agree (property-tested); `tc` picks the BFS variant.
+//! All agree (property-tested); `tc` picks the BFS variant.
 
 use crate::bitset::BitSet;
 use crate::digraph::DiGraph;
+use nra_core::value::dense;
+use nra_core::value::intern::{VId, ValueArena};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Transitive closure via per-source BFS (the default).
@@ -91,6 +97,106 @@ pub fn bfs_per_source(g: &DiGraph) -> DiGraph {
         }
     }
     DiGraph::from_edges(out)
+}
+
+/// Transitive closure of an interned relation `{N × N}`, computed in the
+/// representation the arena is configured for and returned as the
+/// canonical interned closure handle. `None` if `rel` is not a relation
+/// of nat pairs.
+///
+/// With [`ValueArena::dense_enabled`] the closure runs as word-parallel
+/// bitmap Warshall (`O(V³/64)` over the shared
+/// [`dense`] primitives, node ids compacted
+/// first) and the result set is interned **once** at the end — no
+/// per-round interning at all. With dense off it runs the classical
+/// semi-naive iteration, interning each frontier and folding it in by
+/// the arena's sorted-spine merges — the sorted rung the dense route is
+/// benchmarked against. Canonical dedup guarantees both routes return
+/// the *same* `VId` for the same input, which the differential suites
+/// assert across all graph families.
+///
+/// ```
+/// use nra_core::value::intern::ValueArena;
+/// use nra_graph::tc_arena;
+///
+/// let mut va = ValueArena::new();
+/// let r = va.chain(100);
+/// let closure = tc_arena(&mut va, r).unwrap();
+/// assert_eq!(closure, va.chain_tc(100));
+/// ```
+pub fn tc_arena(va: &mut ValueArena, rel: VId) -> Option<VId> {
+    let edges = va.to_edges(rel)?;
+    if edges.is_empty() {
+        return Some(rel); // the closure of the empty relation is itself
+    }
+    if va.dense_enabled() {
+        Some(va.relation(dense_closure(&edges)))
+    } else {
+        sorted_closure_arena(va, rel, &edges)
+    }
+}
+
+/// Bitmap Warshall over compacted node indices: bit `j` of row `i` means
+/// an `i → j` path. Pure word arithmetic — the per-element costs (decode
+/// and the one final intern) live in [`tc_arena`].
+fn dense_closure(edges: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut nodes: Vec<u64> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let idx = |v: u64| nodes.binary_search(&v).expect("node was collected");
+    let n = nodes.len();
+    let mut rows: Vec<Vec<u64>> = vec![vec![0u64; dense::words_for_bits(n)]; n];
+    for &(a, b) in edges {
+        dense::set_bit(&mut rows[idx(a)], idx(b));
+    }
+    for k in 0..n {
+        // a clone of row k is enough: within iteration k the row only
+        // ever absorbs itself (a no-op), exactly as in [`warshall`]
+        let row_k = rows[k].clone();
+        for row in rows.iter_mut() {
+            if dense::get_bit(row, k) {
+                dense::union_into(row, &row_k);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        out.extend(dense::iter_ones(row).map(|j| (nodes[i], nodes[j])));
+    }
+    out
+}
+
+/// Semi-naive closure on sorted arena spines: each round's new pairs are
+/// interned as a frontier relation and folded into the accumulator with
+/// [`ValueArena::set_union`] — per-element interning plus an `O(|acc|)`
+/// sorted merge per round, the honest cost profile of the sorted
+/// representation.
+fn sorted_closure_arena(va: &mut ValueArena, rel: VId, edges: &[(u64, u64)]) -> Option<VId> {
+    let mut succ: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for &(a, b) in edges {
+        succ.entry(a).or_default().push(b);
+    }
+    let mut seen: BTreeSet<(u64, u64)> = edges.iter().copied().collect();
+    let mut acc = rel;
+    let mut delta: Vec<(u64, u64)> = edges.to_vec();
+    while !delta.is_empty() {
+        let mut next: Vec<(u64, u64)> = Vec::new();
+        for &(a, b) in &delta {
+            if let Some(outs) = succ.get(&b) {
+                for &c in outs {
+                    if seen.insert((a, c)) {
+                        next.push((a, c));
+                    }
+                }
+            }
+        }
+        if !next.is_empty() {
+            let frontier = va.relation(next.iter().copied());
+            acc = va.set_union(acc, frontier)?;
+        }
+        delta = next;
+    }
+    Some(acc)
 }
 
 /// Number of semi-naive rounds needed (the `while` iteration count is
@@ -179,6 +285,52 @@ mod tests {
         assert_eq!(semi_naive_rounds(&DiGraph::chain(1)), 1);
         assert!(semi_naive_rounds(&DiGraph::chain(8)) >= 7);
         assert_eq!(semi_naive_rounds(&DiGraph::new()), 0);
+    }
+
+    #[test]
+    fn tc_arena_routes_agree_with_the_classical_algorithms() {
+        for seed in 0..10 {
+            let g = DiGraph::random(12, 0.15, seed);
+            let expect = tc(&g);
+            // one arena, both routes: canonical dedup must hand the two
+            // closures the *same* interned handle
+            let mut va = ValueArena::new();
+            let rel = va.relation(g.edges());
+            va.set_dense_enabled(false);
+            let c_sorted = tc_arena(&mut va, rel).unwrap();
+            va.set_dense_enabled(true);
+            let c_dense = tc_arena(&mut va, rel).unwrap();
+            assert_eq!(
+                c_dense, c_sorted,
+                "seed {seed}: dense and sorted routes split"
+            );
+            let got = DiGraph::from_edges(va.to_edges(c_dense).unwrap());
+            assert_eq!(got, expect, "seed {seed}: tc_arena vs BFS closure");
+        }
+    }
+
+    #[test]
+    fn tc_arena_edge_cases() {
+        let mut va = ValueArena::new();
+        let empty = va.relation([]);
+        assert_eq!(tc_arena(&mut va, empty), Some(empty));
+        let nat = va.nat(3);
+        assert_eq!(tc_arena(&mut va, nat), None, "not a relation");
+        let loops = va.relation([(3, 3)]);
+        assert_eq!(tc_arena(&mut va, loops), Some(loops));
+        // ids beyond the dense coordinate bound still close correctly
+        // (the Warshall rows index *compacted* ids, not raw labels)
+        let wide = va.relation([(1_000_000, 2_000_000), (2_000_000, 3_000_000)]);
+        let c = tc_arena(&mut va, wide).unwrap();
+        let got: BTreeSet<(u64, u64)> = va.to_edges(c).unwrap().into_iter().collect();
+        let expect: BTreeSet<(u64, u64)> = [
+            (1_000_000, 2_000_000),
+            (1_000_000, 3_000_000),
+            (2_000_000, 3_000_000),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

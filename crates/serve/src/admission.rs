@@ -234,11 +234,30 @@ pub fn admit(
             // powerset-free: admitted by class (the Lemma 5.8 dichotomy —
             // no exponential blow-up is expressible); budget = structural
             // envelope, clamped where the while rule saturated
-            let clamp = size
+            let mut clamp = size
                 .max(2)
                 .saturating_pow((*degree).min(policy.poly_budget_degree))
                 .saturating_mul(64)
                 .saturating_add(4096);
+            // Inputs living in a bounded packed domain (sets of
+            // small-coordinate atoms or edges — the dense layer's
+            // territory) are priced by domain words instead: a relation
+            // over `d` nodes has at most `d²` edges, and a polynomial
+            // route's intermediates (joins of two such relations) stay
+            // within `d⁴` elements, so `d⁴·64` §3 units cover them with
+            // the same ×64 headroom the structural clamp carries. The
+            // per-element clamp saturates on large graphs (thousands of
+            // edges raised to the structural degree overflows), which
+            // would declare a meaningless budget exactly where serving
+            // large-graph TC matters.
+            if let Some(d) = session.values().dense_domain_cap(input) {
+                let by_domain_words = d
+                    .max(2)
+                    .saturating_pow(4)
+                    .saturating_mul(64)
+                    .saturating_add(4096);
+                clamp = clamp.min(by_domain_words);
+            }
             AdmissionDecision::Admitted(Admitted {
                 budget: (*upper_bound).min(clamp),
                 predicted: (*upper_bound).min(clamp),

@@ -23,7 +23,7 @@ use nra_core::{queries, Expr, Value};
 use nra_eval::{EvalConfig, EvalSession};
 use nra_serve::{admit, AdmissionDecision, AdmissionPolicy};
 use nra_symbolic::SpaceVerdict;
-use nra_testkit::{check, graphs};
+use nra_testkit::{check, graphs, Rng};
 
 /// The serving zoo: both dichotomy classes, all answered by the engine.
 fn serving_zoo() -> Vec<Expr> {
@@ -106,6 +106,133 @@ fn every_admitted_query_evaluates_within_its_declared_budget() {
             }
         }
     });
+}
+
+/// The powerset-free half of the serving zoo — the only queries that
+/// are feasible to *run* on the large-graph families.
+fn polynomial_zoo() -> Vec<Expr> {
+    vec![
+        queries::tc_while(),
+        queries::tc_step(),
+        queries::compose_rel(),
+        queries::siblings_direct(),
+    ]
+}
+
+#[test]
+fn large_graph_families_evaluate_within_domain_word_budgets() {
+    // Small instances of the three large-graph families (road grid,
+    // power law, two communities): the polynomial zoo must be admitted
+    // with the domain-word budget and actually evaluate inside it —
+    // the same soundness contract the ≤8-edge sweep enforces, extended
+    // to the families the dense layer was built for.
+    let policy = AdmissionPolicy::default();
+    let zoo = polynomial_zoo();
+    check("admission_large_families", 2, |seed, rng| {
+        for g in graphs::large_family_graphs(rng, 16) {
+            let input = Value::relation(g.edges.iter().copied());
+            for q in &zoo {
+                let mut session = EvalSession::new(EvalConfig::optimised());
+                let eid = session.intern_expr(q);
+                let vid = session.intern_value(&input);
+                let admitted = match admit(&mut session, eid, vid, &policy) {
+                    AdmissionDecision::Admitted(a) => a,
+                    AdmissionDecision::Rejected(r) => panic!(
+                        "[{}] seed {seed}: polynomial-class {q} rejected: {}",
+                        g.family, r.reason
+                    ),
+                };
+                assert!(
+                    admitted.budget < u64::MAX,
+                    "[{}] seed {seed}: {q} budget saturated",
+                    g.family
+                );
+                let ev = session.eval_vid_budgeted(eid, vid, Some(admitted.budget));
+                let out = match ev.result {
+                    Ok(out) => out,
+                    Err(e) => panic!(
+                        "[{}] seed {seed}: admitted {q} failed under its declared \
+                         budget {}: {e}",
+                        g.family, admitted.budget
+                    ),
+                };
+                let mut reference = EvalSession::new(EvalConfig::default());
+                let qr = reference.intern_expr(q);
+                let vr = reference.intern_value(&input);
+                let expect = reference
+                    .eval_vid(qr, vr)
+                    .result
+                    .expect("reference evaluation of a large-family instance");
+                assert_eq!(
+                    session.resolve(out),
+                    reference.resolve(expect),
+                    "[{}] seed {seed}: budgeted result diverged for {q}",
+                    g.family
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn serving_scale_inputs_get_finite_polynomial_budgets_and_reject_powerset_routes() {
+    // At serving scale (n = 512, ≥ 512 edges) the per-element structural
+    // clamp saturates — `size^degree` overflows on thousands of §3 units
+    // — so admission prices by domain words instead. Polynomial queries
+    // must come back with a *finite, meaningful* budget without any
+    // evaluation, and the powerset routes must be turned away purely by
+    // prediction (the probe sizes `powerset(r)` combinatorially; nothing
+    // exponential ever runs).
+    let policy = AdmissionPolicy::default();
+    let mut rng = Rng::new(7);
+    for g in graphs::large_family_graphs(&mut rng, 512) {
+        let input = Value::relation(g.edges.iter().copied());
+        for q in &polynomial_zoo() {
+            let mut session = EvalSession::new(EvalConfig::optimised());
+            let eid = session.intern_expr(q);
+            let vid = session.intern_value(&input);
+            match admit(&mut session, eid, vid, &policy) {
+                AdmissionDecision::Admitted(a) => {
+                    // d ≤ 512 ⇒ the domain-word clamp is ≤ 512⁴·64 + 4096
+                    let cap = 512u64.pow(4) * 64 + 4096;
+                    assert!(
+                        a.budget <= cap,
+                        "[{}] {q}: budget {} above the domain-word cap {cap}",
+                        g.family,
+                        a.budget
+                    );
+                    assert!(
+                        matches!(a.verdict, SpaceVerdict::Polynomial { .. }),
+                        "[{}] {q}: {:?}",
+                        g.family,
+                        a.verdict
+                    );
+                }
+                AdmissionDecision::Rejected(r) => panic!(
+                    "[{}] polynomial-class {q} rejected at serving scale: {}",
+                    g.family, r.reason
+                ),
+            }
+        }
+        for q in [queries::tc_paths(), queries::tc_naive()] {
+            let mut session = EvalSession::new(EvalConfig::optimised());
+            let eid = session.intern_expr(&q);
+            let vid = session.intern_value(&input);
+            match admit(&mut session, eid, vid, &policy) {
+                AdmissionDecision::Rejected(r) => assert!(
+                    r.reason.contains("exceeds the serving ceiling")
+                        || r.reason.contains("cannot be certified"),
+                    "[{}] {q}: unexpected rejection text: {}",
+                    g.family,
+                    r.reason
+                ),
+                AdmissionDecision::Admitted(a) => panic!(
+                    "[{}] powerset route {q} admitted at serving scale with budget {}",
+                    g.family, a.budget
+                ),
+            }
+        }
+    }
 }
 
 #[test]

@@ -9,9 +9,13 @@
 //! Harnesses lift an edge list into whatever graph/value representation
 //! they test (`DiGraph::from_edges`, `Value::relation`, …).
 //!
-//! Every family is edge-count-bounded (≤ 8): the powerset route costs
-//! `2^|edges|`, so an unbounded tail would make unlucky seeds
-//! pathologically slow.
+//! Every family in [`family_graphs`] is edge-count-bounded (≤ 8): the
+//! powerset route costs `2^|edges|`, so an unbounded tail would make
+//! unlucky seeds pathologically slow. The *large* families
+//! ([`road_grid`], [`power_law`], [`two_community`], swept by
+//! [`large_family_graphs`] at the [`LARGE_SIZES`]) deliberately break
+//! that bound — thousands of edges, to exercise the arena's dense
+//! bitmap representation — and must only ever meet polynomial routes.
 
 use crate::Rng;
 use std::collections::BTreeSet;
@@ -131,6 +135,112 @@ pub fn random_sparse(rng: &mut Rng) -> FamilyGraph {
     FamilyGraph::new("sparse", rng.relation(5, 6))
 }
 
+/// The node counts the large-graph suites sweep. Chosen so the largest
+/// still fits the arena's dense-coordinate bound (node ids stay below
+/// `nra_core::value::intern::DENSE_MAX_COORD = 8192`).
+pub const LARGE_SIZES: [u64; 3] = [512, 2048, 8192];
+
+/// A road-grid on ~`n` nodes: node `(i, j)` has id `i·cols + j`, with
+/// directed edges to its right and down neighbours, and roughly one edge
+/// in sixteen removed at random ("potholes") so different seeds give
+/// different reachability structure. `rows` is the largest power of two
+/// whose square fits `n`, so the standard sizes give 16×32, 32×64 and
+/// 64×128 grids.
+///
+/// **Not powerset-safe**: thousands of edges. Only run polynomial
+/// routes (while/semi-naive/compiled) on the large families.
+pub fn road_grid(rng: &mut Rng, n: u64) -> FamilyGraph {
+    let mut rows = 1u64;
+    while (rows * 2) * (rows * 2) <= n {
+        rows *= 2;
+    }
+    let cols = n / rows;
+    let mut edges = BTreeSet::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            if j + 1 < cols && rng.below(16) != 0 {
+                edges.insert((i * cols + j, i * cols + j + 1));
+            }
+            if i + 1 < rows && rng.below(16) != 0 {
+                edges.insert((i * cols + j, (i + 1) * cols + j));
+            }
+        }
+    }
+    FamilyGraph {
+        family: "road_grid",
+        edges,
+    }
+}
+
+/// A power-law graph on `n` nodes via preferential attachment: each new
+/// node `v` points two edges at targets drawn proportionally to degree
+/// (the classic repeated-endpoints trick), so a few early hubs collect
+/// most of the in-degree.
+///
+/// **Not powerset-safe** at the standard sizes — see [`road_grid`].
+pub fn power_law(rng: &mut Rng, n: u64) -> FamilyGraph {
+    let mut edges = BTreeSet::new();
+    let mut endpoints: Vec<u64> = vec![0];
+    for v in 1..n {
+        for _ in 0..2 {
+            let target = *rng.choose(&endpoints);
+            if target != v {
+                edges.insert((v, target));
+                endpoints.push(target);
+            }
+        }
+        endpoints.push(v);
+    }
+    FamilyGraph {
+        family: "power_law",
+        edges,
+    }
+}
+
+/// A two-community social graph on `n` nodes: nodes `0..n/2` and
+/// `n/2..n` each form a sparse random community (three out-edges per
+/// node, within the community), bridged by a thin band of `n/64 + 2`
+/// random cross-community edges — so the closure is dense inside each
+/// community but crossings all funnel through the bridge.
+///
+/// **Not powerset-safe** at the standard sizes — see [`road_grid`].
+pub fn two_community(rng: &mut Rng, n: u64) -> FamilyGraph {
+    let half = (n / 2).max(1);
+    let mut edges = BTreeSet::new();
+    for v in 0..n {
+        let base = if v < half { 0 } else { half };
+        let span = if v < half { half } else { n - half };
+        for _ in 0..3 {
+            let w = base + rng.below(span.max(1));
+            if w != v {
+                edges.insert((v, w));
+            }
+        }
+    }
+    for _ in 0..(n / 64 + 2) {
+        let a = rng.below(half);
+        let b = half + rng.below((n - half).max(1));
+        if rng.bool() {
+            edges.insert((a, b));
+        } else {
+            edges.insert((b, a));
+        }
+    }
+    FamilyGraph {
+        family: "two_community",
+        edges,
+    }
+}
+
+/// One graph from **each** of the three large families at node count
+/// `n` — the sweep the dense-vs-sorted differentials and both benches
+/// run at the [`LARGE_SIZES`]. Unlike [`family_graphs`], these are
+/// thousands of edges: polynomial routes only, never the powerset
+/// route.
+pub fn large_family_graphs(rng: &mut Rng, n: u64) -> Vec<FamilyGraph> {
+    vec![road_grid(rng, n), power_law(rng, n), two_community(rng, n)]
+}
+
 /// One graph from **each** of the seven families — the canonical
 /// per-seed sweep both differential harnesses run.
 pub fn family_graphs(rng: &mut Rng) -> Vec<FamilyGraph> {
@@ -190,6 +300,70 @@ mod tests {
             .map(|g| g.edges)
             .collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn large_families_fit_the_dense_domain() {
+        for seed in 0..3 {
+            let mut rng = Rng::new(seed);
+            let graphs = large_family_graphs(&mut rng, 512);
+            let names: Vec<&str> = graphs.iter().map(|g| g.family).collect();
+            assert_eq!(names, ["road_grid", "power_law", "two_community"]);
+            for g in &graphs {
+                assert!(
+                    g.edges.iter().all(|&(a, b)| a < 512 && b < 512),
+                    "{}: node ids must stay below n",
+                    g.family
+                );
+                assert!(
+                    g.edges.len() >= 512,
+                    "{}: expected a large edge set, got {}",
+                    g.family,
+                    g.edges.len()
+                );
+                assert!(g.edges.iter().all(|&(a, b)| a != b), "no self-loops");
+            }
+        }
+    }
+
+    #[test]
+    fn large_families_are_deterministic_in_the_seed() {
+        let a: Vec<_> = large_family_graphs(&mut Rng::new(9), 512)
+            .into_iter()
+            .map(|g| g.edges)
+            .collect();
+        let b: Vec<_> = large_family_graphs(&mut Rng::new(9), 512)
+            .into_iter()
+            .map(|g| g.edges)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_community_bridges_are_thin() {
+        let mut rng = Rng::new(11);
+        let g = two_community(&mut rng, 512);
+        let cross = g
+            .edges
+            .iter()
+            .filter(|&&(a, b)| (a < 256) != (b < 256))
+            .count();
+        assert!(cross > 0, "communities must be bridged");
+        assert!(cross <= 10, "bridge band stays thin, got {cross}");
+    }
+
+    #[test]
+    fn power_law_grows_hubs() {
+        let mut rng = Rng::new(3);
+        let g = power_law(&mut rng, 512);
+        // in-degree concentrates: some hub collects far more than the
+        // mean in-degree of ~2
+        let mut indeg = vec![0u64; 512];
+        for &(_, b) in &g.edges {
+            indeg[b as usize] += 1;
+        }
+        let max = indeg.iter().max().copied().unwrap();
+        assert!(max >= 10, "expected a hub, max in-degree {max}");
     }
 
     #[test]
